@@ -1,0 +1,103 @@
+// Reproduces the Section 5.5 estimate-vs-measurement validation: the
+// measured kernel speed-ups feed Equations (2)/(3) for the three
+// scheduling scenarios, and the estimates are compared against the
+// measured application speed-ups — the paper reports agreement within 2%.
+#include <cstdio>
+
+#include "harness.h"
+#include "port/amdahl.h"
+#include "support/stats.h"
+
+using namespace cellport;
+using namespace cellport::bench;
+
+int main() {
+  std::printf("== Section 5.5: equation estimates vs measurement ==\n\n");
+  marvel::Dataset data = marvel::make_dataset(5);
+
+  auto ppe = run_reference(sim::cell_ppe(), data);
+  auto desk = run_reference(sim::desktop_pentium_d(), data);
+  CellRun single = run_cell(data, marvel::Scenario::kSingleSPE);
+  CellRun multi = run_cell(data, marvel::Scenario::kMultiSPE);
+  CellRun multi2 = run_cell(data, marvel::Scenario::kMultiSPE2);
+
+  // Measured kernel operating points (coverage & speed-up vs the PPE),
+  // from the single-SPE run where the per-kernel times are separable.
+  double ppe_total = total_ns(ppe->profiler());
+  const char* phases[] = {marvel::kPhaseCh, marvel::kPhaseCc,
+                          marvel::kPhaseTx, marvel::kPhaseEh,
+                          marvel::kPhaseCd};
+  std::vector<port::KernelPoint> pts;
+  for (const char* phase : phases) {
+    double p = phase_ns(ppe->profiler(), phase);
+    double s = phase_ns(single.engine->profiler(), phase);
+    pts.push_back({phase, p / ppe_total, p / s});
+  }
+  // Preprocessing stays on the PPE (speed-up vs the Cell's own PPE-side
+  // preprocessing time, which is essentially 1).
+  double pre_p = phase_ns(ppe->profiler(), marvel::kPhasePreprocess);
+  double pre_c =
+      phase_ns(single.engine->profiler(), marvel::kPhasePreprocess);
+  pts.push_back({"Preprocess", pre_p / ppe_total, pre_p / pre_c});
+
+  // Eq. 2: all kernels sequential. Eq. 3 with the extraction group in
+  // parallel (+ detection serialized); Multi-SPE2 adds detection overlap.
+  double est_single = port::estimate_sequential(pts);
+  std::vector<std::vector<port::KernelPoint>> grouped = {
+      {pts[0], pts[1], pts[2], pts[3]},  // extractions in parallel
+      {pts[4]},                          // detection
+      {pts[5]},                          // preprocessing
+  };
+  double est_multi = port::estimate_grouped(grouped);
+  // Multi-SPE2: each detection overlaps the *other* extractions; with
+  // detection at ~0.5% the estimate folds it into the parallel group.
+  std::vector<std::vector<port::KernelPoint>> grouped2 = {
+      {pts[0], pts[1], pts[2], pts[3], pts[4]},
+      {pts[5]},
+  };
+  double est_multi2 = port::estimate_grouped(grouped2);
+
+  // Measurements (vs PPE, then vs Desktop as the paper quotes them).
+  double desk_total = total_ns(desk->profiler());
+  auto measured = [&](CellRun& run) {
+    return ppe_total / total_ns(run.engine->profiler());
+  };
+  double ms_single = measured(single);
+  double ms_multi = measured(multi);
+  double ms_multi2 = measured(multi2);
+  // Speed-up vs Desktop = speed-up vs PPE scaled by Desktop/PPE time.
+  double ppe_vs_desk = desk_total / ppe_total;  // ~1/3.2
+
+  Table t("Estimates vs measurements (speed-ups vs Desktop; paper: "
+          "10.90 / 15.28 / 15.64)");
+  t.header({"Scenario", "Estimate", "Measured", "Error[%]", "Paper"});
+  struct Row {
+    const char* name;
+    double est;
+    double ms;
+    const char* paper;
+  } rows[] = {
+      {"SingleSPE (Eq. 2)", est_single, ms_single, "10.90"},
+      {"MultiSPE (Eq. 3)", est_multi, ms_multi, "15.28"},
+      {"MultiSPE2 (Eq. 3)", est_multi2, ms_multi2, "15.64"},
+  };
+  bool all_within_2pct = true;
+  for (const Row& r : rows) {
+    double err = relative_error(r.est, r.ms);
+    all_within_2pct = all_within_2pct && err < 0.02;
+    t.row({r.name, Table::num(r.est * ppe_vs_desk, 2),
+           Table::num(r.ms * ppe_vs_desk, 2), Table::num(err * 100, 2),
+           r.paper});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  shape_check(all_within_2pct,
+              "estimates match measurements within 2% (the paper's "
+              "validation claim)");
+  shape_check(ms_multi > ms_single, "parallel extraction wins");
+  shape_check(ms_multi2 >= ms_multi * 0.99 &&
+                  ms_multi2 < ms_multi * 1.10,
+              "replicating detection adds almost nothing (paper: 15.64 vs "
+              "15.28) — CC dominates the group and detection is ~0.5%");
+  return 0;
+}

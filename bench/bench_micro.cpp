@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks of the simulator substrate itself
+// (host-side throughput of the emulation layers — useful when sizing
+// larger experiments; simulated time is deterministic regardless).
+#include <benchmark/benchmark.h>
+
+#include "features/color_histogram.h"
+#include "img/codec.h"
+#include "img/synth.h"
+#include "kernels/ch_kernel.h"
+#include "kernels/messages.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+#include "spu/spu.h"
+
+namespace {
+
+using namespace cellport;
+
+void BM_SpuIntrinsicMadd(benchmark::State& state) {
+  auto a = spu::spu_splats<spu::vec_float4>(1.5f);
+  auto b = spu::spu_splats<spu::vec_float4>(0.5f);
+  auto c = spu::spu_splats<spu::vec_float4>(0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spu::spu_madd(a, b, c));
+  }
+}
+BENCHMARK(BM_SpuIntrinsicMadd);
+
+void BM_SpuShuffle(benchmark::State& state) {
+  auto a = spu::spu_splats<spu::vec_uchar16>(3);
+  auto b = spu::spu_splats<spu::vec_uchar16>(7);
+  spu::vec_uchar16 p;
+  for (unsigned i = 0; i < 16; ++i) p.v[i] = static_cast<std::uint8_t>(
+      31 - i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spu::spu_shuffle(a, b, p));
+  }
+}
+BENCHMARK(BM_SpuShuffle);
+
+void BM_MailboxRoundTrip(benchmark::State& state) {
+  sim::Mailbox mb("bench", 4);
+  for (auto _ : state) {
+    mb.write(42, 0.0);
+    benchmark::DoNotOptimize(mb.read());
+  }
+}
+BENCHMARK(BM_MailboxRoundTrip);
+
+void BM_ReferenceColorHistogram(benchmark::State& state) {
+  img::RgbImage image = img::synth_image(img::SceneKind::kShapes, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(features::extract_color_histogram(image));
+  }
+}
+BENCHMARK(BM_ReferenceColorHistogram)->Unit(benchmark::kMillisecond);
+
+void BM_SpeColorHistogramKernel(benchmark::State& state) {
+  img::RgbImage image = img::synth_image(img::SceneKind::kShapes, 1);
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(kernels::ch_module());
+  cellport::AlignedBuffer<float> out(168);
+  port::WrappedMessage<kernels::ImageMsg> msg;
+  msg->pixels_ea = reinterpret_cast<std::uint64_t>(image.data());
+  msg->width = image.width();
+  msg->height = image.height();
+  msg->stride = image.stride();
+  msg->buffering = kernels::kDoubleBuffer;
+  msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+  msg->out_count = img::kHsvBins;
+  for (auto _ : state) {
+    iface.SendAndWait(kernels::SPU_Run, msg.ea());
+  }
+}
+BENCHMARK(BM_SpeColorHistogramKernel)->Unit(benchmark::kMillisecond);
+
+void BM_SicDecode(benchmark::State& state) {
+  img::SicEncoded enc =
+      img::sic_encode(img::synth_image(img::SceneKind::kTexture, 2), 70);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(img::sic_decode(enc));
+  }
+}
+BENCHMARK(BM_SicDecode)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

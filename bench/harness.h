@@ -1,0 +1,90 @@
+// Shared plumbing for the paper-reproduction benchmarks.
+//
+// Each bench binary regenerates one table or figure of the paper: it runs
+// the relevant engines on the standard dataset, prints the measured rows
+// next to the paper's published values, and reports whether the *shape*
+// claims hold (who wins, orderings, ratios) — absolute numbers are not
+// expected to match a 2007 testbed.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "learn/model_store.h"
+#include "marvel/cell_engine.h"
+#include "marvel/dataset.h"
+#include "marvel/reference_engine.h"
+#include "sim/machine.h"
+#include "support/table.h"
+
+namespace cellport::bench {
+
+/// Writes the standard model library to a temp path (done once per
+/// binary) and returns the path.
+inline const std::string& library_path() {
+  static const std::string path = [] {
+    std::string p = "/tmp/cellport_bench_models.bin";
+    learn::MarvelModels models = learn::make_marvel_models();
+    std::size_t bytes = learn::save_library(p, models);
+    std::printf("[setup] model library: %.2f MB at %s\n",
+                static_cast<double>(bytes) / 1e6, p.c_str());
+    return p;
+  }();
+  return path;
+}
+
+/// Exclusive simulated ns of one profiler phase (0 when absent).
+inline double phase_ns(port::Profiler& prof, const std::string& name) {
+  for (const auto& rec : prof.report()) {
+    if (rec.name == name) return rec.exclusive_ns;
+  }
+  return 0.0;
+}
+
+/// Total per-image simulated ns across all phases except startup.
+inline double total_ns(port::Profiler& prof) {
+  double t = 0;
+  for (const auto& rec : prof.report()) {
+    if (rec.name != marvel::kPhaseStartup) t += rec.exclusive_ns;
+  }
+  return t;
+}
+
+/// Runs a reference engine over a dataset; returns the engine (profiler
+/// holds the accumulated phase times).
+inline std::unique_ptr<marvel::ReferenceEngine> run_reference(
+    sim::CoreModel core, const marvel::Dataset& data) {
+  auto engine = std::make_unique<marvel::ReferenceEngine>(std::move(core),
+                                                          library_path());
+  for (const auto& image : data.images) engine->analyze(image);
+  return engine;
+}
+
+/// Runs a Cell engine over a dataset on a fresh machine. The machine must
+/// outlive the engine; both are returned.
+struct CellRun {
+  std::unique_ptr<sim::Machine> machine;
+  std::unique_ptr<marvel::CellEngine> engine;
+};
+
+inline CellRun run_cell(const marvel::Dataset& data,
+                        marvel::Scenario scenario,
+                        kernels::BufferingDepth buffering =
+                            kernels::kDoubleBuffer,
+                        bool use_naive = false) {
+  CellRun run;
+  run.machine = std::make_unique<sim::Machine>();
+  run.engine = std::make_unique<marvel::CellEngine>(
+      *run.machine, library_path(), scenario, buffering, use_naive);
+  for (const auto& image : data.images) run.engine->analyze(image);
+  return run;
+}
+
+/// Prints a shape-check line: PASS/FAIL with the tested relation.
+inline bool shape_check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-FAIL", what.c_str());
+  return ok;
+}
+
+}  // namespace cellport::bench

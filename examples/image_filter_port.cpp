@@ -1,0 +1,261 @@
+// The Section 3.4 worked example: porting image filters whose data does
+// not fit the SPE local store.
+//
+// "Consider an image filter running on an 1600x1200 RGB image, which does
+// not fit in the SPE memory, so the DMA transfer must be done in slices.
+// For a color conversion filter, when the new pixel is a function of the
+// old pixel only, the processing requires no changes. However, for a
+// convolution filter, the data slices or the processing must take care of
+// the new border conditions at the data slice edges."
+//
+// This example ports both filters:
+//   * grayscale conversion — a pointwise filter, sliced trivially;
+//   * 3x3 box blur — a convolution, sliced with 1-row halos via SlicePlan.
+// It verifies the sliced SPE results against whole-image host references
+// and prints the DMA traffic each strategy generated.
+//
+// Build & run:  ./build/examples/image_filter_port
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "img/color.h"
+#include "img/convolve.h"
+#include "img/slice.h"
+#include "img/synth.h"
+#include "kernels/common.h"
+#include "port/dispatcher.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+#include "spu/spu.h"
+#include "support/aligned.h"
+
+namespace {
+
+using namespace cellport;
+
+constexpr int kW = 1600;
+constexpr int kH = 1200;
+
+struct alignas(16) FilterMsg {
+  std::uint64_t in_ea = 0;   // gray rows (stride bytes apart)
+  std::uint64_t out_ea = 0;  // same geometry
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::int32_t stride = 0;
+  std::int32_t pad_ = 0;
+};
+
+struct alignas(16) ConvertMsg {
+  std::uint64_t rgb_ea = 0;
+  std::uint64_t gray_ea = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::int32_t rgb_stride = 0;
+  std::int32_t gray_stride = 0;
+};
+
+// Pointwise filter: RGB -> gray, sliced with no halo at all.
+int convert_kernel(std::uint64_t ea) {
+  using namespace cellport::sim;
+  using namespace cellport::spu;
+  using namespace cellport::kernels;
+
+  auto* msg = static_cast<ConvertMsg*>(spu_ls_alloc(sizeof(ConvertMsg)));
+  fetch_msg(msg, ea);
+
+  // No halo: any slice height that fits the LS works.
+  img::SlicePlan plan(msg->height, /*max_fetch_rows=*/24, /*halo=*/0);
+  auto* in = spu_ls_alloc_array<std::uint8_t>(
+      24u * static_cast<unsigned>(msg->rgb_stride));
+  auto* out = spu_ls_alloc_array<std::uint8_t>(
+      24u * static_cast<unsigned>(msg->gray_stride));
+
+  for (std::size_t s = 0; s < plan.count(); ++s) {
+    const img::Slice& sl = plan[s];
+    dma_in(in,
+           msg->rgb_ea + static_cast<std::uint64_t>(sl.fetch_begin) *
+                             msg->rgb_stride,
+           static_cast<std::uint32_t>(sl.fetch_rows()) *
+               static_cast<std::uint32_t>(msg->rgb_stride),
+           1);
+    mfc_write_tag_mask(1u << 1);
+    mfc_read_tag_status_all();
+    for (int r = 0; r < sl.rows(); ++r) {
+      const std::uint8_t* src =
+          in + static_cast<std::size_t>(r) * msg->rgb_stride;
+      std::uint8_t* dst =
+          out + static_cast<std::size_t>(r) * msg->gray_stride;
+      for (int x = 0; x < msg->width; ++x) {
+        sop(6);
+        charge_odd(4);
+        unsigned luma =
+            77u * src[x * 3] + 150u * src[x * 3 + 1] + 29u * src[x * 3 + 2];
+        dst[x] = static_cast<std::uint8_t>(luma >> 8);
+      }
+    }
+    dma_out(out,
+            msg->gray_ea + static_cast<std::uint64_t>(sl.y_begin) *
+                               msg->gray_stride,
+            static_cast<std::uint32_t>(sl.rows()) *
+                static_cast<std::uint32_t>(msg->gray_stride),
+            1);
+    mfc_write_tag_mask(1u << 1);
+    mfc_read_tag_status_all();
+  }
+  return 0;
+}
+
+// Convolution filter: 3x3 box blur. Each slice fetches one halo row on
+// each side so output rows at slice edges see their true neighbors.
+int blur_kernel(std::uint64_t ea) {
+  using namespace cellport::sim;
+  using namespace cellport::spu;
+  using namespace cellport::kernels;
+
+  auto* msg = static_cast<FilterMsg*>(spu_ls_alloc(sizeof(FilterMsg)));
+  fetch_msg(msg, ea);
+
+  img::SlicePlan plan(msg->height, /*max_fetch_rows=*/26, /*halo=*/1);
+  auto* in = spu_ls_alloc_array<std::uint8_t>(
+      26u * static_cast<unsigned>(msg->stride));
+  auto* out = spu_ls_alloc_array<std::uint8_t>(
+      26u * static_cast<unsigned>(msg->stride));
+
+  for (std::size_t s = 0; s < plan.count(); ++s) {
+    const img::Slice& sl = plan[s];
+    dma_in(in,
+           msg->in_ea + static_cast<std::uint64_t>(sl.fetch_begin) *
+                            msg->stride,
+           static_cast<std::uint32_t>(sl.fetch_rows()) *
+               static_cast<std::uint32_t>(msg->stride),
+           1);
+    mfc_write_tag_mask(1u << 1);
+    mfc_read_tag_status_all();
+
+    for (int y = sl.y_begin; y < sl.y_end; ++y) {
+      std::uint8_t* dst =
+          out + static_cast<std::size_t>(y - sl.y_begin) * msg->stride;
+      for (int x = 0; x < msg->width; ++x) {
+        // Clamped 3x3 mean. Halo rows make vertical clamping only
+        // happen at the true image border, never at slice seams.
+        int acc = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          int yy = std::clamp(y + dy, 0, msg->height - 1);
+          yy = std::clamp(yy, sl.fetch_begin, sl.fetch_end - 1);
+          const std::uint8_t* row =
+              in + static_cast<std::size_t>(yy - sl.fetch_begin) *
+                       msg->stride;
+          for (int dx = -1; dx <= 1; ++dx) {
+            int xx = std::clamp(x + dx, 0, msg->width - 1);
+            acc += row[xx];
+          }
+        }
+        sop(14);
+        charge_odd(10);
+        dst[x] = static_cast<std::uint8_t>(acc / 9);
+      }
+    }
+    dma_out(out,
+            msg->out_ea + static_cast<std::uint64_t>(sl.y_begin) *
+                              msg->stride,
+            static_cast<std::uint32_t>(sl.rows()) *
+                static_cast<std::uint32_t>(msg->stride),
+            1);
+    mfc_write_tag_mask(1u << 1);
+    mfc_read_tag_status_all();
+  }
+  return 0;
+}
+
+// Host reference for the blur.
+img::GrayImage blur_reference(const img::GrayImage& src) {
+  img::GrayImage out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      int acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          int yy = std::clamp(y + dy, 0, src.height() - 1);
+          int xx = std::clamp(x + dx, 0, src.width() - 1);
+          acc += src.at(xx, yy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(acc / 9);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Porting two filters over a %dx%d image (%.1f MB RGB — far "
+              "beyond the 256 KiB local store)\n\n",
+              kW, kH, kW * 3.0 * kH / 1e6);
+  sim::Machine machine;
+
+  port::KernelModule module("filters", 8 * 1024);
+  module.add_function(1, &convert_kernel);
+  module.add_function(2, &blur_kernel);
+  port::SPEInterface iface(module);
+
+  img::RgbImage rgb = img::synth_image(img::SceneKind::kShapes, 7, kW, kH);
+
+  // --- pointwise filter ---
+  img::GrayImage gray_spe(kW, kH);
+  port::WrappedMessage<ConvertMsg> cmsg;
+  cmsg->rgb_ea = reinterpret_cast<std::uint64_t>(rgb.data());
+  cmsg->gray_ea = reinterpret_cast<std::uint64_t>(gray_spe.data());
+  cmsg->width = kW;
+  cmsg->height = kH;
+  cmsg->rgb_stride = rgb.stride();
+  cmsg->gray_stride = gray_spe.stride();
+  auto dma_before = iface.spe().mfc().stats().bytes;
+  iface.SendAndWait(1, cmsg.ea());
+
+  img::GrayImage gray_ref = img::rgb_to_gray(rgb);
+  bool convert_ok = true;
+  for (int y = 0; y < kH && convert_ok; ++y) {
+    convert_ok = std::memcmp(gray_ref.row(y), gray_spe.row(y),
+                             static_cast<std::size_t>(kW)) == 0;
+  }
+  auto convert_dma = iface.spe().mfc().stats().bytes - dma_before;
+  std::printf("pointwise gray conversion: %s, DMA traffic %.1f MB "
+              "(image in + out, no halo)\n",
+              convert_ok ? "sliced == whole-image" : "MISMATCH",
+              static_cast<double>(convert_dma) / 1e6);
+
+  // --- convolution filter with slice halos ---
+  img::GrayImage blur_spe(kW, kH);
+  port::WrappedMessage<FilterMsg> bmsg;
+  bmsg->in_ea = reinterpret_cast<std::uint64_t>(gray_ref.data());
+  bmsg->out_ea = reinterpret_cast<std::uint64_t>(blur_spe.data());
+  bmsg->width = kW;
+  bmsg->height = kH;
+  bmsg->stride = gray_ref.stride();
+  dma_before = iface.spe().mfc().stats().bytes;
+  iface.SendAndWait(2, bmsg.ea());
+
+  img::GrayImage blur_ref = blur_reference(gray_ref);
+  bool blur_ok = true;
+  int diffs = 0;
+  for (int y = 0; y < kH; ++y) {
+    for (int x = 0; x < kW; ++x) {
+      if (blur_ref.at(x, y) != blur_spe.at(x, y)) ++diffs;
+    }
+  }
+  blur_ok = diffs == 0;
+  auto blur_dma = iface.spe().mfc().stats().bytes - dma_before;
+  std::printf("3x3 convolution with halo slices: %s, DMA traffic %.1f MB "
+              "(halo rows re-fetched at every seam)\n",
+              blur_ok ? "sliced == whole-image" : "MISMATCH",
+              static_cast<double>(blur_dma) / 1e6);
+  std::printf("\nSimulated SPE busy time: %.2f ms; DMA stall time: %.2f "
+              "ms\n",
+              sim::ns_to_ms(iface.spe().busy_ns()),
+              sim::ns_to_ms(iface.spe().mfc().stats().stall_ns));
+  return convert_ok && blur_ok ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// MARVEL on the simulated Cell: the full case study of Section 5.
+//
+// Runs the multimedia analysis pipeline on a synthetic image set, on all
+// four machines (Desktop, Laptop, PPE, and the Cell with SPE kernels),
+// prints the profile that drives kernel identification (Section 5.2),
+// the per-kernel speed-ups (Table 1), and the scenario comparison of
+// Section 5.5.
+//
+// Usage: marvel_pipeline [num_images]  (default 5)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "marvel/cell_engine.h"
+#include "marvel/dataset.h"
+#include "marvel/reference_engine.h"
+#include "sim/machine.h"
+#include "sim/report.h"
+#include "support/table.h"
+
+using namespace cellport;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (n < 1) n = 1;
+
+  std::printf("Generating %d synthetic 352x240 images...\n", n);
+  marvel::Dataset data = marvel::make_dataset(n);
+
+  const std::string library = "/tmp/cellport_quickstart_models.bin";
+  learn::MarvelModels models = learn::make_marvel_models();
+  std::size_t lib_bytes = learn::save_library(library, models);
+  std::printf("Model library: %.2f MB on disk\n",
+              static_cast<double>(lib_bytes) / 1e6);
+
+  // --- the reference machines ---
+  marvel::ReferenceEngine desktop(sim::desktop_pentium_d(), library);
+  marvel::ReferenceEngine ppe(sim::cell_ppe(), library);
+  for (const auto& image : data.images) {
+    desktop.analyze(image);
+    ppe.analyze(image);
+  }
+
+  Table profile("PPE profile (kernel identification, Section 5.2)");
+  profile.header({"Phase", "Coverage[%]", "Time[ms]"});
+  double per_image_total = 0;
+  for (const auto& rec : ppe.profiler().report()) {
+    if (rec.name == marvel::kPhaseStartup) continue;
+    per_image_total += rec.exclusive_ns;
+  }
+  for (const auto& rec : ppe.profiler().report()) {
+    if (rec.name == marvel::kPhaseStartup) continue;
+    profile.row({rec.name,
+                 Table::num(100.0 * rec.exclusive_ns / per_image_total, 1),
+                 Table::num(sim::ns_to_ms(rec.exclusive_ns), 2)});
+  }
+  std::printf("%s\n", profile.str().c_str());
+  std::printf("One-time overhead (model load): %.1f ms = %.0f%% of the "
+              "1-image PPE total\n\n",
+              sim::ns_to_ms(ppe.startup_ns()),
+              100.0 * ppe.startup_ns() /
+                  (ppe.startup_ns() + per_image_total / n));
+
+  // --- the Cell, single-SPE scenario (per-kernel times are separable) ---
+  sim::Machine cell1;
+  marvel::CellEngine single(cell1, library, marvel::Scenario::kSingleSPE);
+  for (const auto& image : data.images) single.analyze(image);
+
+  Table t1("SPE vs PPE kernel speed-ups (cf. Table 1)");
+  t1.header({"Kernel", "Speed-up", "PPE[ms]", "SPE[ms]"});
+  for (const char* phase :
+       {marvel::kPhaseCh, marvel::kPhaseCc, marvel::kPhaseTx,
+        marvel::kPhaseEh, marvel::kPhaseCd}) {
+    double ppe_ns = 0;
+    double spe_ns = 0;
+    for (const auto& rec : ppe.profiler().report()) {
+      if (rec.name == phase) ppe_ns = rec.exclusive_ns;
+    }
+    for (const auto& rec : single.profiler().report()) {
+      if (rec.name == phase) spe_ns = rec.exclusive_ns;
+    }
+    t1.row({phase, Table::num(ppe_ns / spe_ns, 2),
+            Table::num(sim::ns_to_ms(ppe_ns), 2),
+            Table::num(sim::ns_to_ms(spe_ns), 2)});
+  }
+  std::printf("%s\n", t1.str().c_str());
+
+  // --- scenario comparison vs Desktop (Section 5.5) ---
+  auto app_time = [n](marvel::ReferenceEngine& e) {
+    double t = 0;
+    for (const auto& rec : e.profiler().report()) {
+      if (rec.name != marvel::kPhaseStartup) t += rec.exclusive_ns;
+    }
+    return t / n;
+  };
+  auto cell_time = [n](marvel::CellEngine& e) {
+    double t = 0;
+    for (const auto& rec : e.profiler().report()) {
+      if (rec.name != marvel::kPhaseStartup) t += rec.exclusive_ns;
+    }
+    return t / n;
+  };
+
+  sim::Machine cell2;
+  marvel::CellEngine multi(cell2, library, marvel::Scenario::kMultiSPE);
+  for (const auto& image : data.images) multi.analyze(image);
+  sim::Machine cell3;
+  marvel::CellEngine multi2(cell3, library, marvel::Scenario::kMultiSPE2);
+  for (const auto& image : data.images) multi2.analyze(image);
+
+  double t_desktop = app_time(desktop);
+  Table t2("Application speed-up vs Desktop (Section 5.5)");
+  t2.header({"Configuration", "Speed-up", "ms/image"});
+  t2.row({"Desktop (reference)", "1.00",
+          Table::num(sim::ns_to_ms(t_desktop), 2)});
+  t2.row({"PPE only", Table::num(t_desktop / app_time(ppe), 2),
+          Table::num(sim::ns_to_ms(app_time(ppe)), 2)});
+  t2.row({"Cell SingleSPE", Table::num(t_desktop / cell_time(single), 2),
+          Table::num(sim::ns_to_ms(cell_time(single)), 2)});
+  t2.row({"Cell MultiSPE", Table::num(t_desktop / cell_time(multi), 2),
+          Table::num(sim::ns_to_ms(cell_time(multi)), 2)});
+  t2.row({"Cell MultiSPE2", Table::num(t_desktop / cell_time(multi2), 2),
+          Table::num(sim::ns_to_ms(cell_time(multi2)), 2)});
+  std::printf("%s\n", t2.str().c_str());
+
+  std::printf("%s", sim::format_report(sim::snapshot(cell3)).c_str());
+  return 0;
+}

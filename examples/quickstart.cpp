@@ -1,0 +1,122 @@
+// Quickstart: porting one compute kernel onto a (simulated) Cell B.E.
+// with the cellport strategy.
+//
+// The example follows the paper's recipe end to end on a deliberately
+// small kernel — scaling an array of floats — so every step is visible:
+//
+//   1. wrap the shared data into an aligned message structure,
+//   2. register the kernel function in a dispatcher module (Listing 1),
+//   3. open an SPEInterface stub (Listing 2),
+//   4. invoke it with SendAndWait (Listing 3),
+//   5. read the results back and check the Amdahl estimate (Section 4).
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "kernels/common.h"
+#include "port/amdahl.h"
+#include "port/dispatcher.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+#include "spu/spu.h"
+#include "support/aligned.h"
+
+namespace {
+
+using namespace cellport;
+
+// Step 1 — the wrapper structure: everything the kernel needs, in one
+// aligned POD whose address travels through the mailbox.
+struct alignas(16) ScaleMsg {
+  std::uint64_t in_ea = 0;
+  std::uint64_t out_ea = 0;
+  std::int32_t count = 0;
+  float factor = 1.0f;
+};
+
+// Step 2 — the SPE-side kernel: DMA the message, then the data, compute
+// with SIMD intrinsics, DMA the results back.
+int scale_kernel(std::uint64_t msg_ea) {
+  using namespace cellport::sim;
+  using namespace cellport::spu;
+  using namespace cellport::kernels;
+
+  auto* msg = static_cast<ScaleMsg*>(spu_ls_alloc(sizeof(ScaleMsg)));
+  fetch_msg(msg, msg_ea);
+
+  auto* in = spu_ls_alloc_array<float>(static_cast<std::size_t>(msg->count));
+  auto* out =
+      spu_ls_alloc_array<float>(static_cast<std::size_t>(msg->count));
+  dma_in(in, msg->in_ea,
+         static_cast<std::uint32_t>(msg->count) * sizeof(float), 1);
+  mfc_write_tag_mask(1u << 1);
+  mfc_read_tag_status_all();
+
+  vec_float4 f = spu_splats<vec_float4>(msg->factor);
+  for (int i = 0; i < msg->count; i += 4) {
+    vst(&out[i], spu_mul(vld<vec_float4>(&in[i]), f));
+    spu_loop(1);
+  }
+
+  dma_out(out, msg->out_ea,
+          static_cast<std::uint32_t>(msg->count) * sizeof(float), 1);
+  mfc_write_tag_mask(1u << 1);
+  mfc_read_tag_status_all();
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  // A Cell B.E.: one PPE, eight SPEs.
+  sim::Machine machine;
+
+  // The kernel module: opcode -> function, behind the Listing 1
+  // dispatcher loop.
+  port::KernelModule module("scale", 4 * 1024);
+  constexpr std::uint32_t kScaleOp = port::SPU_RUN_BASE;
+  module.add_function(kScaleOp, &scale_kernel);
+
+  // Step 3 — the stub. The SPE is loaded once and idles between calls.
+  port::SPEInterface iface(module);
+
+  // Step 4 — wrap, send, wait.
+  constexpr int kCount = 1024;
+  AlignedBuffer<float> input(kCount);
+  AlignedBuffer<float> output(kCount);
+  for (int i = 0; i < kCount; ++i) input[static_cast<std::size_t>(i)] =
+      static_cast<float>(i);
+
+  port::WrappedMessage<ScaleMsg> msg;
+  msg->in_ea = reinterpret_cast<std::uint64_t>(input.data());
+  msg->out_ea = reinterpret_cast<std::uint64_t>(output.data());
+  msg->count = kCount;
+  msg->factor = 2.5f;
+
+  int rc = iface.SendAndWait(static_cast<int>(kScaleOp), msg.ea());
+
+  // Step 5 — results and the sanity-check equation.
+  bool ok = true;
+  for (int i = 0; i < kCount; ++i) {
+    if (output[static_cast<std::size_t>(i)] !=
+        2.5f * static_cast<float>(i)) {
+      ok = false;
+    }
+  }
+  std::printf("kernel returned %d, results %s\n", rc,
+              ok ? "correct" : "WRONG");
+  std::printf("SPE busy time: %.1f ns, DMA traffic: %llu bytes\n",
+              iface.spe().busy_ns(),
+              static_cast<unsigned long long>(
+                  iface.spe().mfc().stats().bytes));
+
+  // Section 4.2's worked example: a kernel covering 10% of the
+  // application, accelerated 10x vs 100x.
+  port::KernelPoint k{"scale", 0.10, 10.0};
+  std::printf("Amdahl: Kfr=10%%  10x -> Sapp=%.4f   100x -> Sapp=%.4f\n",
+              port::estimate_single(k),
+              port::estimate_single({"scale", 0.10, 100.0}));
+  return ok ? 0 : 1;
+}

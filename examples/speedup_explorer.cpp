@@ -1,0 +1,101 @@
+// Interactive explorer for the paper's performance model (Section 4.2).
+//
+// Feed it your application's kernel operating points and it evaluates
+// Equations (1)-(3) for sequential and parallel schedules, ranks which
+// kernel to optimize next, and flags optimizations that are "not worth
+// it" — the planning workflow the paper's strategy prescribes before any
+// porting work starts.
+//
+// Usage:
+//   speedup_explorer                      # the paper's MARVEL kernels
+//   speedup_explorer name:cov:speedup ... # your own kernel set
+// e.g.
+//   speedup_explorer fft:0.6:40 filter:0.25:12 io:0.05:1
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "port/amdahl.h"
+#include "port/effort.h"
+#include "port/schedule.h"
+#include "support/table.h"
+
+using namespace cellport;
+
+namespace {
+
+std::vector<port::KernelPoint> parse_args(int argc, char** argv) {
+  std::vector<port::KernelPoint> points;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto c1 = arg.find(':');
+    auto c2 = arg.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      std::fprintf(stderr, "bad kernel spec '%s' (want name:cov:speedup)\n",
+                   arg.c_str());
+      std::exit(1);
+    }
+    points.push_back({arg.substr(0, c1),
+                      std::atof(arg.substr(c1 + 1, c2 - c1 - 1).c_str()),
+                      std::atof(arg.substr(c2 + 1).c_str())});
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<port::KernelPoint> kernels = parse_args(argc, argv);
+  if (kernels.empty()) {
+    std::printf("(no kernels given: using the paper's Table 1 set)\n\n");
+    kernels = {{"CHExtract", 0.08, 53.67},
+               {"CCExtract", 0.54, 52.23},
+               {"TXExtract", 0.06, 15.99},
+               {"EHExtract", 0.28, 65.94},
+               {"ConceptDet", 0.02, 10.80}};
+  }
+
+  Table in("Kernel operating points");
+  in.header({"Kernel", "Coverage[%]", "Speed-up"});
+  double covered = 0;
+  for (const auto& k : kernels) {
+    covered += k.coverage;
+    in.row({k.name, Table::num(100 * k.coverage, 1),
+            Table::num(k.speedup, 2)});
+  }
+  in.row({"(unported remainder)", Table::num(100 * (1 - covered), 1),
+          "1.00"});
+  std::printf("%s\n", in.str().c_str());
+
+  // Equation 2 / Equation 3.
+  double seq = port::estimate_sequential(kernels);
+  port::StaticSchedule par(8);
+  if (kernels.size() <= 8) {
+    par.add_group(kernels);
+  } else {
+    par = port::StaticSchedule::sequential(kernels);
+  }
+  std::printf("Equation 2 (all kernels sequential):  Sapp = %.2f\n", seq);
+  std::printf("Equation 3 (all kernels in parallel): Sapp = %.2f\n",
+              par.estimated_speedup());
+  std::printf("Asymptote if every kernel were infinitely fast: %.2f\n\n",
+              1.0 / (1.0 - covered));
+
+  // Which kernel should be optimized next?
+  Table next("Marginal value of doubling each kernel's speed-up (Eq. 2)");
+  next.header({"Kernel", "Sapp after", "Gain"});
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    double gain =
+        port::optimization_gain(kernels, i, kernels[i].speedup * 2);
+    next.row({kernels[i].name, Table::num(seq + gain, 3),
+              Table::num(gain, 4)});
+  }
+  std::printf("%s\n", next.str().c_str());
+  std::printf(
+      "Rule of thumb from the paper: if the gain above is a rounding "
+      "error, the optimization \"is not worth it\" — move on.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "features/color_correlogram.h"
+
+#include <algorithm>
+#include <array>
+
+#include "img/color.h"
+
+namespace cellport::features {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+FeatureVector extract_color_correlogram(const img::RgbImage& image,
+                                        sim::ScalarContext* ctx) {
+  // Phase 1: per-pixel HSV bin map (charged inside quantize_image).
+  img::GrayImage bins = img::quantize_image(image, ctx);
+
+  // Phase 2: windowed same-bin counting.
+  std::array<std::uint64_t, img::kHsvBins> same{};
+  std::array<std::uint64_t, img::kHsvBins> possible{};
+
+  const int w = image.width();
+  const int h = image.height();
+  constexpr int r = kCorrWindowRadius;
+
+  for (int y = 0; y < h; ++y) {
+    const int y0 = std::max(0, y - r);
+    const int y1 = std::min(h - 1, y + r);
+    for (int x = 0; x < w; ++x) {
+      const int x0 = std::max(0, x - r);
+      const int x1 = std::min(w - 1, x + r);
+      const std::uint8_t center = bins.at(x, y);
+      std::uint32_t count = 0;
+      for (int yy = y0; yy <= y1; ++yy) {
+        const std::uint8_t* row = bins.row(yy);
+        for (int xx = x0; xx <= x1; ++xx) {
+          // Inner loop: load neighbor bin, compare, branchless add.
+          count += row[xx] == center;
+        }
+      }
+      const auto window =
+          static_cast<std::uint64_t>(y1 - y0 + 1) *
+          static_cast<std::uint64_t>(x1 - x0 + 1);
+      // The center pixel always matches itself; exclude it.
+      same[center] += count - 1;
+      possible[center] += window - 1;
+      // Charge the window scan (1 load + 1 compare + 1 add per neighbor)
+      // plus the per-pixel bookkeeping.
+      chg(ctx, sim::OpClass::kLoad, window);
+      chg(ctx, sim::OpClass::kIntAlu, 2 * window);
+      chg(ctx, sim::OpClass::kIntAlu, 8);
+      chg(ctx, sim::OpClass::kLoad, 3);
+      chg(ctx, sim::OpClass::kStore, 2);
+    }
+  }
+
+  FeatureVector out;
+  out.name = "color_correlogram";
+  out.values.resize(img::kHsvBins);
+  chg(ctx, sim::OpClass::kDiv, img::kHsvBins);
+  chg(ctx, sim::OpClass::kStore, img::kHsvBins);
+  for (int b = 0; b < img::kHsvBins; ++b) {
+    auto i = static_cast<std::size_t>(b);
+    out.values[i] = possible[i] > 0
+                        ? static_cast<float>(
+                              static_cast<double>(same[i]) /
+                              static_cast<double>(possible[i]))
+                        : 0.0f;
+  }
+  return out;
+}
+
+}  // namespace cellport::features

@@ -1,0 +1,27 @@
+// CCExtract: HSV auto-correlogram, 17x17 window (54% of per-image time).
+//
+// "The color correlogram feature in MARVEL quantifies, over the whole
+// image, the degree of clustering among pixels with the same quantized
+// color value. For each pixel P, it counts how many pixels there are
+// within a square window of size 17x17 around P belonging to the same
+// histogram bin as P." (Section 5.2, kernel 2; Huang et al., CVPR'97)
+//
+// The feature is 166-dimensional: for every bin b, the ratio of same-bin
+// neighbor counts to the maximum possible count for pixels of bin b. The
+// pass includes its own HSV quantization of the image (part of the
+// kernel's 54% coverage).
+#pragma once
+
+#include "features/feature.h"
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::features {
+
+/// Half-width of the correlation window (17x17 => radius 8).
+inline constexpr int kCorrWindowRadius = 8;
+
+FeatureVector extract_color_correlogram(const img::RgbImage& image,
+                                        sim::ScalarContext* ctx = nullptr);
+
+}  // namespace cellport::features

@@ -1,0 +1,45 @@
+#include "features/color_histogram.h"
+
+#include <array>
+
+namespace cellport::features {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+FeatureVector extract_color_histogram(const img::RgbImage& image,
+                                      sim::ScalarContext* ctx) {
+  std::array<std::uint32_t, img::kHsvBins> counts{};
+  for (int y = 0; y < image.height(); ++y) {
+    const std::uint8_t* row = image.row(y);
+    for (int x = 0; x < image.width(); ++x) {
+      chg(ctx, sim::OpClass::kLoad, 3);
+      int bin = img::rgb_to_bin(row[x * 3], row[x * 3 + 1], row[x * 3 + 2],
+                                ctx);
+      // Histogram update: read-modify-write.
+      chg(ctx, sim::OpClass::kLoad, 1);
+      chg(ctx, sim::OpClass::kIntAlu, 1);
+      chg(ctx, sim::OpClass::kStore, 1);
+      counts[static_cast<std::size_t>(bin)] += 1;
+    }
+  }
+
+  FeatureVector out;
+  out.name = "color_histogram";
+  out.values.resize(img::kHsvBins);
+  float inv = 1.0f / (static_cast<float>(image.width()) * image.height());
+  chg(ctx, sim::OpClass::kDiv, 1);
+  chg(ctx, sim::OpClass::kMul, img::kHsvBins);
+  chg(ctx, sim::OpClass::kStore, img::kHsvBins);
+  for (int b = 0; b < img::kHsvBins; ++b) {
+    out.values[static_cast<std::size_t>(b)] =
+        static_cast<float>(counts[static_cast<std::size_t>(b)]) * inv;
+  }
+  return out;
+}
+
+}  // namespace cellport::features

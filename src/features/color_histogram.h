@@ -1,0 +1,21 @@
+// CHExtract: 166-bin HSV color histogram (8% of per-image time on the PPE).
+//
+// "The color histogram of an image is computed by discretizing the colors
+// within an image and counting the number of colors that fall into each
+// bin. In MARVEL, the color histogram is computed on the HSV image
+// representation, and quantized in 166 bins." (Section 5.2, kernel 1)
+#pragma once
+
+#include "features/feature.h"
+#include "img/color.h"
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::features {
+
+/// Reference (scalar C++) implementation; charges its op mix to `ctx`
+/// when provided. The result is L1-normalized (bins sum to 1).
+FeatureVector extract_color_histogram(const img::RgbImage& image,
+                                      sim::ScalarContext* ctx = nullptr);
+
+}  // namespace cellport::features

@@ -1,0 +1,101 @@
+#include "features/edge_histogram.h"
+
+#include <array>
+#include <cmath>
+
+#include "img/color.h"
+#include "img/convolve.h"
+
+namespace cellport::features {
+
+namespace {
+
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+
+constexpr float kTwoPi = 6.2831853071795864769f;
+
+}  // namespace
+
+FeatureVector extract_edge_histogram(const img::RgbImage& image,
+                                     sim::ScalarContext* ctx) {
+  // Filter 1: RGB -> gray (charged inside).
+  img::GrayImage gray = img::rgb_to_gray(image, ctx);
+
+  const img::Kernel3x3 gx_k = img::sobel_gx();
+  const img::Kernel3x3 gy_k = img::sobel_gy();
+
+  std::array<std::uint32_t, kEdgeAngleBins * kEdgeMagBins> counts{};
+  const int w = gray.width();
+  const int h = gray.height();
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Filters 2+3: both Sobel operators share one 3x3 neighborhood
+      // (9 loads); each is ~14 integer adds/shifts.
+      chg(ctx, sim::OpClass::kLoad, 9);
+      chg(ctx, sim::OpClass::kIntAlu, 28);
+      int gx = img::sobel_at(gray, x, y, gx_k, img::Border::kClamp);
+      int gy = img::sobel_at(gray, x, y, gy_k, img::Border::kClamp);
+
+      // Per-pixel magnitude: 2 multiplies, 1 add, 1 sqrt.
+      chg(ctx, sim::OpClass::kMul, 2);
+      chg(ctx, sim::OpClass::kFloatAlu, 2);
+      chg(ctx, sim::OpClass::kSqrt, 1);
+      float mag = std::sqrt(
+          static_cast<float>(gx) * static_cast<float>(gx) +
+          static_cast<float>(gy) * static_cast<float>(gy));
+
+      chg(ctx, sim::OpClass::kBranch, 1);
+      if (mag < kEdgeMagThreshold) continue;
+
+      // Per-pixel angle: atan2 is the expensive transcendental of this
+      // kernel (library call: argument reduction, long polynomial,
+      // division — ~200 cycles on a NetBurst-class core).
+      chg(ctx, sim::OpClass::kDiv, 2);
+      chg(ctx, sim::OpClass::kSqrt, 3);
+      chg(ctx, sim::OpClass::kFloatAlu, 25);
+      chg(ctx, sim::OpClass::kIntAlu, 10);
+      chg(ctx, sim::OpClass::kBranch, 4);
+      float angle = std::atan2(static_cast<float>(gy),
+                               static_cast<float>(gx));
+      if (angle < 0.0f) angle += kTwoPi;
+
+      // Quantization: angle bins are centered on the 8 compass
+      // directions (boundaries at 22.5 + k*45 degrees, whose slopes are
+      // irrational — no integer gradient pair lands exactly on one, so
+      // the binning is robust to the SPE port's comparison-based
+      // equivalent). Plus magnitude bin + histogram update.
+      chg(ctx, sim::OpClass::kMul, 2);
+      chg(ctx, sim::OpClass::kFloatAlu, 1);
+      chg(ctx, sim::OpClass::kIntAlu, 6);
+      chg(ctx, sim::OpClass::kBranch, 2);
+      chg(ctx, sim::OpClass::kLoad, 1);
+      chg(ctx, sim::OpClass::kStore, 1);
+      int abin = static_cast<int>((angle + kTwoPi / 16.0f) *
+                                  (kEdgeAngleBins / kTwoPi));
+      if (abin >= kEdgeAngleBins) abin = 0;  // wrap of the last half-bin
+      int mbin = static_cast<int>(mag * (kEdgeMagBins / kEdgeMagMax));
+      if (mbin >= kEdgeMagBins) mbin = kEdgeMagBins - 1;
+      counts[static_cast<std::size_t>(abin * kEdgeMagBins + mbin)] += 1;
+    }
+  }
+
+  // Normalization over all pixels (so the vector also encodes edge
+  // density; stable when an image has no edges at all).
+  FeatureVector out;
+  out.name = "edge_histogram";
+  out.values.resize(counts.size());
+  float inv = 1.0f / (static_cast<float>(w) * static_cast<float>(h));
+  chg(ctx, sim::OpClass::kDiv, 1);
+  chg(ctx, sim::OpClass::kMul, counts.size());
+  chg(ctx, sim::OpClass::kStore, counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out.values[i] = static_cast<float>(counts[i]) * inv;
+  }
+  return out;
+}
+
+}  // namespace cellport::features

@@ -1,0 +1,30 @@
+// EHExtract: Sobel edge histogram (28% of per-image time).
+//
+// "The edge histogram extraction is a sequence of filters applied in
+// succession on the image: color conversion RGB to Gray, image edge
+// detection with the Sobel operators, edge angle and magnitude computation
+// per pixel, plus the quantization and normalization operations specific
+// to histogram-like functions." (Section 5.2, kernel 4)
+//
+// The feature is 64-dimensional: 8 edge-direction bins x 8 magnitude bins,
+// L1-normalized over all pixels whose gradient magnitude exceeds a small
+// threshold (flat pixels carry no edge information).
+#pragma once
+
+#include "features/feature.h"
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::features {
+
+inline constexpr int kEdgeAngleBins = 8;
+inline constexpr int kEdgeMagBins = 8;
+/// Sobel responses range in [-1020, 1020]; magnitudes up to ~1442.
+inline constexpr float kEdgeMagMax = 1442.0f;
+/// Gradient magnitudes below this are treated as flat (no edge).
+inline constexpr float kEdgeMagThreshold = 8.0f;
+
+FeatureVector extract_edge_histogram(const img::RgbImage& image,
+                                     sim::ScalarContext* ctx = nullptr);
+
+}  // namespace cellport::features

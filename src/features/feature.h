@@ -1,0 +1,23 @@
+// Common feature-vector type shared by the extractors and the classifier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cellport::features {
+
+/// MARVEL's four visual features (Section 5.1: two color features, edge,
+/// and texture) plus their published dimensionalities.
+inline constexpr int kColorHistogramDim = 166;
+inline constexpr int kColorCorrelogramDim = 166;
+inline constexpr int kTextureDim = 12;
+inline constexpr int kEdgeHistogramDim = 64;
+
+struct FeatureVector {
+  std::string name;
+  std::vector<float> values;
+
+  std::size_t dim() const { return values.size(); }
+};
+
+}  // namespace cellport::features

@@ -1,0 +1,39 @@
+#include "features/texture.h"
+
+#include <cmath>
+
+#include "img/color.h"
+#include "img/wavelet.h"
+
+namespace cellport::features {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+FeatureVector extract_texture(const img::RgbImage& image,
+                              sim::ScalarContext* ctx) {
+  img::GrayImage gray = img::rgb_to_gray(image, ctx);
+  img::WaveletPyramid pyr = img::haar_decompose(gray, kTextureLevels, ctx);
+
+  FeatureVector out;
+  out.name = "texture";
+  out.values.reserve(kTextureDim);
+  for (const auto& level : pyr.levels) {
+    for (const img::FloatImage* plane :
+         {&level.lh, &level.hl, &level.hh}) {
+      double e = img::subband_energy(*plane, ctx);
+      // log(1+x) compresses the dynamic range (transcendental: charged
+      // as a sqrt-class op).
+      chg(ctx, sim::OpClass::kSqrt, 1);
+      chg(ctx, sim::OpClass::kStore, 1);
+      out.values.push_back(static_cast<float>(std::log1p(e)));
+    }
+  }
+  return out;
+}
+
+}  // namespace cellport::features

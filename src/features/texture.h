@@ -1,0 +1,24 @@
+// TXExtract: wavelet subband texture (6% of per-image time).
+//
+// "Texture refers to a visual pattern or spatial arrangement of the pixels
+// in an image. In MARVEL, texture features are derived from the pattern of
+// spatial-frequency energy across image subbands." (Section 5.2, kernel 3;
+// Naphade/Lin/Smith's wavelet texture.)
+//
+// Implementation: 4-level 2D Haar pyramid over the luma plane; the feature
+// is the log-energy of the 12 detail subbands (LH/HL/HH per level).
+#pragma once
+
+#include "features/feature.h"
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::features {
+
+/// Decomposition depth (4 levels x 3 detail subbands = 12 dimensions).
+inline constexpr int kTextureLevels = 4;
+
+FeatureVector extract_texture(const img::RgbImage& image,
+                              sim::ScalarContext* ctx = nullptr);
+
+}  // namespace cellport::features

@@ -1,0 +1,91 @@
+#include "features/vmx_variants.h"
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "img/color.h"
+
+namespace cellport::features {
+
+namespace {
+
+using sim::OpClass;
+
+// VMX charge helpers: one 128-bit op occupies one issue slot of the
+// in-order PPE (charged as kFloatAlu / kIntAlu per vector op). The PPE's
+// VMX has estimate-based division like the SPU (refined with a few
+// multiply-adds) and no scatter: histogram updates stay scalar and go
+// through the cache (kLoad/kStore).
+
+/// Per 4 pixels: unpack (3 perms + 3 converts), HSV conversion with two
+/// refined divisions, binning (the compare/select mix of hsv_simd.h).
+void charge_ch_vmx_4px(sim::ScalarContext& ctx) {
+  ctx.charge(OpClass::kLoad, 1);      // one 16B vector load
+  ctx.charge(OpClass::kIntAlu, 6);    // perms + converts (vector slots)
+  ctx.charge(OpClass::kFloatAlu, 30); // minmax, masks, selects, adds
+  ctx.charge(OpClass::kMul, 12);      // scales + 2 refined divisions
+  ctx.charge(OpClass::kIntAlu, 10);   // integer bin assembly
+}
+
+/// Per pixel: scalar histogram read-modify-write through the cache.
+void charge_hist_scatter(sim::ScalarContext& ctx, std::uint64_t px) {
+  ctx.charge(OpClass::kLoad, 2 * px);
+  ctx.charge(OpClass::kIntAlu, px);
+  ctx.charge(OpClass::kStore, px);
+}
+
+}  // namespace
+
+FeatureVector extract_color_histogram_vmx(const img::RgbImage& image,
+                                          sim::ScalarContext* ctx) {
+  FeatureVector out = extract_color_histogram(image, nullptr);
+  if (ctx != nullptr) {
+    auto px = static_cast<std::uint64_t>(image.width()) * image.height();
+    for (std::uint64_t p = 0; p + 4 <= px; p += 4) charge_ch_vmx_4px(*ctx);
+    charge_hist_scatter(*ctx, px);
+    ctx->charge(OpClass::kDiv, 1);                  // normalization
+    ctx->charge(OpClass::kMul, img::kHsvBins / 4);  // 4-wide scale
+    ctx->charge(OpClass::kStore, img::kHsvBins / 4);
+  }
+  return out;
+}
+
+FeatureVector extract_color_correlogram_vmx(const img::RgbImage& image,
+                                            sim::ScalarContext* ctx) {
+  FeatureVector out = extract_color_correlogram(image, nullptr);
+  if (ctx != nullptr) {
+    auto px = static_cast<std::uint64_t>(image.width()) * image.height();
+    // Quantization pass (same as CH VMX).
+    for (std::uint64_t p = 0; p + 4 <= px; p += 4) charge_ch_vmx_4px(*ctx);
+    // Window counting: per pixel, 17 rows x 17 offsets 16-wide: per dy,
+    // 3 vector loads + 17 (perm + cmpeq + sub) ops for 16 centers.
+    constexpr std::uint64_t kRows = 17;
+    std::uint64_t groups = (px + 15) / 16;
+    ctx->charge(OpClass::kLoad, groups * kRows * 3);
+    ctx->charge(OpClass::kIntAlu, groups * kRows * (17 * 3 + 4));
+    // Per-center scalar scatter into same/possible.
+    charge_hist_scatter(*ctx, 2 * px);
+    ctx->charge(OpClass::kDiv, img::kHsvBins);
+  }
+  return out;
+}
+
+FeatureVector extract_edge_histogram_vmx(const img::RgbImage& image,
+                                         sim::ScalarContext* ctx) {
+  FeatureVector out = extract_edge_histogram(image, nullptr);
+  if (ctx != nullptr) {
+    auto px = static_cast<std::uint64_t>(image.width()) * image.height();
+    std::uint64_t groups = (px + 7) / 8;
+    // Gray conversion 8-wide + Sobel 8-wide + widen/square + branch-free
+    // bins (the SPE port's structure, through VMX issue slots).
+    ctx->charge(OpClass::kLoad, groups * 5);
+    ctx->charge(OpClass::kIntAlu, groups * 40);
+    ctx->charge(OpClass::kFloatAlu, groups * 30);
+    ctx->charge(OpClass::kMul, groups * 10);
+    charge_hist_scatter(*ctx, px);
+    ctx->charge(OpClass::kDiv, 1);
+  }
+  return out;
+}
+
+}  // namespace cellport::features

@@ -1,0 +1,39 @@
+// SIC — a simple DCT image codec.
+//
+// MARVEL's preprocessing step reads and decompresses JPEG-like images
+// before feature extraction (2% of per-image time; most of the remaining
+// preprocessing is disk I/O). The authors' image set and decoder are not
+// available, so SIC provides the same code path: a baseline-JPEG-shaped
+// lossy codec (4:2:0-free, per-channel 8x8 DCT, uniform quantization,
+// zigzag scan, run-length + varint entropy coding). It is a real codec —
+// encode/decode round-trips within the chosen quality's error bound — and
+// its decode cost is charged to the preprocessing phase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::img {
+
+struct SicEncoded {
+  std::vector<std::uint8_t> bytes;
+  int width = 0;
+  int height = 0;
+};
+
+/// Encodes an RGB image. `quality` in [1, 100]; higher keeps more detail.
+SicEncoded sic_encode(const RgbImage& src, int quality = 85);
+
+/// Decodes a SIC stream. Throws IoError on malformed input. Charges the
+/// decode op mix (entropy decode + dequant + IDCT per block) when
+/// ctx != null — this is MARVEL's "image reading and decompressing" cost.
+RgbImage sic_decode(const SicEncoded& enc,
+                    sim::ScalarContext* ctx = nullptr);
+
+/// Peak signal-to-noise ratio between two images (round-trip quality).
+double psnr(const RgbImage& a, const RgbImage& b);
+
+}  // namespace cellport::img

@@ -1,0 +1,45 @@
+// 2D convolution, border policies, and the Sobel operators.
+//
+// Section 3.4's worked example: a convolution filter processed in DMA
+// slices must handle border conditions at slice edges. The border policy
+// here is explicit so the sliced SPE implementation and the whole-image
+// reference can be proven equivalent by the property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::img {
+
+/// How pixels outside the image are produced.
+enum class Border : std::uint8_t {
+  kClamp,    // replicate the edge pixel
+  kReflect,  // mirror across the edge
+  kZero,     // treat outside as 0
+};
+
+/// Fixed 3x3 integer kernel.
+struct Kernel3x3 {
+  int k[3][3];
+  /// Right-shift applied to the accumulated sum (divisor 2^shift).
+  int shift = 0;
+};
+
+/// Sobel horizontal/vertical gradient kernels.
+Kernel3x3 sobel_gx();
+Kernel3x3 sobel_gy();
+
+/// Convolves `src` with `k`; the signed result is clamped into [lo, hi].
+/// Output element (x,y) uses the border policy for out-of-image taps.
+/// Charges its op mix when ctx != null (loads, multiplies, adds, clamp).
+FloatImage convolve3x3(const GrayImage& src, const Kernel3x3& k,
+                       Border border, sim::ScalarContext* ctx = nullptr);
+
+/// Signed Sobel response at one pixel (used by both the reference edge
+/// extractor and the tests' golden values).
+int sobel_at(const GrayImage& src, int x, int y, const Kernel3x3& k,
+             Border border);
+
+}  // namespace cellport::img

@@ -1,0 +1,96 @@
+#include "img/ppm.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace cellport::img {
+
+namespace {
+
+// Reads one whitespace/comment-delimited token from a PNM header.
+std::string next_token(std::istream& in) {
+  std::string tok;
+  for (;;) {
+    int c = in.get();
+    if (c == EOF) throw cellport::IoError("truncated PNM header");
+    if (c == '#') {
+      while (c != '\n' && c != EOF) c = in.get();
+      continue;
+    }
+    if (std::isspace(c)) {
+      if (!tok.empty()) return tok;
+      continue;
+    }
+    tok.push_back(static_cast<char>(c));
+  }
+}
+
+void read_header(std::istream& in, const char* magic, int& w, int& h) {
+  std::string m = next_token(in);
+  if (m != magic) {
+    throw cellport::IoError("bad magic '" + m + "', expected " + magic);
+  }
+  w = std::stoi(next_token(in));
+  h = std::stoi(next_token(in));
+  int maxval = std::stoi(next_token(in));
+  if (w <= 0 || h <= 0) throw cellport::IoError("bad PNM dimensions");
+  if (maxval != 255) throw cellport::IoError("only maxval 255 supported");
+}
+
+}  // namespace
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw cellport::IoError("cannot open " + path);
+  int w = 0;
+  int h = 0;
+  read_header(in, "P6", w, h);
+  RgbImage img(w, h);
+  for (int y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(img.row(y)),
+            static_cast<std::streamsize>(w) * 3);
+    if (!in) throw cellport::IoError("truncated pixel data in " + path);
+  }
+  return img;
+}
+
+void write_ppm(const RgbImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw cellport::IoError("cannot create " + path);
+  out << "P6\n" << image.width() << " " << image.height() << "\n255\n";
+  for (int y = 0; y < image.height(); ++y) {
+    out.write(reinterpret_cast<const char*>(image.row(y)),
+              static_cast<std::streamsize>(image.width()) * 3);
+  }
+  if (!out) throw cellport::IoError("write failed for " + path);
+}
+
+GrayImage read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw cellport::IoError("cannot open " + path);
+  int w = 0;
+  int h = 0;
+  read_header(in, "P5", w, h);
+  GrayImage img(w, h);
+  for (int y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(img.row(y)),
+            static_cast<std::streamsize>(w));
+    if (!in) throw cellport::IoError("truncated pixel data in " + path);
+  }
+  return img;
+}
+
+void write_pgm(const GrayImage& image, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw cellport::IoError("cannot create " + path);
+  out << "P5\n" << image.width() << " " << image.height() << "\n255\n";
+  for (int y = 0; y < image.height(); ++y) {
+    out.write(reinterpret_cast<const char*>(image.row(y)),
+              static_cast<std::streamsize>(image.width()));
+  }
+  if (!out) throw cellport::IoError("write failed for " + path);
+}
+
+}  // namespace cellport::img

@@ -1,0 +1,22 @@
+// Binary PPM (P6) / PGM (P5) image I/O.
+#pragma once
+
+#include <string>
+
+#include "img/image.h"
+
+namespace cellport::img {
+
+/// Reads a binary P6 PPM file. Throws IoError on malformed input.
+RgbImage read_ppm(const std::string& path);
+
+/// Writes a binary P6 PPM file.
+void write_ppm(const RgbImage& image, const std::string& path);
+
+/// Reads a binary P5 PGM file.
+GrayImage read_pgm(const std::string& path);
+
+/// Writes a binary P5 PGM file.
+void write_pgm(const GrayImage& image, const std::string& path);
+
+}  // namespace cellport::img

@@ -1,0 +1,33 @@
+#include "img/slice.h"
+
+#include <algorithm>
+
+namespace cellport::img {
+
+SlicePlan::SlicePlan(int height, int max_fetch_rows, int halo) {
+  if (height < 1) throw cellport::ConfigError("empty image");
+  if (halo < 0) throw cellport::ConfigError("negative halo");
+  int produce_rows = max_fetch_rows - 2 * halo;
+  if (produce_rows < 1) {
+    throw cellport::ConfigError(
+        "slice budget of " + std::to_string(max_fetch_rows) +
+        " rows cannot produce output with a halo of " +
+        std::to_string(halo));
+  }
+  for (int y = 0; y < height; y += produce_rows) {
+    Slice s;
+    s.y_begin = y;
+    s.y_end = std::min(height, y + produce_rows);
+    s.fetch_begin = std::max(0, s.y_begin - halo);
+    s.fetch_end = std::min(height, s.y_end + halo);
+    slices_.push_back(s);
+  }
+}
+
+int SlicePlan::max_fetch_rows() const {
+  int m = 0;
+  for (const auto& s : slices_) m = std::max(m, s.fetch_rows());
+  return m;
+}
+
+}  // namespace cellport::img

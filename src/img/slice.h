@@ -1,0 +1,45 @@
+// Slice planning for DMA-staged image processing.
+//
+// Images larger than the SPE local store are processed in horizontal row
+// bands (Section 3.4: "iterative DMA transfers interleaved with
+// processing"). A SlicePlan chooses the band height from an LS budget and
+// adds the halo rows a windowed filter needs so that sliced processing is
+// bit-identical to whole-image processing (the paper's convolution border
+// discussion).
+#pragma once
+
+#include <vector>
+
+#include "support/error.h"
+
+namespace cellport::img {
+
+struct Slice {
+  int y_begin = 0;    // first produced row
+  int y_end = 0;      // one past the last produced row
+  int fetch_begin = 0;  // first row to DMA in (includes top halo)
+  int fetch_end = 0;    // one past the last fetched row (bottom halo)
+
+  int rows() const { return y_end - y_begin; }
+  int fetch_rows() const { return fetch_end - fetch_begin; }
+};
+
+class SlicePlan {
+ public:
+  /// Plans slices over `height` rows, fetching at most `max_fetch_rows`
+  /// rows per slice including a `halo`-row border on each side (halo rows
+  /// are clamped at the image boundary).
+  SlicePlan(int height, int max_fetch_rows, int halo = 0);
+
+  const std::vector<Slice>& slices() const { return slices_; }
+  std::size_t count() const { return slices_.size(); }
+  const Slice& operator[](std::size_t i) const { return slices_[i]; }
+
+  /// Largest fetch_rows over all slices (sizes the LS buffers).
+  int max_fetch_rows() const;
+
+ private:
+  std::vector<Slice> slices_;
+};
+
+}  // namespace cellport::img

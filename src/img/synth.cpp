@@ -1,0 +1,194 @@
+#include "img/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace cellport::img {
+
+namespace {
+
+std::uint8_t clamp8(double v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+struct Color {
+  double r, g, b;
+};
+
+Color random_color(cellport::Rng& rng) {
+  return Color{rng.uniform(20, 235), rng.uniform(20, 235),
+               rng.uniform(20, 235)};
+}
+
+void fill_gradient(RgbImage& img, cellport::Rng& rng) {
+  Color c0 = random_color(rng);
+  Color c1 = random_color(rng);
+  double cx = rng.uniform(0.2, 0.8) * img.width();
+  double cy = rng.uniform(0.2, 0.8) * img.height();
+  double radius = rng.uniform(0.15, 0.35) * img.width();
+  Color disc = random_color(rng);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      double t = (static_cast<double>(x) / img.width() +
+                  static_cast<double>(y) / img.height()) *
+                 0.5;
+      double r = c0.r + (c1.r - c0.r) * t;
+      double g = c0.g + (c1.g - c0.g) * t;
+      double b = c0.b + (c1.b - c0.b) * t;
+      double d = std::hypot(x - cx, y - cy);
+      if (d < radius) {
+        double w = 1.0 - d / radius;
+        r = r + (disc.r - r) * w;
+        g = g + (disc.g - g) * w;
+        b = b + (disc.b - b) * w;
+      }
+      img.at(x, y, 0) = clamp8(r);
+      img.at(x, y, 1) = clamp8(g);
+      img.at(x, y, 2) = clamp8(b);
+    }
+  }
+}
+
+void fill_checkers(RgbImage& img, cellport::Rng& rng) {
+  int cell = static_cast<int>(rng.next_below(24)) + 8;
+  Color a = random_color(rng);
+  Color b = random_color(rng);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      bool odd = ((x / cell) + (y / cell)) & 1;
+      const Color& c = odd ? a : b;
+      img.at(x, y, 0) = clamp8(c.r);
+      img.at(x, y, 1) = clamp8(c.g);
+      img.at(x, y, 2) = clamp8(c.b);
+    }
+  }
+}
+
+// Band-limited value noise: a few octaves of bilinearly interpolated
+// random lattices, different per channel.
+void fill_texture(RgbImage& img, cellport::Rng& rng) {
+  constexpr int kOctaves = 4;
+  for (int ch = 0; ch < 3; ++ch) {
+    double base = rng.uniform(60, 180);
+    // Lattice per octave.
+    for (int oct = 0; oct < kOctaves; ++oct) {
+      int step = 64 >> oct;
+      if (step < 4) break;
+      double amp = 90.0 / (1 << oct);
+      int gw = img.width() / step + 2;
+      int gh = img.height() / step + 2;
+      std::vector<double> lattice(static_cast<std::size_t>(gw) * gh);
+      for (auto& v : lattice) v = rng.uniform(-amp, amp);
+      for (int y = 0; y < img.height(); ++y) {
+        int gy = y / step;
+        double fy = static_cast<double>(y % step) / step;
+        for (int x = 0; x < img.width(); ++x) {
+          int gx = x / step;
+          double fx = static_cast<double>(x % step) / step;
+          double v00 = lattice[static_cast<std::size_t>(gy) * gw + gx];
+          double v10 = lattice[static_cast<std::size_t>(gy) * gw + gx + 1];
+          double v01 =
+              lattice[static_cast<std::size_t>(gy + 1) * gw + gx];
+          double v11 =
+              lattice[static_cast<std::size_t>(gy + 1) * gw + gx + 1];
+          double v = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                     v01 * (1 - fx) * fy + v11 * fx * fy;
+          double cur = oct == 0 ? base : img.at(x, y, ch);
+          img.at(x, y, ch) = clamp8(cur + v);
+        }
+      }
+    }
+  }
+}
+
+void fill_shapes(RgbImage& img, cellport::Rng& rng) {
+  fill_gradient(img, rng);
+  int n = static_cast<int>(rng.next_below(6)) + 4;
+  for (int i = 0; i < n; ++i) {
+    Color c = random_color(rng);
+    bool disc = rng.next_below(2) == 0;
+    int x0 = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(img.width())));
+    int y0 = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(img.height())));
+    int size = static_cast<int>(rng.next_below(60)) + 16;
+    for (int y = std::max(0, y0 - size);
+         y < std::min(img.height(), y0 + size); ++y) {
+      for (int x = std::max(0, x0 - size);
+           x < std::min(img.width(), x0 + size); ++x) {
+        if (disc && std::hypot(x - x0, y - y0) > size) continue;
+        img.at(x, y, 0) = clamp8(c.r);
+        img.at(x, y, 1) = clamp8(c.g);
+        img.at(x, y, 2) = clamp8(c.b);
+      }
+    }
+  }
+}
+
+void fill_stripes(RgbImage& img, cellport::Rng& rng) {
+  double angle = rng.uniform(0, 3.14159265);
+  double freq = rng.uniform(0.05, 0.25);
+  Color a = random_color(rng);
+  Color b = random_color(rng);
+  double ca = std::cos(angle);
+  double sa = std::sin(angle);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      double phase = (x * ca + y * sa) * freq;
+      bool on = (static_cast<long long>(std::floor(phase)) & 1) != 0;
+      const Color& c = on ? a : b;
+      img.at(x, y, 0) = clamp8(c.r);
+      img.at(x, y, 1) = clamp8(c.g);
+      img.at(x, y, 2) = clamp8(c.b);
+    }
+  }
+}
+
+// Mild per-pixel sensor noise, applied to every scene: natural photos
+// (the paper's image sets) are never flat, and without it the
+// edge-histogram kernel's per-pixel angle/magnitude math would be skipped
+// on large smooth regions, distorting the Section 5.2 coverage profile.
+void add_sensor_noise(RgbImage& img, cellport::Rng& rng, double sigma) {
+  for (int y = 0; y < img.height(); ++y) {
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < img.width() * 3; ++x) {
+      row[x] = clamp8(row[x] + rng.normal(0.0, sigma));
+    }
+  }
+}
+
+}  // namespace
+
+RgbImage synth_image(SceneKind kind, std::uint64_t seed, int width,
+                     int height) {
+  cellport::Rng rng(seed ^ (static_cast<std::uint64_t>(kind) << 56));
+  RgbImage img(width, height);
+  switch (kind) {
+    case SceneKind::kGradient: fill_gradient(img, rng); break;
+    case SceneKind::kCheckers: fill_checkers(img, rng); break;
+    case SceneKind::kTexture: fill_texture(img, rng); break;
+    case SceneKind::kShapes: fill_shapes(img, rng); break;
+    case SceneKind::kStripes: fill_stripes(img, rng); break;
+  }
+  add_sensor_noise(img, rng, 4.0);
+  return img;
+}
+
+std::vector<RgbImage> synth_image_set(int count, std::uint64_t seed,
+                                      int width, int height) {
+  static constexpr SceneKind kKinds[] = {
+      SceneKind::kGradient, SceneKind::kCheckers, SceneKind::kTexture,
+      SceneKind::kShapes, SceneKind::kStripes};
+  std::vector<RgbImage> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(synth_image(kKinds[i % 5],
+                              seed + static_cast<std::uint64_t>(i) * 7919,
+                              width, height));
+  }
+  return out;
+}
+
+}  // namespace cellport::img

@@ -1,0 +1,110 @@
+#include "img/wavelet.h"
+
+#include "support/error.h"
+
+namespace cellport::img {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+void haar_step(const FloatImage& src, FloatImage& ll, FloatImage& lh,
+               FloatImage& hl, FloatImage& hh, sim::ScalarContext* ctx) {
+  int hw = src.width() / 2;
+  int hh_dim = src.height() / 2;
+  if (hw < 1 || hh_dim < 1) {
+    throw cellport::ConfigError("haar_step: plane too small to split");
+  }
+  ll = FloatImage(hw, hh_dim);
+  lh = FloatImage(hw, hh_dim);
+  hl = FloatImage(hw, hh_dim);
+  hh = FloatImage(hw, hh_dim);
+  for (int y = 0; y < hh_dim; ++y) {
+    for (int x = 0; x < hw; ++x) {
+      // 4 loads, 8 float add/sub, 4 scale-multiplies, 4 stores per output.
+      chg(ctx, sim::OpClass::kLoad, 4);
+      chg(ctx, sim::OpClass::kFloatAlu, 8);
+      chg(ctx, sim::OpClass::kMul, 4);
+      chg(ctx, sim::OpClass::kStore, 4);
+      float a = src.at(2 * x, 2 * y);
+      float b = src.at(2 * x + 1, 2 * y);
+      float c = src.at(2 * x, 2 * y + 1);
+      float d = src.at(2 * x + 1, 2 * y + 1);
+      // Pairwise association (row sums first): the same order the SIMD
+      // port uses, so both produce bit-identical planes.
+      float ab_p = a + b;
+      float ab_m = a - b;
+      float cd_p = c + d;
+      float cd_m = c - d;
+      ll.at(x, y) = 0.25f * (ab_p + cd_p);
+      lh.at(x, y) = 0.25f * (ab_m + cd_m);
+      hl.at(x, y) = 0.25f * (ab_p - cd_p);
+      hh.at(x, y) = 0.25f * (ab_m - cd_m);
+    }
+  }
+}
+
+FloatImage haar_unstep(const FloatImage& ll, const FloatImage& lh,
+                       const FloatImage& hl, const FloatImage& hh) {
+  FloatImage out(ll.width() * 2, ll.height() * 2);
+  for (int y = 0; y < ll.height(); ++y) {
+    for (int x = 0; x < ll.width(); ++x) {
+      float l = ll.at(x, y);
+      float h1 = lh.at(x, y);
+      float h2 = hl.at(x, y);
+      float h3 = hh.at(x, y);
+      out.at(2 * x, 2 * y) = l + h1 + h2 + h3;
+      out.at(2 * x + 1, 2 * y) = l - h1 + h2 - h3;
+      out.at(2 * x, 2 * y + 1) = l + h1 - h2 - h3;
+      out.at(2 * x + 1, 2 * y + 1) = l - h1 - h2 + h3;
+    }
+  }
+  return out;
+}
+
+WaveletPyramid haar_decompose(const GrayImage& src, int levels,
+                              sim::ScalarContext* ctx) {
+  if (levels < 1) {
+    throw cellport::ConfigError("haar_decompose needs >= 1 level");
+  }
+  // Promote to float.
+  FloatImage current(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      chg(ctx, sim::OpClass::kLoad, 1);
+      chg(ctx, sim::OpClass::kFloatAlu, 1);
+      chg(ctx, sim::OpClass::kStore, 1);
+      current.at(x, y) = static_cast<float>(src.at(x, y));
+    }
+  }
+  WaveletPyramid pyr;
+  for (int l = 0; l < levels; ++l) {
+    WaveletLevel lvl;
+    FloatImage next;
+    haar_step(current, next, lvl.lh, lvl.hl, lvl.hh, ctx);
+    pyr.levels.push_back(std::move(lvl));
+    current = std::move(next);
+  }
+  pyr.ll = std::move(current);
+  return pyr;
+}
+
+double subband_energy(const FloatImage& plane, sim::ScalarContext* ctx) {
+  double acc = 0.0;
+  for (int y = 0; y < plane.height(); ++y) {
+    for (int x = 0; x < plane.width(); ++x) {
+      chg(ctx, sim::OpClass::kLoad, 1);
+      chg(ctx, sim::OpClass::kMul, 1);
+      chg(ctx, sim::OpClass::kFloatAlu, 1);
+      float v = plane.at(x, y);
+      acc += static_cast<double>(v) * v;
+    }
+  }
+  chg(ctx, sim::OpClass::kDiv, 1);
+  return acc / (static_cast<double>(plane.width()) * plane.height());
+}
+
+}  // namespace cellport::img

@@ -1,0 +1,49 @@
+// 2D Haar wavelet decomposition for texture features.
+//
+// MARVEL derives texture from "the pattern of spatial-frequency energy
+// across image subbands" (Naphade/Lin/Smith's wavelet texture). We
+// implement an n-level 2D Haar pyramid: each level splits the current
+// low-pass plane into LL, LH, HL, HH; texture features are the per-subband
+// energies (mean of squared coefficients) of the 3n detail subbands plus
+// the final LL, giving 3n+1 values.
+#pragma once
+
+#include <vector>
+
+#include "img/image.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::img {
+
+/// One decomposition level's detail planes.
+struct WaveletLevel {
+  FloatImage lh;  // horizontal detail
+  FloatImage hl;  // vertical detail
+  FloatImage hh;  // diagonal detail
+};
+
+struct WaveletPyramid {
+  std::vector<WaveletLevel> levels;
+  FloatImage ll;  // final low-pass plane
+};
+
+/// Decomposes `src` (converted to float) into `levels` Haar levels.
+/// Requires the image to be at least 2^levels in both dimensions.
+WaveletPyramid haar_decompose(const GrayImage& src, int levels,
+                              sim::ScalarContext* ctx = nullptr);
+
+/// Mean squared coefficient of a plane (subband energy).
+double subband_energy(const FloatImage& plane,
+                      sim::ScalarContext* ctx = nullptr);
+
+/// Single-level 2D Haar step on a float plane: fills ll/lh/hl/hh, each
+/// half the size (floor) of `src` in both dimensions.
+void haar_step(const FloatImage& src, FloatImage& ll, FloatImage& lh,
+               FloatImage& hl, FloatImage& hh,
+               sim::ScalarContext* ctx = nullptr);
+
+/// Inverse of haar_step (for the codec and round-trip tests).
+FloatImage haar_unstep(const FloatImage& ll, const FloatImage& lh,
+                       const FloatImage& hl, const FloatImage& hh);
+
+}  // namespace cellport::img

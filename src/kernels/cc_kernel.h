@@ -1,0 +1,25 @@
+// CCExtract on the SPE: 17x17-window HSV auto-correlogram.
+//
+// The optimized version (SPU_Run) streams RGB rows through the local
+// store with multi-buffered DMA, quantizes them with the 4-way SIMD HSV
+// quantizer into a ring buffer of bin rows (17 + block rows deep), and
+// counts same-bin neighbors 16 centers at a time with byte-compare
+// SIMD: per window offset, one unaligned vector load + compare + masked
+// accumulate. Image borders are handled with sentinel columns (0xFF
+// never matches a real bin) so the SIMD loop needs no edge branches; the
+// per-pixel clamped window area is accounted analytically, exactly as
+// the scalar reference clamps its windows.
+//
+// The naive version (SPU_Run_Naive) is the straight C port of
+// Section 5.3: scalar byte loads, a branchy inner compare whose taken
+// branches flush the unhinted SPU pipeline — the kernel that famously
+// ran 0.43x (slower than the PPE) before optimization.
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+port::KernelModule& cc_module();
+
+}  // namespace cellport::kernels

@@ -1,0 +1,22 @@
+// ConceptDetect on the SPE: SVM scoring of one feature vector against a
+// set of concept models.
+//
+// The support vectors of a model set (up to ~150 KB) are streamed from
+// main memory through double-buffered DMA while the SPU computes the
+// previous chunk's RBF terms with 4-way fused multiply-adds. The
+// per-support-vector exp() is software-emulated (the SPU has no scalar
+// unit, and the accumulation is kept in double precision to match the
+// reference decision function) — which is why the paper's ConceptDet
+// shows the smallest optimized speed-up of the five kernels (10.80x).
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+port::KernelModule& cd_module();
+
+/// Opcode of the module's kNN detection path (SVM detection is SPU_Run).
+std::uint32_t cd_knn_opcode();
+
+}  // namespace cellport::kernels

@@ -1,0 +1,20 @@
+// CHExtract on the SPE: 166-bin HSV color histogram.
+//
+// Two entry points, one module (the paper's iterative-optimization story:
+// "different kernel versions that adhere to the same interface can be
+// easily plugged in via the SPEInterface stub"):
+//   SPU_Run        — optimized: multi-buffered row DMA, 4-way SIMD HSV
+//                    quantization (hsv_simd.h), branch-free binning.
+//   SPU_Run_Naive  — the straight C port measured in Section 5.3 before
+//                    optimization: single-buffered DMA, scalar math with
+//                    SPU scalar access penalties and unhinted branches.
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+/// The CHExtract kernel module (loadable on any SPE).
+port::KernelModule& ch_module();
+
+}  // namespace cellport::kernels

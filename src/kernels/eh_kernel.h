@@ -1,0 +1,23 @@
+// EHExtract on the SPE: Sobel edge histogram.
+//
+// The optimized version (SPU_Run) is the paper's flagship optimization
+// case (65.94x in Table 1): the reference's per-pixel sqrt and atan2
+// library calls are replaced entirely — magnitude bins come from
+// comparing the squared gradient against precomputed squared boundaries,
+// and direction bins from branch-free octant comparisons (the boundaries
+// sit at irrational slopes, so the comparison rule agrees with the
+// reference's atan2-based rule for every integer gradient). Sobel itself
+// runs 8-wide on halfwords with mule/mulo widening for the squares.
+//
+// The naive version (SPU_Run_Naive) keeps the reference's scalar
+// float/sqrt/atan2 structure (software-emulated on the SPU, which has no
+// scalar unit) — the 3.85x configuration of Section 5.3.
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+port::KernelModule& eh_module();
+
+}  // namespace cellport::kernels

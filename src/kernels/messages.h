@@ -1,0 +1,91 @@
+// Wrapper-structure definitions shared between the PPE stubs and the SPE
+// kernels (the paper's Section 3.3 "common data structure" / Listing 4's
+// FILL_MSG_FROM_COLORIMAGE pattern).
+//
+// Every struct is a 16-byte-padded POD: its address travels through the
+// mailbox, the kernel DMAs the struct first, then the buffers it points
+// to. Output buffers are included in the wrapper, "for simplicity", as in
+// the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace cellport::kernels {
+
+/// Opcodes of the MARVEL kernels (Listing 1's SPU_Run_*). One module may
+/// register several related functions (the paper clusters methods into
+/// kernels); the optimized and naive entry points share a module.
+inline constexpr std::uint32_t SPU_Run = 1;        // optimized kernel body
+inline constexpr std::uint32_t SPU_Run_Naive = 2;  // pre-optimization port
+/// CH only: the lookup-table variant ("change the algorithm for better
+/// vectorization"): a 32 KiB 5-bit-per-channel bin table resident in the
+/// LS replaces the per-pixel HSV arithmetic entirely, at the cost of
+/// quantization fidelity. bench_ablation measures both sides.
+inline constexpr std::uint32_t SPU_Run_Lut = 3;
+
+/// DMA buffering depth for the optimized kernels (ablation knob; the
+/// paper quotes "double and triple buffering of DMA transfers").
+enum BufferingDepth : std::int32_t {
+  kSingleBuffer = 1,
+  kDoubleBuffer = 2,
+  kTripleBuffer = 3,
+};
+
+/// Image-input message used by the four feature-extraction kernels.
+struct alignas(16) ImageMsg {
+  std::uint64_t pixels_ea = 0;  // interleaved RGB8 rows
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::int32_t stride = 0;      // bytes between rows (16-byte multiple)
+  std::int32_t buffering = kDoubleBuffer;
+  std::uint64_t out_ea = 0;     // float output buffer
+  std::int32_t out_count = 0;   // number of floats expected
+  /// Rows per DMA block for streaming kernels; 0 picks the kernel's
+  /// default (ablation knob: LS pressure vs DMA count).
+  std::int32_t block_rows = 0;
+};
+
+/// Concept-detection message: one feature vector against one model set.
+struct alignas(16) DetectMsg {
+  std::uint64_t feature_ea = 0;   // float[dim], 16-byte aligned
+  std::int32_t dim = 0;
+  std::int32_t num_models = 0;
+  std::uint64_t models_ea = 0;    // DetectModelDesc[num_models]
+  std::uint64_t scores_ea = 0;    // double[num_models] output
+  std::int32_t buffering = kDoubleBuffer;
+  std::int32_t pad_ = 0;
+};
+
+/// kNN concept-detection message (the alternative classifier Section 5.1
+/// lists next to SVMs). Exemplars are packed rows in main memory, labels
+/// a parallel int array; the kernel streams exemplars and outputs one
+/// score per label: 2*(k-neighbor fraction) - 1 in [-1, 1].
+struct alignas(16) KnnMsg {
+  std::uint64_t feature_ea = 0;    // float[dim], 16-byte aligned
+  std::int32_t dim = 0;
+  std::int32_t k = 0;
+  std::int32_t num_exemplars = 0;
+  std::int32_t num_labels = 0;     // labels are 0..num_labels-1
+  std::uint64_t exemplars_ea = 0;  // float[num_exemplars * stride]
+  std::uint64_t labels_ea = 0;     // int32[num_exemplars] (16B padded)
+  std::uint64_t scores_ea = 0;     // double[num_labels] output
+  std::int32_t stride = 0;         // floats per exemplar row (16B mult.)
+  std::int32_t buffering = kDoubleBuffer;
+  std::int32_t pad_[2] = {};
+};
+
+/// Per-model descriptor the detection kernel walks (built by the PPE stub
+/// from the SvmModel set; support vectors stay in main memory and are
+/// streamed by DMA).
+struct alignas(16) DetectModelDesc {
+  std::uint64_t sv_ea = 0;     // float[num_sv * sv_stride]
+  std::uint64_t coef_ea = 0;   // float[num_sv] (16-byte padded)
+  std::int32_t num_sv = 0;
+  std::int32_t sv_stride = 0;  // floats per SV row (16-byte multiple)
+  float gamma = 0.0f;
+  float rho = 0.0f;
+  std::int32_t kernel_type = 1;  // SvmKernelType
+  std::int32_t pad_[3] = {};
+};
+
+}  // namespace cellport::kernels

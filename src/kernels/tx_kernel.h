@@ -1,0 +1,19 @@
+// TXExtract on the SPE: 4-level Haar wavelet texture energies.
+//
+// The full float image (330 KB) does not fit in the local store, so the
+// first decomposition level is fused with the streaming gray conversion:
+// row pairs are converted and Haar-stepped as they arrive, detail
+// energies accumulate on the fly, and only the 176x120 LL plane (85 KB)
+// is materialized. Levels 2-4 then run entirely inside the LS. This is
+// Section 3.4's "adapt the kernel to run correctly in an incremental
+// manner" requirement in its strongest form: the algorithm is
+// restructured around the memory ceiling, not just sliced.
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+port::KernelModule& tx_module();
+
+}  // namespace cellport::kernels

@@ -1,0 +1,93 @@
+#include "learn/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.h"
+
+namespace cellport::learn {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  if (k < 1) throw cellport::ConfigError("kNN needs k >= 1");
+}
+
+void KnnClassifier::add(std::vector<float> features, int label) {
+  if (!exemplars_.empty() &&
+      exemplars_.front().features.size() != features.size()) {
+    throw cellport::ConfigError("kNN exemplar dimension mismatch");
+  }
+  exemplars_.push_back(Exemplar{std::move(features), label});
+}
+
+std::vector<std::pair<std::size_t, double>> KnnClassifier::nearest(
+    std::span<const float> x, sim::ScalarContext* ctx) const {
+  if (exemplars_.empty()) {
+    throw cellport::ConfigError("kNN has no exemplars");
+  }
+  if (x.size() != exemplars_.front().features.size()) {
+    throw cellport::ConfigError("kNN input dimension mismatch");
+  }
+  std::vector<std::pair<std::size_t, double>> dist;
+  dist.reserve(exemplars_.size());
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    const auto& e = exemplars_[i].features;
+    chg(ctx, sim::OpClass::kLoad, 2 * x.size());
+    chg(ctx, sim::OpClass::kMul, x.size());
+    chg(ctx, sim::OpClass::kFloatAlu, 2 * x.size());
+    double d = 0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      double diff = static_cast<double>(e[j]) - x[j];
+      d += diff * diff;
+    }
+    dist.emplace_back(i, d);
+  }
+  std::size_t kk = std::min<std::size_t>(static_cast<std::size_t>(k_),
+                                         dist.size());
+  // Partial selection of the k nearest (charged as a partial sort pass).
+  chg(ctx, sim::OpClass::kIntAlu, dist.size() * 2);
+  chg(ctx, sim::OpClass::kBranch, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(kk),
+                    dist.end(), [](const auto& a, const auto& b) {
+                      return a.second != b.second ? a.second < b.second
+                                                  : a.first < b.first;
+                    });
+  dist.resize(kk);
+  return dist;
+}
+
+int KnnClassifier::predict(std::span<const float> x,
+                           sim::ScalarContext* ctx) const {
+  auto top = nearest(x, ctx);
+  std::map<int, int> votes;
+  for (const auto& [idx, d] : top) votes[exemplars_[idx].label] += 1;
+  int best_label = top.empty() ? 0 : exemplars_[top[0].first].label;
+  int best_votes = -1;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best_votes = v;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double KnnClassifier::score(std::span<const float> x, int label,
+                            sim::ScalarContext* ctx) const {
+  auto top = nearest(x, ctx);
+  if (top.empty()) return 0.0;
+  double frac = 0.0;
+  for (const auto& [idx, d] : top) {
+    if (exemplars_[idx].label == label) frac += 1.0;
+  }
+  frac /= static_cast<double>(top.size());
+  return 2.0 * frac - 1.0;
+}
+
+}  // namespace cellport::learn

@@ -1,0 +1,50 @@
+// k-nearest-neighbor classifier.
+//
+// Section 5.1 lists kNN as the alternative statistical classification
+// method MARVEL supports next to SVMs; we provide it both as a baseline
+// classifier and as a comparison point in the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/scalar_context.h"
+
+namespace cellport::learn {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k = 3);
+
+  /// Adds a labeled exemplar.
+  void add(std::vector<float> features, int label);
+
+  std::size_t size() const { return exemplars_.size(); }
+  int k() const { return k_; }
+
+  /// Majority label among the k nearest exemplars (squared Euclidean);
+  /// ties break toward the smaller label. Charges the distance-scan op
+  /// mix when ctx != null.
+  int predict(std::span<const float> x,
+              sim::ScalarContext* ctx = nullptr) const;
+
+  /// Mean soft score in [-1, 1]: fraction of the k nearest exemplars with
+  /// label `label` mapped to [-1, 1] (used as a decision analogue).
+  double score(std::span<const float> x, int label,
+               sim::ScalarContext* ctx = nullptr) const;
+
+ private:
+  std::vector<std::pair<std::size_t, double>> nearest(
+      std::span<const float> x, sim::ScalarContext* ctx) const;
+
+  int k_;
+  struct Exemplar {
+    std::vector<float> features;
+    int label;
+  };
+  std::vector<Exemplar> exemplars_;
+};
+
+}  // namespace cellport::learn

@@ -1,0 +1,266 @@
+#include "learn/model_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "features/feature.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace cellport::learn {
+
+namespace {
+
+// Feature-space geometry knobs for the synthetic generator. Histogram
+// features are L1-normalized and live near the simplex; texture features
+// are log-energies with a larger spread.
+struct FeatureGeometry {
+  float base_scale;   // magnitude of the cluster center entries
+  float noise;        // per-SV jitter around the center
+  float gamma;        // RBF width matched to typical distances
+  bool normalize;     // L1-normalize vectors (histogram features)
+};
+
+FeatureGeometry geometry_for(int dim) {
+  if (dim >= 64) return FeatureGeometry{1.0f, 0.05f, 20.0f, true};
+  return FeatureGeometry{4.0f, 0.6f, 0.05f, false};
+}
+
+std::vector<float> random_center(int dim, const FeatureGeometry& geo,
+                                 cellport::Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(dim));
+  for (auto& x : v) {
+    x = static_cast<float>(std::abs(rng.normal(0.0, 1.0)) * geo.base_scale);
+  }
+  if (geo.normalize) {
+    float sum = 0;
+    for (float x : v) sum += x;
+    if (sum > 0) {
+      for (auto& x : v) x /= sum;
+    }
+  }
+  return v;
+}
+
+SvmModel synth_model(const std::string& name, int dim, int n_sv,
+                     const FeatureGeometry& geo, cellport::Rng& rng) {
+  std::vector<float> center = random_center(dim, geo, rng);
+  std::vector<float> svs;
+  std::vector<float> coef;
+  svs.reserve(static_cast<std::size_t>(dim) * n_sv);
+  for (int i = 0; i < n_sv; ++i) {
+    float sum = 0;
+    std::vector<float> sv(static_cast<std::size_t>(dim));
+    for (int d = 0; d < dim; ++d) {
+      float x = center[static_cast<std::size_t>(d)] +
+                static_cast<float>(rng.normal(0.0, geo.noise)) *
+                    (geo.normalize ? center[static_cast<std::size_t>(d)] +
+                                         0.01f
+                                   : 1.0f);
+      x = std::max(0.0f, x);
+      sv[static_cast<std::size_t>(d)] = x;
+      sum += x;
+    }
+    if (geo.normalize && sum > 0) {
+      for (auto& x : sv) x /= sum;
+    }
+    svs.insert(svs.end(), sv.begin(), sv.end());
+    float mag = static_cast<float>(rng.uniform(0.1, 1.0));
+    coef.push_back(i % 2 == 0 ? mag : -mag);
+  }
+  float rho = static_cast<float>(rng.uniform(-0.2, 0.2));
+  return SvmModel(name, SvmKernelType::kRbf, geo.gamma, rho, dim, svs,
+                  coef);
+}
+
+const char* const kConceptNames[] = {
+    "outdoors", "indoors", "sky",     "water",  "building", "vegetation",
+    "face",     "crowd",   "vehicle", "animal", "road",     "snow"};
+
+// --- binary serialization helpers ---
+
+template <typename T>
+void put(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw cellport::IoError("truncated model library");
+  return v;
+}
+
+void put_string(std::ofstream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::ifstream& in) {
+  auto len = get<std::uint32_t>(in);
+  if (len > 4096) throw cellport::IoError("model name too long");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw cellport::IoError("truncated model library");
+  return s;
+}
+
+void write_model(std::ofstream& out, const SvmModel& m, bool active) {
+  put_string(out, m.concept_name());
+  put<std::uint8_t>(out, active ? 1 : 0);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.kernel()));
+  put<float>(out, m.gamma());
+  put<float>(out, m.rho());
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(m.dim()));
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(m.num_sv()));
+  for (float c : m.coef()) put<float>(out, c);
+  for (int i = 0; i < m.num_sv(); ++i) {
+    out.write(reinterpret_cast<const char*>(m.sv_row(i)),
+              static_cast<std::streamsize>(sizeof(float)) * m.dim());
+  }
+}
+
+}  // namespace
+
+ConceptModelSet make_synthetic_set(const std::string& feature_name, int dim,
+                                   int total_svs, int concepts,
+                                   std::uint64_t seed) {
+  if (concepts < 1 || total_svs < concepts) {
+    throw cellport::ConfigError(
+        "model set needs at least one SV per concept");
+  }
+  FeatureGeometry geo = geometry_for(dim);
+  cellport::Rng rng(seed);
+  ConceptModelSet set;
+  set.feature_name = feature_name;
+  int base = total_svs / concepts;
+  int extra = total_svs % concepts;
+  for (int c = 0; c < concepts; ++c) {
+    int n_sv = base + (c < extra ? 1 : 0);
+    std::string name =
+        std::string(kConceptNames[c % 12]) +
+        (c >= 12 ? "_" + std::to_string(c / 12) : "");
+    set.models.push_back(synth_model(name, dim, n_sv, geo, rng));
+  }
+  return set;
+}
+
+MarvelModels make_marvel_models(std::uint64_t seed) {
+  MarvelModels m;
+  m.color_histogram = make_synthetic_set(
+      "color_histogram", features::kColorHistogramDim, kChTotalSvs, 6,
+      seed ^ 0x11);
+  m.color_correlogram = make_synthetic_set(
+      "color_correlogram", features::kColorCorrelogramDim, kCcTotalSvs, 5,
+      seed ^ 0x22);
+  m.edge_histogram = make_synthetic_set(
+      "edge_histogram", features::kEdgeHistogramDim, kEhTotalSvs, 6,
+      seed ^ 0x33);
+  m.texture = make_synthetic_set("texture", features::kTextureDim,
+                                 kTxTotalSvs, 5, seed ^ 0x44);
+  return m;
+}
+
+std::size_t save_library(const std::string& path, const MarvelModels& active,
+                         int extra_concepts_per_feature,
+                         std::uint64_t seed) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw cellport::IoError("cannot create " + path);
+  out.write("CPML", 4);
+  const ConceptModelSet* sets[] = {
+      &active.color_histogram, &active.color_correlogram,
+      &active.edge_histogram, &active.texture};
+  put<std::uint32_t>(out, 4);
+  cellport::Rng rng(seed);
+  for (const auto* set : sets) {
+    put_string(out, set->feature_name);
+    int extra = extra_concepts_per_feature;
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(set->models.size()) +
+                           static_cast<std::uint32_t>(extra));
+    for (const auto& m : set->models) write_model(out, m, /*active=*/true);
+    // Inactive filler concepts: the rest of the MARVEL model library.
+    int dim = set->models.front().dim();
+    FeatureGeometry geo = geometry_for(dim);
+    for (int i = 0; i < extra; ++i) {
+      SvmModel filler = synth_model(
+          "inactive_" + set->feature_name + "_" + std::to_string(i), dim,
+          40, geo, rng);
+      write_model(out, filler, /*active=*/false);
+    }
+  }
+  out.flush();
+  if (!out) throw cellport::IoError("write failed for " + path);
+  return static_cast<std::size_t>(out.tellp());
+}
+
+MarvelModels load_library(const std::string& path,
+                          sim::ScalarContext* ctx) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw cellport::IoError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  auto file_bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  if (ctx != nullptr) {
+    // One-time overhead: stream the library from disk and parse it
+    // (~4 integer ops per byte for the format walk + float loads). Bulk
+    // sequential read: disk-bound on every machine (unscaled).
+    ctx->charge_io(file_bytes, /*open_file=*/true, /*scaled=*/false);
+    ctx->charge(sim::OpClass::kLoad, file_bytes / 4);
+    ctx->charge(sim::OpClass::kIntAlu, file_bytes / 2);
+  }
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != "CPML") {
+    throw cellport::IoError("bad model library magic");
+  }
+  auto n_sets = get<std::uint32_t>(in);
+  if (n_sets != 4) throw cellport::IoError("expected 4 feature sets");
+
+  MarvelModels out;
+  for (std::uint32_t s = 0; s < n_sets; ++s) {
+    std::string feature = get_string(in);
+    auto n_models = get<std::uint32_t>(in);
+    ConceptModelSet set;
+    set.feature_name = feature;
+    for (std::uint32_t i = 0; i < n_models; ++i) {
+      std::string name = get_string(in);
+      auto active = get<std::uint8_t>(in);
+      auto kernel = static_cast<SvmKernelType>(get<std::uint8_t>(in));
+      auto gamma = get<float>(in);
+      auto rho = get<float>(in);
+      auto dim = static_cast<int>(get<std::uint32_t>(in));
+      auto n_sv = static_cast<int>(get<std::uint32_t>(in));
+      if (dim <= 0 || dim > 1 << 16 || n_sv <= 0 || n_sv > 1 << 20) {
+        throw cellport::IoError("implausible model geometry");
+      }
+      std::vector<float> coef(static_cast<std::size_t>(n_sv));
+      in.read(reinterpret_cast<char*>(coef.data()),
+              static_cast<std::streamsize>(coef.size() * sizeof(float)));
+      std::vector<float> svs(static_cast<std::size_t>(n_sv) * dim);
+      in.read(reinterpret_cast<char*>(svs.data()),
+              static_cast<std::streamsize>(svs.size() * sizeof(float)));
+      if (!in) throw cellport::IoError("truncated model data");
+      if (active != 0) {
+        set.models.emplace_back(name, kernel, gamma, rho, dim, svs, coef);
+      }
+    }
+    if (feature == "color_histogram") {
+      out.color_histogram = std::move(set);
+    } else if (feature == "color_correlogram") {
+      out.color_correlogram = std::move(set);
+    } else if (feature == "edge_histogram") {
+      out.edge_histogram = std::move(set);
+    } else if (feature == "texture") {
+      out.texture = std::move(set);
+    } else {
+      throw cellport::IoError("unknown feature set '" + feature + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace cellport::learn

@@ -1,0 +1,150 @@
+#include "learn/smo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace cellport::learn {
+
+namespace {
+
+double kernel_eval(SvmKernelType k, float gamma,
+                   const std::vector<float>& a,
+                   const std::vector<float>& b) {
+  if (k == SvmKernelType::kLinear) {
+    double dot = 0;
+    for (std::size_t d = 0; d < a.size(); ++d) dot += a[d] * b[d];
+    return dot;
+  }
+  double dist2 = 0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    double diff = a[d] - b[d];
+    dist2 += diff * diff;
+  }
+  return std::exp(-static_cast<double>(gamma) * dist2);
+}
+
+}  // namespace
+
+SvmModel smo_train(const std::string& concept_name,
+                   const std::vector<std::vector<float>>& x,
+                   const std::vector<int>& y,
+                   const SvmTrainConfig& config) {
+  const std::size_t n = x.size();
+  if (n < 2 || y.size() != n) {
+    throw cellport::ConfigError("SMO needs >= 2 samples with labels");
+  }
+  const std::size_t dim = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != dim) {
+      throw cellport::ConfigError("inconsistent sample dimensions");
+    }
+  }
+  bool has_pos = false;
+  bool has_neg = false;
+  for (int label : y) {
+    if (label == 1) has_pos = true;
+    else if (label == -1) has_neg = true;
+    else throw cellport::ConfigError("labels must be +1/-1");
+  }
+  if (!has_pos || !has_neg) {
+    throw cellport::ConfigError("SMO needs both classes present");
+  }
+
+  // Precompute the kernel matrix (training sets here are small).
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double v = kernel_eval(config.kernel, config.gamma, x[i], x[j]);
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  cellport::Rng rng(config.seed);
+
+  auto f = [&](std::size_t i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) acc += alpha[j] * y[j] * k[j * n + i];
+    }
+    return acc + b;
+  };
+
+  int passes = 0;
+  int iter = 0;
+  while (passes < config.max_passes && iter < config.max_iter) {
+    int changed = 0;
+    for (std::size_t i = 0; i < n && iter < config.max_iter; ++i, ++iter) {
+      double ei = f(i) - y[i];
+      bool violates = (y[i] * ei < -config.tol && alpha[i] < config.c) ||
+                      (y[i] * ei > config.tol && alpha[i] > 0);
+      if (!violates) continue;
+
+      std::size_t j = rng.next_below(n - 1);
+      if (j >= i) ++j;
+      double ej = f(j) - y[j];
+
+      double ai_old = alpha[i];
+      double aj_old = alpha[j];
+      double lo;
+      double hi;
+      if (y[i] != y[j]) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(config.c, config.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - config.c);
+        hi = std::min(config.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+      double eta = 2 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0) continue;
+
+      double aj = aj_old - y[j] * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-6) continue;
+      double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      double b1 = b - ei - y[i] * (ai - ai_old) * k[i * n + i] -
+                  y[j] * (aj - aj_old) * k[i * n + j];
+      double b2 = b - ej - y[i] * (ai - ai_old) * k[i * n + j] -
+                  y[j] * (aj - aj_old) * k[j * n + j];
+      if (ai > 0 && ai < config.c) {
+        b = b1;
+      } else if (aj > 0 && aj < config.c) {
+        b = b2;
+      } else {
+        b = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  // Extract support vectors.
+  std::vector<float> svs;
+  std::vector<float> coef;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      svs.insert(svs.end(), x[i].begin(), x[i].end());
+      coef.push_back(static_cast<float>(alpha[i] * y[i]));
+    }
+  }
+  if (coef.empty()) {
+    // Degenerate but possible on trivially separable data with tiny C:
+    // keep the closest pair as support vectors.
+    svs.insert(svs.end(), x[0].begin(), x[0].end());
+    coef.push_back(static_cast<float>(y[0]));
+  }
+  // decision(x) = sum coef_i K(sv_i, x) + b  ==  sum - rho, so rho = -b.
+  return SvmModel(concept_name, config.kernel, config.gamma,
+                  static_cast<float>(-b), static_cast<int>(dim), svs, coef);
+}
+
+}  // namespace cellport::learn

@@ -1,0 +1,34 @@
+// SMO trainer for binary SVMs.
+//
+// MARVEL's models are "precomputed" after "a short training phase"
+// (Section 5.1). This is a from-scratch sequential-minimal-optimization
+// trainer (Platt's SMO with the simplified working-set selection) adequate
+// for the small, low-dimensional training sets the model generator and
+// tests use. It exists so the substrate is complete end-to-end: train ->
+// serialize -> load -> detect on the Cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/svm.h"
+
+namespace cellport::learn {
+
+struct SvmTrainConfig {
+  SvmKernelType kernel = SvmKernelType::kRbf;
+  float gamma = 0.5f;       // RBF width
+  double c = 1.0;           // box constraint
+  double tol = 1e-3;        // KKT violation tolerance
+  int max_passes = 10;      // passes without change before stopping
+  int max_iter = 10000;     // hard iteration cap
+  std::uint64_t seed = 42;  // working-set tie-breaking
+};
+
+/// Trains a binary SVM on rows `x` (n x dim, row-major) with labels
+/// `y[i]` in {-1, +1}. Returns the support-vector model.
+SvmModel smo_train(const std::string& concept_name,
+                   const std::vector<std::vector<float>>& x,
+                   const std::vector<int>& y, const SvmTrainConfig& config);
+
+}  // namespace cellport::learn

@@ -1,0 +1,83 @@
+#include "learn/svm.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace cellport::learn {
+
+namespace {
+inline void chg(sim::ScalarContext* ctx, sim::OpClass c,
+                std::uint64_t n = 1) {
+  if (ctx != nullptr) ctx->charge(c, n);
+}
+}  // namespace
+
+SvmModel::SvmModel(std::string concept_name, SvmKernelType kernel,
+                   float gamma, float rho, int dim,
+                   std::span<const float> svs, std::span<const float> coef)
+    : concept_name_(std::move(concept_name)),
+      kernel_(kernel),
+      gamma_(gamma),
+      rho_(rho),
+      dim_(dim),
+      num_sv_(static_cast<int>(coef.size())),
+      sv_stride_(static_cast<int>(
+          cellport::round_up(static_cast<std::size_t>(dim), 4))),
+      svs_(static_cast<std::size_t>(sv_stride_) * num_sv_),
+      coef_(cellport::round_up(coef.size(), 4)) {
+  if (dim <= 0) throw cellport::ConfigError("SVM dim must be positive");
+  if (num_sv_ <= 0) {
+    throw cellport::ConfigError("SVM needs at least one support vector");
+  }
+  if (svs.size() != static_cast<std::size_t>(dim) * num_sv_) {
+    throw cellport::ConfigError("SVM sv array size mismatch");
+  }
+  for (int i = 0; i < num_sv_; ++i) {
+    std::memcpy(svs_.data() + static_cast<std::size_t>(i) * sv_stride_,
+                svs.data() + static_cast<std::size_t>(i) * dim_,
+                sizeof(float) * static_cast<std::size_t>(dim_));
+  }
+  std::memcpy(coef_.data(), coef.data(), coef.size() * sizeof(float));
+}
+
+double SvmModel::decision(std::span<const float> x,
+                          sim::ScalarContext* ctx) const {
+  if (x.size() != static_cast<std::size_t>(dim_)) {
+    throw cellport::ConfigError("SVM input dimension mismatch");
+  }
+  double acc = 0.0;
+  for (int i = 0; i < num_sv_; ++i) {
+    const float* sv = sv_row(i);
+    if (kernel_ == SvmKernelType::kLinear) {
+      // dim multiply-adds + 2*dim loads.
+      chg(ctx, sim::OpClass::kLoad, 2 * static_cast<std::uint64_t>(dim_));
+      chg(ctx, sim::OpClass::kMul, static_cast<std::uint64_t>(dim_));
+      chg(ctx, sim::OpClass::kFloatAlu, static_cast<std::uint64_t>(dim_));
+      float dot = 0.0f;
+      for (int d = 0; d < dim_; ++d) dot += sv[d] * x[static_cast<std::size_t>(d)];
+      acc += static_cast<double>(coef_[static_cast<std::size_t>(i)]) * dot;
+    } else {
+      // Squared distance: dim (sub, mul, add) + loads; then one libm exp
+      // (argument reduction + polynomial: charged as a transcendental).
+      chg(ctx, sim::OpClass::kLoad, 2 * static_cast<std::uint64_t>(dim_));
+      chg(ctx, sim::OpClass::kMul, static_cast<std::uint64_t>(dim_));
+      chg(ctx, sim::OpClass::kFloatAlu,
+          2 * static_cast<std::uint64_t>(dim_));
+      chg(ctx, sim::OpClass::kSqrt, 4);  // libm double exp: ~160 cycles
+      chg(ctx, sim::OpClass::kFloatAlu, 12);
+      float dist2 = 0.0f;
+      for (int d = 0; d < dim_; ++d) {
+        float diff = sv[d] - x[static_cast<std::size_t>(d)];
+        dist2 += diff * diff;
+      }
+      acc += static_cast<double>(coef_[static_cast<std::size_t>(i)]) *
+             std::exp(-static_cast<double>(gamma_) * dist2);
+    }
+    chg(ctx, sim::OpClass::kFloatAlu, 2);
+  }
+  return acc - rho_;
+}
+
+}  // namespace cellport::learn

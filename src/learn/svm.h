@@ -1,0 +1,70 @@
+// Support vector machine: model representation and decision function.
+//
+// MARVEL's concept detection scores each extracted feature vector against
+// a collection of precomputed SVM models (Section 5.1 chooses SVM over the
+// alternative kNN). A model stores its support vectors row-padded to a
+// 16-byte multiple in 128-byte-aligned memory, so the SPE detection kernel
+// can stream them with legal DMA transfers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/scalar_context.h"
+#include "support/aligned.h"
+
+namespace cellport::learn {
+
+enum class SvmKernelType : std::uint8_t { kLinear = 0, kRbf = 1 };
+
+class SvmModel {
+ public:
+  /// Builds a model from `n_sv` support vectors of dimension `dim`
+  /// (svs is n_sv x dim row-major, unpadded) and their signed dual
+  /// coefficients (alpha_i * y_i).
+  SvmModel(std::string concept_name, SvmKernelType kernel, float gamma,
+           float rho, int dim, std::span<const float> svs,
+           std::span<const float> coef);
+
+  SvmModel(SvmModel&&) = default;
+  SvmModel& operator=(SvmModel&&) = default;
+
+  const std::string& concept_name() const { return concept_name_; }
+  SvmKernelType kernel() const { return kernel_; }
+  float gamma() const { return gamma_; }
+  float rho() const { return rho_; }
+  int dim() const { return dim_; }
+  int num_sv() const { return num_sv_; }
+  /// Floats between consecutive support-vector rows (16-byte multiple).
+  int sv_stride() const { return sv_stride_; }
+
+  const float* sv_data() const { return svs_.data(); }
+  std::size_t sv_bytes() const { return svs_.bytes(); }
+  const float* sv_row(int i) const {
+    return svs_.data() + static_cast<std::size_t>(i) * sv_stride_;
+  }
+  std::span<const float> coef() const {
+    return {coef_.data(), static_cast<std::size_t>(num_sv_)};
+  }
+
+  /// Decision value f(x) = sum_i coef_i * K(sv_i, x) - rho.
+  /// Positive => the concept is detected. Charges the op mix (dim
+  /// multiply-adds per SV, plus one exp per SV for RBF) when ctx != null.
+  double decision(std::span<const float> x,
+                  sim::ScalarContext* ctx = nullptr) const;
+
+ private:
+  std::string concept_name_;
+  SvmKernelType kernel_;
+  float gamma_;
+  float rho_;
+  int dim_;
+  int num_sv_;
+  int sv_stride_;
+  cellport::AlignedBuffer<float> svs_;
+  cellport::AlignedBuffer<float> coef_;
+};
+
+}  // namespace cellport::learn

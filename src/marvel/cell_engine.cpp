@@ -1,0 +1,264 @@
+#include "marvel/cell_engine.h"
+
+#include "kernels/cc_kernel.h"
+#include "kernels/cd_kernel.h"
+#include "kernels/ch_kernel.h"
+#include "kernels/eh_kernel.h"
+#include "kernels/tx_kernel.h"
+#include "support/error.h"
+
+namespace cellport::marvel {
+
+namespace {
+
+/// Feature output buffers are padded to 8 floats so every kernel's
+/// (16-byte-granular) result DMA fits.
+std::size_t padded_dim(int dim) {
+  return cellport::round_up(static_cast<std::size_t>(dim), 8);
+}
+
+}  // namespace
+
+CellEngine::CellEngine(sim::Machine& machine,
+                       const std::string& library_path, Scenario scenario,
+                       kernels::BufferingDepth buffering, bool use_naive)
+    : machine_(machine),
+      scenario_(scenario),
+      buffering_(buffering),
+      use_naive_(use_naive),
+      profiler_(machine.ppe()) {
+  {
+    // One-time overhead: the model library load, on the PPE.
+    port::Profiler::Scope probe(profiler_, kPhaseStartup);
+    sim::SimTime t0 = machine_.ppe().now_ns();
+    models_ = learn::load_library(library_path, &machine_.ppe());
+    startup_ns_ = machine_.ppe().now_ns() - t0;
+  }
+
+  // Static schedule: one resident kernel per SPE (Section 3.3).
+  ch_if_ = std::make_unique<port::SPEInterface>(kernels::ch_module(), 0);
+  cc_if_ = std::make_unique<port::SPEInterface>(kernels::cc_module(), 1);
+  tx_if_ = std::make_unique<port::SPEInterface>(kernels::tx_module(), 2);
+  eh_if_ = std::make_unique<port::SPEInterface>(kernels::eh_module(), 3);
+  cd_if_ = std::make_unique<port::SPEInterface>(kernels::cd_module(), 4);
+  if (scenario_ == Scenario::kMultiSPE2) {
+    for (int i = 0; i < 3; ++i) {
+      cd_extra_[i] = std::make_unique<port::SPEInterface>(
+          kernels::cd_module(), 5 + i);
+    }
+  }
+
+  const struct {
+    port::SPEInterface* iface;
+    const char* phase;
+    int dim;
+    const learn::ConceptModelSet* set;
+  } config[4] = {
+      {ch_if_.get(), kPhaseCh, features::kColorHistogramDim,
+       &models_.color_histogram},
+      {cc_if_.get(), kPhaseCc, features::kColorCorrelogramDim,
+       &models_.color_correlogram},
+      {tx_if_.get(), kPhaseTx, features::kTextureDim, &models_.texture},
+      {eh_if_.get(), kPhaseEh, features::kEdgeHistogramDim,
+       &models_.edge_histogram},
+  };
+  for (int i = 0; i < 4; ++i) {
+    FeatureSlot& slot = slots_[i];
+    slot.extract_if = config[i].iface;
+    slot.phase = config[i].phase;
+    slot.dim = config[i].dim;
+    slot.out = cellport::AlignedBuffer<float>(padded_dim(config[i].dim));
+    setup_detection(slot, *config[i].set);
+    if (scenario_ == Scenario::kMultiSPE2) {
+      slot.detect_if = i == 0 ? cd_if_.get() : cd_extra_[i - 1].get();
+    }
+  }
+}
+
+void CellEngine::setup_detection(FeatureSlot& slot,
+                                 const learn::ConceptModelSet& set) {
+  slot.set = &set;
+  slot.descs = cellport::AlignedBuffer<kernels::DetectModelDesc>(
+      set.models.size());
+  for (std::size_t m = 0; m < set.models.size(); ++m) {
+    const learn::SvmModel& model = set.models[m];
+    kernels::DetectModelDesc& d = slot.descs[m];
+    d.sv_ea = reinterpret_cast<std::uint64_t>(model.sv_data());
+    d.coef_ea = reinterpret_cast<std::uint64_t>(model.coef().data());
+    d.num_sv = model.num_sv();
+    d.sv_stride = model.sv_stride();
+    d.gamma = model.gamma();
+    d.rho = model.rho();
+    d.kernel_type = static_cast<std::int32_t>(model.kernel());
+  }
+  slot.scores = cellport::AlignedBuffer<double>(
+      cellport::round_up(set.models.size(), 2));
+  kernels::DetectMsg& msg = *slot.detect_msg;
+  msg.feature_ea = reinterpret_cast<std::uint64_t>(slot.out.data());
+  msg.dim = slot.dim;
+  msg.num_models = static_cast<std::int32_t>(set.models.size());
+  msg.models_ea = reinterpret_cast<std::uint64_t>(slot.descs.data());
+  msg.scores_ea = reinterpret_cast<std::uint64_t>(slot.scores.data());
+  msg.buffering = buffering_;
+}
+
+void CellEngine::fill_image_msg(FeatureSlot& slot,
+                                const img::RgbImage& pixels) {
+  // Listing 4's FILL_MSG_FROM_COLORIMAGE: wrap the class members into the
+  // aligned message structure.
+  machine_.ppe().charge(sim::OpClass::kStore, 12);
+  kernels::ImageMsg& msg = *slot.msg;
+  msg.pixels_ea = reinterpret_cast<std::uint64_t>(pixels.data());
+  msg.width = pixels.width();
+  msg.height = pixels.height();
+  msg.stride = pixels.stride();
+  msg.buffering = buffering_;
+  msg.out_ea = reinterpret_cast<std::uint64_t>(slot.out.data());
+  msg.out_count = slot.dim;
+}
+
+void CellEngine::run_detection(FeatureSlot& slot,
+                               port::SPEInterface& iface) {
+  iface.SendAndWait(static_cast<int>(kernels::SPU_Run),
+                    slot.detect_msg.ea());
+}
+
+void CellEngine::collect(FeatureSlot& slot, features::FeatureVector& fv,
+                         DetectionScores& scores, const char* name) {
+  // Copy results from the output buffers back into the class data
+  // (Section 3.3, last step). Charged as the loads/stores it is.
+  machine_.ppe().charge(sim::OpClass::kLoad,
+                        static_cast<std::uint64_t>(slot.dim) +
+                            slot.scores.size());
+  machine_.ppe().charge(sim::OpClass::kStore,
+                        static_cast<std::uint64_t>(slot.dim) +
+                            slot.scores.size());
+  fv.name = name;
+  fv.values.assign(slot.out.data(), slot.out.data() + slot.dim);
+  scores.values.assign(slot.scores.data(),
+                       slot.scores.data() + slot.set->models.size());
+}
+
+AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
+  img::RgbImage pixels = [&] {
+    port::Profiler::Scope probe(profiler_, kPhasePreprocess);
+    machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
+    return img::sic_decode(image, &machine_.ppe());
+  }();
+
+  for (auto& slot : slots_) fill_image_msg(slot, pixels);
+
+  auto opcode = [&](const FeatureSlot& slot) {
+    bool has_naive = slot.phase != kPhaseTx;
+    return static_cast<int>(use_naive_ && has_naive
+                                ? kernels::SPU_Run_Naive
+                                : kernels::SPU_Run);
+  };
+
+  switch (scenario_) {
+    case Scenario::kSingleSPE: {
+      for (auto& slot : slots_) {
+        port::Profiler::Scope probe(profiler_, slot.phase);
+        slot.extract_if->SendAndWait(opcode(slot), slot.msg.ea());
+      }
+      port::Profiler::Scope probe(profiler_, kPhaseCd);
+      for (auto& slot : slots_) run_detection(slot, *cd_if_);
+      break;
+    }
+    case Scenario::kMultiSPE: {
+      {
+        port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+        for (auto& slot : slots_) {
+          slot.extract_if->Send(opcode(slot), slot.msg.ea());
+        }
+        for (auto& slot : slots_) slot.extract_if->Wait();
+      }
+      port::Profiler::Scope probe(profiler_, kPhaseDetect);
+      for (auto& slot : slots_) run_detection(slot, *cd_if_);
+      break;
+    }
+    case Scenario::kMultiSPE2: {
+      port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+      for (auto& slot : slots_) {
+        slot.extract_if->Send(opcode(slot), slot.msg.ea());
+      }
+      // Each extraction is immediately followed by its own detection on
+      // a dedicated detection SPE.
+      for (auto& slot : slots_) {
+        slot.extract_if->Wait();
+        slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                             slot.detect_msg.ea());
+      }
+      for (auto& slot : slots_) slot.detect_if->Wait();
+      break;
+    }
+  }
+
+  AnalysisResult result;
+  collect(slots_[0], result.color_histogram, result.ch_detect,
+          "color_histogram");
+  collect(slots_[1], result.color_correlogram, result.cc_detect,
+          "color_correlogram");
+  collect(slots_[2], result.texture, result.tx_detect, "texture");
+  collect(slots_[3], result.edge_histogram, result.eh_detect,
+          "edge_histogram");
+  return result;
+}
+
+std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
+    const std::vector<img::SicEncoded>& images) {
+  if (scenario_ == Scenario::kSingleSPE) {
+    throw cellport::ConfigError(
+        "pipelined batches need a parallel scenario (kMultiSPE or "
+        "kMultiSPE2)");
+  }
+  std::vector<AnalysisResult> results;
+  if (images.empty()) return results;
+  results.reserve(images.size());
+
+  port::Profiler::Scope probe(profiler_, kPhasePipelined);
+  auto decode = [&](const img::SicEncoded& image) {
+    machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
+    return img::sic_decode(image, &machine_.ppe());
+  };
+
+  // Two pixel buffers alternate: the SPEs read `current` while the PPE
+  // decodes into the other slot.
+  img::RgbImage current = decode(images[0]);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    for (auto& slot : slots_) fill_image_msg(slot, current);
+    for (auto& slot : slots_) {
+      slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
+                            slot.msg.ea());
+    }
+    // PPE work overlaps the SPE kernels: decode the next image now.
+    img::RgbImage next;
+    if (i + 1 < images.size()) next = decode(images[i + 1]);
+
+    if (scenario_ == Scenario::kMultiSPE2) {
+      for (auto& slot : slots_) {
+        slot.extract_if->Wait();
+        slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                             slot.detect_msg.ea());
+      }
+      for (auto& slot : slots_) slot.detect_if->Wait();
+    } else {
+      for (auto& slot : slots_) slot.extract_if->Wait();
+      for (auto& slot : slots_) run_detection(slot, *cd_if_);
+    }
+
+    AnalysisResult result;
+    collect(slots_[0], result.color_histogram, result.ch_detect,
+            "color_histogram");
+    collect(slots_[1], result.color_correlogram, result.cc_detect,
+            "color_correlogram");
+    collect(slots_[2], result.texture, result.tx_detect, "texture");
+    collect(slots_[3], result.edge_histogram, result.eh_detect,
+            "edge_histogram");
+    results.push_back(std::move(result));
+    if (i + 1 < images.size()) current = std::move(next);
+  }
+  return results;
+}
+
+}  // namespace cellport::marvel

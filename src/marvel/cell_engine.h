@@ -1,0 +1,106 @@
+// The Cell-ported MARVEL analysis engine.
+//
+// The PPE runs the original application flow (preprocessing, control,
+// data wrapping); the five kernels run on SPEs behind SPEInterface stubs,
+// statically scheduled one kernel per SPE (Section 3.3). The three
+// execution scenarios of Section 5.5 are supported:
+//
+//   kSingleSPE  — all kernels invoked sequentially (Figure 4b). Uses one
+//                 resident SPE per kernel to avoid dynamic code
+//                 switching, exactly as the paper describes scenario 1.
+//   kMultiSPE   — the four feature extractions run in parallel on four
+//                 SPEs; concept detection runs serialized on a fifth.
+//   kMultiSPE2  — detection replicated on four more SPEs; each
+//                 extraction is followed immediately by its detection.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "img/codec.h"
+#include "kernels/messages.h"
+#include "port/message.h"
+#include "learn/model_store.h"
+#include "marvel/reference_engine.h"
+#include "marvel/result.h"
+#include "port/profiler.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+#include "support/aligned.h"
+
+namespace cellport::marvel {
+
+enum class Scenario { kSingleSPE, kMultiSPE, kMultiSPE2 };
+
+/// Extra PPE-side phase names (multi-SPE scenarios overlap the kernels,
+/// so only aggregate phases are meaningful there).
+inline constexpr const char* kPhaseExtractPar = "Extract(parallel)";
+inline constexpr const char* kPhaseDetect = "Detect";
+inline constexpr const char* kPhasePipelined = "Pipelined(batch)";
+
+class CellEngine {
+ public:
+  /// Loads the model library on the PPE (one-time overhead) and opens
+  /// the kernel interfaces. `use_naive` selects the pre-optimization
+  /// kernel versions where they exist (CH/CC/EH; Section 5.3).
+  CellEngine(sim::Machine& machine, const std::string& library_path,
+             Scenario scenario,
+             kernels::BufferingDepth buffering = kernels::kDoubleBuffer,
+             bool use_naive = false);
+
+  AnalysisResult analyze(const img::SicEncoded& image);
+
+  /// Batch mode with PPE/SPE overlap (Figure 4c's full form): while the
+  /// SPEs extract image i, the PPE decodes image i+1, hiding most of the
+  /// preprocessing behind kernel time. Requires kMultiSPE or kMultiSPE2
+  /// (the per-image kernel schedule is unchanged); results are identical
+  /// to per-image analyze() calls.
+  std::vector<AnalysisResult> analyze_batch_pipelined(
+      const std::vector<img::SicEncoded>& images);
+
+  sim::Machine& machine() { return machine_; }
+  port::Profiler& profiler() { return profiler_; }
+  sim::SimTime startup_ns() const { return startup_ns_; }
+  Scenario scenario() const { return scenario_; }
+  const learn::MarvelModels& models() const { return models_; }
+
+ private:
+  struct FeatureSlot {
+    port::SPEInterface* extract_if = nullptr;
+    const char* phase = nullptr;
+    cellport::port::WrappedMessage<kernels::ImageMsg> msg;
+    cellport::AlignedBuffer<float> out;
+    int dim = 0;
+    // Detection side.
+    const learn::ConceptModelSet* set = nullptr;
+    cellport::port::WrappedMessage<kernels::DetectMsg> detect_msg;
+    cellport::AlignedBuffer<kernels::DetectModelDesc> descs;
+    cellport::AlignedBuffer<double> scores;
+    port::SPEInterface* detect_if = nullptr;  // kMultiSPE2 only
+  };
+
+  void setup_detection(FeatureSlot& slot, const learn::ConceptModelSet& set);
+  void fill_image_msg(FeatureSlot& slot, const img::RgbImage& pixels);
+  void run_detection(FeatureSlot& slot, port::SPEInterface& iface);
+  void collect(FeatureSlot& slot, features::FeatureVector& fv,
+               DetectionScores& scores, const char* name);
+
+  sim::Machine& machine_;
+  Scenario scenario_;
+  kernels::BufferingDepth buffering_;
+  bool use_naive_;
+  port::Profiler profiler_;
+  learn::MarvelModels models_;
+  sim::SimTime startup_ns_ = 0;
+
+  std::unique_ptr<port::SPEInterface> ch_if_;
+  std::unique_ptr<port::SPEInterface> cc_if_;
+  std::unique_ptr<port::SPEInterface> tx_if_;
+  std::unique_ptr<port::SPEInterface> eh_if_;
+  std::unique_ptr<port::SPEInterface> cd_if_;
+  std::unique_ptr<port::SPEInterface> cd_extra_[3];  // kMultiSPE2
+
+  FeatureSlot slots_[4];
+};
+
+}  // namespace cellport::marvel

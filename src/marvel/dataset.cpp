@@ -1,0 +1,17 @@
+#include "marvel/dataset.h"
+
+#include "img/synth.h"
+
+namespace cellport::marvel {
+
+Dataset make_dataset(int count, std::uint64_t seed, int quality) {
+  Dataset out;
+  auto images = img::synth_image_set(count, seed);
+  out.images.reserve(images.size());
+  for (const auto& image : images) {
+    out.images.push_back(img::sic_encode(image, quality));
+  }
+  return out;
+}
+
+}  // namespace cellport::marvel

@@ -1,0 +1,23 @@
+// Experiment datasets: compressed synthetic images (the 1/10/50-image
+// sets of Section 5.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "img/codec.h"
+
+namespace cellport::marvel {
+
+struct Dataset {
+  std::vector<img::SicEncoded> images;
+};
+
+/// Builds a deterministic compressed image set: `count` mixed synthetic
+/// 352x240 scenes, SIC-encoded at the given quality. Encoding happens at
+/// setup time and is not charged to any machine (the paper's image files
+/// pre-exist on disk).
+Dataset make_dataset(int count, std::uint64_t seed = 2007,
+                     int quality = 70);
+
+}  // namespace cellport::marvel

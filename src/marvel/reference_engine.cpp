@@ -1,0 +1,71 @@
+#include "marvel/reference_engine.h"
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
+
+namespace cellport::marvel {
+
+ReferenceEngine::ReferenceEngine(sim::CoreModel core,
+                                 const std::string& library_path)
+    : ctx_(std::move(core)), profiler_(ctx_) {
+  port::Profiler::Scope probe(profiler_, kPhaseStartup);
+  sim::SimTime t0 = ctx_.now_ns();
+  models_ = learn::load_library(library_path, &ctx_);
+  startup_ns_ = ctx_.now_ns() - t0;
+}
+
+DetectionScores ReferenceEngine::detect(const features::FeatureVector& fv,
+                                        const learn::ConceptModelSet& set) {
+  DetectionScores out;
+  out.values.reserve(set.models.size());
+  for (const auto& model : set.models) {
+    out.values.push_back(model.decision(fv.values, &ctx_));
+  }
+  return out;
+}
+
+AnalysisResult ReferenceEngine::analyze(const img::SicEncoded& image) {
+  AnalysisResult result;
+
+  img::RgbImage pixels = [&] {
+    port::Profiler::Scope probe(profiler_, kPhasePreprocess);
+    // Read the compressed image from disk, then decode it.
+    ctx_.charge_io(image.bytes.size(), /*open_file=*/true);
+    return img::sic_decode(image, &ctx_);
+  }();
+
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseCh);
+    result.color_histogram =
+        features::extract_color_histogram(pixels, &ctx_);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseCc);
+    result.color_correlogram =
+        features::extract_color_correlogram(pixels, &ctx_);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseTx);
+    result.texture = features::extract_texture(pixels, &ctx_);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseEh);
+    result.edge_histogram =
+        features::extract_edge_histogram(pixels, &ctx_);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseCd);
+    result.ch_detect =
+        detect(result.color_histogram, models_.color_histogram);
+    result.cc_detect =
+        detect(result.color_correlogram, models_.color_correlogram);
+    result.tx_detect = detect(result.texture, models_.texture);
+    result.eh_detect =
+        detect(result.edge_histogram, models_.edge_histogram);
+  }
+  return result;
+}
+
+}  // namespace cellport::marvel

@@ -1,0 +1,57 @@
+// The reference MARVEL analysis engine: the original sequential C++ code
+// path, instrumented, runnable under any scalar CoreModel (Desktop,
+// Laptop, or the Cell PPE).
+//
+// Construction performs the application's one-time overhead (loading the
+// model library); analyze() performs the per-image flow of Figure 5:
+// preprocessing (read + decompress), four feature extractions, and
+// concept detection per feature. Every phase is profiled in simulated
+// time, which is how the Section 5.2 coverage numbers are reproduced.
+#pragma once
+
+#include <string>
+
+#include "img/codec.h"
+#include "learn/model_store.h"
+#include "marvel/result.h"
+#include "port/profiler.h"
+#include "sim/scalar_context.h"
+
+namespace cellport::marvel {
+
+/// Phase names used for profiling (shared with the Cell engine so the
+/// coverage tables line up).
+inline constexpr const char* kPhasePreprocess = "Preprocess";
+inline constexpr const char* kPhaseCh = "CHExtract";
+inline constexpr const char* kPhaseCc = "CCExtract";
+inline constexpr const char* kPhaseTx = "TXExtract";
+inline constexpr const char* kPhaseEh = "EHExtract";
+inline constexpr const char* kPhaseCd = "ConceptDet";
+inline constexpr const char* kPhaseStartup = "Startup";
+
+class ReferenceEngine {
+ public:
+  /// Loads the model library from `library_path` (the one-time overhead,
+  /// charged to the machine's I/O model).
+  ReferenceEngine(sim::CoreModel core, const std::string& library_path);
+
+  AnalysisResult analyze(const img::SicEncoded& image);
+
+  sim::ScalarContext& ctx() { return ctx_; }
+  port::Profiler& profiler() { return profiler_; }
+  const learn::MarvelModels& models() const { return models_; }
+
+  /// Simulated time of the one-time startup (model load).
+  sim::SimTime startup_ns() const { return startup_ns_; }
+
+ private:
+  DetectionScores detect(const features::FeatureVector& fv,
+                         const learn::ConceptModelSet& set);
+
+  sim::ScalarContext ctx_;
+  port::Profiler profiler_;
+  learn::MarvelModels models_;
+  sim::SimTime startup_ns_ = 0;
+};
+
+}  // namespace cellport::marvel

@@ -1,0 +1,28 @@
+// Analysis results shared by the reference and Cell engines.
+#pragma once
+
+#include <vector>
+
+#include "features/feature.h"
+
+namespace cellport::marvel {
+
+/// Semantic-concept detection output for one feature modality.
+struct DetectionScores {
+  /// Decision values, one per concept model (positive => detected).
+  std::vector<double> values;
+};
+
+/// Everything MARVEL's analysis engine produces for one image.
+struct AnalysisResult {
+  features::FeatureVector color_histogram;
+  features::FeatureVector color_correlogram;
+  features::FeatureVector texture;
+  features::FeatureVector edge_histogram;
+  DetectionScores ch_detect;
+  DetectionScores cc_detect;
+  DetectionScores tx_detect;
+  DetectionScores eh_detect;
+};
+
+}  // namespace cellport::marvel

@@ -1,0 +1,78 @@
+#include "port/amdahl.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cellport::port {
+
+namespace {
+constexpr double kCoverageEps = 1e-9;
+}
+
+void validate(std::span<const KernelPoint> kernels) {
+  double total = 0.0;
+  for (const auto& k : kernels) {
+    if (k.coverage < 0.0 || k.coverage > 1.0) {
+      throw cellport::ConfigError("kernel '" + k.name +
+                                  "' coverage outside [0,1]");
+    }
+    if (k.speedup <= 0.0) {
+      throw cellport::ConfigError("kernel '" + k.name +
+                                  "' speed-up must be positive");
+    }
+    total += k.coverage;
+  }
+  if (total > 1.0 + kCoverageEps) {
+    throw cellport::ConfigError(
+        "kernel coverages sum to more than the whole application");
+  }
+}
+
+double estimate_single(const KernelPoint& k) {
+  validate({&k, 1});
+  return 1.0 / ((1.0 - k.coverage) + k.coverage / k.speedup);
+}
+
+double estimate_sequential(std::span<const KernelPoint> kernels) {
+  validate(kernels);
+  double covered = 0.0;
+  double accelerated = 0.0;
+  for (const auto& k : kernels) {
+    covered += k.coverage;
+    accelerated += k.coverage / k.speedup;
+  }
+  return 1.0 / ((1.0 - covered) + accelerated);
+}
+
+double estimate_grouped(std::span<const std::vector<KernelPoint>> groups) {
+  double covered = 0.0;
+  double accelerated = 0.0;
+  std::vector<KernelPoint> all;
+  for (const auto& g : groups)
+    all.insert(all.end(), g.begin(), g.end());
+  validate(all);
+  for (const auto& g : groups) {
+    double group_max = 0.0;
+    for (const auto& k : g) {
+      covered += k.coverage;
+      group_max = std::max(group_max, k.coverage / k.speedup);
+    }
+    accelerated += group_max;
+  }
+  return 1.0 / ((1.0 - covered) + accelerated);
+}
+
+double optimization_gain(std::span<const KernelPoint> kernels,
+                         std::size_t k, double new_speedup) {
+  if (k >= kernels.size()) {
+    throw cellport::ConfigError("kernel index out of range");
+  }
+  double before = estimate_sequential(kernels);
+  std::vector<KernelPoint> modified(kernels.begin(), kernels.end());
+  modified[k].speedup = new_speedup;
+  double after = estimate_sequential(modified);
+  return after - before;
+}
+
+}  // namespace cellport::port

@@ -1,0 +1,48 @@
+// The paper's performance model: Equations (1)-(3) of Section 4.2.
+//
+// Given per-kernel coverage (Kfr: the fraction of application execution
+// time a kernel represents on the PPE) and per-kernel speed-up over the
+// PPE, these first-order Amdahl estimates predict whole-application
+// speed-up for a single kernel, for n kernels invoked sequentially
+// (Figure 4b), and for kernels scheduled in parallel groups (Figure 4c).
+// Section 5.5 shows the estimates match measurement within 2%.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cellport::port {
+
+/// One kernel's operating point.
+struct KernelPoint {
+  std::string name;
+  double coverage = 0.0;  // Kfr, in [0, 1]
+  double speedup = 1.0;   // Kspeedup > 0, relative to the PPE
+};
+
+/// Equation (1): application speed-up from one accelerated kernel.
+///   Sapp = 1 / ((1 - Kfr) + Kfr / Kspeedup)
+double estimate_single(const KernelPoint& k);
+
+/// Equation (2): n kernels executed sequentially (Figure 4b).
+///   Sapp = 1 / ((1 - sum Kfr_i) + sum (Kfr_i / Kspeedup_i))
+double estimate_sequential(std::span<const KernelPoint> kernels);
+
+/// Equation (3): kernels partitioned into groups; kernels within a group
+/// run in parallel on distinct SPEs, groups run sequentially (Figure 4c).
+///   Sapp = 1 / ((1 - sum Kfr_i) + sum_j max_{k in group j}(Kfr_k / Kspeedup_k))
+double estimate_grouped(
+    std::span<const std::vector<KernelPoint>> groups);
+
+/// Validates a kernel set: coverages in [0,1], total <= 1 (plus epsilon),
+/// speedups > 0. Throws ConfigError on violation.
+void validate(std::span<const KernelPoint> kernels);
+
+/// Marginal-value analysis of Section 4.2's worked example: the
+/// application speed-up gained by improving kernel `k` from its current
+/// speed-up to `new_speedup`, all other kernels unchanged.
+double optimization_gain(std::span<const KernelPoint> kernels,
+                         std::size_t k, double new_speedup);
+
+}  // namespace cellport::port

@@ -1,0 +1,88 @@
+#include "port/dispatcher.h"
+
+#include <cstdio>
+
+#include "sim/spu_mfcio.h"
+#include "support/error.h"
+
+namespace cellport::port {
+
+KernelModule::KernelModule(std::string name, std::size_t code_bytes,
+                           CompletionMode mode)
+    : name_(std::move(name)), mode_(mode) {
+  program_.name = name_;
+  program_.code_bytes = code_bytes;
+  program_.entry = &KernelModule::dispatch_main;
+}
+
+KernelModule& KernelModule::add_function(std::uint32_t opcode, Fn fn) {
+  if (opcode < SPU_RUN_BASE) {
+    throw cellport::ConfigError("opcode " + std::to_string(opcode) +
+                                " is reserved");
+  }
+  if (fn == nullptr) throw cellport::ConfigError("null kernel function");
+  if (!functions_.emplace(opcode, fn).second) {
+    throw cellport::ConfigError("duplicate opcode " +
+                                std::to_string(opcode) + " in module '" +
+                                name_ + "'");
+  }
+  return *this;
+}
+
+int KernelModule::invoke(std::uint32_t opcode, std::uint64_t ea) const {
+  auto it = functions_.find(opcode);
+  if (it == functions_.end()) {
+    throw cellport::ConfigError("unknown opcode " + std::to_string(opcode) +
+                                " in module '" + name_ + "'");
+  }
+  return it->second(ea);
+}
+
+std::string KernelModule::last_error() const {
+  std::lock_guard lock(err_mu_);
+  return last_error_;
+}
+
+void KernelModule::note_error(const std::string& msg) {
+  std::lock_guard lock(err_mu_);
+  last_error_ = msg;
+}
+
+// The generated SPE main(): the paper's Listing 1. `argv` carries the
+// owning KernelModule (on hardware the function table is baked into the
+// SPE ELF image; the simulator passes it through the program argument).
+int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
+                                std::uint64_t argv) {
+  auto* self = reinterpret_cast<KernelModule*>(argv);
+  for (;;) {
+    auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
+    if (opcode == SPU_EXIT) return 0;
+
+    std::uint64_t addr_in = sim::spu_read_in_mbox();
+    std::uint64_t result;
+    auto it = self->functions_.find(opcode);
+    if (it == self->functions_.end()) {
+      self->note_error("unknown opcode " + std::to_string(opcode));
+      result = kKernelFault;
+    } else {
+      // Fresh LS working area per invocation.
+      sim::spu_ls_reset();
+      try {
+        result = static_cast<std::uint32_t>(it->second(addr_in));
+      } catch (const cellport::Error& e) {
+        self->note_error(e.what());
+        std::fprintf(stderr, "[%s] kernel fault: %s\n",
+                     self->name_.c_str(), e.what());
+        result = kKernelFault;
+      }
+    }
+
+    if (self->mode_ == CompletionMode::kPolling) {
+      sim::spu_write_out_mbox(result);
+    } else {
+      sim::spu_write_out_intr_mbox(result);
+    }
+  }
+}
+
+}  // namespace cellport::port

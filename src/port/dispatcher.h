@@ -1,0 +1,76 @@
+// The SPE kernel dispatcher: a reusable implementation of the paper's
+// Listing 1.
+//
+// Every ported kernel becomes a KernelModule: a set of functions registered
+// under opcodes, wrapped by a generated main() that idles on the inbound
+// mailbox, dispatches commands, and reports completion through the polled
+// or interrupting outbound mailbox. This is the "function dispatcher
+// (kernel idle mode)" step of the kernel-migration algorithm in
+// Section 3.4: threads are created once and kept alive, avoiding the high
+// penalty of per-invocation thread creation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace cellport::port {
+
+/// Reserved opcode: terminate the SPE thread (Listing 1's SPU_EXIT).
+inline constexpr std::uint32_t SPU_EXIT = 0;
+/// First opcode available to user kernel functions.
+inline constexpr std::uint32_t SPU_RUN_BASE = 1;
+/// Result word signalling that the kernel function threw (the error text
+/// is retrievable via KernelModule::last_error()).
+inline constexpr std::uint64_t kKernelFault = 0xFFFFFFFFull;
+
+/// How the SPE signals completion back to the PPE (Listing 1 supports
+/// both; Section 3.5 step 6).
+enum class CompletionMode { kPolling, kInterrupt };
+
+class KernelModule {
+ public:
+  /// A kernel component function: receives the effective address of the
+  /// wrapper structure (Section 3.3) and returns a status word.
+  using Fn = int (*)(std::uint64_t ea);
+
+  /// `code_bytes` is the kernel's text+bss footprint, reserved in the
+  /// local store when the program is loaded (the paper's "small enough to
+  /// fit in the local store" constraint).
+  KernelModule(std::string name, std::size_t code_bytes,
+               CompletionMode mode = CompletionMode::kPolling);
+
+  /// Registers `fn` under `opcode` (must be >= SPU_RUN_BASE and unused).
+  KernelModule& add_function(std::uint32_t opcode, Fn fn);
+
+  /// The loadable program image (pass to SPEInterface / spe_create_thread).
+  const sim::SpeProgram& program() const { return program_; }
+
+  /// Runs the function registered under `opcode` directly (used by the
+  /// dynamic TaskPool workers, whose generic dispatcher resolves modules
+  /// at run time). Throws ConfigError for unknown opcodes; kernel errors
+  /// propagate to the caller.
+  int invoke(std::uint32_t opcode, std::uint64_t ea) const;
+
+  const std::string& name() const { return name_; }
+  CompletionMode mode() const { return mode_; }
+
+  /// Message of the most recent kernel fault ("" when none).
+  std::string last_error() const;
+
+ private:
+  static int dispatch_main(std::uint64_t spe_id, std::uint64_t argv);
+  void note_error(const std::string& msg);
+
+  std::string name_;
+  CompletionMode mode_;
+  std::map<std::uint32_t, Fn> functions_;
+  sim::SpeProgram program_;
+  mutable std::mutex err_mu_;
+  std::string last_error_;
+};
+
+}  // namespace cellport::port

@@ -1,0 +1,55 @@
+#include "port/effort.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cellport::port {
+
+PortingEvaluator::PortingEvaluator(std::vector<KernelPoint> kernels)
+    : kernels_(std::move(kernels)) {
+  validate(kernels_);
+}
+
+double PortingEvaluator::current_speedup() const {
+  return estimate_sequential(kernels_);
+}
+
+std::vector<RankedStep> PortingEvaluator::rank(
+    std::vector<PortingStep> steps) const {
+  double before = current_speedup();
+  std::vector<RankedStep> out;
+  out.reserve(steps.size());
+  for (auto& s : steps) {
+    if (s.kernel_index >= kernels_.size()) {
+      throw cellport::ConfigError("porting step '" + s.description +
+                                  "' targets an unknown kernel");
+    }
+    if (s.effort <= 0.0) {
+      throw cellport::ConfigError("porting step '" + s.description +
+                                  "' must have positive effort");
+    }
+    std::vector<KernelPoint> modified = kernels_;
+    modified[s.kernel_index].speedup = s.new_speedup;
+    RankedStep r;
+    r.app_speedup_after = estimate_sequential(modified);
+    r.marginal_gain = r.app_speedup_after - before;
+    r.gain_per_effort = r.marginal_gain / s.effort;
+    r.step = std::move(s);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(), [](const RankedStep& a,
+                                       const RankedStep& b) {
+    return a.gain_per_effort > b.gain_per_effort;
+  });
+  return out;
+}
+
+void PortingEvaluator::apply(const PortingStep& step) {
+  if (step.kernel_index >= kernels_.size()) {
+    throw cellport::ConfigError("porting step targets an unknown kernel");
+  }
+  kernels_[step.kernel_index].speedup = step.new_speedup;
+}
+
+}  // namespace cellport::port

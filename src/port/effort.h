@@ -1,0 +1,55 @@
+// Porting-efficiency evaluation (Section 4.2, last paragraph).
+//
+// The paper weighs the estimated application speed-up of a porting step
+// against the effort the step requires, concluding for example that
+// pushing a 10%-coverage kernel from 10x to 100x "is not worth" the work.
+// PortingEvaluator ranks candidate steps by marginal application speed-up
+// per unit of effort so that the roadmap can be ordered rationally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "port/amdahl.h"
+
+namespace cellport::port {
+
+/// One contemplated porting/optimization step.
+struct PortingStep {
+  std::string description;
+  /// Index of the kernel the step improves (into the evaluator's set).
+  std::size_t kernel_index = 0;
+  /// Kernel speed-up after the step.
+  double new_speedup = 1.0;
+  /// Estimated effort in arbitrary consistent units (person-days).
+  double effort = 1.0;
+};
+
+struct RankedStep {
+  PortingStep step;
+  double app_speedup_after = 1.0;
+  double marginal_gain = 0.0;     // Sapp(after) - Sapp(before)
+  double gain_per_effort = 0.0;
+};
+
+class PortingEvaluator {
+ public:
+  explicit PortingEvaluator(std::vector<KernelPoint> kernels);
+
+  /// Evaluates each step independently against the current kernel set and
+  /// returns them ranked by gain per effort, descending.
+  std::vector<RankedStep> rank(std::vector<PortingStep> steps) const;
+
+  /// Current estimated application speed-up (Equation 2).
+  double current_speedup() const;
+
+  /// Applies a step to the kernel set (after the work is done).
+  void apply(const PortingStep& step);
+
+  const std::vector<KernelPoint>& kernels() const { return kernels_; }
+
+ private:
+  std::vector<KernelPoint> kernels_;
+};
+
+}  // namespace cellport::port

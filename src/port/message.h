@@ -1,0 +1,69 @@
+// Data-wrapper helpers for the PPE-SPE interface (Section 3.3).
+//
+// The strategy requires all member data a kernel needs to be wrapped into
+// one aligned POD structure whose address travels through the mailbox; the
+// kernel DMAs the wrapper first and then the "real" data it points to.
+// WrappedMessage<T> owns such a structure with DMA-legal alignment, and
+// OutputBuffer<T> allocates the kernel's result area (the paper includes
+// output buffers in the wrapper for simplicity).
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "support/aligned.h"
+
+namespace cellport::port {
+
+/// Owns a 128-byte-aligned instance of the wrapper struct T.
+/// T must be trivially copyable (it crosses the DMA boundary) and its
+/// size is padded to a multiple of 16 bytes so the whole struct is a
+/// legal DMA transfer.
+template <typename T>
+class WrappedMessage {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "DMA wrapper structs must be trivially copyable");
+
+ public:
+  WrappedMessage() : storage_(padded_size(), 7) {
+    new (storage_.data()) T{};
+  }
+
+  T* operator->() { return ptr(); }
+  const T* operator->() const { return ptr(); }
+  T& operator*() { return *ptr(); }
+  const T& operator*() const { return *ptr(); }
+
+  /// Effective address to send through the mailbox.
+  std::uint64_t ea() const {
+    return reinterpret_cast<std::uint64_t>(storage_.data());
+  }
+
+  /// DMA-legal transfer size of the wrapper (sizeof(T) rounded up to 16).
+  static constexpr std::uint32_t dma_size() {
+    return static_cast<std::uint32_t>(cellport::round_up(sizeof(T), 16));
+  }
+
+ private:
+  static constexpr std::size_t padded_size() {
+    return cellport::round_up(sizeof(T), 16);
+  }
+  T* ptr() { return reinterpret_cast<T*>(storage_.data()); }
+  const T* ptr() const { return reinterpret_cast<const T*>(storage_.data()); }
+
+  cellport::AlignedBuffer<std::uint8_t> storage_;
+};
+
+/// An aligned output area the kernel DMA-puts results into; the PPE copies
+/// them back into class members after Wait() (Section 3.3's last step).
+template <typename T>
+using OutputBuffer = cellport::AlignedBuffer<T>;
+
+/// Rounds an element count up so the byte size is a multiple of 16
+/// (needed when sizing DMA-able arrays of small elements).
+template <typename T>
+constexpr std::size_t dma_count(std::size_t count) {
+  return cellport::round_up(count * sizeof(T), 16) / sizeof(T);
+}
+
+}  // namespace cellport::port

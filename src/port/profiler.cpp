@@ -1,0 +1,122 @@
+#include "port/profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace cellport::port {
+
+std::size_t Profiler::node_index(const std::string& name) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  nodes_.push_back(Node{name, 0, 0, 0});
+  return nodes_.size() - 1;
+}
+
+Profiler::Scope::Scope(Profiler& p, const std::string& name)
+    : p_(p), idx_(p.node_index(name)), start_(p.ctx_.now_ns()) {
+  p_.stack_.push_back(Active{idx_, 0});
+  child_ns_at_start_ = 0;
+}
+
+Profiler::Scope::~Scope() {
+  sim::SimTime elapsed = p_.ctx_.now_ns() - start_;
+  sim::SimTime child_ns = p_.stack_.back().child_ns;
+  p_.stack_.pop_back();
+
+  Node& node = p_.nodes_[idx_];
+  node.calls += 1;
+  node.inclusive_ns += elapsed;
+  node.exclusive_ns += elapsed - child_ns;
+
+  std::size_t parent =
+      p_.stack_.empty() ? static_cast<std::size_t>(-1)
+                        : p_.stack_.back().idx;
+  EdgeData& edge = p_.edges_[{parent, idx_}];
+  edge.calls += 1;
+  edge.ns += elapsed;
+
+  if (p_.stack_.empty()) {
+    p_.total_ns_ += elapsed;
+  } else {
+    p_.stack_.back().child_ns += elapsed;
+  }
+}
+
+std::vector<Profiler::Record> Profiler::report() const {
+  std::vector<Record> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) {
+    Record r;
+    r.name = n.name;
+    r.calls = n.calls;
+    r.inclusive_ns = n.inclusive_ns;
+    r.exclusive_ns = n.exclusive_ns;
+    r.coverage = total_ns_ > 0 ? n.exclusive_ns / total_ns_ : 0.0;
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(), [](const Record& a, const Record& b) {
+    return a.exclusive_ns > b.exclusive_ns;
+  });
+  return out;
+}
+
+double Profiler::coverage(const std::string& name) const {
+  for (const auto& n : nodes_) {
+    if (n.name == name) {
+      return total_ns_ > 0 ? n.exclusive_ns / total_ns_ : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<Profiler::Record> Profiler::top_hotspots(std::size_t n) const {
+  auto all = report();
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::vector<Profiler::Edge> Profiler::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, data] : edges_) {
+    Edge e;
+    e.parent = key.first == static_cast<std::size_t>(-1)
+                   ? "<root>"
+                   : nodes_[key.first].name;
+    e.child = nodes_[key.second].name;
+    e.calls = data.calls;
+    e.ns = data.ns;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string Profiler::dot() const {
+  std::ostringstream os;
+  os << "digraph callgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const auto& n : nodes_) {
+    double cov = total_ns_ > 0 ? 100.0 * n.exclusive_ns / total_ns_ : 0.0;
+    os << "  \"" << n.name << "\" [label=\"" << n.name << "\\n"
+       << n.calls << " calls, " << std::fixed << std::setprecision(1)
+       << cov << "%\"];\n";
+  }
+  for (const auto& [key, data] : edges_) {
+    if (key.first == static_cast<std::size_t>(-1)) continue;
+    os << "  \"" << nodes_[key.first].name << "\" -> \""
+       << nodes_[key.second].name << "\" [label=\"" << data.calls
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void Profiler::reset() {
+  nodes_.clear();
+  stack_.clear();
+  edges_.clear();
+  total_ns_ = 0;
+}
+
+}  // namespace cellport::port

@@ -1,0 +1,111 @@
+// Instrumentation profiler over simulated time.
+//
+// The porting strategy's first step (Section 3.2) is kernel identification
+// by profiling the PPE build with gprof/Xprofiler. In the simulator the
+// same role is played by this profiler: scoped probes accumulate inclusive
+// and exclusive *simulated* time on a ScalarContext, and the report ranks
+// methods by execution coverage — the numbers that drive the choice of
+// candidate kernels.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/scalar_context.h"
+
+namespace cellport::port {
+
+class Profiler {
+ public:
+  explicit Profiler(sim::ScalarContext& ctx) : ctx_(ctx) {}
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// RAII probe: time between construction and destruction is attributed
+  /// to `name` (exclusive time stops while a nested probe is active).
+  class Scope {
+   public:
+    Scope(Profiler& p, const std::string& name);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler& p_;
+    std::size_t idx_;
+    sim::SimTime start_;
+    sim::SimTime child_ns_at_start_;
+  };
+
+  struct Record {
+    std::string name;
+    std::uint64_t calls = 0;
+    sim::SimTime inclusive_ns = 0;
+    sim::SimTime exclusive_ns = 0;
+    /// Exclusive time as a fraction of total profiled time.
+    double coverage = 0.0;
+  };
+
+  /// Records sorted by exclusive time, descending; coverage is relative
+  /// to the total time spanned by top-level probes.
+  std::vector<Record> report() const;
+
+  /// Exclusive-time coverage of one probe name (0 when absent).
+  double coverage(const std::string& name) const;
+
+  /// Total simulated time across top-level probes.
+  sim::SimTime total_ns() const { return total_ns_; }
+
+  /// The `n` highest-coverage records: the candidate kernels of
+  /// Section 3.2.
+  std::vector<Record> top_hotspots(std::size_t n) const;
+
+  /// A caller->callee edge of the dynamic call graph (the paper enriches
+  /// kernels "based on the application call graph", Section 3.2).
+  struct Edge {
+    std::string parent;
+    std::string child;
+    std::uint64_t calls = 0;
+    sim::SimTime ns = 0;  // inclusive time spent in child under parent
+  };
+  std::vector<Edge> edges() const;
+
+  /// Graphviz rendering of the call graph; node labels carry coverage,
+  /// edge labels call counts — the Xprofiler-style view.
+  std::string dot() const;
+
+  void reset();
+
+ private:
+  struct Node {
+    std::string name;
+    std::uint64_t calls = 0;
+    sim::SimTime inclusive_ns = 0;
+    sim::SimTime exclusive_ns = 0;
+  };
+
+  std::size_t node_index(const std::string& name);
+
+  sim::ScalarContext& ctx_;
+  std::vector<Node> nodes_;
+  // Stack of active probes; tracks child time for exclusive accounting.
+  struct Active {
+    std::size_t idx;
+    sim::SimTime child_ns = 0;
+  };
+  std::vector<Active> stack_;
+  sim::SimTime total_ns_ = 0;
+  // Dynamic call-graph edges keyed by (parent node, child node); the
+  // root pseudo-node is SIZE_MAX.
+  struct EdgeData {
+    std::uint64_t calls = 0;
+    sim::SimTime ns = 0;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, EdgeData> edges_;
+};
+
+}  // namespace cellport::port

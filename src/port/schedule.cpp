@@ -1,0 +1,70 @@
+#include "port/schedule.h"
+
+#include <set>
+
+#include "support/error.h"
+
+namespace cellport::port {
+
+StaticSchedule::StaticSchedule(int num_spes) : num_spes_(num_spes) {
+  if (num_spes < 1 || num_spes > 8) {
+    throw cellport::ConfigError("a Cell schedule targets 1..8 SPEs");
+  }
+}
+
+StaticSchedule& StaticSchedule::add_group(std::vector<KernelPoint> kernels) {
+  if (kernels.empty()) {
+    throw cellport::ConfigError("empty schedule group");
+  }
+  if (static_cast<int>(kernels.size()) > num_spes_) {
+    throw cellport::ConfigError(
+        "group of " + std::to_string(kernels.size()) +
+        " parallel kernels exceeds the " + std::to_string(num_spes_) +
+        " available SPEs");
+  }
+  std::set<std::string> names;
+  for (const auto& g : groups_)
+    for (const auto& k : g) names.insert(k.name);
+  int resident = static_cast<int>(names.size());
+  for (const auto& k : kernels) {
+    if (!names.insert(k.name).second) {
+      throw cellport::ConfigError("kernel '" + k.name +
+                                  "' appears twice in the schedule");
+    }
+    ++resident;
+  }
+  if (resident > num_spes_) {
+    throw cellport::ConfigError(
+        "schedule needs " + std::to_string(resident) +
+        " resident kernels but the machine has only " +
+        std::to_string(num_spes_) + " SPEs (one kernel per SPE)");
+  }
+  groups_.push_back(std::move(kernels));
+  return *this;
+}
+
+StaticSchedule StaticSchedule::sequential(std::vector<KernelPoint> kernels,
+                                          int num_spes) {
+  StaticSchedule s(num_spes);
+  for (auto& k : kernels) s.add_group({std::move(k)});
+  return s;
+}
+
+int StaticSchedule::spes_used() const {
+  std::set<std::string> names;
+  for (const auto& g : groups_)
+    for (const auto& k : g) names.insert(k.name);
+  return static_cast<int>(names.size());
+}
+
+double StaticSchedule::estimated_speedup() const {
+  return estimate_grouped(groups_);
+}
+
+std::size_t StaticSchedule::kernel_count() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += g.size();
+  return n;
+}
+
+}  // namespace cellport::port

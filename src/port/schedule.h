@@ -1,0 +1,53 @@
+// Static kernel-to-SPE scheduling (Section 3.3 / Section 4.2).
+//
+// The strategy schedules kernels to SPEs statically: interfaces are opened
+// once, SPEs idle between commands, and the application chooses between
+// sequential invocation (Figure 4b) and parallel groups (Figure 4c). A
+// StaticSchedule captures that choice, validates it against the machine
+// (at most one kernel per SPE, group width bounded by the SPE count), and
+// feeds Equation (3) for the estimate the paper compares against
+// measurement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "port/amdahl.h"
+
+namespace cellport::port {
+
+class StaticSchedule {
+ public:
+  /// `num_spes`: SPEs available on the target machine (8 on a Cell).
+  explicit StaticSchedule(int num_spes = 8);
+
+  /// Appends a group whose kernels run in parallel on distinct SPEs;
+  /// groups execute sequentially (data dependences between groups).
+  /// Throws ConfigError when the group is wider than the machine or a
+  /// kernel name repeats (one kernel is resident on one SPE).
+  StaticSchedule& add_group(std::vector<KernelPoint> kernels);
+
+  /// All-sequential convenience: each kernel in its own group (Fig. 4b).
+  static StaticSchedule sequential(std::vector<KernelPoint> kernels,
+                                   int num_spes = 8);
+
+  const std::vector<std::vector<KernelPoint>>& groups() const {
+    return groups_;
+  }
+
+  /// Number of distinct SPEs the schedule occupies (its resident set).
+  int spes_used() const;
+
+  /// Equation (3) applied to this schedule (Equation (2) falls out when
+  /// every group has one kernel).
+  double estimated_speedup() const;
+
+  /// Kernel count across all groups.
+  std::size_t kernel_count() const;
+
+ private:
+  int num_spes_;
+  std::vector<std::vector<KernelPoint>> groups_;
+};
+
+}  // namespace cellport::port

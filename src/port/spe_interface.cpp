@@ -1,0 +1,80 @@
+#include "port/spe_interface.h"
+
+#include "support/error.h"
+
+namespace cellport::port {
+
+SPEInterface::SPEInterface(const KernelModule& module, int spe_index) {
+  thread_open(module, spe_index);
+}
+
+SPEInterface::~SPEInterface() {
+  if (spuid_ != nullptr) {
+    try {
+      if (pending_) Wait();
+      thread_close();
+    } catch (...) {
+      // Destructors must not throw; a shutdown failure here means the
+      // machine is already being torn down.
+    }
+  }
+}
+
+int SPEInterface::thread_open(const KernelModule& module, int spe_index) {
+  if (spuid_ != nullptr) {
+    throw cellport::ConfigError("SPEInterface already owns an SPE thread");
+  }
+  module_ = &module;
+  spuid_ = sim::spe_create_thread(
+      module.program(), reinterpret_cast<std::uint64_t>(&module), spe_index);
+  return 0;
+}
+
+int SPEInterface::thread_close(int cmnd) {
+  if (spuid_ == nullptr) return 0;
+  sim::spe_write_in_mbox(spuid_, static_cast<std::uint64_t>(cmnd));
+  int rc = sim::spe_wait(spuid_);
+  spuid_ = nullptr;
+  module_ = nullptr;
+  return rc;
+}
+
+int SPEInterface::SendAndWait(int functionCall, std::uint64_t value) {
+  Send(functionCall, value);
+  return Wait();
+}
+
+int SPEInterface::Send(int functionCall, std::uint64_t value) {
+  if (spuid_ == nullptr) {
+    throw cellport::ConfigError("SPEInterface has no SPE thread");
+  }
+  if (pending_) {
+    throw cellport::ConfigError(
+        "SPEInterface::Send while a call is in flight (the outbound "
+        "mailbox is one entry deep); Wait() first");
+  }
+  // Listing 3: send command, then the wrapper-structure address.
+  sim::spe_write_in_mbox(spuid_, static_cast<std::uint64_t>(
+                                     static_cast<std::uint32_t>(functionCall)));
+  sim::spe_write_in_mbox(spuid_, value);
+  pending_ = true;
+  return 0;
+}
+
+int SPEInterface::Wait(int /*timeout*/) {
+  if (!pending_) {
+    throw cellport::ConfigError("SPEInterface::Wait without a pending Send");
+  }
+  std::uint64_t retVal =
+      module_->mode() == CompletionMode::kPolling
+          ? sim::spe_read_out_mbox(spuid_)
+          : sim::spe_read_out_intr_mbox(spuid_);
+  pending_ = false;
+  if (retVal == kKernelFault) {
+    throw cellport::Error("SPE kernel '" + module_->name() +
+                          "' faulted: " + module_->last_error());
+  }
+  return static_cast<int>(retVal);
+}
+
+}  // namespace cellport::port

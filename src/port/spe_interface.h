@@ -1,0 +1,65 @@
+// SPEInterface: the stub class of the paper's Section 3.3 / Listing 2.
+//
+// One SPEInterface object manages the communication between the main PPE
+// application and one SPE kernel: it loads the kernel once (static
+// scheduling, no per-call thread creation), sends {opcode, wrapper-address}
+// command pairs through the inbound mailbox, and collects results from the
+// outbound (polled) or interrupting mailbox — the exact protocol of
+// Listing 3.
+#pragma once
+
+#include <cstdint>
+
+#include "port/dispatcher.h"
+#include "sim/libspe.h"
+
+namespace cellport::port {
+
+class SPEInterface {
+ public:
+  /// Loads `module` onto an SPE of the current machine and leaves it
+  /// idling in its dispatcher loop. `spe_index` of -1 picks a free SPE.
+  explicit SPEInterface(const KernelModule& module, int spe_index = -1);
+
+  /// Sends SPU_EXIT and joins the SPE thread.
+  ~SPEInterface();
+
+  SPEInterface(const SPEInterface&) = delete;
+  SPEInterface& operator=(const SPEInterface&) = delete;
+
+  /// (Re)opens the SPE thread; returns 0 on success. Normally done by the
+  /// constructor — exposed to match the paper's Listing 2.
+  int thread_open(const KernelModule& module, int spe_index = -1);
+
+  /// Sends `cmnd` (normally SPU_EXIT) and joins; returns the SPE program's
+  /// exit code.
+  int thread_close(int cmnd = static_cast<int>(SPU_EXIT));
+
+  /// Synchronous call: send the command and the wrapper address, then
+  /// wait for (and return) the kernel's result word. Listing 3.
+  int SendAndWait(int functionCall, std::uint64_t value);
+
+  /// Asynchronous call: send and return immediately; pair with Wait().
+  /// Only one call may be in flight per interface (the outbound mailbox
+  /// is one entry deep).
+  int Send(int functionCall, std::uint64_t value);
+
+  /// Collects the result of a previous Send. `timeout` is accepted for
+  /// signature compatibility with the paper; the simulator always blocks
+  /// until completion.
+  int Wait(int timeout = -1);
+
+  /// True while a Send() has not been Wait()ed for.
+  bool busy() const { return pending_; }
+
+  /// The underlying SPE (for statistics: pipeline counters, DMA traffic).
+  sim::SpeContext& spe() { return spuid_->ctx(); }
+  const KernelModule& module() const { return *module_; }
+
+ private:
+  const KernelModule* module_ = nullptr;
+  sim::speid_t spuid_ = nullptr;
+  bool pending_ = false;
+};
+
+}  // namespace cellport::port

@@ -1,0 +1,198 @@
+#include "port/taskpool.h"
+
+#include <cstdio>
+
+#include "sim/calibration.h"
+#include "sim/libspe.h"
+#include "sim/spu_mfcio.h"
+#include "support/error.h"
+
+namespace cellport::port {
+
+namespace {
+
+/// Worker mailbox protocol: a zero word exits; otherwise the word is
+/// task_id + 1 followed by {module pointer, opcode, wrapper ea}.
+constexpr std::uint64_t kExitWord = 0;
+
+/// Arguments handed to each worker thread through argv.
+struct WorkerEnv {
+  TaskPool* pool;
+  int worker_index;
+};
+
+}  // namespace
+
+int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
+  auto* env = reinterpret_cast<WorkerEnv*>(argv);
+  sim::SpeContext* ctx = sim::current_spe();
+  const KernelModule* resident = nullptr;
+
+  for (;;) {
+    std::uint64_t tag = sim::spu_read_in_mbox();
+    if (tag == kExitWord) return 0;
+    TaskId task = static_cast<TaskId>(tag - 1);
+    auto* module =
+        reinterpret_cast<const KernelModule*>(sim::spu_read_in_mbox());
+    auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
+    std::uint64_t ea = sim::spu_read_in_mbox();
+
+    bool switched = module != resident;
+    if (switched) {
+      // Code switch: stream the kernel image into the local store and
+      // re-enter it. (Functionally our kernels are host functions; the
+      // cost is what hardware would pay.)
+      double bytes = static_cast<double>(module->program().code_bytes);
+      ctx->advance_ns(bytes / sim::calib::kDmaBandwidthBytesPerNs +
+                      sim::calib::kDmaLatencyNs +
+                      sim::calib::kCodeSwitchOverheadNs);
+      resident = module;
+    }
+
+    sim::spu_ls_reset();
+    try {
+      module->invoke(opcode, ea);
+    } catch (const cellport::Error& e) {
+      std::fprintf(stderr, "[taskpool] task %zu failed: %s\n", task,
+                   e.what());
+    }
+
+    CompletionEvent ev;
+    ev.worker = env->worker_index;
+    ev.task = task;
+    ev.code_switched = switched;
+    ctx->advance_ns(sim::calib::kSpuChannelCostNs);
+    ev.ts = ctx->now_ns() + sim::calib::kMailboxLatencyNs;
+    env->pool->post_completion(ev);
+  }
+}
+
+TaskPool::TaskPool(sim::Machine& machine, int num_workers)
+    : machine_(machine) {
+  if (num_workers < 1 || num_workers > machine.num_spes()) {
+    throw cellport::ConfigError("TaskPool needs 1.." +
+                                std::to_string(machine.num_spes()) +
+                                " workers");
+  }
+  start_ns_ = machine_.ppe().now_ns();
+  // Worker envs must outlive the threads; keep them on the heap keyed by
+  // worker index (freed in the destructor after join).
+  for (int w = 0; w < num_workers; ++w) {
+    auto* env = new WorkerEnv{this, w};
+    sim::SpeProgram prog{"taskpool_worker", 4 * 1024,
+                         &TaskPool::worker_main};
+    workers_.push_back(machine_.spawn(
+        prog, reinterpret_cast<std::uint64_t>(env)));
+    worker_idle_.push_back(true);
+    envs_.push_back(env);
+  }
+  stats_.worker_busy_ns.assign(static_cast<std::size_t>(num_workers), 0);
+}
+
+TaskPool::~TaskPool() {
+  try {
+    wait_all();
+  } catch (...) {
+  }
+  for (sim::SpeThread* w : workers_) {
+    sim::spe_write_in_mbox(w, kExitWord);
+    machine_.join(w);
+  }
+  for (void* env : envs_) delete static_cast<WorkerEnv*>(env);
+}
+
+TaskPool::TaskId TaskPool::submit(const KernelModule& module,
+                                  std::uint32_t opcode, std::uint64_t ea,
+                                  std::vector<TaskId> deps) {
+  TaskId id = tasks_.size();
+  TaskRecord rec;
+  rec.module = &module;
+  rec.opcode = opcode;
+  rec.ea = ea;
+  for (TaskId d : deps) {
+    if (d >= tasks_.size()) {
+      throw cellport::ConfigError("task depends on unknown task " +
+                                  std::to_string(d));
+    }
+    if (!tasks_[d].done) {
+      tasks_[d].dependents.push_back(id);
+      ++rec.unmet_deps;
+    }
+  }
+  tasks_.push_back(std::move(rec));
+  ++incomplete_;
+  if (tasks_.back().unmet_deps == 0) ready_.push_back(id);
+  pump_ready_tasks();
+  return id;
+}
+
+void TaskPool::dispatch(int worker, TaskId task) {
+  const TaskRecord& rec = tasks_[task];
+  sim::SpeThread* w = workers_[static_cast<std::size_t>(worker)];
+  sim::spe_write_in_mbox(w, static_cast<std::uint64_t>(task) + 1);
+  sim::spe_write_in_mbox(w, reinterpret_cast<std::uint64_t>(rec.module));
+  sim::spe_write_in_mbox(w, rec.opcode);
+  sim::spe_write_in_mbox(w, rec.ea);
+  worker_idle_[static_cast<std::size_t>(worker)] = false;
+  ++outstanding_;
+}
+
+void TaskPool::pump_ready_tasks() {
+  for (std::size_t w = 0; w < workers_.size() && !ready_.empty(); ++w) {
+    if (worker_idle_[w]) {
+      TaskId t = ready_.front();
+      ready_.pop_front();
+      dispatch(static_cast<int>(w), t);
+    }
+  }
+}
+
+void TaskPool::post_completion(const CompletionEvent& ev) {
+  std::lock_guard lock(ev_mu_);
+  events_.push_back(ev);
+  ev_cv_.notify_one();
+}
+
+TaskPool::CompletionEvent TaskPool::wait_event() {
+  std::unique_lock lock(ev_mu_);
+  ev_cv_.wait(lock, [&] { return !events_.empty(); });
+  CompletionEvent ev = events_.front();
+  events_.pop_front();
+  return ev;
+}
+
+void TaskPool::wait_all() {
+  while (incomplete_ > 0) {
+    if (outstanding_ == 0 && ready_.empty()) {
+      throw cellport::ConfigError(
+          "TaskPool deadlock: tasks remain but none are ready (circular "
+          "or never-satisfied dependences)");
+    }
+    CompletionEvent ev = wait_event();
+    // The PPE's event loop: interrupt delivery + MMIO acknowledgment.
+    machine_.ppe().sync_to(ev.ts + sim::calib::kInterruptLatencyNs);
+    machine_.ppe().advance_ns(sim::calib::kPpeMmioCostNs);
+
+    TaskRecord& rec = tasks_[ev.task];
+    rec.done = true;
+    --incomplete_;
+    --outstanding_;
+    worker_idle_[static_cast<std::size_t>(ev.worker)] = true;
+    stats_.tasks_run += 1;
+    if (ev.code_switched) stats_.code_switches += 1;
+    for (TaskId dep : rec.dependents) {
+      if (--tasks_[dep].unmet_deps == 0) ready_.push_back(dep);
+    }
+    pump_ready_tasks();
+  }
+  stats_.makespan_ns = machine_.ppe().now_ns() - start_ns_;
+}
+
+TaskPool::Stats TaskPool::stats() {
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    stats_.worker_busy_ns[w] = workers_[w]->ctx().busy_ns();
+  }
+  return stats_;
+}
+
+}  // namespace cellport::port

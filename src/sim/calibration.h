@@ -1,0 +1,77 @@
+// Calibration constants for the analytic timing model.
+//
+// Derivation. Section 5.2 of the paper reports, for the *same* reference
+// C++ code, an average compute-kernel slowdown of 2.5x from the Laptop
+// (Pentium M 1.8 GHz) to the PPE (3.2 GHz) and 3.2x from the Desktop
+// (Pentium D 3.4 GHz) to the PPE. Writing t = N * CPI / f for an op mix of
+// size N:
+//
+//   t_ppe = 3.2 * t_desktop  =>  CPI_ppe    = 3.2 * (3.2/3.4) * CPI_desktop
+//   t_ppe = 2.5 * t_laptop   =>  CPI_laptop = (3.2/2.5) * (1.8/3.4)
+//                                             * CPI_desktop = 0.678 * CPI_d
+//
+// We therefore pick a plausible NetBurst-era CPI table for the Desktop and
+// scale it uniformly for the other two machines, which reproduces the
+// published cross-machine ratios for *any* op mix. The absolute Desktop
+// values only set the time unit; all paper results are ratios.
+//
+// SPE-side constants follow the published Cell ISA characteristics: all
+// SPU instructions are 128-bit SIMD, dual-issued on an even (arithmetic)
+// and an odd (load/store/shuffle/branch) pipeline at 1 instr/cycle each;
+// double precision issues 2 results every 7 cycles; a mispredicted branch
+// (no hardware predictor, software hints only) costs ~18 cycles.
+#pragma once
+
+#include "sim/time.h"
+
+namespace cellport::sim::calib {
+
+// ---- Scalar machine scale factors (see derivation above) ----
+inline constexpr double kLaptopCpiScale = (3.2 / 2.5) * (1.8 / 3.4);
+inline constexpr double kPpeCpiScale = 3.2 * (3.2 / 3.4);
+
+// ---- SPU pipeline ----
+inline constexpr double kSpuFreqGhz = 3.2;
+inline constexpr double kSpuBranchMissCycles = 18.0;
+// Double precision: 2 results every 7 cycles => 3.5 cycles/op charged to
+// the even pipe.
+inline constexpr double kSpuDoubleCyclesPerOp = 3.5;
+
+// ---- Communication ----
+// Per-SPE DMA: each SPE's MFC sustains 25.6 GB/s to main memory.
+inline constexpr double kDmaBandwidthBytesPerNs = 25.6;
+// First-byte latency of a DMA transfer (MFC issue + EIB + memory
+// controller round trip).
+inline constexpr SimTime kDmaLatencyNs = 250.0;
+// Aggregate EIB budget (theoretical peak 204.8 GB/s), tracked for
+// utilization statistics.
+inline constexpr double kEibPeakBytesPerNs = 204.8;
+// Mailbox word delivery latency (MMIO write through the EIB).
+inline constexpr SimTime kMailboxLatencyNs = 100.0;
+// PPE-side cost of one MMIO mailbox access.
+inline constexpr SimTime kPpeMmioCostNs = 40.0;
+// Extra delivery latency when the SPE signals completion through the
+// interrupting mailbox (external-interrupt dispatch on the PPE).
+inline constexpr SimTime kInterruptLatencyNs = 500.0;
+// Fixed overhead of switching the kernel image resident in an SPE's
+// local store (program re-entry and relocation, on top of the code DMA)
+// — the cost the paper's static schedule avoids ("it avoids the dynamic
+// code switching", Section 5.5 scenario 1).
+inline constexpr SimTime kCodeSwitchOverheadNs = 2000.0;
+// SPE-side cost of one channel read/write.
+inline constexpr SimTime kSpuChannelCostNs = 2.0;
+
+// ---- I/O model (preprocessing & one-time overhead) ----
+// Sustained disk/decode streaming bandwidth of the 2007-era testbed.
+inline constexpr double kDiskBandwidthBytesPerNs = 0.060;  // 60 MB/s
+// Per-file open cost; batch experiments read warm, mostly contiguous
+// files, so this is an open+readahead handoff rather than a full seek.
+inline constexpr SimTime kFileOpenLatencyNs = 0.25e6;  // 0.25 ms
+// Section 5.2: preprocessing (mainly I/O) is 1.2x slower on the PPE than
+// the Laptop and 1.4x slower than the Desktop. The one-time overhead is
+// "about the same" on all three machines (pure disk bandwidth).
+inline constexpr double kIoFactorDesktop = 1.0;
+inline constexpr double kIoFactorLaptop = 1.4 / 1.2;
+inline constexpr double kIoFactorPpe = 1.4;
+
+}  // namespace cellport::sim::calib

@@ -1,0 +1,66 @@
+#include "sim/core_model.h"
+
+#include "sim/calibration.h"
+
+namespace cellport::sim {
+
+const char* op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::kIntAlu: return "int";
+    case OpClass::kFloatAlu: return "float";
+    case OpClass::kDoubleAlu: return "double";
+    case OpClass::kMul: return "mul";
+    case OpClass::kDiv: return "div";
+    case OpClass::kSqrt: return "sqrt";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+    case OpClass::kBranchMiss: return "branch-miss";
+    case OpClass::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+// Plausible per-op CPI for a NetBurst-era desktop (see calibration.h: the
+// absolute values set the time unit; cross-machine ratios are calibrated).
+constexpr std::array<double, kNumOpClasses> kDesktopCpi = {
+    /*int*/ 0.50,
+    /*float*/ 1.00,
+    /*double*/ 1.00,
+    /*mul*/ 1.25,
+    /*div*/ 30.0,   // NetBurst fdiv latency class
+    /*sqrt*/ 40.0,  // NetBurst fsqrt / transcendental step
+
+    /*load*/ 0.60,
+    /*store*/ 0.60,
+    /*branch*/ 0.40,
+    /*branch-miss*/ 25.0,
+};
+
+std::array<double, kNumOpClasses> scaled(double factor) {
+  std::array<double, kNumOpClasses> out{};
+  for (std::size_t i = 0; i < kNumOpClasses; ++i)
+    out[i] = kDesktopCpi[i] * factor;
+  return out;
+}
+
+}  // namespace
+
+CoreModel desktop_pentium_d() {
+  return CoreModel{"Desktop (Pentium D 3.4GHz)", 3.4, kDesktopCpi,
+                   calib::kIoFactorDesktop};
+}
+
+CoreModel laptop_pentium_m() {
+  return CoreModel{"Laptop (Pentium M 1.8GHz)", 1.8,
+                   scaled(calib::kLaptopCpiScale), calib::kIoFactorLaptop};
+}
+
+CoreModel cell_ppe() {
+  return CoreModel{"Cell PPE (3.2GHz)", 3.2, scaled(calib::kPpeCpiScale),
+                   calib::kIoFactorPpe};
+}
+
+}  // namespace cellport::sim

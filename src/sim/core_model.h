@@ -1,0 +1,66 @@
+// Analytic core models for the machines compared in the paper.
+//
+// The paper's Figures 6 and 7 compare the same reference C++ code on three
+// scalar machines — a Pentium D 3.4 GHz ("Desktop"), a Pentium M 1.8 GHz
+// ("Laptop"), and the Cell's PPE at 3.2 GHz — plus the optimized SPE code.
+// We model each scalar machine as a frequency plus a cycles-per-operation
+// table; Section 5.2 of the paper gives the measured cross-machine ratios
+// (PPE 2.5x slower than Laptop and 3.2x slower than Desktop on compute,
+// 1.2x/1.4x on I/O-bound preprocessing) that calibrate the tables — see
+// calibration.h for the derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace cellport::sim {
+
+/// Operation classes charged by instrumented scalar (reference) kernels.
+enum class OpClass : std::uint8_t {
+  kIntAlu,     // integer add/sub/logic/compare
+  kFloatAlu,   // single-precision add/sub/compare
+  kDoubleAlu,  // double-precision add/sub/compare
+  kMul,        // integer or FP multiply
+  kDiv,        // divide (any type)
+  kSqrt,       // square root / transcendental step
+  kLoad,       // memory read
+  kStore,      // memory write
+  kBranch,     // correctly predicted branch
+  kBranchMiss, // mispredicted branch
+  kCount
+};
+
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::kCount);
+
+/// Human-readable op-class name (for cost breakdown reports).
+const char* op_class_name(OpClass c);
+
+/// An analytic scalar core: frequency plus per-op-class CPI.
+struct CoreModel {
+  std::string name;
+  double freq_ghz = 1.0;  // cycles per simulated nanosecond
+  std::array<double, kNumOpClasses> cpi{};
+  /// Multiplier on I/O transfer time relative to the baseline disk/NIC
+  /// model (the PPE's I/O path is slightly slower; Section 5.2 measures
+  /// 1.2x vs Laptop and 1.4x vs Desktop).
+  double io_factor = 1.0;
+
+  double cycles_for(OpClass c, std::uint64_t n) const {
+    return cpi[static_cast<std::size_t>(c)] * static_cast<double>(n);
+  }
+  /// Simulated nanoseconds for n operations of class c.
+  SimTime ns_for(OpClass c, std::uint64_t n) const {
+    return cycles_for(c, n) / freq_ghz;
+  }
+};
+
+/// The three scalar machines of the paper's evaluation.
+CoreModel desktop_pentium_d();  // "Desktop": Pentium D, 3.4 GHz
+CoreModel laptop_pentium_m();   // "Laptop": Pentium Centrino, 1.8 GHz
+CoreModel cell_ppe();           // Cell PPE, 3.2 GHz, in-order
+
+}  // namespace cellport::sim

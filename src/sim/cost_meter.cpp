@@ -1,0 +1,17 @@
+#include "sim/cost_meter.h"
+
+#include <sstream>
+
+namespace cellport::sim {
+
+std::string CostMeter::breakdown() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < kNumOpClasses; ++i) {
+    if (counts_[i] == 0) continue;
+    os << op_class_name(static_cast<OpClass>(i)) << ": " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cellport::sim

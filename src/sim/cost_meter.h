@@ -1,0 +1,54 @@
+// Per-op-class cost accounting for instrumented scalar kernels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/core_model.h"
+
+namespace cellport::sim {
+
+/// Accumulates operation counts by class. A CostMeter is pure bookkeeping;
+/// converting counts to time is the job of a CoreModel (so the same count
+/// stream can be replayed against Desktop/Laptop/PPE models).
+class CostMeter {
+ public:
+  void charge(OpClass c, std::uint64_t n = 1) {
+    counts_[static_cast<std::size_t>(c)] += n;
+  }
+
+  std::uint64_t count(OpClass c) const {
+    return counts_[static_cast<std::size_t>(c)];
+  }
+
+  std::uint64_t total_ops() const {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+
+  /// Total simulated ns of this count stream on the given core.
+  SimTime ns_on(const CoreModel& core) const {
+    SimTime t = 0;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+      t += core.ns_for(static_cast<OpClass>(i), counts_[i]);
+    return t;
+  }
+
+  void reset() { counts_.fill(0); }
+
+  CostMeter& operator+=(const CostMeter& other) {
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+      counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+  /// Multi-line human-readable breakdown.
+  std::string breakdown() const;
+
+ private:
+  std::array<std::uint64_t, kNumOpClasses> counts_{};
+};
+
+}  // namespace cellport::sim

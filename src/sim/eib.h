@@ -1,0 +1,51 @@
+// Element Interconnect Bus statistics.
+//
+// Per-transfer timing uses the per-SPE MFC bandwidth (25.6 GB/s); the EIB
+// object aggregates traffic across all MFCs so experiments can report bus
+// utilization against the 204.8 GB/s theoretical peak cited by the paper.
+// We deliberately do not serialize transfers through a shared-bus queue:
+// doing so would make simulated time depend on host thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/calibration.h"
+#include "sim/time.h"
+
+namespace cellport::sim {
+
+class Eib {
+ public:
+  void record_transfer(std::uint64_t bytes) {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    transfers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t total_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_transfers() const {
+    return transfers_.load(std::memory_order_relaxed);
+  }
+
+  /// Average EIB utilization over a simulated interval, vs the 204.8 GB/s
+  /// peak. Returns a fraction in [0, inf) (values > 1 flag an impossible
+  /// schedule and indicate the analytic model is being over-driven).
+  double utilization(SimTime interval_ns) const {
+    if (interval_ns <= 0) return 0.0;
+    return static_cast<double>(total_bytes()) /
+           (calib::kEibPeakBytesPerNs * interval_ns);
+  }
+
+  void reset() {
+    bytes_.store(0);
+    transfers_.store(0);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> transfers_{0};
+};
+
+}  // namespace cellport::sim

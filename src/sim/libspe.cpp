@@ -1,0 +1,63 @@
+#include "sim/libspe.h"
+
+#include "support/error.h"
+
+namespace cellport::sim {
+
+namespace {
+Machine& machine() {
+  Machine* m = Machine::current();
+  if (m == nullptr) {
+    throw cellport::ConfigError(
+        "no Machine is alive; construct a cellport::sim::Machine before "
+        "using the libspe-style API");
+  }
+  return *m;
+}
+}  // namespace
+
+speid_t spe_create_thread(const spe_program_handle_t& program,
+                          std::uint64_t argp, int spe_index) {
+  return machine().spawn(program, argp, spe_index);
+}
+
+void spe_write_in_mbox(speid_t spe, std::uint64_t value) {
+  ScalarContext& ppe = spe->machine().ppe();
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  spe->ctx().in_mbox().write(value, ppe.now_ns() + calib::kMailboxLatencyNs);
+}
+
+std::size_t spe_stat_out_mbox(speid_t spe) {
+  spe->machine().ppe().advance_ns(calib::kPpeMmioCostNs);
+  return spe->ctx().out_mbox().count();
+}
+
+std::uint64_t spe_read_out_mbox(speid_t spe) {
+  ScalarContext& ppe = spe->machine().ppe();
+  Mailbox::Entry e = spe->ctx().out_mbox().read();
+  // In simulated time the PPE was polling until the entry's delivery
+  // timestamp, then paid one MMIO read to fetch it.
+  ppe.sync_to(e.ts);
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  return e.value;
+}
+
+std::uint64_t spe_read_out_intr_mbox(speid_t spe) {
+  ScalarContext& ppe = spe->machine().ppe();
+  Mailbox::Entry e = spe->ctx().out_intr_mbox().read();
+  ppe.sync_to(e.ts + calib::kInterruptLatencyNs);
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  return e.value;
+}
+
+void spe_write_signal(speid_t spe, int which, std::uint32_t bits) {
+  ScalarContext& ppe = spe->machine().ppe();
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  SignalRegister& reg =
+      which == 1 ? spe->ctx().signal1() : spe->ctx().signal2();
+  reg.write(bits, ppe.now_ns() + calib::kMailboxLatencyNs);
+}
+
+int spe_wait(speid_t spe) { return spe->machine().join(spe); }
+
+}  // namespace cellport::sim

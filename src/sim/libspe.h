@@ -1,0 +1,50 @@
+// PPE-side programming surface, mirroring libspe 1.x as used in the
+// paper's Listings 2-4 (spe_create_thread, spe_write_in_mbox,
+// spe_stat_out_mbox, spe_read_out_mbox, ...).
+//
+// All functions operate on Machine::current() and must be called from the
+// single PPE application thread. Mailbox words are 64-bit in the simulator
+// (see mailbox.h for the documented deviation).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.h"
+
+namespace cellport::sim {
+
+using spe_program_handle_t = SpeProgram;
+using speid_t = SpeThread*;
+
+/// Loads and starts `program` on a free SPE of the current machine.
+/// `argp` is delivered as the program's argv parameter.
+speid_t spe_create_thread(const spe_program_handle_t& program,
+                          std::uint64_t argp = 0, int spe_index = -1);
+
+/// Writes one word into the SPE's inbound mailbox (blocking when the
+/// 4-entry queue is full). Charges the PPE an MMIO access.
+void spe_write_in_mbox(speid_t spe, std::uint64_t value);
+
+/// Number of unread entries in the SPE's outbound mailbox. Charges the
+/// PPE an MMIO read (this is the polling cost of Listing 3's busy loop).
+std::size_t spe_stat_out_mbox(speid_t spe);
+
+/// Reads the SPE's outbound mailbox, blocking until an entry arrives.
+/// The PPE clock advances to the entry's delivery timestamp: in simulated
+/// time this is exactly the poll loop of Listing 3.
+std::uint64_t spe_read_out_mbox(speid_t spe);
+
+/// Reads the SPE's interrupting outbound mailbox (the INTERRUPT path of
+/// Listing 1); the PPE pays an interrupt-delivery latency instead of
+/// polling occupancy.
+std::uint64_t spe_read_out_intr_mbox(speid_t spe);
+
+/// Writes an SPE signal-notification register (1 or 2). In OR mode many
+/// senders can each contribute a bit; in overwrite mode the last write
+/// wins (configure via spe->ctx().signalN().set_mode()).
+void spe_write_signal(speid_t spe, int which, std::uint32_t bits);
+
+/// Waits for the SPE program to terminate; returns its exit code.
+int spe_wait(speid_t spe);
+
+}  // namespace cellport::sim

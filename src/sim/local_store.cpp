@@ -1,0 +1,52 @@
+#include "sim/local_store.h"
+
+#include <sstream>
+
+#include "support/aligned.h"
+
+namespace cellport::sim {
+
+LocalStore::LocalStore() : data_(kCapacity, /*log2_align=*/8) {}
+
+void LocalStore::load_code(std::size_t code_bytes) {
+  std::size_t rounded = cellport::round_up(code_bytes, 128);
+  if (rounded + kStackReserve > kCapacity) {
+    std::ostringstream os;
+    os << "kernel code image of " << code_bytes
+       << " bytes does not fit in the 256KiB local store";
+    throw cellport::LocalStoreError(os.str());
+  }
+  code_bytes_ = rounded;
+  top_ = rounded;
+  if (top_ > peak_) peak_ = top_;
+}
+
+void* LocalStore::alloc(std::size_t bytes, std::size_t align) {
+  if (align < 16 || (align & (align - 1)) != 0) {
+    throw cellport::LocalStoreError(
+        "LS allocations must be power-of-two aligned, >= 16 bytes (DMA "
+        "target rule)");
+  }
+  std::size_t start = cellport::round_up(top_, align);
+  std::size_t end = start + bytes;
+  if (end + kStackReserve > kCapacity) {
+    std::ostringstream os;
+    os << "allocation of " << bytes << " bytes overflows the local store ("
+       << data_bytes_used() << " data + " << code_bytes_
+       << " code bytes already in use, " << bytes_free() << " free)";
+    throw cellport::LocalStoreError(os.str());
+  }
+  top_ = end;
+  if (top_ > peak_) peak_ = top_;
+  return data_.data() + start;
+}
+
+void LocalStore::reset_data() { top_ = code_bytes_; }
+
+bool LocalStore::contains(const void* ptr, std::size_t len) const {
+  auto p = reinterpret_cast<std::uintptr_t>(ptr);
+  auto lo = reinterpret_cast<std::uintptr_t>(data_.data());
+  return p >= lo && p + len <= lo + kCapacity;
+}
+
+}  // namespace cellport::sim

@@ -1,0 +1,68 @@
+// The SPE's 256 KiB Local Store.
+//
+// Real SPEs have no cache and no virtual memory: code and data share one
+// 256 KiB SRAM that the application manages explicitly. We model it as a
+// real backing array with a bump allocator, so a kernel that overflows the
+// LS fails loudly in the simulator exactly where it would fail on hardware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "support/aligned.h"
+#include "support/error.h"
+
+namespace cellport::sim {
+
+class LocalStore {
+ public:
+  /// Hardware local-store capacity (code + data + stack).
+  static constexpr std::size_t kCapacity = 256 * 1024;
+  /// Reserved for the runtime stack, matching typical SPU linker defaults.
+  static constexpr std::size_t kStackReserve = 4 * 1024;
+
+  LocalStore();
+
+  /// Reserves space for the kernel's code image (set when a program is
+  /// loaded onto the SPE). Throws LocalStoreError if it does not fit.
+  void load_code(std::size_t code_bytes);
+
+  /// Allocates `bytes` of LS data space aligned to `align` (power of two,
+  /// >= 16 as required for DMA targets). Throws on overflow.
+  void* alloc(std::size_t bytes, std::size_t align = 16);
+
+  /// Convenience typed allocation of `count` elements of T.
+  template <typename T>
+  T* alloc_array(std::size_t count, std::size_t align = 16) {
+    return static_cast<T*>(alloc(count * sizeof(T), align));
+  }
+
+  /// Releases all data allocations (code reservation stays). Called by the
+  /// dispatcher between kernel invocations.
+  void reset_data();
+
+  /// True if [ptr, ptr+len) lies inside this local store.
+  bool contains(const void* ptr, std::size_t len) const;
+
+  std::uint8_t* base() { return data_.data(); }
+  const std::uint8_t* base() const { return data_.data(); }
+
+  std::size_t code_bytes() const { return code_bytes_; }
+  std::size_t data_bytes_used() const { return top_ - code_bytes_; }
+  std::size_t bytes_free() const {
+    return kCapacity - kStackReserve - top_;
+  }
+  /// High-water mark of total usage (code + data), for LS-pressure reports.
+  std::size_t peak_bytes() const { return peak_; }
+
+ private:
+  // 256-byte-aligned backing so LS-offset alignment equals host-address
+  // alignment (LS addresses are 0-based on real hardware).
+  cellport::AlignedBuffer<std::uint8_t> data_;
+  std::size_t code_bytes_ = 0;
+  std::size_t top_ = 0;   // bump pointer (offset from base)
+  std::size_t peak_ = 0;
+};
+
+}  // namespace cellport::sim

@@ -1,0 +1,96 @@
+#include "sim/machine.h"
+
+#include "support/error.h"
+
+namespace cellport::sim {
+
+namespace {
+Machine* g_current_machine = nullptr;
+}
+
+Machine* Machine::current() { return g_current_machine; }
+
+SpeThread::SpeThread(Machine& m, SpeContext& ctx, SpeProgram program,
+                     std::uint64_t argv)
+    : machine_(m), ctx_(ctx), program_(std::move(program)) {
+  ctx_.ls().load_code(program_.code_bytes);
+  auto entry = program_.entry;
+  auto* context = &ctx_;
+  auto exit_code = exit_code_;
+  auto done = done_;
+  std::uint64_t id = static_cast<std::uint64_t>(ctx_.id());
+  thread_ = std::thread([entry, context, argv, id, exit_code, done] {
+    set_current_spe(context);
+    *exit_code = entry(id, argv);
+    set_current_spe(nullptr);
+    done->store(true, std::memory_order_release);
+  });
+}
+
+bool SpeThread::finished() const {
+  return done_->load(std::memory_order_acquire);
+}
+
+Machine::Machine(Config cfg) : ppe_(cell_ppe()) {
+  if (cfg.num_spes < 1 || cfg.num_spes > 8) {
+    throw cellport::ConfigError(
+        "a Cell B.E. has 1..8 usable SPEs, requested " +
+        std::to_string(cfg.num_spes));
+  }
+  for (int i = 0; i < cfg.num_spes; ++i)
+    spes_.push_back(std::make_unique<SpeContext>(i, eib_));
+  spe_busy_.assign(static_cast<std::size_t>(cfg.num_spes), false);
+  g_current_machine = this;
+}
+
+Machine::~Machine() {
+  for (auto& t : threads_) {
+    if (!t->joined_ && t->thread_.joinable()) t->thread_.join();
+  }
+  if (g_current_machine == this) g_current_machine = nullptr;
+}
+
+SpeThread* Machine::spawn(const SpeProgram& program, std::uint64_t argv,
+                          int spe_index) {
+  if (program.entry == nullptr) {
+    throw cellport::ConfigError("SPE program '" + program.name +
+                                "' has no entry point");
+  }
+  if (spe_index < 0) {
+    for (std::size_t i = 0; i < spe_busy_.size(); ++i) {
+      if (!spe_busy_[i]) {
+        spe_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (spe_index < 0) {
+      throw cellport::ConfigError("all " + std::to_string(num_spes()) +
+                                  " SPEs are busy; cannot load '" +
+                                  program.name + "'");
+    }
+  }
+  auto idx = static_cast<std::size_t>(spe_index);
+  if (idx >= spes_.size()) {
+    throw cellport::ConfigError("SPE index " + std::to_string(spe_index) +
+                                " out of range");
+  }
+  if (spe_busy_[idx]) {
+    throw cellport::ConfigError("SPE " + std::to_string(spe_index) +
+                                " already runs a program");
+  }
+  spe_busy_[idx] = true;
+  threads_.push_back(std::unique_ptr<SpeThread>(
+      new SpeThread(*this, *spes_[idx], program, argv)));
+  return threads_.back().get();
+}
+
+int Machine::join(SpeThread* t) {
+  if (!t->joined_) {
+    t->thread_.join();
+    t->joined_ = true;
+    spe_busy_[static_cast<std::size_t>(t->ctx_.id())] = false;
+  }
+  return *t->exit_code_;
+}
+
+}  // namespace cellport::sim

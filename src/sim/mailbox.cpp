@@ -1,0 +1,42 @@
+#include "sim/mailbox.h"
+
+namespace cellport::sim {
+
+void Mailbox::write(std::uint64_t value, SimTime delivery_ts) {
+  std::unique_lock lock(mu_);
+  cv_write_.wait(lock, [&] { return q_.size() < capacity_; });
+  q_.push_back(Entry{value, delivery_ts});
+  cv_read_.notify_one();
+}
+
+void Mailbox::write_or_throw(std::uint64_t value, SimTime delivery_ts) {
+  std::unique_lock lock(mu_);
+  if (q_.size() >= capacity_) {
+    throw cellport::MailboxError("mailbox '" + name_ + "' is full (depth " +
+                                 std::to_string(capacity_) + ")");
+  }
+  q_.push_back(Entry{value, delivery_ts});
+  cv_read_.notify_one();
+}
+
+Mailbox::Entry Mailbox::read() {
+  std::unique_lock lock(mu_);
+  cv_read_.wait(lock, [&] { return !q_.empty(); });
+  Entry e = q_.front();
+  q_.pop_front();
+  cv_write_.notify_one();
+  return e;
+}
+
+std::size_t Mailbox::count() const {
+  std::lock_guard lock(mu_);
+  return q_.size();
+}
+
+void Mailbox::clear() {
+  std::lock_guard lock(mu_);
+  q_.clear();
+  cv_write_.notify_all();
+}
+
+}  // namespace cellport::sim

@@ -1,0 +1,67 @@
+// Timestamped, depth-limited mailboxes.
+//
+// Each SPE exposes a 4-entry inbound mailbox (PPE -> SPE), a 1-entry
+// outbound mailbox and a 1-entry outbound interrupt mailbox (SPE -> PPE).
+// Entries carry the sender's simulated timestamp; the reader's clock
+// advances to max(own, ts) on receipt, which is the only way simulated
+// time flows between cores. Functionally the mailboxes are real
+// thread-safe queues so the threaded runtime blocks exactly where real
+// mailbox channels stall.
+//
+// Deviation from hardware: entries are 64-bit (real Cell mailboxes carry
+// 32-bit words; a 64-bit effective address would be sent as two writes).
+// We widen the word so host pointers can travel in one entry; the protocol
+// shape (Listing 3 of the paper) is unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "sim/time.h"
+#include "support/error.h"
+
+namespace cellport::sim {
+
+class Mailbox {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    SimTime ts = 0;  // delivery timestamp (sender clock + wire latency)
+  };
+
+  Mailbox(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  /// Blocking write: waits until a slot is free (hardware stalls the
+  /// writer when the mailbox is full).
+  void write(std::uint64_t value, SimTime delivery_ts);
+
+  /// Non-blocking write; throws MailboxError when full. Used by call
+  /// sites that must not stall (protocol bugs surface as errors).
+  void write_or_throw(std::uint64_t value, SimTime delivery_ts);
+
+  /// Blocking read: waits until an entry is available.
+  Entry read();
+
+  /// Number of entries currently queued (spe_stat_* equivalent).
+  std::size_t count() const;
+
+  std::size_t capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  /// Drops all queued entries (machine reset).
+  void clear();
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_read_;
+  std::condition_variable cv_write_;
+  std::deque<Entry> q_;
+};
+
+}  // namespace cellport::sim

@@ -1,0 +1,151 @@
+#include "sim/mfc.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "sim/spe_context.h"
+#include "support/aligned.h"
+#include "support/error.h"
+
+namespace cellport::sim {
+
+namespace {
+
+bool natural_small_transfer(const void* ls, std::uint64_t ea,
+                            std::uint32_t size) {
+  if (size != 1 && size != 2 && size != 4 && size != 8) return false;
+  auto lsa = reinterpret_cast<std::uintptr_t>(ls);
+  // Small transfers require natural alignment of both addresses *and*
+  // identical low-order 4 bits (LS and EA must target the same offset
+  // within a quadword).
+  if (lsa % size != 0 || ea % size != 0) return false;
+  return (lsa & 0xF) == (ea & 0xF);
+}
+
+}  // namespace
+
+void Mfc::validate(const void* ls, std::uint64_t ea, std::uint32_t size,
+                   unsigned tag) const {
+  if (tag >= kNumTags) {
+    throw cellport::DmaError("tag " + std::to_string(tag) +
+                             " out of range (0..31)");
+  }
+  if (size == 0) throw cellport::DmaError("zero-length transfer");
+  if (size > kMaxTransfer) {
+    throw cellport::DmaError("transfer of " + std::to_string(size) +
+                             " bytes exceeds the 16KiB MFC maximum");
+  }
+  const bool quad = (size % 16 == 0) && cellport::is_aligned(ls, 16) &&
+                    (ea % 16 == 0);
+  if (!quad && !natural_small_transfer(ls, ea, size)) {
+    std::ostringstream os;
+    os << "illegal transfer: size=" << size << " ls=" << ls << " ea=0x"
+       << std::hex << ea
+       << " (must be 1/2/4/8 bytes naturally aligned with matching "
+          "quadword offsets, or a multiple of 16 bytes with 16-byte "
+          "aligned LS and EA)";
+    throw cellport::DmaError(os.str());
+  }
+  if (!owner_.ls().contains(ls, size)) {
+    throw cellport::DmaError("LS address is outside the local store");
+  }
+}
+
+void Mfc::issue(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag,
+                bool is_get, bool list_element) {
+  validate(ls, ea, size, tag);
+  if (outstanding_ >= kQueueDepth) {
+    // A full MFC queue stalls the SPU until a slot frees up; analytically
+    // we conservatively wait for the engine to drain.
+    owner_.sync_to(engine_busy_until_);
+    outstanding_ = 0;
+  }
+  // Functional copy happens at issue time; timing is analytic.
+  void* src = is_get ? reinterpret_cast<void*>(ea) : ls;
+  void* dst = is_get ? ls : reinterpret_cast<void*>(ea);
+  std::memcpy(dst, src, size);
+
+  SimTime issue_ts = owner_.now_ns();
+  SimTime start = std::max(issue_ts, engine_busy_until_);
+  SimTime xfer = static_cast<double>(size) / calib::kDmaBandwidthBytesPerNs;
+  engine_busy_until_ = start + xfer;
+  SimTime complete = engine_busy_until_ + calib::kDmaLatencyNs;
+  tag_complete_[tag] = std::max(tag_complete_[tag], complete);
+  ++outstanding_;
+
+  stats_.transfers += 1;
+  stats_.bytes += size;
+  if (list_element) stats_.list_elements += 1;
+  eib_.record_transfer(size);
+}
+
+void Mfc::get(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag) {
+  issue(ls, ea, size, tag, /*is_get=*/true, /*list_element=*/false);
+}
+
+void Mfc::put(const void* ls, std::uint64_t ea, std::uint32_t size,
+              unsigned tag) {
+  issue(const_cast<void*>(ls), ea, size, tag, /*is_get=*/false,
+        /*list_element=*/false);
+}
+
+void Mfc::get_list(void* ls, std::span<const MfcListElement> list,
+                   unsigned tag) {
+  auto* dst = static_cast<std::uint8_t*>(ls);
+  for (const auto& el : list) {
+    issue(dst, el.ea, el.size, tag, /*is_get=*/true, /*list_element=*/true);
+    dst += cellport::round_up(el.size, 16);
+  }
+}
+
+void Mfc::put_list(const void* ls, std::span<const MfcListElement> list,
+                   unsigned tag) {
+  auto* src = const_cast<std::uint8_t*>(static_cast<const std::uint8_t*>(ls));
+  for (const auto& el : list) {
+    issue(src, el.ea, el.size, tag, /*is_get=*/false, /*list_element=*/true);
+    src += cellport::round_up(el.size, 16);
+  }
+}
+
+std::uint32_t Mfc::read_tag_status_all() {
+  SimTime latest = 0;
+  for (unsigned t = 0; t < kNumTags; ++t) {
+    if (tag_mask_ & (1u << t)) latest = std::max(latest, tag_complete_[t]);
+  }
+  SimTime before = owner_.now_ns();
+  owner_.sync_to(latest);
+  stats_.stall_ns += std::max(0.0, latest - before);
+  outstanding_ = 0;
+  return tag_mask_;
+}
+
+std::uint32_t Mfc::read_tag_status_any() {
+  SimTime earliest = -1;
+  for (unsigned t = 0; t < kNumTags; ++t) {
+    if (tag_mask_ & (1u << t)) {
+      if (earliest < 0 || tag_complete_[t] < earliest)
+        earliest = tag_complete_[t];
+    }
+  }
+  if (earliest < 0) return 0;
+  SimTime before = owner_.now_ns();
+  owner_.sync_to(earliest);
+  stats_.stall_ns += std::max(0.0, earliest - before);
+  std::uint32_t done = 0;
+  SimTime now = owner_.now_ns();
+  for (unsigned t = 0; t < kNumTags; ++t) {
+    if ((tag_mask_ & (1u << t)) && tag_complete_[t] <= now) done |= 1u << t;
+  }
+  return done;
+}
+
+void Mfc::reset() {
+  tag_mask_ = 0;
+  tag_complete_.fill(0);
+  engine_busy_until_ = 0;
+  outstanding_ = 0;
+  stats_ = Stats{};
+}
+
+}  // namespace cellport::sim

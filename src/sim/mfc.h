@@ -1,0 +1,94 @@
+// Memory Flow Controller: the SPE's DMA engine.
+//
+// The MFC validates every command against the real hardware's rules
+// (alignment, maximum transfer size, tag range, queue depth) and throws on
+// violation, so a kernel that runs on the simulator also satisfies the
+// Cell's DMA constraints. Transfers are functionally synchronous (bytes are
+// copied at issue time) while their *timing* is modeled in simulated time:
+// a command completes at
+//     max(issue_time, engine_busy_until) + size/bandwidth + latency
+// which captures both per-MFC bandwidth saturation and the latency that
+// multi-buffering hides.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/eib.h"
+#include "sim/time.h"
+
+namespace cellport::sim {
+
+class SpeContext;
+
+/// One element of a DMA list (mfc_getl/mfc_putl).
+struct MfcListElement {
+  std::uint64_t ea = 0;      // effective (main-memory) address
+  std::uint32_t size = 0;    // bytes
+};
+
+class Mfc {
+ public:
+  static constexpr unsigned kNumTags = 32;
+  static constexpr unsigned kQueueDepth = 16;
+  static constexpr std::uint32_t kMaxTransfer = 16 * 1024;
+
+  Mfc(SpeContext& owner, Eib& eib) : owner_(owner), eib_(eib) {}
+
+  /// DMA main memory -> local store.
+  void get(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag);
+  /// DMA local store -> main memory.
+  void put(const void* ls, std::uint64_t ea, std::uint32_t size,
+           unsigned tag);
+  /// DMA-list gather into a contiguous LS region.
+  void get_list(void* ls, std::span<const MfcListElement> list,
+                unsigned tag);
+  /// DMA-list scatter from a contiguous LS region.
+  void put_list(const void* ls, std::span<const MfcListElement> list,
+                unsigned tag);
+
+  /// Selects which tag groups the next status read waits for.
+  void write_tag_mask(std::uint32_t mask) { tag_mask_ = mask; }
+  std::uint32_t tag_mask() const { return tag_mask_; }
+
+  /// Blocks (in simulated time) until all transfers in the masked tag
+  /// groups have completed; returns the mask of completed groups.
+  std::uint32_t read_tag_status_all();
+  /// Blocks until at least one masked tag group has no outstanding
+  /// transfers; returns the mask of complete groups.
+  std::uint32_t read_tag_status_any();
+
+  /// Outstanding (not yet waited-on) commands across all tags.
+  unsigned outstanding() const { return outstanding_; }
+
+  struct Stats {
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t list_elements = 0;
+    /// Simulated ns the SPU spent stalled in tag-status waits.
+    SimTime stall_ns = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  void reset();
+
+ private:
+  void issue(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag,
+             bool is_get, bool list_element);
+  void validate(const void* ls, std::uint64_t ea, std::uint32_t size,
+                unsigned tag) const;
+
+  SpeContext& owner_;
+  Eib& eib_;
+  std::uint32_t tag_mask_ = 0;
+  // Completion time of the latest command per tag group.
+  std::array<SimTime, kNumTags> tag_complete_{};
+  // Analytic model of the single DMA engine's busy interval.
+  SimTime engine_busy_until_ = 0;
+  unsigned outstanding_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cellport::sim

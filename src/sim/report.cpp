@@ -1,0 +1,57 @@
+#include "sim/report.h"
+
+#include <algorithm>
+
+#include "support/table.h"
+
+namespace cellport::sim {
+
+MachineReport snapshot(Machine& machine) {
+  MachineReport r;
+  r.ppe_ns = machine.ppe().now_ns();
+  for (int i = 0; i < machine.num_spes(); ++i) {
+    SpeContext& spe = machine.spe(i);
+    SpeReport s;
+    s.id = i;
+    s.busy_ns = spe.busy_ns();
+    s.even_cycles = spe.pipe_stats().even_cycles;
+    s.odd_cycles = spe.pipe_stats().odd_cycles;
+    s.slack_cycles = spe.pipe_stats().slack_cycles;
+    s.dma_transfers = spe.mfc().stats().transfers;
+    s.dma_bytes = spe.mfc().stats().bytes;
+    s.dma_stall_ns = spe.mfc().stats().stall_ns;
+    s.ls_peak_bytes = spe.ls().peak_bytes();
+    r.spes.push_back(s);
+  }
+  r.eib_bytes = machine.eib().total_bytes();
+  r.eib_transfers = machine.eib().total_transfers();
+  r.eib_utilization = machine.eib().utilization(r.ppe_ns);
+  return r;
+}
+
+std::string format_report(const MachineReport& report) {
+  Table t("Machine report (simulated)");
+  t.header({"SPE", "Busy[ms]", "Even[Mcyc]", "Odd[Mcyc]", "Slack[%]",
+            "DMA[MB]", "DMA stall[ms]", "LS peak[KiB]"});
+  for (const auto& s : report.spes) {
+    double issued = std::max(s.even_cycles, s.odd_cycles);
+    t.row({std::to_string(s.id), Table::num(ns_to_ms(s.busy_ns), 2),
+           Table::num(s.even_cycles / 1e6, 2),
+           Table::num(s.odd_cycles / 1e6, 2),
+           Table::num(issued > 0 ? 100.0 * s.slack_cycles / issued : 0.0,
+                      1),
+           Table::num(static_cast<double>(s.dma_bytes) / 1e6, 2),
+           Table::num(ns_to_ms(s.dma_stall_ns), 2),
+           Table::num(static_cast<double>(s.ls_peak_bytes) / 1024.0, 0)});
+  }
+  std::string out = t.str();
+  out += "  PPE elapsed: " + Table::num(ns_to_ms(report.ppe_ns), 2) +
+         " ms   EIB: " +
+         Table::num(static_cast<double>(report.eib_bytes) / 1e6, 2) +
+         " MB in " + std::to_string(report.eib_transfers) +
+         " transfers (" + Table::num(100 * report.eib_utilization, 2) +
+         "% of peak)\n";
+  return out;
+}
+
+}  // namespace cellport::sim

@@ -1,0 +1,43 @@
+// Machine-wide statistics reporting.
+//
+// Aggregates what the simulator already tracks — per-SPE busy time,
+// pipeline balance, DMA traffic and stalls, EIB utilization — into one
+// table, so benches and examples can print the machine's view of an
+// experiment next to its results.
+#pragma once
+
+#include <string>
+
+#include "sim/machine.h"
+
+namespace cellport::sim {
+
+struct SpeReport {
+  int id = 0;
+  SimTime busy_ns = 0;
+  double even_cycles = 0;
+  double odd_cycles = 0;
+  /// Dual-issue slack: cycles the shorter pipe sat idle at flush points.
+  double slack_cycles = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t dma_bytes = 0;
+  SimTime dma_stall_ns = 0;
+  std::size_t ls_peak_bytes = 0;
+};
+
+struct MachineReport {
+  SimTime ppe_ns = 0;
+  std::vector<SpeReport> spes;
+  std::uint64_t eib_bytes = 0;
+  std::uint64_t eib_transfers = 0;
+  /// EIB utilization over the PPE's elapsed time, vs the 204.8 GB/s peak.
+  double eib_utilization = 0;
+};
+
+/// Snapshots the machine's counters.
+MachineReport snapshot(Machine& machine);
+
+/// Renders the snapshot as an aligned table.
+std::string format_report(const MachineReport& report);
+
+}  // namespace cellport::sim

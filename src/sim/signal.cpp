@@ -1,0 +1,45 @@
+#include "sim/signal.h"
+
+#include <algorithm>
+
+namespace cellport::sim {
+
+void SignalRegister::set_mode(SignalMode mode) {
+  std::lock_guard lock(mu_);
+  mode_ = mode;
+}
+
+void SignalRegister::write(std::uint32_t bits, SimTime ts) {
+  std::lock_guard lock(mu_);
+  if (has_value_ && mode_ == SignalMode::kOr) {
+    value_.bits |= bits;
+    value_.ts = std::max(value_.ts, ts);
+  } else {
+    value_.bits = bits;
+    value_.ts = ts;
+  }
+  has_value_ = true;
+  cv_.notify_one();
+}
+
+SignalRegister::Value SignalRegister::read() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return has_value_; });
+  Value v = value_;
+  has_value_ = false;
+  value_ = Value{};
+  return v;
+}
+
+bool SignalRegister::pending() const {
+  std::lock_guard lock(mu_);
+  return has_value_;
+}
+
+void SignalRegister::clear() {
+  std::lock_guard lock(mu_);
+  has_value_ = false;
+  value_ = Value{};
+}
+
+}  // namespace cellport::sim

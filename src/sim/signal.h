@@ -1,0 +1,55 @@
+// SPE signal-notification registers.
+//
+// Next to mailboxes, the Cell gives each SPE two 32-bit signal
+// notification registers the PPE (or other SPEs) can write; Section 3.4
+// lists signals as the alternative short-message channel for the
+// kernel protocol. Hardware semantics: a register can be configured in
+// overwrite mode (last write wins) or OR mode (writes accumulate bits —
+// many senders can each set their own bit); the SPU read is destructive
+// (returns and clears) and blocks while the register is empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/time.h"
+
+namespace cellport::sim {
+
+enum class SignalMode : std::uint8_t { kOverwrite, kOr };
+
+class SignalRegister {
+ public:
+  explicit SignalRegister(SignalMode mode = SignalMode::kOverwrite)
+      : mode_(mode) {}
+
+  SignalMode mode() const { return mode_; }
+  void set_mode(SignalMode mode);
+
+  /// PPE/peer side: writes `bits` with delivery timestamp `ts`.
+  void write(std::uint32_t bits, SimTime ts);
+
+  struct Value {
+    std::uint32_t bits = 0;
+    SimTime ts = 0;  // latest delivery timestamp folded in
+  };
+
+  /// SPU side: blocks until non-empty, then returns and clears
+  /// (destructive read, like the hardware channel).
+  Value read();
+
+  /// Non-blocking count (0 or 1): is a signal pending?
+  bool pending() const;
+
+  void clear();
+
+ private:
+  SignalMode mode_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool has_value_ = false;
+  Value value_;
+};
+
+}  // namespace cellport::sim

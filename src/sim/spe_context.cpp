@@ -1,0 +1,81 @@
+#include "sim/spe_context.h"
+
+#include <algorithm>
+
+namespace cellport::sim {
+
+namespace {
+thread_local SpeContext* g_current_spe = nullptr;
+}
+
+SpeContext* current_spe() { return g_current_spe; }
+void set_current_spe(SpeContext* ctx) { g_current_spe = ctx; }
+
+void SpeContext::flush_pipes() {
+  if (even_pending_ == 0 && odd_pending_ == 0) return;
+  double issued = std::max(even_pending_, odd_pending_);
+  pipe_stats_.even_cycles += even_pending_;
+  pipe_stats_.odd_cycles += odd_pending_;
+  pipe_stats_.slack_cycles += issued - std::min(even_pending_, odd_pending_);
+  SimTime ns = issued / calib::kSpuFreqGhz;
+  clock_ns_ += ns;
+  busy_ns_ += ns;
+  even_pending_ = 0;
+  odd_pending_ = 0;
+}
+
+SimTime SpeContext::now_ns() {
+  flush_pipes();
+  return clock_ns_;
+}
+
+void SpeContext::sync_to(SimTime ts) {
+  flush_pipes();
+  if (ts > clock_ns_) clock_ns_ = ts;
+}
+
+std::uint64_t SpeContext::read_in_mbox() {
+  flush_pipes();
+  Mailbox::Entry e = in_mbox_.read();
+  sync_to(e.ts);
+  advance_ns(calib::kSpuChannelCostNs);
+  return e.value;
+}
+
+void SpeContext::write_out_mbox(std::uint64_t v) {
+  flush_pipes();
+  advance_ns(calib::kSpuChannelCostNs);
+  out_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
+}
+
+void SpeContext::write_out_intr_mbox(std::uint64_t v) {
+  flush_pipes();
+  advance_ns(calib::kSpuChannelCostNs);
+  out_intr_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
+}
+
+std::uint32_t SpeContext::read_signal(int which) {
+  flush_pipes();
+  SignalRegister& reg = which == 1 ? signal1_ : signal2_;
+  SignalRegister::Value v = reg.read();
+  sync_to(v.ts);
+  advance_ns(calib::kSpuChannelCostNs);
+  return v.bits;
+}
+
+void SpeContext::reset() {
+  clock_ns_ = 0;
+  busy_ns_ = 0;
+  even_pending_ = 0;
+  odd_pending_ = 0;
+  pipe_stats_ = PipeStats{};
+  in_mbox_.clear();
+  out_mbox_.clear();
+  out_intr_mbox_.clear();
+  signal1_.clear();
+  signal2_.clear();
+  ls_.reset_data();
+  mfc_.reset();
+}
+
+}  // namespace cellport::sim

@@ -1,0 +1,110 @@
+// One Synergistic Processing Element: SPU pipelines + LS + MFC + mailboxes.
+//
+// Timing model: the SPU dual-issues one instruction per cycle on each of an
+// even (arithmetic) and an odd (load/store/shuffle/branch) pipeline. The
+// SPU SIMD emulation layer (src/spu) charges each intrinsic to a pipeline;
+// at every synchronization point (channel access, DMA wait, kernel entry /
+// exit) the accumulated pipeline work is flushed into the context clock as
+// max(even, odd) cycles — modeling the overlap that dual issue provides to
+// well-scheduled SPU code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/calibration.h"
+#include "sim/local_store.h"
+#include "sim/mailbox.h"
+#include "sim/mfc.h"
+#include "sim/signal.h"
+#include "sim/time.h"
+
+namespace cellport::sim {
+
+class SpeContext {
+ public:
+  SpeContext(int id, Eib& eib)
+      : id_(id),
+        in_mbox_("spe" + std::to_string(id) + ".in", 4),
+        out_mbox_("spe" + std::to_string(id) + ".out", 1),
+        out_intr_mbox_("spe" + std::to_string(id) + ".out_intr", 1),
+        mfc_(*this, eib) {}
+
+  SpeContext(const SpeContext&) = delete;
+  SpeContext& operator=(const SpeContext&) = delete;
+
+  int id() const { return id_; }
+  LocalStore& ls() { return ls_; }
+  Mfc& mfc() { return mfc_; }
+  Mailbox& in_mbox() { return in_mbox_; }
+  Mailbox& out_mbox() { return out_mbox_; }
+  Mailbox& out_intr_mbox() { return out_intr_mbox_; }
+  SignalRegister& signal1() { return signal1_; }
+  SignalRegister& signal2() { return signal2_; }
+
+  // ---- pipeline accounting (called by the spu emulation layer) ----
+  void charge_even(double cycles = 1.0) { even_pending_ += cycles; }
+  void charge_odd(double cycles = 1.0) { odd_pending_ += cycles; }
+  /// Double-precision op: 2 results every 7 cycles on the even pipe.
+  void charge_double(double ops = 1.0) {
+    even_pending_ += ops * calib::kSpuDoubleCyclesPerOp;
+  }
+  /// A branch whose direction the (hint-only) SPU got wrong.
+  void charge_branch_miss(double n = 1.0) {
+    odd_pending_ += n * calib::kSpuBranchMissCycles;
+  }
+
+  /// Folds pending pipeline work into the clock: dual issue lets the two
+  /// pipelines overlap, so elapsed cycles = max(even, odd).
+  void flush_pipes();
+
+  // ---- clock ----
+  SimTime now_ns();  // flushes pipes first
+  void sync_to(SimTime ts);
+  void advance_ns(SimTime ns) { clock_ns_ += ns; }
+
+  // ---- channel operations (SPU side of the mailboxes/signals) ----
+  std::uint64_t read_in_mbox();
+  void write_out_mbox(std::uint64_t v);
+  void write_out_intr_mbox(std::uint64_t v);
+  std::size_t in_mbox_count() const { return in_mbox_.count(); }
+  /// Destructive blocking read of signal register 1 or 2.
+  std::uint32_t read_signal(int which);
+
+  // ---- lifetime / statistics ----
+  struct PipeStats {
+    double even_cycles = 0;
+    double odd_cycles = 0;
+    /// Cycles lost to the shorter pipe at flush points (dual-issue slack).
+    double slack_cycles = 0;
+  };
+  const PipeStats& pipe_stats() const { return pipe_stats_; }
+  /// Simulated time the SPU was busy (excludes idle waiting on mailbox).
+  SimTime busy_ns() const { return busy_ns_; }
+
+  void reset();
+
+ private:
+  int id_;
+  LocalStore ls_;
+  Mailbox in_mbox_;
+  Mailbox out_mbox_;
+  Mailbox out_intr_mbox_;
+  SignalRegister signal1_;
+  SignalRegister signal2_;
+  Mfc mfc_;
+
+  SimTime clock_ns_ = 0;
+  SimTime busy_ns_ = 0;
+  double even_pending_ = 0;
+  double odd_pending_ = 0;
+  PipeStats pipe_stats_;
+};
+
+/// Thread-local "current SPE" used by the spu_mfcio / spu intrinsic
+/// facades so SPE kernel code can be written in the flat C style of the
+/// paper's Listing 1.
+SpeContext* current_spe();
+void set_current_spe(SpeContext* ctx);
+
+}  // namespace cellport::sim

@@ -1,0 +1,64 @@
+#include "sim/spu_mfcio.h"
+
+#include "support/error.h"
+
+namespace cellport::sim {
+
+namespace {
+SpeContext& ctx() {
+  SpeContext* c = current_spe();
+  if (c == nullptr) {
+    throw cellport::ConfigError(
+        "SPU channel access outside an SPE thread (spu_mfcio functions "
+        "may only be called from SPE kernel code)");
+  }
+  return *c;
+}
+}  // namespace
+
+std::uint64_t spu_read_in_mbox() { return ctx().read_in_mbox(); }
+void spu_write_out_mbox(std::uint64_t v) { ctx().write_out_mbox(v); }
+void spu_write_out_intr_mbox(std::uint64_t v) {
+  ctx().write_out_intr_mbox(v);
+}
+std::size_t spu_stat_in_mbox() { return ctx().in_mbox_count(); }
+
+std::uint32_t spu_read_signal1() { return ctx().read_signal(1); }
+std::uint32_t spu_read_signal2() { return ctx().read_signal(2); }
+bool spu_stat_signal1() { return ctx().signal1().pending(); }
+bool spu_stat_signal2() { return ctx().signal2().pending(); }
+
+void mfc_get(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag) {
+  ctx().mfc().get(ls, ea, size, tag);
+}
+void mfc_put(const void* ls, std::uint64_t ea, std::uint32_t size,
+             unsigned tag) {
+  ctx().mfc().put(ls, ea, size, tag);
+}
+void mfc_getl(void* ls, std::span<const MfcListElement> list, unsigned tag) {
+  ctx().mfc().get_list(ls, list, tag);
+}
+void mfc_putl(const void* ls, std::span<const MfcListElement> list,
+              unsigned tag) {
+  ctx().mfc().put_list(ls, list, tag);
+}
+
+void mfc_write_tag_mask(std::uint32_t mask) {
+  ctx().mfc().write_tag_mask(mask);
+}
+std::uint32_t mfc_read_tag_status_all() {
+  return ctx().mfc().read_tag_status_all();
+}
+std::uint32_t mfc_read_tag_status_any() {
+  return ctx().mfc().read_tag_status_any();
+}
+
+void* spu_ls_alloc(std::size_t bytes, std::size_t align) {
+  return ctx().ls().alloc(bytes, align);
+}
+
+void spu_ls_reset() { ctx().ls().reset_data(); }
+
+std::size_t spu_ls_free() { return ctx().ls().bytes_free(); }
+
+}  // namespace cellport::sim

@@ -1,0 +1,75 @@
+// SPU-side programming surface, mirroring the Cell SDK's <spu_mfcio.h>.
+//
+// SPE kernel code in src/kernels is written against these free functions
+// in the flat C style of the paper's Listing 1; they dispatch onto the
+// thread-local current SPE context installed by the machine runtime.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sim/spe_context.h"
+
+namespace cellport::sim {
+
+// ---- mailbox channels ----
+
+/// Blocking read of the SPU's inbound mailbox.
+std::uint64_t spu_read_in_mbox();
+/// Write to the outbound mailbox (PPE polls for it).
+void spu_write_out_mbox(std::uint64_t v);
+/// Write to the interrupting outbound mailbox (PPE is interrupted).
+void spu_write_out_intr_mbox(std::uint64_t v);
+/// Entries waiting in the inbound mailbox.
+std::size_t spu_stat_in_mbox();
+
+// ---- signal-notification channels ----
+
+/// Destructive blocking read of signal notification register 1 / 2.
+std::uint32_t spu_read_signal1();
+std::uint32_t spu_read_signal2();
+/// Is a signal pending (channel count)?
+bool spu_stat_signal1();
+bool spu_stat_signal2();
+
+// ---- MFC (DMA) ----
+
+/// DMA get: main memory -> local store.
+void mfc_get(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag);
+/// DMA put: local store -> main memory.
+void mfc_put(const void* ls, std::uint64_t ea, std::uint32_t size,
+             unsigned tag);
+/// DMA-list gather/scatter.
+void mfc_getl(void* ls, std::span<const MfcListElement> list, unsigned tag);
+void mfc_putl(const void* ls, std::span<const MfcListElement> list,
+              unsigned tag);
+
+void mfc_write_tag_mask(std::uint32_t mask);
+std::uint32_t mfc_read_tag_status_all();
+std::uint32_t mfc_read_tag_status_any();
+
+// ---- local store management ----
+
+/// Allocates kernel working buffers in the local store (throws
+/// LocalStoreError on overflow). Freed collectively by spu_ls_reset().
+void* spu_ls_alloc(std::size_t bytes, std::size_t align = 16);
+
+template <typename T>
+T* spu_ls_alloc_array(std::size_t count, std::size_t align = 16) {
+  return static_cast<T*>(spu_ls_alloc(count * sizeof(T), align));
+}
+
+/// Releases all LS data allocations (between kernel invocations).
+void spu_ls_reset();
+
+/// Bytes still available in the local store.
+std::size_t spu_ls_free();
+
+// ---- helpers for effective addresses ----
+
+/// Converts a host pointer to an effective address (main-memory address).
+inline std::uint64_t ea_of(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+
+}  // namespace cellport::sim

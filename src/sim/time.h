@@ -1,0 +1,24 @@
+// Simulated-time primitives.
+//
+// All cellport timing is *logical*: every processing element owns a clock in
+// simulated nanoseconds, advanced analytically by cost charges and
+// synchronized exclusively through message timestamps (mailbox entries and
+// DMA completions). Host wall-clock time and host thread scheduling never
+// influence simulated time, so every experiment is deterministic.
+#pragma once
+
+namespace cellport::sim {
+
+/// Simulated time in nanoseconds.
+using SimTime = double;
+
+/// Nanoseconds per second, for unit conversions.
+inline constexpr double kNsPerSec = 1e9;
+
+/// Converts a simulated duration in ns to seconds.
+constexpr double ns_to_sec(SimTime ns) { return ns / kNsPerSec; }
+
+/// Converts a simulated duration in ns to milliseconds.
+constexpr double ns_to_ms(SimTime ns) { return ns / 1e6; }
+
+}  // namespace cellport::sim

@@ -1,0 +1,39 @@
+// Pipeline charging hooks shared by the SPU intrinsics emulation.
+//
+// Charging is a no-op outside an SPE thread so the functional semantics of
+// the vector layer can be unit-tested standalone; inside a kernel, every
+// intrinsic accrues cycles on the owning SpeContext's even or odd pipe.
+#pragma once
+
+#include "sim/spe_context.h"
+
+namespace cellport::spu {
+
+inline void charge_even(double cycles = 1.0) {
+  if (auto* c = sim::current_spe()) c->charge_even(cycles);
+}
+
+inline void charge_odd(double cycles = 1.0) {
+  if (auto* c = sim::current_spe()) c->charge_odd(cycles);
+}
+
+inline void charge_double_op(double ops = 1.0) {
+  if (auto* c = sim::current_spe()) c->charge_double(ops);
+}
+
+inline void charge_branch_miss(double n = 1.0) {
+  if (auto* c = sim::current_spe()) c->charge_branch_miss(n);
+}
+
+/// Arithmetic charge dispatch: double-precision lanes pay the SPU's
+/// 2-results-per-7-cycles penalty, everything else is one even-pipe cycle.
+template <typename T>
+inline void charge_arith(double ops = 1.0) {
+  if constexpr (std::is_same_v<T, double>) {
+    charge_double_op(ops);
+  } else {
+    charge_even(ops);
+  }
+}
+
+}  // namespace cellport::spu

@@ -1,0 +1,2 @@
+// Anchor translation unit for the header-only SPU emulation layer.
+#include "spu/spu.h"

@@ -1,0 +1,9 @@
+// Umbrella header for SPE kernel code: vector types, intrinsics, memory
+// and channel access — everything a kernel source needs to read like real
+// SPU C code.
+#pragma once
+
+#include "sim/spu_mfcio.h"  // IWYU pragma: export
+#include "spu/intrinsics.h" // IWYU pragma: export
+#include "spu/memory.h"     // IWYU pragma: export
+#include "spu/vec.h"        // IWYU pragma: export

@@ -1,0 +1,22 @@
+#include "support/aligned.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+
+namespace cellport {
+
+void* malloc_align(std::size_t size, unsigned log2_align) {
+  if (size == 0) return nullptr;
+  std::size_t align = std::size_t{1} << log2_align;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  // std::aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t padded = round_up(size, align);
+  void* p = std::aligned_alloc(align, padded);
+  if (p == nullptr) throw Error("malloc_align: out of memory");
+  return p;
+}
+
+void free_align(void* ptr) { std::free(ptr); }
+
+}  // namespace cellport

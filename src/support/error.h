@@ -1,0 +1,51 @@
+// Error types shared across the cellport libraries.
+//
+// The simulator is strict by design: violating a hardware rule that the real
+// Cell B.E. enforces (DMA alignment, local-store capacity, mailbox depth)
+// throws instead of silently corrupting state, so a port that works on the
+// simulator also respects the real machine's constraints.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cellport {
+
+/// Base class for all cellport errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A DMA request violated the MFC's alignment or size rules.
+class DmaError : public Error {
+ public:
+  explicit DmaError(const std::string& what) : Error("DMA: " + what) {}
+};
+
+/// A local-store allocation exceeded the 256 KiB capacity or was misused.
+class LocalStoreError : public Error {
+ public:
+  explicit LocalStoreError(const std::string& what)
+      : Error("LocalStore: " + what) {}
+};
+
+/// Mailbox protocol misuse (e.g. overfilling a depth-limited mailbox).
+class MailboxError : public Error {
+ public:
+  explicit MailboxError(const std::string& what) : Error("Mailbox: " + what) {}
+};
+
+/// Invalid machine/schedule configuration.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("Config: " + what) {}
+};
+
+/// File or stream I/O failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("IO: " + what) {}
+};
+
+}  // namespace cellport

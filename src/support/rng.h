@@ -1,0 +1,40 @@
+// Deterministic pseudo-random generation for synthetic workloads.
+//
+// All experiment inputs (test images, SVM models) are generated from seeded
+// streams so every run of the benchmark harness reproduces the paper tables
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace cellport {
+
+/// xoshiro256** generator, seeded via SplitMix64. Deterministic across
+/// platforms (no dependence on libstdc++ distribution internals).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller; consumes two uniforms).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cellport

@@ -1,0 +1,21 @@
+// Small statistics helpers used by tests and the benchmark reporters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cellport {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when n < 2.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean; 0 for an empty span. All inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Relative error |a-b| / |b|; returns |a| when b == 0.
+double relative_error(double a, double b);
+
+}  // namespace cellport

@@ -1,0 +1,37 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every paper table/figure reproduction prints through this formatter so
+// the bench output reads like the paper's tables (aligned columns, units,
+// captions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cellport {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t("Table 1. SPE vs PPE kernel speed-ups");
+///   t.header({"Kernel", "Speed-up", "Coverage[%]"});
+///   t.row({"CH Extract", "53.67", "8"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::string caption = "");
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table, right-aligning numeric-looking cells.
+  std::string str() const;
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellport

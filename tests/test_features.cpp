@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
+#include "img/synth.h"
+
+namespace cellport::features {
+namespace {
+
+using img::RgbImage;
+using img::SceneKind;
+
+double sum(const FeatureVector& fv) {
+  return std::accumulate(fv.values.begin(), fv.values.end(), 0.0);
+}
+
+class AllScenes : public ::testing::TestWithParam<SceneKind> {
+ protected:
+  RgbImage image() const { return img::synth_image(GetParam(), 42, 96, 64); }
+};
+
+// ---- color histogram ----
+
+TEST_P(AllScenes, HistogramIsNormalizedDistribution) {
+  FeatureVector fv = extract_color_histogram(image());
+  EXPECT_EQ(fv.dim(), static_cast<std::size_t>(kColorHistogramDim));
+  EXPECT_NEAR(sum(fv), 1.0, 1e-4);
+  for (float v : fv.values) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(ColorHistogram, FlatImageConcentratesInOneBin) {
+  RgbImage img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      img.at(x, y, 0) = 200;
+      img.at(x, y, 1) = 30;
+      img.at(x, y, 2) = 30;
+    }
+  }
+  FeatureVector fv = extract_color_histogram(img);
+  float mx = 0;
+  for (float v : fv.values) mx = std::max(mx, v);
+  EXPECT_EQ(mx, 1.0f);
+}
+
+TEST(ColorHistogram, ChargesScaleWithPixels) {
+  sim::ScalarContext small_ctx(sim::desktop_pentium_d());
+  sim::ScalarContext big_ctx(sim::desktop_pentium_d());
+  extract_color_histogram(img::synth_image(SceneKind::kShapes, 1, 32, 32),
+                          &small_ctx);
+  extract_color_histogram(img::synth_image(SceneKind::kShapes, 1, 64, 64),
+                          &big_ctx);
+  // 4x the pixels => ~4x the simulated time (constant-size epilogue).
+  EXPECT_NEAR(big_ctx.now_ns() / small_ctx.now_ns(), 4.0, 0.2);
+}
+
+// ---- color correlogram ----
+
+TEST_P(AllScenes, CorrelogramValuesAreProbabilities) {
+  FeatureVector fv = extract_color_correlogram(image());
+  EXPECT_EQ(fv.dim(), static_cast<std::size_t>(kColorCorrelogramDim));
+  for (float v : fv.values) {
+    ASSERT_GE(v, 0.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+TEST(ColorCorrelogram, FlatImageHasPerfectClustering) {
+  RgbImage img(48, 48);
+  for (int y = 0; y < 48; ++y) {
+    for (int x = 0; x < 48; ++x) {
+      img.at(x, y, 0) = 10;
+      img.at(x, y, 1) = 200;
+      img.at(x, y, 2) = 40;
+    }
+  }
+  FeatureVector fv = extract_color_correlogram(img);
+  // Every neighbor shares the single bin: its correlogram value is 1.
+  float mx = 0;
+  for (float v : fv.values) mx = std::max(mx, v);
+  EXPECT_FLOAT_EQ(mx, 1.0f);
+}
+
+TEST(ColorCorrelogram, FineCheckerboardScattersClusters) {
+  // A 1-pixel checkerboard of two far-apart colors: within any 17x17
+  // window roughly half the pixels share the center's bin.
+  RgbImage img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      bool odd = (x + y) & 1;
+      img.at(x, y, 0) = odd ? 230 : 10;
+      img.at(x, y, 1) = odd ? 30 : 10;
+      img.at(x, y, 2) = odd ? 30 : 230;
+    }
+  }
+  FeatureVector fv = extract_color_correlogram(img);
+  for (float v : fv.values) {
+    if (v > 0.0f) {
+      EXPECT_NEAR(v, 0.5f, 0.05f);
+    }
+  }
+}
+
+// ---- texture ----
+
+TEST_P(AllScenes, TextureHasPublishedDimension) {
+  FeatureVector fv = extract_texture(image());
+  EXPECT_EQ(fv.dim(), static_cast<std::size_t>(kTextureDim));
+  for (float v : fv.values) ASSERT_GE(v, 0.0f);  // log1p of energy
+}
+
+TEST(Texture, FlatImageHasZeroEnergy) {
+  RgbImage img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      img.at(x, y, 0) = img.at(x, y, 1) = img.at(x, y, 2) = 120;
+    }
+  }
+  FeatureVector fv = extract_texture(img);
+  for (float v : fv.values) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Texture, NoisyImageOutranksSmoothImage) {
+  FeatureVector smooth =
+      extract_texture(img::synth_image(SceneKind::kGradient, 5, 64, 64));
+  FeatureVector noisy =
+      extract_texture(img::synth_image(SceneKind::kTexture, 5, 64, 64));
+  EXPECT_GT(sum(noisy), sum(smooth));
+}
+
+// ---- edge histogram ----
+
+TEST_P(AllScenes, EdgeHistogramBoundedAndNormalized) {
+  FeatureVector fv = extract_edge_histogram(image());
+  EXPECT_EQ(fv.dim(), static_cast<std::size_t>(kEdgeHistogramDim));
+  double s = sum(fv);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0 + 1e-5);  // normalized over all pixels
+}
+
+TEST(EdgeHistogram, StripeDirectionLandsInMatchingAngleBins) {
+  // Horizontal stripes -> vertical gradients (gy only) -> angle bins 2
+  // (up) and 6 (down).
+  RgbImage img(64, 64);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      std::uint8_t v = (y / 4) % 2 ? 220 : 20;
+      img.at(x, y, 0) = img.at(x, y, 1) = img.at(x, y, 2) = v;
+    }
+  }
+  FeatureVector fv = extract_edge_histogram(img);
+  double vertical = 0;
+  double other = 0;
+  for (int a = 0; a < kEdgeAngleBins; ++a) {
+    for (int m = 0; m < kEdgeMagBins; ++m) {
+      double v = fv.values[static_cast<std::size_t>(a * kEdgeMagBins + m)];
+      if (a == 2 || a == 6) {
+        vertical += v;
+      } else {
+        other += v;
+      }
+    }
+  }
+  EXPECT_GT(vertical, 0.05);
+  EXPECT_EQ(other, 0.0);
+}
+
+TEST(EdgeHistogram, FlatImageHasNoEdges) {
+  RgbImage img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      img.at(x, y, 0) = img.at(x, y, 1) = img.at(x, y, 2) = 99;
+    }
+  }
+  FeatureVector fv = extract_edge_histogram(img);
+  EXPECT_EQ(sum(fv), 0.0);
+}
+
+// ---- cross-cutting: determinism ----
+
+TEST_P(AllScenes, ExtractorsAreDeterministic) {
+  RgbImage a = image();
+  RgbImage b = image();
+  EXPECT_EQ(extract_color_histogram(a).values,
+            extract_color_histogram(b).values);
+  EXPECT_EQ(extract_color_correlogram(a).values,
+            extract_color_correlogram(b).values);
+  EXPECT_EQ(extract_texture(a).values, extract_texture(b).values);
+  EXPECT_EQ(extract_edge_histogram(a).values,
+            extract_edge_histogram(b).values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenes, AllScenes,
+                         ::testing::Values(SceneKind::kGradient,
+                                           SceneKind::kCheckers,
+                                           SceneKind::kTexture,
+                                           SceneKind::kShapes,
+                                           SceneKind::kStripes));
+
+}  // namespace
+}  // namespace cellport::features

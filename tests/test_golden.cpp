@@ -1,0 +1,82 @@
+// Golden-value regression tests.
+//
+// The reference extractors define the semantics the SPE kernels are
+// tested against, so unintended changes to them would silently shift the
+// whole reproduction. These tests pin exact values for one fixed seeded
+// image; if an extractor is changed *intentionally*, regenerate the
+// constants (the values are printed on failure) and re-run the kernel
+// equivalence suite.
+#include <gtest/gtest.h>
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
+#include "img/codec.h"
+#include "img/synth.h"
+
+namespace cellport::features {
+namespace {
+
+img::RgbImage golden_image() {
+  return img::synth_image(img::SceneKind::kShapes, 42, 64, 48);
+}
+
+struct Digest {
+  double sum;
+  std::size_t argmax;
+  float max;
+  float v0;
+};
+
+Digest digest(const FeatureVector& v) {
+  Digest d{0, 0, -1.0f, v.values[0]};
+  for (std::size_t i = 0; i < v.values.size(); ++i) {
+    d.sum += v.values[i];
+    if (v.values[i] > d.max) {
+      d.max = v.values[i];
+      d.argmax = i;
+    }
+  }
+  return d;
+}
+
+TEST(Golden, ColorHistogram) {
+  Digest d = digest(extract_color_histogram(golden_image()));
+  EXPECT_NEAR(d.sum, 1.00000004, 1e-7);
+  EXPECT_EQ(d.argmax, 45u);
+  EXPECT_FLOAT_EQ(d.max, 0.663411498f);
+  EXPECT_EQ(d.v0, 0.0f);
+}
+
+TEST(Golden, ColorCorrelogram) {
+  Digest d = digest(extract_color_correlogram(golden_image()));
+  EXPECT_NEAR(d.sum, 1.7416732, 1e-6);
+  EXPECT_EQ(d.argmax, 45u);
+  EXPECT_FLOAT_EQ(d.max, 0.90585047f);
+}
+
+TEST(Golden, EdgeHistogram) {
+  Digest d = digest(extract_edge_histogram(golden_image()));
+  EXPECT_NEAR(d.sum, 0.716145858, 1e-7);
+  EXPECT_EQ(d.argmax, 32u);
+  EXPECT_FLOAT_EQ(d.max, 0.105794273f);
+  EXPECT_FLOAT_EQ(d.v0, 0.104817711f);
+}
+
+TEST(Golden, Texture) {
+  Digest d = digest(extract_texture(golden_image()));
+  EXPECT_NEAR(d.sum, 11.0829987, 1e-5);
+  EXPECT_EQ(d.argmax, 0u);
+  EXPECT_FLOAT_EQ(d.max, 2.04396868f);
+}
+
+TEST(Golden, CodecSizeAndPsnrStable) {
+  img::RgbImage im = golden_image();
+  img::SicEncoded enc = img::sic_encode(im, 70);
+  EXPECT_EQ(enc.bytes.size(), 1102u);
+  EXPECT_NEAR(img::psnr(im, img::sic_decode(enc)), 36.197854, 1e-4);
+}
+
+}  // namespace
+}  // namespace cellport::features

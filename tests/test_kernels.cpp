@@ -1,0 +1,299 @@
+// Integration tests: every SPE kernel against its scalar reference.
+//
+// Optimized kernels are allowed to disagree with the reference only on
+// pixels whose values land within a float ulp of a quantization boundary
+// (the paper's optimized kernels approximated too); the naive "straight C
+// port" kernels compute through the exact reference code path and must
+// match bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
+#include "img/synth.h"
+#include "kernels/cc_kernel.h"
+#include "kernels/cd_kernel.h"
+#include "kernels/ch_kernel.h"
+#include "kernels/eh_kernel.h"
+#include "kernels/messages.h"
+#include "kernels/tx_kernel.h"
+#include "learn/model_store.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+
+namespace cellport::kernels {
+namespace {
+
+using features::FeatureVector;
+using img::RgbImage;
+using img::SceneKind;
+
+std::vector<float> run_image_kernel(port::KernelModule& mod,
+                                    const RgbImage& image, int opcode,
+                                    int out_dim,
+                                    BufferingDepth buffering = kDoubleBuffer,
+                                    sim::SimTime* spe_busy_ns = nullptr) {
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(mod);
+  cellport::AlignedBuffer<float> out(
+      cellport::round_up(static_cast<std::size_t>(out_dim), 8));
+  port::WrappedMessage<ImageMsg> msg;
+  msg->pixels_ea = reinterpret_cast<std::uint64_t>(image.data());
+  msg->width = image.width();
+  msg->height = image.height();
+  msg->stride = image.stride();
+  msg->buffering = buffering;
+  msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+  msg->out_count = out_dim;
+  iface.SendAndWait(opcode, msg.ea());
+  if (spe_busy_ns != nullptr) *spe_busy_ns = iface.spe().busy_ns();
+  return {out.data(), out.data() + out_dim};
+}
+
+double l1_distance(const std::vector<float>& a, const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  return d;
+}
+
+// Image geometries chosen to stress the SIMD paths: multiples of 16,
+// ragged tails, odd sizes smaller than one DMA block, and the paper's
+// 352x240.
+struct Geometry {
+  int w;
+  int h;
+};
+
+class KernelVsReference
+    : public ::testing::TestWithParam<std::tuple<SceneKind, Geometry>> {
+ protected:
+  RgbImage image() const {
+    auto [scene, geo] = GetParam();
+    return img::synth_image(scene, 77, geo.w, geo.h);
+  }
+};
+
+TEST_P(KernelVsReference, ColorHistogramOptimizedIsBitExact) {
+  // The SIMD port mirrors the reference's exact rounding sequence
+  // (hsv_simd.h), so even the optimized kernel matches bit-for-bit.
+  RgbImage img = image();
+  FeatureVector ref = features::extract_color_histogram(img);
+  auto spe = run_image_kernel(ch_module(), img, SPU_Run,
+                              img::kHsvBins);
+  EXPECT_EQ(ref.values, spe);
+}
+
+TEST_P(KernelVsReference, ColorHistogramNaiveIsBitExact) {
+  RgbImage img = image();
+  FeatureVector ref = features::extract_color_histogram(img);
+  auto spe = run_image_kernel(ch_module(), img, SPU_Run_Naive,
+                              img::kHsvBins);
+  EXPECT_EQ(ref.values, spe);
+}
+
+TEST_P(KernelVsReference, ColorCorrelogramOptimizedIsBitExact) {
+  RgbImage img = image();
+  FeatureVector ref = features::extract_color_correlogram(img);
+  auto spe = run_image_kernel(cc_module(), img, SPU_Run,
+                              img::kHsvBins);
+  EXPECT_EQ(ref.values, spe);
+}
+
+TEST_P(KernelVsReference, ColorCorrelogramNaiveIsBitExact) {
+  RgbImage img = image();
+  FeatureVector ref = features::extract_color_correlogram(img);
+  auto spe = run_image_kernel(cc_module(), img, SPU_Run_Naive,
+                              img::kHsvBins);
+  EXPECT_EQ(ref.values, spe);
+}
+
+TEST_P(KernelVsReference, EdgeHistogramOptimized) {
+  RgbImage img = image();
+  FeatureVector ref = features::extract_edge_histogram(img);
+  auto spe = run_image_kernel(eh_module(), img, SPU_Run,
+                              features::kEdgeHistogramDim);
+  EXPECT_LT(l1_distance(ref.values, spe), 2e-3);
+}
+
+TEST_P(KernelVsReference, EdgeHistogramNaiveIsBitExact) {
+  RgbImage img = image();
+  FeatureVector ref = features::extract_edge_histogram(img);
+  auto spe = run_image_kernel(eh_module(), img, SPU_Run_Naive,
+                              features::kEdgeHistogramDim);
+  EXPECT_EQ(ref.values, spe);
+}
+
+TEST_P(KernelVsReference, TextureMatchesWithinAccumulationTolerance) {
+  RgbImage img = image();
+  if (img.width() < (1 << features::kTextureLevels) ||
+      img.height() < (1 << features::kTextureLevels)) {
+    // Contract parity: both the reference and the kernel reject images
+    // too small for the 4-level decomposition.
+    EXPECT_THROW(features::extract_texture(img), cellport::Error);
+    EXPECT_THROW(run_image_kernel(tx_module(), img, SPU_Run,
+                                  features::kTextureDim),
+                 cellport::Error);
+    return;
+  }
+  FeatureVector ref = features::extract_texture(img);
+  auto spe = run_image_kernel(tx_module(), img, SPU_Run,
+                              features::kTextureDim);
+  ASSERT_EQ(spe.size(), ref.values.size());
+  for (std::size_t i = 0; i < spe.size(); ++i) {
+    EXPECT_NEAR(spe[i], ref.values[i],
+                1e-4 * std::max(1.0f, std::abs(ref.values[i])))
+        << "subband " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelVsReference,
+    ::testing::Combine(
+        ::testing::Values(SceneKind::kGradient, SceneKind::kCheckers,
+                          SceneKind::kTexture, SceneKind::kShapes,
+                          SceneKind::kStripes),
+        ::testing::Values(Geometry{96, 64}, Geometry{100, 37},
+                          Geometry{33, 17}, Geometry{12, 9},
+                          Geometry{16, 16})),
+    [](const auto& info) {
+      return "scene" +
+             std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "_" + std::to_string(std::get<1>(info.param).w) + "x" +
+             std::to_string(std::get<1>(info.param).h);
+    });
+
+TEST(Kernels, FullMarvelGeometry) {
+  RgbImage img = img::synth_image(SceneKind::kShapes, 5);
+  FeatureVector ref = features::extract_color_correlogram(img);
+  auto spe = run_image_kernel(cc_module(), img, SPU_Run, img::kHsvBins);
+  EXPECT_EQ(ref.values, spe);
+}
+
+// ---- buffering-depth properties ----
+
+TEST(Kernels, BufferingDepthDoesNotChangeResults) {
+  RgbImage img = img::synth_image(SceneKind::kTexture, 9, 96, 64);
+  auto single = run_image_kernel(cc_module(), img, SPU_Run,
+                                 img::kHsvBins, kSingleBuffer);
+  auto dbl = run_image_kernel(cc_module(), img, SPU_Run, img::kHsvBins,
+                              kDoubleBuffer);
+  auto triple = run_image_kernel(cc_module(), img, SPU_Run,
+                                 img::kHsvBins, kTripleBuffer);
+  EXPECT_EQ(single, dbl);
+  EXPECT_EQ(dbl, triple);
+}
+
+TEST(Kernels, MultiBufferingHidesDmaLatency) {
+  RgbImage img = img::synth_image(SceneKind::kGradient, 9, 352, 240);
+  sim::SimTime t_single = 0;
+  sim::SimTime t_double = 0;
+  run_image_kernel(ch_module(), img, SPU_Run, img::kHsvBins,
+                   kSingleBuffer, &t_single);
+  run_image_kernel(ch_module(), img, SPU_Run, img::kHsvBins,
+                   kDoubleBuffer, &t_double);
+  // busy_ns excludes DMA stalls; compare wall kernel time instead via a
+  // second run measuring PPE-observed durations.
+  auto wall = [&](BufferingDepth depth) {
+    sim::Machine machine(sim::Machine::Config{1});
+    port::SPEInterface iface(ch_module());
+    cellport::AlignedBuffer<float> out(168);
+    port::WrappedMessage<ImageMsg> msg;
+    msg->pixels_ea = reinterpret_cast<std::uint64_t>(img.data());
+    msg->width = img.width();
+    msg->height = img.height();
+    msg->stride = img.stride();
+    msg->buffering = depth;
+    msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+    msg->out_count = img::kHsvBins;
+    double t0 = machine.ppe().now_ns();
+    iface.SendAndWait(SPU_Run, msg.ea());
+    return machine.ppe().now_ns() - t0;
+  };
+  EXPECT_LT(wall(kDoubleBuffer), wall(kSingleBuffer));
+}
+
+// ---- the Section 5.3 ordering in miniature ----
+
+TEST(Kernels, NaiveCorrelogramIsSlowerThanOptimized) {
+  RgbImage img = img::synth_image(SceneKind::kShapes, 21, 96, 64);
+  auto wall = [&](int opcode) {
+    sim::Machine machine(sim::Machine::Config{1});
+    port::SPEInterface iface(cc_module());
+    cellport::AlignedBuffer<float> out(168);
+    port::WrappedMessage<ImageMsg> msg;
+    msg->pixels_ea = reinterpret_cast<std::uint64_t>(img.data());
+    msg->width = img.width();
+    msg->height = img.height();
+    msg->stride = img.stride();
+    msg->buffering = opcode == SPU_Run ? kDoubleBuffer : kSingleBuffer;
+    msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+    msg->out_count = img::kHsvBins;
+    double t0 = machine.ppe().now_ns();
+    iface.SendAndWait(opcode, msg.ea());
+    return machine.ppe().now_ns() - t0;
+  };
+  double naive = wall(SPU_Run_Naive);
+  double optimized = wall(SPU_Run);
+  // The straight port is an order of magnitude slower (Section 5.3's
+  // 0.43x vs 52x story at kernel scale).
+  EXPECT_GT(naive / optimized, 10.0);
+}
+
+// ---- concept detection ----
+
+TEST(CdKernel, ScoresMatchReferenceDecisions) {
+  learn::ConceptModelSet set =
+      learn::make_synthetic_set("ch", 166, 60, 3, 17);
+  RgbImage img = img::synth_image(SceneKind::kShapes, 3, 96, 64);
+  FeatureVector fv = features::extract_color_histogram(img);
+
+  // Reference decisions.
+  std::vector<double> ref;
+  for (const auto& m : set.models) ref.push_back(m.decision(fv.values));
+
+  // Kernel scores.
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(cd_module());
+  cellport::AlignedBuffer<float> feature(168);
+  for (std::size_t i = 0; i < fv.values.size(); ++i) {
+    feature[i] = fv.values[i];
+  }
+  cellport::AlignedBuffer<DetectModelDesc> descs(set.models.size());
+  for (std::size_t m = 0; m < set.models.size(); ++m) {
+    const learn::SvmModel& model = set.models[m];
+    descs[m].sv_ea = reinterpret_cast<std::uint64_t>(model.sv_data());
+    descs[m].coef_ea =
+        reinterpret_cast<std::uint64_t>(model.coef().data());
+    descs[m].num_sv = model.num_sv();
+    descs[m].sv_stride = model.sv_stride();
+    descs[m].gamma = model.gamma();
+    descs[m].rho = model.rho();
+    descs[m].kernel_type = static_cast<std::int32_t>(model.kernel());
+  }
+  cellport::AlignedBuffer<double> scores(4);
+  port::WrappedMessage<DetectMsg> msg;
+  msg->feature_ea = reinterpret_cast<std::uint64_t>(feature.data());
+  msg->dim = 166;
+  msg->num_models = static_cast<std::int32_t>(set.models.size());
+  msg->models_ea = reinterpret_cast<std::uint64_t>(descs.data());
+  msg->scores_ea = reinterpret_cast<std::uint64_t>(scores.data());
+  msg->buffering = kDoubleBuffer;
+  iface.SendAndWait(SPU_Run, msg.ea());
+
+  for (std::size_t m = 0; m < ref.size(); ++m) {
+    EXPECT_NEAR(scores[m], ref[m],
+                1e-5 * std::max(1.0, std::abs(ref[m])))
+        << "model " << m;
+  }
+}
+
+}  // namespace
+}  // namespace cellport::kernels

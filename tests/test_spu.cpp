@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/machine.h"
+#include "spu/spu.h"
+#include "support/aligned.h"
+
+namespace cellport::spu {
+namespace {
+
+using sim::Machine;
+using sim::SpeContext;
+
+// Functional semantics are testable outside an SPE thread (charging is a
+// no-op there); the charging tests install a context explicitly.
+
+TEST(SpuVec, SplatAndExtract) {
+  auto v = vec_float4::splat(3.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], 3.5f);
+  auto u = spu_splats<vec_uchar16>(7);
+  EXPECT_EQ(u[15], 7);
+}
+
+TEST(SpuVec, CastPreservesBits) {
+  vec_uint4 u = spu_splats<vec_uint4>(0x3F800000u);
+  auto f = vec_cast<vec_float4>(u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(f[static_cast<std::size_t>(i)], 1.0f);
+  }
+}
+
+TEST(SpuArith, AddSubWrapAround) {
+  auto a = spu_splats<vec_uchar16>(250);
+  auto b = spu_splats<vec_uchar16>(10);
+  auto s = spu_add(a, b);
+  EXPECT_EQ(s[0], 4);  // modulo 256
+  auto d = spu_sub(b, a);
+  EXPECT_EQ(d[0], 16);  // wraps
+}
+
+TEST(SpuArith, FloatMaddChain) {
+  auto a = spu_splats<vec_float4>(2.0f);
+  auto b = spu_splats<vec_float4>(3.0f);
+  auto c = spu_splats<vec_float4>(1.0f);
+  auto r = spu_madd(a, b, c);
+  EXPECT_EQ(r[0], 7.0f);
+  EXPECT_EQ(spu_msub(a, b, c)[1], 5.0f);
+  EXPECT_EQ(spu_nmsub(a, b, c)[2], -5.0f);
+}
+
+TEST(SpuArith, IntMul32) {
+  vec_int4 a{{100000, -7, 3, 65536}};
+  vec_int4 b{{3, 6, -9, 65536}};
+  auto r = spu_mul(a, b);
+  EXPECT_EQ(r[0], 300000);
+  EXPECT_EQ(r[1], -42);
+  EXPECT_EQ(r[2], -27);
+  EXPECT_EQ(r[3], 0);  // 2^32 wraps to 0
+}
+
+TEST(SpuArith, MuleMulo) {
+  vec_short8 a{{1, 2, 3, 4, 5, 6, 7, 8}};
+  vec_short8 b{{10, 20, 30, 40, 50, 60, 70, 80}};
+  auto e = spu_mule(a, b);
+  auto o = spu_mulo(a, b);
+  EXPECT_EQ(e[0], 10);
+  EXPECT_EQ(e[1], 90);
+  EXPECT_EQ(o[0], 40);
+  EXPECT_EQ(o[3], 640);
+}
+
+TEST(SpuArith, MulhwModulo) {
+  vec_ushort8 a = spu_splats<vec_ushort8>(300);
+  vec_ushort8 b = spu_splats<vec_ushort8>(300);
+  auto r = spu_mulhw(a, b);
+  EXPECT_EQ(r[0], static_cast<std::uint16_t>(90000));  // mod 65536
+}
+
+TEST(SpuArith, AvgAndAbsd) {
+  auto a = spu_splats<vec_uchar16>(10);
+  auto b = spu_splats<vec_uchar16>(13);
+  EXPECT_EQ(spu_avg(a, b)[0], 12);  // rounds up
+  EXPECT_EQ(spu_absd(a, b)[0], 3);
+  EXPECT_EQ(spu_absd(b, a)[0], 3);
+}
+
+TEST(SpuCompare, MasksAreAllOnesOrZero) {
+  vec_int4 a{{1, 5, 5, 9}};
+  vec_int4 b{{5, 5, 1, 1}};
+  auto gt = spu_cmpgt(a, b);
+  EXPECT_EQ(gt[0], 0);
+  EXPECT_EQ(gt[1], 0);
+  EXPECT_EQ(gt[2], -1);
+  EXPECT_EQ(gt[3], -1);
+  auto eq = spu_cmpeq(a, b);
+  EXPECT_EQ(eq[1], -1);
+  EXPECT_EQ(eq[0], 0);
+}
+
+TEST(SpuCompare, FloatMaskBits) {
+  auto a = spu_splats<vec_float4>(2.0f);
+  auto b = spu_splats<vec_float4>(1.0f);
+  auto m = spu_cmpgt(a, b);
+  auto bits = vec_cast<vec_uint4>(m);
+  EXPECT_EQ(bits[0], ~0u);
+}
+
+TEST(SpuSelect, PicksByMask) {
+  vec_int4 a{{1, 2, 3, 4}};
+  vec_int4 b{{10, 20, 30, 40}};
+  vec_int4 m{{0, -1, 0, -1}};
+  auto r = spu_sel(a, b, m);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 20);
+  EXPECT_EQ(r[2], 3);
+  EXPECT_EQ(r[3], 40);
+}
+
+TEST(SpuShift, PerLane) {
+  vec_ushort8 a = spu_splats<vec_ushort8>(0x0100);
+  EXPECT_EQ(spu_sl(a, 2)[0], 0x0400);
+  EXPECT_EQ(spu_sr(a, 4)[0], 0x0010);
+}
+
+TEST(SpuBytes, CntbPopcount) {
+  vec_uchar16 a = spu_splats<vec_uchar16>(0xFF);
+  EXPECT_EQ(spu_cntb(a)[0], 8);
+  a = spu_splats<vec_uchar16>(0x11);
+  EXPECT_EQ(spu_cntb(a)[3], 2);
+}
+
+TEST(SpuBytes, SumbGroupsOfFour) {
+  vec_uchar16 a;
+  for (int i = 0; i < 16; ++i) {
+    a.v[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  auto s = spu_sumb(a);
+  EXPECT_EQ(s[0], 0u + 1 + 2 + 3);
+  EXPECT_EQ(s[3], 12u + 13 + 14 + 15);
+}
+
+TEST(SpuConvert, RoundTripInts) {
+  vec_int4 a{{-5, 0, 7, 1000000}};
+  auto f = spu_convtf(a);
+  EXPECT_EQ(f[0], -5.0f);
+  EXPECT_EQ(f[3], 1000000.0f);
+  auto back = spu_convts(f);
+  EXPECT_EQ(back[0], -5);
+  EXPECT_EQ(back[3], 1000000);
+}
+
+TEST(SpuConvert, TruncatesAndSaturates) {
+  vec_float4 f{{1.9f, -1.9f, 3e9f, -3e9f}};
+  auto i = spu_convts(f);
+  EXPECT_EQ(i[0], 1);
+  EXPECT_EQ(i[1], -1);
+  EXPECT_EQ(i[2], std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(i[3], std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(SpuMath, DivisionRefined) {
+  vec_float4 a{{1.0f, 10.0f, -6.0f, 0.3f}};
+  vec_float4 b{{3.0f, 4.0f, 2.0f, 0.1f}};
+  auto q = spu_div(a, b);
+  for (int i = 0; i < 4; ++i) {
+    auto lane = static_cast<std::size_t>(i);
+    EXPECT_NEAR(q[lane], a[lane] / b[lane],
+                2e-6f * std::abs(a[lane] / b[lane]) + 1e-7f);
+  }
+}
+
+TEST(SpuMath, SqrtRefined) {
+  vec_float4 a{{4.0f, 2.0f, 100.0f, 0.25f}};
+  auto s = spu_sqrt(a);
+  for (int i = 0; i < 4; ++i) {
+    auto lane = static_cast<std::size_t>(i);
+    EXPECT_NEAR(s[lane], std::sqrt(a[lane]), 2e-6f * std::sqrt(a[lane]));
+  }
+}
+
+TEST(SpuShuffle, BytePatterns) {
+  vec_uchar16 a;
+  vec_uchar16 b;
+  for (int i = 0; i < 16; ++i) {
+    a.v[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    b.v[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(100 + i);
+  }
+  vec_uchar16 p;
+  for (int i = 0; i < 16; ++i) {
+    p.v[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(i < 8 ? 15 - i : 16 + (i - 8));
+  }
+  auto r = spu_shuffle(a, b, p);
+  EXPECT_EQ(r[0], 15);
+  EXPECT_EQ(r[7], 8);
+  EXPECT_EQ(r[8], 100);
+  EXPECT_EQ(r[15], 107);
+}
+
+TEST(SpuShuffle, RotateQuadword) {
+  vec_uchar16 a;
+  for (int i = 0; i < 16; ++i) {
+    a.v[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  auto r = spu_rlqwbyte(a, 3);
+  EXPECT_EQ(r[0], 3);
+  EXPECT_EQ(r[13], 0);
+}
+
+TEST(SpuInsertExtract, Lanes) {
+  auto v = spu_splats<vec_int4>(0);
+  v = spu_insert(42, v, 2);
+  EXPECT_EQ(spu_extract(v, 2), 42);
+  EXPECT_EQ(spu_extract(v, 1), 0);
+  auto p = spu_promote<vec_float4>(1.5f, 0);
+  EXPECT_EQ(p[0], 1.5f);
+}
+
+// ---- memory helpers ----
+
+TEST(SpuMemory, AlignedVectorAccess) {
+  AlignedBuffer<float> buf(8);
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  }
+  auto v = vld<vec_float4>(buf.data());
+  EXPECT_EQ(v[3], 3.0f);
+  vst(buf.data() + 4, spu_splats<vec_float4>(9.0f));
+  EXPECT_EQ(buf[5], 9.0f);
+}
+
+TEST(SpuMemory, UnalignedVectorLoadThrows) {
+  AlignedBuffer<float> buf(8);
+  EXPECT_THROW(vld<vec_float4>(buf.data() + 1), Error);
+  EXPECT_THROW(vst(buf.data() + 1, vec_float4{}), Error);
+}
+
+// ---- charging ----
+
+class SpuCharging : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = std::make_unique<Machine>(Machine::Config{1});
+    sim::set_current_spe(&machine_->spe(0));
+  }
+  void TearDown() override { sim::set_current_spe(nullptr); }
+  std::unique_ptr<Machine> machine_;
+  SpeContext& spe() { return machine_->spe(0); }
+};
+
+TEST_F(SpuCharging, ArithmeticChargesEvenPipe) {
+  auto a = spu_splats<vec_float4>(1.0f);  // 1 even
+  auto b = spu_add(a, a);                 // 1 even
+  (void)b;
+  spe().flush_pipes();
+  EXPECT_NEAR(spe().pipe_stats().even_cycles, 2.0, 1e-9);
+  EXPECT_EQ(spe().pipe_stats().odd_cycles, 0.0);
+}
+
+TEST_F(SpuCharging, ShuffleChargesOddPipe) {
+  vec_uchar16 a{};
+  auto r = spu_shuffle(a, a, a);
+  (void)r;
+  spe().flush_pipes();
+  EXPECT_NEAR(spe().pipe_stats().odd_cycles, 1.0, 1e-9);
+}
+
+TEST_F(SpuCharging, DoublePrecisionCosts3point5) {
+  auto a = spu_splats<vec_double2>(1.0);  // splat: 1 even
+  auto b = spu_mul(a, a);                 // 3.5 even
+  (void)b;
+  spe().flush_pipes();
+  EXPECT_NEAR(spe().pipe_stats().even_cycles, 4.5, 1e-9);
+}
+
+TEST_F(SpuCharging, ScalarAccessPenalties) {
+  AlignedBuffer<int> buf(4);
+  int x = sload(buf.data());  // 2 odd
+  sstore(buf.data(), x + 1);  // 1 even + 2 odd
+  spe().flush_pipes();
+  EXPECT_NEAR(spe().pipe_stats().odd_cycles, 4.0, 1e-9);
+  EXPECT_NEAR(spe().pipe_stats().even_cycles, 1.0, 1e-9);
+}
+
+TEST_F(SpuCharging, BranchMispredictCosts18) {
+  spu_branch(true, /*hint_correct=*/false);
+  spe().flush_pipes();
+  EXPECT_NEAR(spe().pipe_stats().odd_cycles,
+              1.0 + sim::calib::kSpuBranchMissCycles, 1e-9);
+}
+
+TEST_F(SpuCharging, DualIssueBalancedCodeIsFree) {
+  // 10 even + 10 odd ops take 10 cycles, not 20.
+  for (int i = 0; i < 10; ++i) {
+    charge_even(1);
+    charge_odd(1);
+  }
+  double t0 = spe().now_ns();
+  EXPECT_NEAR(t0, 10.0 / 3.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellport::spu

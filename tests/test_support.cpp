@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace cellport {
+namespace {
+
+TEST(Aligned, MallocAlignRespectsAlignment) {
+  for (unsigned log2 = 4; log2 <= 12; ++log2) {
+    void* p = malloc_align(100, log2);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(is_aligned(p, std::size_t{1} << log2))
+        << "alignment 2^" << log2;
+    free_align(p);
+  }
+}
+
+TEST(Aligned, ZeroSizeReturnsNull) {
+  EXPECT_EQ(malloc_align(0, 4), nullptr);
+  free_align(nullptr);  // must be safe
+}
+
+TEST(Aligned, RoundUp) {
+  EXPECT_EQ(round_up(0, 16), 0u);
+  EXPECT_EQ(round_up(1, 16), 16u);
+  EXPECT_EQ(round_up(16, 16), 16u);
+  EXPECT_EQ(round_up(17, 16), 32u);
+  EXPECT_EQ(round_up(664, 16), 672u);
+}
+
+TEST(Aligned, BufferDefault128ByteAligned) {
+  AlignedBuffer<float> buf(33);
+  EXPECT_TRUE(is_aligned(buf.data(), 128));
+  EXPECT_EQ(buf.size(), 33u);
+  EXPECT_EQ(buf.bytes(), 132u);
+  for (float f : buf) EXPECT_EQ(f, 0.0f);  // value-initialized
+}
+
+TEST(Aligned, BufferMoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[0] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Stats, MeanStddevGeomean) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+  EXPECT_NEAR(geomean(xs), 2.2133638, 1e-6);
+}
+
+TEST(Stats, EmptyAndDegenerate) {
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  const double one[] = {5.0};
+  EXPECT_EQ(stddev(one), 0.0);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(3.0, 0.0), 3.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t("Caption");
+  t.header({"Kernel", "Speed-up"});
+  t.row({"CH Extract", "53.67"});
+  t.row({"CC", "5.2"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("Caption"), std::string::npos);
+  EXPECT_NE(s.find("CH Extract"), std::string::npos);
+  EXPECT_NE(s.find("53.67"), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixed) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(10.0, 1), "10.0");
+}
+
+}  // namespace
+}  // namespace cellport
