@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_estimates.dir/bench_estimates.cpp.o"
+  "CMakeFiles/bench_estimates.dir/bench_estimates.cpp.o.d"
+  "bench_estimates"
+  "bench_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

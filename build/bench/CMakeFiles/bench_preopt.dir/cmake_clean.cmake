@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_preopt.dir/bench_preopt.cpp.o"
+  "CMakeFiles/bench_preopt.dir/bench_preopt.cpp.o.d"
+  "bench_preopt"
+  "bench_preopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_preopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_pool.dir/dynamic_pool.cpp.o"
+  "CMakeFiles/dynamic_pool.dir/dynamic_pool.cpp.o.d"
+  "dynamic_pool"
+  "dynamic_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_filter_port.dir/image_filter_port.cpp.o"
+  "CMakeFiles/image_filter_port.dir/image_filter_port.cpp.o.d"
+  "image_filter_port"
+  "image_filter_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_filter_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marvel_pipeline.dir/marvel_pipeline.cpp.o"
+  "CMakeFiles/marvel_pipeline.dir/marvel_pipeline.cpp.o.d"
+  "marvel_pipeline"
+  "marvel_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marvel_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_port.dir/nbody_port.cpp.o"
+  "CMakeFiles/nbody_port.dir/nbody_port.cpp.o.d"
+  "nbody_port"
+  "nbody_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/port/CMakeFiles/cp_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/spu/CMakeFiles/cp_spu.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/cp_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/cp_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_explorer.dir/speedup_explorer.cpp.o"
+  "CMakeFiles/speedup_explorer.dir/speedup_explorer.cpp.o.d"
+  "speedup_explorer"
+  "speedup_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

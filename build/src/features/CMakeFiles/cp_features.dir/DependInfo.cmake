@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/color_correlogram.cpp" "src/features/CMakeFiles/cp_features.dir/color_correlogram.cpp.o" "gcc" "src/features/CMakeFiles/cp_features.dir/color_correlogram.cpp.o.d"
+  "/root/repo/src/features/color_histogram.cpp" "src/features/CMakeFiles/cp_features.dir/color_histogram.cpp.o" "gcc" "src/features/CMakeFiles/cp_features.dir/color_histogram.cpp.o.d"
+  "/root/repo/src/features/edge_histogram.cpp" "src/features/CMakeFiles/cp_features.dir/edge_histogram.cpp.o" "gcc" "src/features/CMakeFiles/cp_features.dir/edge_histogram.cpp.o.d"
+  "/root/repo/src/features/texture.cpp" "src/features/CMakeFiles/cp_features.dir/texture.cpp.o" "gcc" "src/features/CMakeFiles/cp_features.dir/texture.cpp.o.d"
+  "/root/repo/src/features/vmx_variants.cpp" "src/features/CMakeFiles/cp_features.dir/vmx_variants.cpp.o" "gcc" "src/features/CMakeFiles/cp_features.dir/vmx_variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/img/CMakeFiles/cp_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_features.dir/color_correlogram.cpp.o"
+  "CMakeFiles/cp_features.dir/color_correlogram.cpp.o.d"
+  "CMakeFiles/cp_features.dir/color_histogram.cpp.o"
+  "CMakeFiles/cp_features.dir/color_histogram.cpp.o.d"
+  "CMakeFiles/cp_features.dir/edge_histogram.cpp.o"
+  "CMakeFiles/cp_features.dir/edge_histogram.cpp.o.d"
+  "CMakeFiles/cp_features.dir/texture.cpp.o"
+  "CMakeFiles/cp_features.dir/texture.cpp.o.d"
+  "CMakeFiles/cp_features.dir/vmx_variants.cpp.o"
+  "CMakeFiles/cp_features.dir/vmx_variants.cpp.o.d"
+  "libcp_features.a"
+  "libcp_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/img/codec.cpp" "src/img/CMakeFiles/cp_img.dir/codec.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/codec.cpp.o.d"
+  "/root/repo/src/img/color.cpp" "src/img/CMakeFiles/cp_img.dir/color.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/color.cpp.o.d"
+  "/root/repo/src/img/convolve.cpp" "src/img/CMakeFiles/cp_img.dir/convolve.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/convolve.cpp.o.d"
+  "/root/repo/src/img/huffman.cpp" "src/img/CMakeFiles/cp_img.dir/huffman.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/huffman.cpp.o.d"
+  "/root/repo/src/img/ppm.cpp" "src/img/CMakeFiles/cp_img.dir/ppm.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/ppm.cpp.o.d"
+  "/root/repo/src/img/slice.cpp" "src/img/CMakeFiles/cp_img.dir/slice.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/slice.cpp.o.d"
+  "/root/repo/src/img/synth.cpp" "src/img/CMakeFiles/cp_img.dir/synth.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/synth.cpp.o.d"
+  "/root/repo/src/img/wavelet.cpp" "src/img/CMakeFiles/cp_img.dir/wavelet.cpp.o" "gcc" "src/img/CMakeFiles/cp_img.dir/wavelet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_img.dir/codec.cpp.o"
+  "CMakeFiles/cp_img.dir/codec.cpp.o.d"
+  "CMakeFiles/cp_img.dir/color.cpp.o"
+  "CMakeFiles/cp_img.dir/color.cpp.o.d"
+  "CMakeFiles/cp_img.dir/convolve.cpp.o"
+  "CMakeFiles/cp_img.dir/convolve.cpp.o.d"
+  "CMakeFiles/cp_img.dir/huffman.cpp.o"
+  "CMakeFiles/cp_img.dir/huffman.cpp.o.d"
+  "CMakeFiles/cp_img.dir/ppm.cpp.o"
+  "CMakeFiles/cp_img.dir/ppm.cpp.o.d"
+  "CMakeFiles/cp_img.dir/slice.cpp.o"
+  "CMakeFiles/cp_img.dir/slice.cpp.o.d"
+  "CMakeFiles/cp_img.dir/synth.cpp.o"
+  "CMakeFiles/cp_img.dir/synth.cpp.o.d"
+  "CMakeFiles/cp_img.dir/wavelet.cpp.o"
+  "CMakeFiles/cp_img.dir/wavelet.cpp.o.d"
+  "libcp_img.a"
+  "libcp_img.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_img.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cc_kernel.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/cc_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/cc_kernel.cpp.o.d"
+  "/root/repo/src/kernels/cd_kernel.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/cd_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/cd_kernel.cpp.o.d"
+  "/root/repo/src/kernels/ch_kernel.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/ch_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/ch_kernel.cpp.o.d"
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/eh_kernel.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/eh_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/eh_kernel.cpp.o.d"
+  "/root/repo/src/kernels/tx_kernel.cpp" "src/kernels/CMakeFiles/cp_kernels.dir/tx_kernel.cpp.o" "gcc" "src/kernels/CMakeFiles/cp_kernels.dir/tx_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/port/CMakeFiles/cp_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/spu/CMakeFiles/cp_spu.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/cp_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/cp_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

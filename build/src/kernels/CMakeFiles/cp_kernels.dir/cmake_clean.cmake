@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_kernels.dir/cc_kernel.cpp.o"
+  "CMakeFiles/cp_kernels.dir/cc_kernel.cpp.o.d"
+  "CMakeFiles/cp_kernels.dir/cd_kernel.cpp.o"
+  "CMakeFiles/cp_kernels.dir/cd_kernel.cpp.o.d"
+  "CMakeFiles/cp_kernels.dir/ch_kernel.cpp.o"
+  "CMakeFiles/cp_kernels.dir/ch_kernel.cpp.o.d"
+  "CMakeFiles/cp_kernels.dir/common.cpp.o"
+  "CMakeFiles/cp_kernels.dir/common.cpp.o.d"
+  "CMakeFiles/cp_kernels.dir/eh_kernel.cpp.o"
+  "CMakeFiles/cp_kernels.dir/eh_kernel.cpp.o.d"
+  "CMakeFiles/cp_kernels.dir/tx_kernel.cpp.o"
+  "CMakeFiles/cp_kernels.dir/tx_kernel.cpp.o.d"
+  "libcp_kernels.a"
+  "libcp_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/knn.cpp" "src/learn/CMakeFiles/cp_learn.dir/knn.cpp.o" "gcc" "src/learn/CMakeFiles/cp_learn.dir/knn.cpp.o.d"
+  "/root/repo/src/learn/model_store.cpp" "src/learn/CMakeFiles/cp_learn.dir/model_store.cpp.o" "gcc" "src/learn/CMakeFiles/cp_learn.dir/model_store.cpp.o.d"
+  "/root/repo/src/learn/smo.cpp" "src/learn/CMakeFiles/cp_learn.dir/smo.cpp.o" "gcc" "src/learn/CMakeFiles/cp_learn.dir/smo.cpp.o.d"
+  "/root/repo/src/learn/svm.cpp" "src/learn/CMakeFiles/cp_learn.dir/svm.cpp.o" "gcc" "src/learn/CMakeFiles/cp_learn.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/cp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/cp_img.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

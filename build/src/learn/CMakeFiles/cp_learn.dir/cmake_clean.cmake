@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_learn.dir/knn.cpp.o"
+  "CMakeFiles/cp_learn.dir/knn.cpp.o.d"
+  "CMakeFiles/cp_learn.dir/model_store.cpp.o"
+  "CMakeFiles/cp_learn.dir/model_store.cpp.o.d"
+  "CMakeFiles/cp_learn.dir/smo.cpp.o"
+  "CMakeFiles/cp_learn.dir/smo.cpp.o.d"
+  "CMakeFiles/cp_learn.dir/svm.cpp.o"
+  "CMakeFiles/cp_learn.dir/svm.cpp.o.d"
+  "libcp_learn.a"
+  "libcp_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

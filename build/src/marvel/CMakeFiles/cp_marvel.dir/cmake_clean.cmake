@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_marvel.dir/cell_engine.cpp.o"
+  "CMakeFiles/cp_marvel.dir/cell_engine.cpp.o.d"
+  "CMakeFiles/cp_marvel.dir/dataset.cpp.o"
+  "CMakeFiles/cp_marvel.dir/dataset.cpp.o.d"
+  "CMakeFiles/cp_marvel.dir/reference_engine.cpp.o"
+  "CMakeFiles/cp_marvel.dir/reference_engine.cpp.o.d"
+  "libcp_marvel.a"
+  "libcp_marvel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_marvel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcp_marvel.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/port/amdahl.cpp" "src/port/CMakeFiles/cp_port.dir/amdahl.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/amdahl.cpp.o.d"
+  "/root/repo/src/port/dispatcher.cpp" "src/port/CMakeFiles/cp_port.dir/dispatcher.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/port/effort.cpp" "src/port/CMakeFiles/cp_port.dir/effort.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/effort.cpp.o.d"
+  "/root/repo/src/port/profiler.cpp" "src/port/CMakeFiles/cp_port.dir/profiler.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/profiler.cpp.o.d"
+  "/root/repo/src/port/schedule.cpp" "src/port/CMakeFiles/cp_port.dir/schedule.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/schedule.cpp.o.d"
+  "/root/repo/src/port/spe_interface.cpp" "src/port/CMakeFiles/cp_port.dir/spe_interface.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/spe_interface.cpp.o.d"
+  "/root/repo/src/port/taskpool.cpp" "src/port/CMakeFiles/cp_port.dir/taskpool.cpp.o" "gcc" "src/port/CMakeFiles/cp_port.dir/taskpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

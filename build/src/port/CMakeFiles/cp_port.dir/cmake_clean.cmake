@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_port.dir/amdahl.cpp.o"
+  "CMakeFiles/cp_port.dir/amdahl.cpp.o.d"
+  "CMakeFiles/cp_port.dir/dispatcher.cpp.o"
+  "CMakeFiles/cp_port.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/cp_port.dir/effort.cpp.o"
+  "CMakeFiles/cp_port.dir/effort.cpp.o.d"
+  "CMakeFiles/cp_port.dir/profiler.cpp.o"
+  "CMakeFiles/cp_port.dir/profiler.cpp.o.d"
+  "CMakeFiles/cp_port.dir/schedule.cpp.o"
+  "CMakeFiles/cp_port.dir/schedule.cpp.o.d"
+  "CMakeFiles/cp_port.dir/spe_interface.cpp.o"
+  "CMakeFiles/cp_port.dir/spe_interface.cpp.o.d"
+  "CMakeFiles/cp_port.dir/taskpool.cpp.o"
+  "CMakeFiles/cp_port.dir/taskpool.cpp.o.d"
+  "libcp_port.a"
+  "libcp_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/core_model.cpp" "src/sim/CMakeFiles/cp_sim.dir/core_model.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/core_model.cpp.o.d"
+  "/root/repo/src/sim/cost_meter.cpp" "src/sim/CMakeFiles/cp_sim.dir/cost_meter.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/cost_meter.cpp.o.d"
+  "/root/repo/src/sim/libspe.cpp" "src/sim/CMakeFiles/cp_sim.dir/libspe.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/libspe.cpp.o.d"
+  "/root/repo/src/sim/local_store.cpp" "src/sim/CMakeFiles/cp_sim.dir/local_store.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/local_store.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/cp_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/mailbox.cpp" "src/sim/CMakeFiles/cp_sim.dir/mailbox.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/mailbox.cpp.o.d"
+  "/root/repo/src/sim/mfc.cpp" "src/sim/CMakeFiles/cp_sim.dir/mfc.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/mfc.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/cp_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/signal.cpp" "src/sim/CMakeFiles/cp_sim.dir/signal.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/signal.cpp.o.d"
+  "/root/repo/src/sim/spe_context.cpp" "src/sim/CMakeFiles/cp_sim.dir/spe_context.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/spe_context.cpp.o.d"
+  "/root/repo/src/sim/spu_mfcio.cpp" "src/sim/CMakeFiles/cp_sim.dir/spu_mfcio.cpp.o" "gcc" "src/sim/CMakeFiles/cp_sim.dir/spu_mfcio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_sim.dir/core_model.cpp.o"
+  "CMakeFiles/cp_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/cost_meter.cpp.o"
+  "CMakeFiles/cp_sim.dir/cost_meter.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/libspe.cpp.o"
+  "CMakeFiles/cp_sim.dir/libspe.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/local_store.cpp.o"
+  "CMakeFiles/cp_sim.dir/local_store.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/machine.cpp.o"
+  "CMakeFiles/cp_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/mailbox.cpp.o"
+  "CMakeFiles/cp_sim.dir/mailbox.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/mfc.cpp.o"
+  "CMakeFiles/cp_sim.dir/mfc.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/report.cpp.o"
+  "CMakeFiles/cp_sim.dir/report.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/signal.cpp.o"
+  "CMakeFiles/cp_sim.dir/signal.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/spe_context.cpp.o"
+  "CMakeFiles/cp_sim.dir/spe_context.cpp.o.d"
+  "CMakeFiles/cp_sim.dir/spu_mfcio.cpp.o"
+  "CMakeFiles/cp_sim.dir/spu_mfcio.cpp.o.d"
+  "libcp_sim.a"
+  "libcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_spu.dir/spu.cpp.o"
+  "CMakeFiles/cp_spu.dir/spu.cpp.o.d"
+  "libcp_spu.a"
+  "libcp_spu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_spu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

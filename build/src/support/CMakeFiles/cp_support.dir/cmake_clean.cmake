@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cp_support.dir/aligned.cpp.o"
+  "CMakeFiles/cp_support.dir/aligned.cpp.o.d"
+  "CMakeFiles/cp_support.dir/rng.cpp.o"
+  "CMakeFiles/cp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/cp_support.dir/stats.cpp.o"
+  "CMakeFiles/cp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/cp_support.dir/table.cpp.o"
+  "CMakeFiles/cp_support.dir/table.cpp.o.d"
+  "libcp_support.a"
+  "libcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

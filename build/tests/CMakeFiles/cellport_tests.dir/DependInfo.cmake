@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/cellport_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/cellport_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/cellport_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_img.cpp" "tests/CMakeFiles/cellport_tests.dir/test_img.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_img.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/cellport_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_learn.cpp" "tests/CMakeFiles/cellport_tests.dir/test_learn.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_learn.cpp.o.d"
+  "/root/repo/tests/test_marvel.cpp" "tests/CMakeFiles/cellport_tests.dir/test_marvel.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_marvel.cpp.o.d"
+  "/root/repo/tests/test_port.cpp" "tests/CMakeFiles/cellport_tests.dir/test_port.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_port.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/cellport_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cellport_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_spu.cpp" "tests/CMakeFiles/cellport_tests.dir/test_spu.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_spu.cpp.o.d"
+  "/root/repo/tests/test_streaming.cpp" "tests/CMakeFiles/cellport_tests.dir/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_streaming.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/cellport_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/cellport_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/marvel/CMakeFiles/cp_marvel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cp_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/learn/CMakeFiles/cp_learn.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/cp_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/img/CMakeFiles/cp_img.dir/DependInfo.cmake"
+  "/root/repo/build/src/port/CMakeFiles/cp_port.dir/DependInfo.cmake"
+  "/root/repo/build/src/spu/CMakeFiles/cp_spu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

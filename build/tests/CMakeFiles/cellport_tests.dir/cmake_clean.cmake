@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellport_tests.dir/test_faults.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_faults.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_features.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_features.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_golden.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_golden.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_img.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_img.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_kernels.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_learn.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_learn.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_marvel.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_marvel.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_port.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_port.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_spu.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_spu.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_streaming.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_streaming.cpp.o.d"
+  "CMakeFiles/cellport_tests.dir/test_support.cpp.o"
+  "CMakeFiles/cellport_tests.dir/test_support.cpp.o.d"
+  "cellport_tests"
+  "cellport_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellport_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
