@@ -43,7 +43,11 @@ double kernel_wall_ns(port::KernelModule& mod, const img::RgbImage& img,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // With --trace/--timeline only the buffering-depth section is recorded:
+  // its traces are the instructive ones (single buffering shows dma_wait
+  // gaps between kernel spans; double buffering hides them under compute).
+  Observability obs(parse_options(argc, argv));
   std::printf("== Ablations: the strategy's tunables ==\n\n");
   img::RgbImage image = img::synth_image(img::SceneKind::kShapes, 3);
 
@@ -67,6 +71,7 @@ int main() {
              Table::num(sim::ns_to_ms(cc), 3), Table::num(cc1 / cc, 2)});
   }
   std::printf("%s\n", buf.str().c_str());
+  if (obs.session() != nullptr) obs.session()->set_enabled(false);
   double ch2 = kernel_wall_ns(kernels::ch_module(), image,
                               kernels::SPU_Run, kernels::kDoubleBuffer);
   shape_check(ch2 < ch1,
@@ -283,5 +288,7 @@ int main() {
                 "fine-grained kernels pay protocol overhead: cluster "
                 "methods into larger kernels (Section 3.2)");
   }
+  if (obs.session() != nullptr) obs.session()->set_enabled(true);
+  obs.finish();
   return 0;
 }

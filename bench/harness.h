@@ -9,14 +9,22 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "learn/model_store.h"
 #include "marvel/cell_engine.h"
 #include "marvel/dataset.h"
 #include "marvel/reference_engine.h"
 #include "sim/machine.h"
+#include "sim/observe.h"
+#include "sim/report.h"
+#include "support/error.h"
+#include "support/json.h"
 #include "support/table.h"
+#include "trace/metrics.h"
 
 namespace cellport::bench {
 
@@ -86,5 +94,103 @@ inline bool shape_check(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-FAIL", what.c_str());
   return ok;
 }
+
+// ---------------------------------------------------------------------------
+// cellscope integration: command-line flags, the trace-session guard, and
+// the BENCH_<name>.json artifact writer.
+
+/// The shared flag set and session guard live in sim/observe.h so the
+/// examples expose the same --trace/--metrics/--timeline surface; the
+/// bench names are aliases.
+using BenchOptions = sim::ObserveOptions;
+using Observability = sim::ObserveGuard;
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  return sim::parse_observe_options(argc, argv);
+}
+
+/// Machine-readable bench result:
+///   {"bench": ..., "rows": [{"label": ..., <name>: <value>, ...}, ...],
+///    "metrics": {...}, "shape_checks": [{"ok": ..., "what": ...}, ...]}
+/// written to BENCH_<name>.json so experiment drivers don't scrape tables.
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string bench) : bench_(std::move(bench)) {}
+
+  /// One measured row (a table line): a label plus named numeric values.
+  void add_row(const std::string& label,
+               std::vector<std::pair<std::string, double>> values) {
+    rows_.push_back({label, std::move(values)});
+  }
+
+  void set_metric(const std::string& name, double v) { metrics_[name] = v; }
+
+  /// Folds a machine's metric series into the artifact: counters and
+  /// gauges verbatim, histograms as .count/.mean/.p95 summaries.
+  void add_machine_metrics(const trace::MetricsRegistry& m,
+                           const std::string& prefix = "") {
+    for (const auto& [name, c] : m.counters()) {
+      metrics_[prefix + name] = static_cast<double>(c->value());
+    }
+    for (const auto& [name, g] : m.gauges()) metrics_[prefix + name] = g->value();
+    for (const auto& [name, h] : m.histograms()) {
+      metrics_[prefix + name + ".count"] = static_cast<double>(h->count());
+      metrics_[prefix + name + ".mean"] = h->mean();
+      metrics_[prefix + name + ".p95"] = h->percentile(95);
+    }
+  }
+
+  /// shape_check() that also records the claim in the artifact.
+  bool shape(bool ok, const std::string& what) {
+    shape_check(ok, what);
+    shapes_.push_back({ok, what});
+    return ok;
+  }
+
+  /// Serializes to `path`, defaulting to BENCH_<name>.json in the working
+  /// directory.
+  void write(const std::string& path = "") const {
+    std::string p = path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(bench_);
+    w.key("rows").begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      w.key("label").value(row.label);
+      for (const auto& [name, v] : row.values) w.key(name).value(v);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics").begin_object();
+    for (const auto& [name, v] : metrics_) w.key(name).value(v);
+    w.end_object();
+    w.key("shape_checks").begin_array();
+    for (const auto& s : shapes_) {
+      w.begin_object();
+      w.key("ok").value(s.ok);
+      w.key("what").value(s.what);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    Observability::write_text_file(p, w.str());
+    std::printf("[cellscope] artifact: %s\n", p.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+  };
+  struct Shape {
+    bool ok;
+    std::string what;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+  std::map<std::string, double> metrics_;
+  std::vector<Shape> shapes_;
+};
 
 }  // namespace cellport::bench

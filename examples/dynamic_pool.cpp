@@ -7,7 +7,8 @@
 // runs anything — paying a code-switch DMA when its resident kernel
 // changes.
 //
-// Usage: dynamic_pool [images] [workers]   (defaults: 6 images, 6 workers)
+// Usage: dynamic_pool [images] [workers] [--trace=f.json]
+//        [--metrics=m.json] [--timeline]  (defaults: 6 images, 6 workers)
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,13 +22,16 @@
 #include "port/message.h"
 #include "port/taskpool.h"
 #include "sim/machine.h"
+#include "sim/observe.h"
 #include "support/table.h"
 
 using namespace cellport;
 
 int main(int argc, char** argv) {
-  int n_images = argc > 1 ? std::atoi(argv[1]) : 6;
-  int n_workers = argc > 2 ? std::atoi(argv[2]) : 6;
+  sim::ObserveGuard obs(sim::parse_observe_options(argc, argv));
+  const auto& pos = obs.options().rest;
+  int n_images = pos.size() > 0 ? std::atoi(pos[0].c_str()) : 6;
+  int n_workers = pos.size() > 1 ? std::atoi(pos[1].c_str()) : 6;
   if (n_images < 1) n_images = 1;
   if (n_workers < 1 || n_workers > 8) n_workers = 6;
 
@@ -81,5 +85,7 @@ int main(int argc, char** argv) {
               static_cast<double>(machine.eib().total_bytes()) / 1e6,
               static_cast<unsigned long long>(
                   machine.eib().total_transfers()));
+  obs.finish();
+  obs.write_metrics(machine);
   return 0;
 }

@@ -6,7 +6,8 @@
 // the per-kernel speed-ups (Table 1), and the scenario comparison of
 // Section 5.5.
 //
-// Usage: marvel_pipeline [num_images]  (default 5)
+// Usage: marvel_pipeline [num_images] [--trace=f.json] [--metrics=m.json]
+//                        [--timeline]               (default 5 images)
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,13 +17,16 @@
 #include "marvel/dataset.h"
 #include "marvel/reference_engine.h"
 #include "sim/machine.h"
+#include "sim/observe.h"
 #include "sim/report.h"
 #include "support/table.h"
 
 using namespace cellport;
 
 int main(int argc, char** argv) {
-  int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  sim::ObserveGuard obs(sim::parse_observe_options(argc, argv));
+  const auto& pos = obs.options().rest;
+  int n = !pos.empty() ? std::atoi(pos[0].c_str()) : 5;
   if (n < 1) n = 1;
 
   std::printf("Generating %d synthetic 352x240 images...\n", n);
@@ -125,5 +129,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t2.str().c_str());
 
   std::printf("%s", sim::format_report(sim::snapshot(cell3)).c_str());
+  obs.finish();
+  obs.write_metrics(cell3);
   return 0;
 }

@@ -27,6 +27,7 @@ CellEngine::CellEngine(sim::Machine& machine,
       buffering_(buffering),
       use_naive_(use_naive),
       profiler_(machine.ppe()) {
+  images_counter_ = &machine_.metrics().counter("marvel.images_analyzed");
   {
     // One-time overhead: the model library load, on the PPE.
     port::Profiler::Scope probe(profiler_, kPhaseStartup);
@@ -202,7 +203,18 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   collect(slots_[2], result.texture, result.tx_detect, "texture");
   collect(slots_[3], result.edge_histogram, result.eh_detect,
           "edge_histogram");
+  note_image_done();
   return result;
+}
+
+void CellEngine::note_image_done() {
+  images_counter_->add(1);
+  sim::ScalarContext& ppe = machine_.ppe();
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(trace::Category::kRuntime, "image_done",
+                               ppe.now_ns(), "count",
+                               images_counter_->value());
+  }
 }
 
 std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
@@ -255,6 +267,7 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     collect(slots_[2], result.texture, result.tx_detect, "texture");
     collect(slots_[3], result.edge_histogram, result.eh_detect,
             "edge_histogram");
+    note_image_done();
     results.push_back(std::move(result));
     if (i + 1 < images.size()) current = std::move(next);
   }

@@ -84,6 +84,8 @@ class CellEngine {
   void run_detection(FeatureSlot& slot, port::SPEInterface& iface);
   void collect(FeatureSlot& slot, features::FeatureVector& fv,
                DetectionScores& scores, const char* name);
+  /// Bumps the images-analyzed counter and drops a timeline marker.
+  void note_image_done();
 
   sim::Machine& machine_;
   Scenario scenario_;
@@ -92,6 +94,8 @@ class CellEngine {
   port::Profiler profiler_;
   learn::MarvelModels models_;
   sim::SimTime startup_ns_ = 0;
+  // Cached at construction so the per-image path does no registry lookup.
+  trace::Counter* images_counter_ = nullptr;
 
   std::unique_ptr<port::SPEInterface> ch_if_;
   std::unique_ptr<port::SPEInterface> cc_if_;

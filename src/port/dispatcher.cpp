@@ -2,8 +2,10 @@
 
 #include <cstdio>
 
+#include "sim/spe_context.h"
 #include "sim/spu_mfcio.h"
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace cellport::port {
 
@@ -54,11 +56,19 @@ void KernelModule::note_error(const std::string& msg) {
 int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
                                 std::uint64_t argv) {
   auto* self = reinterpret_cast<KernelModule*>(argv);
+  sim::SpeContext* ctx = sim::current_spe();
   for (;;) {
     auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
     if (opcode == SPU_EXIT) return 0;
 
     std::uint64_t addr_in = sim::spu_read_in_mbox();
+    // Kernel span boundaries reuse flush points the untraced dispatch
+    // loop already has (no pipeline charges accumulate between the
+    // mailbox read above and here, nor between the kernel's last charge
+    // and the completion write below), so recording cannot regroup
+    // dual-issue accounting.
+    const bool traced = ctx != nullptr && ctx->trace_on();
+    sim::SimTime kernel_t0 = traced ? ctx->now_ns() : 0;
     std::uint64_t result;
     auto it = self->functions_.find(opcode);
     if (it == self->functions_.end()) {
@@ -74,6 +84,15 @@ int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
         std::fprintf(stderr, "[%s] kernel fault: %s\n",
                      self->name_.c_str(), e.what());
         result = kKernelFault;
+      }
+    }
+
+    if (traced) {
+      const sim::SpeContext::TraceHooks& hooks = ctx->trace_hooks();
+      hooks.track->complete(trace::Category::kKernel, self->name_, kernel_t0,
+                            ctx->now_ns(), "opcode", opcode);
+      if (hooks.kernel_invocations != nullptr) {
+        hooks.kernel_invocations->add(1);
       }
     }
 

@@ -18,10 +18,17 @@ Profiler::Scope::Scope(Profiler& p, const std::string& name)
     : p_(p), idx_(p.node_index(name)), start_(p.ctx_.now_ns()) {
   p_.stack_.push_back(Active{idx_, 0});
   child_ns_at_start_ = 0;
+  if (p_.ctx_.trace_on()) {
+    p_.ctx_.trace_track()->begin(trace::Category::kProfiler, name, start_);
+    traced_ = true;
+  }
 }
 
 Profiler::Scope::~Scope() {
   sim::SimTime elapsed = p_.ctx_.now_ns() - start_;
+  if (traced_) {
+    p_.ctx_.trace_track()->end(start_ + elapsed);
+  }
   sim::SimTime child_ns = p_.stack_.back().child_ns;
   p_.stack_.pop_back();
 

@@ -39,6 +39,9 @@ class Profiler {
     std::size_t idx_;
     sim::SimTime start_;
     sim::SimTime child_ns_at_start_;
+    // Whether this scope recorded a trace begin (the session could be
+    // toggled mid-scope; the end must match the begin, not the toggle).
+    bool traced_ = false;
   };
 
   struct Record {

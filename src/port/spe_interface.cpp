@@ -1,6 +1,8 @@
 #include "port/spe_interface.h"
 
+#include "sim/machine.h"
 #include "support/error.h"
+#include "trace/trace.h"
 
 namespace cellport::port {
 
@@ -53,6 +55,13 @@ int SPEInterface::Send(int functionCall, std::uint64_t value) {
         "SPEInterface::Send while a call is in flight (the outbound "
         "mailbox is one entry deep); Wait() first");
   }
+  sim::ScalarContext& ppe = spuid_->machine().ppe();
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(
+        trace::Category::kRuntime, "send:" + module_->name(), ppe.now_ns(),
+        "opcode", static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(functionCall)));
+  }
   // Listing 3: send command, then the wrapper-structure address.
   sim::spe_write_in_mbox(spuid_, static_cast<std::uint64_t>(
                                      static_cast<std::uint32_t>(functionCall)));
@@ -65,10 +74,17 @@ int SPEInterface::Wait(int /*timeout*/) {
   if (!pending_) {
     throw cellport::ConfigError("SPEInterface::Wait without a pending Send");
   }
+  sim::ScalarContext& ppe = spuid_->machine().ppe();
+  sim::SimTime wait_t0 = ppe.now_ns();
   std::uint64_t retVal =
       module_->mode() == CompletionMode::kPolling
           ? sim::spe_read_out_mbox(spuid_)
           : sim::spe_read_out_intr_mbox(spuid_);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(trace::Category::kRuntime,
+                                "wait:" + module_->name(), wait_t0,
+                                ppe.now_ns());
+  }
   pending_ = false;
   if (retVal == kKernelFault) {
     throw cellport::Error("SPE kernel '" + module_->name() +

@@ -1,5 +1,7 @@
 #include "sim/libspe.h"
 
+#include <algorithm>
+
 #include "support/error.h"
 
 namespace cellport::sim {
@@ -24,6 +26,11 @@ speid_t spe_create_thread(const spe_program_handle_t& program,
 void spe_write_in_mbox(speid_t spe, std::uint64_t value) {
   ScalarContext& ppe = spe->machine().ppe();
   ppe.advance_ns(calib::kPpeMmioCostNs);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(trace::Category::kMailbox, "mbox_write",
+                               ppe.now_ns(), "spe",
+                               static_cast<std::uint64_t>(spe->ctx().id()));
+  }
   spe->ctx().in_mbox().write(value, ppe.now_ns() + calib::kMailboxLatencyNs);
 }
 
@@ -34,19 +41,33 @@ std::size_t spe_stat_out_mbox(speid_t spe) {
 
 std::uint64_t spe_read_out_mbox(speid_t spe) {
   ScalarContext& ppe = spe->machine().ppe();
+  SimTime t0 = ppe.now_ns();
   Mailbox::Entry e = spe->ctx().out_mbox().read();
   // In simulated time the PPE was polling until the entry's delivery
   // timestamp, then paid one MMIO read to fetch it.
   ppe.sync_to(e.ts);
   ppe.advance_ns(calib::kPpeMmioCostNs);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(
+        trace::Category::kMailbox, "mbox_read", t0, ppe.now_ns(), "spe",
+        static_cast<std::uint64_t>(spe->ctx().id()), "stall_ns",
+        static_cast<std::uint64_t>(std::max(0.0, e.ts - t0)));
+  }
   return e.value;
 }
 
 std::uint64_t spe_read_out_intr_mbox(speid_t spe) {
   ScalarContext& ppe = spe->machine().ppe();
+  SimTime t0 = ppe.now_ns();
   Mailbox::Entry e = spe->ctx().out_intr_mbox().read();
   ppe.sync_to(e.ts + calib::kInterruptLatencyNs);
   ppe.advance_ns(calib::kPpeMmioCostNs);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(
+        trace::Category::kMailbox, "mbox_read_intr", t0, ppe.now_ns(), "spe",
+        static_cast<std::uint64_t>(spe->ctx().id()), "stall_ns",
+        static_cast<std::uint64_t>(std::max(0.0, e.ts - t0)));
+  }
   return e.value;
 }
 

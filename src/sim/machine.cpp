@@ -41,6 +41,26 @@ Machine::Machine(Config cfg) : ppe_(cell_ppe()) {
     spes_.push_back(std::make_unique<SpeContext>(i, eib_));
   spe_busy_.assign(static_cast<std::size_t>(cfg.num_spes), false);
   g_current_machine = this;
+
+  // Register with an installed TraceSession: one pid per machine, one
+  // track per context. Track and metric objects are created up front so
+  // hot-path hooks are a pointer test plus an append — no map lookups,
+  // no locks (each track has a single writer thread).
+  if (trace::TraceSession* ts = trace::TraceSession::current()) {
+    trace_pid_ = ts->register_machine(
+        "cell[" + std::to_string(cfg.num_spes) + " SPE]");
+    ppe_.set_trace_track(ts->make_track(trace_pid_, "PPE"));
+    for (int i = 0; i < cfg.num_spes; ++i) {
+      std::string prefix = "spe" + std::to_string(i);
+      SpeContext::TraceHooks hooks;
+      hooks.track = ts->make_track(trace_pid_, "SPE" + std::to_string(i));
+      hooks.dma_stall_ns = &metrics_.histogram(prefix + ".dma.wait_ns");
+      hooks.mbox_wait_ns = &metrics_.histogram(prefix + ".mbox.wait_ns");
+      hooks.kernel_invocations =
+          &metrics_.counter(prefix + ".kernel.invocations");
+      spes_[static_cast<std::size_t>(i)]->set_trace(hooks);
+    }
+  }
 }
 
 Machine::~Machine() {
@@ -79,6 +99,11 @@ SpeThread* Machine::spawn(const SpeProgram& program, std::uint64_t argv,
                                 " already runs a program");
   }
   spe_busy_[idx] = true;
+  if (ppe_.trace_on()) {
+    ppe_.trace_track()->instant(trace::Category::kRuntime,
+                                "spawn:" + program.name, ppe_.now_ns(),
+                                "spe", static_cast<std::uint64_t>(spe_index));
+  }
   threads_.push_back(std::unique_ptr<SpeThread>(
       new SpeThread(*this, *spes_[idx], program, argv)));
   return threads_.back().get();
@@ -89,6 +114,12 @@ int Machine::join(SpeThread* t) {
     t->thread_.join();
     t->joined_ = true;
     spe_busy_[static_cast<std::size_t>(t->ctx_.id())] = false;
+    if (ppe_.trace_on()) {
+      ppe_.trace_track()->instant(
+          trace::Category::kRuntime, "join:" + t->program_.name,
+          ppe_.now_ns(), "spe",
+          static_cast<std::uint64_t>(t->ctx_.id()));
+    }
   }
   return *t->exit_code_;
 }

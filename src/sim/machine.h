@@ -21,6 +21,7 @@
 #include "sim/eib.h"
 #include "sim/scalar_context.h"
 #include "sim/spe_context.h"
+#include "trace/metrics.h"
 
 namespace cellport::sim {
 
@@ -94,12 +95,24 @@ class Machine {
   /// functions; the most recently constructed Machine is current.
   static Machine* current();
 
+  // ---- observability (cellscope) ----
+  /// The machine's metric series: per-SPE DMA/stall/mailbox/pipeline
+  /// counters plus whatever the engines record. Snapshot series are
+  /// (re)filled by sim::collect_metrics; histogram series accumulate
+  /// during the run while a TraceSession is installed.
+  trace::MetricsRegistry& metrics() { return metrics_; }
+  /// The pid this machine registered with the installed TraceSession
+  /// (0 when tracing was off at construction).
+  int trace_pid() const { return trace_pid_; }
+
  private:
   Eib eib_;
   ScalarContext ppe_;
   std::vector<std::unique_ptr<SpeContext>> spes_;
   std::vector<std::unique_ptr<SpeThread>> threads_;
   std::vector<bool> spe_busy_;
+  trace::MetricsRegistry metrics_;
+  int trace_pid_ = 0;
 };
 
 }  // namespace cellport::sim

@@ -1,11 +1,15 @@
 #include "sim/mailbox.h"
 
+#include <algorithm>
+
 namespace cellport::sim {
 
 void Mailbox::write(std::uint64_t value, SimTime delivery_ts) {
   std::unique_lock lock(mu_);
   cv_write_.wait(lock, [&] { return q_.size() < capacity_; });
   q_.push_back(Entry{value, delivery_ts});
+  stats_.writes += 1;
+  stats_.max_depth = std::max(stats_.max_depth, q_.size());
   cv_read_.notify_one();
 }
 
@@ -16,6 +20,8 @@ void Mailbox::write_or_throw(std::uint64_t value, SimTime delivery_ts) {
                                  std::to_string(capacity_) + ")");
   }
   q_.push_back(Entry{value, delivery_ts});
+  stats_.writes += 1;
+  stats_.max_depth = std::max(stats_.max_depth, q_.size());
   cv_read_.notify_one();
 }
 
@@ -24,8 +30,14 @@ Mailbox::Entry Mailbox::read() {
   cv_read_.wait(lock, [&] { return !q_.empty(); });
   Entry e = q_.front();
   q_.pop_front();
+  stats_.reads += 1;
   cv_write_.notify_one();
   return e;
+}
+
+Mailbox::Stats Mailbox::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
 }
 
 std::size_t Mailbox::count() const {
@@ -36,6 +48,7 @@ std::size_t Mailbox::count() const {
 void Mailbox::clear() {
   std::lock_guard lock(mu_);
   q_.clear();
+  stats_ = Stats{};
   cv_write_.notify_all();
 }
 

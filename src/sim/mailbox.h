@@ -52,12 +52,25 @@ class Mailbox {
   std::size_t capacity() const { return capacity_; }
   const std::string& name() const { return name_; }
 
-  /// Drops all queued entries (machine reset).
+  /// Traffic/occupancy statistics, feeding the mailbox series of the
+  /// MetricsRegistry. `writes`/`reads` are deterministic totals;
+  /// `max_depth` is the functional queue's high-water mark and therefore
+  /// depends on host thread interleaving (documented as such in
+  /// docs/OBSERVABILITY.md — it never feeds back into simulated time).
+  struct Stats {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::size_t max_depth = 0;
+  };
+  Stats stats() const;
+
+  /// Drops all queued entries and statistics (machine reset).
   void clear();
 
  private:
   std::string name_;
   std::size_t capacity_;
+  Stats stats_;
   mutable std::mutex mu_;
   std::condition_variable cv_read_;
   std::condition_variable cv_write_;

@@ -78,6 +78,15 @@ void Mfc::issue(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag,
   stats_.bytes += size;
   if (list_element) stats_.list_elements += 1;
   eib_.record_transfer(size);
+
+  if (owner_.trace_on()) {
+    // The span covers the engine's occupancy [start, start+xfer]; the
+    // wire latency that multi-buffering hides is in the tag-completion
+    // time, visible as the gap before any dma_wait span.
+    owner_.trace_hooks().track->complete(
+        trace::Category::kDma, is_get ? "dma_get" : "dma_put", start,
+        engine_busy_until_, "bytes", size, "tag", tag);
+  }
 }
 
 void Mfc::get(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag) {
@@ -115,7 +124,9 @@ std::uint32_t Mfc::read_tag_status_all() {
   }
   SimTime before = owner_.now_ns();
   owner_.sync_to(latest);
-  stats_.stall_ns += std::max(0.0, latest - before);
+  SimTime stall = std::max(0.0, latest - before);
+  stats_.stall_ns += stall;
+  record_wait(before, stall);
   outstanding_ = 0;
   return tag_mask_;
 }
@@ -131,13 +142,25 @@ std::uint32_t Mfc::read_tag_status_any() {
   if (earliest < 0) return 0;
   SimTime before = owner_.now_ns();
   owner_.sync_to(earliest);
-  stats_.stall_ns += std::max(0.0, earliest - before);
+  SimTime stall = std::max(0.0, earliest - before);
+  stats_.stall_ns += stall;
+  record_wait(before, stall);
   std::uint32_t done = 0;
   SimTime now = owner_.now_ns();
   for (unsigned t = 0; t < kNumTags; ++t) {
     if ((tag_mask_ & (1u << t)) && tag_complete_[t] <= now) done |= 1u << t;
   }
   return done;
+}
+
+void Mfc::record_wait(SimTime before, SimTime stall) {
+  if (!owner_.trace_on()) return;
+  const SpeContext::TraceHooks& hooks = owner_.trace_hooks();
+  if (hooks.dma_stall_ns != nullptr) hooks.dma_stall_ns->record(stall);
+  if (stall > 0) {
+    hooks.track->complete(trace::Category::kDma, "dma_wait", before,
+                          before + stall);
+  }
 }
 
 void Mfc::reset() {

@@ -79,6 +79,8 @@ class Mfc {
              bool is_get, bool list_element);
   void validate(const void* ls, std::uint64_t ea, std::uint32_t size,
                 unsigned tag) const;
+  /// Trace hook for tag-status waits: stall histogram + dma_wait span.
+  void record_wait(SimTime before, SimTime stall);
 
   SpeContext& owner_;
   Eib& eib_;

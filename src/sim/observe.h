@@ -1,0 +1,129 @@
+// Command-line front end for cellscope: --trace/--metrics/--timeline
+// flags plus the RAII guard that installs a TraceSession and renders the
+// requested outputs. Shared by the bench harness and the examples so every
+// binary exposes the same observability surface.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.h"
+#include "sim/report.h"
+#include "support/error.h"
+#include "trace/chrome_export.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
+
+namespace cellport::sim {
+
+/// Observability flags. Unrecognized arguments are collected into `rest`
+/// so binaries with positional arguments can parse those afterwards.
+struct ObserveOptions {
+  std::string trace_path;    // --trace=<file>: Chrome trace JSON
+  std::string metrics_path;  // --metrics=<file>: MetricsRegistry JSON
+  bool timeline = false;     // --timeline: ASCII timeline on stdout
+  int timeline_width = 96;   // --timeline-width=<cols>
+  std::vector<std::string> rest;
+
+  bool tracing() const { return !trace_path.empty() || timeline; }
+};
+
+inline ObserveOptions parse_observe_options(int argc, char** argv) {
+  ObserveOptions o;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto val = [&](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg.rfind("--trace=", 0) == 0) {
+      o.trace_path = val("--trace=");
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      o.metrics_path = val("--metrics=");
+    } else if (arg == "--timeline") {
+      o.timeline = true;
+    } else if (arg.rfind("--timeline-width=", 0) == 0) {
+      o.timeline_width = std::stoi(val("--timeline-width="));
+    } else {
+      o.rest.push_back(std::move(arg));
+    }
+  }
+  return o;
+}
+
+/// Owns and installs a TraceSession for the process when any
+/// trace-consuming flag is set; finish() renders the requested outputs.
+/// When no flag asks for a trace, no session is installed and the
+/// simulator's hooks stay on their zero-cost path.
+class ObserveGuard {
+ public:
+  explicit ObserveGuard(ObserveOptions opts) : opts_(std::move(opts)) {
+    // Fail fast on unwritable output paths: discovering them in finish(),
+    // after minutes of simulation, would abort with the work lost.
+    for (const std::string& path : {opts_.trace_path, opts_.metrics_path}) {
+      if (path.empty()) continue;
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "[cellscope] error: cannot open '%s' for "
+                             "writing\n", path.c_str());
+        std::exit(2);
+      }
+      std::fclose(f);
+    }
+    if (opts_.tracing()) {
+      session_ = std::make_unique<trace::TraceSession>();
+      session_->install();
+    }
+  }
+  ~ObserveGuard() {
+    if (session_ != nullptr) session_->uninstall();
+  }
+  ObserveGuard(const ObserveGuard&) = delete;
+  ObserveGuard& operator=(const ObserveGuard&) = delete;
+
+  const ObserveOptions& options() const { return opts_; }
+  trace::TraceSession* session() { return session_.get(); }
+
+  /// Writes the trace file and/or prints the ASCII timeline, as requested
+  /// by the flags. Call after the traced machines have finished.
+  void finish() {
+    if (session_ == nullptr) return;
+    if (!opts_.trace_path.empty()) {
+      trace::write_chrome_trace(*session_, opts_.trace_path);
+      std::printf("[cellscope] trace: %s (%zu events)\n",
+                  opts_.trace_path.c_str(), session_->event_count());
+    }
+    if (opts_.timeline) {
+      trace::TimelineOptions t;
+      t.width = opts_.timeline_width;
+      std::printf("%s", trace::render_timeline(*session_, t).c_str());
+    }
+  }
+
+  /// Writes machine.metrics() as JSON to --metrics=<file> (after a fresh
+  /// collect_metrics pass). No-op when the flag is absent.
+  void write_metrics(Machine& machine) {
+    if (opts_.metrics_path.empty()) return;
+    collect_metrics(machine, machine.metrics());
+    write_text_file(opts_.metrics_path, machine.metrics().to_json());
+    std::printf("[cellscope] metrics: %s\n", opts_.metrics_path.c_str());
+  }
+
+  static void write_text_file(const std::string& path,
+                              const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) throw cellport::IoError("cannot open " + path);
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (n != text.size()) throw cellport::IoError("short write to " + path);
+  }
+
+ private:
+  ObserveOptions opts_;
+  std::unique_ptr<trace::TraceSession> session_;
+};
+
+}  // namespace cellport::sim

@@ -6,26 +6,67 @@
 
 namespace cellport::sim {
 
-MachineReport snapshot(Machine& machine) {
-  MachineReport r;
-  r.ppe_ns = machine.ppe().now_ns();
+void collect_metrics(Machine& machine, trace::MetricsRegistry& metrics) {
+  SimTime ppe_ns = machine.ppe().now_ns();
+  metrics.gauge("ppe.elapsed_ns").set(ppe_ns);
+  metrics.gauge("ppe.io_ns").set(machine.ppe().io_ns());
   for (int i = 0; i < machine.num_spes(); ++i) {
     SpeContext& spe = machine.spe(i);
+    const std::string p = "spe" + std::to_string(i);
+    metrics.gauge(p + ".busy_ns").set(spe.busy_ns());
+    metrics.gauge(p + ".pipe.even_cycles").set(spe.pipe_stats().even_cycles);
+    metrics.gauge(p + ".pipe.odd_cycles").set(spe.pipe_stats().odd_cycles);
+    metrics.gauge(p + ".pipe.slack_cycles")
+        .set(spe.pipe_stats().slack_cycles);
+    metrics.gauge(p + ".dma.transfers")
+        .set(static_cast<double>(spe.mfc().stats().transfers));
+    metrics.gauge(p + ".dma.bytes")
+        .set(static_cast<double>(spe.mfc().stats().bytes));
+    metrics.gauge(p + ".dma.list_elements")
+        .set(static_cast<double>(spe.mfc().stats().list_elements));
+    metrics.gauge(p + ".dma.stall_ns").set(spe.mfc().stats().stall_ns);
+    metrics.gauge(p + ".ls.peak_bytes")
+        .set(static_cast<double>(spe.ls().peak_bytes()));
+    Mailbox::Stats mb = spe.in_mbox().stats();
+    metrics.gauge(p + ".mbox.in_writes")
+        .set(static_cast<double>(mb.writes));
+    metrics.gauge(p + ".mbox.in_reads").set(static_cast<double>(mb.reads));
+    metrics.gauge(p + ".mbox.in_max_depth")
+        .set(static_cast<double>(mb.max_depth));
+  }
+  metrics.gauge("eib.bytes")
+      .set(static_cast<double>(machine.eib().total_bytes()));
+  metrics.gauge("eib.transfers")
+      .set(static_cast<double>(machine.eib().total_transfers()));
+  metrics.gauge("eib.utilization").set(machine.eib().utilization(ppe_ns));
+}
+
+MachineReport snapshot(Machine& machine) {
+  trace::MetricsRegistry& m = machine.metrics();
+  collect_metrics(machine, m);
+  MachineReport r;
+  r.ppe_ns = m.gauge("ppe.elapsed_ns").value();
+  for (int i = 0; i < machine.num_spes(); ++i) {
+    const std::string p = "spe" + std::to_string(i);
     SpeReport s;
     s.id = i;
-    s.busy_ns = spe.busy_ns();
-    s.even_cycles = spe.pipe_stats().even_cycles;
-    s.odd_cycles = spe.pipe_stats().odd_cycles;
-    s.slack_cycles = spe.pipe_stats().slack_cycles;
-    s.dma_transfers = spe.mfc().stats().transfers;
-    s.dma_bytes = spe.mfc().stats().bytes;
-    s.dma_stall_ns = spe.mfc().stats().stall_ns;
-    s.ls_peak_bytes = spe.ls().peak_bytes();
+    s.busy_ns = m.gauge(p + ".busy_ns").value();
+    s.even_cycles = m.gauge(p + ".pipe.even_cycles").value();
+    s.odd_cycles = m.gauge(p + ".pipe.odd_cycles").value();
+    s.slack_cycles = m.gauge(p + ".pipe.slack_cycles").value();
+    s.dma_transfers =
+        static_cast<std::uint64_t>(m.gauge(p + ".dma.transfers").value());
+    s.dma_bytes =
+        static_cast<std::uint64_t>(m.gauge(p + ".dma.bytes").value());
+    s.dma_stall_ns = m.gauge(p + ".dma.stall_ns").value();
+    s.ls_peak_bytes =
+        static_cast<std::size_t>(m.gauge(p + ".ls.peak_bytes").value());
     r.spes.push_back(s);
   }
-  r.eib_bytes = machine.eib().total_bytes();
-  r.eib_transfers = machine.eib().total_transfers();
-  r.eib_utilization = machine.eib().utilization(r.ppe_ns);
+  r.eib_bytes = static_cast<std::uint64_t>(m.gauge("eib.bytes").value());
+  r.eib_transfers =
+      static_cast<std::uint64_t>(m.gauge("eib.transfers").value());
+  r.eib_utilization = m.gauge("eib.utilization").value();
   return r;
 }
 

@@ -6,9 +6,13 @@
 // experiment next to its results.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/machine.h"
+#include "trace/metrics.h"
 
 namespace cellport::sim {
 
@@ -34,7 +38,21 @@ struct MachineReport {
   double eib_utilization = 0;
 };
 
-/// Snapshots the machine's counters.
+/// Fills `metrics` with the machine's counter series under stable names:
+/// "ppe.elapsed_ns", "ppe.io_ns", "spe<i>.busy_ns",
+/// "spe<i>.pipe.{even_cycles,odd_cycles,slack_cycles}",
+/// "spe<i>.dma.{transfers,bytes,list_elements,stall_ns}",
+/// "spe<i>.ls.peak_bytes",
+/// "spe<i>.mbox.{in_writes,in_reads,in_max_depth}",
+/// "eib.{bytes,transfers,utilization}".
+/// All simulated-time series are deterministic; `in_max_depth` is the one
+/// exception (functional queue occupancy depends on host interleaving) and
+/// is excluded from traces for that reason.
+void collect_metrics(Machine& machine, trace::MetricsRegistry& metrics);
+
+/// Snapshots the machine's counters. Implemented on top of
+/// collect_metrics into machine.metrics(), so the report and the metric
+/// series agree by construction.
 MachineReport snapshot(Machine& machine);
 
 /// Renders the snapshot as an aligned table.

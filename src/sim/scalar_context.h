@@ -14,6 +14,7 @@
 #include "sim/core_model.h"
 #include "sim/cost_meter.h"
 #include "sim/time.h"
+#include "trace/trace.h"
 
 namespace cellport::sim {
 
@@ -59,6 +60,15 @@ class ScalarContext {
   /// Total simulated I/O time charged so far.
   SimTime io_ns() const { return io_ns_; }
 
+  // ---- observability (cellscope) ----
+  /// The timeline lane this context's events land on; null when no
+  /// TraceSession is installed (hooks then cost one pointer test).
+  void set_trace_track(trace::TraceTrack* track) { trace_track_ = track; }
+  trace::TraceTrack* trace_track() { return trace_track_; }
+  bool trace_on() const {
+    return trace_track_ != nullptr && trace_track_->enabled();
+  }
+
   void reset() {
     clock_ns_ = 0;
     io_ns_ = 0;
@@ -70,6 +80,7 @@ class ScalarContext {
   SimTime clock_ns_ = 0;
   SimTime io_ns_ = 0;
   CostMeter meter_;
+  trace::TraceTrack* trace_track_ = nullptr;
 };
 
 }  // namespace cellport::sim

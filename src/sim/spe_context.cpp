@@ -36,30 +36,55 @@ void SpeContext::sync_to(SimTime ts) {
 
 std::uint64_t SpeContext::read_in_mbox() {
   flush_pipes();
+  SimTime t0 = clock_ns_;
   Mailbox::Entry e = in_mbox_.read();
   sync_to(e.ts);
   advance_ns(calib::kSpuChannelCostNs);
+  if (trace_on()) {
+    // The SPU sat on the blocking channel from t0 until the entry's
+    // delivery timestamp; both ends are simulated, so the span (and the
+    // stall histogram) is deterministic.
+    SimTime stall = std::max(0.0, e.ts - t0);
+    hooks_.track->complete(trace::Category::kMailbox, "mbox_read", t0,
+                           clock_ns_, "stall_ns",
+                           static_cast<std::uint64_t>(stall));
+    if (hooks_.mbox_wait_ns != nullptr) hooks_.mbox_wait_ns->record(stall);
+  }
   return e.value;
 }
 
 void SpeContext::write_out_mbox(std::uint64_t v) {
   flush_pipes();
   advance_ns(calib::kSpuChannelCostNs);
+  if (trace_on()) {
+    hooks_.track->instant(trace::Category::kMailbox, "mbox_write",
+                          clock_ns_);
+  }
   out_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
 }
 
 void SpeContext::write_out_intr_mbox(std::uint64_t v) {
   flush_pipes();
   advance_ns(calib::kSpuChannelCostNs);
+  if (trace_on()) {
+    hooks_.track->instant(trace::Category::kMailbox, "mbox_write_intr",
+                          clock_ns_);
+  }
   out_intr_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
 }
 
 std::uint32_t SpeContext::read_signal(int which) {
   flush_pipes();
+  SimTime t0 = clock_ns_;
   SignalRegister& reg = which == 1 ? signal1_ : signal2_;
   SignalRegister::Value v = reg.read();
   sync_to(v.ts);
   advance_ns(calib::kSpuChannelCostNs);
+  if (trace_on()) {
+    hooks_.track->complete(trace::Category::kMailbox,
+                           which == 1 ? "signal1_read" : "signal2_read", t0,
+                           clock_ns_);
+  }
   return v.bits;
 }
 

@@ -18,6 +18,8 @@
 #include "sim/mfc.h"
 #include "sim/signal.h"
 #include "sim/time.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace cellport::sim {
 
@@ -60,6 +62,11 @@ class SpeContext {
 
   // ---- clock ----
   SimTime now_ns();  // flushes pipes first
+  /// Non-mutating clock read (excludes pending pipeline work). Used by
+  /// trace hooks, which must never trigger a flush of their own: a flush
+  /// at a new point would regroup dual-issue accounting and perturb the
+  /// timing model.
+  SimTime peek_ns() const { return clock_ns_; }
   void sync_to(SimTime ts);
   void advance_ns(SimTime ns) { clock_ns_ += ns; }
 
@@ -82,6 +89,22 @@ class SpeContext {
   /// Simulated time the SPU was busy (excludes idle waiting on mailbox).
   SimTime busy_ns() const { return busy_ns_; }
 
+  // ---- observability (cellscope) ----
+  /// Pointers into the machine's TraceSession/MetricsRegistry, installed
+  /// by Machine construction; all null when tracing is off, in which case
+  /// every hook is one pointer test.
+  struct TraceHooks {
+    trace::TraceTrack* track = nullptr;
+    trace::Histogram* dma_stall_ns = nullptr;   // per tag-status wait
+    trace::Histogram* mbox_wait_ns = nullptr;   // inbound-read stall
+    trace::Counter* kernel_invocations = nullptr;
+  };
+  void set_trace(const TraceHooks& hooks) { hooks_ = hooks; }
+  const TraceHooks& trace_hooks() const { return hooks_; }
+  bool trace_on() const {
+    return hooks_.track != nullptr && hooks_.track->enabled();
+  }
+
   void reset();
 
  private:
@@ -99,6 +122,7 @@ class SpeContext {
   double even_pending_ = 0;
   double odd_pending_ = 0;
   PipeStats pipe_stats_;
+  TraceHooks hooks_;
 };
 
 /// Thread-local "current SPE" used by the spu_mfcio / spu intrinsic

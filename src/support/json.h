@@ -1,0 +1,81 @@
+// Minimal JSON support: a streaming writer and a small strict parser.
+//
+// The trace exporter and the bench-artifact writer need machine-readable
+// output without third-party dependencies; the parser exists so tests can
+// round-trip what the writer produced. Number formatting is deterministic
+// (std::to_chars shortest form, or explicit fixed precision), which is what
+// lets two identical simulated runs emit byte-identical trace files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellport {
+
+/// Forward-only JSON emitter. Keys and values must be issued in a legal
+/// order (key before value inside objects); violations throw Error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& null();
+
+  /// Fixed-precision double ("%.3f"-style): used for timestamps so traces
+  /// are byte-stable and human-diffable.
+  JsonWriter& value_fixed(double v, int precision);
+
+  /// The document written so far (complete once all scopes are closed).
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  std::string out_;
+  struct Scope {
+    std::size_t count = 0;   // items emitted in this scope so far
+    bool is_object = false;  // objects demand key() before each value
+  };
+  std::vector<Scope> counts_;
+  bool have_key_ = false;
+};
+
+/// Escapes a string for embedding in JSON (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// A parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+/// Strict recursive-descent parse of a complete document; throws
+/// cellport::Error on malformed input or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace cellport

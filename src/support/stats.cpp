@@ -1,6 +1,8 @@
 #include "support/stats.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace cellport {
 
@@ -29,6 +31,19 @@ double geomean(std::span<const double> xs) {
 double relative_error(double a, double b) {
   if (b == 0.0) return std::abs(a);
   return std::abs(a - b) / std::abs(b);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 }  // namespace cellport

@@ -18,4 +18,8 @@ double geomean(std::span<const double> xs);
 /// Relative error |a-b| / |b|; returns |a| when b == 0.
 double relative_error(double a, double b);
 
+/// The p-th percentile (p in [0, 100]) by linear interpolation between
+/// order statistics; 0 for an empty span. The input need not be sorted.
+double percentile(std::span<const double> xs, double p);
+
 }  // namespace cellport

@@ -1,0 +1,145 @@
+#include "trace/chrome_export.h"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+
+#include "support/error.h"
+#include "support/json.h"
+
+namespace cellport::trace {
+
+namespace {
+
+constexpr double kNsPerUs = 1000.0;
+
+void event_args(JsonWriter& w, const TraceEvent& e) {
+  if (e.arg0_name == nullptr && e.arg1_name == nullptr) return;
+  w.key("args").begin_object();
+  if (e.arg0_name != nullptr) w.key(e.arg0_name).value(e.arg0);
+  if (e.arg1_name != nullptr) w.key(e.arg1_name).value(e.arg1);
+  w.end_object();
+}
+
+void emit_event(JsonWriter& w, const TraceEvent& e, const TraceTrack& track) {
+  w.begin_object();
+  switch (e.phase) {
+    case TraceEvent::Phase::kBegin:
+      w.key("ph").value("B");
+      w.key("name").value(e.name);
+      w.key("cat").value(category_name(e.cat));
+      break;
+    case TraceEvent::Phase::kEnd:
+      w.key("ph").value("E");
+      break;
+    case TraceEvent::Phase::kComplete:
+      w.key("ph").value("X");
+      w.key("name").value(e.name);
+      w.key("cat").value(category_name(e.cat));
+      break;
+    case TraceEvent::Phase::kInstant:
+      w.key("ph").value("i");
+      w.key("name").value(e.name);
+      w.key("cat").value(category_name(e.cat));
+      w.key("s").value("t");  // thread-scoped instant
+      break;
+  }
+  w.key("pid").value(track.pid());
+  w.key("tid").value(track.tid());
+  w.key("ts").value_fixed(e.ts / kNsPerUs, 3);
+  if (e.phase == TraceEvent::Phase::kComplete) {
+    w.key("dur").value_fixed(e.dur / kNsPerUs, 3);
+  }
+  event_args(w, e);
+  w.end_object();
+}
+
+void emit_metadata(JsonWriter& w, const TraceSession& session) {
+  const auto& machines = session.machines();
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_name");
+    w.key("pid").value(static_cast<int>(i) + 1);
+    w.key("tid").value(0);
+    w.key("args").begin_object().key("name").value(machines[i]).end_object();
+    w.end_object();
+  }
+  for (const auto& track : session.tracks()) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("thread_name");
+    w.key("pid").value(track->pid());
+    w.key("tid").value(track->tid());
+    w.key("args").begin_object().key("name").value(track->name()).end_object();
+    w.end_object();
+    // Lanes render in tid order, which is creation order (PPE first).
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("thread_sort_index");
+    w.key("pid").value(track->pid());
+    w.key("tid").value(track->tid());
+    w.key("args")
+        .begin_object()
+        .key("sort_index")
+        .value(track->tid())
+        .end_object();
+    w.end_object();
+  }
+}
+
+/// Per-machine cumulative DMA byte counters: one "C" event at each DMA
+/// completion makes EIB load visible as a graph. The ordered-event merge
+/// keeps this deterministic.
+void emit_eib_counters(JsonWriter& w, const TraceSession& session) {
+  std::map<int, std::uint64_t> cumulative;
+  for (const auto& oe : session.ordered_events()) {
+    const TraceEvent& e = *oe.event;
+    if (e.cat != Category::kDma || e.arg0_name == nullptr) continue;
+    if (e.phase != TraceEvent::Phase::kComplete) continue;
+    if (std::string_view(e.arg0_name) != "bytes") continue;
+    std::uint64_t& total = cumulative[oe.track->pid()];
+    total += e.arg0;
+    w.begin_object();
+    w.key("ph").value("C");
+    w.key("name").value("EIB bytes");
+    w.key("pid").value(oe.track->pid());
+    w.key("tid").value(0);
+    w.key("ts").value_fixed((e.ts + e.dur) / kNsPerUs, 3);
+    w.key("args").begin_object().key("cumulative").value(total).end_object();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& session) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  emit_metadata(w, session);
+  for (const auto& oe : session.ordered_events()) {
+    emit_event(w, *oe.event, *oe.track);
+  }
+  emit_eib_counters(w, session);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_chrome_trace(const TraceSession& session,
+                        const std::string& path) {
+  std::string doc = chrome_trace_json(session);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw cellport::IoError("cannot open trace output '" + path + "'");
+  }
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  if (written != doc.size()) {
+    throw cellport::IoError("short write to trace output '" + path + "'");
+  }
+}
+
+}  // namespace cellport::trace

@@ -1,0 +1,26 @@
+// Chrome trace-event / Perfetto export of a TraceSession.
+//
+// Emits the JSON Object Format ({"traceEvents": [...]}) understood by
+// chrome://tracing and https://ui.perfetto.dev: "X" complete spans, "B"/"E"
+// nested spans, "i" instants, "C" counters, and "M" metadata naming each
+// machine (pid) and track (tid). Timestamps are *simulated* microseconds
+// with fixed 3-digit precision, so identical simulated runs export
+// byte-identical files.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace cellport::trace {
+
+/// Renders the whole session as a Chrome trace JSON document. Events are
+/// merged in the deterministic (ts, pid, tid, seq) order; an "EIB bytes"
+/// counter track per machine accumulates DMA traffic so bus load is
+/// visible as a graph above the lanes.
+std::string chrome_trace_json(const TraceSession& session);
+
+/// chrome_trace_json() to a file; throws IoError on failure.
+void write_chrome_trace(const TraceSession& session, const std::string& path);
+
+}  // namespace cellport::trace

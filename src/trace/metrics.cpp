@@ -1,0 +1,146 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.h"
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace cellport::trace {
+
+void Histogram::record(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double p) const {
+  return cellport::percentile(samples_, p);
+}
+
+void Histogram::reset() {
+  samples_.clear();
+  sum_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  if (const Counter* c = find_counter(name)) {
+    return static_cast<double>(c->value());
+  }
+  if (const Gauge* g = find_gauge(name)) return g->value();
+  if (const Histogram* h = find_histogram(name)) return h->sum();
+  return 0;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::format_text() const {
+  std::ostringstream os;
+  Table scalars("Metrics");
+  scalars.header({"Series", "Value"});
+  for (const auto& [name, c] : counters_) {
+    scalars.row({name, std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    scalars.row({name, Table::num(g->value(), 3)});
+  }
+  os << scalars.str();
+  if (!histograms_.empty()) {
+    Table hist("Histograms");
+    hist.header({"Series", "Count", "Mean", "p50", "p95", "p99", "Max"});
+    for (const auto& [name, h] : histograms_) {
+      hist.row({name, std::to_string(h->count()), Table::num(h->mean(), 1),
+                Table::num(h->percentile(50), 1),
+                Table::num(h->percentile(95), 1),
+                Table::num(h->percentile(99), 1), Table::num(h->max(), 1)});
+    }
+    os << hist.str();
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(static_cast<std::uint64_t>(h->count()));
+    w.key("sum").value(h->sum());
+    w.key("min").value(h->min());
+    w.key("max").value(h->max());
+    w.key("mean").value(h->mean());
+    w.key("p50").value(h->percentile(50));
+    w.key("p95").value(h->percentile(95));
+    w.key("p99").value(h->percentile(99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace cellport::trace

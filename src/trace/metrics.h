@@ -1,0 +1,119 @@
+// MetricsRegistry: named counters, gauges, and duration histograms over
+// simulated time.
+//
+// The registry subsumes the ad-hoc counters MachineReport used to gather
+// by hand: the simulator publishes per-SPE busy time, DMA traffic, stall
+// distributions, mailbox occupancy, and EIB utilization as named series,
+// and sim::snapshot() is reimplemented as a read of those series. Series
+// names are dotted paths ("spe0.dma.bytes", "eib.utilization") so JSON
+// consumers can group them.
+//
+// Threading contract: series creation and scalar reads happen on the app
+// thread; a Histogram/Counter pointer handed to an SPE context is only
+// written by that SPE's thread. Storage is std::map so iteration order —
+// and therefore every rendered report — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cellport {
+class JsonWriter;
+}
+
+namespace cellport::trace {
+
+/// Monotonically increasing integer series.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar series.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Sample distribution (simulated durations, occupancies). Keeps the raw
+/// samples; quantiles are computed on demand via support/stats.
+class Histogram {
+ public:
+  void record(double v);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  const std::vector<double>& samples() const { return samples_; }
+  void reset();
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Scalar read across kinds: counter value, gauge value, or histogram
+  /// sum — 0 when the series does not exist.
+  double value(const std::string& name) const;
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// Zeroes every series (keeps the registrations and handed-out
+  /// pointers valid).
+  void reset();
+
+  /// Aligned text rendering: counters and gauges, then histograms with
+  /// count/mean/p50/p95/p99.
+  std::string format_text() const;
+
+  /// Emits one JSON object:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}
+  void write_json(JsonWriter& w) const;
+  /// write_json() to a standalone document string.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cellport::trace

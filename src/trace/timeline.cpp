@@ -1,0 +1,158 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace cellport::trace {
+
+namespace {
+
+// Glyph priority: what to show when categories overlap in one bucket.
+enum Level : int {
+  kIdle = 0,
+  kRuntimeLvl,
+  kProfilerLvl,
+  kMailboxLvl,
+  kDmaWaitLvl,
+  kDmaLvl,
+  kKernelLvl,
+};
+
+char glyph(int level) {
+  switch (level) {
+    case kKernelLvl: return '#';
+    case kDmaLvl: return '=';
+    case kDmaWaitLvl: return '%';
+    case kMailboxLvl: return '~';
+    case kProfilerLvl: return 'p';
+    case kRuntimeLvl: return '-';
+    default: return '.';
+  }
+}
+
+int level_for(const TraceEvent& e) {
+  switch (e.cat) {
+    case Category::kKernel: return kKernelLvl;
+    case Category::kDma:
+      return e.name == "dma_wait" ? kDmaWaitLvl : kDmaLvl;
+    case Category::kMailbox: return kMailboxLvl;
+    case Category::kProfiler: return kProfilerLvl;
+    case Category::kRuntime: return kRuntimeLvl;
+  }
+  return kIdle;
+}
+
+struct Interval {
+  sim::SimTime start;
+  sim::SimTime end;
+  int level;
+};
+
+/// Flattens a track's event stream into paintable intervals (pairing
+/// begin/end spans via a stack; instants become zero-length marks).
+std::vector<Interval> intervals_of(const TraceTrack& track) {
+  std::vector<Interval> out;
+  struct Open {
+    sim::SimTime start;
+    int level;
+  };
+  std::vector<Open> stack;
+  for (const TraceEvent& e : track.events()) {
+    switch (e.phase) {
+      case TraceEvent::Phase::kBegin:
+        stack.push_back(Open{e.ts, level_for(e)});
+        break;
+      case TraceEvent::Phase::kEnd:
+        if (!stack.empty()) {
+          out.push_back(Interval{stack.back().start, e.ts,
+                                 stack.back().level});
+          stack.pop_back();
+        }
+        break;
+      case TraceEvent::Phase::kComplete:
+        out.push_back(Interval{e.ts, e.ts + e.dur, level_for(e)});
+        break;
+      case TraceEvent::Phase::kInstant:
+        out.push_back(Interval{e.ts, e.ts, level_for(e)});
+        break;
+    }
+  }
+  // Unclosed spans paint to their begin point only (a live trace).
+  for (const Open& o : stack) out.push_back(Interval{o.start, o.start, o.level});
+  return out;
+}
+
+void render_machine(std::ostringstream& os, const TraceSession& session,
+                    int pid, const std::string& machine_name, int width) {
+  // Time range across this machine's tracks.
+  sim::SimTime t0 = 0;
+  sim::SimTime t1 = 0;
+  bool any = false;
+  std::vector<const TraceTrack*> tracks;
+  std::size_t label_width = 4;
+  for (const auto& track : session.tracks()) {
+    if (track->pid() != pid) continue;
+    tracks.push_back(track.get());
+    label_width = std::max(label_width, track->name().size());
+    for (const Interval& iv : intervals_of(*track)) {
+      if (!any) {
+        t0 = iv.start;
+        t1 = iv.end;
+        any = true;
+      } else {
+        t0 = std::min(t0, iv.start);
+        t1 = std::max(t1, iv.end);
+      }
+    }
+  }
+  if (!any || t1 <= t0) {
+    os << machine_name << " (pid " << pid << "): no events\n";
+    return;
+  }
+
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "%s (pid %d): %.3f .. %.3f ms simulated\n",
+                machine_name.c_str(), pid, t0 / 1e6, t1 / 1e6);
+  os << header;
+
+  double span = t1 - t0;
+  for (const TraceTrack* track : tracks) {
+    std::vector<int> lane(static_cast<std::size_t>(width), kIdle);
+    for (const Interval& iv : intervals_of(*track)) {
+      double a = (iv.start - t0) / span * width;
+      double b = (iv.end - t0) / span * width;
+      int c0 = std::clamp(static_cast<int>(a), 0, width - 1);
+      int c1 = std::clamp(static_cast<int>(b), 0, width - 1);
+      for (int c = c0; c <= c1; ++c) {
+        lane[static_cast<std::size_t>(c)] =
+            std::max(lane[static_cast<std::size_t>(c)], iv.level);
+      }
+    }
+    os << "  " << track->name()
+       << std::string(label_width - track->name().size(), ' ') << " |";
+    for (int v : lane) os << glyph(v);
+    os << "|\n";
+  }
+}
+
+}  // namespace
+
+std::string render_timeline(const TraceSession& session,
+                            const TimelineOptions& options) {
+  std::ostringstream os;
+  int width = std::max(16, options.width);
+  const auto& machines = session.machines();
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    int pid = static_cast<int>(i) + 1;
+    if (options.pid != 0 && options.pid != pid) continue;
+    render_machine(os, session, pid, machines[i], width);
+  }
+  os << "  legend: '#' kernel  '=' dma  '%' dma wait  '~' mailbox wait  "
+        "'p' ppe phase  '-' runtime  '.' idle\n";
+  return os.str();
+}
+
+}  // namespace cellport::trace

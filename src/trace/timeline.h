@@ -1,0 +1,29 @@
+// Terminal rendering of a TraceSession: one ASCII lane per track over
+// simulated time.
+//
+// Good enough to *see* scheduling at a glance — e.g. that with double
+// buffering the DMA glyphs disappear under kernel glyphs (latency hidden),
+// or that the MultiSPE scenario's four extraction lanes run concurrently
+// where SingleSPE serializes them. Each column is a time bucket; the glyph
+// is the highest-priority category active in that bucket:
+//   '#' kernel   '=' DMA transfer   '%' DMA wait   '~' mailbox wait
+//   'p' profiler phase   '-' runtime   '.' idle
+#pragma once
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace cellport::trace {
+
+struct TimelineOptions {
+  /// Characters per lane (time resolution).
+  int width = 96;
+  /// Restrict to one machine pid (0 = all machines, stacked).
+  int pid = 0;
+};
+
+std::string render_timeline(const TraceSession& session,
+                            const TimelineOptions& options = {});
+
+}  // namespace cellport::trace

@@ -1,0 +1,136 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cellport::trace {
+
+namespace {
+TraceSession* g_current = nullptr;
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kKernel: return "kernel";
+    case Category::kDma: return "dma";
+    case Category::kMailbox: return "mailbox";
+    case Category::kProfiler: return "profiler";
+    case Category::kRuntime: return "runtime";
+  }
+  return "?";
+}
+
+void TraceTrack::begin(Category cat, std::string name, sim::SimTime ts) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kBegin;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts = ts;
+  events_.push_back(std::move(e));
+  ++depth_;
+}
+
+void TraceTrack::end(sim::SimTime ts) {
+  if (!enabled()) return;
+  if (depth_ <= 0) {
+    throw Error("TraceTrack '" + name_ + "': end() without an open span");
+  }
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kEnd;
+  e.cat = Category::kRuntime;  // Chrome pairs E with the open B; cat unused
+  e.ts = ts;
+  events_.push_back(std::move(e));
+  --depth_;
+}
+
+void TraceTrack::complete(Category cat, std::string name, sim::SimTime start,
+                          sim::SimTime end, const char* arg0_name,
+                          std::uint64_t arg0, const char* arg1_name,
+                          std::uint64_t arg1) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts = start;
+  e.dur = std::max(0.0, end - start);
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  events_.push_back(std::move(e));
+}
+
+void TraceTrack::instant(Category cat, std::string name, sim::SimTime ts,
+                         const char* arg0_name, std::uint64_t arg0) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.cat = cat;
+  e.name = std::move(name);
+  e.ts = ts;
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  events_.push_back(std::move(e));
+}
+
+TraceSession::~TraceSession() {
+  if (g_current == this) g_current = nullptr;
+}
+
+TraceSession* TraceSession::current() { return g_current; }
+
+void TraceSession::install() {
+  if (g_current != nullptr && g_current != this) {
+    throw Error("a TraceSession is already installed");
+  }
+  g_current = this;
+}
+
+void TraceSession::uninstall() {
+  if (g_current == this) g_current = nullptr;
+}
+
+int TraceSession::register_machine(const std::string& name) {
+  machines_.push_back(name);
+  return static_cast<int>(machines_.size());  // pids start at 1
+}
+
+TraceTrack* TraceSession::make_track(int pid, std::string name) {
+  tracks_.push_back(std::unique_ptr<TraceTrack>(
+      new TraceTrack(this, pid, next_tid_++, std::move(name))));
+  return tracks_.back().get();
+}
+
+std::size_t TraceSession::event_count() const {
+  std::size_t n = 0;
+  for (const auto& t : tracks_) n += t->events().size();
+  return n;
+}
+
+std::vector<TraceSession::OrderedEvent> TraceSession::ordered_events() const {
+  std::vector<OrderedEvent> out;
+  out.reserve(event_count());
+  for (const auto& t : tracks_) {
+    const auto& evs = t->events();
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      out.push_back(OrderedEvent{&evs[i], t.get(), i});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OrderedEvent& a, const OrderedEvent& b) {
+              if (a.event->ts != b.event->ts) return a.event->ts < b.event->ts;
+              if (a.track->pid() != b.track->pid()) {
+                return a.track->pid() < b.track->pid();
+              }
+              if (a.track->tid() != b.track->tid()) {
+                return a.track->tid() < b.track->tid();
+              }
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace cellport::trace

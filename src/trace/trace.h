@@ -1,0 +1,184 @@
+// cellscope: deterministic event tracing over *simulated* time.
+//
+// A TraceSession owns one TraceTrack per processing element (the PPE and
+// each SPE of every Machine constructed while the session is installed).
+// Instrumentation hooks in the simulator and the porting framework record
+// typed spans and instants keyed on simulated timestamps; because those
+// timestamps are derived purely from the analytic timing model, two runs
+// of the same experiment produce the *same* trace, byte for byte, no
+// matter how the host schedules the SPE threads.
+//
+// Threading contract: each track is appended to only by the thread that
+// owns its processing element (the app thread for PPE tracks, the SPE's
+// host thread for SPE tracks), so recording needs no locks. Cross-track
+// ordering is established at export time by sorting on
+// (timestamp, track, sequence).
+//
+// Cost model: when no session is installed — or the installed session is
+// disabled — every hook reduces to one pointer/flag test. Hooks never
+// advance simulated clocks, so tracing cannot perturb the timing model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cellport::trace {
+
+/// Event taxonomy; the Chrome exporter maps these to `cat` and the ASCII
+/// timeline assigns one glyph per category.
+enum class Category : std::uint8_t {
+  kKernel,    // SPE kernel function execution (dispatch to completion)
+  kDma,       // MFC transfers and tag-status waits
+  kMailbox,   // mailbox reads/writes and the stalls they carry
+  kProfiler,  // PPE-side Profiler scopes (application phases)
+  kRuntime,   // spawn/join/send/wait bookkeeping
+};
+
+const char* category_name(Category c);
+
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kBegin,     // opens a nested span (Chrome "B")
+    kEnd,       // closes the innermost open span (Chrome "E")
+    kComplete,  // a span known in full at record time (Chrome "X")
+    kInstant,   // a point event (Chrome "i")
+  };
+  Phase phase = Phase::kInstant;
+  Category cat = Category::kRuntime;
+  std::string name;
+  sim::SimTime ts = 0;   // simulated ns
+  sim::SimTime dur = 0;  // kComplete only
+  // Up to two numeric arguments (bytes, tags, opcodes — never host
+  // addresses, which would break run-to-run byte identity).
+  const char* arg0_name = nullptr;
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+};
+
+class TraceSession;
+
+/// One timeline lane: all events of one processing element. Single-writer;
+/// see the threading contract above.
+class TraceTrack {
+ public:
+  const std::string& name() const { return name_; }
+  /// Chrome pid (one per Machine) / tid (one per track within a machine).
+  int pid() const { return pid_; }
+  int tid() const { return tid_; }
+
+  /// True when the owning session currently records. Hooks check this
+  /// once and skip all argument construction when off.
+  bool enabled() const;
+
+  void begin(Category cat, std::string name, sim::SimTime ts);
+  void end(sim::SimTime ts);
+  void complete(Category cat, std::string name, sim::SimTime start,
+                sim::SimTime end, const char* arg0_name = nullptr,
+                std::uint64_t arg0 = 0, const char* arg1_name = nullptr,
+                std::uint64_t arg1 = 0);
+  void instant(Category cat, std::string name, sim::SimTime ts,
+               const char* arg0_name = nullptr, std::uint64_t arg0 = 0);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Open begin/end nesting depth (0 when balanced).
+  int open_depth() const { return depth_; }
+
+ private:
+  friend class TraceSession;
+  TraceTrack(TraceSession* session, int pid, int tid, std::string name)
+      : session_(session), pid_(pid), tid_(tid), name_(std::move(name)) {}
+
+  TraceSession* session_;
+  int pid_;
+  int tid_;
+  std::string name_;
+  std::vector<TraceEvent> events_;
+  int depth_ = 0;
+};
+
+/// RAII span over an explicit clock callback: records a begin event at
+/// construction and the matching end at destruction. Inert when `track`
+/// is null or the session is disabled.
+class TraceSpan {
+ public:
+  using ClockFn = sim::SimTime (*)(void*);
+
+  TraceSpan() = default;
+  TraceSpan(TraceTrack* track, Category cat, std::string name, ClockFn clock,
+            void* clock_ctx)
+      : clock_(clock), clock_ctx_(clock_ctx) {
+    if (track != nullptr && track->enabled()) {
+      track_ = track;
+      track_->begin(cat, std::move(name), clock_(clock_ctx_));
+    }
+  }
+  ~TraceSpan() {
+    if (track_ != nullptr) track_->end(clock_(clock_ctx_));
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceTrack* track_ = nullptr;
+  ClockFn clock_ = nullptr;
+  void* clock_ctx_ = nullptr;
+};
+
+class TraceSession {
+ public:
+  TraceSession() = default;
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The installed session that new Machines attach their tracks to
+  /// (nullptr when tracing is off). Exactly one session may be installed.
+  static TraceSession* current();
+  void install();
+  void uninstall();
+
+  /// Runtime switch: a disabled session keeps its tracks but records
+  /// nothing. Readable from any thread.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Registers one simulated machine; returns its pid for track creation.
+  /// Called from the app thread (Machine construction).
+  int register_machine(const std::string& name);
+  /// Creates a new track under `pid`. Called from the app thread before
+  /// any SPE thread starts.
+  TraceTrack* make_track(int pid, std::string name);
+
+  const std::vector<std::unique_ptr<TraceTrack>>& tracks() const {
+    return tracks_;
+  }
+  const std::vector<std::string>& machines() const { return machines_; }
+
+  std::size_t event_count() const;
+
+  /// All events merged in the deterministic order
+  /// (ts, pid, tid, per-track sequence); the exporters' input.
+  struct OrderedEvent {
+    const TraceEvent* event;
+    const TraceTrack* track;
+    std::size_t seq;  // index within the track
+  };
+  std::vector<OrderedEvent> ordered_events() const;
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::vector<std::string> machines_;
+  std::vector<std::unique_ptr<TraceTrack>> tracks_;
+  int next_tid_ = 1;
+};
+
+inline bool TraceTrack::enabled() const { return session_->enabled(); }
+
+}  // namespace cellport::trace

@@ -363,6 +363,43 @@ TEST(MachineReport, SnapshotAndFormat) {
   EXPECT_NE(text.find("EIB"), std::string::npos);
 }
 
+TEST(MachineReport, AgreesWithMetricsRegistrySeries) {
+  Machine m;
+  SpeProgram prog{"echo", 4096, &echo_main};
+  speid_t id = spe_create_thread(prog);
+  spe_write_in_mbox(id, 5);
+  spe_read_out_mbox(id);
+  spe_write_in_mbox(id, 0);
+  spe_wait(id);
+
+  MachineReport r = snapshot(m);
+  const trace::MetricsRegistry& reg = m.metrics();
+  EXPECT_EQ(r.ppe_ns, reg.value("ppe.elapsed_ns"));
+  for (const SpeReport& s : r.spes) {
+    const std::string p = "spe" + std::to_string(s.id);
+    EXPECT_EQ(s.busy_ns, reg.value(p + ".busy_ns"));
+    EXPECT_EQ(s.even_cycles, reg.value(p + ".pipe.even_cycles"));
+    EXPECT_EQ(s.odd_cycles, reg.value(p + ".pipe.odd_cycles"));
+    EXPECT_EQ(s.slack_cycles, reg.value(p + ".pipe.slack_cycles"));
+    EXPECT_EQ(static_cast<double>(s.dma_transfers),
+              reg.value(p + ".dma.transfers"));
+    EXPECT_EQ(static_cast<double>(s.dma_bytes),
+              reg.value(p + ".dma.bytes"));
+    EXPECT_EQ(s.dma_stall_ns, reg.value(p + ".dma.stall_ns"));
+    EXPECT_EQ(static_cast<double>(s.ls_peak_bytes),
+              reg.value(p + ".ls.peak_bytes"));
+  }
+  EXPECT_EQ(static_cast<double>(r.eib_bytes), reg.value("eib.bytes"));
+  EXPECT_EQ(static_cast<double>(r.eib_transfers),
+            reg.value("eib.transfers"));
+  EXPECT_EQ(r.eib_utilization, reg.value("eib.utilization"));
+  // The mailbox series exist too (SPE0 carried the echo traffic: the PPE
+  // wrote 5 then the terminating 0, and the kernel read both).
+  EXPECT_EQ(reg.value("spe0.mbox.in_writes"), 2.0);
+  EXPECT_EQ(reg.value("spe0.mbox.in_writes"),
+            reg.value("spe0.mbox.in_reads"));
+}
+
 TEST(Machine, SpawnLimits) {
   Machine m(Machine::Config{2});
   SpeProgram prog{"echo", 4096, &echo_main};

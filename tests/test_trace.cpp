@@ -1,0 +1,294 @@
+// cellscope tests: JSON round-trips, metric distributions, and — the
+// property everything else rests on — deterministic, byte-identical traces
+// across runs regardless of host thread scheduling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "sim/machine.h"
+#include "sim/report.h"
+#include "sim/spu_mfcio.h"
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "trace/chrome_export.h"
+#include "trace/metrics.h"
+#include "trace/timeline.h"
+#include "trace/trace.h"
+
+namespace cellport::trace {
+namespace {
+
+// ---- JSON writer / parser ----
+
+TEST(Json, WriterProducesParseableDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("a\"b\\c\n");
+  w.key("n").value(std::int64_t{-42});
+  w.key("x").value_fixed(1.25, 3);
+  w.key("flag").value(true);
+  w.key("arr").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  JsonValue v = json_parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string, "a\"b\\c\n");
+  EXPECT_EQ(v.find("n")->number, -42.0);
+  EXPECT_EQ(v.find("x")->number, 1.25);
+  EXPECT_TRUE(v.find("flag")->boolean);
+  ASSERT_EQ(v.find("arr")->array.size(), 2u);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_THROW(json_parse("{\"a\": }"), cellport::Error);
+  EXPECT_THROW(json_parse("[1,2,]"), cellport::Error);
+  EXPECT_THROW(json_parse("{} trailing"), cellport::Error);
+  EXPECT_THROW(json_parse("\"unterminated"), cellport::Error);
+}
+
+TEST(Json, WriterEnforcesKeyDiscipline) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1), cellport::Error);  // value without key
+}
+
+// ---- metrics ----
+
+TEST(Metrics, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-6);
+  EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);
+  EXPECT_GT(h.percentile(99), h.percentile(95));
+}
+
+TEST(Metrics, RegistryJsonRoundTrip) {
+  MetricsRegistry m;
+  m.counter("a.count").add(3);
+  m.gauge("b.gauge").set(2.5);
+  m.histogram("c.hist").record(1);
+  m.histogram("c.hist").record(3);
+  JsonValue v = json_parse(m.to_json());
+  EXPECT_EQ(v.find("counters")->find("a.count")->number, 3.0);
+  EXPECT_EQ(v.find("gauges")->find("b.gauge")->number, 2.5);
+  const JsonValue* h = v.find("histograms")->find("c.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 2.0);
+  EXPECT_EQ(h->find("sum")->number, 4.0);
+}
+
+TEST(Metrics, StableReferencesAndReset) {
+  MetricsRegistry m;
+  Counter& c = m.counter("x");
+  c.add(5);
+  EXPECT_EQ(m.counter("x").value(), 5u);  // find-or-create returns same
+  m.reset();
+  EXPECT_EQ(c.value(), 0u);  // handed-out pointer still valid
+}
+
+// ---- track/span mechanics ----
+
+TEST(TraceTrack, SpanNestingTracksDepth) {
+  TraceSession session;
+  TraceTrack* t = session.make_track(session.register_machine("m"), "lane");
+  t->begin(Category::kProfiler, "outer", 0);
+  t->begin(Category::kProfiler, "inner", 10);
+  EXPECT_EQ(t->open_depth(), 2);
+  t->end(20);
+  t->end(30);
+  EXPECT_EQ(t->open_depth(), 0);
+  ASSERT_EQ(t->events().size(), 4u);
+  EXPECT_EQ(t->events()[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(t->events()[3].phase, TraceEvent::Phase::kEnd);
+  EXPECT_THROW(t->end(40), cellport::Error);  // underflow
+}
+
+TEST(TraceSession, DisabledSessionRecordsNothing) {
+  TraceSession session;
+  session.set_enabled(false);
+  session.install();
+  {
+    sim::Machine m(sim::Machine::Config{1});
+    sim::SpeContext& spe = m.spe(0);
+    EXPECT_FALSE(spe.trace_on());
+    sim::set_current_spe(&spe);
+    spe.ls().load_code(1024);
+    AlignedBuffer<std::uint8_t> host(64);
+    auto* ls = static_cast<std::uint8_t*>(spe.ls().alloc(64, 128));
+    spe.mfc().get(ls, reinterpret_cast<std::uint64_t>(host.data()), 64, 0);
+    spe.mfc().write_tag_mask(1);
+    spe.mfc().read_tag_status_all();
+    sim::set_current_spe(nullptr);
+  }
+  EXPECT_EQ(session.event_count(), 0u);
+  session.uninstall();
+}
+
+TEST(TraceSession, SingleInstallEnforced) {
+  TraceSession a;
+  TraceSession b;
+  a.install();
+  EXPECT_THROW(b.install(), cellport::Error);
+  a.uninstall();
+  b.install();
+  b.uninstall();
+}
+
+// ---- an instrumented workload: 4 SPE kernels doing DMA ----
+
+struct CopyMsg {
+  std::uint64_t src_ea = 0;
+  std::uint32_t bytes = 0;
+  std::uint32_t pad = 0;
+};
+
+int copy_kernel(std::uint64_t ea) {
+  auto* msg = reinterpret_cast<CopyMsg*>(ea);
+  void* ls = sim::spu_ls_alloc(msg->bytes, 128);
+  sim::mfc_get(ls, msg->src_ea, msg->bytes, 1);
+  sim::mfc_write_tag_mask(1u << 1);
+  sim::mfc_read_tag_status_all();
+  sim::current_spe()->charge_even(200);
+  sim::current_spe()->charge_odd(80);
+  return 7;
+}
+
+port::KernelModule& copy_module() {
+  static port::KernelModule m("copy", 2048);
+  static bool init = (m.add_function(1, &copy_kernel), true);
+  (void)init;
+  return m;
+}
+
+/// Runs the same 4-SPE DMA workload under a fresh session and returns the
+/// exported Chrome trace.
+std::string run_traced_workload() {
+  TraceSession session;
+  session.install();
+  std::string doc;
+  {
+    sim::Machine machine;
+    AlignedBuffer<std::uint8_t> host(4096);
+    std::vector<std::unique_ptr<port::SPEInterface>> ifaces;
+    std::vector<port::WrappedMessage<CopyMsg>> msgs(4);
+    for (int i = 0; i < 4; ++i) {
+      ifaces.push_back(
+          std::make_unique<port::SPEInterface>(copy_module(), i));
+      msgs[i]->src_ea = reinterpret_cast<std::uint64_t>(host.data());
+      msgs[i]->bytes = 1024;
+    }
+    for (int i = 0; i < 4; ++i) ifaces[i]->Send(1, msgs[i].ea());
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(ifaces[i]->Wait(), 7);
+    ifaces.clear();  // joins the SPE threads
+    doc = chrome_trace_json(session);
+  }
+  session.uninstall();
+  return doc;
+}
+
+TEST(ChromeExport, ByteIdenticalAcrossRuns) {
+  std::string a = run_traced_workload();
+  std::string b = run_traced_workload();
+  EXPECT_EQ(a, b) << "simulated traces must not depend on host scheduling";
+}
+
+TEST(ChromeExport, RoundTripsThroughParserWithExpectedContent) {
+  JsonValue v = json_parse(run_traced_workload());
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_dma = false;
+  bool saw_mailbox = false;
+  bool saw_kernel = false;
+  std::vector<std::string> thread_names;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph->string == "M") {
+      if (e.find("name")->string == "thread_name") {
+        thread_names.push_back(e.find("args")->find("name")->string);
+      }
+      continue;
+    }
+    ASSERT_NE(e.find("ts"), nullptr);
+    const JsonValue* cat = e.find("cat");
+    if (cat == nullptr) continue;  // counters / E events
+    if (cat->string == "dma") saw_dma = true;
+    if (cat->string == "mailbox") saw_mailbox = true;
+    if (cat->string == "kernel") {
+      saw_kernel = true;
+      EXPECT_EQ(e.find("ph")->string, "X");
+      EXPECT_NE(e.find("dur"), nullptr);
+      EXPECT_EQ(e.find("name")->string, "copy");
+    }
+  }
+  EXPECT_TRUE(saw_dma);
+  EXPECT_TRUE(saw_mailbox);
+  EXPECT_TRUE(saw_kernel);
+
+  int spe_tracks = 0;
+  bool ppe_track = false;
+  for (const std::string& name : thread_names) {
+    if (name == "PPE") ppe_track = true;
+    if (name.rfind("SPE", 0) == 0) ++spe_tracks;
+  }
+  EXPECT_TRUE(ppe_track);
+  EXPECT_GE(spe_tracks, 4);
+}
+
+TEST(Timeline, RendersLanesForTheWorkload) {
+  TraceSession session;
+  session.install();
+  std::string text;
+  {
+    sim::Machine machine(sim::Machine::Config{2});
+    AlignedBuffer<std::uint8_t> host(4096);
+    port::SPEInterface iface(copy_module(), 0);
+    port::WrappedMessage<CopyMsg> msg;
+    msg->src_ea = reinterpret_cast<std::uint64_t>(host.data());
+    msg->bytes = 1024;
+    EXPECT_EQ(iface.SendAndWait(1, msg.ea()), 7);
+    text = render_timeline(session);
+  }
+  session.uninstall();
+  EXPECT_NE(text.find("PPE"), std::string::npos);
+  EXPECT_NE(text.find("SPE0"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);  // a kernel span rendered
+  EXPECT_NE(text.find("legend"), std::string::npos);
+}
+
+TEST(Machine, MetricsHistogramsAccumulateUnderTracing) {
+  TraceSession session;
+  session.install();
+  {
+    sim::Machine machine(sim::Machine::Config{1});
+    AlignedBuffer<std::uint8_t> host(4096);
+    port::SPEInterface iface(copy_module(), 0);
+    port::WrappedMessage<CopyMsg> msg;
+    msg->src_ea = reinterpret_cast<std::uint64_t>(host.data());
+    msg->bytes = 1024;
+    EXPECT_EQ(iface.SendAndWait(1, msg.ea()), 7);
+    iface.thread_close();
+    EXPECT_EQ(machine.metrics().counter("spe0.kernel.invocations").value(),
+              1u);
+    EXPECT_GE(
+        machine.metrics().histogram("spe0.dma.wait_ns").count(), 1u);
+    EXPECT_GE(
+        machine.metrics().histogram("spe0.mbox.wait_ns").count(), 1u);
+  }
+  session.uninstall();
+}
+
+}  // namespace
+}  // namespace cellport::trace
