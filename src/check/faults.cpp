@@ -1,0 +1,80 @@
+#include "check/faults.h"
+
+#include "sim/spu_mfcio.h"
+#include "support/error.h"
+
+namespace cellport::check {
+
+namespace {
+
+int faulting_kernel(std::uint64_t ea) {
+  auto* msg = reinterpret_cast<FaultMsg*>(ea);
+  switch (msg->which) {
+    case kFaultMisalignedDma: {
+      auto* buf = sim::spu_ls_alloc(64, 16);
+      sim::mfc_get(static_cast<std::uint8_t*>(buf) + 4, msg->ea, 32, 0);
+      return 0;
+    }
+    case kFaultLsOverflow: {
+      sim::spu_ls_alloc(300 * 1024, 16);
+      return 0;
+    }
+    case kFaultOversizedTransfer: {
+      auto* buf = sim::spu_ls_alloc(32 * 1024, 16);
+      sim::mfc_get(buf, msg->ea, 20 * 1024, 0);
+      return 0;
+    }
+    case kFaultBadTag: {
+      auto* buf = sim::spu_ls_alloc(64, 16);
+      sim::mfc_get(buf, msg->ea, 64, 40);
+      return 0;
+    }
+    case kFaultDuringDma: {
+      // A legal transfer goes in flight on tag 2; before waiting for it
+      // the kernel issues a misaligned command on the same tag. The MFC
+      // must reject the second command precisely while the first one is
+      // outstanding, and the machine must stay usable afterwards.
+      auto* buf = static_cast<std::uint8_t*>(sim::spu_ls_alloc(128, 16));
+      sim::mfc_get(buf, msg->ea, 64, 2);
+      sim::mfc_get(buf + 68, msg->ea, 32, 2);
+      sim::mfc_write_tag_mask(1u << 2);
+      sim::mfc_read_tag_status_all();
+      return 0;
+    }
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+port::KernelModule& fault_module() {
+  static port::KernelModule m("faulty", 2048);
+  static bool init = (m.add_function(1, &faulting_kernel), true);
+  (void)init;
+  return m;
+}
+
+const char* fault_kind_name(int kind) {
+  static const char* const kNames[kNumFaultKinds] = {
+      "misaligned_dma", "ls_overflow", "oversized_transfer", "bad_tag",
+      "fault_during_dma"};
+  if (kind < 0 || kind >= kNumFaultKinds) {
+    throw cellport::ConfigError("unknown fault kind " +
+                                std::to_string(kind));
+  }
+  return kNames[kind];
+}
+
+const char* fault_kind_rule(int kind) {
+  static const char* const kRules[kNumFaultKinds] = {
+      "mfc.alignment", "ls.capacity.data", "mfc.size", "mfc.tag",
+      "mfc.alignment"};
+  if (kind < 0 || kind >= kNumFaultKinds) {
+    throw cellport::ConfigError("unknown fault kind " +
+                                std::to_string(kind));
+  }
+  return kRules[kind];
+}
+
+}  // namespace cellport::check

@@ -1,0 +1,44 @@
+// Shared fault-injection kernel for cellcheck scenarios and the gtest
+// fault suite: one SPE-loadable module whose single entry point breaks a
+// selected hardware rule. Each kind maps to a stable invariant rule id
+// (sim/invariants.h) so callers can assert that the violation was both
+// thrown *and* reported through the InvariantChannel.
+#pragma once
+
+#include <cstdint>
+
+#include "port/dispatcher.h"
+
+namespace cellport::check {
+
+/// Wrapper message for the fault kernel: `ea` points at any 16-byte
+/// aligned host buffer of >= 128 bytes; `which` selects the fault kind.
+struct alignas(16) FaultMsg {
+  std::uint64_t ea = 0;
+  std::int32_t which = 0;
+  std::int32_t pad = 0;
+};
+
+/// Fault kinds understood by the kernel (msg->which). Any other value is
+/// a no-op returning 0, which lets tests confirm the machine survived.
+inline constexpr int kFaultMisalignedDma = 0;
+inline constexpr int kFaultLsOverflow = 1;
+inline constexpr int kFaultOversizedTransfer = 2;
+inline constexpr int kFaultBadTag = 3;
+/// Issues a *legal* DMA and then a misaligned one while the first is
+/// still in flight — the fault fires mid-transfer, leaving the MFC with
+/// an unwaited command the dispatcher must survive.
+inline constexpr int kFaultDuringDma = 4;
+inline constexpr int kNumFaultKinds = 5;
+
+/// The kernel module ("faulty", opcode 1 only).
+port::KernelModule& fault_module();
+
+/// Short stable name for a fault kind ("misaligned_dma", ...).
+const char* fault_kind_name(int kind);
+
+/// The invariant rule id the kind is expected to report
+/// ("mfc.alignment", "ls.capacity.data", ...).
+const char* fault_kind_rule(int kind);
+
+}  // namespace cellport::check

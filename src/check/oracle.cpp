@@ -1,0 +1,165 @@
+#include "check/oracle.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "support/json.h"
+
+namespace cellport::check {
+
+namespace {
+
+std::string size_mismatch(const std::string& name, std::size_t cell,
+                          std::size_t ref) {
+  return name + ": size " + std::to_string(cell) + " vs reference " +
+         std::to_string(ref);
+}
+
+std::string compare_exact(const std::string& name,
+                          const std::vector<float>& cell,
+                          const std::vector<float>& ref) {
+  if (cell.size() != ref.size()) {
+    return size_mismatch(name, cell.size(), ref.size());
+  }
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] != ref[i]) {
+      return name + "[" + std::to_string(i) + "]: " +
+             std::to_string(cell[i]) + " != " + std::to_string(ref[i]);
+    }
+  }
+  return "";
+}
+
+std::string compare_elementwise(const std::string& name,
+                                const std::vector<float>& cell,
+                                const std::vector<float>& ref,
+                                double tol) {
+  if (cell.size() != ref.size()) {
+    return size_mismatch(name, cell.size(), ref.size());
+  }
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    double d = std::abs(static_cast<double>(cell[i]) - ref[i]);
+    if (!(d <= tol)) {
+      return name + "[" + std::to_string(i) + "]: |" +
+             std::to_string(cell[i]) + " - " + std::to_string(ref[i]) +
+             "| = " + std::to_string(d) + " > " + std::to_string(tol);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string compare_ch(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref) {
+  // The SPE color kernels mirror the reference's rounding exactly.
+  return compare_exact("ch", cell.values, ref.values);
+}
+
+std::string compare_cc(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref) {
+  return compare_exact("cc", cell.values, ref.values);
+}
+
+std::string compare_eh(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref) {
+  if (cell.values.size() != ref.values.size()) {
+    return size_mismatch("eh", cell.values.size(), ref.values.size());
+  }
+  double l1 = 0;
+  for (std::size_t i = 0; i < cell.values.size(); ++i) {
+    l1 += std::abs(static_cast<double>(cell.values[i]) - ref.values[i]);
+  }
+  if (!(l1 < 2e-3)) {
+    return "eh: l1 distance " + std::to_string(l1) + " >= 2e-3";
+  }
+  return "";
+}
+
+std::string compare_tx(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref) {
+  return compare_elementwise("tx", cell.values, ref.values, 1e-3);
+}
+
+std::string compare_detect(const std::string& name,
+                           const std::vector<double>& cell,
+                           const std::vector<double>& ref) {
+  if (cell.size() != ref.size()) {
+    return size_mismatch(name, cell.size(), ref.size());
+  }
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    double d = std::abs(cell[i] - ref[i]);
+    if (!(d <= 1e-2)) {
+      return name + "[" + std::to_string(i) + "]: |" +
+             std::to_string(cell[i]) + " - " + std::to_string(ref[i]) +
+             "| = " + std::to_string(d) + " > 0.01";
+    }
+  }
+  return "";
+}
+
+std::string compare_results(const marvel::AnalysisResult& cell,
+                            const marvel::AnalysisResult& ref) {
+  std::string err;
+  if (!(err = compare_ch(cell.color_histogram, ref.color_histogram))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_cc(cell.color_correlogram, ref.color_correlogram))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_eh(cell.edge_histogram, ref.edge_histogram))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_tx(cell.texture, ref.texture)).empty()) return err;
+  if (!(err = compare_detect("ch_detect", cell.ch_detect.values,
+                             ref.ch_detect.values))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_detect("cc_detect", cell.cc_detect.values,
+                             ref.cc_detect.values))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_detect("tx_detect", cell.tx_detect.values,
+                             ref.tx_detect.values))
+           .empty()) {
+    return err;
+  }
+  if (!(err = compare_detect("eh_detect", cell.eh_detect.values,
+                             ref.eh_detect.values))
+           .empty()) {
+    return err;
+  }
+  return "";
+}
+
+std::string canonical_result_json(const marvel::AnalysisResult& r) {
+  JsonWriter w;
+  auto emit_floats = [&w](const char* key, const std::vector<float>& v) {
+    w.key(key).begin_array();
+    for (float x : v) w.value(static_cast<double>(x));
+    w.end_array();
+  };
+  auto emit_doubles = [&w](const char* key, const std::vector<double>& v) {
+    w.key(key).begin_array();
+    for (double x : v) w.value(x);
+    w.end_array();
+  };
+  w.begin_object();
+  emit_floats("ch", r.color_histogram.values);
+  emit_floats("cc", r.color_correlogram.values);
+  emit_floats("tx", r.texture.values);
+  emit_floats("eh", r.edge_histogram.values);
+  emit_doubles("ch_detect", r.ch_detect.values);
+  emit_doubles("cc_detect", r.cc_detect.values);
+  emit_doubles("tx_detect", r.tx_detect.values);
+  emit_doubles("eh_detect", r.eh_detect.values);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace cellport::check

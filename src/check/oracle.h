@@ -1,0 +1,39 @@
+// The differential oracle: equivalence predicates between the Cell port
+// and the reference implementation, with the same tolerances the paper's
+// validation used (color features bit-exact, edge/texture within the
+// float-vs-double accumulation bound, detection scores within the model
+// Lipschitz amplification of the feature error).
+#pragma once
+
+#include <string>
+
+#include "features/feature.h"
+#include "marvel/result.h"
+
+namespace cellport::check {
+
+/// Per-feature comparison; returns "" on match, else a one-line
+/// diagnostic naming the first offending element.
+std::string compare_ch(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref);
+std::string compare_cc(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref);
+std::string compare_eh(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref);
+std::string compare_tx(const features::FeatureVector& cell,
+                       const features::FeatureVector& ref);
+std::string compare_detect(const std::string& name,
+                           const std::vector<double>& cell,
+                           const std::vector<double>& ref);
+
+/// Full-result comparison (all four features + all four score sets).
+/// Returns "" when equivalent.
+std::string compare_results(const marvel::AnalysisResult& cell,
+                            const marvel::AnalysisResult& ref);
+
+/// Canonical byte-stable serialization of a result (exact float/double
+/// values via shortest-round-trip formatting). Two runs are considered
+/// bit-identical iff their canonical forms are byte-equal.
+std::string canonical_result_json(const marvel::AnalysisResult& r);
+
+}  // namespace cellport::check

@@ -1,0 +1,605 @@
+#include "check/runner.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "check/faults.h"
+#include "check/oracle.h"
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
+#include "img/codec.h"
+#include "img/synth.h"
+#include "kernels/cc_kernel.h"
+#include "kernels/cd_kernel.h"
+#include "kernels/ch_kernel.h"
+#include "kernels/eh_kernel.h"
+#include "kernels/messages.h"
+#include "kernels/tx_kernel.h"
+#include "marvel/cell_engine.h"
+#include "marvel/reference_engine.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "port/taskpool.h"
+#include "sim/invariants.h"
+#include "sim/machine.h"
+#include "support/aligned.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "trace/chrome_export.h"
+#include "trace/trace.h"
+
+namespace cellport::check {
+
+namespace {
+
+RunOutcome fail(std::string property, std::string message) {
+  RunOutcome out;
+  out.ok = false;
+  out.property = std::move(property);
+  out.message = std::move(message);
+  return out;
+}
+
+/// Renders the scenario's synthetic images (and, for codec-consuming
+/// modes, their SIC streams).
+struct Inputs {
+  std::vector<img::RgbImage> pixels;
+  std::vector<img::SicEncoded> encoded;
+};
+
+Inputs make_inputs(const ScenarioSpec& spec, bool through_codec) {
+  Inputs in;
+  for (const ImageSpec& s : spec.images) {
+    img::RgbImage img = img::synth_image(static_cast<img::SceneKind>(s.kind),
+                                         s.seed, s.width, s.height);
+    if (through_codec) {
+      in.encoded.push_back(img::sic_encode(img, s.quality));
+    } else {
+      in.pixels.push_back(std::move(img));
+    }
+  }
+  return in;
+}
+
+/// Sends each fault kind through `iface` and checks the full contract:
+/// the call throws, the expected invariant rule (and only it) was
+/// reported, and a benign follow-up call still works.
+std::string run_fault_probe(port::SPEInterface& iface, int kind) {
+  cellport::AlignedBuffer<std::uint8_t> host(1024);
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+  msg->which = kind;
+
+  bool threw = false;
+  try {
+    iface.SendAndWait(1, msg.ea());
+  } catch (const cellport::Error&) {
+    threw = true;
+  }
+  if (!threw) {
+    return std::string("fault '") + fault_kind_name(kind) +
+           "' did not surface as an exception";
+  }
+  auto violations = sim::InvariantChannel::instance().drain();
+  const char* rule = fault_kind_rule(kind);
+  bool found = false;
+  for (const auto& v : violations) {
+    if (v.rule == rule) {
+      found = true;
+    } else {
+      return "fault '" + std::string(fault_kind_name(kind)) +
+             "' reported unexpected rule '" + v.rule + "' (" + v.message +
+             ")";
+    }
+  }
+  if (!found) {
+    return "fault '" + std::string(fault_kind_name(kind)) +
+           "' was not reported to the InvariantChannel (expected rule '" +
+           rule + "')";
+  }
+  // The machine survives: an unknown fault kind is a no-op returning 0.
+  msg->which = 99;
+  if (iface.SendAndWait(1, msg.ea()) != 0) {
+    return "machine did not survive fault '" +
+           std::string(fault_kind_name(kind)) + "'";
+  }
+  return "";
+}
+
+/// Post-workload hygiene shared by every mode: the channel must be empty
+/// (faults drained it already) and the machine-level aggregate rules
+/// (EIB byte conservation, mailbox accounting, LS peaks) must hold.
+RunOutcome check_clean(sim::Machine& machine) {
+  auto leftovers = sim::InvariantChannel::instance().drain();
+  if (!leftovers.empty()) {
+    return fail("invariants.channel-clean",
+                "workload reported " + std::to_string(leftovers.size()) +
+                    " violation(s); first: " + to_string(leftovers[0]));
+  }
+  auto aggregate = sim::check_machine_invariants(machine);
+  sim::InvariantChannel::instance().drain();  // reported above, too
+  if (!aggregate.empty()) {
+    return fail("invariants.machine", to_string(aggregate[0]));
+  }
+  return RunOutcome{};
+}
+
+// ---- kernel-direct mode ----
+
+struct KernelDesc {
+  port::KernelModule* module;
+  int dim;
+  std::string (*compare)(const features::FeatureVector&,
+                         const features::FeatureVector&);
+  features::FeatureVector (*reference)(const img::RgbImage&,
+                                       sim::ScalarContext*);
+  const char* name;
+};
+
+KernelDesc kernel_desc(int kernel) {
+  switch (kernel) {
+    case kKernelCh:
+      return {&kernels::ch_module(), features::kColorHistogramDim,
+              &compare_ch, &features::extract_color_histogram, "ch"};
+    case kKernelCc:
+      return {&kernels::cc_module(), features::kColorCorrelogramDim,
+              &compare_cc, &features::extract_color_correlogram, "cc"};
+    case kKernelEh:
+      return {&kernels::eh_module(), features::kEdgeHistogramDim,
+              &compare_eh, &features::extract_edge_histogram, "eh"};
+    case kKernelTx:
+      return {&kernels::tx_module(), features::kTextureDim, &compare_tx,
+              &features::extract_texture, "tx"};
+    default:
+      throw cellport::ConfigError("scenario: bad kernel index " +
+                                  std::to_string(kernel));
+  }
+}
+
+RunOutcome run_kernel_direct(const ScenarioSpec& spec, const RunConfig&,
+                             std::string* canonical) {
+  Inputs in = make_inputs(spec, /*through_codec=*/false);
+  KernelDesc k = kernel_desc(spec.kernel);
+
+  sim::Machine machine(sim::Machine::Config{spec.num_spes});
+  port::SPEInterface iface(*k.module);
+  std::unique_ptr<port::SPEInterface> fault_if;
+  if (spec.fault_kind >= 0) {
+    fault_if = std::make_unique<port::SPEInterface>(fault_module());
+  }
+
+  JsonWriter digest;
+  digest.begin_array();
+  int opcode = static_cast<int>(
+      spec.use_naive ? kernels::SPU_Run_Naive : kernels::SPU_Run);
+  for (std::size_t i = 0; i < in.pixels.size(); ++i) {
+    const img::RgbImage& pixels = in.pixels[i];
+    cellport::AlignedBuffer<float> out(
+        cellport::round_up(static_cast<std::size_t>(k.dim), 8));
+    port::WrappedMessage<kernels::ImageMsg> msg;
+    msg->pixels_ea = reinterpret_cast<std::uint64_t>(pixels.data());
+    msg->width = pixels.width();
+    msg->height = pixels.height();
+    msg->stride = pixels.stride();
+    msg->buffering = spec.buffering;
+    msg->block_rows = spec.block_rows;
+    msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+    msg->out_count = k.dim;
+
+    double t0 = machine.ppe().now_ns();
+    iface.SendAndWait(opcode, msg.ea());
+    if (!(machine.ppe().now_ns() > t0)) {
+      return fail("timing.progress",
+                  "kernel call did not advance simulated time");
+    }
+
+    features::FeatureVector cell;
+    cell.name = k.name;
+    cell.values.assign(out.data(), out.data() + k.dim);
+    features::FeatureVector ref = k.reference(pixels, nullptr);
+    std::string err = k.compare(cell, ref);
+    if (!err.empty()) {
+      return fail(std::string("oracle.") + k.name,
+                  err + " (image " + std::to_string(i) + ", " +
+                      std::to_string(pixels.width()) + "x" +
+                      std::to_string(pixels.height()) + ")");
+    }
+    for (float v : cell.values) digest.value(static_cast<double>(v));
+  }
+  digest.end_array();
+  if (canonical != nullptr) *canonical = digest.str();
+
+  if (fault_if != nullptr) {
+    RunOutcome pre = check_clean(machine);
+    if (!pre.ok) return pre;
+    std::string err = run_fault_probe(*fault_if, spec.fault_kind);
+    if (!err.empty()) return fail("fault.contract", err);
+  }
+  return check_clean(machine);
+}
+
+// ---- engine modes ----
+
+marvel::Scenario engine_scenario(Mode mode) {
+  switch (mode) {
+    case Mode::kEngineSingle: return marvel::Scenario::kSingleSPE;
+    case Mode::kEngineMulti: return marvel::Scenario::kMultiSPE;
+    case Mode::kEngineMulti2: return marvel::Scenario::kMultiSPE2;
+    default:
+      throw cellport::ConfigError("not an engine mode");
+  }
+}
+
+RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
+                      std::string* canonical) {
+  Inputs in = make_inputs(spec, /*through_codec=*/true);
+  marvel::Scenario scen = engine_scenario(spec.mode);
+
+  sim::Machine machine(sim::Machine::Config{spec.num_spes});
+  marvel::CellEngine engine(
+      machine, cfg.library_path, scen,
+      static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive);
+  marvel::ReferenceEngine ref(sim::cell_ppe(), cfg.library_path);
+
+  std::vector<marvel::AnalysisResult> cell;
+  double t0 = machine.ppe().now_ns();
+  if (spec.pipelined_batch && scen != marvel::Scenario::kSingleSPE) {
+    cell = engine.analyze_batch_pipelined(in.encoded);
+  } else {
+    for (const auto& enc : in.encoded) cell.push_back(engine.analyze(enc));
+  }
+  if (!(machine.ppe().now_ns() > t0)) {
+    return fail("timing.progress",
+                "engine run did not advance simulated time");
+  }
+  if (cell.size() != in.encoded.size()) {
+    return fail("oracle.engine",
+                "result count " + std::to_string(cell.size()) + " for " +
+                    std::to_string(in.encoded.size()) + " images");
+  }
+
+  std::string digest;
+  for (std::size_t i = 0; i < in.encoded.size(); ++i) {
+    marvel::AnalysisResult expected = ref.analyze(in.encoded[i]);
+    std::string err = compare_results(cell[i], expected);
+    if (!err.empty()) {
+      return fail("oracle.engine",
+                  err + " (image " + std::to_string(i) + ")");
+    }
+    digest += canonical_result_json(cell[i]);
+    digest += '\n';
+  }
+  if (canonical != nullptr) *canonical = digest;
+
+  if (spec.fault_kind >= 0) {
+    RunOutcome pre = check_clean(machine);
+    if (!pre.ok) return pre;
+    // The engine pinned SPEs 0-4 (0-7 for kMultiSPE2, which the
+    // generator excludes from fault scenarios); the probe takes the
+    // next free SPE and must not disturb the engine's results.
+    port::SPEInterface fault_if(fault_module());
+    std::string err = run_fault_probe(fault_if, spec.fault_kind);
+    if (!err.empty()) return fail("fault.contract", err);
+    marvel::AnalysisResult after = engine.analyze(in.encoded[0]);
+    err = compare_results(after, ref.analyze(in.encoded[0]));
+    if (!err.empty()) {
+      return fail("fault.isolation",
+                  "engine results changed after a spare-SPE fault: " + err);
+    }
+  }
+
+  RunOutcome clean = check_clean(machine);
+  if (!clean.ok) return clean;
+
+  if (spec.scaling_probe) {
+    auto per_image_ns = [&](marvel::Scenario s) {
+      sim::Machine m(sim::Machine::Config{8});
+      marvel::CellEngine e(m, cfg.library_path, s,
+                           static_cast<kernels::BufferingDepth>(
+                               spec.buffering),
+                           spec.use_naive);
+      double probe_t0 = m.ppe().now_ns();
+      e.analyze(in.encoded[0]);
+      return m.ppe().now_ns() - probe_t0;
+    };
+    double single = per_image_ns(marvel::Scenario::kSingleSPE);
+    double multi = per_image_ns(marvel::Scenario::kMultiSPE);
+    if (!(multi <= single)) {
+      return fail("scaling.multi-not-slower",
+                  "kMultiSPE " + std::to_string(multi) +
+                      " ns > kSingleSPE " + std::to_string(single) + " ns");
+    }
+    if (spec.mode == Mode::kEngineMulti2) {
+      double multi2 = per_image_ns(marvel::Scenario::kMultiSPE2);
+      if (!(multi2 <= multi * 1.02)) {
+        return fail("scaling.multi2-regression",
+                    "kMultiSPE2 " + std::to_string(multi2) +
+                        " ns > 1.02 * kMultiSPE " + std::to_string(multi) +
+                        " ns");
+      }
+    }
+    sim::InvariantChannel::instance().drain();  // probe machines' dust
+  }
+  return RunOutcome{};
+}
+
+// ---- TaskPool mode ----
+
+RunOutcome run_taskpool(const ScenarioSpec& spec, const RunConfig& cfg) {
+  Inputs in = make_inputs(spec, /*through_codec=*/true);
+  learn::MarvelModels models = learn::load_library(cfg.library_path);
+
+  // Per-image task state, the bench_dynamic layout: four extraction
+  // wrappers plus their dependent detection wrappers.
+  struct Feature {
+    port::KernelModule* module = nullptr;
+    int dim = 0;
+    const learn::ConceptModelSet* set = nullptr;
+    port::WrappedMessage<kernels::ImageMsg> msg;
+    port::WrappedMessage<kernels::DetectMsg> detect_msg;
+    cellport::AlignedBuffer<float> out;
+    cellport::AlignedBuffer<kernels::DetectModelDesc> descs;
+    cellport::AlignedBuffer<double> scores;
+  };
+  struct ImageTasks {
+    img::RgbImage pixels;
+    std::vector<Feature> features;
+  };
+  const struct {
+    port::KernelModule* module;
+    int dim;
+    const learn::ConceptModelSet* set;
+  } config[4] = {
+      {&kernels::ch_module(), features::kColorHistogramDim,
+       &models.color_histogram},
+      {&kernels::cc_module(), features::kColorCorrelogramDim,
+       &models.color_correlogram},
+      {&kernels::tx_module(), features::kTextureDim, &models.texture},
+      {&kernels::eh_module(), features::kEdgeHistogramDim,
+       &models.edge_histogram},
+  };
+
+  std::vector<ImageTasks> images(in.encoded.size());
+  for (std::size_t i = 0; i < in.encoded.size(); ++i) {
+    images[i].pixels = img::sic_decode(in.encoded[i]);
+    images[i].features.resize(4);
+    for (int f = 0; f < 4; ++f) {
+      Feature& ft = images[i].features[static_cast<std::size_t>(f)];
+      ft.module = config[f].module;
+      ft.dim = config[f].dim;
+      ft.set = config[f].set;
+      ft.out = cellport::AlignedBuffer<float>(
+          cellport::round_up(static_cast<std::size_t>(ft.dim), 8));
+      ft.msg->pixels_ea =
+          reinterpret_cast<std::uint64_t>(images[i].pixels.data());
+      ft.msg->width = images[i].pixels.width();
+      ft.msg->height = images[i].pixels.height();
+      ft.msg->stride = images[i].pixels.stride();
+      ft.msg->buffering = spec.buffering;
+      ft.msg->block_rows = spec.block_rows;
+      ft.msg->out_ea = reinterpret_cast<std::uint64_t>(ft.out.data());
+      ft.msg->out_count = ft.dim;
+      ft.descs = cellport::AlignedBuffer<kernels::DetectModelDesc>(
+          ft.set->models.size());
+      for (std::size_t m = 0; m < ft.set->models.size(); ++m) {
+        const learn::SvmModel& model = ft.set->models[m];
+        ft.descs[m].sv_ea =
+            reinterpret_cast<std::uint64_t>(model.sv_data());
+        ft.descs[m].coef_ea =
+            reinterpret_cast<std::uint64_t>(model.coef().data());
+        ft.descs[m].num_sv = model.num_sv();
+        ft.descs[m].sv_stride = model.sv_stride();
+        ft.descs[m].gamma = model.gamma();
+        ft.descs[m].rho = model.rho();
+        ft.descs[m].kernel_type = static_cast<std::int32_t>(model.kernel());
+      }
+      ft.scores = cellport::AlignedBuffer<double>(
+          cellport::round_up(ft.set->models.size(), 2));
+      ft.detect_msg->feature_ea =
+          reinterpret_cast<std::uint64_t>(ft.out.data());
+      ft.detect_msg->dim = ft.dim;
+      ft.detect_msg->num_models =
+          static_cast<std::int32_t>(ft.set->models.size());
+      ft.detect_msg->models_ea =
+          reinterpret_cast<std::uint64_t>(ft.descs.data());
+      ft.detect_msg->scores_ea =
+          reinterpret_cast<std::uint64_t>(ft.scores.data());
+      ft.detect_msg->buffering = spec.buffering;
+    }
+  }
+
+  cellport::AlignedBuffer<std::uint8_t> fault_host(1024);
+  port::WrappedMessage<FaultMsg> fault_msg;
+  fault_msg->ea = reinterpret_cast<std::uint64_t>(fault_host.data());
+  if (spec.fault_kind >= 0) fault_msg->which = spec.fault_kind;
+
+  auto run_pool = [&](int workers, port::TaskPool::Stats* stats,
+                      bool inject_fault) -> std::string {
+    sim::Machine machine(sim::Machine::Config{spec.num_spes});
+    port::TaskPool pool(machine, workers);
+    std::vector<port::TaskPool::TaskId> all;
+    port::TaskPool::TaskId fault_id = 0;
+    bool have_fault = false;
+    for (auto& image : images) {
+      for (auto& ft : image.features) {
+        auto extract =
+            pool.submit(*ft.module, kernels::SPU_Run, ft.msg.ea());
+        auto detect = pool.submit(kernels::cd_module(), kernels::SPU_Run,
+                                  ft.detect_msg.ea(), {extract});
+        all.push_back(extract);
+        all.push_back(detect);
+      }
+      if (inject_fault && !have_fault) {
+        fault_id = pool.submit(fault_module(), 1, fault_msg.ea());
+        have_fault = true;
+      }
+    }
+    pool.wait_all();
+    *stats = pool.stats();
+
+    std::size_t expected =
+        all.size() + static_cast<std::size_t>(have_fault);
+    if (stats->tasks_run != expected) {
+      return "tasks_run " + std::to_string(stats->tasks_run) + " != " +
+             std::to_string(expected) + " submitted";
+    }
+    if (stats->worker_busy_ns.size() !=
+        static_cast<std::size_t>(workers)) {
+      return "worker_busy_ns has " +
+             std::to_string(stats->worker_busy_ns.size()) + " entries for " +
+             std::to_string(workers) + " workers";
+    }
+    if (!(stats->makespan_ns > 0)) return "makespan is not positive";
+    if (stats->faults != static_cast<std::size_t>(have_fault)) {
+      return "stats.faults " + std::to_string(stats->faults) +
+             ", expected " + std::to_string(have_fault ? 1 : 0);
+    }
+    for (port::TaskPool::TaskId id : all) {
+      if (pool.task_failed(id)) {
+        return "healthy task " + std::to_string(id) +
+               " reported failed: " + pool.task_error(id);
+      }
+    }
+    if (have_fault) {
+      if (!pool.task_failed(fault_id)) {
+        return "fault task did not report failure";
+      }
+      if (pool.task_error(fault_id).empty()) {
+        return "fault task has an empty error message";
+      }
+      auto violations = sim::InvariantChannel::instance().drain();
+      const char* rule = fault_kind_rule(spec.fault_kind);
+      bool found = false;
+      for (const auto& v : violations) {
+        if (v.rule == rule) found = true;
+      }
+      if (!found) {
+        return std::string("worker fault '") +
+               fault_kind_name(spec.fault_kind) +
+               "' was not reported to the InvariantChannel";
+      }
+    }
+    RunOutcome clean = check_clean(machine);
+    if (!clean.ok) return clean.property + ": " + clean.message;
+    return "";
+  };
+
+  port::TaskPool::Stats stats;
+  std::string err =
+      run_pool(spec.pool_workers, &stats, spec.fault_kind >= 0);
+  if (!err.empty()) return fail("taskpool.accounting", err);
+
+  // The differential oracle: every extraction and detection the pool ran
+  // must match the reference engine on the same encoded images.
+  marvel::ReferenceEngine ref(sim::cell_ppe(), cfg.library_path);
+  for (std::size_t i = 0; i < in.encoded.size(); ++i) {
+    marvel::AnalysisResult expected = ref.analyze(in.encoded[i]);
+    marvel::AnalysisResult got;
+    auto take = [](const Feature& ft, features::FeatureVector* fv,
+                   marvel::DetectionScores* sc) {
+      fv->values.assign(ft.out.data(), ft.out.data() + ft.dim);
+      sc->values.assign(ft.scores.data(),
+                        ft.scores.data() + ft.set->models.size());
+    };
+    take(images[i].features[0], &got.color_histogram, &got.ch_detect);
+    take(images[i].features[1], &got.color_correlogram, &got.cc_detect);
+    take(images[i].features[2], &got.texture, &got.tx_detect);
+    take(images[i].features[3], &got.edge_histogram, &got.eh_detect);
+    std::string oracle_err = compare_results(got, expected);
+    if (!oracle_err.empty()) {
+      return fail("oracle.taskpool",
+                  oracle_err + " (image " + std::to_string(i) + ")");
+    }
+  }
+  sim::InvariantChannel::instance().drain();  // reference engine is clean
+
+  // Parallel sanity: the W-worker makespan must not be pathologically
+  // worse than the one-worker serial schedule of the same task graph
+  // (Graham-style bound with a generous allowance for extra code
+  // switches across workers).
+  if (spec.pool_workers > 1 && spec.fault_kind < 0) {
+    port::TaskPool::Stats serial;
+    err = run_pool(1, &serial, false);
+    if (!err.empty()) return fail("taskpool.accounting", err);
+    double bound = serial.makespan_ns * 1.25 + 5e6;
+    if (!(stats.makespan_ns <= bound)) {
+      return fail("taskpool.scaling",
+                  std::to_string(spec.pool_workers) + "-worker makespan " +
+                      std::to_string(stats.makespan_ns) +
+                      " ns exceeds serial bound " + std::to_string(bound) +
+                      " ns");
+    }
+  }
+  return RunOutcome{};
+}
+
+/// Installs a TraceSession for the duration of one run (exception-safe).
+struct SessionGuard {
+  trace::TraceSession session;
+  SessionGuard() { session.install(); }
+  ~SessionGuard() { session.uninstall(); }
+};
+
+RunOutcome run_once(const ScenarioSpec& spec, const RunConfig& cfg,
+                    std::string* canonical) {
+  switch (spec.mode) {
+    case Mode::kKernelDirect:
+      return run_kernel_direct(spec, cfg, canonical);
+    case Mode::kEngineSingle:
+    case Mode::kEngineMulti:
+    case Mode::kEngineMulti2:
+      return run_engine(spec, cfg, canonical);
+    case Mode::kTaskPool:
+      return run_taskpool(spec, cfg);
+  }
+  throw cellport::ConfigError("unknown scenario mode");
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const ScenarioSpec& spec, const RunConfig& cfg) {
+  sim::InvariantChannel::instance().drain();  // stale reports, if any
+  try {
+    if (spec.replay_twice && spec.mode != Mode::kTaskPool) {
+      // Determinism property: the same scenario, run twice under fresh
+      // trace sessions, must produce byte-identical canonical results
+      // and byte-identical Chrome traces (simulated time is carried by
+      // message timestamps, so host scheduling must not leak in).
+      std::string canonical1, canonical2, trace1, trace2;
+      {
+        SessionGuard guard;
+        RunOutcome out = run_once(spec, cfg, &canonical1);
+        if (!out.ok) return out;
+        trace1 = trace::chrome_trace_json(guard.session);
+      }
+      sim::InvariantChannel::instance().drain();
+      {
+        SessionGuard guard;
+        RunOutcome out = run_once(spec, cfg, &canonical2);
+        if (!out.ok) return out;
+        trace2 = trace::chrome_trace_json(guard.session);
+      }
+      if (canonical1 != canonical2) {
+        return fail("determinism.result",
+                    "rerun produced different canonical results (" +
+                        std::to_string(canonical1.size()) + " vs " +
+                        std::to_string(canonical2.size()) + " bytes)");
+      }
+      if (trace1 != trace2) {
+        return fail("determinism.trace",
+                    "rerun produced different traces (" +
+                        std::to_string(trace1.size()) + " vs " +
+                        std::to_string(trace2.size()) + " bytes)");
+      }
+      return RunOutcome{};
+    }
+    return run_once(spec, cfg, nullptr);
+  } catch (const cellport::Error& e) {
+    return fail("exception", e.what());
+  }
+}
+
+}  // namespace cellport::check

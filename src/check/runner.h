@@ -1,0 +1,42 @@
+// Executes one scenario and checks every applicable property:
+//
+//   oracle.*        — Cell-side results match the reference implementation
+//   invariants.*    — no simulator invariant fired (or, under fault
+//                     injection, exactly the expected rule fired)
+//   fault.*         — injected faults throw, are reported, and leave the
+//                     machine usable
+//   taskpool.*      — dynamic-scheduler accounting (task/fault counts,
+//                     parallel makespan never pathologically worse than
+//                     the one-worker serial run)
+//   scaling.*       — more SPEs never slow a parallel group
+//   determinism.*   — rerunning the scenario yields byte-identical
+//                     canonical results and Chrome traces (static modes)
+//   timing.*        — simulated clocks advance and stay monotone
+//
+// The first failed property aborts the scenario and is returned; "" in
+// RunOutcome::property means every check passed.
+#pragma once
+
+#include <string>
+
+#include "check/scenario.h"
+
+namespace cellport::check {
+
+struct RunConfig {
+  /// Path to a saved model library (learn::save_library output).
+  std::string library_path;
+};
+
+struct RunOutcome {
+  bool ok = true;
+  std::string property;  // stable id of the failed property ("" if ok)
+  std::string message;   // one-line diagnostic
+};
+
+/// Runs `spec` against the differential oracle. Never throws for a
+/// *detected* failure (that becomes an outcome); propagates only
+/// infrastructure errors (e.g. an unreadable model library).
+RunOutcome run_scenario(const ScenarioSpec& spec, const RunConfig& cfg);
+
+}  // namespace cellport::check

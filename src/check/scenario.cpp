@@ -1,0 +1,299 @@
+#include "check/scenario.h"
+
+#include <stdexcept>
+
+#include "check/faults.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/rng.h"
+
+namespace cellport::check {
+
+namespace {
+
+/// Minimum dims the texture extractor accepts (4-level Haar needs 2^4
+/// pixels on each axis), and hence the floor for any scenario that runs
+/// all four kernels.
+constexpr int kMinTxDim = 16;
+
+/// Scene kinds available to the generator (img::SceneKind count).
+constexpr int kNumSceneKinds = 5;
+
+int pick_quality(Rng& rng) {
+  constexpr int kQualities[] = {60, 85, 95};
+  return kQualities[rng.next_below(3)];
+}
+
+int pick_block_rows(Rng& rng) {
+  // Mostly the kernel default; occasionally stress small/large blocks.
+  constexpr int kChoices[] = {0, 0, 0, 1, 2, 5, 16};
+  return kChoices[rng.next_below(7)];
+}
+
+/// A size with interesting row geometry. Odd widths produce rows whose
+/// payload is not a 16-byte multiple (the stride still is — the property
+/// the kernels' row DMA depends on).
+ImageSpec pick_image(Rng& rng, bool allow_degenerate) {
+  ImageSpec img;
+  img.kind = static_cast<int>(rng.next_below(kNumSceneKinds));
+  img.seed = rng.next_u64();
+  img.quality = pick_quality(rng);
+  std::uint64_t shape = rng.next_below(100);
+  if (allow_degenerate && shape < 20) {
+    // Degenerate geometry: 1xN, Nx1, tiny squares.
+    switch (rng.next_below(4)) {
+      case 0: img.width = 1; img.height = 1; break;
+      case 1:
+        img.width = 1;
+        img.height = 1 + static_cast<int>(rng.next_below(240));
+        break;
+      case 2:
+        img.width = 1 + static_cast<int>(rng.next_below(352));
+        img.height = 1;
+        break;
+      default:
+        img.width = 2 + static_cast<int>(rng.next_below(14));
+        img.height = 2 + static_cast<int>(rng.next_below(14));
+        break;
+    }
+  } else if (shape < 45) {
+    // Full MARVEL frame.
+    img.width = 352;
+    img.height = 240;
+  } else {
+    img.width = kMinTxDim + static_cast<int>(rng.next_below(113));
+    img.height = kMinTxDim + static_cast<int>(rng.next_below(81));
+    if (rng.next_below(2) == 0) img.width |= 1;  // non-16B-multiple rows
+    if (rng.next_below(2) == 0) img.height |= 1;
+  }
+  return img;
+}
+
+}  // namespace
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kKernelDirect: return "kernel-direct";
+    case Mode::kEngineSingle: return "engine-single";
+    case Mode::kEngineMulti: return "engine-multi";
+    case Mode::kEngineMulti2: return "engine-multi2";
+    case Mode::kTaskPool: return "taskpool";
+  }
+  throw cellport::ConfigError("unknown mode");
+}
+
+Mode mode_from_name(const std::string& name) {
+  for (Mode m : {Mode::kKernelDirect, Mode::kEngineSingle,
+                 Mode::kEngineMulti, Mode::kEngineMulti2,
+                 Mode::kTaskPool}) {
+    if (name == mode_name(m)) return m;
+  }
+  throw cellport::ConfigError("unknown mode name '" + name + "'");
+}
+
+ScenarioSpec generate_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+
+  std::uint64_t roll = rng.next_below(100);
+  if (roll < 35) {
+    spec.mode = Mode::kKernelDirect;
+  } else if (roll < 50) {
+    spec.mode = Mode::kEngineSingle;
+  } else if (roll < 65) {
+    spec.mode = Mode::kEngineMulti;
+  } else if (roll < 75) {
+    spec.mode = Mode::kEngineMulti2;
+  } else {
+    spec.mode = Mode::kTaskPool;
+  }
+
+  spec.buffering = 1 + static_cast<int>(rng.next_below(3));
+  spec.block_rows = pick_block_rows(rng);
+
+  // Machine shape, constrained by what each mode can place: the static
+  // engine pins CH/CC/TX/EH/CD on SPEs 0-4 and kMultiSPE2 replicates
+  // detection on 5-7.
+  switch (spec.mode) {
+    case Mode::kKernelDirect:
+      spec.num_spes = 1 + static_cast<int>(rng.next_below(8));
+      spec.kernel = static_cast<int>(rng.next_below(4));
+      spec.use_naive =
+          spec.kernel != kKernelTx && rng.next_below(4) == 0;
+      break;
+    case Mode::kEngineSingle:
+    case Mode::kEngineMulti:
+      spec.num_spes = 5 + static_cast<int>(rng.next_below(4));
+      spec.use_naive = rng.next_below(100) < 15;
+      break;
+    case Mode::kEngineMulti2:
+      spec.num_spes = 8;
+      spec.use_naive = rng.next_below(100) < 15;
+      break;
+    case Mode::kTaskPool:
+      spec.num_spes = 1 + static_cast<int>(rng.next_below(8));
+      spec.pool_workers = 1 + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(spec.num_spes)));
+      break;
+  }
+
+  // Image corpus. Degenerate geometry is only reachable where every
+  // kernel that will see the image accepts it: the texture extractor
+  // (and hence every full-engine/TaskPool run) needs both dims >= 16.
+  bool degenerate_ok =
+      spec.mode == Mode::kKernelDirect && spec.kernel != kKernelTx;
+  int num_images = 1 + static_cast<int>(rng.next_below(
+                           spec.mode == Mode::kKernelDirect ? 3 : 2));
+  for (int i = 0; i < num_images; ++i) {
+    spec.images.push_back(pick_image(rng, degenerate_ok));
+  }
+
+  // Fault injection needs a spare SPE beyond what the workload pins:
+  // the static engine leaves one only on 6+-SPE machines (and none in
+  // kMultiSPE2, which pins all 8), kernel-direct needs a second SPE,
+  // and TaskPool faults ride a worker, so any shape qualifies.
+  bool fault_ok = false;
+  switch (spec.mode) {
+    case Mode::kKernelDirect: fault_ok = spec.num_spes >= 2; break;
+    case Mode::kEngineSingle:
+    case Mode::kEngineMulti: fault_ok = spec.num_spes >= 6; break;
+    case Mode::kEngineMulti2: fault_ok = false; break;
+    case Mode::kTaskPool: fault_ok = true; break;
+  }
+  if (fault_ok && rng.next_below(100) < 20) {
+    spec.fault_kind = static_cast<int>(rng.next_below(kNumFaultKinds));
+  }
+
+  // Property riders. Replay determinism excludes TaskPool (its task ->
+  // worker assignment follows host event arrival order); the scaling
+  // probe compares engine scheduling scenarios, so it needs the 5-SPE
+  // layouts and a frame big enough for kernel time to dwarf protocol
+  // costs.
+  bool is_static = spec.mode != Mode::kTaskPool;
+  spec.replay_twice = is_static && rng.next_below(4) == 0;
+  bool engine_mode = spec.mode == Mode::kEngineSingle ||
+                     spec.mode == Mode::kEngineMulti ||
+                     spec.mode == Mode::kEngineMulti2;
+  if (spec.mode == Mode::kEngineMulti || spec.mode == Mode::kEngineMulti2) {
+    spec.pipelined_batch = rng.next_below(100) < 40;
+  }
+  if (engine_mode && spec.fault_kind < 0 && rng.next_below(5) == 0) {
+    spec.scaling_probe = true;
+    spec.images[0].width = 176;
+    spec.images[0].height = 120;
+  }
+  return spec;
+}
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  JsonWriter w;
+  w.begin_object();
+  // Seeds are full 64-bit values; JSON numbers only carry 53 bits of
+  // integer precision through the parser, so they travel as strings.
+  w.key("seed").value(std::to_string(spec.seed));
+  w.key("mode").value(mode_name(spec.mode));
+  w.key("num_spes").value(spec.num_spes);
+  w.key("pool_workers").value(spec.pool_workers);
+  w.key("buffering").value(spec.buffering);
+  w.key("block_rows").value(spec.block_rows);
+  w.key("use_naive").value(spec.use_naive);
+  w.key("pipelined_batch").value(spec.pipelined_batch);
+  w.key("kernel").value(spec.kernel);
+  w.key("fault_kind").value(spec.fault_kind);
+  w.key("replay_twice").value(spec.replay_twice);
+  w.key("scaling_probe").value(spec.scaling_probe);
+  w.key("images").begin_array();
+  for (const ImageSpec& img : spec.images) {
+    w.begin_object();
+    w.key("kind").value(img.kind);
+    w.key("seed").value(std::to_string(img.seed));
+    w.key("width").value(img.width);
+    w.key("height").value(img.height);
+    w.key("quality").value(img.quality);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+namespace {
+
+double require_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw cellport::ConfigError("scenario JSON: missing number '" + key +
+                                "'");
+  }
+  return v->number;
+}
+
+std::uint64_t require_seed(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) {
+    throw cellport::ConfigError("scenario JSON: missing seed string '" +
+                                key + "'");
+  }
+  try {
+    return std::stoull(v->string);
+  } catch (const std::exception&) {
+    throw cellport::ConfigError("scenario JSON: bad seed '" + v->string +
+                                "'");
+  }
+}
+
+bool require_bool(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != JsonValue::Type::kBool) {
+    throw cellport::ConfigError("scenario JSON: missing bool '" + key +
+                                "'");
+  }
+  return v->boolean;
+}
+
+}  // namespace
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  JsonValue doc = json_parse(text);
+  if (!doc.is_object()) {
+    throw cellport::ConfigError("scenario JSON: not an object");
+  }
+  ScenarioSpec spec;
+  spec.seed = require_seed(doc, "seed");
+  const JsonValue* mode = doc.find("mode");
+  if (mode == nullptr || !mode->is_string()) {
+    throw cellport::ConfigError("scenario JSON: missing 'mode'");
+  }
+  spec.mode = mode_from_name(mode->string);
+  spec.num_spes = static_cast<int>(require_number(doc, "num_spes"));
+  spec.pool_workers = static_cast<int>(require_number(doc, "pool_workers"));
+  spec.buffering = static_cast<int>(require_number(doc, "buffering"));
+  spec.block_rows = static_cast<int>(require_number(doc, "block_rows"));
+  spec.use_naive = require_bool(doc, "use_naive");
+  spec.pipelined_batch = require_bool(doc, "pipelined_batch");
+  spec.kernel = static_cast<int>(require_number(doc, "kernel"));
+  spec.fault_kind = static_cast<int>(require_number(doc, "fault_kind"));
+  spec.replay_twice = require_bool(doc, "replay_twice");
+  spec.scaling_probe = require_bool(doc, "scaling_probe");
+  const JsonValue* images = doc.find("images");
+  if (images == nullptr || !images->is_array()) {
+    throw cellport::ConfigError("scenario JSON: missing 'images'");
+  }
+  spec.images.clear();
+  for (const JsonValue& entry : images->array) {
+    ImageSpec img;
+    img.kind = static_cast<int>(require_number(entry, "kind"));
+    img.seed = require_seed(entry, "seed");
+    img.width = static_cast<int>(require_number(entry, "width"));
+    img.height = static_cast<int>(require_number(entry, "height"));
+    img.quality = static_cast<int>(require_number(entry, "quality"));
+    spec.images.push_back(img);
+  }
+  if (spec.images.empty()) {
+    throw cellport::ConfigError("scenario JSON: empty image list");
+  }
+  return spec;
+}
+
+}  // namespace cellport::check

@@ -1,0 +1,80 @@
+// Scenario model for cellcheck: a fully-specified randomized test case
+// derived deterministically from one 64-bit seed.
+//
+// A scenario fixes everything a run needs — machine shape, image corpus,
+// execution mode (static engine scheduling vs TaskPool dynamic
+// scheduling vs a single kernel driven directly), buffering knobs, an
+// optional fault injection — so that (a) equal seeds always produce
+// byte-identical runs and (b) a failing case can be serialized, shrunk,
+// and replayed (`cellcheck --replay`). Generation is constraint-aware:
+// it only produces configurations the engine accepts (e.g. the static
+// engine's pinned layout needs 5 SPEs, kMultiSPE2 needs all 8, the
+// texture kernel needs both image dimensions >= 16).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellport::check {
+
+/// Execution modes a scenario can exercise.
+enum class Mode {
+  kKernelDirect,   // one kernel via SPEInterface vs features::extract_*
+  kEngineSingle,   // CellEngine kSingleSPE vs ReferenceEngine
+  kEngineMulti,    // CellEngine kMultiSPE vs ReferenceEngine
+  kEngineMulti2,   // CellEngine kMultiSPE2 vs ReferenceEngine
+  kTaskPool,       // the MARVEL task graph on the dynamic scheduler
+};
+
+const char* mode_name(Mode m);
+Mode mode_from_name(const std::string& name);
+
+/// One synthetic input image. `kind` indexes img::SceneKind; `quality`
+/// is the SIC codec quality (engine/TaskPool modes; kernel-direct feeds
+/// raw pixels and ignores it).
+struct ImageSpec {
+  int kind = 0;
+  std::uint64_t seed = 0;
+  int width = 64;
+  int height = 48;
+  int quality = 85;
+};
+
+/// Kernel index for kKernelDirect scenarios.
+inline constexpr int kKernelCh = 0;
+inline constexpr int kKernelCc = 1;
+inline constexpr int kKernelEh = 2;
+inline constexpr int kKernelTx = 3;
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+  Mode mode = Mode::kKernelDirect;
+  int num_spes = 8;        // machine shape (1..8)
+  int pool_workers = 1;    // kTaskPool only
+  int buffering = 2;       // DMA buffering depth 1..3
+  int block_rows = 0;      // rows per DMA block (0 = kernel default)
+  bool use_naive = false;  // pre-optimization kernel variants
+  bool pipelined_batch = false;  // engine multi modes: Figure 4c batch
+  int kernel = -1;         // kKernelDirect: kKernelCh..kKernelTx
+  int fault_kind = -1;     // -1 none, else check::kFault* on a spare SPE
+  /// Re-run the whole scenario and require byte-identical results and
+  /// traces (static modes only; TaskPool timing is host-order dependent).
+  bool replay_twice = false;
+  /// Engine modes: additionally measure per-image time under kSingleSPE
+  /// vs kMultiSPE (vs kMultiSPE2) and require the parallel group never
+  /// to be slower.
+  bool scaling_probe = false;
+  std::vector<ImageSpec> images;
+};
+
+/// Derives the full scenario for `seed`. Pure function of the seed.
+ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Serializes a spec as a JSON object (deterministic byte output).
+std::string spec_to_json(const ScenarioSpec& spec);
+
+/// Parses spec_to_json output back; throws cellport::Error on bad input.
+ScenarioSpec spec_from_json(const std::string& text);
+
+}  // namespace cellport::check

@@ -1,0 +1,31 @@
+// Greedy scenario shrinking: given a failing spec and a predicate that
+// re-checks "does this still fail?", repeatedly applies the simplest
+// applicable reduction (drop property riders, drop the fault, drop
+// images, halve dimensions, neutralize knobs, shrink the machine,
+// simplify the mode) until no reduction keeps the failure alive or the
+// evaluation budget runs out. The result is the spec `cellcheck
+// --replay-file` reproduces.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/scenario.h"
+
+namespace cellport::check {
+
+struct ShrinkResult {
+  ScenarioSpec spec;            // smallest still-failing spec found
+  std::size_t evaluations = 0;  // predicate calls spent
+  std::size_t accepted = 0;     // reductions that kept the failure
+};
+
+/// `still_fails` must return true when the candidate spec reproduces the
+/// original failure. `budget` caps predicate evaluations (each one is a
+/// full scenario run).
+ShrinkResult shrink_scenario(
+    const ScenarioSpec& failing,
+    const std::function<bool(const ScenarioSpec&)>& still_fails,
+    std::size_t budget = 200);
+
+}  // namespace cellport::check

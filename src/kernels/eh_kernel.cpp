@@ -227,8 +227,11 @@ vec_int4 mag_bin_4(const vec_int4& mag2, const EhConstants& c) {
 
 void produce_row_simd(const EhState& st, int y, const EhConstants& ec) {
   const int w = st.w;
-  // Border columns via the scalar float path.
+  // Border columns via the scalar float path. A one-column image has a
+  // single border pixel, not two — without the early return it would be
+  // binned twice (column 0 and column w-1 are the same pixel).
   scalar_pixel(st, 0, y);
+  if (w == 1) return;
   const std::uint8_t* rows[3] = {
       st.ring[(y - 1) % kRingRows] + kRowOrigin,
       st.ring[y % kRingRows] + kRowOrigin,

@@ -1,6 +1,6 @@
 #include "port/taskpool.h"
 
-#include <cstdio>
+#include <utility>
 
 #include "sim/calibration.h"
 #include "sim/libspe.h"
@@ -50,14 +50,16 @@ int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
     }
 
     sim::spu_ls_reset();
+    CompletionEvent ev;
     try {
       module->invoke(opcode, ea);
     } catch (const cellport::Error& e) {
-      std::fprintf(stderr, "[taskpool] task %zu failed: %s\n", task,
-                   e.what());
+      // Surface the fault to the PPE in the completion event rather than
+      // swallowing it: the scheduler records it, stats count it, and the
+      // submitter can query task_failed()/task_error() after wait_all().
+      ev.failed = true;
+      ev.error = e.what();
     }
-
-    CompletionEvent ev;
     ev.worker = env->worker_index;
     ev.task = task;
     ev.code_switched = switched;
@@ -175,17 +177,36 @@ void TaskPool::wait_all() {
 
     TaskRecord& rec = tasks_[ev.task];
     rec.done = true;
+    rec.failed = ev.failed;
+    rec.error = std::move(ev.error);
     --incomplete_;
     --outstanding_;
     worker_idle_[static_cast<std::size_t>(ev.worker)] = true;
     stats_.tasks_run += 1;
     if (ev.code_switched) stats_.code_switches += 1;
+    if (rec.failed) stats_.faults += 1;
     for (TaskId dep : rec.dependents) {
       if (--tasks_[dep].unmet_deps == 0) ready_.push_back(dep);
     }
     pump_ready_tasks();
   }
   stats_.makespan_ns = machine_.ppe().now_ns() - start_ns_;
+}
+
+bool TaskPool::task_failed(TaskId id) const {
+  if (id >= tasks_.size()) {
+    throw cellport::ConfigError("task_failed: unknown task " +
+                                std::to_string(id));
+  }
+  return tasks_[id].failed;
+}
+
+const std::string& TaskPool::task_error(TaskId id) const {
+  if (id >= tasks_.size()) {
+    throw cellport::ConfigError("task_error: unknown task " +
+                                std::to_string(id));
+  }
+  return tasks_[id].error;
 }
 
 TaskPool::Stats TaskPool::stats() {

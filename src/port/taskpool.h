@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "port/dispatcher.h"
@@ -54,12 +55,22 @@ class TaskPool {
     /// Worker invocations whose kernel image differed from the one
     /// resident in its local store (each pays a code-reload DMA).
     std::size_t code_switches = 0;
+    /// Tasks whose kernel threw; their dependents still ran (a failed
+    /// task satisfies its dependences, mirroring a hardware SPE that
+    /// signals completion with an error status word).
+    std::size_t faults = 0;
     /// Simulated time from construction to the last completion.
     sim::SimTime makespan_ns = 0;
     /// Per-worker simulated busy time.
     std::vector<sim::SimTime> worker_busy_ns;
   };
   Stats stats();
+
+  /// True once `id` completed with a kernel fault. Valid after wait_all()
+  /// (or any point after the completion event was consumed).
+  bool task_failed(TaskId id) const;
+  /// The fault message for a failed task; empty for a clean one.
+  const std::string& task_error(TaskId id) const;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -71,6 +82,8 @@ class TaskPool {
     std::vector<TaskId> dependents;
     int unmet_deps = 0;
     bool done = false;
+    bool failed = false;
+    std::string error;
   };
 
   struct CompletionEvent {
@@ -78,6 +91,8 @@ class TaskPool {
     TaskId task = 0;
     sim::SimTime ts = 0;
     bool code_switched = false;
+    bool failed = false;
+    std::string error;
   };
 
   // SPE-side worker program.

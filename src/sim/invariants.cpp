@@ -1,0 +1,147 @@
+#include "sim/invariants.h"
+
+#include <sstream>
+
+#include "sim/machine.h"
+
+namespace cellport::sim {
+
+InvariantChannel& InvariantChannel::instance() {
+  static InvariantChannel channel;
+  return channel;
+}
+
+void InvariantChannel::report(InvariantViolation v) {
+  std::lock_guard lock(mu_);
+  violations_.push_back(std::move(v));
+}
+
+std::size_t InvariantChannel::count() const {
+  std::lock_guard lock(mu_);
+  return violations_.size();
+}
+
+std::vector<InvariantViolation> InvariantChannel::drain() {
+  std::lock_guard lock(mu_);
+  std::vector<InvariantViolation> out;
+  out.swap(violations_);
+  return out;
+}
+
+std::vector<InvariantViolation> InvariantChannel::snapshot() const {
+  std::lock_guard lock(mu_);
+  return violations_;
+}
+
+void report_invariant(std::string rule, std::string where,
+                      std::string message) {
+  InvariantChannel::instance().report(
+      InvariantViolation{std::move(rule), std::move(where),
+                         std::move(message)});
+}
+
+std::string to_string(const InvariantViolation& v) {
+  return v.rule + " @ " + v.where + ": " + v.message;
+}
+
+namespace {
+
+void add(std::vector<InvariantViolation>& out, const std::string& rule,
+         const std::string& where, const std::string& message) {
+  InvariantViolation v{rule, where, message};
+  InvariantChannel::instance().report(v);
+  out.push_back(std::move(v));
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> check_machine_invariants(Machine& machine) {
+  std::vector<InvariantViolation> out;
+
+  // EIB conservation: every byte the bus accounted for must be a byte
+  // some MFC transferred, and vice versa (the EIB is a pure aggregator;
+  // a mismatch means a transfer bypassed accounting or was double
+  // counted).
+  std::uint64_t mfc_bytes = 0;
+  std::uint64_t mfc_transfers = 0;
+  for (int i = 0; i < machine.num_spes(); ++i) {
+    const Mfc::Stats& s = machine.spe(i).mfc().stats();
+    mfc_bytes += s.bytes;
+    mfc_transfers += s.transfers;
+  }
+  if (mfc_bytes != machine.eib().total_bytes()) {
+    std::ostringstream os;
+    os << "per-MFC byte total " << mfc_bytes << " != EIB byte total "
+       << machine.eib().total_bytes();
+    add(out, "eib.conservation.bytes", "machine", os.str());
+  }
+  if (mfc_transfers != machine.eib().total_transfers()) {
+    std::ostringstream os;
+    os << "per-MFC transfer total " << mfc_transfers
+       << " != EIB transfer total " << machine.eib().total_transfers();
+    add(out, "eib.conservation.transfers", "machine", os.str());
+  }
+
+  for (int i = 0; i < machine.num_spes(); ++i) {
+    SpeContext& spe = machine.spe(i);
+    const std::string where = "spe" + std::to_string(i);
+
+    // Local store: the bump allocator's high-water mark may never exceed
+    // the 256 KiB SRAM (alloc() throws before this could happen — the
+    // check catches accounting corruption, not a missed throw).
+    if (spe.ls().peak_bytes() > LocalStore::kCapacity) {
+      std::ostringstream os;
+      os << "LS peak " << spe.ls().peak_bytes() << " bytes exceeds the "
+         << LocalStore::kCapacity << "-byte capacity";
+      add(out, "ls.capacity.peak", where, os.str());
+    }
+
+    // MFC: the command queue is bounded by hardware depth.
+    if (spe.mfc().outstanding() > Mfc::kQueueDepth) {
+      add(out, "mfc.queue.depth", where,
+          std::to_string(spe.mfc().outstanding()) +
+              " outstanding commands exceed the " +
+              std::to_string(Mfc::kQueueDepth) + "-deep MFC queue");
+    }
+
+    // Clocks only move forward; a negative reading means someone
+    // advanced by a negative delta without tripping the inline guard.
+    if (spe.peek_ns() < 0) {
+      add(out, "clock.monotone", where,
+          "SPE clock is negative: " + std::to_string(spe.peek_ns()));
+    }
+
+    // Mailbox accounting: reads never outrun writes, the queued backlog
+    // is exactly writes - reads, and occupancy never exceeded capacity.
+    for (Mailbox* mbox : {&spe.in_mbox(), &spe.out_mbox(),
+                          &spe.out_intr_mbox()}) {
+      Mailbox::Stats s = mbox->stats();
+      const std::string mwhere = "mailbox " + mbox->name();
+      if (s.reads > s.writes) {
+        add(out, "mailbox.accounting.reads", mwhere,
+            std::to_string(s.reads) + " reads > " +
+                std::to_string(s.writes) + " writes");
+      }
+      if (s.writes - s.reads != mbox->count()) {
+        std::ostringstream os;
+        os << "backlog " << mbox->count() << " != writes " << s.writes
+           << " - reads " << s.reads;
+        add(out, "mailbox.accounting.backlog", mwhere, os.str());
+      }
+      if (s.max_depth > mbox->capacity()) {
+        add(out, "mailbox.accounting.depth", mwhere,
+            "high-water depth " + std::to_string(s.max_depth) +
+                " exceeds capacity " + std::to_string(mbox->capacity()));
+      }
+    }
+  }
+
+  if (machine.ppe().now_ns() < 0) {
+    add(out, "clock.monotone", "ppe",
+        "PPE clock is negative: " + std::to_string(machine.ppe().now_ns()));
+  }
+
+  return out;
+}
+
+}  // namespace cellport::sim

@@ -1,0 +1,72 @@
+// The simulator's invariant layer (cellcheck tentpole).
+//
+// Every hardware rule the simulator enforces — MFC alignment/size/tag,
+// local-store capacity, mailbox depth, monotone per-context clocks — is
+// reported through one process-wide InvariantChannel *in addition to* the
+// typed exception the violating call site throws. Aggregate rules that no
+// single call site can see (EIB byte-conservation across MFCs, mailbox
+// read/write accounting) are checked on demand by
+// check_machine_invariants(). The channel gives every consumer — the
+// cellcheck property harness, gtest suites, and the bench binaries — one
+// place to ask "did the simulated machine break any hardware rule during
+// this run?", including rules whose exception was swallowed along the way
+// (e.g. a kernel fault caught by the dispatcher loop).
+//
+// The checks are always compiled in: each is a predictable branch or a
+// mutex-guarded append on an already-throwing path, so the zero-violation
+// fast path costs nothing measurable.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cellport::sim {
+
+class Machine;
+
+/// One detected rule violation. `rule` is a stable dotted identifier
+/// (grep-able, asserted on by tests); `where` names the component
+/// ("spe3", "mailbox spe0.in", "machine"); `message` is the human detail.
+struct InvariantViolation {
+  std::string rule;
+  std::string where;
+  std::string message;
+};
+
+/// Process-wide, thread-safe violation collector. SPE threads report into
+/// it concurrently; consumers drain it between runs. Draining at the
+/// start of a check scope and asserting emptiness at the end is the
+/// standard usage (see docs/TESTING.md).
+class InvariantChannel {
+ public:
+  static InvariantChannel& instance();
+
+  void report(InvariantViolation v);
+  std::size_t count() const;
+  /// Removes and returns everything reported so far.
+  std::vector<InvariantViolation> drain();
+  /// Copies without removing (for reporting paths that must not consume).
+  std::vector<InvariantViolation> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<InvariantViolation> violations_;
+};
+
+/// Convenience reporter used by the simulator hook sites.
+void report_invariant(std::string rule, std::string where,
+                      std::string message);
+
+/// On-demand aggregate checks over a quiesced machine (no SPE thread
+/// mid-transfer): EIB byte/transfer conservation against the per-MFC
+/// statistics, local-store peak bounds, per-mailbox read/write/depth
+/// accounting, MFC queue bounds, and non-negative clocks. Violations are
+/// both returned and reported to the channel.
+std::vector<InvariantViolation> check_machine_invariants(Machine& machine);
+
+/// Formats "rule @ where: message" for logs.
+std::string to_string(const InvariantViolation& v);
+
+}  // namespace cellport::sim

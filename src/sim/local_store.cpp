@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "sim/invariants.h"
 #include "support/aligned.h"
 
 namespace cellport::sim {
@@ -14,6 +15,7 @@ void LocalStore::load_code(std::size_t code_bytes) {
     std::ostringstream os;
     os << "kernel code image of " << code_bytes
        << " bytes does not fit in the 256KiB local store";
+    report_invariant("ls.capacity.code", "local-store", os.str());
     throw cellport::LocalStoreError(os.str());
   }
   code_bytes_ = rounded;
@@ -23,6 +25,9 @@ void LocalStore::load_code(std::size_t code_bytes) {
 
 void* LocalStore::alloc(std::size_t bytes, std::size_t align) {
   if (align < 16 || (align & (align - 1)) != 0) {
+    report_invariant("ls.alignment", "local-store",
+                     "allocation alignment " + std::to_string(align) +
+                         " is not a power of two >= 16");
     throw cellport::LocalStoreError(
         "LS allocations must be power-of-two aligned, >= 16 bytes (DMA "
         "target rule)");
@@ -34,6 +39,7 @@ void* LocalStore::alloc(std::size_t bytes, std::size_t align) {
     os << "allocation of " << bytes << " bytes overflows the local store ("
        << data_bytes_used() << " data + " << code_bytes_
        << " code bytes already in use, " << bytes_free() << " free)";
+    report_invariant("ls.capacity.data", "local-store", os.str());
     throw cellport::LocalStoreError(os.str());
   }
   top_ = end;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/invariants.h"
+
 namespace cellport::sim {
 
 void Mailbox::write(std::uint64_t value, SimTime delivery_ts) {
@@ -16,6 +18,9 @@ void Mailbox::write(std::uint64_t value, SimTime delivery_ts) {
 void Mailbox::write_or_throw(std::uint64_t value, SimTime delivery_ts) {
   std::unique_lock lock(mu_);
   if (q_.size() >= capacity_) {
+    report_invariant("mailbox.overflow", "mailbox " + name_,
+                     "non-blocking write to a full " +
+                         std::to_string(capacity_) + "-deep mailbox");
     throw cellport::MailboxError("mailbox '" + name_ + "' is full (depth " +
                                  std::to_string(capacity_) + ")");
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "sim/invariants.h"
 #include "sim/spe_context.h"
 #include "support/aligned.h"
 #include "support/error.h"
@@ -27,14 +28,25 @@ bool natural_small_transfer(const void* ls, std::uint64_t ea,
 
 void Mfc::validate(const void* ls, std::uint64_t ea, std::uint32_t size,
                    unsigned tag) const {
+  // Each rejected command is reported to the InvariantChannel before the
+  // throw, so consumers see the violation even when the exception is
+  // caught along the way (the dispatcher loop turns it into a fault
+  // result word).
+  const std::string where = "spe" + std::to_string(owner_.id());
   if (tag >= kNumTags) {
-    throw cellport::DmaError("tag " + std::to_string(tag) +
-                             " out of range (0..31)");
+    std::string msg = "tag " + std::to_string(tag) + " out of range (0..31)";
+    report_invariant("mfc.tag", where, msg);
+    throw cellport::DmaError(msg);
   }
-  if (size == 0) throw cellport::DmaError("zero-length transfer");
+  if (size == 0) {
+    report_invariant("mfc.size", where, "zero-length transfer");
+    throw cellport::DmaError("zero-length transfer");
+  }
   if (size > kMaxTransfer) {
-    throw cellport::DmaError("transfer of " + std::to_string(size) +
-                             " bytes exceeds the 16KiB MFC maximum");
+    std::string msg = "transfer of " + std::to_string(size) +
+                      " bytes exceeds the 16KiB MFC maximum";
+    report_invariant("mfc.size", where, msg);
+    throw cellport::DmaError(msg);
   }
   const bool quad = (size % 16 == 0) && cellport::is_aligned(ls, 16) &&
                     (ea % 16 == 0);
@@ -45,10 +57,13 @@ void Mfc::validate(const void* ls, std::uint64_t ea, std::uint32_t size,
        << " (must be 1/2/4/8 bytes naturally aligned with matching "
           "quadword offsets, or a multiple of 16 bytes with 16-byte "
           "aligned LS and EA)";
+    report_invariant("mfc.alignment", where, os.str());
     throw cellport::DmaError(os.str());
   }
   if (!owner_.ls().contains(ls, size)) {
-    throw cellport::DmaError("LS address is outside the local store");
+    std::string msg = "LS address is outside the local store";
+    report_invariant("mfc.ls-bounds", where, msg);
+    throw cellport::DmaError(msg);
   }
 }
 

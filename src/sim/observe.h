@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/invariants.h"
 #include "sim/machine.h"
 #include "sim/report.h"
 #include "support/error.h"
@@ -87,9 +88,30 @@ class ObserveGuard {
   const ObserveOptions& options() const { return opts_; }
   trace::TraceSession* session() { return session_.get(); }
 
+  /// Prints a per-rule summary of any simulator invariant violations
+  /// recorded since the guard was constructed, and drains the channel.
+  /// Returns the number of violations so callers (benches, examples) can
+  /// turn a dirty run into a non-zero exit. A clean run prints nothing.
+  static std::size_t report_invariants() {
+    auto violations = InvariantChannel::instance().drain();
+    if (violations.empty()) return 0;
+    std::fprintf(stderr, "[cellscope] %zu simulator invariant violation%s:\n",
+                 violations.size(), violations.size() == 1 ? "" : "s");
+    std::size_t shown = 0;
+    for (const auto& v : violations) {
+      if (shown++ == 8) {
+        std::fprintf(stderr, "  ... (%zu more)\n", violations.size() - 8);
+        break;
+      }
+      std::fprintf(stderr, "  %s\n", to_string(v).c_str());
+    }
+    return violations.size();
+  }
+
   /// Writes the trace file and/or prints the ASCII timeline, as requested
   /// by the flags. Call after the traced machines have finished.
   void finish() {
+    report_invariants();
     if (session_ == nullptr) return;
     if (!opts_.trace_path.empty()) {
       trace::write_chrome_trace(*session_, opts_.trace_path);

@@ -13,6 +13,7 @@
 #include "sim/calibration.h"
 #include "sim/core_model.h"
 #include "sim/cost_meter.h"
+#include "sim/invariants.h"
 #include "sim/time.h"
 #include "trace/trace.h"
 
@@ -50,7 +51,16 @@ class ScalarContext {
   }
 
   /// Advances the clock directly (used by the runtime for protocol costs).
-  void advance_ns(SimTime ns) { clock_ns_ += ns; }
+  void advance_ns(SimTime ns) {
+    // Simulated time only moves forward (see SpeContext::advance_ns).
+    if (ns < 0) {
+      report_invariant("clock.monotone", "scalar-context",
+                       "advance_ns by negative delta " +
+                           std::to_string(ns));
+      return;
+    }
+    clock_ns_ += ns;
+  }
 
   /// Synchronizes with an incoming message timestamp.
   void sync_to(SimTime ts) {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "sim/calibration.h"
+#include "sim/invariants.h"
 #include "sim/local_store.h"
 #include "sim/mailbox.h"
 #include "sim/mfc.h"
@@ -68,7 +69,17 @@ class SpeContext {
   /// timing model.
   SimTime peek_ns() const { return clock_ns_; }
   void sync_to(SimTime ts);
-  void advance_ns(SimTime ns) { clock_ns_ += ns; }
+  void advance_ns(SimTime ns) {
+    // Simulated time only moves forward; a negative delta is an
+    // accounting bug in the caller, not a legal rewind.
+    if (ns < 0) {
+      report_invariant("clock.monotone", "spe" + std::to_string(id_),
+                       "advance_ns by negative delta " +
+                           std::to_string(ns));
+      return;
+    }
+    clock_ns_ += ns;
+  }
 
   // ---- channel operations (SPU side of the mailboxes/signals) ----
   std::uint64_t read_in_mbox();

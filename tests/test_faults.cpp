@@ -1,13 +1,20 @@
 // Failure-injection tests: the simulator must fail loudly and precisely
 // where real Cell hardware would corrupt state or hang — and the
 // dispatcher/interface layers must surface those failures without
-// wedging the machine.
+// wedging the machine. The faulting kernel itself lives in
+// src/check/faults.* so cellcheck scenarios and this suite inject the
+// exact same violations; each fault kind maps to a stable invariant
+// rule id that must also appear on the InvariantChannel.
 #include <gtest/gtest.h>
 
-#include "kernels/common.h"
+#include <string>
+
+#include "check/faults.h"
 #include "port/dispatcher.h"
 #include "port/message.h"
 #include "port/spe_interface.h"
+#include "port/taskpool.h"
+#include "sim/invariants.h"
 #include "sim/machine.h"
 #include "sim/spu_mfcio.h"
 #include "support/aligned.h"
@@ -16,59 +23,40 @@
 namespace cellport {
 namespace {
 
-struct alignas(16) FaultMsg {
-  std::uint64_t ea = 0;
-  std::int32_t which = 0;
-  std::int32_t pad = 0;
-};
+using check::FaultMsg;
 
-// Kernel faults, selected by msg->which.
-int faulting_kernel(std::uint64_t ea) {
-  auto* msg = reinterpret_cast<FaultMsg*>(ea);
-  switch (msg->which) {
-    case 0: {  // misaligned DMA
-      auto* buf = sim::spu_ls_alloc(64, 16);
-      sim::mfc_get(static_cast<std::uint8_t*>(buf) + 4, msg->ea, 32, 0);
-      return 0;
-    }
-    case 1: {  // local-store overflow
-      sim::spu_ls_alloc(300 * 1024, 16);
-      return 0;
-    }
-    case 2: {  // oversized single transfer
-      auto* buf = sim::spu_ls_alloc(32 * 1024, 16);
-      sim::mfc_get(buf, msg->ea, 20 * 1024, 0);
-      return 0;
-    }
-    case 3: {  // bad tag
-      auto* buf = sim::spu_ls_alloc(64, 16);
-      sim::mfc_get(buf, msg->ea, 64, 40);
-      return 0;
-    }
-    default:
-      return 0;
+/// True when any drained violation carries the given rule id.
+bool channel_reported(const std::vector<sim::InvariantViolation>& vs,
+                      const std::string& rule) {
+  for (const auto& v : vs) {
+    if (v.rule == rule) return true;
   }
+  return false;
 }
 
-port::KernelModule& fault_module() {
-  static port::KernelModule m("faulty", 2048);
-  static bool init = (m.add_function(1, &faulting_kernel), true);
-  (void)init;
-  return m;
-}
-
-class FaultInjection : public ::testing::TestWithParam<int> {};
+class FaultInjection : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { sim::InvariantChannel::instance().drain(); }
+  void TearDown() override { sim::InvariantChannel::instance().drain(); }
+};
 
 TEST_P(FaultInjection, KernelFaultSurfacesAndMachineSurvives) {
   sim::Machine machine;
-  port::SPEInterface iface(fault_module());
+  port::SPEInterface iface(check::fault_module());
   cellport::AlignedBuffer<std::uint8_t> host(64 * 1024);
   port::WrappedMessage<FaultMsg> msg;
   msg->ea = reinterpret_cast<std::uint64_t>(host.data());
   msg->which = GetParam();
 
   EXPECT_THROW(iface.SendAndWait(1, msg.ea()), Error);
-  EXPECT_FALSE(fault_module().last_error().empty());
+  EXPECT_FALSE(check::fault_module().last_error().empty());
+
+  // The violation was also reported through the invariant channel,
+  // under the rule id the fault kind promises.
+  auto violations = sim::InvariantChannel::instance().drain();
+  EXPECT_TRUE(
+      channel_reported(violations, check::fault_kind_rule(GetParam())))
+      << "expected rule " << check::fault_kind_rule(GetParam());
 
   // The dispatcher survives the fault: a benign follow-up call works.
   msg->which = 99;
@@ -76,22 +64,21 @@ TEST_P(FaultInjection, KernelFaultSurfacesAndMachineSurvives) {
 }
 
 std::string fault_name(const ::testing::TestParamInfo<int>& info) {
-  static const char* const kNames[] = {"misaligned_dma", "ls_overflow",
-                                       "oversized_transfer", "bad_tag"};
-  return kNames[info.param];
+  return check::fault_kind_name(info.param);
 }
 
 INSTANTIATE_TEST_SUITE_P(Faults, FaultInjection,
-                         ::testing::Values(0, 1, 2, 3), fault_name);
+                         ::testing::Range(0, check::kNumFaultKinds),
+                         fault_name);
 
 TEST(FaultMessages, AreActionable) {
   sim::Machine machine;
-  port::SPEInterface iface(fault_module());
+  port::SPEInterface iface(check::fault_module());
   cellport::AlignedBuffer<std::uint8_t> host(1024);
   port::WrappedMessage<FaultMsg> msg;
   msg->ea = reinterpret_cast<std::uint64_t>(host.data());
 
-  msg->which = 0;
+  msg->which = check::kFaultMisalignedDma;
   try {
     iface.SendAndWait(1, msg.ea());
     FAIL() << "expected a DMA fault";
@@ -100,7 +87,7 @@ TEST(FaultMessages, AreActionable) {
     EXPECT_NE(std::string(e.what()).find("aligned"), std::string::npos);
   }
 
-  msg->which = 1;
+  msg->which = check::kFaultLsOverflow;
   try {
     iface.SendAndWait(1, msg.ea());
     FAIL() << "expected an LS fault";
@@ -108,6 +95,7 @@ TEST(FaultMessages, AreActionable) {
     EXPECT_NE(std::string(e.what()).find("local store"),
               std::string::npos);
   }
+  sim::InvariantChannel::instance().drain();
 }
 
 TEST(FaultIsolation, OtherSpesUnaffectedByAFault) {
@@ -128,20 +116,104 @@ TEST(FaultIsolation, OtherSpesUnaffectedByAFault) {
   (void)init;
 
   sim::Machine machine;
-  port::SPEInterface bad(fault_module(), 0);
+  port::SPEInterface bad(check::fault_module(), 0);
   port::SPEInterface good(ok_mod, 1);
 
   cellport::AlignedBuffer<std::uint8_t> host(64);
   for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
   port::WrappedMessage<FaultMsg> bad_msg;
   bad_msg->ea = reinterpret_cast<std::uint64_t>(host.data());
-  bad_msg->which = 0;
+  bad_msg->which = check::kFaultMisalignedDma;
   port::WrappedMessage<FaultMsg> good_msg;
   good_msg->ea = reinterpret_cast<std::uint64_t>(host.data());
 
   good.Send(1, good_msg.ea());
   EXPECT_THROW(bad.SendAndWait(1, bad_msg.ea()), Error);
   EXPECT_EQ(good.Wait(), 64);
+  sim::InvariantChannel::instance().drain();
+}
+
+TEST(FaultDuringDma, MfcLeftWithInFlightCommandIsRecoverable) {
+  // kFaultDuringDma issues a *legal* DMA and then breaks the alignment
+  // rule while that transfer is still in flight — the strictest survival
+  // case: the MFC holds an unwaited command when the kernel dies.
+  sim::Machine machine;
+  port::SPEInterface iface(check::fault_module());
+  cellport::AlignedBuffer<std::uint8_t> host(64 * 1024);
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+  msg->which = check::kFaultDuringDma;
+
+  EXPECT_THROW(iface.SendAndWait(1, msg.ea()), Error);
+  auto violations = sim::InvariantChannel::instance().drain();
+  EXPECT_TRUE(channel_reported(violations, "mfc.alignment"));
+
+  // The same SPE accepts and completes fresh work afterwards.
+  msg->which = 99;
+  EXPECT_EQ(iface.SendAndWait(1, msg.ea()), 0);
+}
+
+// ---- faults inside TaskPool workers ----
+
+TEST(TaskPoolFaults, FailedTaskIsReportedAndOthersComplete) {
+  sim::Machine machine;
+  port::TaskPool pool(machine, 2);
+  cellport::AlignedBuffer<std::uint8_t> host(64 * 1024);
+
+  std::vector<port::WrappedMessage<FaultMsg>> msgs(4);
+  std::vector<port::TaskPool::TaskId> ids;
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    msgs[i]->ea = reinterpret_cast<std::uint64_t>(host.data());
+    // Task 1 breaks the DMA alignment rule; the rest are benign.
+    msgs[i]->which = (i == 1) ? check::kFaultMisalignedDma : 99;
+    ids.push_back(pool.submit(check::fault_module(), 1, msgs[i].ea()));
+  }
+  pool.wait_all();
+
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.tasks_run, 4u);
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_TRUE(pool.task_failed(ids[1]));
+  EXPECT_NE(pool.task_error(ids[1]).find("aligned"), std::string::npos);
+  for (std::size_t i : {0u, 2u, 3u}) {
+    EXPECT_FALSE(pool.task_failed(ids[i])) << "task " << i;
+    EXPECT_TRUE(pool.task_error(ids[i]).empty());
+  }
+  auto violations = sim::InvariantChannel::instance().drain();
+  EXPECT_TRUE(channel_reported(violations, "mfc.alignment"));
+}
+
+TEST(TaskPoolFaults, FaultDuringDmaDoesNotWedgeTheWorker) {
+  // The in-flight-DMA fault inside a pool worker: the worker's local
+  // store and MFC are reset between tasks, so a *dependent* task — which
+  // the failed task still releases — runs cleanly on the same pool.
+  sim::Machine machine;
+  port::TaskPool pool(machine, 1);
+  cellport::AlignedBuffer<std::uint8_t> host(64 * 1024);
+
+  port::WrappedMessage<FaultMsg> bad;
+  bad->ea = reinterpret_cast<std::uint64_t>(host.data());
+  bad->which = check::kFaultDuringDma;
+  port::WrappedMessage<FaultMsg> benign;
+  benign->ea = reinterpret_cast<std::uint64_t>(host.data());
+  benign->which = 99;
+
+  auto first = pool.submit(check::fault_module(), 1, bad.ea());
+  auto second =
+      pool.submit(check::fault_module(), 1, benign.ea(), {first});
+  pool.wait_all();
+
+  EXPECT_TRUE(pool.task_failed(first));
+  EXPECT_FALSE(pool.task_failed(second));
+  EXPECT_EQ(pool.stats().faults, 1u);
+  sim::InvariantChannel::instance().drain();
+}
+
+TEST(TaskPoolFaults, UnknownTaskIdThrows) {
+  sim::Machine machine;
+  port::TaskPool pool(machine, 1);
+  EXPECT_THROW(pool.task_failed(7), ConfigError);
+  EXPECT_THROW(pool.task_error(7), ConfigError);
 }
 
 }  // namespace

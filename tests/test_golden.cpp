@@ -1,12 +1,24 @@
-// Golden-value regression tests.
+// Golden-value regression tests over an on-disk corpus.
 //
 // The reference extractors define the semantics the SPE kernels are
-// tested against, so unintended changes to them would silently shift the
-// whole reproduction. These tests pin exact values for one fixed seeded
-// image; if an extractor is changed *intentionally*, regenerate the
-// constants (the values are printed on failure) and re-run the kernel
-// equivalence suite.
+// tested against, so unintended changes to them would silently shift
+// the whole reproduction. Each corpus entry pins digests of all four
+// feature vectors plus the codec's size/PSNR for one seeded synthetic
+// image, stored as JSON under tests/data/golden/.
+//
+// To regenerate after an *intentional* extractor change:
+//
+//   CELLPORT_REGEN_GOLDEN=1 ./build/tests/cellport_tests
+//   (optionally with --gtest_filter='*GoldenCorpus*')
+//
+// then re-run the kernel equivalence suite and eyeball the diff of the
+// golden files — every changed number is a semantic change you are
+// claiming is intended.
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "features/color_correlogram.h"
 #include "features/color_histogram.h"
@@ -14,68 +26,184 @@
 #include "features/texture.h"
 #include "img/codec.h"
 #include "img/synth.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "testutil.h"
 
 namespace cellport::features {
 namespace {
 
-img::RgbImage golden_image() {
-  return img::synth_image(img::SceneKind::kShapes, 42, 64, 48);
-}
+#ifndef CELLPORT_TEST_DATA_DIR
+#error "CELLPORT_TEST_DATA_DIR must point at the tests/data source dir"
+#endif
 
-struct Digest {
-  double sum;
-  std::size_t argmax;
-  float max;
-  float v0;
+struct CorpusEntry {
+  const char* name;  // golden file stem under data/golden/
+  img::SceneKind kind;
+  std::uint64_t seed;
+  int width;
+  int height;
+  int quality;  // codec quality for the size/PSNR pin
 };
 
-Digest digest(const FeatureVector& v) {
-  Digest d{0, 0, -1.0f, v.values[0]};
-  for (std::size_t i = 0; i < v.values.size(); ++i) {
-    d.sum += v.values[i];
-    if (v.values[i] > d.max) {
-      d.max = v.values[i];
-      d.argmax = i;
-    }
-  }
-  return d;
+constexpr CorpusEntry kCorpus[] = {
+    {"shapes_42_64x48", img::SceneKind::kShapes, 42, 64, 48, 70},
+    {"gradient_7_80x60", img::SceneKind::kGradient, 7, 80, 60, 85},
+    {"checkers_3_48x48", img::SceneKind::kCheckers, 3, 48, 48, 85},
+    {"texture_9_64x64", img::SceneKind::kTexture, 9, 64, 64, 60},
+    {"stripes_5_96x32", img::SceneKind::kStripes, 5, 96, 32, 85},
+    {"marvel_2007_352x240", img::SceneKind::kShapes, 2007,
+     img::kMarvelWidth, img::kMarvelHeight, 85},
+};
+
+std::string golden_path(const CorpusEntry& e) {
+  return std::string(CELLPORT_TEST_DATA_DIR) + "/golden/" + e.name +
+         ".json";
 }
 
-TEST(Golden, ColorHistogram) {
-  Digest d = digest(extract_color_histogram(golden_image()));
+void write_digest(JsonWriter& w, const char* key,
+                  const testutil::VectorDigest& d) {
+  w.key(key).begin_object();
+  w.key("sum").value(d.sum);
+  w.key("argmax").value(static_cast<std::uint64_t>(d.argmax));
+  w.key("max").value(d.max);
+  w.key("v0").value(d.v0);
+  w.end_object();
+}
+
+struct Measured {
+  testutil::VectorDigest ch, cc, eh, tx;
+  std::size_t codec_bytes = 0;
+  double psnr = 0;
+};
+
+Measured measure(const CorpusEntry& e) {
+  img::RgbImage image = img::synth_image(e.kind, e.seed, e.width,
+                                         e.height);
+  Measured m;
+  m.ch = testutil::digest(extract_color_histogram(image).values);
+  m.cc = testutil::digest(extract_color_correlogram(image).values);
+  m.eh = testutil::digest(extract_edge_histogram(image).values);
+  m.tx = testutil::digest(extract_texture(image).values);
+  img::SicEncoded enc = img::sic_encode(image, e.quality);
+  m.codec_bytes = enc.bytes.size();
+  m.psnr = img::psnr(image, img::sic_decode(enc));
+  return m;
+}
+
+std::string render_golden(const CorpusEntry& e, const Measured& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("image").begin_object();
+  w.key("name").value(e.name);
+  w.key("seed").value(std::to_string(e.seed));
+  w.key("width").value(e.width);
+  w.key("height").value(e.height);
+  w.key("quality").value(e.quality);
+  w.end_object();
+  write_digest(w, "ch", m.ch);
+  write_digest(w, "cc", m.cc);
+  write_digest(w, "eh", m.eh);
+  write_digest(w, "tx", m.tx);
+  w.key("codec_bytes").value(static_cast<std::uint64_t>(m.codec_bytes));
+  w.key("psnr").value(m.psnr);
+  w.end_object();
+  return w.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw IoError("cannot open golden file " + path +
+                  " (run with CELLPORT_REGEN_GOLDEN=1 to create it)");
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+double field(const JsonValue& doc, const char* group, const char* key) {
+  const JsonValue* g = doc.find(group);
+  if (g == nullptr) throw Error(std::string("missing group ") + group);
+  const JsonValue* v = g->find(key);
+  if (v == nullptr || !v->is_number()) {
+    throw Error(std::string("missing field ") + group + "." + key);
+  }
+  return v->number;
+}
+
+void expect_digest(const JsonValue& doc, const char* group,
+                   const testutil::VectorDigest& got) {
+  // Golden doubles are shortest-form serialized, so equal computation
+  // reloads to the exact same bits; the tolerance only forgives the
+  // last-ulp slack a different libm/FMA contraction could introduce.
+  auto tol = [](double expected) {
+    double mag = expected < 0 ? -expected : expected;
+    return 1e-7 + 1e-6 * mag;
+  };
+  double sum = field(doc, group, "sum");
+  EXPECT_NEAR(got.sum, sum, tol(sum)) << group << ".sum";
+  EXPECT_EQ(got.argmax,
+            static_cast<std::size_t>(field(doc, group, "argmax")))
+      << group << ".argmax";
+  double max = field(doc, group, "max");
+  EXPECT_NEAR(got.max, max, tol(max)) << group << ".max";
+  double v0 = field(doc, group, "v0");
+  EXPECT_NEAR(got.v0, v0, tol(v0)) << group << ".v0";
+}
+
+class GoldenCorpus : public ::testing::TestWithParam<CorpusEntry> {};
+
+TEST_P(GoldenCorpus, MatchesOnDiskDigests) {
+  const CorpusEntry& e = GetParam();
+  Measured m = measure(e);
+
+  if (std::getenv("CELLPORT_REGEN_GOLDEN") != nullptr) {
+    std::string text = render_golden(e, m) + "\n";
+    std::string path = golden_path(e);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << path;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  JsonValue doc = json_parse(read_file(golden_path(e)));
+  expect_digest(doc, "ch", m.ch);
+  expect_digest(doc, "cc", m.cc);
+  expect_digest(doc, "eh", m.eh);
+  expect_digest(doc, "tx", m.tx);
+  const JsonValue* bytes = doc.find("codec_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(m.codec_bytes, static_cast<std::size_t>(bytes->number));
+  const JsonValue* psnr = doc.find("psnr");
+  ASSERT_NE(psnr, nullptr);
+  EXPECT_NEAR(m.psnr, psnr->number, 1e-4);
+}
+
+std::string corpus_name(
+    const ::testing::TestParamInfo<CorpusEntry>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenCorpus,
+                         ::testing::ValuesIn(kCorpus), corpus_name);
+
+// In-code tripwire, deliberately *not* regenerable from the corpus
+// files: if a change shifts these constants, the golden files above
+// shifted too, and blindly regenerating them would hide it.
+TEST(Golden, ColorHistogramPinnedConstants) {
+  img::RgbImage image =
+      img::synth_image(img::SceneKind::kShapes, 42, 64, 48);
+  testutil::VectorDigest d =
+      testutil::digest(extract_color_histogram(image).values);
   EXPECT_NEAR(d.sum, 1.00000004, 1e-7);
   EXPECT_EQ(d.argmax, 45u);
-  EXPECT_FLOAT_EQ(d.max, 0.663411498f);
-  EXPECT_EQ(d.v0, 0.0f);
-}
-
-TEST(Golden, ColorCorrelogram) {
-  Digest d = digest(extract_color_correlogram(golden_image()));
-  EXPECT_NEAR(d.sum, 1.7416732, 1e-6);
-  EXPECT_EQ(d.argmax, 45u);
-  EXPECT_FLOAT_EQ(d.max, 0.90585047f);
-}
-
-TEST(Golden, EdgeHistogram) {
-  Digest d = digest(extract_edge_histogram(golden_image()));
-  EXPECT_NEAR(d.sum, 0.716145858, 1e-7);
-  EXPECT_EQ(d.argmax, 32u);
-  EXPECT_FLOAT_EQ(d.max, 0.105794273f);
-  EXPECT_FLOAT_EQ(d.v0, 0.104817711f);
-}
-
-TEST(Golden, Texture) {
-  Digest d = digest(extract_texture(golden_image()));
-  EXPECT_NEAR(d.sum, 11.0829987, 1e-5);
-  EXPECT_EQ(d.argmax, 0u);
-  EXPECT_FLOAT_EQ(d.max, 2.04396868f);
-}
-
-TEST(Golden, CodecSizeAndPsnrStable) {
-  img::RgbImage im = golden_image();
-  img::SicEncoded enc = img::sic_encode(im, 70);
-  EXPECT_EQ(enc.bytes.size(), 1102u);
-  EXPECT_NEAR(img::psnr(im, img::sic_decode(enc)), 36.197854, 1e-4);
+  EXPECT_NEAR(d.max, 0.663411498, 1e-7);
+  EXPECT_EQ(d.v0, 0.0);
 }
 
 }  // namespace

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstdio>
 
 #include "img/synth.h"
 #include "marvel/cell_engine.h"
@@ -12,6 +11,7 @@
 #include "port/amdahl.h"
 #include "sim/machine.h"
 #include "support/stats.h"
+#include "testutil.h"
 
 namespace cellport::marvel {
 namespace {
@@ -19,71 +19,42 @@ namespace {
 class MarvelEndToEnd : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    library_path_ = new std::string(::testing::TempDir() +
-                                    "/cellport_marvel_models.bin");
-    learn::MarvelModels models = learn::make_marvel_models();
-    learn::save_library(*library_path_, models);  // full library
+    // Full library: startup-cost tests depend on the paper's 166 models.
+    library_ = new testutil::TempLibrary("cellport_marvel_models.bin");
     dataset_ = new Dataset(make_dataset(2, 2007));
   }
   static void TearDownTestSuite() {
-    std::remove(library_path_->c_str());
-    delete library_path_;
+    delete library_;
     delete dataset_;
   }
+  static const std::string& library_path() { return library_->path(); }
 
-  static std::string* library_path_;
+  static testutil::TempLibrary* library_;
   static Dataset* dataset_;
 };
 
-std::string* MarvelEndToEnd::library_path_ = nullptr;
+testutil::TempLibrary* MarvelEndToEnd::library_ = nullptr;
 Dataset* MarvelEndToEnd::dataset_ = nullptr;
 
-double l1(const std::vector<float>& a, const std::vector<float>& b) {
-  EXPECT_EQ(a.size(), b.size());
-  double d = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    d += std::abs(static_cast<double>(a[i]) - b[i]);
-  }
-  return d;
-}
-
-void expect_equivalent(const AnalysisResult& cell,
-                       const AnalysisResult& ref) {
-  // The color kernels mirror the reference's rounding exactly.
-  EXPECT_EQ(cell.color_histogram.values, ref.color_histogram.values);
-  EXPECT_EQ(cell.color_correlogram.values, ref.color_correlogram.values);
-  EXPECT_LT(l1(cell.edge_histogram.values, ref.edge_histogram.values),
-            2e-3);
-  ASSERT_EQ(cell.texture.values.size(), ref.texture.values.size());
-  for (std::size_t i = 0; i < cell.texture.values.size(); ++i) {
-    EXPECT_NEAR(cell.texture.values[i], ref.texture.values[i], 1e-3);
-  }
-  // Detection scores: same models, near-identical features => decisions
-  // agree to the feature tolerance amplified by model Lipschitz bounds.
-  ASSERT_EQ(cell.cc_detect.values.size(), ref.cc_detect.values.size());
-  for (std::size_t i = 0; i < cell.cc_detect.values.size(); ++i) {
-    EXPECT_NEAR(cell.cc_detect.values[i], ref.cc_detect.values[i], 1e-2);
-  }
-}
-
 TEST_F(MarvelEndToEnd, SingleSpeMatchesReference) {
-  ReferenceEngine ref(sim::cell_ppe(), *library_path_);
+  ReferenceEngine ref(sim::cell_ppe(), library_path());
   sim::Machine cell;
-  CellEngine engine(cell, *library_path_, Scenario::kSingleSPE);
+  CellEngine engine(cell, library_path(), Scenario::kSingleSPE);
   for (const auto& image : dataset_->images) {
-    expect_equivalent(engine.analyze(image), ref.analyze(image));
+    testutil::expect_feature_equivalent(engine.analyze(image),
+                                        ref.analyze(image));
   }
 }
 
 TEST_F(MarvelEndToEnd, AllScenariosProduceIdenticalResults) {
   sim::Machine m1;
-  CellEngine single(m1, *library_path_, Scenario::kSingleSPE);
+  CellEngine single(m1, library_path(), Scenario::kSingleSPE);
   AnalysisResult r1 = single.analyze(dataset_->images[0]);
   sim::Machine m2;
-  CellEngine multi(m2, *library_path_, Scenario::kMultiSPE);
+  CellEngine multi(m2, library_path(), Scenario::kMultiSPE);
   AnalysisResult r2 = multi.analyze(dataset_->images[0]);
   sim::Machine m3;
-  CellEngine multi2(m3, *library_path_, Scenario::kMultiSPE2);
+  CellEngine multi2(m3, library_path(), Scenario::kMultiSPE2);
   AnalysisResult r3 = multi2.analyze(dataset_->images[0]);
 
   EXPECT_EQ(r1.color_histogram.values, r2.color_histogram.values);
@@ -98,7 +69,7 @@ TEST_F(MarvelEndToEnd, AllScenariosProduceIdenticalResults) {
 TEST_F(MarvelEndToEnd, ParallelSchedulingIsFasterThanSequential) {
   auto per_image_ns = [&](Scenario scenario) {
     sim::Machine machine;
-    CellEngine engine(machine, *library_path_, scenario);
+    CellEngine engine(machine, library_path(), scenario);
     double t0 = machine.ppe().now_ns();
     engine.analyze(dataset_->images[0]);
     return machine.ppe().now_ns() - t0;
@@ -114,7 +85,7 @@ TEST_F(MarvelEndToEnd, ParallelSchedulingIsFasterThanSequential) {
 
 TEST_F(MarvelEndToEnd, CellBeatsAllReferenceMachines) {
   auto ref_time = [&](sim::CoreModel core) {
-    ReferenceEngine e(std::move(core), *library_path_);
+    ReferenceEngine e(std::move(core), library_path());
     double t0 = e.ctx().now_ns();
     e.analyze(dataset_->images[0]);
     return e.ctx().now_ns() - t0;
@@ -124,7 +95,7 @@ TEST_F(MarvelEndToEnd, CellBeatsAllReferenceMachines) {
   double ppe = ref_time(sim::cell_ppe());
 
   sim::Machine machine;
-  CellEngine engine(machine, *library_path_, Scenario::kMultiSPE);
+  CellEngine engine(machine, library_path(), Scenario::kMultiSPE);
   double t0 = machine.ppe().now_ns();
   engine.analyze(dataset_->images[0]);
   double cell = machine.ppe().now_ns() - t0;
@@ -143,11 +114,11 @@ TEST_F(MarvelEndToEnd, EquationEstimateMatchesMeasurementWithin2Percent) {
   // coverages into Equations (2)/(3) and compare against the measured
   // application speed-up — "matching the estimates with an error of less
   // than 2%".
-  ReferenceEngine ppe(sim::cell_ppe(), *library_path_);
+  ReferenceEngine ppe(sim::cell_ppe(), library_path());
   for (const auto& image : dataset_->images) ppe.analyze(image);
 
   sim::Machine machine;
-  CellEngine engine(machine, *library_path_, Scenario::kSingleSPE);
+  CellEngine engine(machine, library_path(), Scenario::kSingleSPE);
   for (const auto& image : dataset_->images) engine.analyze(image);
 
   // Coverages and speed-ups from the profilers.
@@ -188,10 +159,10 @@ TEST_F(MarvelEndToEnd, EquationEstimateMatchesMeasurementWithin2Percent) {
 
 TEST_F(MarvelEndToEnd, NaiveKernelsReproduceSection53Shape) {
   // Pre-optimization: the correlogram port is *slower* than the PPE.
-  ReferenceEngine ppe(sim::cell_ppe(), *library_path_);
+  ReferenceEngine ppe(sim::cell_ppe(), library_path());
   ppe.analyze(dataset_->images[0]);
   sim::Machine machine;
-  CellEngine naive(machine, *library_path_, Scenario::kSingleSPE,
+  CellEngine naive(machine, library_path(), Scenario::kSingleSPE,
                    kernels::kSingleBuffer, /*use_naive=*/true);
   naive.analyze(dataset_->images[0]);
 
@@ -210,7 +181,7 @@ TEST_F(MarvelEndToEnd, NaiveKernelsReproduceSection53Shape) {
 }
 
 TEST_F(MarvelEndToEnd, StartupIsOneTimeOverhead) {
-  ReferenceEngine ppe(sim::cell_ppe(), *library_path_);
+  ReferenceEngine ppe(sim::cell_ppe(), library_path());
   EXPECT_GT(ppe.startup_ns(), 0.0);
   double t0 = ppe.ctx().now_ns();
   ppe.analyze(dataset_->images[0]);

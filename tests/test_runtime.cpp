@@ -23,6 +23,7 @@
 #include "sim/signal.h"
 #include "sim/spu_mfcio.h"
 #include "support/rng.h"
+#include "testutil.h"
 
 namespace cellport {
 namespace {
@@ -206,31 +207,32 @@ TEST(TaskPool, RejectsBadConfig) {
 class PipelinedBatch : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    library_ = new std::string(::testing::TempDir() +
-                               "/cellport_runtime_models.bin");
-    learn::save_library(*library_, learn::make_marvel_models(),
-                        /*extra=*/2);
+    library_ = new testutil::TempLibrary("cellport_runtime_models.bin",
+                                         /*extra_concepts=*/2);
     data_ = new marvel::Dataset(marvel::make_dataset(4, 99));
   }
   static void TearDownTestSuite() {
-    std::remove(library_->c_str());
     delete library_;
     delete data_;
   }
-  static std::string* library_;
+  static const std::string& library_path() { return library_->path(); }
+
+  static testutil::TempLibrary* library_;
   static marvel::Dataset* data_;
 };
 
-std::string* PipelinedBatch::library_ = nullptr;
+testutil::TempLibrary* PipelinedBatch::library_ = nullptr;
 marvel::Dataset* PipelinedBatch::data_ = nullptr;
 
 TEST_F(PipelinedBatch, ResultsMatchPerImageAnalyze) {
   sim::Machine m1;
-  marvel::CellEngine pipelined(m1, *library_, marvel::Scenario::kMultiSPE);
+  marvel::CellEngine pipelined(m1, library_path(),
+                               marvel::Scenario::kMultiSPE);
   auto batch = pipelined.analyze_batch_pipelined(data_->images);
 
   sim::Machine m2;
-  marvel::CellEngine plain(m2, *library_, marvel::Scenario::kMultiSPE);
+  marvel::CellEngine plain(m2, library_path(),
+                           marvel::Scenario::kMultiSPE);
   ASSERT_EQ(batch.size(), data_->images.size());
   for (std::size_t i = 0; i < data_->images.size(); ++i) {
     auto ref = plain.analyze(data_->images[i]);
@@ -247,7 +249,7 @@ TEST_F(PipelinedBatch, ResultsMatchPerImageAnalyze) {
 TEST_F(PipelinedBatch, OverlapBeatsSequentialBatch) {
   auto batch_ns = [&](bool pipelined) {
     sim::Machine machine;
-    marvel::CellEngine engine(machine, *library_,
+    marvel::CellEngine engine(machine, library_path(),
                               marvel::Scenario::kMultiSPE);
     double t0 = machine.ppe().now_ns();
     if (pipelined) {
@@ -266,7 +268,7 @@ TEST_F(PipelinedBatch, OverlapBeatsSequentialBatch) {
 
 TEST_F(PipelinedBatch, RequiresParallelScenario) {
   sim::Machine machine;
-  marvel::CellEngine engine(machine, *library_,
+  marvel::CellEngine engine(machine, library_path(),
                             marvel::Scenario::kSingleSPE);
   EXPECT_THROW(engine.analyze_batch_pipelined(data_->images),
                ConfigError);
@@ -274,10 +276,12 @@ TEST_F(PipelinedBatch, RequiresParallelScenario) {
 
 TEST_F(PipelinedBatch, MultiSpe2VariantMatchesToo) {
   sim::Machine m1;
-  marvel::CellEngine engine(m1, *library_, marvel::Scenario::kMultiSPE2);
+  marvel::CellEngine engine(m1, library_path(),
+                            marvel::Scenario::kMultiSPE2);
   auto batch = engine.analyze_batch_pipelined(data_->images);
   sim::Machine m2;
-  marvel::CellEngine plain(m2, *library_, marvel::Scenario::kMultiSPE2);
+  marvel::CellEngine plain(m2, library_path(),
+                           marvel::Scenario::kMultiSPE2);
   auto ref = plain.analyze(data_->images[1]);
   EXPECT_EQ(batch[1].color_histogram.values, ref.color_histogram.values);
   EXPECT_EQ(batch[1].tx_detect.values, ref.tx_detect.values);

@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "support/aligned.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -132,6 +138,161 @@ TEST(Table, RendersAlignedColumns) {
 TEST(Table, NumFormatsFixed) {
   EXPECT_EQ(Table::num(1.23456, 2), "1.23");
   EXPECT_EQ(Table::num(10.0, 1), "10.0");
+}
+
+// ---- JSON writer/parser properties ----
+//
+// The writer's output is what the trace exporter and cellcheck persist;
+// the parser is what replays it. Any string the writer can emit must
+// parse back to the same value, however hostile its contents.
+
+/// Re-serializes a parsed document with the same writer, for the
+/// write(parse(write(x))) == write(x) fixpoint property.
+void rewrite(JsonWriter& w, const JsonValue& v) {
+  switch (v.type) {
+    case JsonValue::Type::kNull:
+      w.null();
+      break;
+    case JsonValue::Type::kBool:
+      w.value(v.boolean);
+      break;
+    case JsonValue::Type::kNumber:
+      w.value(v.number);
+      break;
+    case JsonValue::Type::kString:
+      w.value(v.string);
+      break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const auto& e : v.array) rewrite(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, e] : v.object) {
+        w.key(k);
+        rewrite(w, e);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Seeded hostile strings: raw control bytes, quotes, backslashes,
+/// multi-byte UTF-8, and embedded NULs, at seeded lengths.
+std::string adversarial_string(Rng& rng) {
+  static const std::string kFragments[] = {
+      "\"",    "\\",     "\\\\\"", "\n",   "\r\t", "\f\b",
+      "\x01",  "\x1f",   "/",      "\\u",  "{}",   "[],:",
+      "é",     "汉字",   "🙂",     "\xc3\xa9",
+      std::string(1, '\0'),        "end\\"};
+  std::string s;
+  std::size_t pieces = rng.next_below(12);
+  for (std::size_t i = 0; i < pieces; ++i) {
+    if (rng.next_below(2) == 0) {
+      s += kFragments[rng.next_below(std::size(kFragments))];
+    } else {
+      s += static_cast<char>(rng.next_below(256));
+    }
+  }
+  return s;
+}
+
+TEST(JsonProperty, AdversarialStringsRoundTrip) {
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    std::string original = adversarial_string(rng);
+    JsonWriter w;
+    w.begin_object().key(original).value(original).end_object();
+    JsonValue doc = json_parse(w.str());
+    ASSERT_TRUE(doc.is_object()) << "iteration " << i;
+    const JsonValue* member = doc.find(original);
+    ASSERT_NE(member, nullptr) << "iteration " << i;
+    EXPECT_EQ(member->string, original) << "iteration " << i;
+  }
+}
+
+TEST(JsonProperty, WriteParseWriteIsAFixpoint) {
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("s").value(adversarial_string(rng));
+    w.key("n").value(rng.next_double() * 1e6 - 5e5);
+    w.key("i").value(static_cast<std::int64_t>(rng.next_u64() >> 12));
+    w.key("b").value(rng.next_below(2) == 0);
+    w.key("a").begin_array();
+    std::size_t len = rng.next_below(5);
+    for (std::size_t j = 0; j < len; ++j) {
+      w.value(adversarial_string(rng));
+    }
+    w.end_array();
+    w.key("z").null();
+    w.end_object();
+
+    // Parsing sorts object members (std::map), so one canonicalizing
+    // pass may reorder keys; a second pass must be the identity.
+    JsonWriter first;
+    rewrite(first, json_parse(w.str()));
+    JsonWriter second;
+    rewrite(second, json_parse(first.str()));
+    EXPECT_EQ(second.str(), first.str()) << "iteration " << i;
+  }
+}
+
+TEST(JsonProperty, NumbersSurviveShortestFormRoundTrip) {
+  Rng rng(31337);
+  for (int i = 0; i < 500; ++i) {
+    // Mix magnitudes: uniform [0,1), wide exponents, and exact ints.
+    double x;
+    switch (rng.next_below(3)) {
+      case 0:
+        x = rng.next_double();
+        break;
+      case 1:
+        x = rng.next_double() *
+            std::pow(10.0, static_cast<double>(rng.next_below(60)) - 30);
+        break;
+      default:
+        x = static_cast<double>(rng.next_u64() >> 11);  // 53-bit exact
+        break;
+    }
+    if (rng.next_below(2) == 0) x = -x;
+    JsonWriter w;
+    w.begin_array().value(x).end_array();
+    JsonValue doc = json_parse(w.str());
+    ASSERT_EQ(doc.array.size(), 1u);
+    EXPECT_EQ(doc.array[0].number, x) << w.str();
+  }
+}
+
+TEST(JsonProperty, MalformedDocumentsThrowNotCrash) {
+  const char* kBad[] = {
+      "",           "{",         "}",         "[1,]",
+      "{\"a\":}",   "{\"a\" 1}", "[1 2]",     "\"unterminated",
+      "tru",        "nul",       "1.2.3",     "[--1]",
+      "{\"a\":1}x", "[\"\\q\"]", "\"\\u12\"", "{1:2}",
+      "[}",         "\xff\xfe",
+  };
+  for (const char* text : kBad) {
+    EXPECT_THROW(json_parse(text), Error) << "input: " << text;
+  }
+}
+
+TEST(JsonProperty, DeepNestingRoundTrips) {
+  constexpr int kDepth = 64;
+  JsonWriter w;
+  for (int i = 0; i < kDepth; ++i) w.begin_array();
+  w.value("core");
+  for (int i = 0; i < kDepth; ++i) w.end_array();
+  JsonValue doc = json_parse(w.str());
+  const JsonValue* v = &doc;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(v->is_array());
+    ASSERT_EQ(v->array.size(), 1u);
+    v = &v->array[0];
+  }
+  EXPECT_EQ(v->string, "core");
 }
 
 }  // namespace
