@@ -41,6 +41,7 @@ struct Options {
   std::size_t shrink_budget = 200;
   bool verbose = false;
   bool fail_fast = true;
+  bool guard_matrix = false;
 };
 
 /// Scenario seeds are decorrelated from the (often tiny) base seed with
@@ -63,6 +64,8 @@ int usage(const char* argv0) {
       "                     (default cellcheck.failure.json)\n"
       "  --library F        model library path (default: generated in "
       "/tmp)\n"
+      "  --guard-matrix     generate guarded engine scenarios with\n"
+      "                     scheduled SPE faults (hang/slow/dma-error)\n"
       "  --no-shrink        keep the original failing scenario\n"
       "  --keep-going       run all scenarios even after a failure\n"
       "  --verbose          log every scenario, not just failures\n",
@@ -109,6 +112,15 @@ std::string describe(const ScenarioSpec& spec) {
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";
+  if (spec.guarded) {
+    s += " guarded";
+    if (spec.sched_fault >= 0) {
+      s += std::string(" sched=") +
+           cellport::check::sched_fault_name(spec.sched_fault) + "@spe" +
+           std::to_string(spec.sched_spe) + "+" +
+           std::to_string(spec.sched_at);
+    }
+  }
   return s;
 }
 
@@ -162,16 +174,24 @@ int run(const Options& opts) {
         cellport::check::spec_from_json(read_file(opts.replay_file)));
     std::printf("[cellcheck] replaying %s\n", opts.replay_file.c_str());
   } else if (opts.have_replay_seed) {
-    specs.push_back(cellport::check::generate_scenario(opts.replay_seed));
-    std::printf("[cellcheck] replaying seed %llu\n",
-                static_cast<unsigned long long>(opts.replay_seed));
+    specs.push_back(opts.guard_matrix
+                        ? cellport::check::generate_guard_scenario(
+                              opts.replay_seed)
+                        : cellport::check::generate_scenario(
+                              opts.replay_seed));
+    std::printf("[cellcheck] replaying seed %llu%s\n",
+                static_cast<unsigned long long>(opts.replay_seed),
+                opts.guard_matrix ? " (guard matrix)" : "");
   } else {
-    std::printf("[cellcheck] %d scenarios, base seed %llu\n",
-                opts.scenarios,
+    std::printf("[cellcheck] %d %sscenarios, base seed %llu\n",
+                opts.scenarios, opts.guard_matrix ? "guard-matrix " : "",
                 static_cast<unsigned long long>(opts.seed));
     for (int i = 0; i < opts.scenarios; ++i) {
-      specs.push_back(cellport::check::generate_scenario(
-          scenario_seed(opts.seed, static_cast<std::uint64_t>(i))));
+      std::uint64_t s =
+          scenario_seed(opts.seed, static_cast<std::uint64_t>(i));
+      specs.push_back(opts.guard_matrix
+                          ? cellport::check::generate_guard_scenario(s)
+                          : cellport::check::generate_scenario(s));
     }
   }
 
@@ -225,6 +245,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--library") == 0 &&
                (v = next()) != nullptr) {
       opts.library_path = v;
+    } else if (std::strcmp(arg, "--guard-matrix") == 0) {
+      opts.guard_matrix = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       opts.shrink_budget = 0;
     } else if (std::strcmp(arg, "--keep-going") == 0) {

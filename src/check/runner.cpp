@@ -6,6 +6,7 @@
 
 #include "check/faults.h"
 #include "check/oracle.h"
+#include "guard/policy.h"
 #include "features/color_correlogram.h"
 #include "features/color_histogram.h"
 #include "features/edge_histogram.h"
@@ -233,15 +234,60 @@ marvel::Scenario engine_scenario(Mode mode) {
   }
 }
 
+/// Simulated-time per-call deadline for guarded scenario runs: far above
+/// any legitimate kernel time on the generator's image sizes, far below
+/// the kNeverNs stamp a hung completion carries.
+constexpr sim::SimTime kGuardDeadlineNs = 500e6;  // 500 ms simulated
+
+/// Translates a scenario's scheduled fault into the sim layer's
+/// injection knobs.
+sim::FaultInjection sched_injection(const ScenarioSpec& spec) {
+  sim::FaultInjection f;
+  switch (spec.sched_fault) {
+    case kSchedHangTransient:
+      f.hang_after = spec.sched_at;
+      f.hang_sticky = false;
+      break;
+    case kSchedHangPersistent:
+      f.hang_after = spec.sched_at;
+      f.hang_sticky = true;
+      f.clears_on_restart = false;
+      break;
+    case kSchedSlow:
+      f.slow_after = spec.sched_at;
+      f.slow_ns = 4 * kGuardDeadlineNs;
+      break;
+    default:
+      f.dma_error_after = spec.sched_at;
+      break;
+  }
+  return f;
+}
+
 RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
                       std::string* canonical) {
   Inputs in = make_inputs(spec, /*through_codec=*/true);
   marvel::Scenario scen = engine_scenario(spec.mode);
 
+  guard::GuardPolicy policy;
+  if (spec.guarded) {
+    policy.enabled = true;
+    policy.retry.deadline_ns = kGuardDeadlineNs;
+  }
+
   sim::Machine machine(sim::Machine::Config{spec.num_spes});
   marvel::CellEngine engine(
       machine, cfg.library_path, scen,
-      static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive);
+      static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive,
+      policy);
+  // The scheduled fault arms after engine construction so it fires
+  // during analysis, not during the module-open handshakes.
+  bool injected = false;
+  if (spec.guarded && spec.sched_fault >= 0 &&
+      spec.sched_spe < spec.num_spes) {
+    machine.spe(spec.sched_spe).inject_fault(sched_injection(spec));
+    injected = true;
+  }
   marvel::ReferenceEngine ref(sim::cell_ppe(), cfg.library_path);
 
   std::vector<marvel::AnalysisResult> cell;
@@ -251,6 +297,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
   } else {
     for (const auto& enc : in.encoded) cell.push_back(engine.analyze(enc));
   }
+  double elapsed_ns = machine.ppe().now_ns() - t0;
   if (!(machine.ppe().now_ns() > t0)) {
     return fail("timing.progress",
                 "engine run did not advance simulated time");
@@ -289,10 +336,81 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
       return fail("fault.isolation",
                   "engine results changed after a spare-SPE fault: " + err);
     }
+    cell.push_back(std::move(after));  // keep guard accounting exact
   }
 
   RunOutcome clean = check_clean(machine);
   if (!clean.ok) return clean;
+
+  if (spec.guarded) {
+    // Degradation accounting: what the results report must equal what
+    // the runtime counted — a fallback that goes unreported (or a
+    // phantom report) is exactly the silent-wrongness the guard exists
+    // to rule out.
+    std::size_t degraded_total = 0;
+    for (const auto& r : cell) degraded_total += r.degraded.size();
+    std::uint64_t fallbacks =
+        machine.metrics().counter("guard.ppe_fallbacks").value();
+    if (degraded_total != fallbacks) {
+      return fail("guard.accounting",
+                  "results report " + std::to_string(degraded_total) +
+                      " degraded stage(s) but guard.ppe_fallbacks is " +
+                      std::to_string(fallbacks));
+    }
+    std::uint64_t timeouts =
+        machine.metrics().counter("guard.timeouts").value();
+    std::uint64_t retries =
+        machine.metrics().counter("guard.retries").value();
+    if (injected) {
+      if (timeouts + retries + fallbacks == 0) {
+        return fail("guard.not-exercised",
+                    std::string("scheduled fault '") +
+                        sched_fault_name(spec.sched_fault) + "' on spe" +
+                        std::to_string(spec.sched_spe) +
+                        " left no trace in the guard counters");
+      }
+    } else {
+      if (degraded_total != 0) {
+        return fail("guard.spurious-degrade",
+                    "fault-free guarded run degraded " +
+                        std::to_string(degraded_total) + " stage(s)");
+      }
+      // Transparency: a fault-free guarded run must produce the exact
+      // results of an unguarded run, within 2% on simulated time (by
+      // construction the deadline read charges identically, so this
+      // normally holds with equality).
+      sim::Machine m2(sim::Machine::Config{spec.num_spes});
+      marvel::CellEngine plain(
+          m2, cfg.library_path, scen,
+          static_cast<kernels::BufferingDepth>(spec.buffering),
+          spec.use_naive);
+      std::vector<marvel::AnalysisResult> cell2;
+      double u0 = m2.ppe().now_ns();
+      if (spec.pipelined_batch && scen != marvel::Scenario::kSingleSPE) {
+        cell2 = plain.analyze_batch_pipelined(in.encoded);
+      } else {
+        for (const auto& enc : in.encoded) {
+          cell2.push_back(plain.analyze(enc));
+        }
+      }
+      double unguarded_ns = m2.ppe().now_ns() - u0;
+      for (std::size_t i = 0; i < in.encoded.size(); ++i) {
+        if (canonical_result_json(cell[i]) !=
+            canonical_result_json(cell2[i])) {
+          return fail("guard.transparency",
+                      "guarded result differs from unguarded (image " +
+                          std::to_string(i) + ")");
+        }
+      }
+      if (!(elapsed_ns <= unguarded_ns * 1.02)) {
+        return fail("guard.overhead",
+                    "guarded run took " + std::to_string(elapsed_ns) +
+                        " ns vs unguarded " +
+                        std::to_string(unguarded_ns) + " ns (> 2%)");
+      }
+      sim::InvariantChannel::instance().drain();  // probe machine's dust
+    }
+  }
 
   if (spec.scaling_probe) {
     auto per_image_ns = [&](marvel::Scenario s) {

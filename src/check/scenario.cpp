@@ -82,6 +82,16 @@ const char* mode_name(Mode m) {
   throw cellport::ConfigError("unknown mode");
 }
 
+const char* sched_fault_name(int kind) {
+  switch (kind) {
+    case kSchedHangTransient: return "hang-transient";
+    case kSchedHangPersistent: return "hang-persistent";
+    case kSchedSlow: return "slow";
+    case kSchedDmaError: return "dma-error";
+    default: return "none";
+  }
+}
+
 Mode mode_from_name(const std::string& name) {
   for (Mode m : {Mode::kKernelDirect, Mode::kEngineSingle,
                  Mode::kEngineMulti, Mode::kEngineMulti2,
@@ -183,6 +193,57 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
     spec.images[0].width = 176;
     spec.images[0].height = 120;
   }
+
+  // cellguard rider (appended last so it never perturbs the draws
+  // above): engine modes only, and not alongside the spare-SPE fault
+  // probe (which wants the spare SPEs the guard uses as retry targets)
+  // or the scaling probe (whose probe machines run unguarded).
+  if (engine_mode && spec.fault_kind < 0 && !spec.scaling_probe &&
+      rng.next_below(100) < 25) {
+    spec.guarded = true;
+    if (rng.next_below(100) < 70) {
+      spec.sched_fault = static_cast<int>(rng.next_below(kNumSchedFaults));
+      int pinned = spec.mode == Mode::kEngineMulti2 ? 8 : 5;
+      spec.sched_spe = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(pinned)));
+      spec.sched_at = static_cast<int>(
+          rng.next_below(spec.images.size()));
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  switch (rng.next_below(3)) {
+    case 0: spec.mode = Mode::kEngineSingle; break;
+    case 1: spec.mode = Mode::kEngineMulti; break;
+    default: spec.mode = Mode::kEngineMulti2; break;
+  }
+  spec.buffering = 1 + static_cast<int>(rng.next_below(3));
+  spec.num_spes = spec.mode == Mode::kEngineMulti2
+                      ? 8
+                      : 5 + static_cast<int>(rng.next_below(4));
+  spec.use_naive = rng.next_below(100) < 15;
+  int num_images = 1 + static_cast<int>(rng.next_below(2));
+  for (int i = 0; i < num_images; ++i) {
+    spec.images.push_back(pick_image(rng, /*allow_degenerate=*/false));
+  }
+  if (spec.mode != Mode::kEngineSingle) {
+    spec.pipelined_batch = rng.next_below(100) < 40;
+  }
+  spec.guarded = true;
+  if (rng.next_below(100) < 85) {
+    spec.sched_fault = static_cast<int>(rng.next_below(kNumSchedFaults));
+    int pinned = spec.mode == Mode::kEngineMulti2 ? 8 : 5;
+    spec.sched_spe = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(pinned)));
+    spec.sched_at =
+        static_cast<int>(rng.next_below(spec.images.size()));
+  }
+  spec.replay_twice = rng.next_below(4) == 0;
   return spec;
 }
 
@@ -203,6 +264,10 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("fault_kind").value(spec.fault_kind);
   w.key("replay_twice").value(spec.replay_twice);
   w.key("scaling_probe").value(spec.scaling_probe);
+  w.key("guarded").value(spec.guarded);
+  w.key("sched_fault").value(spec.sched_fault);
+  w.key("sched_spe").value(spec.sched_spe);
+  w.key("sched_at").value(spec.sched_at);
   w.key("images").begin_array();
   for (const ImageSpec& img : spec.images) {
     w.begin_object();
@@ -252,6 +317,28 @@ bool require_bool(const JsonValue& obj, const std::string& key) {
   return v->boolean;
 }
 
+// The guard fields postdate the format; old repro files omit them, so
+// they parse with defaults instead of being required.
+int optional_number(const JsonValue& obj, const std::string& key,
+                    int fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) {
+    throw cellport::ConfigError("scenario JSON: bad number '" + key + "'");
+  }
+  return static_cast<int>(v->number);
+}
+
+bool optional_bool(const JsonValue& obj, const std::string& key,
+                   bool fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  if (v->type != JsonValue::Type::kBool) {
+    throw cellport::ConfigError("scenario JSON: bad bool '" + key + "'");
+  }
+  return v->boolean;
+}
+
 }  // namespace
 
 ScenarioSpec spec_from_json(const std::string& text) {
@@ -276,6 +363,10 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.fault_kind = static_cast<int>(require_number(doc, "fault_kind"));
   spec.replay_twice = require_bool(doc, "replay_twice");
   spec.scaling_probe = require_bool(doc, "scaling_probe");
+  spec.guarded = optional_bool(doc, "guarded", false);
+  spec.sched_fault = optional_number(doc, "sched_fault", -1);
+  spec.sched_spe = optional_number(doc, "sched_spe", 0);
+  spec.sched_at = optional_number(doc, "sched_at", 0);
   const JsonValue* images = doc.find("images");
   if (images == nullptr || !images->is_array()) {
     throw cellport::ConfigError("scenario JSON: missing 'images'");

@@ -47,6 +47,18 @@ inline constexpr int kKernelCc = 1;
 inline constexpr int kKernelEh = 2;
 inline constexpr int kKernelTx = 3;
 
+/// Scheduled runtime-fault kinds for guarded scenarios (sched_fault).
+/// Unlike check::kFault* (hardware-rule violations probed on a spare
+/// SPE), these hit an SPE the workload actually uses, and the cellguard
+/// runtime must recover: retry, restart, quarantine, or PPE fallback.
+inline constexpr int kSchedHangTransient = 0;   // one completion never lands
+inline constexpr int kSchedHangPersistent = 1;  // SPE never answers again
+inline constexpr int kSchedSlow = 2;            // one DMA wait stalls huge
+inline constexpr int kSchedDmaError = 3;        // one DMA command faults
+inline constexpr int kNumSchedFaults = 4;
+
+const char* sched_fault_name(int kind);
+
 struct ScenarioSpec {
   std::uint64_t seed = 0;
   Mode mode = Mode::kKernelDirect;
@@ -58,6 +70,14 @@ struct ScenarioSpec {
   bool pipelined_batch = false;  // engine multi modes: Figure 4c batch
   int kernel = -1;         // kKernelDirect: kKernelCh..kKernelTx
   int fault_kind = -1;     // -1 none, else check::kFault* on a spare SPE
+  /// Engine modes: run behind the cellguard runtime (GuardedInterface +
+  /// PPE fallback). The guarded property: the run either matches the
+  /// oracle or reports exactly which kernels degraded — never crashes,
+  /// hangs, or goes silently wrong.
+  bool guarded = false;
+  int sched_fault = -1;  // -1 none, else kSched* on a pinned SPE
+  int sched_spe = 0;     // which SPE the scheduled fault lands on
+  int sched_at = 0;      // fire on the Nth completion / DMA op
   /// Re-run the whole scenario and require byte-identical results and
   /// traces (static modes only; TaskPool timing is host-order dependent).
   bool replay_twice = false;
@@ -70,6 +90,11 @@ struct ScenarioSpec {
 
 /// Derives the full scenario for `seed`. Pure function of the seed.
 ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// Derives a guarded engine scenario for `seed` (the `--guard-matrix`
+/// generator): always an engine mode behind cellguard, usually with a
+/// scheduled fault on a pinned SPE. Pure function of the seed.
+ScenarioSpec generate_guard_scenario(std::uint64_t seed);
 
 /// Serializes a spec as a JSON object (deterministic byte output).
 std::string spec_to_json(const ScenarioSpec& spec);

@@ -52,6 +52,26 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.fault_kind = -1;
     push(next);
   }
+  if (spec.sched_fault >= 0) {
+    ScenarioSpec next = spec;
+    next.sched_fault = -1;
+    next.sched_spe = 0;
+    next.sched_at = 0;
+    push(next);
+  }
+  if (spec.guarded && spec.sched_fault < 0) {
+    // A scheduled fault needs the guard; only a fault-free spec can
+    // drop it.
+    ScenarioSpec next = spec;
+    next.guarded = false;
+    push(next);
+  }
+  if (spec.sched_fault >= 0 && (spec.sched_spe != 0 || spec.sched_at != 0)) {
+    ScenarioSpec next = spec;
+    next.sched_spe = 0;
+    next.sched_at = 0;
+    push(next);
+  }
   if (spec.images.size() > 1) {
     for (std::size_t i = 0; i < spec.images.size(); ++i) {
       ScenarioSpec next = spec;

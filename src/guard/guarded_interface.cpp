@@ -1,0 +1,110 @@
+#include "guard/guarded_interface.h"
+
+#include "sim/scalar_context.h"
+#include "support/error.h"
+
+namespace cellport::guard {
+
+GuardedInterface::GuardedInterface(SpeHealth& health,
+                                   const port::KernelModule& module,
+                                   int primary_spe,
+                                   std::vector<int> alternates)
+    : health_(health), module_(&module) {
+  candidates_.push_back(primary_spe);
+  for (int a : alternates) candidates_.push_back(a);
+  open_on(primary_spe);
+}
+
+GuardedInterface::~GuardedInterface() = default;
+
+void GuardedInterface::open_on(int spe) {
+  iface_ = std::make_unique<port::SPEInterface>(*module_, spe);
+  spe_ = spe;
+}
+
+void GuardedInterface::close_current() {
+  if (iface_ == nullptr) return;
+  // Reclaim any abandoned completion first: the SPEInterface destructor
+  // then shuts the (possibly hung) SPE down without ever syncing the PPE
+  // clock to a kNeverNs timestamp.
+  iface_->reclaim();
+  iface_.reset();
+  spe_ = -1;
+}
+
+void GuardedInterface::Send(int opcode, std::uint64_t ea) {
+  pending_opcode_ = opcode;
+  pending_ea_ = ea;
+  pending_ = true;
+  if (iface_ == nullptr) {
+    int next = health_.pick(candidates_, -1);
+    if (next < 0) return;  // surfaces as a failed Finish()
+    open_on(next);
+  }
+  iface_->Send(opcode, ea);
+}
+
+GuardedInterface::Result GuardedInterface::Finish() {
+  Result r;
+  if (!pending_) {
+    r.error = "GuardedInterface::Finish without a pending Send";
+    return r;
+  }
+  const RetryPolicy& p = health_.policy();
+  sim::ScalarContext& ppe = health_.machine().ppe();
+  for (;;) {
+    ++r.attempts;
+    if (iface_ == nullptr) {
+      r.error = "no healthy SPE available for kernel '" + module_->name() +
+                "' (" + std::to_string(health_.quarantined_count()) +
+                " quarantined)";
+      pending_ = false;
+      return r;
+    }
+    try {
+      int value = 0;
+      if (iface_->WaitFor(p.deadline_ns > 0 ? p.deadline_ns : -1, &value)) {
+        health_.record_success(spe_);
+        r.ok = true;
+        r.value = value;
+        r.error.clear();
+        pending_ = false;
+        return r;
+      }
+      health_.machine().metrics().counter("guard.timeouts").add(1);
+      r.error = "kernel '" + module_->name() + "' on spe" +
+                std::to_string(spe_) + " missed its deadline of " +
+                std::to_string(p.deadline_ns) + " ns";
+    } catch (const cellport::Error& e) {
+      r.error = e.what();
+    }
+    if (!recover() || r.attempts >= p.max_attempts) {
+      pending_ = false;
+      return r;
+    }
+    // Bounded exponential backoff, charged to the PPE in simulated time.
+    ppe.advance_ns(p.backoff_base_ns *
+                   static_cast<double>(1u << (r.attempts - 1)));
+    health_.machine().metrics().counter("guard.retries").add(1);
+    iface_->Send(pending_opcode_, pending_ea_);
+  }
+}
+
+bool GuardedInterface::recover() {
+  const int failed_spe = spe_;
+  SpeHealth::Action action = health_.record_fault(failed_spe);
+  close_current();
+  if (action == SpeHealth::Action::kRestart) {
+    // One fresh context before giving up on the SPE: clears a
+    // restartable fault injection; a persistent fault strikes again on
+    // the next visit and quarantines it.
+    health_.machine().spe(failed_spe).fault_restart();
+    health_.note_restarted(failed_spe);
+  }
+  int next = health_.pick(candidates_, failed_spe);
+  if (next < 0) return false;
+  open_on(next);
+  return true;
+}
+
+}  // namespace cellport::guard

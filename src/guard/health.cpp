@@ -1,0 +1,55 @@
+#include "guard/health.h"
+
+namespace cellport::guard {
+
+SpeHealth::SpeHealth(sim::Machine& machine, const RetryPolicy& policy)
+    : machine_(machine),
+      policy_(policy),
+      state_(static_cast<std::size_t>(machine.num_spes())) {}
+
+SpeHealth::Action SpeHealth::record_fault(int spe) {
+  State& s = state_.at(static_cast<std::size_t>(spe));
+  if (s.quarantined) return Action::kQuarantine;
+  if (++s.consecutive < policy_.quarantine_after) return Action::kNone;
+  if (!s.restarted) return Action::kRestart;
+  s.quarantined = true;
+  machine_.metrics().counter("guard.quarantined_spes").add(1);
+  return Action::kQuarantine;
+}
+
+void SpeHealth::note_restarted(int spe) {
+  State& s = state_.at(static_cast<std::size_t>(spe));
+  s.restarted = true;
+  s.consecutive = 0;
+  machine_.metrics().counter("guard.restarts").add(1);
+}
+
+void SpeHealth::record_success(int spe) {
+  state_.at(static_cast<std::size_t>(spe)).consecutive = 0;
+}
+
+int SpeHealth::quarantined_count() const {
+  int n = 0;
+  for (const State& s : state_) {
+    if (s.quarantined) ++n;
+  }
+  return n;
+}
+
+int SpeHealth::pick(const std::vector<int>& candidates, int avoid) const {
+  int fallback = -1;
+  for (int c : candidates) {
+    if (quarantined(c)) continue;
+    if (c == avoid) {
+      // Usable, but only when nothing else is: the point of retargeting
+      // is to not hand the call straight back to the SPE that failed it.
+      if (!machine_.spe_busy(c)) fallback = c;
+      continue;
+    }
+    if (machine_.spe_busy(c)) continue;
+    return c;
+  }
+  return fallback;
+}
+
+}  // namespace cellport::guard

@@ -1,0 +1,58 @@
+// Per-SPE health board: consecutive-fault tracking, one-shot restart,
+// and quarantine. Shared by every GuardedInterface on a machine so the
+// picture of which SPEs are trustworthy is global, not per-call-site.
+#pragma once
+
+#include <vector>
+
+#include "guard/policy.h"
+#include "sim/machine.h"
+
+namespace cellport::guard {
+
+class SpeHealth {
+ public:
+  /// What the caller must do after recording a fault.
+  enum class Action {
+    kNone,       // below the quarantine threshold; plain retry
+    kRestart,    // threshold hit for the first time: restart the context
+    kQuarantine  // second strike: the SPE is out for good
+  };
+
+  SpeHealth(sim::Machine& machine, const RetryPolicy& policy);
+
+  /// Records a fault on `spe` and decides its fate. On kQuarantine the
+  /// SPE is marked and the machine's guard.quarantined_spes counter
+  /// bumps; the *caller* performs the restart on kRestart (it owns the
+  /// interface) and then calls note_restarted().
+  Action record_fault(int spe);
+  void note_restarted(int spe);
+  void record_success(int spe);
+
+  bool quarantined(int spe) const {
+    return state_.at(static_cast<std::size_t>(spe)).quarantined;
+  }
+  int quarantined_count() const;
+
+  /// Best retry destination among `candidates`: not quarantined, not
+  /// running someone else's program, preferring any SPE other than
+  /// `avoid` (the one that just failed). Falls back to `avoid` itself
+  /// when it is the only healthy choice; -1 when none is usable.
+  int pick(const std::vector<int>& candidates, int avoid) const;
+
+  sim::Machine& machine() { return machine_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  struct State {
+    int consecutive = 0;
+    bool restarted = false;
+    bool quarantined = false;
+  };
+
+  sim::Machine& machine_;
+  RetryPolicy policy_;
+  std::vector<State> state_;
+};
+
+}  // namespace cellport::guard

@@ -1,0 +1,37 @@
+// cellguard retry policy.
+//
+// Header-only on purpose: src/port's TaskPool consumes RetryPolicy while
+// cp_guard links against cp_port, so the policy must not drag a link
+// dependency in the other direction.
+#pragma once
+
+#include "sim/time.h"
+
+namespace cellport::guard {
+
+/// How a guarded call (GuardedInterface) or a guarded task (TaskPool)
+/// responds to a fault or a missed deadline. All durations are simulated
+/// nanoseconds; enforcement is deterministic and replayable.
+struct RetryPolicy {
+  /// Total tries per call/task, first attempt included.
+  int max_attempts = 3;
+  /// Exponential backoff charged to the PPE before retry k:
+  /// backoff_base_ns * 2^(k-1).
+  sim::SimTime backoff_base_ns = 100e3;  // 0.1 ms
+  /// Per-attempt deadline; 0 disables deadlines (faults still retry,
+  /// hangs are not detected).
+  sim::SimTime deadline_ns = 0;
+  /// Consecutive faults on one SPE before it is quarantined. Its context
+  /// is restarted once when the threshold is first hit; a second strike
+  /// quarantines it for good.
+  int quarantine_after = 2;
+};
+
+/// CellEngine-level switch. Disabled (the default) leaves the engine's
+/// legacy paths byte-for-byte untouched.
+struct GuardPolicy {
+  bool enabled = false;
+  RetryPolicy retry;
+};
+
+}  // namespace cellport::guard

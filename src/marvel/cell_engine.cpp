@@ -1,5 +1,11 @@
 #include "marvel/cell_engine.h"
 
+#include <cstring>
+
+#include "features/color_correlogram.h"
+#include "features/color_histogram.h"
+#include "features/edge_histogram.h"
+#include "features/texture.h"
 #include "kernels/cc_kernel.h"
 #include "kernels/cd_kernel.h"
 #include "kernels/ch_kernel.h"
@@ -21,12 +27,14 @@ std::size_t padded_dim(int dim) {
 
 CellEngine::CellEngine(sim::Machine& machine,
                        const std::string& library_path, Scenario scenario,
-                       kernels::BufferingDepth buffering, bool use_naive)
+                       kernels::BufferingDepth buffering, bool use_naive,
+                       guard::GuardPolicy guard)
     : machine_(machine),
       scenario_(scenario),
       buffering_(buffering),
       use_naive_(use_naive),
-      profiler_(machine.ppe()) {
+      profiler_(machine.ppe()),
+      guard_(guard) {
   images_counter_ = &machine_.metrics().counter("marvel.images_analyzed");
   {
     // One-time overhead: the model library load, on the PPE.
@@ -36,41 +44,77 @@ CellEngine::CellEngine(sim::Machine& machine,
     startup_ns_ = machine_.ppe().now_ns() - t0;
   }
 
-  // Static schedule: one resident kernel per SPE (Section 3.3).
-  ch_if_ = std::make_unique<port::SPEInterface>(kernels::ch_module(), 0);
-  cc_if_ = std::make_unique<port::SPEInterface>(kernels::cc_module(), 1);
-  tx_if_ = std::make_unique<port::SPEInterface>(kernels::tx_module(), 2);
-  eh_if_ = std::make_unique<port::SPEInterface>(kernels::eh_module(), 3);
-  cd_if_ = std::make_unique<port::SPEInterface>(kernels::cd_module(), 4);
-  if (scenario_ == Scenario::kMultiSPE2) {
-    for (int i = 0; i < 3; ++i) {
-      cd_extra_[i] = std::make_unique<port::SPEInterface>(
-          kernels::cd_module(), 5 + i);
-    }
-  }
-
   const struct {
-    port::SPEInterface* iface;
+    port::KernelModule& (*module)();
     const char* phase;
     int dim;
     const learn::ConceptModelSet* set;
+    const char* name;
+    features::FeatureVector (*ref)(const img::RgbImage&,
+                                   sim::ScalarContext*);
   } config[4] = {
-      {ch_if_.get(), kPhaseCh, features::kColorHistogramDim,
-       &models_.color_histogram},
-      {cc_if_.get(), kPhaseCc, features::kColorCorrelogramDim,
-       &models_.color_correlogram},
-      {tx_if_.get(), kPhaseTx, features::kTextureDim, &models_.texture},
-      {eh_if_.get(), kPhaseEh, features::kEdgeHistogramDim,
-       &models_.edge_histogram},
+      {&kernels::ch_module, kPhaseCh, features::kColorHistogramDim,
+       &models_.color_histogram, "color_histogram",
+       &features::extract_color_histogram},
+      {&kernels::cc_module, kPhaseCc, features::kColorCorrelogramDim,
+       &models_.color_correlogram, "color_correlogram",
+       &features::extract_color_correlogram},
+      {&kernels::tx_module, kPhaseTx, features::kTextureDim,
+       &models_.texture, "texture", &features::extract_texture},
+      {&kernels::eh_module, kPhaseEh, features::kEdgeHistogramDim,
+       &models_.edge_histogram, "edge_histogram",
+       &features::extract_edge_histogram},
   };
+
+  // Static schedule: one resident kernel per SPE (Section 3.3). A guarded
+  // engine wraps the same placement in GuardedInterfaces; any SPE beyond
+  // the pinned set becomes a shared spare retries may migrate to.
+  if (guard_.enabled) {
+    health_ = std::make_unique<guard::SpeHealth>(machine_, guard_.retry);
+    fallback_counter_ = &machine_.metrics().counter("guard.ppe_fallbacks");
+    int pinned = scenario_ == Scenario::kMultiSPE2 ? 8 : 5;
+    std::vector<int> spares;
+    for (int s = pinned; s < machine_.num_spes(); ++s) spares.push_back(s);
+    for (int i = 0; i < 4; ++i) {
+      slots_[i].g_extract = std::make_unique<guard::GuardedInterface>(
+          *health_, config[i].module(), i, spares);
+    }
+    if (scenario_ == Scenario::kMultiSPE2) {
+      for (int i = 0; i < 4; ++i) {
+        slots_[i].g_detect = std::make_unique<guard::GuardedInterface>(
+            *health_, kernels::cd_module(), 4 + i, spares);
+      }
+    } else {
+      g_cd_ = std::make_unique<guard::GuardedInterface>(
+          *health_, kernels::cd_module(), 4, spares);
+    }
+  } else {
+    ch_if_ = std::make_unique<port::SPEInterface>(kernels::ch_module(), 0);
+    cc_if_ = std::make_unique<port::SPEInterface>(kernels::cc_module(), 1);
+    tx_if_ = std::make_unique<port::SPEInterface>(kernels::tx_module(), 2);
+    eh_if_ = std::make_unique<port::SPEInterface>(kernels::eh_module(), 3);
+    cd_if_ = std::make_unique<port::SPEInterface>(kernels::cd_module(), 4);
+    if (scenario_ == Scenario::kMultiSPE2) {
+      for (int i = 0; i < 3; ++i) {
+        cd_extra_[i] = std::make_unique<port::SPEInterface>(
+            kernels::cd_module(), 5 + i);
+      }
+    }
+    slots_[0].extract_if = ch_if_.get();
+    slots_[1].extract_if = cc_if_.get();
+    slots_[2].extract_if = tx_if_.get();
+    slots_[3].extract_if = eh_if_.get();
+  }
+
   for (int i = 0; i < 4; ++i) {
     FeatureSlot& slot = slots_[i];
-    slot.extract_if = config[i].iface;
     slot.phase = config[i].phase;
     slot.dim = config[i].dim;
+    slot.name = config[i].name;
+    slot.ref_extract = config[i].ref;
     slot.out = cellport::AlignedBuffer<float>(padded_dim(config[i].dim));
     setup_detection(slot, *config[i].set);
-    if (scenario_ == Scenario::kMultiSPE2) {
+    if (scenario_ == Scenario::kMultiSPE2 && !guard_.enabled) {
       slot.detect_if = i == 0 ? cd_if_.get() : cd_extra_[i - 1].get();
     }
   }
@@ -149,49 +193,48 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
 
   for (auto& slot : slots_) fill_image_msg(slot, pixels);
 
-  auto opcode = [&](const FeatureSlot& slot) {
-    bool has_naive = slot.phase != kPhaseTx;
-    return static_cast<int>(use_naive_ && has_naive
-                                ? kernels::SPU_Run_Naive
-                                : kernels::SPU_Run);
-  };
-
-  switch (scenario_) {
-    case Scenario::kSingleSPE: {
-      for (auto& slot : slots_) {
-        port::Profiler::Scope probe(profiler_, slot.phase);
-        slot.extract_if->SendAndWait(opcode(slot), slot.msg.ea());
+  if (guard_.enabled) {
+    degraded_current_.clear();
+    analyze_guarded_schedule(pixels);
+  } else {
+    switch (scenario_) {
+      case Scenario::kSingleSPE: {
+        for (auto& slot : slots_) {
+          port::Profiler::Scope probe(profiler_, slot.phase);
+          slot.extract_if->SendAndWait(guarded_opcode(slot),
+                                       slot.msg.ea());
+        }
+        port::Profiler::Scope probe(profiler_, kPhaseCd);
+        for (auto& slot : slots_) run_detection(slot, *cd_if_);
+        break;
       }
-      port::Profiler::Scope probe(profiler_, kPhaseCd);
-      for (auto& slot : slots_) run_detection(slot, *cd_if_);
-      break;
-    }
-    case Scenario::kMultiSPE: {
-      {
+      case Scenario::kMultiSPE: {
+        {
+          port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+          for (auto& slot : slots_) {
+            slot.extract_if->Send(guarded_opcode(slot), slot.msg.ea());
+          }
+          for (auto& slot : slots_) slot.extract_if->Wait();
+        }
+        port::Profiler::Scope probe(profiler_, kPhaseDetect);
+        for (auto& slot : slots_) run_detection(slot, *cd_if_);
+        break;
+      }
+      case Scenario::kMultiSPE2: {
         port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
         for (auto& slot : slots_) {
-          slot.extract_if->Send(opcode(slot), slot.msg.ea());
+          slot.extract_if->Send(guarded_opcode(slot), slot.msg.ea());
         }
-        for (auto& slot : slots_) slot.extract_if->Wait();
+        // Each extraction is immediately followed by its own detection on
+        // a dedicated detection SPE.
+        for (auto& slot : slots_) {
+          slot.extract_if->Wait();
+          slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                               slot.detect_msg.ea());
+        }
+        for (auto& slot : slots_) slot.detect_if->Wait();
+        break;
       }
-      port::Profiler::Scope probe(profiler_, kPhaseDetect);
-      for (auto& slot : slots_) run_detection(slot, *cd_if_);
-      break;
-    }
-    case Scenario::kMultiSPE2: {
-      port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-      for (auto& slot : slots_) {
-        slot.extract_if->Send(opcode(slot), slot.msg.ea());
-      }
-      // Each extraction is immediately followed by its own detection on
-      // a dedicated detection SPE.
-      for (auto& slot : slots_) {
-        slot.extract_if->Wait();
-        slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
-                             slot.detect_msg.ea());
-      }
-      for (auto& slot : slots_) slot.detect_if->Wait();
-      break;
     }
   }
 
@@ -203,8 +246,117 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   collect(slots_[2], result.texture, result.tx_detect, "texture");
   collect(slots_[3], result.edge_histogram, result.eh_detect,
           "edge_histogram");
+  if (guard_.enabled) result.degraded = std::move(degraded_current_);
   note_image_done();
   return result;
+}
+
+int CellEngine::guarded_opcode(const FeatureSlot& slot) const {
+  bool has_naive = slot.phase != kPhaseTx;
+  return static_cast<int>(use_naive_ && has_naive ? kernels::SPU_Run_Naive
+                                                  : kernels::SPU_Run);
+}
+
+void CellEngine::analyze_guarded_schedule(const img::RgbImage& pixels) {
+  // Mirrors the unguarded scenario switch call-for-call so a fault-free
+  // guarded run charges identical simulated time; only the completion
+  // side differs (Finish() runs the retry loop, and exhausted retries
+  // drop to the PPE reference path instead of throwing).
+  switch (scenario_) {
+    case Scenario::kSingleSPE: {
+      for (auto& slot : slots_) {
+        port::Profiler::Scope probe(profiler_, slot.phase);
+        slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
+        finish_extract(slot, pixels);
+      }
+      port::Profiler::Scope probe(profiler_, kPhaseCd);
+      for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
+      break;
+    }
+    case Scenario::kMultiSPE: {
+      {
+        port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+        for (auto& slot : slots_) {
+          slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
+        }
+        for (auto& slot : slots_) finish_extract(slot, pixels);
+      }
+      port::Profiler::Scope probe(profiler_, kPhaseDetect);
+      for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
+      break;
+    }
+    case Scenario::kMultiSPE2: {
+      port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+      for (auto& slot : slots_) {
+        slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
+      }
+      for (auto& slot : slots_) {
+        finish_extract(slot, pixels);
+        slot.g_detect->Send(static_cast<int>(kernels::SPU_Run),
+                            slot.detect_msg.ea());
+      }
+      for (auto& slot : slots_) finish_detect(slot, *slot.g_detect);
+      break;
+    }
+  }
+}
+
+void CellEngine::finish_extract(FeatureSlot& slot,
+                                const img::RgbImage& pixels) {
+  guard::GuardedInterface::Result r = slot.g_extract->Finish();
+  if (!r.ok) fallback_extract(slot, pixels);
+}
+
+void CellEngine::fallback_extract(FeatureSlot& slot,
+                                  const img::RgbImage& pixels) {
+  // Recompute on the PPE scalar path and land the values in the slot's
+  // output buffer, where the (possibly still SPE-hosted) detection and
+  // collect() expect them.
+  features::FeatureVector fv = slot.ref_extract(pixels, &machine_.ppe());
+  machine_.ppe().charge(sim::OpClass::kStore,
+                        static_cast<std::uint64_t>(slot.dim));
+  std::memcpy(slot.out.data(), fv.values.data(),
+              static_cast<std::size_t>(slot.dim) * sizeof(float));
+  note_degraded("extract", slot);
+}
+
+void CellEngine::guarded_detect(FeatureSlot& slot,
+                                guard::GuardedInterface& gi) {
+  gi.Send(static_cast<int>(kernels::SPU_Run), slot.detect_msg.ea());
+  finish_detect(slot, gi);
+}
+
+void CellEngine::finish_detect(FeatureSlot& slot,
+                               guard::GuardedInterface& gi) {
+  guard::GuardedInterface::Result r = gi.Finish();
+  if (!r.ok) fallback_detect(slot);
+}
+
+void CellEngine::fallback_detect(FeatureSlot& slot) {
+  // Score against the models on the PPE, reading whatever feature values
+  // are in the slot buffer (SPE-extracted or themselves a fallback).
+  features::FeatureVector fv;
+  fv.name = slot.name;
+  fv.values.assign(slot.out.data(), slot.out.data() + slot.dim);
+  DetectionScores scores =
+      reference_detect(fv, *slot.set, &machine_.ppe());
+  machine_.ppe().charge(sim::OpClass::kStore,
+                        static_cast<std::uint64_t>(scores.values.size()));
+  std::memcpy(slot.scores.data(), scores.values.data(),
+              scores.values.size() * sizeof(double));
+  note_degraded("detect", slot);
+}
+
+void CellEngine::note_degraded(const char* stage, const FeatureSlot& slot) {
+  degraded_current_.push_back(std::string(stage) + ":" + slot.name);
+  fallback_counter_->add(1);
+  sim::ScalarContext& ppe = machine_.ppe();
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(trace::Category::kRuntime,
+                               "ppe_fallback:" + degraded_current_.back(),
+                               ppe.now_ns(), "count",
+                               fallback_counter_->value());
+  }
 }
 
 void CellEngine::note_image_done() {
@@ -239,15 +391,33 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
   img::RgbImage current = decode(images[0]);
   for (std::size_t i = 0; i < images.size(); ++i) {
     for (auto& slot : slots_) fill_image_msg(slot, current);
+    if (guard_.enabled) degraded_current_.clear();
     for (auto& slot : slots_) {
-      slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
-                            slot.msg.ea());
+      if (guard_.enabled) {
+        slot.g_extract->Send(static_cast<int>(kernels::SPU_Run),
+                             slot.msg.ea());
+      } else {
+        slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
+                              slot.msg.ea());
+      }
     }
     // PPE work overlaps the SPE kernels: decode the next image now.
     img::RgbImage next;
     if (i + 1 < images.size()) next = decode(images[i + 1]);
 
-    if (scenario_ == Scenario::kMultiSPE2) {
+    if (guard_.enabled) {
+      if (scenario_ == Scenario::kMultiSPE2) {
+        for (auto& slot : slots_) {
+          finish_extract(slot, current);
+          slot.g_detect->Send(static_cast<int>(kernels::SPU_Run),
+                              slot.detect_msg.ea());
+        }
+        for (auto& slot : slots_) finish_detect(slot, *slot.g_detect);
+      } else {
+        for (auto& slot : slots_) finish_extract(slot, current);
+        for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
+      }
+    } else if (scenario_ == Scenario::kMultiSPE2) {
       for (auto& slot : slots_) {
         slot.extract_if->Wait();
         slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
@@ -267,6 +437,7 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     collect(slots_[2], result.texture, result.tx_detect, "texture");
     collect(slots_[3], result.edge_histogram, result.eh_detect,
             "edge_histogram");
+    if (guard_.enabled) result.degraded = std::move(degraded_current_);
     note_image_done();
     results.push_back(std::move(result));
     if (i + 1 < images.size()) current = std::move(next);

@@ -16,7 +16,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "guard/guarded_interface.h"
+#include "guard/policy.h"
 #include "img/codec.h"
 #include "kernels/messages.h"
 #include "port/message.h"
@@ -43,10 +46,16 @@ class CellEngine {
   /// Loads the model library on the PPE (one-time overhead) and opens
   /// the kernel interfaces. `use_naive` selects the pre-optimization
   /// kernel versions where they exist (CH/CC/EH; Section 5.3).
+  /// With `guard.enabled`, every SPE call runs behind a cellguard
+  /// GuardedInterface (deadline/retry/quarantine) and a kernel whose
+  /// retries are exhausted falls back to the PPE scalar path, recorded
+  /// in AnalysisResult::degraded; a fault-free guarded run charges
+  /// exactly what an unguarded one does. Disabled (the default) leaves
+  /// the legacy paths untouched.
   CellEngine(sim::Machine& machine, const std::string& library_path,
              Scenario scenario,
              kernels::BufferingDepth buffering = kernels::kDoubleBuffer,
-             bool use_naive = false);
+             bool use_naive = false, guard::GuardPolicy guard = {});
 
   AnalysisResult analyze(const img::SicEncoded& image);
 
@@ -63,6 +72,9 @@ class CellEngine {
   sim::SimTime startup_ns() const { return startup_ns_; }
   Scenario scenario() const { return scenario_; }
   const learn::MarvelModels& models() const { return models_; }
+  bool guarded() const { return guard_.enabled; }
+  /// The health board behind a guarded engine; null when unguarded.
+  const guard::SpeHealth* health() const { return health_.get(); }
 
  private:
   struct FeatureSlot {
@@ -77,6 +89,12 @@ class CellEngine {
     cellport::AlignedBuffer<kernels::DetectModelDesc> descs;
     cellport::AlignedBuffer<double> scores;
     port::SPEInterface* detect_if = nullptr;  // kMultiSPE2 only
+    // cellguard (populated only for a guarded engine)
+    const char* name = nullptr;
+    features::FeatureVector (*ref_extract)(const img::RgbImage&,
+                                           sim::ScalarContext*) = nullptr;
+    std::unique_ptr<guard::GuardedInterface> g_extract;
+    std::unique_ptr<guard::GuardedInterface> g_detect;  // kMultiSPE2 only
   };
 
   void setup_detection(FeatureSlot& slot, const learn::ConceptModelSet& set);
@@ -86,6 +104,21 @@ class CellEngine {
                DetectionScores& scores, const char* name);
   /// Bumps the images-analyzed counter and drops a timeline marker.
   void note_image_done();
+
+  // ---- cellguard paths (no-ops unless guard_.enabled) ----
+  /// The per-image kernel schedule behind guarded interfaces; fills the
+  /// same slot buffers the unguarded switch fills.
+  void analyze_guarded_schedule(const img::RgbImage& pixels);
+  /// Finish() for a slot's extract call, falling back to the PPE
+  /// reference extractor when the guard gives up.
+  void finish_extract(FeatureSlot& slot, const img::RgbImage& pixels);
+  void fallback_extract(FeatureSlot& slot, const img::RgbImage& pixels);
+  /// Guarded detection via `gi`, with PPE reference scoring on failure.
+  void guarded_detect(FeatureSlot& slot, guard::GuardedInterface& gi);
+  void finish_detect(FeatureSlot& slot, guard::GuardedInterface& gi);
+  void fallback_detect(FeatureSlot& slot);
+  void note_degraded(const char* stage, const FeatureSlot& slot);
+  int guarded_opcode(const FeatureSlot& slot) const;
 
   sim::Machine& machine_;
   Scenario scenario_;
@@ -103,6 +136,13 @@ class CellEngine {
   std::unique_ptr<port::SPEInterface> eh_if_;
   std::unique_ptr<port::SPEInterface> cd_if_;
   std::unique_ptr<port::SPEInterface> cd_extra_[3];  // kMultiSPE2
+
+  // cellguard state (null / empty when the policy is disabled).
+  guard::GuardPolicy guard_;
+  std::unique_ptr<guard::SpeHealth> health_;
+  std::unique_ptr<guard::GuardedInterface> g_cd_;  // single/multi detection
+  trace::Counter* fallback_counter_ = nullptr;
+  std::vector<std::string> degraded_current_;
 
   FeatureSlot slots_[4];
 };

@@ -16,14 +16,20 @@ ReferenceEngine::ReferenceEngine(sim::CoreModel core,
   startup_ns_ = ctx_.now_ns() - t0;
 }
 
-DetectionScores ReferenceEngine::detect(const features::FeatureVector& fv,
-                                        const learn::ConceptModelSet& set) {
+DetectionScores reference_detect(const features::FeatureVector& fv,
+                                 const learn::ConceptModelSet& set,
+                                 sim::ScalarContext* ctx) {
   DetectionScores out;
   out.values.reserve(set.models.size());
   for (const auto& model : set.models) {
-    out.values.push_back(model.decision(fv.values, &ctx_));
+    out.values.push_back(model.decision(fv.values, ctx));
   }
   return out;
+}
+
+DetectionScores ReferenceEngine::detect(const features::FeatureVector& fv,
+                                        const learn::ConceptModelSet& set) {
+  return reference_detect(fv, set, &ctx_);
 }
 
 AnalysisResult ReferenceEngine::analyze(const img::SicEncoded& image) {

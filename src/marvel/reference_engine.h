@@ -29,6 +29,14 @@ inline constexpr const char* kPhaseEh = "EHExtract";
 inline constexpr const char* kPhaseCd = "ConceptDet";
 inline constexpr const char* kPhaseStartup = "Startup";
 
+/// Scores `fv` against every model of `set` on a scalar context — the
+/// sequential detection path shared by ReferenceEngine and cellguard's
+/// PPE fallback (which must produce bit-identical scores to the
+/// reference oracle).
+DetectionScores reference_detect(const features::FeatureVector& fv,
+                                 const learn::ConceptModelSet& set,
+                                 sim::ScalarContext* ctx);
+
 class ReferenceEngine {
  public:
   /// Loads the model library from `library_path` (the one-time overhead,

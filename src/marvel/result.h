@@ -1,6 +1,7 @@
 // Analysis results shared by the reference and Cell engines.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "features/feature.h"
@@ -23,6 +24,10 @@ struct AnalysisResult {
   DetectionScores cc_detect;
   DetectionScores tx_detect;
   DetectionScores eh_detect;
+  /// Stages that fell back to the PPE scalar path under cellguard
+  /// (entries like "extract:texture", "detect:color_histogram"). Empty
+  /// for an undegraded run; the values above are still always filled.
+  std::vector<std::string> degraded;
 };
 
 }  // namespace cellport::marvel

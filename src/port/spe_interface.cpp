@@ -34,6 +34,7 @@ int SPEInterface::thread_open(const KernelModule& module, int spe_index) {
 
 int SPEInterface::thread_close(int cmnd) {
   if (spuid_ == nullptr) return 0;
+  reclaim();
   sim::spe_write_in_mbox(spuid_, static_cast<std::uint64_t>(cmnd));
   int rc = sim::spe_wait(spuid_);
   spuid_ = nullptr;
@@ -50,6 +51,7 @@ int SPEInterface::Send(int functionCall, std::uint64_t value) {
   if (spuid_ == nullptr) {
     throw cellport::ConfigError("SPEInterface has no SPE thread");
   }
+  if (stale_) reclaim();
   if (pending_) {
     throw cellport::ConfigError(
         "SPEInterface::Send while a call is in flight (the outbound "
@@ -70,27 +72,66 @@ int SPEInterface::Send(int functionCall, std::uint64_t value) {
   return 0;
 }
 
-int SPEInterface::Wait(int /*timeout*/) {
+int SPEInterface::Wait(int timeout) {
+  if (timeout >= 0) {
+    // The timeout the paper's signature always promised: interpreted as
+    // simulated milliseconds, enforced deterministically by WaitFor.
+    int result = 0;
+    if (!WaitFor(static_cast<sim::SimTime>(timeout) * 1e6, &result)) {
+      throw cellport::TimeoutError(
+          "SPE kernel '" + module_->name() + "' missed its deadline of " +
+          std::to_string(timeout) + " ms (simulated)");
+    }
+    return result;
+  }
+  int result = 0;
+  WaitFor(-1, &result);
+  return result;
+}
+
+bool SPEInterface::WaitFor(sim::SimTime timeout_ns, int* result) {
   if (!pending_) {
     throw cellport::ConfigError("SPEInterface::Wait without a pending Send");
   }
   sim::ScalarContext& ppe = spuid_->machine().ppe();
   sim::SimTime wait_t0 = ppe.now_ns();
-  std::uint64_t retVal =
-      module_->mode() == CompletionMode::kPolling
-          ? sim::spe_read_out_mbox(spuid_)
-          : sim::spe_read_out_intr_mbox(spuid_);
+  const bool polling = module_->mode() == CompletionMode::kPolling;
+  std::uint64_t retVal = 0;
+  bool completed = true;
+  if (timeout_ns < 0) {
+    retVal = polling ? sim::spe_read_out_mbox(spuid_)
+                     : sim::spe_read_out_intr_mbox(spuid_);
+  } else {
+    sim::SimTime deadline = wait_t0 + timeout_ns;
+    completed = polling
+                    ? sim::spe_out_mbox_read_before(spuid_, deadline, &retVal)
+                    : sim::spe_out_intr_mbox_read_before(spuid_, deadline,
+                                                         &retVal);
+  }
   if (ppe.trace_on()) {
-    ppe.trace_track()->complete(trace::Category::kRuntime,
-                                "wait:" + module_->name(), wait_t0,
-                                ppe.now_ns());
+    ppe.trace_track()->complete(
+        trace::Category::kRuntime,
+        (completed ? "wait:" : "wait_timeout:") + module_->name(), wait_t0,
+        ppe.now_ns());
   }
   pending_ = false;
+  if (!completed) {
+    stale_ = true;
+    return false;
+  }
   if (retVal == kKernelFault) {
     throw cellport::Error("SPE kernel '" + module_->name() +
                           "' faulted: " + module_->last_error());
   }
-  return static_cast<int>(retVal);
+  *result = static_cast<int>(retVal);
+  return true;
+}
+
+void SPEInterface::reclaim() {
+  if (!stale_ || spuid_ == nullptr) return;
+  sim::spe_discard_out_mbox(spuid_,
+                            module_->mode() == CompletionMode::kInterrupt);
+  stale_ = false;
 }
 
 }  // namespace cellport::port

@@ -44,10 +44,33 @@ class SPEInterface {
   /// is one entry deep).
   int Send(int functionCall, std::uint64_t value);
 
-  /// Collects the result of a previous Send. `timeout` is accepted for
-  /// signature compatibility with the paper; the simulator always blocks
-  /// until completion.
+  /// Collects the result of a previous Send. `timeout < 0` blocks until
+  /// completion (Listing 3's busy loop). `timeout >= 0` is a deadline in
+  /// simulated milliseconds: when the kernel's completion is not
+  /// delivered in time, the PPE clock advances exactly to the deadline
+  /// and a cellport::TimeoutError is thrown, leaving the interface
+  /// stale() until the abandoned completion is reclaim()ed. The decision
+  /// is made purely in simulated time, so timeouts are deterministic.
   int Wait(int timeout = -1);
+
+  /// Deadline wait in simulated nanoseconds (the primitive Wait() and the
+  /// guard layer build on). Returns true and stores the kernel's result
+  /// word in `*result` on completion; returns false on timeout (interface
+  /// becomes stale()). Throws cellport::Error when the kernel faulted.
+  /// `timeout_ns < 0` blocks forever and always returns true.
+  bool WaitFor(sim::SimTime timeout_ns, int* result);
+
+  /// True after a timed-out Wait: the kernel's completion word is still
+  /// owed and occupies the 1-deep outbound mailbox. Send() and
+  /// thread_close() reclaim automatically; explicit reclaim() is for
+  /// callers that want the drain at a specific point.
+  bool stale() const { return stale_; }
+
+  /// Drains the abandoned completion of a timed-out call (blocking
+  /// host-side only: kernels always finish functionally). No simulated
+  /// clock effects — the PPE already accounted for its wait when the
+  /// deadline expired.
+  void reclaim();
 
   /// True while a Send() has not been Wait()ed for.
   bool busy() const { return pending_; }
@@ -60,6 +83,7 @@ class SPEInterface {
   const KernelModule* module_ = nullptr;
   sim::speid_t spuid_ = nullptr;
   bool pending_ = false;
+  bool stale_ = false;
 };
 
 }  // namespace cellport::port

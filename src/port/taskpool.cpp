@@ -64,7 +64,10 @@ int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
     ev.task = task;
     ev.code_switched = switched;
     ctx->advance_ns(sim::calib::kSpuChannelCostNs);
-    ev.ts = ctx->now_ns() + sim::calib::kMailboxLatencyNs;
+    // completion_ts applies any injected hang schedule: the event still
+    // arrives functionally (so the host never blocks on a hung worker)
+    // but its delivery timestamp becomes kNeverNs.
+    ev.ts = ctx->completion_ts(ctx->now_ns() + sim::calib::kMailboxLatencyNs);
     env->pool->post_completion(ev);
   }
 }
@@ -89,18 +92,36 @@ TaskPool::TaskPool(sim::Machine& machine, int num_workers)
     envs_.push_back(env);
   }
   stats_.worker_busy_ns.assign(static_cast<std::size_t>(num_workers), 0);
+  consecutive_faults_.assign(static_cast<std::size_t>(num_workers), 0);
+  worker_restarted_.assign(static_cast<std::size_t>(num_workers), false);
+  worker_quarantined_.assign(static_cast<std::size_t>(num_workers), false);
 }
 
-TaskPool::~TaskPool() {
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::set_retry_policy(const guard::RetryPolicy& policy) {
+  policy_ = policy;
+  policy_set_ = true;
+}
+
+void TaskPool::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
   try {
     wait_all();
   } catch (...) {
+    // Shutdown must complete even when the drain reports a deadlock; any
+    // stranded tasks were already marked failed or are abandoned here.
   }
-  for (sim::SpeThread* w : workers_) {
-    sim::spe_write_in_mbox(w, kExitWord);
-    machine_.join(w);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    sim::spe_write_in_mbox(workers_[w], kExitWord);
+    machine_.join(workers_[w]);
+    stats_.worker_busy_ns[w] = workers_[w]->ctx().busy_ns();
   }
   for (void* env : envs_) delete static_cast<WorkerEnv*>(env);
+  envs_.clear();
+  workers_.clear();
+  worker_idle_.clear();
 }
 
 TaskPool::TaskId TaskPool::submit(const KernelModule& module,
@@ -129,7 +150,8 @@ TaskPool::TaskId TaskPool::submit(const KernelModule& module,
 }
 
 void TaskPool::dispatch(int worker, TaskId task) {
-  const TaskRecord& rec = tasks_[task];
+  TaskRecord& rec = tasks_[task];
+  rec.dispatch_ns = machine_.ppe().now_ns();
   sim::SpeThread* w = workers_[static_cast<std::size_t>(worker)];
   sim::spe_write_in_mbox(w, static_cast<std::uint64_t>(task) + 1);
   sim::spe_write_in_mbox(w, reinterpret_cast<std::uint64_t>(rec.module));
@@ -139,13 +161,38 @@ void TaskPool::dispatch(int worker, TaskId task) {
   ++outstanding_;
 }
 
-void TaskPool::pump_ready_tasks() {
-  for (std::size_t w = 0; w < workers_.size() && !ready_.empty(); ++w) {
-    if (worker_idle_[w]) {
-      TaskId t = ready_.front();
-      ready_.pop_front();
-      dispatch(static_cast<int>(w), t);
+int TaskPool::pick_worker(int exclude) const {
+  // A retried task goes to a *different* worker whenever one is healthy
+  // anywhere in the pool — if the alternative is merely busy, we wait for
+  // it rather than feed the task back to the worker that just failed it.
+  bool other_healthy = false;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!worker_quarantined_[w] && static_cast<int>(w) != exclude) {
+      other_healthy = true;
     }
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!worker_idle_[w] || worker_quarantined_[w]) continue;
+    if (static_cast<int>(w) == exclude && other_healthy) continue;
+    return static_cast<int>(w);
+  }
+  return -1;
+}
+
+bool TaskPool::has_eligible_worker() const {
+  for (bool q : worker_quarantined_) {
+    if (!q) return true;
+  }
+  return false;
+}
+
+void TaskPool::pump_ready_tasks() {
+  while (!ready_.empty()) {
+    TaskId t = ready_.front();
+    int w = pick_worker(tasks_[t].exclude_worker);
+    if (w < 0) return;
+    ready_.pop_front();
+    dispatch(w, t);
   }
 }
 
@@ -165,25 +212,85 @@ TaskPool::CompletionEvent TaskPool::wait_event() {
 
 void TaskPool::wait_all() {
   while (incomplete_ > 0) {
-    if (outstanding_ == 0 && ready_.empty()) {
-      throw cellport::ConfigError(
-          "TaskPool deadlock: tasks remain but none are ready (circular "
-          "or never-satisfied dependences)");
+    if (outstanding_ == 0) {
+      if (ready_.empty()) {
+        throw cellport::ConfigError(
+            "TaskPool deadlock: tasks remain but none are ready (circular "
+            "or never-satisfied dependences)");
+      }
+      if (!has_eligible_worker()) {
+        // Graceful degradation instead of a shutdown hang: with every
+        // worker quarantined the remaining tasks can never run.
+        fail_remaining("TaskPool: all workers quarantined");
+        break;
+      }
+      pump_ready_tasks();
+      if (outstanding_ == 0) {
+        fail_remaining("TaskPool: no dispatchable worker for ready tasks");
+        break;
+      }
+      continue;
     }
     CompletionEvent ev = wait_event();
+    TaskRecord& rec = tasks_[ev.task];
+
+    // Deadline classification is purely simulated-time: a hung worker's
+    // event carries a kNeverNs timestamp, a slow one simply arrives past
+    // the policy deadline.
+    const bool hung = ev.ts >= sim::kNeverNs / 2;
+    const sim::SimTime deadline_ns = policy_set_ ? policy_.deadline_ns : 0;
+    const bool timed_out =
+        hung || (deadline_ns > 0 && ev.ts - rec.dispatch_ns > deadline_ns);
+    // The PPE observes a timed-out task at its deadline (or, for a hang
+    // with no configured deadline, right now) — never at the kNeverNs
+    // delivery timestamp, which would catapult the simulated clock.
+    sim::SimTime observe_ts = ev.ts;
+    if (timed_out) {
+      observe_ts = deadline_ns > 0 ? rec.dispatch_ns + deadline_ns
+                                   : machine_.ppe().now_ns();
+    }
     // The PPE's event loop: interrupt delivery + MMIO acknowledgment.
-    machine_.ppe().sync_to(ev.ts + sim::calib::kInterruptLatencyNs);
+    machine_.ppe().sync_to(observe_ts + sim::calib::kInterruptLatencyNs);
     machine_.ppe().advance_ns(sim::calib::kPpeMmioCostNs);
 
-    TaskRecord& rec = tasks_[ev.task];
-    rec.done = true;
-    rec.failed = ev.failed;
-    rec.error = std::move(ev.error);
-    --incomplete_;
     --outstanding_;
     worker_idle_[static_cast<std::size_t>(ev.worker)] = true;
-    stats_.tasks_run += 1;
     if (ev.code_switched) stats_.code_switches += 1;
+    if (timed_out) {
+      stats_.timeouts += 1;
+      machine_.metrics().counter("guard.timeouts").add(1);
+    }
+
+    const bool failed = ev.failed || timed_out;
+    ++rec.attempts;
+    if (failed) {
+      note_worker_fault(ev.worker);
+    } else {
+      consecutive_faults_[static_cast<std::size_t>(ev.worker)] = 0;
+    }
+
+    if (failed && policy_set_ && rec.attempts < policy_.max_attempts &&
+        has_eligible_worker()) {
+      // Re-dispatch after bounded exponential backoff, preferring any
+      // worker other than the one that just failed the task.
+      stats_.retries += 1;
+      machine_.metrics().counter("guard.retries").add(1);
+      rec.exclude_worker = ev.worker;
+      machine_.ppe().advance_ns(
+          policy_.backoff_base_ns *
+          static_cast<double>(1u << (rec.attempts - 1)));
+      ready_.push_front(ev.task);
+      pump_ready_tasks();
+      continue;
+    }
+
+    rec.done = true;
+    rec.failed = failed;
+    rec.error = timed_out ? "task missed its deadline of " +
+                                std::to_string(deadline_ns) + " ns"
+                          : std::move(ev.error);
+    --incomplete_;
+    stats_.tasks_run += 1;
     if (rec.failed) stats_.faults += 1;
     for (TaskId dep : rec.dependents) {
       if (--tasks_[dep].unmet_deps == 0) ready_.push_back(dep);
@@ -191,6 +298,51 @@ void TaskPool::wait_all() {
     pump_ready_tasks();
   }
   stats_.makespan_ns = machine_.ppe().now_ns() - start_ns_;
+}
+
+void TaskPool::note_worker_fault(int worker) {
+  if (!policy_set_) return;
+  auto w = static_cast<std::size_t>(worker);
+  if (worker_quarantined_[w]) return;
+  if (++consecutive_faults_[w] < policy_.quarantine_after) return;
+  if (!worker_restarted_[w]) {
+    // One fresh start before giving up on the SPE: restart clears a
+    // transient-injection fault schedule (and the resident kernel, so
+    // the next task pays a code switch).
+    restart_worker(worker);
+    worker_restarted_[w] = true;
+    consecutive_faults_[w] = 0;
+    stats_.restarts += 1;
+    return;
+  }
+  worker_quarantined_[w] = true;
+  stats_.quarantined_workers += 1;
+  machine_.metrics().counter("guard.quarantined_spes").add(1);
+}
+
+void TaskPool::restart_worker(int worker) {
+  auto w = static_cast<std::size_t>(worker);
+  sim::SpeThread* old = workers_[w];
+  sim::spe_write_in_mbox(old, kExitWord);
+  machine_.join(old);
+  int spe_index = old->ctx().id();
+  old->ctx().fault_restart();
+  sim::SpeProgram prog{"taskpool_worker", 4 * 1024, &TaskPool::worker_main};
+  workers_[w] = machine_.spawn(
+      prog, reinterpret_cast<std::uint64_t>(envs_[w]), spe_index);
+  worker_idle_[w] = true;
+}
+
+void TaskPool::fail_remaining(const std::string& reason) {
+  for (TaskRecord& rec : tasks_) {
+    if (rec.done) continue;
+    rec.done = true;
+    rec.failed = true;
+    rec.error = reason;
+    --incomplete_;
+    stats_.faults += 1;
+  }
+  ready_.clear();
 }
 
 bool TaskPool::task_failed(TaskId id) const {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "guard/policy.h"
 #include "port/dispatcher.h"
 #include "sim/machine.h"
 
@@ -50,6 +51,19 @@ class TaskPool {
   /// advances to the time the last completion event was delivered.
   void wait_all();
 
+  /// Enables cellguard supervision: a faulted or deadline-missing task is
+  /// re-dispatched (with exponential backoff) to a different worker; a
+  /// worker with `quarantine_after` consecutive faults is restarted once,
+  /// then quarantined. With every worker quarantined, remaining tasks are
+  /// marked failed instead of deadlocking. Without a policy the legacy
+  /// fault-surfacing behavior is unchanged.
+  void set_retry_policy(const guard::RetryPolicy& policy);
+
+  /// Exception-free drain + worker teardown (the destructor's path,
+  /// callable early). Safe with hung or quarantined workers: timeouts
+  /// fail the affected tasks rather than blocking forever.
+  void shutdown();
+
   struct Stats {
     std::size_t tasks_run = 0;
     /// Worker invocations whose kernel image differed from the one
@@ -63,6 +77,15 @@ class TaskPool {
     sim::SimTime makespan_ns = 0;
     /// Per-worker simulated busy time.
     std::vector<sim::SimTime> worker_busy_ns;
+    // ---- cellguard (all zero without a retry policy) ----
+    /// Re-dispatches after a fault or missed deadline.
+    std::size_t retries = 0;
+    /// Completions that missed the policy deadline (includes hangs).
+    std::size_t timeouts = 0;
+    /// Workers restarted after hitting the quarantine threshold once.
+    std::size_t restarts = 0;
+    /// Workers permanently quarantined.
+    std::size_t quarantined_workers = 0;
   };
   Stats stats();
 
@@ -84,6 +107,10 @@ class TaskPool {
     bool done = false;
     bool failed = false;
     std::string error;
+    // cellguard bookkeeping
+    int attempts = 0;
+    int exclude_worker = -1;       // last worker that faulted on this task
+    sim::SimTime dispatch_ns = 0;  // PPE time of the latest dispatch
   };
 
   struct CompletionEvent {
@@ -104,11 +131,26 @@ class TaskPool {
   // PPE-side dispatch (machine().ppe() charges apply).
   void dispatch(int worker, TaskId task);
   void pump_ready_tasks();
+  /// Idle, non-quarantined worker for a task excluding `exclude` (used
+  /// only when no other healthy worker exists at all); -1 when none.
+  int pick_worker(int exclude) const;
+  bool has_eligible_worker() const;
+  void note_worker_fault(int worker);
+  void restart_worker(int worker);
+  /// Marks every not-yet-done task failed (all workers quarantined).
+  void fail_remaining(const std::string& reason);
 
   sim::Machine& machine_;
   std::vector<sim::SpeThread*> workers_;
   std::vector<bool> worker_idle_;
   std::vector<void*> envs_;  // WorkerEnv*, freed after the workers join
+
+  guard::RetryPolicy policy_;
+  bool policy_set_ = false;
+  bool shut_down_ = false;
+  std::vector<int> consecutive_faults_;
+  std::vector<bool> worker_restarted_;
+  std::vector<bool> worker_quarantined_;
 
   std::vector<TaskRecord> tasks_;
   std::deque<TaskId> ready_;

@@ -71,6 +71,69 @@ std::uint64_t spe_read_out_intr_mbox(speid_t spe) {
   return e.value;
 }
 
+bool spe_out_mbox_read_before(speid_t spe, SimTime deadline,
+                              std::uint64_t* value) {
+  ScalarContext& ppe = spe->machine().ppe();
+  SimTime t0 = ppe.now_ns();
+  Mailbox::Entry e;
+  if (!spe->ctx().out_mbox().read_before(deadline, &e)) {
+    // The PPE polled until the deadline and gave up; one final MMIO read
+    // observed the empty (for simulated-time purposes) mailbox.
+    ppe.sync_to(deadline);
+    ppe.advance_ns(calib::kPpeMmioCostNs);
+    if (ppe.trace_on()) {
+      ppe.trace_track()->complete(
+          trace::Category::kMailbox, "mbox_read_timeout", t0, ppe.now_ns(),
+          "spe", static_cast<std::uint64_t>(spe->ctx().id()));
+    }
+    return false;
+  }
+  ppe.sync_to(e.ts);
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(
+        trace::Category::kMailbox, "mbox_read", t0, ppe.now_ns(), "spe",
+        static_cast<std::uint64_t>(spe->ctx().id()), "stall_ns",
+        static_cast<std::uint64_t>(std::max(0.0, e.ts - t0)));
+  }
+  *value = e.value;
+  return true;
+}
+
+bool spe_out_intr_mbox_read_before(speid_t spe, SimTime deadline,
+                                   std::uint64_t* value) {
+  ScalarContext& ppe = spe->machine().ppe();
+  SimTime t0 = ppe.now_ns();
+  Mailbox::Entry e;
+  if (!spe->ctx().out_intr_mbox().read_before(deadline, &e)) {
+    ppe.sync_to(deadline);
+    ppe.advance_ns(calib::kPpeMmioCostNs);
+    if (ppe.trace_on()) {
+      ppe.trace_track()->complete(
+          trace::Category::kMailbox, "mbox_read_intr_timeout", t0,
+          ppe.now_ns(), "spe",
+          static_cast<std::uint64_t>(spe->ctx().id()));
+    }
+    return false;
+  }
+  ppe.sync_to(e.ts + calib::kInterruptLatencyNs);
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(
+        trace::Category::kMailbox, "mbox_read_intr", t0, ppe.now_ns(), "spe",
+        static_cast<std::uint64_t>(spe->ctx().id()), "stall_ns",
+        static_cast<std::uint64_t>(std::max(0.0, e.ts - t0)));
+  }
+  *value = e.value;
+  return true;
+}
+
+std::uint64_t spe_discard_out_mbox(speid_t spe, bool interrupt) {
+  Mailbox& box =
+      interrupt ? spe->ctx().out_intr_mbox() : spe->ctx().out_mbox();
+  return box.read().value;
+}
+
 void spe_write_signal(speid_t spe, int which, std::uint32_t bits) {
   ScalarContext& ppe = spe->machine().ppe();
   ppe.advance_ns(calib::kPpeMmioCostNs);

@@ -39,6 +39,29 @@ std::uint64_t spe_read_out_mbox(speid_t spe);
 /// polling occupancy.
 std::uint64_t spe_read_out_intr_mbox(speid_t spe);
 
+/// Deadline variant of spe_read_out_mbox (cellguard). Consumes the entry
+/// and returns true only when it was delivered at or before `deadline`
+/// (an absolute simulated timestamp); the PPE then pays exactly what
+/// spe_read_out_mbox charges, so a fault-free guarded run is bit-identical
+/// to an unguarded one. On timeout the entry — which always arrives
+/// functionally — is left queued, the PPE clock advances to the deadline
+/// plus one MMIO poll, and false is returned. Reclaim the abandoned entry
+/// with spe_discard_out_mbox before reusing the SPE.
+bool spe_out_mbox_read_before(speid_t spe, SimTime deadline,
+                              std::uint64_t* value);
+
+/// Deadline variant of spe_read_out_intr_mbox; same contract, plus the
+/// interrupt-delivery latency on success.
+bool spe_out_intr_mbox_read_before(speid_t spe, SimTime deadline,
+                                   std::uint64_t* value);
+
+/// Drains one abandoned entry from the outbound (or interrupting)
+/// mailbox after a deadline read timed out, keeping the mailbox
+/// accounting invariants balanced. Deliberately free of PPE clock
+/// effects: syncing to the entry's timestamp would jump the clock to
+/// kNeverNs for a hung SPE.
+std::uint64_t spe_discard_out_mbox(speid_t spe, bool interrupt = false);
+
 /// Writes an SPE signal-notification register (1 or 2). In OR mode many
 /// senders can each contribute a bit; in overwrite mode the last write
 /// wins (configure via spe->ctx().signalN().set_mode()).

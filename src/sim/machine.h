@@ -91,6 +91,13 @@ class Machine {
   /// SPE's final simulated time only if the SPE finished later.
   int join(SpeThread* t);
 
+  /// True while SPE `i` runs a program (spawn with that index would
+  /// throw). The guard's retarget path uses this to skip occupied SPEs
+  /// when picking a retry destination.
+  bool spe_busy(int i) const {
+    return spe_busy_.at(static_cast<std::size_t>(i));
+  }
+
   /// The process-wide default machine used by the libspe-style free
   /// functions; the most recently constructed Machine is current.
   static Machine* current();

@@ -40,6 +40,17 @@ Mailbox::Entry Mailbox::read() {
   return e;
 }
 
+bool Mailbox::read_before(SimTime deadline, Entry* out) {
+  std::unique_lock lock(mu_);
+  cv_read_.wait(lock, [&] { return !q_.empty(); });
+  if (q_.front().ts > deadline) return false;
+  *out = q_.front();
+  q_.pop_front();
+  stats_.reads += 1;
+  cv_write_.notify_one();
+  return true;
+}
+
 Mailbox::Stats Mailbox::stats() const {
   std::lock_guard lock(mu_);
   return stats_;

@@ -46,6 +46,15 @@ class Mailbox {
   /// Blocking read: waits until an entry is available.
   Entry read();
 
+  /// Deadline read (cellguard). Blocks host-side until an entry is
+  /// functionally present — the sender always writes eventually, so this
+  /// never blocks forever — then consumes it only if its delivery
+  /// timestamp is within `deadline`. Returns false (entry left queued)
+  /// otherwise. The decision depends only on simulated timestamps, so a
+  /// timeout is deterministic and replayable regardless of host
+  /// scheduling.
+  bool read_before(SimTime deadline, Entry* out);
+
   /// Number of entries currently queued (spe_stat_* equivalent).
   std::size_t count() const;
 

@@ -69,6 +69,14 @@ void Mfc::validate(const void* ls, std::uint64_t ea, std::uint32_t size,
 
 void Mfc::issue(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag,
                 bool is_get, bool list_element) {
+  // Injected transient fault (cellguard's fault model): the command fails
+  // before any functional or accounting side effect, so EIB/MFC
+  // conservation invariants stay balanced and a retried kernel's traffic
+  // is counted exactly once per transfer actually performed.
+  if (owner_.consume_dma_error()) {
+    throw cellport::DmaError("injected transient DMA fault (spe" +
+                             std::to_string(owner_.id()) + ")");
+  }
   validate(ls, ea, size, tag);
   if (outstanding_ >= kQueueDepth) {
     // A full MFC queue stalls the SPU until a slot frees up; analytically
@@ -138,6 +146,10 @@ std::uint32_t Mfc::read_tag_status_all() {
     if (tag_mask_ & (1u << t)) latest = std::max(latest, tag_complete_[t]);
   }
   SimTime before = owner_.now_ns();
+  // Injected slow-DMA fault: the wait resolves `slow_ns` later than the
+  // analytic completion time.
+  SimTime extra = owner_.consume_dma_stall();
+  if (extra > 0) latest = std::max(latest, before) + extra;
   owner_.sync_to(latest);
   SimTime stall = std::max(0.0, latest - before);
   stats_.stall_ns += stall;
@@ -156,6 +168,8 @@ std::uint32_t Mfc::read_tag_status_any() {
   }
   if (earliest < 0) return 0;
   SimTime before = owner_.now_ns();
+  SimTime extra = owner_.consume_dma_stall();
+  if (extra > 0) earliest = std::max(earliest, before) + extra;
   owner_.sync_to(earliest);
   SimTime stall = std::max(0.0, earliest - before);
   stats_.stall_ns += stall;

@@ -6,6 +6,19 @@
 
 namespace cellport::sim {
 
+namespace {
+
+/// Reads a counter without creating it — snapshot() must not add guard
+/// series to the registry of a machine that never ran guarded.
+std::uint64_t counter_or_zero(const trace::MetricsRegistry& m,
+                              const std::string& name) {
+  const auto& counters = m.counters();
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second->value();
+}
+
+}  // namespace
+
 void collect_metrics(Machine& machine, trace::MetricsRegistry& metrics) {
   SimTime ppe_ns = machine.ppe().now_ns();
   metrics.gauge("ppe.elapsed_ns").set(ppe_ns);
@@ -67,6 +80,11 @@ MachineReport snapshot(Machine& machine) {
   r.eib_transfers =
       static_cast<std::uint64_t>(m.gauge("eib.transfers").value());
   r.eib_utilization = m.gauge("eib.utilization").value();
+  r.guard.retries = counter_or_zero(m, "guard.retries");
+  r.guard.timeouts = counter_or_zero(m, "guard.timeouts");
+  r.guard.restarts = counter_or_zero(m, "guard.restarts");
+  r.guard.quarantined_spes = counter_or_zero(m, "guard.quarantined_spes");
+  r.guard.ppe_fallbacks = counter_or_zero(m, "guard.ppe_fallbacks");
   return r;
 }
 
@@ -92,6 +110,14 @@ std::string format_report(const MachineReport& report) {
          " MB in " + std::to_string(report.eib_transfers) +
          " transfers (" + Table::num(100 * report.eib_utilization, 2) +
          "% of peak)\n";
+  if (report.guard.active()) {
+    out += "  Guard: " + std::to_string(report.guard.timeouts) +
+           " timeouts, " + std::to_string(report.guard.retries) +
+           " retries, " + std::to_string(report.guard.restarts) +
+           " restarts, " + std::to_string(report.guard.quarantined_spes) +
+           " quarantined, " + std::to_string(report.guard.ppe_fallbacks) +
+           " PPE fallbacks\n";
+  }
   return out;
 }
 

@@ -29,6 +29,20 @@ struct SpeReport {
   std::size_t ls_peak_bytes = 0;
 };
 
+/// Rollup of the cellguard runtime counters ("guard.*"). All zero — and
+/// absent from the formatted report — on an unguarded run.
+struct GuardReport {
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t quarantined_spes = 0;
+  std::uint64_t ppe_fallbacks = 0;
+  bool active() const {
+    return (retries | timeouts | restarts | quarantined_spes |
+            ppe_fallbacks) != 0;
+  }
+};
+
 struct MachineReport {
   SimTime ppe_ns = 0;
   std::vector<SpeReport> spes;
@@ -36,6 +50,7 @@ struct MachineReport {
   std::uint64_t eib_transfers = 0;
   /// EIB utilization over the PPE's elapsed time, vs the 204.8 GB/s peak.
   double eib_utilization = 0;
+  GuardReport guard;
 };
 
 /// Fills `metrics` with the machine's counter series under stable names:

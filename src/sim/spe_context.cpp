@@ -60,7 +60,7 @@ void SpeContext::write_out_mbox(std::uint64_t v) {
     hooks_.track->instant(trace::Category::kMailbox, "mbox_write",
                           clock_ns_);
   }
-  out_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
+  out_mbox_.write(v, completion_ts(clock_ns_ + calib::kMailboxLatencyNs));
 }
 
 void SpeContext::write_out_intr_mbox(std::uint64_t v) {
@@ -70,7 +70,8 @@ void SpeContext::write_out_intr_mbox(std::uint64_t v) {
     hooks_.track->instant(trace::Category::kMailbox, "mbox_write_intr",
                           clock_ns_);
   }
-  out_intr_mbox_.write(v, clock_ns_ + calib::kMailboxLatencyNs);
+  out_intr_mbox_.write(v,
+                       completion_ts(clock_ns_ + calib::kMailboxLatencyNs));
 }
 
 std::uint32_t SpeContext::read_signal(int which) {
@@ -88,6 +89,47 @@ std::uint32_t SpeContext::read_signal(int which) {
   return v.bits;
 }
 
+void SpeContext::inject_fault(const FaultInjection& f) {
+  fault_ = f;
+  completions_seen_ = 0;
+  dma_waits_seen_ = 0;
+  dma_cmds_seen_ = 0;
+  hang_fired_ = false;
+}
+
+void SpeContext::clear_fault_injection() { inject_fault(FaultInjection{}); }
+
+void SpeContext::fault_restart() {
+  if (fault_.clears_on_restart) {
+    fault_ = FaultInjection{};
+  }
+  completions_seen_ = 0;
+  dma_waits_seen_ = 0;
+  dma_cmds_seen_ = 0;
+  hang_fired_ = false;
+}
+
+SimTime SpeContext::completion_ts(SimTime base) {
+  if (fault_.hang_after < 0) return base;
+  int n = completions_seen_++;
+  if (fault_.hang_sticky ? (hang_fired_ || n >= fault_.hang_after)
+                         : n == fault_.hang_after) {
+    hang_fired_ = true;
+    return kNeverNs;
+  }
+  return base;
+}
+
+SimTime SpeContext::consume_dma_stall() {
+  if (fault_.slow_after < 0) return 0;
+  return dma_waits_seen_++ == fault_.slow_after ? fault_.slow_ns : 0;
+}
+
+bool SpeContext::consume_dma_error() {
+  if (fault_.dma_error_after < 0) return false;
+  return dma_cmds_seen_++ == fault_.dma_error_after;
+}
+
 void SpeContext::reset() {
   clock_ns_ = 0;
   busy_ns_ = 0;
@@ -101,6 +143,7 @@ void SpeContext::reset() {
   signal2_.clear();
   ls_.reset_data();
   mfc_.reset();
+  clear_fault_injection();
 }
 
 }  // namespace cellport::sim

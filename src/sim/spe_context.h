@@ -24,6 +24,29 @@
 
 namespace cellport::sim {
 
+/// Scheduled misbehavior for one SPE (cellguard's fault model). All
+/// triggers count deterministic simulated events, never host time, so an
+/// injected fault replays identically under cellcheck. Install before the
+/// SPE program runs (or while it idles in its dispatcher loop): the
+/// counters are touched only from the SPE thread.
+struct FaultInjection {
+  /// Fire on the Nth (0-based) outbound completion: the entry is written
+  /// functionally but stamped kNeverNs — the SPE "stops responding".
+  int hang_after = -1;
+  /// Sticky hang: every later completion is also stamped kNeverNs until
+  /// the context is restarted. One-shot otherwise.
+  bool hang_sticky = true;
+  /// Stall the Nth DMA tag-status wait by an extra `slow_ns`.
+  int slow_after = -1;
+  SimTime slow_ns = 0;
+  /// Make the Nth DMA command throw a DmaError once (transient fault).
+  int dma_error_after = -1;
+  /// Whether fault_restart() (the guard's one context restart before
+  /// quarantine) clears this injection. False models a genuinely broken
+  /// SPE that a restart cannot heal.
+  bool clears_on_restart = true;
+};
+
 class SpeContext {
  public:
   SpeContext(int id, Eib& eib)
@@ -116,6 +139,26 @@ class SpeContext {
     return hooks_.track != nullptr && hooks_.track->enabled();
   }
 
+  // ---- fault injection (cellguard) ----
+  /// Installs a fault schedule. Event counters restart from zero.
+  void inject_fault(const FaultInjection& f);
+  void clear_fault_injection();
+  const FaultInjection& fault_injection() const { return fault_; }
+  /// A context restart (the guard restarts a misbehaving SPE once before
+  /// quarantining it): clears the injection when `clears_on_restart`,
+  /// always resets the event counters. The simulated clock is untouched —
+  /// a restart does not travel in time.
+  void fault_restart();
+  /// Applies the hang schedule to an outbound completion's delivery
+  /// timestamp: returns `base`, or kNeverNs when this completion is the
+  /// hang trigger. Used by the mailbox write path and by TaskPool's
+  /// host-side completion queue (which bypasses mailboxes).
+  SimTime completion_ts(SimTime base);
+  /// Extra stall for the current DMA tag-status wait (0 normally).
+  SimTime consume_dma_stall();
+  /// True when the current DMA command should fail (one-shot).
+  bool consume_dma_error();
+
   void reset();
 
  private:
@@ -134,6 +177,12 @@ class SpeContext {
   double odd_pending_ = 0;
   PipeStats pipe_stats_;
   TraceHooks hooks_;
+
+  FaultInjection fault_;
+  int completions_seen_ = 0;
+  int dma_waits_seen_ = 0;
+  int dma_cmds_seen_ = 0;
+  bool hang_fired_ = false;
 };
 
 /// Thread-local "current SPE" used by the spu_mfcio / spu intrinsic

@@ -12,6 +12,13 @@ namespace cellport::sim {
 /// Simulated time in nanoseconds.
 using SimTime = double;
 
+/// "Never" in simulated time: the delivery timestamp given to messages
+/// from a hung SPE (fault injection). Far beyond any reachable clock
+/// (~31 simulated years) yet finite, so ordinary timestamp comparisons
+/// classify it without special cases. Deadline checks treat anything at
+/// or above kNeverNs / 2 as hung.
+inline constexpr SimTime kNeverNs = 1e18;
+
 /// Nanoseconds per second, for unit conversions.
 inline constexpr double kNsPerSec = 1e9;
 

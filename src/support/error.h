@@ -42,6 +42,15 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("Config: " + what) {}
 };
 
+/// A guarded wait gave up at its simulated-time deadline (the SPE hung,
+/// stalled, or responded too slowly). The call's completion may still be
+/// pending; SPEInterface::reclaim() drains it before the SPE is reused.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : Error("Timeout: " + what) {}
+};
+
 /// File or stream I/O failure.
 class IoError : public Error {
  public:

@@ -1,0 +1,468 @@
+// cellguard tests: deadlines, retry/backoff, quarantine, and graceful
+// PPE fallback. The fault model is sim::FaultInjection — scheduled
+// misbehavior counted in deterministic simulated events — so every test
+// here replays identically, hangs included: a "hung" SPE still finishes
+// functionally, only its completion timestamp is kNeverNs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/faults.h"
+#include "guard/guarded_interface.h"
+#include "guard/health.h"
+#include "guard/policy.h"
+#include "img/codec.h"
+#include "marvel/cell_engine.h"
+#include "marvel/reference_engine.h"
+#include "port/message.h"
+#include "port/spe_interface.h"
+#include "port/taskpool.h"
+#include "sim/invariants.h"
+#include "sim/machine.h"
+#include "sim/spu_mfcio.h"
+#include "sim/time.h"
+#include "support/aligned.h"
+#include "support/error.h"
+#include "testutil.h"
+
+namespace cellport {
+namespace {
+
+using check::FaultMsg;
+
+/// Minimal well-behaved kernel with real DMA traffic: fetches 64 bytes
+/// from msg->ea and returns their sum. Gives the injected DMA faults
+/// something to hit.
+port::KernelModule& sum_module() {
+  static port::KernelModule mod("guard_sum", 4096);
+  static bool init = (mod.add_function(1, +[](std::uint64_t ea) {
+                        auto* msg = reinterpret_cast<FaultMsg*>(ea);
+                        auto* buf = static_cast<std::uint8_t*>(
+                            sim::spu_ls_alloc(64, 16));
+                        sim::mfc_get(buf, msg->ea, 64, 1);
+                        sim::mfc_write_tag_mask(1u << 1);
+                        sim::mfc_read_tag_status_all();
+                        int sum = 0;
+                        for (int i = 0; i < 64; ++i) sum += buf[i];
+                        return sum;
+                      }),
+                      true);
+  (void)init;
+  return mod;
+}
+
+class Guard : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::InvariantChannel::instance().drain(); }
+  void TearDown() override { sim::InvariantChannel::instance().drain(); }
+
+  static std::uint64_t counter(sim::Machine& m, const char* name) {
+    return m.metrics().counter(name).value();
+  }
+};
+
+// ---- the Wait(timeout) regression (the deadline primitive) ----
+
+TEST_F(Guard, WaitHonorsItsTimeoutInSimulatedTime) {
+  // Regression: Wait(timeout) used to ignore its argument and block
+  // forever. With a hang injected, it must advance the PPE exactly to
+  // the deadline and throw — never wedge the host.
+  sim::Machine machine;
+  port::SPEInterface iface(sum_module(), 0);
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = false;
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  double t0 = machine.ppe().now_ns();
+  iface.Send(1, msg.ea());
+  try {
+    iface.Wait(5);  // 5 simulated milliseconds
+    FAIL() << "expected a TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  // The wait charged exactly the deadline (plus the send's own cost).
+  EXPECT_GE(machine.ppe().now_ns(), t0 + 5e6);
+  EXPECT_LT(machine.ppe().now_ns(), t0 + 6e6);
+  EXPECT_TRUE(iface.stale());
+
+  // The abandoned completion is reclaimed on the next Send; the one-shot
+  // hang is spent, so the same interface works again.
+  EXPECT_EQ(iface.SendAndWait(1, msg.ea()), 64);
+  EXPECT_FALSE(iface.stale());
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+TEST_F(Guard, WaitForReturnsFalseOnTimeout) {
+  sim::Machine machine;
+  port::SPEInterface iface(sum_module(), 0);
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = false;
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  iface.Send(1, msg.ea());
+  int result = -1;
+  EXPECT_FALSE(iface.WaitFor(2e6, &result));
+  EXPECT_TRUE(iface.stale());
+  iface.reclaim();
+  EXPECT_FALSE(iface.stale());
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+// ---- GuardedInterface: retry, restart, quarantine ----
+
+TEST_F(Guard, TransientDmaFaultIsRetriedOnASpareSpe) {
+  sim::Machine machine;
+  guard::RetryPolicy policy;
+  policy.deadline_ns = 10e6;
+  guard::SpeHealth health(machine, policy);
+  guard::GuardedInterface g(health, sum_module(), 0, {1});
+  sim::FaultInjection f;
+  f.dma_error_after = 0;
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  guard::GuardedInterface::Result r = g.Call(1, msg.ea());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 64);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(g.spe(), 1);  // migrated away from the SPE that faulted
+  EXPECT_EQ(counter(machine, "guard.retries"), 1u);
+  EXPECT_EQ(counter(machine, "guard.timeouts"), 0u);
+  EXPECT_EQ(health.quarantined_count(), 0);
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+TEST_F(Guard, HungCallTimesOutBacksOffAndRetries) {
+  sim::Machine machine;
+  guard::RetryPolicy policy;
+  policy.deadline_ns = 10e6;
+  guard::SpeHealth health(machine, policy);
+  guard::GuardedInterface g(health, sum_module(), 0, {1});
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = false;
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  double t0 = machine.ppe().now_ns();
+  guard::GuardedInterface::Result r = g.Call(1, msg.ea());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 64);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(counter(machine, "guard.timeouts"), 1u);
+  EXPECT_EQ(counter(machine, "guard.retries"), 1u);
+  // The failed attempt charged its full deadline plus the backoff.
+  EXPECT_GE(machine.ppe().now_ns(),
+            t0 + policy.deadline_ns + policy.backoff_base_ns);
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+TEST_F(Guard, PersistentFaultRestartsOnceThenQuarantines) {
+  sim::Machine machine;
+  guard::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.deadline_ns = 10e6;
+  policy.quarantine_after = 2;
+  guard::SpeHealth health(machine, policy);
+  guard::GuardedInterface g(health, sum_module(), 0);  // no spares
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = true;
+  f.clears_on_restart = false;  // a restart cannot heal this SPE
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  guard::GuardedInterface::Result r = g.Call(1, msg.ea());
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_EQ(counter(machine, "guard.restarts"), 1u);
+  EXPECT_EQ(counter(machine, "guard.quarantined_spes"), 1u);
+  EXPECT_TRUE(health.quarantined(0));
+
+  // Every candidate is quarantined: the next call fails fast with an
+  // actionable verdict instead of burning attempts.
+  guard::GuardedInterface::Result again = g.Call(1, msg.ea());
+  EXPECT_FALSE(again.ok);
+  EXPECT_EQ(again.attempts, 1);
+  EXPECT_NE(again.error.find("no healthy SPE"), std::string::npos);
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+TEST_F(Guard, RestartHealsARestartableFault) {
+  sim::Machine machine;
+  guard::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.deadline_ns = 10e6;
+  policy.quarantine_after = 2;
+  guard::SpeHealth health(machine, policy);
+  guard::GuardedInterface g(health, sum_module(), 0);  // no spares
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = true;  // hangs forever — until the context restart
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+  port::WrappedMessage<FaultMsg> msg;
+  msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+
+  guard::GuardedInterface::Result r = g.Call(1, msg.ea());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, 64);
+  EXPECT_EQ(r.attempts, 3);  // two timeouts, restart, then success
+  EXPECT_EQ(counter(machine, "guard.restarts"), 1u);
+  EXPECT_EQ(counter(machine, "guard.quarantined_spes"), 0u);
+  EXPECT_FALSE(health.quarantined(0));
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+// ---- retry accounting: no double-counted EIB bytes, no mailbox leaks --
+
+TEST_F(Guard, RetryDoesNotDoubleCountEibBytesOrLeakMailboxes) {
+  // Same workload twice: clean, and with one transient DMA fault that
+  // forces one retry. The faulted command aborts before any bytes move,
+  // and the retry re-fetches what the failed attempt never got — so the
+  // EIB totals must come out identical. Anything more means retries
+  // double-count traffic; anything less means a transfer was lost.
+  auto run = [](bool faulted) {
+    sim::Machine machine;
+    port::TaskPool pool(machine, 1);
+    guard::RetryPolicy policy;
+    policy.deadline_ns = 10e6;
+    pool.set_retry_policy(policy);
+    if (faulted) {
+      sim::FaultInjection f;
+      f.dma_error_after = 0;
+      machine.spe(0).inject_fault(f);
+    }
+    cellport::AlignedBuffer<std::uint8_t> host(64);
+    for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+    std::vector<port::WrappedMessage<FaultMsg>> msgs(2);
+    std::vector<port::TaskPool::TaskId> ids;
+    std::uint64_t before = machine.eib().total_bytes();
+    for (auto& m : msgs) {
+      m->ea = reinterpret_cast<std::uint64_t>(host.data());
+      ids.push_back(pool.submit(sum_module(), 1, m.ea()));
+    }
+    pool.wait_all();
+    for (auto id : ids) {
+      EXPECT_FALSE(pool.task_failed(id)) << pool.task_error(id);
+    }
+    std::uint64_t bytes = machine.eib().total_bytes() - before;
+    std::size_t retries = pool.stats().retries;
+    EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+    return std::pair<std::uint64_t, std::size_t>(bytes, retries);
+  };
+
+  auto clean = run(false);
+  auto guarded = run(true);
+  EXPECT_EQ(clean.second, 0u);
+  EXPECT_EQ(guarded.second, 1u);
+  EXPECT_EQ(guarded.first, clean.first);
+}
+
+// ---- TaskPool: deadlines, retry to another worker, hung shutdown ----
+
+TEST_F(Guard, PoolRetriesHungTaskOnAnotherWorker) {
+  sim::Machine machine;
+  port::TaskPool pool(machine, 2);
+  guard::RetryPolicy policy;
+  policy.deadline_ns = 10e6;
+  pool.set_retry_policy(policy);
+  // Worker 0's SPE stops answering after its first completion — and a
+  // context restart cannot fix it.
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = true;
+  f.clears_on_restart = false;
+  machine.spe(0).inject_fault(f);
+
+  cellport::AlignedBuffer<std::uint8_t> host(64);
+  for (std::size_t i = 0; i < 64; ++i) host[i] = 1;
+  std::vector<port::WrappedMessage<FaultMsg>> msgs(4);
+  std::vector<port::TaskPool::TaskId> ids;
+  for (auto& m : msgs) {
+    m->ea = reinterpret_cast<std::uint64_t>(host.data());
+    ids.push_back(pool.submit(sum_module(), 1, m.ea()));
+  }
+  pool.wait_all();
+
+  // Every task completed despite the hung worker, and the hangs were
+  // observed as deadline misses, not host wedges.
+  for (auto id : ids) {
+    EXPECT_FALSE(pool.task_failed(id)) << pool.task_error(id);
+  }
+  auto stats = pool.stats();
+  EXPECT_GE(stats.timeouts, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_TRUE(sim::check_machine_invariants(machine).empty());
+}
+
+TEST_F(Guard, PoolWithHungWorkerShutsDownCleanly) {
+  // Destroying a pool whose worker is hung must not hang the host: the
+  // destructor's shutdown path classifies the pending completion by its
+  // timestamp and tears the worker down.
+  sim::Machine machine;
+  {
+    port::TaskPool pool(machine, 1);
+    guard::RetryPolicy policy;
+    policy.deadline_ns = 10e6;
+    policy.max_attempts = 2;
+    pool.set_retry_policy(policy);
+    sim::FaultInjection f;
+    f.hang_after = 0;
+    f.hang_sticky = true;
+    f.clears_on_restart = false;
+    machine.spe(0).inject_fault(f);
+
+    cellport::AlignedBuffer<std::uint8_t> host(64);
+    port::WrappedMessage<FaultMsg> msg;
+    msg->ea = reinterpret_cast<std::uint64_t>(host.data());
+    pool.submit(sum_module(), 1, msg.ea());
+    // No wait_all: the destructor runs it (and survives the failure).
+  }
+  sim::InvariantChannel::instance().drain();
+}
+
+// ---- CellEngine: graceful degradation to the PPE scalar path ----
+
+class GuardedEngine : public Guard {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = new testutil::TempLibrary("cellport_guard_models.bin",
+                                         /*extra_concepts=*/2);
+  }
+  static void TearDownTestSuite() {
+    delete library_;
+    library_ = nullptr;
+  }
+  static testutil::TempLibrary* library_;
+
+  static guard::GuardPolicy guarded_policy() {
+    guard::GuardPolicy gp;
+    gp.enabled = true;
+    gp.retry.deadline_ns = 500e6;  // the cellcheck guard-matrix deadline
+    return gp;
+  }
+};
+
+testutil::TempLibrary* GuardedEngine::library_ = nullptr;
+
+TEST_F(GuardedEngine, FaultFreeGuardedRunIsBitIdenticalAndCheap) {
+  img::SicEncoded image = img::sic_encode(testutil::seeded_image(2026));
+
+  sim::Machine plain;
+  marvel::CellEngine unguarded(plain, library_->path(),
+                               marvel::Scenario::kMultiSPE);
+  double u0 = plain.ppe().now_ns();
+  marvel::AnalysisResult a = unguarded.analyze(image);
+  double unguarded_ns = plain.ppe().now_ns() - u0;
+
+  sim::Machine machine;
+  marvel::CellEngine engine(machine, library_->path(),
+                            marvel::Scenario::kMultiSPE,
+                            kernels::kDoubleBuffer, false,
+                            guarded_policy());
+  double g0 = machine.ppe().now_ns();
+  marvel::AnalysisResult b = engine.analyze(image);
+  double guarded_ns = machine.ppe().now_ns() - g0;
+
+  EXPECT_TRUE(b.degraded.empty());
+  EXPECT_EQ(a.color_histogram.values, b.color_histogram.values);
+  EXPECT_EQ(a.color_correlogram.values, b.color_correlogram.values);
+  EXPECT_EQ(a.texture.values, b.texture.values);
+  EXPECT_EQ(a.edge_histogram.values, b.edge_histogram.values);
+  EXPECT_EQ(a.cc_detect.values, b.cc_detect.values);
+  // The acceptance bound is <= 2% overhead; the design goal is zero.
+  EXPECT_LE(guarded_ns, unguarded_ns * 1.02);
+  EXPECT_EQ(counter(machine, "guard.retries"), 0u);
+  EXPECT_EQ(counter(machine, "guard.ppe_fallbacks"), 0u);
+}
+
+TEST_F(GuardedEngine, BrokenSpeDegradesOneKernelToThePpe) {
+  // 5 SPEs, all pinned, no spares: when the texture SPE breaks for good,
+  // the engine must fall back to the PPE scalar path for that kernel —
+  // and say so — rather than fail the whole analysis.
+  img::SicEncoded image = img::sic_encode(testutil::seeded_image(2027));
+  sim::Machine machine(sim::Machine::Config{5});
+  marvel::CellEngine engine(machine, library_->path(),
+                            marvel::Scenario::kSingleSPE,
+                            kernels::kDoubleBuffer, false,
+                            guarded_policy());
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = true;
+  f.clears_on_restart = false;
+  machine.spe(2).inject_fault(f);  // SPE 2 hosts the texture kernel
+
+  marvel::AnalysisResult r = engine.analyze(image);
+  ASSERT_EQ(r.degraded.size(), 1u);
+  EXPECT_EQ(r.degraded[0], "extract:texture");
+  EXPECT_EQ(counter(machine, "guard.ppe_fallbacks"), 1u);
+  EXPECT_GE(counter(machine, "guard.timeouts"), 1u);
+
+  // The degraded result still matches the reference implementation.
+  marvel::ReferenceEngine ref(sim::cell_ppe(), library_->path());
+  testutil::expect_feature_equivalent(r, ref.analyze(image));
+
+  // A second image strikes the same SPE again; having already spent its
+  // one restart, it is now quarantined.
+  marvel::AnalysisResult r2 = engine.analyze(image);
+  ASSERT_EQ(r2.degraded.size(), 1u);
+  EXPECT_EQ(r2.degraded[0], "extract:texture");
+  ASSERT_NE(engine.health(), nullptr);
+  EXPECT_TRUE(engine.health()->quarantined(2));
+  EXPECT_EQ(counter(machine, "guard.quarantined_spes"), 1u);
+  EXPECT_EQ(counter(machine, "guard.ppe_fallbacks"), 2u);
+}
+
+TEST_F(GuardedEngine, SpareSpeAbsorbsAPersistentFaultWithoutDegrading) {
+  // Same broken SPE, but with 8 SPEs the pinned set leaves spares 5..7:
+  // the guard migrates the texture kernel instead of degrading it.
+  img::SicEncoded image = img::sic_encode(testutil::seeded_image(2028));
+  sim::Machine machine;
+  marvel::CellEngine engine(machine, library_->path(),
+                            marvel::Scenario::kSingleSPE,
+                            kernels::kDoubleBuffer, false,
+                            guarded_policy());
+  sim::FaultInjection f;
+  f.hang_after = 0;
+  f.hang_sticky = true;
+  f.clears_on_restart = false;
+  machine.spe(2).inject_fault(f);
+
+  marvel::AnalysisResult r = engine.analyze(image);
+  EXPECT_TRUE(r.degraded.empty());
+  EXPECT_GE(counter(machine, "guard.retries"), 1u);
+  EXPECT_EQ(counter(machine, "guard.ppe_fallbacks"), 0u);
+
+  marvel::ReferenceEngine ref(sim::cell_ppe(), library_->path());
+  testutil::expect_feature_equivalent(r, ref.analyze(image));
+}
+
+}  // namespace
+}  // namespace cellport
