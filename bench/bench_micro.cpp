@@ -3,6 +3,9 @@
 // larger experiments; simulated time is deterministic regardless).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "features/color_histogram.h"
 #include "img/codec.h"
 #include "img/synth.h"
@@ -47,6 +50,55 @@ void BM_MailboxRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MailboxRoundTrip);
+
+port::KernelModule& nop_module() {
+  static port::KernelModule mod("bench_nop", 1024);
+  static bool init =
+      (mod.add_function(1, +[](std::uint64_t) { return 0; }), true);
+  (void)init;
+  return mod;
+}
+
+// The cellstream protocol question in isolation: what does one request
+// cost through the legacy two-mailbox-word call versus through the
+// command ring, on a kernel that does no work? The `sim_ns_per_req`
+// counter carries the *simulated* protocol cost (deterministic); the
+// wall-clock column is the host-side overhead of each emulated path.
+
+void BM_DispatchPerCallMailbox(benchmark::State& state) {
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(nop_module());
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t reqs = 0;
+  for (auto _ : state) {
+    iface.SendAndWait(1, 0);
+    ++reqs;
+  }
+  state.counters["sim_ns_per_req"] =
+      reqs > 0 ? (machine.ppe().now_ns() - t0) / static_cast<double>(reqs)
+               : 0;
+}
+BENCHMARK(BM_DispatchPerCallMailbox);
+
+void BM_DispatchRingDoorbell(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(nop_module());
+  iface.set_ring_capacity(static_cast<std::uint32_t>(batch < 2 ? 2 : batch));
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t reqs = 0;
+  std::vector<int> res;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) iface.Enqueue(1, 0);
+    iface.FlushBatch();
+    iface.WaitBatch(&res);
+    reqs += batch;
+  }
+  state.counters["sim_ns_per_req"] =
+      reqs > 0 ? (machine.ppe().now_ns() - t0) / static_cast<double>(reqs)
+               : 0;
+}
+BENCHMARK(BM_DispatchRingDoorbell)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_ReferenceColorHistogram(benchmark::State& state) {
   img::RgbImage image = img::synth_image(img::SceneKind::kShapes, 1);

@@ -7,6 +7,8 @@
 // expected to match a 2007 testbed.
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -29,10 +31,13 @@
 namespace cellport::bench {
 
 /// Writes the standard model library to a temp path (done once per
-/// binary) and returns the path.
+/// binary) and returns the path. The path is per-process: concurrent
+/// bench binaries (CI runs them in parallel) must not rebuild the
+/// library over each other mid-read.
 inline const std::string& library_path() {
   static const std::string path = [] {
-    std::string p = "/tmp/cellport_bench_models.bin";
+    std::string p = "/tmp/cellport_bench_models." +
+                    std::to_string(::getpid()) + ".bin";
     learn::MarvelModels models = learn::make_marvel_models();
     std::size_t bytes = learn::save_library(p, models);
     std::printf("[setup] model library: %.2f MB at %s\n",

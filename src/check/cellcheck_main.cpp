@@ -11,9 +11,12 @@
 // (--out, default cellcheck.failure.json). All stdout is derived from
 // seeds and simulated time only — two identical invocations print
 // byte-identical logs.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/faults.h"
@@ -21,6 +24,7 @@
 #include "check/scenario.h"
 #include "check/shrink.h"
 #include "learn/model_store.h"
+#include "sim/invariants.h"
 #include "sim/observe.h"
 #include "support/error.h"
 
@@ -42,6 +46,7 @@ struct Options {
   bool verbose = false;
   bool fail_fast = true;
   bool guard_matrix = false;
+  int jobs = 0;  // scenario threads; 0 = hardware_concurrency
 };
 
 /// Scenario seeds are decorrelated from the (often tiny) base seed with
@@ -66,6 +71,8 @@ int usage(const char* argv0) {
       "/tmp)\n"
       "  --guard-matrix     generate guarded engine scenarios with\n"
       "                     scheduled SPE faults (hang/slow/dma-error)\n"
+      "  --jobs N           scenario threads (default: all host cores);\n"
+      "                     results and logs are independent of N\n"
       "  --no-shrink        keep the original failing scenario\n"
       "  --keep-going       run all scenarios even after a failure\n"
       "  --verbose          log every scenario, not just failures\n",
@@ -112,6 +119,9 @@ std::string describe(const ScenarioSpec& spec) {
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";
+  if (spec.stream_batch > 0) {
+    s += " stream=" + std::to_string(spec.stream_batch);
+  }
   if (spec.guarded) {
     s += " guarded";
     if (spec.sched_fault >= 0) {
@@ -195,10 +205,57 @@ int run(const Options& opts) {
     }
   }
 
+  // Run phase: scenarios are independent (each builds its own simulated
+  // machine, and the sim keeps per-thread trace/invariant state), so
+  // they fan out over host threads. Outcomes are collected by index and
+  // reported in order below, which keeps stdout — and, under
+  // --fail-fast, the *first* failing scenario — byte-identical to a
+  // serial run: a worker that sees a failure at index i only skips
+  // indices beyond i, never one that could become the earlier failure.
+  int jobs = opts.jobs > 0
+                 ? opts.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::max(1, std::min(jobs, static_cast<int>(specs.size())));
+  std::vector<RunOutcome> outcomes(specs.size());
+  std::vector<char> ran(specs.size(), 0);
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      outcomes[i] = cellport::check::run_scenario(specs[i], cfg);
+      ran[i] = 1;
+      if (!outcomes[i].ok && opts.fail_fast) break;
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> first_fail{specs.size()};
+    auto worker = [&]() {
+      cellport::sim::InvariantChannel channel;
+      cellport::sim::ScopedInvariantChannel scope(&channel);
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= specs.size()) return;
+        if (opts.fail_fast && i > first_fail.load()) continue;
+        outcomes[i] = cellport::check::run_scenario(specs[i], cfg);
+        ran[i] = 1;
+        if (!outcomes[i].ok) {
+          std::size_t cur = first_fail.load();
+          while (i < cur && !first_fail.compare_exchange_weak(cur, i)) {
+          }
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  // Report phase (serial, in index order; shrinking re-runs scenarios on
+  // this thread).
   int failures = 0;
   for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (!ran[i]) continue;
     const ScenarioSpec& spec = specs[i];
-    RunOutcome outcome = cellport::check::run_scenario(spec, cfg);
+    const RunOutcome& outcome = outcomes[i];
     if (opts.verbose && outcome.ok) {
       std::printf("ok seed=%llu %s\n",
                   static_cast<unsigned long long>(spec.seed),
@@ -245,6 +302,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--library") == 0 &&
                (v = next()) != nullptr) {
       opts.library_path = v;
+    } else if (std::strcmp(arg, "--jobs") == 0 && (v = next()) != nullptr) {
+      opts.jobs = std::atoi(v);
+      if (opts.jobs <= 0) return usage(argv[0]);
     } else if (std::strcmp(arg, "--guard-matrix") == 0) {
       opts.guard_matrix = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {

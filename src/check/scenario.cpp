@@ -210,6 +210,14 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
           rng.next_below(spec.images.size()));
     }
   }
+
+  // cellstream rider (also appended last): engine modes sometimes stream
+  // the corpus through the command rings instead of per-call analyze().
+  // The oracle and every downstream property are unchanged; windows
+  // larger than the corpus exercise the short-final-window path.
+  if (engine_mode && rng.next_below(100) < 30) {
+    spec.stream_batch = 1 + static_cast<int>(rng.next_below(4));
+  }
   return spec;
 }
 
@@ -244,6 +252,12 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
         static_cast<int>(rng.next_below(spec.images.size()));
   }
   spec.replay_twice = rng.next_below(4) == 0;
+  // Guarded streaming: scheduled faults land mid-batch and the stream
+  // engine must recover per-request (retry via the guard, then PPE
+  // fallback) without disturbing the window's other images.
+  if (rng.next_below(100) < 35) {
+    spec.stream_batch = 1 + static_cast<int>(rng.next_below(4));
+  }
   return spec;
 }
 
@@ -260,6 +274,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("block_rows").value(spec.block_rows);
   w.key("use_naive").value(spec.use_naive);
   w.key("pipelined_batch").value(spec.pipelined_batch);
+  w.key("stream_batch").value(spec.stream_batch);
   w.key("kernel").value(spec.kernel);
   w.key("fault_kind").value(spec.fault_kind);
   w.key("replay_twice").value(spec.replay_twice);
@@ -363,6 +378,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.fault_kind = static_cast<int>(require_number(doc, "fault_kind"));
   spec.replay_twice = require_bool(doc, "replay_twice");
   spec.scaling_probe = require_bool(doc, "scaling_probe");
+  spec.stream_batch = optional_number(doc, "stream_batch", 0);
   spec.guarded = optional_bool(doc, "guarded", false);
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);

@@ -78,6 +78,11 @@ struct ScenarioSpec {
   int sched_fault = -1;  // -1 none, else kSched* on a pinned SPE
   int sched_spe = 0;     // which SPE the scheduled fault lands on
   int sched_at = 0;      // fire on the Nth completion / DMA op
+  /// Engine modes: drive the corpus through CellEngine::analyze_stream
+  /// (the cellstream command rings) with this window size instead of
+  /// per-call analyze(). 0 = off. The streamed property: results are
+  /// bit-exact with the reference oracle, same as every other engine run.
+  int stream_batch = 0;
   /// Re-run the whole scenario and require byte-identical results and
   /// traces (static modes only; TaskPool timing is host-order dependent).
   bool replay_twice = false;

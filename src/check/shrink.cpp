@@ -47,6 +47,19 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.pipelined_batch = false;
     push(next);
   }
+  if (spec.stream_batch > 0) {
+    // Dropping the stream rider entirely is the bigger simplification;
+    // failing that, a one-image window still exercises the ring protocol
+    // with the smallest possible schedule.
+    ScenarioSpec next = spec;
+    next.stream_batch = 0;
+    push(next);
+    if (spec.stream_batch > 1) {
+      next = spec;
+      next.stream_batch = 1;
+      push(next);
+    }
+  }
   if (spec.fault_kind >= 0) {
     ScenarioSpec next = spec;
     next.fault_kind = -1;

@@ -259,10 +259,8 @@ int cc_run(std::uint64_t ea) {
                                       static_cast<double>(st.possible[i]))
                  : 0.0f;
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(hist_len * sizeof(float)), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(hist_len * sizeof(float)));
   return 0;
 }
 
@@ -364,10 +362,8 @@ int cc_run_naive(std::uint64_t ea) {
                                    static_cast<double>(possible[i]))
                              : 0.0f;
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(hist_len * sizeof(float)), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(hist_len * sizeof(float)));
   return 0;
 }
 

@@ -129,13 +129,11 @@ int cd_run(std::uint64_t ea) {
     scores[m] = acc - desc.rho;
   }
 
-  dma_out(scores, msg->scores_ea,
-          static_cast<std::uint32_t>(
-              cellport::round_up(static_cast<std::size_t>(n_models), 2) *
-              sizeof(double)),
-          0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(scores, msg->scores_ea,
+              static_cast<std::uint32_t>(
+                  cellport::round_up(static_cast<std::size_t>(n_models),
+                                     2) *
+                  sizeof(double)));
   return 0;
 }
 
@@ -235,14 +233,11 @@ int knn_run(std::uint64_t ea) {
                        static_cast<double>(filled)) -
                 1.0;
   }
-  dma_out(scores, msg->scores_ea,
-          static_cast<std::uint32_t>(
-              cellport::round_up(static_cast<std::size_t>(msg->num_labels),
-                                 2) *
-              sizeof(double)),
-          0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(scores, msg->scores_ea,
+              static_cast<std::uint32_t>(
+                  cellport::round_up(
+                      static_cast<std::size_t>(msg->num_labels), 2) *
+                  sizeof(double)));
   return 0;
 }
 

@@ -99,13 +99,10 @@ int ch_run(std::uint64_t ea) {
     vst(&out[i], spu_mul(spu_convtf(c), vinv));
     spu_loop(1);
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(
-              cellport::round_up(std::size_t{img::kHsvBins}, 4) *
-              sizeof(float)),
-          0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(
+                  cellport::round_up(std::size_t{img::kHsvBins}, 4) *
+                  sizeof(float)));
   return 0;
 }
 
@@ -165,13 +162,10 @@ int ch_run_naive(std::uint64_t ea) {
     out[i] = static_cast<float>(hist[i]) * inv;
   }
   out[166] = out[167] = 0.0f;
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(
-              cellport::round_up(std::size_t{img::kHsvBins}, 4) *
-              sizeof(float)),
-          0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(
+                  cellport::round_up(std::size_t{img::kHsvBins}, 4) *
+                  sizeof(float)));
   return 0;
 }
 
@@ -246,10 +240,8 @@ int ch_run_lut(std::uint64_t ea) {
     vst(&out[i], spu_mul(spu_convtf(c), vinv));
     spu_loop(1);
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(hist_len * sizeof(float)), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(hist_len * sizeof(float)));
   return 0;
 }
 

@@ -32,6 +32,18 @@ void dma_out(const void* ls, std::uint64_t ea, std::uint32_t bytes,
   }
 }
 
+void emit_result(const void* ls, std::uint64_t ea, std::uint32_t bytes) {
+  SpeContext* ctx = current_spe();
+  int defer = ctx != nullptr ? ctx->defer_out_tag() : -1;
+  if (defer < 0) {
+    dma_out(ls, ea, bytes, 0);
+    mfc_write_tag_mask(1u << 0);
+    mfc_read_tag_status_all();
+    return;
+  }
+  dma_out(ls, ea, bytes, static_cast<unsigned>(defer));
+}
+
 RowStreamer::RowStreamer(std::uint64_t base_ea, std::uint32_t stride,
                          int row_begin, int row_end, int rows_per_block,
                          int depth)

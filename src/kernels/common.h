@@ -27,6 +27,16 @@ void fetch_msg(T* ls_msg, std::uint64_t ea) {
   cellport::sim::mfc_read_tag_status_all();
 }
 
+/// Emits a kernel's result buffer (the closing DMA of every kernel call).
+/// Per-call dispatch puts on tag 0 and waits — exactly the historical
+/// dma_out + tag-mask + tag-status tail. Under ring dispatch (the
+/// SpeContext carries a deferred-output tag) the put is issued on that
+/// tag and NOT waited for: the dispatcher fences the tag once per drained
+/// batch, so this request's output transfer overlaps the next request's
+/// input DMA. Functionally safe either way — the simulated MFC copies
+/// data at issue time (hardware would double-buffer the output area).
+void emit_result(const void* ls, std::uint64_t ea, std::uint32_t bytes);
+
 /// Multi-buffered streaming of consecutive image rows through the local
 /// store — the paper's "double and triple buffering" optimization. With
 /// depth 1 the kernel stalls on every block (the naive ports); with depth

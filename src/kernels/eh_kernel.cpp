@@ -351,10 +351,8 @@ int eh_run(std::uint64_t ea) {
     vst(&out[i], spu_mul(spu_convtf(vld<vec_int4>(&st.counts[i])), vinv));
     spu_loop(1);
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(kBins * sizeof(float)), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(kBins * sizeof(float)));
   return 0;
 }
 
@@ -466,10 +464,8 @@ int eh_run_naive(std::uint64_t ea) {
     charge_odd(3);
     out[i] = static_cast<float>(counts[i]) * inv;
   }
-  dma_out(out, msg->out_ea,
-          static_cast<std::uint32_t>(kBins * sizeof(float)), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea,
+              static_cast<std::uint32_t>(kBins * sizeof(float)));
   return 0;
 }
 

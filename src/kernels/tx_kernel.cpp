@@ -276,9 +276,7 @@ int tx_run(std::uint64_t ea) {
   }
   for (; idx < 16; ++idx) out[idx] = 0.0f;
 
-  dma_out(out, msg->out_ea, 16 * sizeof(float), 0);
-  mfc_write_tag_mask(1u << 0);
-  mfc_read_tag_status_all();
+  emit_result(out, msg->out_ea, 16 * sizeof(float));
   return 0;
 }
 

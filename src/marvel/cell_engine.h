@@ -35,11 +35,39 @@ namespace cellport::marvel {
 
 enum class Scenario { kSingleSPE, kMultiSPE, kMultiSPE2 };
 
+class StreamEngine;
+
+/// cellstream: knobs for analyze_stream().
+struct StreamOptions {
+  /// Images admitted per ring doorbell (the streaming window size).
+  /// 1..128; 1 degenerates to one-request batches (the overhead-parity
+  /// baseline).
+  int batch = 8;
+  /// Retire each window before doorbelling the next even when the engine
+  /// could keep two in flight (unguarded parallel scenarios). Guarded
+  /// engines always run this way; forcing it on an unguarded engine
+  /// yields the schedule a guarded run charges, for apples-to-apples
+  /// comparisons.
+  bool sequential = false;
+};
+
+/// cellstream: what a streaming run measured (all simulated time).
+struct StreamStats {
+  std::size_t images = 0;
+  sim::SimTime elapsed_ns = 0;
+  double images_per_sec = 0.0;
+  std::size_t doorbells = 0;        // ring doorbells the PPE rang
+  std::size_t request_retries = 0;  // guarded per-request re-runs
+  std::size_t batch_timeouts = 0;   // whole-batch deadline misses
+  std::size_t fallbacks = 0;        // PPE fallbacks (guarded)
+};
+
 /// Extra PPE-side phase names (multi-SPE scenarios overlap the kernels,
 /// so only aggregate phases are meaningful there).
 inline constexpr const char* kPhaseExtractPar = "Extract(parallel)";
 inline constexpr const char* kPhaseDetect = "Detect";
 inline constexpr const char* kPhasePipelined = "Pipelined(batch)";
+inline constexpr const char* kPhaseStream = "Stream(ring)";
 
 class CellEngine {
  public:
@@ -67,6 +95,19 @@ class CellEngine {
   std::vector<AnalysisResult> analyze_batch_pipelined(
       const std::vector<img::SicEncoded>& images);
 
+  /// cellstream: streaming throughput mode. Admits the whole queue of
+  /// encoded images and drives every scheduled SPE through its command
+  /// ring in windows of `opts.batch` requests — one doorbell per window
+  /// per ring instead of one mailbox write per call, with the PPE
+  /// decoding ahead while the SPEs extract (parallel scenarios). Results
+  /// are bit-exact with per-call analyze(). Guard deadlines apply
+  /// per-request (a faulted request is re-run alone; the window's
+  /// deadline is count * per-call deadline). `stats`, when non-null,
+  /// receives the measured simulated images/sec.
+  std::vector<AnalysisResult> analyze_stream(
+      const std::vector<img::SicEncoded>& images,
+      const StreamOptions& opts = {}, StreamStats* stats = nullptr);
+
   sim::Machine& machine() { return machine_; }
   port::Profiler& profiler() { return profiler_; }
   sim::SimTime startup_ns() const { return startup_ns_; }
@@ -77,6 +118,8 @@ class CellEngine {
   const guard::SpeHealth* health() const { return health_.get(); }
 
  private:
+  friend class StreamEngine;
+
   struct FeatureSlot {
     port::SPEInterface* extract_if = nullptr;
     const char* phase = nullptr;

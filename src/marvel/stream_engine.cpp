@@ -1,0 +1,431 @@
+#include "marvel/stream_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace cellport::marvel {
+
+namespace {
+
+std::size_t padded_dim(int dim) {
+  return cellport::round_up(static_cast<std::size_t>(dim), 8);
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
+    : engine_(engine), opts_(opts) {
+  if (opts_.batch < 1 || opts_.batch > 128) {
+    throw cellport::ConfigError("stream batch must be 1..128");
+  }
+  pipelined_ = !opts_.sequential && !engine_.guard_.enabled &&
+               engine_.scenario_ != Scenario::kSingleSPE;
+  if (engine_.guard_.enabled) {
+    guard_deadline_ns_ = engine_.guard_.retry.deadline_ns;
+  }
+  const auto B = static_cast<std::size_t>(opts_.batch);
+  for (auto& parity : bufs_) {
+    parity.reserve(B);
+    for (std::size_t j = 0; j < B; ++j) {
+      auto pi = std::make_unique<PerImage>();
+      for (int s = 0; s < 4; ++s) {
+        CellEngine::FeatureSlot& slot = engine_.slots_[s];
+        SlotBuf& sb = pi->sb[s];
+        sb.out = cellport::AlignedBuffer<float>(padded_dim(slot.dim));
+        sb.scores = cellport::AlignedBuffer<double>(slot.scores.size());
+        // The detection message is static per buffer: it reads this
+        // buffer's feature vector and writes this buffer's scores. The
+        // model descriptors stay shared, read-only, with the engine.
+        kernels::DetectMsg& dm = *sb.detect_msg;
+        dm = *slot.detect_msg;
+        dm.feature_ea = reinterpret_cast<std::uint64_t>(sb.out.data());
+        dm.scores_ea = reinterpret_cast<std::uint64_t>(sb.scores.data());
+      }
+      parity.push_back(std::move(pi));
+    }
+  }
+}
+
+port::SPEInterface* StreamEngine::extract_iface(int s) {
+  if (engine_.guard_.enabled) return engine_.slots_[s].g_extract->iface();
+  return engine_.slots_[s].extract_if;
+}
+
+port::SPEInterface* StreamEngine::detect_iface(int s) {
+  if (engine_.scenario_ == Scenario::kMultiSPE2) {
+    if (engine_.guard_.enabled) return engine_.slots_[s].g_detect->iface();
+    return engine_.slots_[s].detect_if;
+  }
+  if (engine_.guard_.enabled) return engine_.g_cd_->iface();
+  return engine_.cd_if_.get();
+}
+
+guard::GuardedInterface* StreamEngine::extract_guard(int s) {
+  return engine_.guard_.enabled ? engine_.slots_[s].g_extract.get()
+                                : nullptr;
+}
+
+guard::GuardedInterface* StreamEngine::detect_guard(int s) {
+  if (!engine_.guard_.enabled) return nullptr;
+  return engine_.scenario_ == Scenario::kMultiSPE2
+             ? engine_.slots_[s].g_detect.get()
+             : engine_.g_cd_.get();
+}
+
+port::SPEInterface* StreamEngine::ensure_ring(port::SPEInterface* iface,
+                                              std::uint32_t cap) {
+  if (iface == nullptr) return nullptr;
+  if (cap < 2) cap = 2;
+  if (!iface->ring_configured()) {
+    iface->set_ring_capacity(cap);
+  } else if (iface->ring_capacity() < cap) {
+    throw cellport::ConfigError(
+        "stream ring smaller than the window needs");
+  }
+  return iface;
+}
+
+std::size_t StreamEngine::window_begin(std::size_t w) const {
+  return w * static_cast<std::size_t>(opts_.batch);
+}
+
+std::size_t StreamEngine::window_count(std::size_t w,
+                                       std::size_t total) const {
+  return std::min(static_cast<std::size_t>(opts_.batch),
+                  total - window_begin(w));
+}
+
+StreamEngine::PerImage& StreamEngine::buf(std::size_t w, std::size_t j) {
+  return *bufs_[w % 2][j];
+}
+
+void StreamEngine::prepare_window(
+    std::size_t w, const std::vector<img::SicEncoded>& images) {
+  const std::size_t base = window_begin(w);
+  const std::size_t count = window_count(w, images.size());
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
+  for (std::size_t j = 0; j < count; ++j) {
+    PerImage& pi = buf(w, j);
+    const img::SicEncoded& image = images[base + j];
+    ppe.charge_io(image.bytes.size(), /*open_file=*/true);
+    pi.pixels = img::sic_decode(image, &ppe);
+    pi.degraded.clear();
+    for (int s = 0; s < 4; ++s) {
+      // Listing 4's FILL_MSG_FROM_COLORIMAGE, against this window slot's
+      // private message.
+      ppe.charge(sim::OpClass::kStore, 12);
+      kernels::ImageMsg& m = *pi.sb[s].msg;
+      m.pixels_ea = reinterpret_cast<std::uint64_t>(pi.pixels.data());
+      m.width = pi.pixels.width();
+      m.height = pi.pixels.height();
+      m.stride = pi.pixels.stride();
+      m.buffering = engine_.buffering_;
+      m.out_ea = reinterpret_cast<std::uint64_t>(pi.sb[s].out.data());
+      m.out_count = engine_.slots_[s].dim;
+    }
+  }
+}
+
+int StreamEngine::flush_ring(port::SPEInterface* iface) {
+  int n = iface->FlushBatch();
+  if (n > 0) ++stats_.doorbells;
+  return n;
+}
+
+void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
+                                      int s) {
+  const std::size_t count = window_count(w, total);
+  const auto cap = static_cast<std::uint32_t>(opts_.batch) *
+                   (pipelined_ ? 2u : 1u);
+  port::SPEInterface* iface = ensure_ring(extract_iface(s), cap);
+  if (iface == nullptr) return;  // guarded + closed: resolved in the wait
+  const int opcode = engine_.guarded_opcode(engine_.slots_[s]);
+  for (std::size_t j = 0; j < count; ++j) {
+    iface->Enqueue(opcode, buf(w, j).sb[s].msg.ea());
+  }
+  flush_ring(iface);
+}
+
+void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
+                                     int s) {
+  const std::size_t count = window_count(w, total);
+  port::SPEInterface* iface = extract_iface(s);
+  guard::GuardedInterface* gi = extract_guard(s);
+  if (iface == nullptr) {
+    // Guarded engine with the interface closed (every candidate SPE
+    // quarantined): the guard's per-call loop still yields verdicts,
+    // which drop to the PPE reference path.
+    for (std::size_t j = 0; j < count; ++j) rerun_extract(s, buf(w, j));
+    return;
+  }
+  std::vector<int> res;
+  const sim::SimTime timeout =
+      guard_deadline_ns_ > 0
+          ? guard_deadline_ns_ * static_cast<sim::SimTime>(count)
+          : -1;
+  if (!iface->WaitBatch(&res, timeout)) {
+    ++stats_.batch_timeouts;
+    iface->reclaim();
+    for (std::size_t j = 0; j < count; ++j) rerun_extract(s, buf(w, j));
+    return;
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    if (res[j] != port::SPEInterface::kRingFault) continue;
+    if (gi != nullptr) {
+      rerun_extract(s, buf(w, j));
+    } else {
+      throw_ring_fault("extract", iface);
+    }
+  }
+}
+
+void StreamEngine::run_detect(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  const auto spu_run = static_cast<int>(kernels::SPU_Run);
+
+  if (engine_.scenario_ == Scenario::kMultiSPE2) {
+    // Each slot's detection rides its own ring (one doorbell per slot).
+    const auto cap = static_cast<std::uint32_t>(opts_.batch);
+    for (int s = 0; s < 4; ++s) {
+      port::SPEInterface* iface = ensure_ring(detect_iface(s), cap);
+      guard::GuardedInterface* gi = detect_guard(s);
+      if (iface == nullptr) {
+        for (std::size_t j = 0; j < count; ++j) rerun_detect(s, buf(w, j));
+        continue;
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        iface->Enqueue(spu_run, buf(w, j).sb[s].detect_msg.ea());
+      }
+      flush_ring(iface);
+      std::vector<int> res;
+      const sim::SimTime timeout =
+          guard_deadline_ns_ > 0
+              ? guard_deadline_ns_ * static_cast<sim::SimTime>(count)
+              : -1;
+      if (!iface->WaitBatch(&res, timeout)) {
+        ++stats_.batch_timeouts;
+        iface->reclaim();
+        for (std::size_t j = 0; j < count; ++j) rerun_detect(s, buf(w, j));
+        continue;
+      }
+      for (std::size_t j = 0; j < count; ++j) {
+        if (res[j] != port::SPEInterface::kRingFault) continue;
+        if (gi != nullptr) {
+          rerun_detect(s, buf(w, j));
+        } else {
+          throw_ring_fault("detect", iface);
+        }
+      }
+    }
+    return;
+  }
+
+  // Shared concept-detection SPE: all 4*count requests ride one ring
+  // behind one doorbell.
+  const auto cap = static_cast<std::uint32_t>(opts_.batch) * 4u;
+  port::SPEInterface* iface = ensure_ring(detect_iface(0), cap);
+  guard::GuardedInterface* gi = detect_guard(0);
+  if (iface == nullptr) {
+    for (std::size_t j = 0; j < count; ++j) {
+      for (int s = 0; s < 4; ++s) rerun_detect(s, buf(w, j));
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    for (int s = 0; s < 4; ++s) {
+      iface->Enqueue(spu_run, buf(w, j).sb[s].detect_msg.ea());
+    }
+  }
+  flush_ring(iface);
+  std::vector<int> res;
+  const sim::SimTime timeout =
+      guard_deadline_ns_ > 0
+          ? guard_deadline_ns_ * static_cast<sim::SimTime>(4 * count)
+          : -1;
+  if (!iface->WaitBatch(&res, timeout)) {
+    ++stats_.batch_timeouts;
+    iface->reclaim();
+    for (std::size_t j = 0; j < count; ++j) {
+      for (int s = 0; s < 4; ++s) rerun_detect(s, buf(w, j));
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    for (int s = 0; s < 4; ++s) {
+      if (res[j * 4 + static_cast<std::size_t>(s)] !=
+          port::SPEInterface::kRingFault) {
+        continue;
+      }
+      if (gi != nullptr) {
+        rerun_detect(s, buf(w, j));
+      } else {
+        throw_ring_fault("detect", iface);
+      }
+    }
+  }
+}
+
+void StreamEngine::collect_window(std::size_t w, std::size_t total,
+                                  std::vector<AnalysisResult>* out) {
+  const std::size_t count = window_count(w, total);
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
+  for (std::size_t j = 0; j < count; ++j) {
+    PerImage& pi = buf(w, j);
+    AnalysisResult result;
+    features::FeatureVector* fvs[4] = {
+        &result.color_histogram, &result.color_correlogram,
+        &result.texture, &result.edge_histogram};
+    DetectionScores* ds[4] = {&result.ch_detect, &result.cc_detect,
+                              &result.tx_detect, &result.eh_detect};
+    for (int s = 0; s < 4; ++s) {
+      CellEngine::FeatureSlot& slot = engine_.slots_[s];
+      SlotBuf& sb = pi.sb[s];
+      ppe.charge(sim::OpClass::kLoad,
+                 static_cast<std::uint64_t>(slot.dim) + sb.scores.size());
+      ppe.charge(sim::OpClass::kStore,
+                 static_cast<std::uint64_t>(slot.dim) + sb.scores.size());
+      fvs[s]->name = slot.name;
+      fvs[s]->values.assign(sb.out.data(), sb.out.data() + slot.dim);
+      ds[s]->values.assign(sb.scores.data(),
+                           sb.scores.data() + slot.set->models.size());
+    }
+    if (engine_.guard_.enabled) result.degraded = std::move(pi.degraded);
+    engine_.note_image_done();
+    out->push_back(std::move(result));
+  }
+}
+
+void StreamEngine::rerun_extract(int s, PerImage& pi) {
+  ++stats_.request_retries;
+  guard::GuardedInterface::Result r = extract_guard(s)->Call(
+      engine_.guarded_opcode(engine_.slots_[s]), pi.sb[s].msg.ea());
+  if (!r.ok) fallback_extract(s, pi);
+}
+
+void StreamEngine::rerun_detect(int s, PerImage& pi) {
+  ++stats_.request_retries;
+  guard::GuardedInterface::Result r = detect_guard(s)->Call(
+      static_cast<int>(kernels::SPU_Run), pi.sb[s].detect_msg.ea());
+  if (!r.ok) fallback_detect(s, pi);
+}
+
+void StreamEngine::fallback_extract(int s, PerImage& pi) {
+  CellEngine::FeatureSlot& slot = engine_.slots_[s];
+  features::FeatureVector fv =
+      slot.ref_extract(pi.pixels, &engine_.machine_.ppe());
+  engine_.machine_.ppe().charge(sim::OpClass::kStore,
+                                static_cast<std::uint64_t>(slot.dim));
+  std::memcpy(pi.sb[s].out.data(), fv.values.data(),
+              static_cast<std::size_t>(slot.dim) * sizeof(float));
+  note_degraded("extract", s, pi);
+}
+
+void StreamEngine::fallback_detect(int s, PerImage& pi) {
+  CellEngine::FeatureSlot& slot = engine_.slots_[s];
+  features::FeatureVector fv;
+  fv.name = slot.name;
+  fv.values.assign(pi.sb[s].out.data(), pi.sb[s].out.data() + slot.dim);
+  DetectionScores scores =
+      reference_detect(fv, *slot.set, &engine_.machine_.ppe());
+  engine_.machine_.ppe().charge(sim::OpClass::kStore,
+                                scores.values.size());
+  std::memcpy(pi.sb[s].scores.data(), scores.values.data(),
+              scores.values.size() * sizeof(double));
+  note_degraded("detect", s, pi);
+}
+
+void StreamEngine::note_degraded(const char* stage, int s, PerImage& pi) {
+  ++stats_.fallbacks;
+  pi.degraded.push_back(std::string(stage) + ":" +
+                        engine_.slots_[s].name);
+  engine_.fallback_counter_->add(1);
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(trace::Category::kRuntime,
+                               "ppe_fallback:" + pi.degraded.back(),
+                               ppe.now_ns(), "count",
+                               engine_.fallback_counter_->value());
+  }
+}
+
+void StreamEngine::throw_ring_fault(const char* stage,
+                                    port::SPEInterface* iface) {
+  throw cellport::Error(std::string("stream ") + stage + " fault on '" +
+                        iface->module().name() +
+                        "': " + iface->module().last_error());
+}
+
+std::vector<AnalysisResult> StreamEngine::run(
+    const std::vector<img::SicEncoded>& images) {
+  stats_ = StreamStats{};
+  std::vector<AnalysisResult> results;
+  if (images.empty()) return results;
+  results.reserve(images.size());
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
+  const sim::SimTime t0 = ppe.now_ns();
+  const std::size_t total = images.size();
+  const std::size_t W =
+      (total + static_cast<std::size_t>(opts_.batch) - 1) /
+      static_cast<std::size_t>(opts_.batch);
+  port::Profiler::Scope probe(engine_.profiler_, kPhaseStream);
+
+  if (pipelined_) {
+    // Two windows in flight per extract ring: the PPE decodes and
+    // doorbells window w while the SPEs still extract window w-1.
+    for (std::size_t w = 0; w < W; ++w) {
+      prepare_window(w, images);
+      for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+      if (w > 0) {
+        for (int s = 0; s < 4; ++s) wait_extract_slot(w - 1, total, s);
+        run_detect(w - 1, total);
+        collect_window(w - 1, total, &results);
+      }
+    }
+    for (int s = 0; s < 4; ++s) wait_extract_slot(W - 1, total, s);
+    run_detect(W - 1, total);
+    collect_window(W - 1, total, &results);
+  } else {
+    // Guarded engines retire each window before the next doorbell so a
+    // per-request retry can reuse the legacy call path; scenario 1 stays
+    // sequential at window granularity (each kernel's batch retires
+    // before the next kernel starts).
+    for (std::size_t w = 0; w < W; ++w) {
+      prepare_window(w, images);
+      if (engine_.scenario_ == Scenario::kSingleSPE) {
+        for (int s = 0; s < 4; ++s) {
+          flush_extract_slot(w, total, s);
+          wait_extract_slot(w, total, s);
+        }
+      } else {
+        for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+        for (int s = 0; s < 4; ++s) wait_extract_slot(w, total, s);
+      }
+      run_detect(w, total);
+      collect_window(w, total, &results);
+    }
+  }
+
+  stats_.images = total;
+  stats_.elapsed_ns = ppe.now_ns() - t0;
+  stats_.images_per_sec =
+      stats_.elapsed_ns > 0
+          ? static_cast<double>(total) / (stats_.elapsed_ns * 1e-9)
+          : 0.0;
+  engine_.machine_.metrics()
+      .gauge("stream.images_per_sec")
+      .set(stats_.images_per_sec);
+  return results;
+}
+
+std::vector<AnalysisResult> CellEngine::analyze_stream(
+    const std::vector<img::SicEncoded>& images, const StreamOptions& opts,
+    StreamStats* stats) {
+  StreamEngine stream(*this, opts);
+  std::vector<AnalysisResult> results = stream.run(images);
+  if (stats != nullptr) *stats = stream.stats();
+  return results;
+}
+
+}  // namespace cellport::marvel

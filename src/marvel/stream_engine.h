@@ -1,0 +1,104 @@
+// cellstream: the streaming throughput engine behind
+// CellEngine::analyze_stream().
+//
+// Where analyze() pays the stub protocol per call (one mailbox
+// round-trip per kernel invocation), StreamEngine admits a queue of
+// encoded images and drives every scheduled SPE through its DMA-resident
+// command ring: a window of `batch` requests is enqueued with plain
+// stores and doorbelled with ONE mailbox word, and the SPE dispatcher
+// overlaps each request's output DMA with the next request's input DMA.
+// In the parallel scenarios two windows are kept in flight per ring —
+// the PPE decodes window w+1 while the SPEs extract window w — so the
+// rings stay non-empty and the protocol cost amortizes to ~1/batch of a
+// per-call run. Results are bit-exact with per-call analyze().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "marvel/cell_engine.h"
+
+namespace cellport::marvel {
+
+class StreamEngine {
+ public:
+  /// Borrows `engine`'s SPE placement (rings are armed lazily on its
+  /// interfaces). `opts.batch` must be 1..128.
+  StreamEngine(CellEngine& engine, const StreamOptions& opts);
+
+  /// Streams the queue through the engine; one AnalysisResult per image,
+  /// in order, bit-exact with per-call analyze().
+  std::vector<AnalysisResult> run(const std::vector<img::SicEncoded>& images);
+
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  /// Per-image working set: the kernels of different in-flight images
+  /// must not share output buffers, so each window slot carries its own
+  /// messages and result areas (the model descriptors stay shared,
+  /// read-only, with the engine).
+  struct SlotBuf {
+    port::WrappedMessage<kernels::ImageMsg> msg;
+    cellport::AlignedBuffer<float> out;
+    port::WrappedMessage<kernels::DetectMsg> detect_msg;
+    cellport::AlignedBuffer<double> scores;
+  };
+  struct PerImage {
+    img::RgbImage pixels;
+    std::vector<std::string> degraded;
+    SlotBuf sb[4];
+  };
+
+  port::SPEInterface* extract_iface(int s);
+  port::SPEInterface* detect_iface(int s);
+  guard::GuardedInterface* extract_guard(int s);
+  guard::GuardedInterface* detect_guard(int s);
+  /// Arms (or re-arms after a guard migration) a ring of >= `cap` slots;
+  /// null when the guarded interface is currently closed.
+  port::SPEInterface* ensure_ring(port::SPEInterface* iface,
+                                  std::uint32_t cap);
+
+  std::size_t window_begin(std::size_t w) const;
+  std::size_t window_count(std::size_t w, std::size_t total) const;
+  PerImage& buf(std::size_t w, std::size_t j);
+
+  /// Decodes window `w`'s images and fills their messages (the PPE-side
+  /// work that overlaps in-flight extraction in the pipelined flow).
+  void prepare_window(std::size_t w,
+                      const std::vector<img::SicEncoded>& images);
+  int flush_ring(port::SPEInterface* iface);
+  /// Enqueues + doorbells window `w`'s requests for slot `s`'s extract
+  /// ring (one doorbell).
+  void flush_extract_slot(std::size_t w, std::size_t total, int s);
+  /// Waits slot `s`'s extract batch for window `w` and resolves
+  /// per-request faults.
+  void wait_extract_slot(std::size_t w, std::size_t total, int s);
+  /// Runs window `w`'s detection batch(es) and resolves faults.
+  void run_detect(std::size_t w, std::size_t total);
+  void collect_window(std::size_t w, std::size_t total,
+                      std::vector<AnalysisResult>* out);
+
+  // Per-request recovery (guarded engine): re-run just the affected
+  // request through the guard's retry loop, dropping to the PPE
+  // reference path when it gives up.
+  void rerun_extract(int s, PerImage& pi);
+  void rerun_detect(int s, PerImage& pi);
+  void fallback_extract(int s, PerImage& pi);
+  void fallback_detect(int s, PerImage& pi);
+  void note_degraded(const char* stage, int s, PerImage& pi);
+  [[noreturn]] void throw_ring_fault(const char* stage,
+                                     port::SPEInterface* iface);
+
+  CellEngine& engine_;
+  StreamOptions opts_;
+  StreamStats stats_;
+  /// When true (unguarded parallel scenarios) two windows are in flight
+  /// per extract ring; the guarded and single-SPE flows retire each
+  /// window before the next doorbell.
+  bool pipelined_ = false;
+  sim::SimTime guard_deadline_ns_ = 0;
+  std::vector<std::unique_ptr<PerImage>> bufs_[2];
+};
+
+}  // namespace cellport::marvel

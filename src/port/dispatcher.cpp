@@ -1,7 +1,9 @@
 #include "port/dispatcher.h"
 
+#include <algorithm>
 #include <cstdio>
 
+#include "port/ring.h"
 #include "sim/spe_context.h"
 #include "sim/spu_mfcio.h"
 #include "support/error.h"
@@ -50,23 +52,39 @@ void KernelModule::note_error(const std::string& msg) {
   last_error_ = msg;
 }
 
-// The generated SPE main(): the paper's Listing 1. `argv` carries the
-// owning KernelModule (on hardware the function table is baked into the
-// SPE ELF image; the simulator passes it through the program argument).
+namespace {
+
+/// Dispatcher-resident command-ring state (cellstream). The LS staging
+/// buffers are allocated once at arm time and retained, so the per-call
+/// spu_ls_reset() keeps them across kernel invocations.
+struct RingState {
+  ring::RingDescriptor desc;
+  ring::RingCommand* cmds = nullptr;        // LS staging of the commands
+  ring::RingSlotResult* results = nullptr;  // LS staging of the results
+  std::uint32_t tail = 0;                   // next slot to drain
+  bool armed = false;
+};
+
+}  // namespace
+
+// The generated SPE main(): the paper's Listing 1 plus the cellstream
+// command-ring drain. `argv` carries the owning KernelModule (on hardware
+// the function table is baked into the SPE ELF image; the simulator
+// passes it through the program argument).
 int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
                                 std::uint64_t argv) {
   auto* self = reinterpret_cast<KernelModule*>(argv);
   sim::SpeContext* ctx = sim::current_spe();
-  for (;;) {
-    auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
-    if (opcode == SPU_EXIT) return 0;
 
-    std::uint64_t addr_in = sim::spu_read_in_mbox();
-    // Kernel span boundaries reuse flush points the untraced dispatch
-    // loop already has (no pipeline charges accumulate between the
-    // mailbox read above and here, nor between the kernel's last charge
-    // and the completion write below), so recording cannot regroup
-    // dual-issue accounting.
+  // One kernel invocation, shared by the legacy per-call path and the
+  // ring drain: fresh LS working area, fault-to-result-word conversion,
+  // and the traced kernel span. Span boundaries reuse flush points the
+  // untraced loop already has (no pipeline charges accumulate between the
+  // preceding channel read and here, nor between the kernel's last charge
+  // and the following channel write), so recording cannot regroup
+  // dual-issue accounting.
+  auto run_one = [self, ctx](std::uint32_t opcode,
+                             std::uint64_t addr_in) -> std::uint64_t {
     const bool traced = ctx != nullptr && ctx->trace_on();
     sim::SimTime kernel_t0 = traced ? ctx->now_ns() : 0;
     std::uint64_t result;
@@ -75,7 +93,8 @@ int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
       self->note_error("unknown opcode " + std::to_string(opcode));
       result = kKernelFault;
     } else {
-      // Fresh LS working area per invocation.
+      // Fresh LS working area per invocation (ring staging survives via
+      // the retained floor).
       sim::spu_ls_reset();
       try {
         result = static_cast<std::uint32_t>(it->second(addr_in));
@@ -86,7 +105,6 @@ int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
         result = kKernelFault;
       }
     }
-
     if (traced) {
       const sim::SpeContext::TraceHooks& hooks = ctx->trace_hooks();
       hooks.track->complete(trace::Category::kKernel, self->name_, kernel_t0,
@@ -95,6 +113,159 @@ int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
         hooks.kernel_invocations->add(1);
       }
     }
+    return result;
+  };
+
+  RingState ring;
+  for (;;) {
+    std::uint64_t word = sim::spu_read_in_mbox();
+    auto control = static_cast<std::uint32_t>(word >> 32);
+
+    if (control == ring::kRingArmWord) {
+      // One-time ring setup: fetch the descriptor, then reserve
+      // dispatcher-resident staging for a full batch of commands and
+      // results. Retained so per-invocation LS resets keep it.
+      std::uint64_t desc_ea = sim::spu_read_in_mbox();
+      try {
+        auto* d = static_cast<ring::RingDescriptor*>(
+            sim::spu_ls_alloc(sizeof(ring::RingDescriptor)));
+        sim::mfc_get(d, desc_ea, sizeof(ring::RingDescriptor),
+                     ring::kStageTag);
+        sim::mfc_write_tag_mask(1u << ring::kStageTag);
+        sim::mfc_read_tag_status_all();
+        ring.desc = *d;
+        ring.cmds =
+            sim::spu_ls_alloc_array<ring::RingCommand>(ring.desc.capacity);
+        ring.results = sim::spu_ls_alloc_array<ring::RingSlotResult>(
+            ring.desc.capacity);
+        for (std::uint32_t i = 0; i < ring.desc.capacity; ++i) {
+          ring.results[i] = ring::RingSlotResult{};
+        }
+        sim::spu_ls_retain();
+        ring.tail = 0;
+        ring.armed = true;
+      } catch (const cellport::Error& e) {
+        // A faulted arm (e.g. an injected DMA error on the descriptor
+        // fetch) leaves the ring unarmed; later doorbells answer with
+        // everything-faulted completions, which the PPE resolves per
+        // request.
+        self->note_error(e.what());
+        std::fprintf(stderr, "[%s] ring arm fault: %s\n",
+                     self->name_.c_str(), e.what());
+        ring.armed = false;
+      }
+      continue;
+    }
+
+    if (control == ring::kRingDoorbellWord) {
+      auto count = static_cast<std::uint32_t>(word);
+      if (!ring.armed || count == 0 || count > ring.desc.capacity) {
+        self->note_error("ring doorbell without a valid armed ring");
+        std::uint64_t done = (static_cast<std::uint64_t>(count) << 32) |
+                             count;  // everything faulted
+        if (self->mode_ == CompletionMode::kPolling) {
+          sim::spu_write_out_mbox(done);
+        } else {
+          sim::spu_write_out_intr_mbox(done);
+        }
+        continue;
+      }
+      const std::uint32_t cap = ring.desc.capacity;
+      const std::uint32_t first = std::min(count, cap - ring.tail);
+
+      // Fetch the command batch: at most two gets when the batch wraps.
+      bool fetched = false;
+      try {
+        sim::mfc_get(ring.cmds + ring.tail,
+                     ring.desc.slots_ea +
+                         ring.tail * sizeof(ring::RingCommand),
+                     first * sizeof(ring::RingCommand), ring::kStageTag);
+        if (count > first) {
+          sim::mfc_get(ring.cmds, ring.desc.slots_ea,
+                       (count - first) * sizeof(ring::RingCommand),
+                       ring::kStageTag);
+        }
+        sim::mfc_write_tag_mask(1u << ring::kStageTag);
+        sim::mfc_read_tag_status_all();
+        fetched = true;
+      } catch (const cellport::Error& e) {
+        self->note_error(e.what());
+        std::fprintf(stderr, "[%s] ring fetch fault: %s\n",
+                     self->name_.c_str(), e.what());
+      }
+
+      if (ctx != nullptr && ctx->trace_on() &&
+          ctx->trace_hooks().ring_depth != nullptr) {
+        ctx->trace_hooks().ring_depth->record(count);
+      }
+
+      std::uint32_t faults = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t idx = (ring.tail + i) % cap;
+        std::uint64_t r;
+        std::uint32_t seq;
+        if (fetched) {
+          const ring::RingCommand& c = ring.cmds[idx];
+          seq = c.seq;
+          // Defer this request's output DMA onto the fence tag so it
+          // overlaps the next request's input DMA; the tag is fenced
+          // once below, after the whole batch ran.
+          if (ctx != nullptr) {
+            ctx->set_defer_out_tag(static_cast<int>(ring::kDeferTag));
+          }
+          r = run_one(c.opcode, c.ea);
+          if (ctx != nullptr) ctx->set_defer_out_tag(-1);
+        } else {
+          seq = 0;  // unknown: a stale seq reads as a fault on the PPE
+          r = kKernelFault;
+        }
+        if (r == kKernelFault) ++faults;
+        ring.results[idx].value = static_cast<std::uint32_t>(r);
+        ring.results[idx].seq = seq;
+      }
+
+      // One fence for every deferred output DMA of the batch.
+      sim::mfc_write_tag_mask(1u << ring::kDeferTag);
+      sim::mfc_read_tag_status_all();
+
+      // Publish the result slots (again at most two puts on wrap). A DMA
+      // fault here leaves stale seqs behind, which the PPE counts as
+      // per-request faults.
+      try {
+        sim::mfc_put(ring.results + ring.tail,
+                     ring.desc.results_ea +
+                         ring.tail * sizeof(ring::RingSlotResult),
+                     first * sizeof(ring::RingSlotResult), ring::kStageTag);
+        if (count > first) {
+          sim::mfc_put(ring.results, ring.desc.results_ea,
+                       (count - first) * sizeof(ring::RingSlotResult),
+                       ring::kStageTag);
+        }
+        sim::mfc_write_tag_mask(1u << ring::kStageTag);
+        sim::mfc_read_tag_status_all();
+      } catch (const cellport::Error& e) {
+        self->note_error(e.what());
+        std::fprintf(stderr, "[%s] ring publish fault: %s\n",
+                     self->name_.c_str(), e.what());
+        faults = count;
+      }
+
+      std::uint64_t done =
+          (static_cast<std::uint64_t>(count) << 32) | faults;
+      if (self->mode_ == CompletionMode::kPolling) {
+        sim::spu_write_out_mbox(done);
+      } else {
+        sim::spu_write_out_intr_mbox(done);
+      }
+      ring.tail = (ring.tail + count) % cap;
+      continue;
+    }
+
+    auto opcode = static_cast<std::uint32_t>(word);
+    if (opcode == SPU_EXIT) return 0;
+
+    std::uint64_t addr_in = sim::spu_read_in_mbox();
+    std::uint64_t result = run_one(opcode, addr_in);
 
     if (self->mode_ == CompletionMode::kPolling) {
       sim::spu_write_out_mbox(result);

@@ -1,0 +1,72 @@
+// cellstream: the batched command-ring protocol shared by the PPE stub
+// (SPEInterface) and the SPE-side dispatcher (KernelModule).
+//
+// The paper's Listing 3 pays one mailbox round trip per kernel call. The
+// ring amortizes that: the PPE writes N RingCommand slots into a
+// main-memory ring and rings a single doorbell mailbox word; the SPE
+// DMA-fetches the batch of commands into its local store, runs them
+// back-to-back (each request's output DMA deferred onto a fence tag so it
+// overlaps the next request's input DMA), DMA-puts one RingSlotResult per
+// command, and posts ONE aggregated completion word. Per-call cost drops
+// from two PPE MMIO mailbox writes + one completion read to
+// (2 stores + 1/N doorbell writes + 1/N completion reads).
+//
+// Wire format (the high 32 bits of the first mailbox word distinguish
+// ring control words from legacy opcodes — legacy opcodes are 32-bit
+// values sent zero-extended, so their high word is always zero):
+//
+//   arm:       [kRingArmWord<<32]          [descriptor effective address]
+//   doorbell:  [kRingDoorbellWord<<32 | count of new commands]
+//   completion (SPE -> PPE): [count<<32 | faulted-request count]
+//
+// Per-request success/failure is carried by the RingSlotResult array (a
+// kKernelFault value, or a stale seq when the SPE could not publish
+// results at all); the aggregated fault count is advisory.
+#pragma once
+
+#include <cstdint>
+
+namespace cellport::port::ring {
+
+/// High-32-bit control tags of the first mailbox word ("RING" / "BELL").
+inline constexpr std::uint32_t kRingArmWord = 0x52494E47u;
+inline constexpr std::uint32_t kRingDoorbellWord = 0x42454C4Cu;
+
+/// Most commands a ring may hold (keeps the command batch a single
+/// <=16 KiB DMA-legal transfer per wrap segment).
+inline constexpr std::uint32_t kMaxRingCapacity = 1024;
+
+/// MFC tag the dispatcher stages ring commands/results on.
+inline constexpr unsigned kStageTag = 13;
+/// MFC tag deferred kernel-output DMAs ride on; fenced once per batch.
+inline constexpr unsigned kDeferTag = 14;
+
+/// One queued kernel call (a slot of the main-memory command ring).
+struct alignas(16) RingCommand {
+  std::uint32_t opcode = 0;
+  std::uint32_t seq = 0;   // monotone per interface; echoed in the result
+  std::uint64_t ea = 0;    // wrapper-structure effective address
+};
+static_assert(sizeof(RingCommand) == 16, "ring slots are one quadword");
+
+/// One completed kernel call (a slot of the main-memory result ring).
+struct alignas(16) RingSlotResult {
+  std::uint32_t value = 0;  // kernel status word (kKernelFault on throw)
+  std::uint32_t seq = 0;    // echo of RingCommand::seq
+  std::uint64_t pad_ = 0;
+};
+static_assert(sizeof(RingSlotResult) == 16,
+              "ring result slots are one quadword");
+
+/// The one-time arm payload: where the rings live and how big they are.
+/// DMA-fetched by the SPE when it receives kRingArmWord.
+struct alignas(16) RingDescriptor {
+  std::uint64_t slots_ea = 0;    // RingCommand[capacity]
+  std::uint64_t results_ea = 0;  // RingSlotResult[capacity]
+  std::uint32_t capacity = 0;
+  std::uint32_t pad_[3] = {};
+};
+static_assert(sizeof(RingDescriptor) == 32,
+              "descriptor must stay DMA-legal (16-byte multiple)");
+
+}  // namespace cellport::port::ring

@@ -35,6 +35,7 @@ int SPEInterface::thread_open(const KernelModule& module, int spe_index) {
 int SPEInterface::thread_close(int cmnd) {
   if (spuid_ == nullptr) return 0;
   reclaim();
+  drain_ring();
   sim::spe_write_in_mbox(spuid_, static_cast<std::uint64_t>(cmnd));
   int rc = sim::spe_wait(spuid_);
   spuid_ = nullptr;
@@ -56,6 +57,11 @@ int SPEInterface::Send(int functionCall, std::uint64_t value) {
     throw cellport::ConfigError(
         "SPEInterface::Send while a call is in flight (the outbound "
         "mailbox is one entry deep); Wait() first");
+  }
+  if (ring_pending_ != 0 || ring_in_flight_ != 0) {
+    throw cellport::ConfigError(
+        "SPEInterface::Send while ring commands are outstanding; "
+        "FlushBatch()+WaitBatch() first");
   }
   sim::ScalarContext& ppe = spuid_->machine().ppe();
   if (ppe.trace_on()) {
@@ -131,7 +137,179 @@ void SPEInterface::reclaim() {
   if (!stale_ || spuid_ == nullptr) return;
   sim::spe_discard_out_mbox(spuid_,
                             module_->mode() == CompletionMode::kInterrupt);
+  if (stale_is_ring_ && !ring_batches_.empty()) {
+    // The discarded word was a batch completion: retire the whole batch.
+    // Its results were published functionally; the caller abandoned them.
+    std::uint32_t count = ring_batches_.front();
+    ring_batches_.pop_front();
+    ring_in_flight_ -= count;
+    ring_read_ = (ring_read_ + count) % ring_cap_;
+    ring_read_seq_ += count;
+  }
+  stale_is_ring_ = false;
   stale_ = false;
+}
+
+// ---- cellstream: batched command-ring dispatch ----
+
+void SPEInterface::set_ring_capacity(std::uint32_t capacity) {
+  if (spuid_ == nullptr) {
+    throw cellport::ConfigError("SPEInterface has no SPE thread");
+  }
+  if (ring_cap_ != 0) {
+    throw cellport::ConfigError(
+        "SPEInterface ring is already configured (re-arming would leak "
+        "the dispatcher's retained local store)");
+  }
+  if (capacity < 2 || capacity > ring::kMaxRingCapacity) {
+    throw cellport::ConfigError(
+        "ring capacity must be in [2, " +
+        std::to_string(ring::kMaxRingCapacity) + "], requested " +
+        std::to_string(capacity));
+  }
+  ring_slots_ = cellport::AlignedBuffer<ring::RingCommand>(capacity);
+  ring_results_ = cellport::AlignedBuffer<ring::RingSlotResult>(capacity);
+  ring_desc_ = std::make_unique<WrappedMessage<ring::RingDescriptor>>();
+  sim::ScalarContext& ppe = spuid_->machine().ppe();
+  ppe.charge(sim::OpClass::kStore, 4);
+  (*ring_desc_)->slots_ea =
+      reinterpret_cast<std::uint64_t>(ring_slots_.data());
+  (*ring_desc_)->results_ea =
+      reinterpret_cast<std::uint64_t>(ring_results_.data());
+  (*ring_desc_)->capacity = capacity;
+  ring_cap_ = capacity;
+  // Arm the dispatcher: control word, then the descriptor address (the
+  // one place the ring costs two mailbox writes, paid once).
+  sim::spe_write_in_mbox(
+      spuid_, static_cast<std::uint64_t>(ring::kRingArmWord) << 32);
+  sim::spe_write_in_mbox(spuid_, ring_desc_->ea());
+}
+
+void SPEInterface::Enqueue(int functionCall, std::uint64_t value) {
+  if (ring_cap_ == 0) {
+    throw cellport::ConfigError(
+        "SPEInterface::Enqueue without set_ring_capacity");
+  }
+  if (pending_) {
+    throw cellport::ConfigError(
+        "SPEInterface::Enqueue while a legacy Send is in flight");
+  }
+  if (stale_) reclaim();
+  if (ring_pending_ + ring_in_flight_ >= ring_cap_) {
+    throw cellport::ConfigError(
+        "SPEInterface ring is full (" + std::to_string(ring_cap_) +
+        " slots enqueued or in flight); WaitBatch() first");
+  }
+  spuid_->machine().ppe().charge(sim::OpClass::kStore, 2);
+  ring::RingCommand& c = ring_slots_.data()[ring_head_];
+  c.opcode = static_cast<std::uint32_t>(functionCall);
+  c.seq = ring_seq_++;
+  c.ea = value;
+  ring_head_ = (ring_head_ + 1) % ring_cap_;
+  ++ring_pending_;
+}
+
+int SPEInterface::FlushBatch() {
+  if (ring_cap_ == 0) {
+    throw cellport::ConfigError(
+        "SPEInterface::FlushBatch without set_ring_capacity");
+  }
+  if (ring_pending_ == 0) return 0;
+  std::uint32_t count = ring_pending_;
+  sim::ScalarContext& ppe = spuid_->machine().ppe();
+  if (ppe.trace_on()) {
+    ppe.trace_track()->instant(
+        trace::Category::kRuntime, "doorbell:" + module_->name(),
+        ppe.now_ns(), "count", static_cast<std::uint64_t>(count));
+  }
+  sim::spe_write_in_mbox(
+      spuid_, (static_cast<std::uint64_t>(ring::kRingDoorbellWord) << 32) |
+                  count);
+  ring_pending_ = 0;
+  ring_batches_.push_back(count);
+  ring_in_flight_ += count;
+
+  trace::MetricsRegistry& m = spuid_->machine().metrics();
+  const std::string prefix = "spe" + std::to_string(spe().id()) + ".ring.";
+  m.counter(prefix + "doorbells").add(1);
+  m.counter(prefix + "commands").add(count);
+  m.histogram(prefix + "batch_size").record(count);
+  m.histogram(prefix + "occupancy")
+      .record(static_cast<double>(ring_in_flight_) / ring_cap_);
+  return static_cast<int>(count);
+}
+
+bool SPEInterface::WaitBatch(std::vector<int>* results,
+                             sim::SimTime timeout_ns) {
+  if (ring_batches_.empty()) {
+    throw cellport::ConfigError(
+        "SPEInterface::WaitBatch without an in-flight batch");
+  }
+  sim::ScalarContext& ppe = spuid_->machine().ppe();
+  sim::SimTime wait_t0 = ppe.now_ns();
+  const bool polling = module_->mode() == CompletionMode::kPolling;
+  std::uint64_t word = 0;
+  bool completed = true;
+  if (timeout_ns < 0) {
+    word = polling ? sim::spe_read_out_mbox(spuid_)
+                   : sim::spe_read_out_intr_mbox(spuid_);
+  } else {
+    sim::SimTime deadline = wait_t0 + timeout_ns;
+    completed = polling
+                    ? sim::spe_out_mbox_read_before(spuid_, deadline, &word)
+                    : sim::spe_out_intr_mbox_read_before(spuid_, deadline,
+                                                         &word);
+  }
+  if (ppe.trace_on()) {
+    ppe.trace_track()->complete(
+        trace::Category::kRuntime,
+        (completed ? "wait_batch:" : "wait_batch_timeout:") +
+            module_->name(),
+        wait_t0, ppe.now_ns());
+  }
+  if (!completed) {
+    stale_ = true;
+    stale_is_ring_ = true;
+    return false;
+  }
+  std::uint32_t count = ring_batches_.front();
+  ring_batches_.pop_front();
+  ring_in_flight_ -= count;
+  if (static_cast<std::uint32_t>(word >> 32) != count) {
+    throw cellport::Error(
+        "SPE kernel '" + module_->name() +
+        "' ring protocol violation: completion covers " +
+        std::to_string(word >> 32) + " commands, batch had " +
+        std::to_string(count));
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ppe.charge(sim::OpClass::kLoad, 1);
+    const ring::RingSlotResult& r = ring_results_.data()[ring_read_];
+    int value;
+    if (r.seq != ring_read_seq_ ||
+        r.value == static_cast<std::uint32_t>(kKernelFault)) {
+      // A stale seq means the SPE could not publish this slot (its
+      // result-put DMA faulted); either way the request failed.
+      value = kRingFault;
+    } else {
+      value = static_cast<int>(r.value);
+    }
+    if (results != nullptr) results->push_back(value);
+    ring_read_ = (ring_read_ + 1) % ring_cap_;
+    ++ring_read_seq_;
+  }
+  return true;
+}
+
+void SPEInterface::drain_ring() {
+  // Forget anything enqueued but never doorbelled (the SPE has not seen
+  // it), then collect every in-flight batch so the dispatcher is idle.
+  if (ring_pending_ != 0) {
+    ring_head_ = (ring_head_ + ring_cap_ - ring_pending_) % ring_cap_;
+    ring_seq_ -= ring_pending_;
+    ring_pending_ = 0;
+  }
+  while (!ring_batches_.empty()) WaitBatch(nullptr);
 }
 
 }  // namespace cellport::port

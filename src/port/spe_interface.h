@@ -9,9 +9,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
 
 #include "port/dispatcher.h"
+#include "port/message.h"
+#include "port/ring.h"
 #include "sim/libspe.h"
+#include "support/aligned.h"
 
 namespace cellport::port {
 
@@ -75,15 +81,71 @@ class SPEInterface {
   /// True while a Send() has not been Wait()ed for.
   bool busy() const { return pending_; }
 
+  // ---- cellstream: batched command-ring dispatch ----
+
+  /// Result entry WaitBatch stores for a request whose kernel faulted.
+  /// Per-request faults do NOT throw (a batch is many independent calls;
+  /// callers retry just the affected request).
+  static constexpr int kRingFault = -1;
+
+  /// Allocates a main-memory command/result ring of `capacity` slots
+  /// (2..ring::kMaxRingCapacity) and arms the SPE dispatcher (two mailbox
+  /// words, paid once). Throws ConfigError if already configured.
+  void set_ring_capacity(std::uint32_t capacity);
+  bool ring_configured() const { return ring_cap_ != 0; }
+  std::uint32_t ring_capacity() const { return ring_cap_; }
+
+  /// Queues one call into the ring — no mailbox traffic, just two stores
+  /// into the command slot. Throws ConfigError when the ring is full
+  /// (enqueued + in-flight == capacity) or a legacy Send is pending.
+  void Enqueue(int functionCall, std::uint64_t value);
+
+  /// Rings one doorbell mailbox word covering everything enqueued since
+  /// the last flush; returns the batch size (0 when nothing was queued).
+  int FlushBatch();
+
+  /// Waits for the oldest in-flight batch's aggregated completion and
+  /// appends one result word per request to *results (kRingFault for a
+  /// faulted request; results may be null to discard). `timeout_ns < 0`
+  /// blocks. Returns false on a missed deadline — the interface becomes
+  /// stale() and reclaim() drains the abandoned batch.
+  bool WaitBatch(std::vector<int>* results,
+                 sim::SimTime timeout_ns = -1);
+
+  /// Commands enqueued but not yet doorbelled.
+  std::uint32_t ring_pending() const { return ring_pending_; }
+  /// Commands doorbelled but not yet collected by WaitBatch.
+  std::uint32_t ring_in_flight() const { return ring_in_flight_; }
+  /// In-flight batches awaiting WaitBatch.
+  std::size_t ring_batches_in_flight() const { return ring_batches_.size(); }
+
   /// The underlying SPE (for statistics: pipeline counters, DMA traffic).
   sim::SpeContext& spe() { return spuid_->ctx(); }
   const KernelModule& module() const { return *module_; }
 
  private:
+  void drain_ring();
+
   const KernelModule* module_ = nullptr;
   sim::speid_t spuid_ = nullptr;
   bool pending_ = false;
   bool stale_ = false;
+
+  // Command-ring state (all zero/empty until set_ring_capacity).
+  cellport::AlignedBuffer<ring::RingCommand> ring_slots_;
+  cellport::AlignedBuffer<ring::RingSlotResult> ring_results_;
+  std::unique_ptr<WrappedMessage<ring::RingDescriptor>> ring_desc_;
+  std::uint32_t ring_cap_ = 0;
+  std::uint32_t ring_head_ = 0;     // next slot Enqueue fills
+  std::uint32_t ring_read_ = 0;     // next slot WaitBatch consumes
+  std::uint32_t ring_pending_ = 0;  // enqueued since the last doorbell
+  std::uint32_t ring_in_flight_ = 0;
+  // Sequence numbers start at 1: result slots the SPE never published
+  // keep their initial seq of 0, which must never match a live command.
+  std::uint32_t ring_seq_ = 1;       // next command sequence number
+  std::uint32_t ring_read_seq_ = 1;  // seq of the next consumed result
+  std::deque<std::uint32_t> ring_batches_;  // in-flight batch sizes
+  bool stale_is_ring_ = false;  // the owed completion is a batch word
 };
 
 }  // namespace cellport::port

@@ -2,23 +2,41 @@
 
 #include <utility>
 
+#include "port/ring.h"
 #include "sim/calibration.h"
 #include "sim/libspe.h"
 #include "sim/spu_mfcio.h"
+#include "support/aligned.h"
 #include "support/error.h"
 
 namespace cellport::port {
 
 namespace {
 
-/// Worker mailbox protocol: a zero word exits; otherwise the word is
-/// task_id + 1 followed by {module pointer, opcode, wrapper ea}.
+/// Worker mailbox protocol: a zero word exits; a word whose high half is
+/// ring::kRingDoorbellWord carries a batched-dispatch count in its low
+/// half (the descriptors sit in the worker's command block); otherwise
+/// the word is task_id + 1 followed by {module pointer, opcode, wrapper
+/// ea}.
 constexpr std::uint64_t kExitWord = 0;
+
+/// One batched-dispatch descriptor: what the four legacy mailbox words
+/// carried, DMA-legal (32 bytes, 16-byte aligned).
+struct alignas(16) TaskCmd {
+  std::uint64_t task_plus1 = 0;
+  std::uint64_t module = 0;
+  std::uint64_t ea = 0;
+  std::uint32_t opcode = 0;
+  std::uint32_t pad_ = 0;
+};
+static_assert(sizeof(TaskCmd) == 32, "TaskCmd must stay DMA-legal");
 
 /// Arguments handed to each worker thread through argv.
 struct WorkerEnv {
-  TaskPool* pool;
-  int worker_index;
+  TaskPool* pool = nullptr;
+  int worker_index = 0;
+  /// Batched-dispatch command block (empty with the legacy protocol).
+  cellport::AlignedBuffer<TaskCmd> block;
 };
 
 }  // namespace
@@ -27,16 +45,10 @@ int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
   auto* env = reinterpret_cast<WorkerEnv*>(argv);
   sim::SpeContext* ctx = sim::current_spe();
   const KernelModule* resident = nullptr;
+  TaskCmd* staging = nullptr;  // LS copy of the command block, retained
 
-  for (;;) {
-    std::uint64_t tag = sim::spu_read_in_mbox();
-    if (tag == kExitWord) return 0;
-    TaskId task = static_cast<TaskId>(tag - 1);
-    auto* module =
-        reinterpret_cast<const KernelModule*>(sim::spu_read_in_mbox());
-    auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
-    std::uint64_t ea = sim::spu_read_in_mbox();
-
+  auto run_task = [&](TaskId task, const KernelModule* module,
+                      std::uint32_t opcode, std::uint64_t ea) {
     bool switched = module != resident;
     if (switched) {
       // Code switch: stream the kernel image into the local store and
@@ -69,6 +81,68 @@ int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
     // but its delivery timestamp becomes kNeverNs.
     ev.ts = ctx->completion_ts(ctx->now_ns() + sim::calib::kMailboxLatencyNs);
     env->pool->post_completion(ev);
+  };
+
+  for (;;) {
+    std::uint64_t tag = sim::spu_read_in_mbox();
+    if (tag == kExitWord) return 0;
+
+    if ((tag >> 32) == ring::kRingDoorbellWord) {
+      // Batched dispatch: one doorbell covers `count` descriptors in the
+      // worker's command block. Fetch them in one DMA, then run each task
+      // exactly as the legacy path would — each still posts its own
+      // completion event, so retry/quarantine bookkeeping is unchanged.
+      auto count = static_cast<std::uint32_t>(tag);
+      if (staging == nullptr) {
+        staging = sim::spu_ls_alloc_array<TaskCmd>(env->block.size());
+        sim::spu_ls_retain();
+      }
+      bool fetched = false;
+      std::string fetch_error;
+      try {
+        sim::mfc_get(staging,
+                     reinterpret_cast<std::uint64_t>(env->block.data()),
+                     count * static_cast<std::uint32_t>(sizeof(TaskCmd)),
+                     ring::kStageTag);
+        sim::mfc_write_tag_mask(1u << ring::kStageTag);
+        sim::mfc_read_tag_status_all();
+        fetched = true;
+      } catch (const cellport::Error& e) {
+        fetch_error = e.what();
+        std::fprintf(stderr, "[taskpool] staging fetch fault: %s\n",
+                     e.what());
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        // On a faulted staging fetch the task IDs are recovered from the
+        // host-visible command block (byte-identical to what the DMA
+        // would have staged) so each task can post a *failed* completion
+        // and flow through the scheduler's normal retry machinery.
+        const TaskCmd& cmd = fetched ? staging[i] : env->block[i];
+        if (fetched) {
+          run_task(static_cast<TaskId>(cmd.task_plus1 - 1),
+                   reinterpret_cast<const KernelModule*>(cmd.module),
+                   cmd.opcode, cmd.ea);
+        } else {
+          CompletionEvent ev;
+          ev.failed = true;
+          ev.error = "batch staging fetch failed: " + fetch_error;
+          ev.worker = env->worker_index;
+          ev.task = static_cast<TaskId>(cmd.task_plus1 - 1);
+          ctx->advance_ns(sim::calib::kSpuChannelCostNs);
+          ev.ts = ctx->completion_ts(ctx->now_ns() +
+                                     sim::calib::kMailboxLatencyNs);
+          env->pool->post_completion(ev);
+        }
+      }
+      continue;
+    }
+
+    TaskId task = static_cast<TaskId>(tag - 1);
+    auto* module =
+        reinterpret_cast<const KernelModule*>(sim::spu_read_in_mbox());
+    auto opcode = static_cast<std::uint32_t>(sim::spu_read_in_mbox());
+    std::uint64_t ea = sim::spu_read_in_mbox();
+    run_task(task, module, opcode, ea);
   }
 }
 
@@ -83,12 +157,15 @@ TaskPool::TaskPool(sim::Machine& machine, int num_workers)
   // Worker envs must outlive the threads; keep them on the heap keyed by
   // worker index (freed in the destructor after join).
   for (int w = 0; w < num_workers; ++w) {
-    auto* env = new WorkerEnv{this, w};
+    auto* env = new WorkerEnv;
+    env->pool = this;
+    env->worker_index = w;
     sim::SpeProgram prog{"taskpool_worker", 4 * 1024,
                          &TaskPool::worker_main};
     workers_.push_back(machine_.spawn(
         prog, reinterpret_cast<std::uint64_t>(env)));
     worker_idle_.push_back(true);
+    worker_outstanding_.push_back(0);
     envs_.push_back(env);
   }
   stats_.worker_busy_ns.assign(static_cast<std::size_t>(num_workers), 0);
@@ -102,6 +179,28 @@ TaskPool::~TaskPool() { shutdown(); }
 void TaskPool::set_retry_policy(const guard::RetryPolicy& policy) {
   policy_ = policy;
   policy_set_ = true;
+}
+
+void TaskPool::set_dispatch_batch(int n) {
+  // 512 descriptors fill one maximal (16 KiB) MFC transfer; a larger
+  // batch would gain nothing and break the single-DMA fetch.
+  if (n < 1 || n > 512) {
+    throw cellport::ConfigError("dispatch batch must be 1..512");
+  }
+  if (outstanding_ != 0) {
+    throw cellport::ConfigError(
+        "set_dispatch_batch with tasks outstanding");
+  }
+  dispatch_batch_ = n;
+  if (n > 1) {
+    for (void* p : envs_) {
+      auto* env = static_cast<WorkerEnv*>(p);
+      if (env->block.size() < static_cast<std::size_t>(n)) {
+        env->block =
+            cellport::AlignedBuffer<TaskCmd>(static_cast<std::size_t>(n));
+      }
+    }
+  }
 }
 
 void TaskPool::shutdown() {
@@ -122,6 +221,7 @@ void TaskPool::shutdown() {
   envs_.clear();
   workers_.clear();
   worker_idle_.clear();
+  worker_outstanding_.clear();
 }
 
 TaskPool::TaskId TaskPool::submit(const KernelModule& module,
@@ -145,7 +245,9 @@ TaskPool::TaskId TaskPool::submit(const KernelModule& module,
   tasks_.push_back(std::move(rec));
   ++incomplete_;
   if (tasks_.back().unmet_deps == 0) ready_.push_back(id);
-  pump_ready_tasks();
+  // With batched dispatch, defer to wait_all() so the accumulated
+  // ready-set goes out in full batches instead of singletons per submit.
+  if (dispatch_batch_ <= 1) pump_ready_tasks();
   return id;
 }
 
@@ -158,7 +260,37 @@ void TaskPool::dispatch(int worker, TaskId task) {
   sim::spe_write_in_mbox(w, rec.opcode);
   sim::spe_write_in_mbox(w, rec.ea);
   worker_idle_[static_cast<std::size_t>(worker)] = false;
+  ++worker_outstanding_[static_cast<std::size_t>(worker)];
   ++outstanding_;
+}
+
+void TaskPool::dispatch_block(int worker, const std::vector<TaskId>& batch) {
+  auto wi = static_cast<std::size_t>(worker);
+  auto* env = static_cast<WorkerEnv*>(envs_[wi]);
+  const sim::SimTime now = machine_.ppe().now_ns();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TaskRecord& rec = tasks_[batch[i]];
+    rec.dispatch_ns = now;
+    TaskCmd& cmd = env->block[i];
+    cmd.task_plus1 = static_cast<std::uint64_t>(batch[i]) + 1;
+    cmd.module = reinterpret_cast<std::uint64_t>(rec.module);
+    cmd.ea = rec.ea;
+    cmd.opcode = rec.opcode;
+    // The four words the legacy protocol sent by mailbox become four
+    // plain stores into the command block.
+    machine_.ppe().charge(sim::OpClass::kStore, 4);
+  }
+  sim::spe_write_in_mbox(
+      workers_[wi],
+      (static_cast<std::uint64_t>(ring::kRingDoorbellWord) << 32) |
+          static_cast<std::uint32_t>(batch.size()));
+  worker_idle_[wi] = false;
+  worker_outstanding_[wi] += batch.size();
+  outstanding_ += batch.size();
+  machine_.metrics().counter("taskpool.doorbells").add(1);
+  machine_.metrics()
+      .histogram("taskpool.batch_size")
+      .record(static_cast<double>(batch.size()));
 }
 
 int TaskPool::pick_worker(int exclude) const {
@@ -187,12 +319,43 @@ bool TaskPool::has_eligible_worker() const {
 }
 
 void TaskPool::pump_ready_tasks() {
+  if (dispatch_batch_ <= 1) {
+    while (!ready_.empty()) {
+      TaskId t = ready_.front();
+      int w = pick_worker(tasks_[t].exclude_worker);
+      if (w < 0) return;
+      ready_.pop_front();
+      dispatch(w, t);
+    }
+    return;
+  }
+  // Batched mode: fill each idle worker with up to dispatch_batch_ ready
+  // tasks and ring one doorbell per worker. FIFO order is preserved —
+  // when the front task may not run on the chosen worker (retry
+  // exclusion), the batch stops there, just as the legacy loop stops when
+  // the front task has no dispatchable worker.
   while (!ready_.empty()) {
-    TaskId t = ready_.front();
-    int w = pick_worker(tasks_[t].exclude_worker);
+    TaskId first = ready_.front();
+    int w = pick_worker(tasks_[first].exclude_worker);
     if (w < 0) return;
     ready_.pop_front();
-    dispatch(w, t);
+    std::vector<TaskId> batch{first};
+    while (!ready_.empty() &&
+           batch.size() < static_cast<std::size_t>(dispatch_batch_)) {
+      TaskId t = ready_.front();
+      if (tasks_[t].exclude_worker == w) {
+        bool other_healthy = false;
+        for (std::size_t k = 0; k < workers_.size(); ++k) {
+          if (!worker_quarantined_[k] && static_cast<int>(k) != w) {
+            other_healthy = true;
+          }
+        }
+        if (other_healthy) break;
+      }
+      ready_.pop_front();
+      batch.push_back(t);
+    }
+    dispatch_block(w, batch);
   }
 }
 
@@ -254,7 +417,12 @@ void TaskPool::wait_all() {
     machine_.ppe().advance_ns(sim::calib::kPpeMmioCostNs);
 
     --outstanding_;
-    worker_idle_[static_cast<std::size_t>(ev.worker)] = true;
+    // A batched worker only becomes idle once every task of its block
+    // completed. (The guard against underflow covers events drained from
+    // a worker that was restarted mid-block.)
+    auto wi = static_cast<std::size_t>(ev.worker);
+    if (worker_outstanding_[wi] > 0) --worker_outstanding_[wi];
+    if (worker_outstanding_[wi] == 0) worker_idle_[wi] = true;
     if (ev.code_switched) stats_.code_switches += 1;
     if (timed_out) {
       stats_.timeouts += 1;
@@ -331,6 +499,10 @@ void TaskPool::restart_worker(int worker) {
   workers_[w] = machine_.spawn(
       prog, reinterpret_cast<std::uint64_t>(envs_[w]), spe_index);
   worker_idle_[w] = true;
+  // The old thread drained its queued commands before exiting (their
+  // events are already posted); the fresh worker starts with a clean
+  // slate.
+  worker_outstanding_[w] = 0;
 }
 
 void TaskPool::fail_remaining(const std::string& reason) {

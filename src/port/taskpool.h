@@ -47,6 +47,17 @@ class TaskPool {
   TaskId submit(const KernelModule& module, std::uint32_t opcode,
                 std::uint64_t ea, std::vector<TaskId> deps = {});
 
+  /// cellstream: dispatch up to `n` ready tasks per worker with ONE
+  /// doorbell mailbox word instead of four mailbox writes per task — the
+  /// PPE stores task descriptors into a per-worker command block that the
+  /// worker DMA-fetches. With `n > 1` dispatch is deferred to wait_all()
+  /// so the accumulated ready-set goes out in full batches. `n == 1`
+  /// (the default) keeps the legacy per-task mailbox protocol
+  /// bit-identical. `n` is capped at 512 (one maximal MFC transfer of
+  /// descriptors); must be called while no task is outstanding.
+  void set_dispatch_batch(int n);
+  int dispatch_batch() const { return dispatch_batch_; }
+
   /// Blocks until every submitted task has completed. The PPE clock
   /// advances to the time the last completion event was delivered.
   void wait_all();
@@ -130,6 +141,9 @@ class TaskPool {
 
   // PPE-side dispatch (machine().ppe() charges apply).
   void dispatch(int worker, TaskId task);
+  /// Batched dispatch: stores the tasks into `worker`'s command block and
+  /// rings one doorbell.
+  void dispatch_block(int worker, const std::vector<TaskId>& batch);
   void pump_ready_tasks();
   /// Idle, non-quarantined worker for a task excluding `exclude` (used
   /// only when no other healthy worker exists at all); -1 when none.
@@ -143,7 +157,9 @@ class TaskPool {
   sim::Machine& machine_;
   std::vector<sim::SpeThread*> workers_;
   std::vector<bool> worker_idle_;
+  std::vector<std::size_t> worker_outstanding_;  // dispatched, not completed
   std::vector<void*> envs_;  // WorkerEnv*, freed after the workers join
+  int dispatch_batch_ = 1;
 
   guard::RetryPolicy policy_;
   bool policy_set_ = false;

@@ -6,9 +6,20 @@
 
 namespace cellport::sim {
 
+namespace {
+thread_local InvariantChannel* g_thread_channel = nullptr;
+}
+
 InvariantChannel& InvariantChannel::instance() {
+  if (g_thread_channel != nullptr) return *g_thread_channel;
   static InvariantChannel channel;
   return channel;
+}
+
+InvariantChannel* set_thread_invariant_channel(InvariantChannel* channel) {
+  InvariantChannel* prev = g_thread_channel;
+  g_thread_channel = channel;
+  return prev;
 }
 
 void InvariantChannel::report(InvariantViolation v) {

@@ -41,6 +41,11 @@ struct InvariantViolation {
 /// standard usage (see docs/TESTING.md).
 class InvariantChannel {
  public:
+  /// The calling thread's channel: the thread-scoped override when one is
+  /// installed (set_thread_invariant_channel), else the process-wide
+  /// default. Machines propagate the spawning thread's channel to their
+  /// SPE threads, so "instance()" is consistent across one simulated
+  /// machine even when several machines run on different host threads.
   static InvariantChannel& instance();
 
   void report(InvariantViolation v);
@@ -58,6 +63,25 @@ class InvariantChannel {
 /// Convenience reporter used by the simulator hook sites.
 void report_invariant(std::string rule, std::string where,
                       std::string message);
+
+/// Installs `channel` as this thread's InvariantChannel::instance()
+/// (nullptr restores the process-wide default). Returns the previous
+/// override so callers can nest. The parallel cellcheck runner gives each
+/// scenario thread its own channel this way.
+InvariantChannel* set_thread_invariant_channel(InvariantChannel* channel);
+
+/// RAII form of set_thread_invariant_channel.
+class ScopedInvariantChannel {
+ public:
+  explicit ScopedInvariantChannel(InvariantChannel* channel)
+      : prev_(set_thread_invariant_channel(channel)) {}
+  ~ScopedInvariantChannel() { set_thread_invariant_channel(prev_); }
+  ScopedInvariantChannel(const ScopedInvariantChannel&) = delete;
+  ScopedInvariantChannel& operator=(const ScopedInvariantChannel&) = delete;
+
+ private:
+  InvariantChannel* prev_;
+};
 
 /// On-demand aggregate checks over a quiesced machine (no SPE thread
 /// mid-transfer): EIB byte/transfer conservation against the per-MFC

@@ -19,6 +19,7 @@ void LocalStore::load_code(std::size_t code_bytes) {
     throw cellport::LocalStoreError(os.str());
   }
   code_bytes_ = rounded;
+  floor_ = 0;
   top_ = rounded;
   if (top_ > peak_) peak_ = top_;
 }
@@ -47,7 +48,13 @@ void* LocalStore::alloc(std::size_t bytes, std::size_t align) {
   return data_.data() + start;
 }
 
-void LocalStore::reset_data() { top_ = code_bytes_; }
+void LocalStore::reset_data() {
+  top_ = floor_ > code_bytes_ ? floor_ : code_bytes_;
+}
+
+void LocalStore::retain() { floor_ = top_; }
+
+void LocalStore::release_retained() { floor_ = 0; }
 
 bool LocalStore::contains(const void* ptr, std::size_t len) const {
   auto p = reinterpret_cast<std::uintptr_t>(ptr);

@@ -39,8 +39,18 @@ class LocalStore {
   }
 
   /// Releases all data allocations (code reservation stays). Called by the
-  /// dispatcher between kernel invocations.
+  /// dispatcher between kernel invocations. Allocations made before
+  /// `retain()` survive the reset.
   void reset_data();
+
+  /// Marks everything allocated so far as retained: reset_data() will no
+  /// longer free it. Used by dispatcher-resident state (the command-ring
+  /// staging area) that must outlive per-invocation scratch allocations.
+  void retain();
+
+  /// Drops the retained floor back to the code image (full data reset on
+  /// the next reset_data()).
+  void release_retained();
 
   /// True if [ptr, ptr+len) lies inside this local store.
   bool contains(const void* ptr, std::size_t len) const;
@@ -61,6 +71,7 @@ class LocalStore {
   // alignment (LS addresses are 0-based on real hardware).
   cellport::AlignedBuffer<std::uint8_t> data_;
   std::size_t code_bytes_ = 0;
+  std::size_t floor_ = 0;  // retained-data floor (>= code_bytes_ once set)
   std::size_t top_ = 0;   // bump pointer (offset from base)
   std::size_t peak_ = 0;
 };

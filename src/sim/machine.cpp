@@ -5,7 +5,10 @@
 namespace cellport::sim {
 
 namespace {
-Machine* g_current_machine = nullptr;
+// Thread-local so independent Machines on different host threads (the
+// cellcheck --jobs runner) never observe each other. Single-threaded
+// callers see the historical process-wide behavior.
+thread_local Machine* g_current_machine = nullptr;
 }
 
 Machine* Machine::current() { return g_current_machine; }
@@ -19,12 +22,18 @@ SpeThread::SpeThread(Machine& m, SpeContext& ctx, SpeProgram program,
   auto exit_code = exit_code_;
   auto done = done_;
   std::uint64_t id = static_cast<std::uint64_t>(ctx_.id());
-  thread_ = std::thread([entry, context, argv, id, exit_code, done] {
-    set_current_spe(context);
-    *exit_code = entry(id, argv);
-    set_current_spe(nullptr);
-    done->store(true, std::memory_order_release);
-  });
+  // The SPE thread inherits the spawning thread's invariant channel so
+  // violations it reports land in the owning scenario's channel, not a
+  // sibling's, when several Machines run on different host threads.
+  InvariantChannel* channel = &InvariantChannel::instance();
+  thread_ = std::thread(
+      [entry, context, argv, id, exit_code, done, channel] {
+        set_thread_invariant_channel(channel);
+        set_current_spe(context);
+        *exit_code = entry(id, argv);
+        set_current_spe(nullptr);
+        done->store(true, std::memory_order_release);
+      });
 }
 
 bool SpeThread::finished() const {
@@ -58,6 +67,7 @@ Machine::Machine(Config cfg) : ppe_(cell_ppe()) {
       hooks.mbox_wait_ns = &metrics_.histogram(prefix + ".mbox.wait_ns");
       hooks.kernel_invocations =
           &metrics_.counter(prefix + ".kernel.invocations");
+      hooks.ring_depth = &metrics_.histogram(prefix + ".ring.depth");
       spes_[static_cast<std::size_t>(i)]->set_trace(hooks);
     }
   }

@@ -141,6 +141,8 @@ void SpeContext::reset() {
   out_intr_mbox_.clear();
   signal1_.clear();
   signal2_.clear();
+  defer_out_tag_ = -1;
+  ls_.release_retained();
   ls_.reset_data();
   mfc_.reset();
   clear_fault_injection();

@@ -132,6 +132,7 @@ class SpeContext {
     trace::Histogram* dma_stall_ns = nullptr;   // per tag-status wait
     trace::Histogram* mbox_wait_ns = nullptr;   // inbound-read stall
     trace::Counter* kernel_invocations = nullptr;
+    trace::Histogram* ring_depth = nullptr;     // commands per ring drain
   };
   void set_trace(const TraceHooks& hooks) { hooks_ = hooks; }
   const TraceHooks& trace_hooks() const { return hooks_; }
@@ -159,6 +160,15 @@ class SpeContext {
   /// True when the current DMA command should fail (one-shot).
   bool consume_dma_error();
 
+  // ---- deferred kernel output (cellstream) ----
+  /// When >= 0, kernels::emit_result() issues its output DMA on this tag
+  /// and returns without waiting; the ring dispatcher fences the tag once
+  /// per drained batch, overlapping each request's output transfer with
+  /// the next request's input DMA. -1 (default) keeps the legacy per-call
+  /// put + tag wait.
+  int defer_out_tag() const { return defer_out_tag_; }
+  void set_defer_out_tag(int tag) { defer_out_tag_ = tag; }
+
   void reset();
 
  private:
@@ -177,6 +187,8 @@ class SpeContext {
   double odd_pending_ = 0;
   PipeStats pipe_stats_;
   TraceHooks hooks_;
+
+  int defer_out_tag_ = -1;
 
   FaultInjection fault_;
   int completions_seen_ = 0;

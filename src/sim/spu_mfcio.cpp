@@ -59,6 +59,8 @@ void* spu_ls_alloc(std::size_t bytes, std::size_t align) {
 
 void spu_ls_reset() { ctx().ls().reset_data(); }
 
+void spu_ls_retain() { ctx().ls().retain(); }
+
 std::size_t spu_ls_free() { return ctx().ls().bytes_free(); }
 
 }  // namespace cellport::sim

@@ -62,6 +62,11 @@ T* spu_ls_alloc_array(std::size_t count, std::size_t align = 16) {
 /// Releases all LS data allocations (between kernel invocations).
 void spu_ls_reset();
 
+/// Marks everything allocated so far as dispatcher-resident: later
+/// spu_ls_reset() calls keep it. Used for state that must survive across
+/// kernel invocations (the command-ring staging area).
+void spu_ls_retain();
+
 /// Bytes still available in the local store.
 std::size_t spu_ls_free();
 

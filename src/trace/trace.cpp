@@ -7,7 +7,11 @@
 namespace cellport::trace {
 
 namespace {
-TraceSession* g_current = nullptr;
+// Thread-local so concurrent runs on different host threads (cellcheck
+// --jobs installs a session per scenario) each see only their own
+// session. Machines read the installed session at construction time, on
+// the constructing thread, and hand contexts plain pointers after that.
+thread_local TraceSession* g_current = nullptr;
 }
 
 const char* category_name(Category c) {
