@@ -6,6 +6,7 @@
 
 #include "harness.h"
 #include "port/amdahl.h"
+#include "shard/plan.h"
 #include "support/stats.h"
 
 using namespace cellport;
@@ -20,6 +21,7 @@ int main() {
   CellRun single = run_cell(data, marvel::Scenario::kSingleSPE);
   CellRun multi = run_cell(data, marvel::Scenario::kMultiSPE);
   CellRun multi2 = run_cell(data, marvel::Scenario::kMultiSPE2);
+  CellRun sharded = run_cell(data, marvel::Scenario::kSharded);
 
   // Measured kernel operating points (coverage & speed-up vs the PPE),
   // from the single-SPE run where the per-kernel times are separable.
@@ -57,6 +59,33 @@ int main() {
   };
   double est_multi2 = port::estimate_grouped(grouped2);
 
+  // cellshard: the sharded generalization of Eq. 3 — each kernel's term
+  // divides by its shard count, paying a per-extra-shard overhead
+  // fraction (the planner's absolute overhead unit over the kernel's own
+  // cost unit).
+  const shard::ShardPlan& plan = sharded.engine->shard_plan();
+  shard::KernelCosts costs = shard::default_costs();
+  auto spt = [&](std::size_t i, int shards, double unit_cost) {
+    port::ShardedKernelPoint k;
+    k.point = pts[i];
+    k.shards = shards;
+    k.shard_overhead = costs.shard_overhead / unit_cost;
+    return k;
+  };
+  std::vector<std::vector<port::ShardedKernelPoint>> sharded_groups = {
+      {spt(0, plan.extract_shards[shard::kSlotCh],
+           costs.extract[shard::kSlotCh]),
+       spt(1, plan.extract_shards[shard::kSlotCc],
+           costs.extract[shard::kSlotCc]),
+       spt(2, plan.extract_shards[shard::kSlotTx],
+           costs.extract[shard::kSlotTx]),
+       spt(3, plan.extract_shards[shard::kSlotEh],
+           costs.extract[shard::kSlotEh])},
+      {spt(4, plan.detect_spes, costs.detect)},
+      {{pts[5], 1, 0.0}},
+  };
+  double est_sharded = port::estimate_sharded(sharded_groups);
+
   // Measurements (vs PPE, then vs Desktop as the paper quotes them).
   double desk_total = total_ns(desk->profiler());
   auto measured = [&](CellRun& run) {
@@ -65,6 +94,7 @@ int main() {
   double ms_single = measured(single);
   double ms_multi = measured(multi);
   double ms_multi2 = measured(multi2);
+  double ms_sharded = measured(sharded);
   // Speed-up vs Desktop = speed-up vs PPE scaled by Desktop/PPE time.
   double ppe_vs_desk = desk_total / ppe_total;  // ~1/3.2
 
@@ -89,6 +119,10 @@ int main() {
            Table::num(r.ms * ppe_vs_desk, 2), Table::num(err * 100, 2),
            r.paper});
   }
+  double err_sharded = relative_error(est_sharded, ms_sharded);
+  t.row({"Sharded (Eq. 3+)", Table::num(est_sharded * ppe_vs_desk, 2),
+         Table::num(ms_sharded * ppe_vs_desk, 2),
+         Table::num(err_sharded * 100, 2), "-"});
   std::printf("%s\n", t.str().c_str());
 
   shape_check(all_within_2pct,
@@ -99,5 +133,9 @@ int main() {
                   ms_multi2 < ms_multi * 1.10,
               "replicating detection adds almost nothing (paper: 15.64 vs "
               "15.28) — CC dominates the group and detection is ~0.5%");
+  shape_check(err_sharded < 0.05,
+              "sharded Eq. 3 generalization within 5% of measurement");
+  shape_check(ms_sharded > ms_multi,
+              "intra-kernel sharding beats one-SPE-per-kernel");
   return 0;
 }

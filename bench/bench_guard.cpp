@@ -77,6 +77,7 @@ const char* scenario_label(marvel::Scenario s) {
     case marvel::Scenario::kSingleSPE: return "single";
     case marvel::Scenario::kMultiSPE: return "multi";
     case marvel::Scenario::kMultiSPE2: return "multi2";
+    case marvel::Scenario::kSharded: return "sharded";
   }
   return "?";
 }

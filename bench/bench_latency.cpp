@@ -1,0 +1,157 @@
+// cellshard: per-image latency of intra-kernel data-parallel sharding.
+//
+// kMultiSPE assigns one SPE per kernel, so each extraction runs at
+// single-SPE speed and the parallel group's latency is the slowest
+// kernel (color correlogram). kSharded splits the dominant kernels
+// across all 8 SPEs with the load-balanced plan from shard::plan_shards
+// — the correlogram alone gets 3 SPEs — and reduces the partial results
+// on the PPE. This bench measures what that buys per *image* (latency),
+// complementing bench_throughput's images/second view.
+//
+// Two latencies are reported for each scenario, per image, as p50/p95
+// over the dataset:
+//   - end-to-end: analyze() wall time, including the PPE-serial JPEG
+//     decode that no SPE schedule can touch (it dominates at ~70% of
+//     the MultiSPE frame time, capping the end-to-end win well below
+//     the kernel-level gain — Amdahl, Eq. 1);
+//   - kernel-path: end-to-end minus the Preprocess phase, i.e. the
+//     extract + detect + reduce schedule that sharding actually targets.
+//
+// Shape claims checked (and recorded in BENCH_latency.json, which CI
+// diffs against the committed baseline — latency is lower-is-better, so
+// a >5% *rise* on any row fails the gate):
+//   - sharded kernel-path p50 latency beats MultiSPE by >= 1.4x (the
+//     tentpole claim, matching the planner's critical-path estimate);
+//   - sharded end-to-end p50 improves by >= 1.1x despite the decode;
+//   - the tail follows the median: p95 improves wherever p50 does;
+//   - the PPE-side shard reduction costs < 5% of the latency it saves.
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+#include "shard/plan.h"
+#include "support/stats.h"
+
+using namespace cellport;
+using namespace cellport::bench;
+
+namespace {
+
+/// Per-image latency samples for one scenario over one dataset.
+struct LatencyRun {
+  std::vector<double> end_to_end_ns;
+  std::vector<double> kernel_ns;  // end-to-end minus Preprocess
+  double reduce_ns = 0.0;         // accumulated ShardReduce phase
+  CellRun run;
+};
+
+LatencyRun sample_latency(const marvel::Dataset& data,
+                          marvel::Scenario scenario) {
+  LatencyRun out;
+  out.run.machine = std::make_unique<sim::Machine>();
+  out.run.engine = std::make_unique<marvel::CellEngine>(
+      *out.run.machine, library_path(), scenario);
+  for (const auto& image : data.images) {
+    double pre0 =
+        phase_ns(out.run.engine->profiler(), marvel::kPhasePreprocess);
+    sim::SimTime t0 = out.run.machine->ppe().now_ns();
+    out.run.engine->analyze(image);
+    double total = out.run.machine->ppe().now_ns() - t0;
+    double pre =
+        phase_ns(out.run.engine->profiler(), marvel::kPhasePreprocess) -
+        pre0;
+    out.end_to_end_ns.push_back(total);
+    out.kernel_ns.push_back(total - pre);
+  }
+  out.reduce_ns =
+      phase_ns(out.run.engine->profiler(), marvel::kPhaseShardReduce);
+  return out;
+}
+
+void report(BenchArtifact& artifact, Table& t, const char* name,
+            const LatencyRun& r) {
+  double p50 = percentile(r.end_to_end_ns, 50);
+  double p95 = percentile(r.end_to_end_ns, 95);
+  double k50 = percentile(r.kernel_ns, 50);
+  double k95 = percentile(r.kernel_ns, 95);
+  t.row({name, Table::num(p50 / 1e6, 3), Table::num(p95 / 1e6, 3),
+         Table::num(k50 / 1e6, 3), Table::num(k95 / 1e6, 3)});
+  artifact.add_row(name, {{"p50_ns", p50},
+                          {"p95_ns", p95},
+                          {"kernel_p50_ns", k50},
+                          {"kernel_p95_ns", k95}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Observability obs(parse_options(argc, argv));
+  std::printf("== cellshard: per-image latency, MultiSPE vs Sharded ==\n\n");
+
+  BenchArtifact artifact("latency");
+  const int kImages = 16;
+  marvel::Dataset data = marvel::make_dataset(kImages);
+
+  LatencyRun multi = sample_latency(data, marvel::Scenario::kMultiSPE);
+  LatencyRun sharded = sample_latency(data, marvel::Scenario::kSharded);
+
+  const shard::ShardPlan& plan = sharded.run.engine->shard_plan();
+  std::printf("shard plan on %d SPEs: ch=%d cc=%d tx=%d eh=%d detect=%d "
+              "(critical path %.2f cost units)\n\n",
+              plan.spes_used(), plan.extract_shards[shard::kSlotCh],
+              plan.extract_shards[shard::kSlotCc],
+              plan.extract_shards[shard::kSlotTx],
+              plan.extract_shards[shard::kSlotEh], plan.detect_spes,
+              plan.critical_path(shard::default_costs()));
+
+  Table t("Per-image latency, " + std::to_string(kImages) +
+          " images at 352x240 (simulated ms)");
+  t.header({"Scenario", "p50", "p95", "kernel p50", "kernel p95"});
+  report(artifact, t, "MultiSPE", multi);
+  report(artifact, t, "Sharded", sharded);
+  std::printf("%s\n", t.str().c_str());
+
+  double p50_ratio = percentile(multi.end_to_end_ns, 50) /
+                     percentile(sharded.end_to_end_ns, 50);
+  double p95_ratio = percentile(multi.end_to_end_ns, 95) /
+                     percentile(sharded.end_to_end_ns, 95);
+  double k50_ratio = percentile(multi.kernel_ns, 50) /
+                     percentile(sharded.kernel_ns, 50);
+  double k95_ratio = percentile(multi.kernel_ns, 95) /
+                     percentile(sharded.kernel_ns, 95);
+  double saved_ns = percentile(multi.kernel_ns, 50) -
+                    percentile(sharded.kernel_ns, 50);
+  double reduce_per_image = sharded.reduce_ns / kImages;
+  std::printf("speedup sharded vs MultiSPE: end-to-end p50 %.2fx p95 "
+              "%.2fx, kernel-path p50 %.2fx p95 %.2fx\n",
+              p50_ratio, p95_ratio, k50_ratio, k95_ratio);
+  std::printf("PPE shard reduction: %.1f us/image (%.1f%% of the %.2f "
+              "ms/image it saves)\n\n",
+              reduce_per_image / 1e3,
+              100.0 * reduce_per_image / saved_ns, saved_ns / 1e6);
+  artifact.set_metric("speedup.p50", p50_ratio);
+  artifact.set_metric("speedup.p95", p95_ratio);
+  artifact.set_metric("speedup.kernel_p50", k50_ratio);
+  artifact.set_metric("speedup.kernel_p95", k95_ratio);
+  artifact.set_metric("reduce_ns_per_image", reduce_per_image);
+  sim::collect_metrics(*sharded.run.machine,
+                       sharded.run.machine->metrics());
+  artifact.add_machine_metrics(sharded.run.machine->metrics(),
+                               "sharded.");
+
+  bool ok = true;
+  ok &= artifact.shape(k50_ratio >= 1.4,
+                       "sharded kernel-path p50 latency beats MultiSPE "
+                       "by >= 1.4x");
+  ok &= artifact.shape(p50_ratio >= 1.1,
+                       "sharded end-to-end p50 improves >= 1.1x despite "
+                       "the PPE-serial decode");
+  ok &= artifact.shape(p95_ratio >= 1.0 && k95_ratio >= 1.0,
+                       "the p95 tail improves wherever the median does");
+  ok &= artifact.shape(reduce_per_image < 0.05 * saved_ns,
+                       "the PPE shard reduction costs < 5% of the "
+                       "kernel-path latency it saves");
+  artifact.write();
+  obs.finish();
+  return ok ? 0 : 1;
+}

@@ -13,8 +13,10 @@
 #include "kernels/messages.h"
 #include "port/message.h"
 #include "port/spe_interface.h"
+#include "shard/reducer.h"
 #include "sim/machine.h"
 #include "spu/spu.h"
+#include "support/aligned.h"
 
 namespace {
 
@@ -126,6 +128,138 @@ void BM_SpeColorHistogramKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpeColorHistogramKernel)->Unit(benchmark::kMillisecond);
+
+// The cellshard reduction question in isolation: what does merging n
+// shard partials cost the PPE per image? These drive the planner's
+// shard_overhead calibration and back the latency bench's claim that
+// the reduction is noise against the extraction time it saves. The
+// `sim_ns_per_merge` counter carries the deterministic simulated cost;
+// wall-clock is the host-side overhead of the emulated scalar path.
+
+void BM_ShardReduceCh(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Machine machine(sim::Machine::Config{1});
+  std::vector<std::vector<std::uint32_t>> partials(n);
+  std::vector<const std::uint32_t*> parts(n);
+  for (int i = 0; i < n; ++i) {
+    partials[i].resize(kernels::kShardChWords);
+    for (int j = 0; j < kernels::kShardChWords; ++j) {
+      partials[i][j] = static_cast<std::uint32_t>((i * 37 + j) % 101);
+    }
+    parts[i] = partials[i].data();
+  }
+  std::vector<float> out(kernels::kShardChWords);
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t merges = 0;
+  for (auto _ : state) {
+    shard::reduce_ch(parts.data(), n, 352, 240, out.data(),
+                     &machine.ppe());
+    ++merges;
+  }
+  state.counters["sim_ns_per_merge"] =
+      merges > 0
+          ? (machine.ppe().now_ns() - t0) / static_cast<double>(merges)
+          : 0;
+}
+BENCHMARK(BM_ShardReduceCh)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShardReduceCc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Machine machine(sim::Machine::Config{1});
+  std::vector<std::vector<std::uint32_t>> partials(n);
+  std::vector<const std::uint32_t*> parts(n);
+  for (int i = 0; i < n; ++i) {
+    partials[i].resize(kernels::kShardCcWords);
+    for (int j = 0; j < kernels::kShardCcWords; ++j) {
+      partials[i][j] = static_cast<std::uint32_t>((i * 53 + j) % 211 + 1);
+    }
+    parts[i] = partials[i].data();
+  }
+  std::vector<float> out(kernels::kShardCcWords / 2);
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t merges = 0;
+  for (auto _ : state) {
+    shard::reduce_cc(parts.data(), n, out.data(), &machine.ppe());
+    ++merges;
+  }
+  state.counters["sim_ns_per_merge"] =
+      merges > 0
+          ? (machine.ppe().now_ns() - t0) / static_cast<double>(merges)
+          : 0;
+}
+BENCHMARK(BM_ShardReduceCc)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShardReduceTx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Machine machine(sim::Machine::Config{1});
+  // A 352x240 frame yields 15 wavelet tiles; split them across n shards
+  // the way split_tiles does (near-equal, tile-aligned).
+  const int total_tiles = kernels::tx_num_tiles(240);
+  std::vector<std::vector<double>> partials(n);
+  std::vector<const double*> parts(n);
+  std::vector<int> doubles(n);
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    int tiles = (total_tiles - assigned) / (n - i);
+    assigned += tiles;
+    partials[i].resize(static_cast<std::size_t>(tiles) *
+                       kernels::kTxTileDoubles);
+    for (std::size_t j = 0; j < partials[i].size(); ++j) {
+      partials[i][j] = 1.0 + 0.001 * static_cast<double>(i * 17 + j);
+    }
+    parts[i] = partials[i].data();
+    doubles[i] = static_cast<int>(partials[i].size());
+  }
+  std::vector<float> out(16);
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t merges = 0;
+  for (auto _ : state) {
+    shard::reduce_tx(parts.data(), doubles.data(), n, 352, 240,
+                     out.data(), &machine.ppe());
+    ++merges;
+  }
+  state.counters["sim_ns_per_merge"] =
+      merges > 0
+          ? (machine.ppe().now_ns() - t0) / static_cast<double>(merges)
+          : 0;
+}
+BENCHMARK(BM_ShardReduceTx)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShardConcatScores(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Machine machine(sim::Machine::Config{1});
+  // The standard library's 166 models split into n detection blocks;
+  // each staging block is padded to an even count like the kernel's
+  // score DMA.
+  const int total_models = 166;
+  std::vector<std::vector<double>> partials(n);
+  std::vector<const double*> parts(n);
+  std::vector<int> counts(n);
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    counts[i] = (total_models - assigned) / (n - i);
+    assigned += counts[i];
+    partials[i].resize(cellport::round_up(
+        static_cast<std::size_t>(counts[i]), std::size_t{2}));
+    for (std::size_t j = 0; j < partials[i].size(); ++j) {
+      partials[i][j] = 0.01 * static_cast<double>(i * 31 + j);
+    }
+    parts[i] = partials[i].data();
+  }
+  std::vector<double> out(total_models);
+  sim::SimTime t0 = machine.ppe().now_ns();
+  std::int64_t merges = 0;
+  for (auto _ : state) {
+    shard::concat_scores(parts.data(), counts.data(), n, out.data(),
+                         &machine.ppe());
+    ++merges;
+  }
+  state.counters["sim_ns_per_merge"] =
+      merges > 0
+          ? (machine.ppe().now_ns() - t0) / static_cast<double>(merges)
+          : 0;
+}
+BENCHMARK(BM_ShardConcatScores)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SicDecode(benchmark::State& state) {
   img::SicEncoded enc =

@@ -116,6 +116,7 @@ std::string describe(const ScenarioSpec& spec) {
     s += std::string(" fault=") +
          cellport::check::fault_kind_name(spec.fault_kind);
   }
+  if (spec.sharded) s += " sharded";
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";

@@ -267,7 +267,10 @@ sim::FaultInjection sched_injection(const ScenarioSpec& spec) {
 RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
                       std::string* canonical) {
   Inputs in = make_inputs(spec, /*through_codec=*/true);
-  marvel::Scenario scen = engine_scenario(spec.mode);
+  // The sharded rider replaces the mode's static schedule wholesale:
+  // same machine, same images, same oracle — different SPE plan.
+  marvel::Scenario scen = spec.sharded ? marvel::Scenario::kSharded
+                                       : engine_scenario(spec.mode);
 
   guard::GuardPolicy policy;
   if (spec.guarded) {
@@ -379,7 +382,14 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
       bool slow_absorbed = spec.stream_batch > 0 &&
                            spec.sched_fault == kSchedSlow &&
                            elapsed_ns >= 4 * kGuardDeadlineNs;
-      if (timeouts + retries + fallbacks + stream_recoveries == 0 &&
+      // A schedule can also go off the end of the run without firing:
+      // a streamed window retires a whole batch of requests behind one
+      // doorbell, so the faulted SPE may see fewer completions than the
+      // scheduled trigger index. No fired fault, no required trace.
+      bool fired =
+          machine.spe(spec.sched_spe).fault_injection_fired();
+      if (fired &&
+          timeouts + retries + fallbacks + stream_recoveries == 0 &&
           !slow_absorbed) {
         return fail("guard.not-exercised",
                     std::string("scheduled fault '") +

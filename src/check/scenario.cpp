@@ -218,6 +218,19 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   if (engine_mode && rng.next_below(100) < 30) {
     spec.stream_batch = 1 + static_cast<int>(rng.next_below(4));
   }
+
+  // cellshard rider (also appended last): ~30% of engine scenarios swap
+  // the mode's static schedule for the kSharded plan over the same
+  // machine (every engine shape has the planner's 5-SPE floor). The
+  // differential oracle is unchanged — sharded results are bit-exact —
+  // and scheduled guard faults compose (a faulted shard recovers alone).
+  // The spare-SPE fault probe is excluded: the shard plan packs every
+  // SPE, leaving no spare for the probe interface. So is the scaling
+  // probe, which compares the unsharded schedules on its own machines.
+  if (engine_mode && spec.fault_kind < 0 && !spec.scaling_probe &&
+      rng.next_below(100) < 30) {
+    spec.sharded = true;
+  }
   return spec;
 }
 
@@ -258,6 +271,11 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
   if (rng.next_below(100) < 35) {
     spec.stream_batch = 1 + static_cast<int>(rng.next_below(4));
   }
+  // Sharded fault matrix (appended last): the faulted shard must retry
+  // or fall back alone and the PPE reduction must still be bit-exact.
+  if (rng.next_below(100) < 30) {
+    spec.sharded = true;
+  }
   return spec;
 }
 
@@ -279,6 +297,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("fault_kind").value(spec.fault_kind);
   w.key("replay_twice").value(spec.replay_twice);
   w.key("scaling_probe").value(spec.scaling_probe);
+  w.key("sharded").value(spec.sharded);
   w.key("guarded").value(spec.guarded);
   w.key("sched_fault").value(spec.sched_fault);
   w.key("sched_spe").value(spec.sched_spe);
@@ -379,6 +398,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.replay_twice = require_bool(doc, "replay_twice");
   spec.scaling_probe = require_bool(doc, "scaling_probe");
   spec.stream_batch = optional_number(doc, "stream_batch", 0);
+  spec.sharded = optional_bool(doc, "sharded", false);
   spec.guarded = optional_bool(doc, "guarded", false);
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);

@@ -83,6 +83,14 @@ struct ScenarioSpec {
   /// per-call analyze(). 0 = off. The streamed property: results are
   /// bit-exact with the reference oracle, same as every other engine run.
   int stream_batch = 0;
+  /// Engine modes: swap the mode's static schedule for the cellshard
+  /// kSharded plan over the same machine (the plan itself is derived
+  /// deterministically from num_spes by shard::plan_shards, so it needs
+  /// no separate serialization). The sharded property: results stay
+  /// bit-exact with the reference oracle — including under scheduled
+  /// faults, where a faulted shard retries or falls back alone and the
+  /// reduction still reproduces the unsharded output.
+  bool sharded = false;
   /// Re-run the whole scenario and require byte-identical results and
   /// traces (static modes only; TaskPool timing is host-order dependent).
   bool replay_twice = false;

@@ -60,6 +60,13 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
       push(next);
     }
   }
+  if (spec.sharded) {
+    // Restoring the mode's static schedule is the bigger simplification;
+    // it localizes a failure to the shard split/reduction layer.
+    ScenarioSpec next = spec;
+    next.sharded = false;
+    push(next);
+  }
   if (spec.fault_kind >= 0) {
     ScenarioSpec next = spec;
     next.fault_kind = -1;
@@ -129,6 +136,16 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
   if (spec.num_spes > min_spes(spec)) {
     ScenarioSpec next = spec;
     next.num_spes = min_spes(spec);
+    push(next);
+  }
+  // A still-sharded failure shrinks to the planner's 5-SPE floor, where
+  // the plan degenerates to one shard per kernel. kEngineMulti2's mode
+  // floor is 8 SPEs, so the downgrade to kEngineMulti rides along to
+  // keep the candidate valid if the sharded rider is dropped later.
+  if (spec.sharded && spec.num_spes > 5 && spec.fault_kind < 0) {
+    ScenarioSpec next = spec;
+    next.num_spes = 5;
+    if (next.mode == Mode::kEngineMulti2) next.mode = Mode::kEngineMulti;
     push(next);
   }
   // Mode simplification within the engine family: the richer schedules

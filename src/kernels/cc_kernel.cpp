@@ -208,12 +208,14 @@ int cc_run(std::uint64_t ea) {
     // fail to match — no branches in the SIMD loop.
     std::memset(r, kSentinel, static_cast<std::size_t>(st.row_bytes));
   }
+  // same/possible live in ONE contiguous allocation so a shard partial
+  // (both raw count arrays) is a single output DMA.
   const std::size_t hist_len =
       cellport::round_up(std::size_t{img::kHsvBins}, 4);
-  st.same = spu_ls_alloc_array<std::uint32_t>(hist_len);
-  st.possible = spu_ls_alloc_array<std::uint32_t>(hist_len);
-  std::memset(st.same, 0, hist_len * sizeof(std::uint32_t));
-  std::memset(st.possible, 0, hist_len * sizeof(std::uint32_t));
+  auto* counts = spu_ls_alloc_array<std::uint32_t>(2 * hist_len);
+  st.same = counts;
+  st.possible = counts + hist_len;
+  std::memset(counts, 0, 2 * hist_len * sizeof(std::uint32_t));
   st.cols_clamped = spu_ls_alloc_array<std::uint16_t>(
       cellport::round_up(static_cast<std::size_t>(w), 8));
   for (int x = 0; x < w; ++x) {
@@ -222,12 +224,22 @@ int cc_run(std::uint64_t ea) {
         std::min(w - 1, x + kR) - std::max(0, x - kR) + 1);
   }
 
+  // cellshard: a shard produces output rows [out_begin, out_end) and
+  // fetches those rows plus the kR-row halo on each side; the window math
+  // in produce_row already clamps to the true image edges, so a shard's
+  // per-bin counts are exactly its slice of the full-image counts.
+  const bool shard = msg->row_end > 0;
+  const int out_begin = shard ? msg->row_begin : 0;
+  const int out_end = shard ? msg->row_end : h;
+  const int fetch_begin = std::max(0, out_begin - kR);
+  const int fetch_end = std::min(h, out_end + kR);
+
   const HsvConstants hsv_c = HsvConstants::load();
   RowStreamer stream(msg->pixels_ea,
-                     static_cast<std::uint32_t>(msg->stride), 0, h,
-                     kBlockRows, msg->buffering);
-  int computed = 0;  // bin rows finished
-  int produced = 0;  // output rows finished
+                     static_cast<std::uint32_t>(msg->stride), fetch_begin,
+                     fetch_end, kBlockRows, msg->buffering);
+  int computed_to = fetch_begin;  // bin rows finished (absolute, excl.)
+  int produced = out_begin;       // next output row
   while (stream.has_next()) {
     RowStreamer::Block blk = stream.next();
     for (int r = 0; r < blk.rows; ++r) {
@@ -235,17 +247,25 @@ int cc_run(std::uint64_t ea) {
       quantize_row_simd(
           blk.data + static_cast<std::size_t>(r) * msg->stride, w,
           st.ring[row_idx % kRingRows] + kRowOrigin, hsv_c);
-      ++computed;
+      ++computed_to;
     }
-    while (produced < h &&
-           (produced + kR < computed || computed == h)) {
+    while (produced < out_end &&
+           (produced + kR < computed_to || computed_to == fetch_end)) {
       produce_row(st, produced, w, h);
       ++produced;
     }
   }
-  while (produced < h) {
+  while (produced < out_end) {
     produce_row(st, produced, w, h);
     ++produced;
+  }
+
+  if (shard) {
+    // Raw partial: same[hist_len] then possible[hist_len], one DMA.
+    emit_result(counts, msg->out_ea,
+                static_cast<std::uint32_t>(2 * hist_len *
+                                           sizeof(std::uint32_t)));
+    return 0;
   }
 
   // Ratios in double precision, exactly like the reference (166 divides

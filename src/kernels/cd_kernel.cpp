@@ -74,9 +74,15 @@ int cd_run(std::uint64_t ea) {
   auto* x = spu_ls_alloc_array<float>(dim_padded);
   dma_in(x, msg->feature_ea,
          static_cast<std::uint32_t>(dim_padded * sizeof(float)), 0);
+  // cellshard: a concept-block shard starts model_begin descriptors into
+  // the shared array (sizeof(DetectModelDesc) is a 16-multiple, so the
+  // offset keeps DMA alignment); scores_ea then points at the shard's
+  // own staging buffer.
   auto* descs = spu_ls_alloc_array<DetectModelDesc>(
       static_cast<std::size_t>(n_models));
-  dma_in(descs, msg->models_ea,
+  dma_in(descs,
+         msg->models_ea + static_cast<std::uint64_t>(msg->model_begin) *
+                              sizeof(DetectModelDesc),
          static_cast<std::uint32_t>(sizeof(DetectModelDesc)) *
              static_cast<std::uint32_t>(n_models),
          0);

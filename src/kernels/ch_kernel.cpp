@@ -47,8 +47,15 @@ int ch_run(std::uint64_t ea) {
   const vec_uchar16 pat_b = channel_pattern(2);
   const HsvConstants hsv_c = HsvConstants::load();
 
+  // cellshard: a shard invocation (row_end > 0) counts only its row range
+  // and emits the raw integer histogram; the PPE reducer sums shard
+  // counts and applies the shared 1/(w*h) normalization.
+  const bool shard = msg->row_end > 0;
+  const int r0 = shard ? msg->row_begin : 0;
+  const int r1 = shard ? msg->row_end : h;
+
   RowStreamer stream(msg->pixels_ea,
-                     static_cast<std::uint32_t>(msg->stride), 0, h,
+                     static_cast<std::uint32_t>(msg->stride), r0, r1,
                      msg->block_rows > 0 ? msg->block_rows : 12,
                      msg->buffering);
   while (stream.has_next()) {
@@ -84,6 +91,13 @@ int ch_run(std::uint64_t ea) {
                sload(&hist[static_cast<std::uint32_t>(bin)]) + 1);
       }
     }
+  }
+
+  if (shard) {
+    emit_result(hist, msg->out_ea,
+                static_cast<std::uint32_t>(hist_len *
+                                           sizeof(std::uint32_t)));
+    return 0;
   }
 
   // Normalize into the output buffer and DMA it back (Section 3.5

@@ -60,6 +60,21 @@ RowStreamer::RowStreamer(std::uint64_t base_ea, std::uint32_t stride,
   if (rows_per_block < 1) {
     throw cellport::ConfigError("RowStreamer needs >= 1 row per block");
   }
+  // Validate the requested block shape against what is actually left in
+  // the local store and clamp rather than letting the bump allocator blow
+  // up mid-prime. 16 bytes of alignment slack are reserved per buffer.
+  const std::size_t budget = sim::spu_ls_free();
+  const std::size_t per_row = stride_;
+  const std::size_t overhead = static_cast<std::size_t>(depth_) * 16;
+  if (budget < overhead + static_cast<std::size_t>(depth_) * per_row) {
+    throw cellport::ConfigError(
+        "RowStreamer: local store cannot hold even one row per buffer");
+  }
+  const std::size_t max_rows =
+      (budget - overhead) / (static_cast<std::size_t>(depth_) * per_row);
+  if (static_cast<std::size_t>(rows_per_block_) > max_rows) {
+    rows_per_block_ = static_cast<int>(max_rows);
+  }
   for (int d = 0; d < depth_; ++d) {
     buf_[d] = static_cast<std::uint8_t*>(spu_ls_alloc(
         static_cast<std::size_t>(rows_per_block_) * stride_, 16));

@@ -310,22 +310,32 @@ int eh_run(std::uint64_t ea) {
   st.counts = spu_ls_alloc_array<std::uint32_t>(kBins);
   std::memset(st.counts, 0, kBins * sizeof(std::uint32_t));
 
+  // cellshard: a shard bins gradient rows [out_begin, out_end) and
+  // fetches a one-row halo on each side (the Sobel window); clamping in
+  // scalar_pixel/produce_row_simd still uses the true image edges, so a
+  // shard's counts are exactly its slice of the full-image counts.
+  const bool shard = msg->row_end > 0;
+  const int out_begin = shard ? msg->row_begin : 0;
+  const int out_end = shard ? msg->row_end : st.h;
+  const int fetch_begin = std::max(0, out_begin - 1);
+  const int fetch_end = std::min(st.h, out_end + 1);
+
   const EhConstants eh_c = EhConstants::load();
   RowStreamer stream(msg->pixels_ea,
-                     static_cast<std::uint32_t>(msg->stride), 0, st.h,
-                     kBlockRows, msg->buffering);
-  int computed = 0;
-  int produced = 0;
+                     static_cast<std::uint32_t>(msg->stride), fetch_begin,
+                     fetch_end, kBlockRows, msg->buffering);
+  int computed_to = fetch_begin;  // gray rows finished (absolute, excl.)
+  int produced = out_begin;
   while (stream.has_next()) {
     RowStreamer::Block blk = stream.next();
     for (int r = 0; r < blk.rows; ++r) {
       gray_row_simd(blk.data + static_cast<std::size_t>(r) * msg->stride,
                     st.w,
                     st.ring[(blk.first_row + r) % kRingRows] + kRowOrigin);
-      ++computed;
+      ++computed_to;
     }
-    while (produced < st.h &&
-           (produced + 1 < computed || computed == st.h)) {
+    while (produced < out_end &&
+           (produced + 1 < computed_to || computed_to == fetch_end)) {
       if (produced == 0 || produced == st.h - 1) {
         for (int x = 0; x < st.w; ++x) scalar_pixel(st, x, produced);
       } else {
@@ -334,13 +344,19 @@ int eh_run(std::uint64_t ea) {
       ++produced;
     }
   }
-  while (produced < st.h) {
+  while (produced < out_end) {
     if (produced == 0 || produced == st.h - 1) {
       for (int x = 0; x < st.w; ++x) scalar_pixel(st, x, produced);
     } else {
       produce_row_simd(st, produced, eh_c);
     }
     ++produced;
+  }
+
+  if (shard) {
+    emit_result(st.counts, msg->out_ea,
+                static_cast<std::uint32_t>(kBins * sizeof(std::uint32_t)));
+    return 0;
   }
 
   auto* out = spu_ls_alloc_array<float>(kBins);

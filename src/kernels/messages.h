@@ -43,6 +43,14 @@ struct alignas(16) ImageMsg {
   /// Rows per DMA block for streaming kernels; 0 picks the kernel's
   /// default (ablation knob: LS pressure vs DMA count).
   std::int32_t block_rows = 0;
+  /// cellshard: row range [row_begin, row_end) this invocation covers.
+  /// row_end == 0 means the whole image (legacy full-frame call, final
+  /// normalized output). row_end > 0 selects shard mode: the kernel
+  /// processes only its range and emits a RAW PARTIAL (integer bin
+  /// counts / per-tile moments, see shard/partials.h) to out_ea; the PPE
+  /// reduces partials and applies the shared normalization.
+  std::int32_t row_begin = 0;
+  std::int32_t row_end = 0;
 };
 
 /// Concept-detection message: one feature vector against one model set.
@@ -53,7 +61,12 @@ struct alignas(16) DetectMsg {
   std::uint64_t models_ea = 0;    // DetectModelDesc[num_models]
   std::uint64_t scores_ea = 0;    // double[num_models] output
   std::int32_t buffering = kDoubleBuffer;
-  std::int32_t pad_ = 0;
+  /// cellshard: first model of this invocation's concept block. The
+  /// kernel reads descriptors starting at
+  /// `models_ea + model_begin * sizeof(DetectModelDesc)` and scores
+  /// `num_models` of them into scores_ea (the PPE points scores_ea at a
+  /// per-shard staging buffer and concatenates). 0 = legacy full set.
+  std::int32_t model_begin = 0;
 };
 
 /// kNN concept-detection message (the alternative classifier Section 5.1
@@ -73,6 +86,31 @@ struct alignas(16) KnnMsg {
   std::int32_t buffering = kDoubleBuffer;
   std::int32_t pad_[2] = {};
 };
+
+// ---- cellshard: raw-partial layout shared between SPE kernels and the
+// PPE reducer (shard::Reducer). A shard invocation (ImageMsg.row_end > 0)
+// writes these to out_ea instead of the normalized float output. ----
+
+/// CH partial: uint32[kShardChWords] raw bin counts (168 = kHsvBins
+/// rounded up to 4; pads stay zero).
+inline constexpr std::int32_t kShardChWords = 168;
+/// CC partial: uint32[kShardCcWords] — same[168] then possible[168],
+/// contiguous.
+inline constexpr std::int32_t kShardCcWords = 336;
+/// EH partial: uint32[kShardEhWords] raw (angle, magnitude) bin counts.
+inline constexpr std::int32_t kShardEhWords = 64;
+/// TX partials are PER 16-INPUT-ROW TILE, not per shard: 12 doubles per
+/// tile (4 Haar levels x {lh, hl, hh} detail energies). Tile-granular
+/// partials keep the double summation order independent of the shard
+/// plan, so sharded and unsharded runs are bit-exact. Shard row ranges
+/// for TX must start on a tile boundary.
+inline constexpr std::int32_t kTxTileRows = 16;
+inline constexpr std::int32_t kTxTileDoubles = 12;
+/// Tiles covering input rows [0, 2*(h/2)) — the even-height region every
+/// Haar level consumes.
+inline constexpr std::int32_t tx_num_tiles(std::int32_t h) {
+  return (2 * (h / 2) + kTxTileRows - 1) / kTxTileRows;
+}
 
 /// Per-model descriptor the detection kernel walks (built by the PPE stub
 /// from the SvmModel set; support vectors stay in main memory and are

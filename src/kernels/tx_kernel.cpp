@@ -148,6 +148,17 @@ void haar_rows(int half_w, RowFetch0 fetch0, RowFetch1 fetch1,
   }
 }
 
+// The decomposition runs in 16-input-row TILES (kTxTileRows): each tile
+// fuses the streaming gray conversion with level 1, then runs levels 2..4
+// over the tile's own LL rows — tile t owns level-l rows
+// [t*16/2^l, (t+1)*16/2^l), and parent rows of a tile's level-(l+1) rows
+// always lie inside the tile's level-l rows, so no cross-tile state is
+// needed. Each tile yields kTxTileDoubles partial detail energies
+// (reduce4 of its float accumulators); the full-image energy is the
+// tile-ordered double sum. cellshard relies on exactly this: a shard
+// computes a contiguous tile range, and the PPE reducer re-does the same
+// tile-ordered sum, bit-exact with the unsharded run. Side benefit: the
+// LS holds 8 LL rows instead of a full half-height plane.
 int tx_run(std::uint64_t ea) {
   auto* msg = static_cast<ImageMsg*>(spu_ls_alloc(sizeof(ImageMsg)));
   fetch_msg(msg, ea);
@@ -161,20 +172,92 @@ int tx_run(std::uint64_t ea) {
         "image too small for the 4-level wavelet texture");
   }
 
-  // Level-1 output geometry.
-  int half_w = w / 2;
-  int half_h = h / 2;
-  const int ll_stride = static_cast<int>(
-      cellport::round_up(static_cast<std::size_t>(half_w), 4));
-  auto* ll_plane = spu_ls_alloc_array<float>(
-      static_cast<std::size_t>(ll_stride) * half_h);
+  // Level geometry. heff is the even-height region level 1 consumes.
+  const int half_w = w / 2;
+  const int half_h = h / 2;
+  const int heff = half_h * 2;
+  const int lvl_w[4] = {half_w, half_w / 2, half_w / 4, half_w / 8};
+  const int lvl_h[4] = {half_h, half_h / 2, half_h / 4, half_h / 8};
+  int lvl_stride[4];
+  float* ll[4];  // per-tile LL rows of each level (level 4's is scratch)
+  for (int l = 0; l < 4; ++l) {
+    lvl_stride[l] = static_cast<int>(
+        cellport::round_up(static_cast<std::size_t>(lvl_w[l]), 4));
+    const int tile_rows = kTxTileRows >> (l + 1);  // 8, 4, 2, 1
+    ll[l] = spu_ls_alloc_array<float>(
+        static_cast<std::size_t>(lvl_stride[l]) * tile_rows);
+  }
 
-  Energies level_acc[features::kTextureLevels];
+  // cellshard: a shard covers the tile range under its input-row range.
+  const bool shard = msg->row_end > 0;
+  const int in_begin = shard ? msg->row_begin : 0;
+  const int in_end = shard ? std::min(msg->row_end, heff) : heff;
+  if (shard && (in_begin % kTxTileRows != 0 || in_begin >= in_end)) {
+    throw cellport::ConfigError("TX shard must start on a tile boundary");
+  }
+  if (shard && in_end != heff && in_end % kTxTileRows != 0) {
+    throw cellport::ConfigError("TX shard must end on a tile boundary");
+  }
+  const int t0 = in_begin / kTxTileRows;
+  const int t1 = (in_end + kTxTileRows - 1) / kTxTileRows;
+
+  double* partials = nullptr;  // shard mode: kTxTileDoubles per tile
+  double energy[kTxTileDoubles] = {};  // unsharded tile-ordered sum
+  if (shard) {
+    partials = spu_ls_alloc_array<double>(
+        static_cast<std::size_t>(t1 - t0) * kTxTileDoubles);
+  }
+
+  Energies acc[features::kTextureLevels];  // reset per tile
+  int tile = t0;
+  int tile_ll_rows = 0;  // level-1 rows of the current tile in ll[0]
+
+  // Levels 2..4 over the finished tile's LL rows, then the 12-double
+  // tile partial (level-major, {lh, hl, hh} within a level).
+  auto finish_tile = [&]() {
+    for (int l = 1; l < features::kTextureLevels; ++l) {
+      const int span = kTxTileRows >> l;  // this level's tile row count
+      const int y_begin = tile * span / 2;
+      const int y_end = std::min((tile + 1) * span / 2, lvl_h[l]);
+      for (int y = y_begin; y < y_end; ++y) {
+        const int local = 2 * y - tile * span;  // parent row in ll[l-1]
+        const float* r0 =
+            ll[l - 1] + static_cast<std::size_t>(local) * lvl_stride[l - 1];
+        const float* r1 = r0 + lvl_stride[l - 1];
+        auto fetch_from = [&](const float* row) {
+          return [row](int x, vec_float4& e, vec_float4& o) {
+            deinterleave_floats(row + 2 * x, e, o);
+          };
+        };
+        haar_rows(lvl_w[l], fetch_from(r0), fetch_from(r1),
+                  ll[l] + static_cast<std::size_t>(y - y_begin) *
+                              lvl_stride[l],
+                  acc[l]);
+      }
+    }
+    int idx = 0;
+    for (int l = 0; l < features::kTextureLevels; ++l) {
+      for (const vec_float4* a : {&acc[l].lh, &acc[l].hl, &acc[l].hh}) {
+        double p = reduce4(*a);
+        if (shard) {
+          partials[static_cast<std::size_t>(tile - t0) * kTxTileDoubles +
+                   idx] = p;
+        } else {
+          charge_double_op(1);
+          energy[idx] += p;
+        }
+        ++idx;
+      }
+      acc[l] = Energies{};
+    }
+    tile_ll_rows = 0;
+    ++tile;
+  };
 
   // ---- Level 1, fused with the streaming gray conversion ----
   RowStreamer stream(msg->pixels_ea,
-                     static_cast<std::uint32_t>(msg->stride), 0,
-                     half_h * 2, kBlockRows, msg->buffering);
+                     static_cast<std::uint32_t>(msg->stride), in_begin,
+                     in_end, kBlockRows, msg->buffering);
   // Gray staging rows (bytes), reused per row pair.
   const int gray_stride = static_cast<int>(
       cellport::round_up(static_cast<std::size_t>(w) + 24, 16));
@@ -183,7 +266,6 @@ int tx_run(std::uint64_t ea) {
   std::uint8_t* gray1 = static_cast<std::uint8_t*>(
       spu_ls_alloc(static_cast<std::size_t>(gray_stride), 16));
 
-  int out_row = 0;
   std::uint8_t* pending = nullptr;  // odd row count carry across blocks
   while (stream.has_next()) {
     RowStreamer::Block blk = stream.next();
@@ -208,7 +290,7 @@ int tx_run(std::uint64_t ea) {
       if (pending == nullptr) {
         pending = gray0;
       } else {
-        // A full row pair: Haar-step it.
+        // A full row pair: Haar-step it into the tile's LL buffer.
         auto fetch0 = [&](int x, vec_float4& e, vec_float4& o) {
           load_even_odd(gray0 + 2 * x, e, o);
         };
@@ -216,63 +298,38 @@ int tx_run(std::uint64_t ea) {
           load_even_odd(gray1 + 2 * x, e, o);
         };
         haar_rows(half_w, fetch0, fetch1,
-                  ll_plane + static_cast<std::size_t>(out_row) * ll_stride,
-                  level_acc[0]);
-        ++out_row;
+                  ll[0] + static_cast<std::size_t>(tile_ll_rows) *
+                              lvl_stride[0],
+                  acc[0]);
+        ++tile_ll_rows;
         pending = nullptr;
+        if (tile_ll_rows == kTxTileRows / 2) finish_tile();
       }
     }
   }
+  if (tile_ll_rows > 0) finish_tile();
 
-  // ---- Levels 2..4 inside the local store ----
-  int cur_w = half_w;
-  int cur_h = half_h;
-  int cur_stride = ll_stride;
-  float* cur = ll_plane;
-  for (int level = 1; level < features::kTextureLevels; ++level) {
-    int nw = cur_w / 2;
-    int nh = cur_h / 2;
-    const int nstride = static_cast<int>(
-        cellport::round_up(static_cast<std::size_t>(nw), 4));
-    auto* next = spu_ls_alloc_array<float>(
-        static_cast<std::size_t>(nstride) * nh);
-    for (int y = 0; y < nh; ++y) {
-      const float* r0 = cur + static_cast<std::size_t>(2 * y) * cur_stride;
-      const float* r1 = cur + static_cast<std::size_t>(2 * y + 1) *
-                                  cur_stride;
-      auto fetch_from = [&](const float* row) {
-        return [row](int x, vec_float4& e, vec_float4& o) {
-          deinterleave_floats(row + 2 * x, e, o);
-        };
-      };
-      haar_rows(nw, fetch_from(r0), fetch_from(r1),
-                next + static_cast<std::size_t>(y) * nstride,
-                level_acc[level]);
-    }
-    cur = next;
-    cur_w = nw;
-    cur_h = nh;
-    cur_stride = nstride;
+  if (shard) {
+    emit_result(partials, msg->out_ea,
+                static_cast<std::uint32_t>(
+                    static_cast<std::size_t>(t1 - t0) * kTxTileDoubles *
+                    sizeof(double)));
+    return 0;
   }
 
-  // ---- Final energies: reduce, normalize, log ----
+  // ---- Final energies: normalize, log ----
   auto* out = spu_ls_alloc_array<float>(
       cellport::round_up(std::size_t{features::kTextureDim}, 4));
-  int plane_w = half_w;
-  int plane_h = half_h;
   int idx = 0;
   for (int level = 0; level < features::kTextureLevels; ++level) {
-    double denom = static_cast<double>(plane_w) * plane_h;
-    for (const vec_float4* acc :
-         {&level_acc[level].lh, &level_acc[level].hl,
-          &level_acc[level].hh}) {
+    double denom =
+        static_cast<double>(lvl_w[level]) * lvl_h[level];
+    for (int band = 0; band < 3; ++band) {
       charge_double_op(8);
       sop(30);  // software double log1p
-      double e = reduce4(*acc) / denom;
+      double e = energy[idx] / denom;
       out[idx++] = static_cast<float>(std::log1p(e));
     }
-    plane_w /= 2;
-    plane_h /= 2;
   }
   for (; idx < 16; ++idx) out[idx] = 0.0f;
 

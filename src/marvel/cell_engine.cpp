@@ -11,6 +11,8 @@
 #include "kernels/ch_kernel.h"
 #include "kernels/eh_kernel.h"
 #include "kernels/tx_kernel.h"
+#include "shard/mirror.h"
+#include "shard/reducer.h"
 #include "support/error.h"
 
 namespace cellport::marvel {
@@ -66,27 +68,69 @@ CellEngine::CellEngine(sim::Machine& machine,
        &features::extract_edge_histogram},
   };
 
+  // cellshard: choose the shard plan for this machine shape up front so
+  // guarded and unguarded engines pin the same placement.
+  if (scenario_ == Scenario::kSharded) {
+    plan_ = shard::plan_shards(machine_.num_spes());
+    auto& metrics = machine_.metrics();
+    metrics.gauge("shard.plan.ch").set(plan_.extract_shards[shard::kSlotCh]);
+    metrics.gauge("shard.plan.cc").set(plan_.extract_shards[shard::kSlotCc]);
+    metrics.gauge("shard.plan.tx").set(plan_.extract_shards[shard::kSlotTx]);
+    metrics.gauge("shard.plan.eh").set(plan_.extract_shards[shard::kSlotEh]);
+    metrics.gauge("shard.plan.cd").set(plan_.detect_spes);
+    shard_reduce_counter_ = &metrics.counter("shard.reduces");
+  }
+
   // Static schedule: one resident kernel per SPE (Section 3.3). A guarded
   // engine wraps the same placement in GuardedInterfaces; any SPE beyond
   // the pinned set becomes a shared spare retries may migrate to.
   if (guard_.enabled) {
     health_ = std::make_unique<guard::SpeHealth>(machine_, guard_.retry);
     fallback_counter_ = &machine_.metrics().counter("guard.ppe_fallbacks");
-    int pinned = scenario_ == Scenario::kMultiSPE2 ? 8 : 5;
+    int pinned = scenario_ == Scenario::kMultiSPE2 ? 8
+                 : scenario_ == Scenario::kSharded ? plan_.spes_used()
+                                                   : 5;
     std::vector<int> spares;
     for (int s = pinned; s < machine_.num_spes(); ++s) spares.push_back(s);
-    for (int i = 0; i < 4; ++i) {
-      slots_[i].g_extract = std::make_unique<guard::GuardedInterface>(
-          *health_, config[i].module(), i, spares);
-    }
-    if (scenario_ == Scenario::kMultiSPE2) {
+    if (scenario_ == Scenario::kSharded) {
+      int spe = 0;
       for (int i = 0; i < 4; ++i) {
-        slots_[i].g_detect = std::make_unique<guard::GuardedInterface>(
-            *health_, kernels::cd_module(), 4 + i, spares);
+        for (int j = 0; j < plan_.extract_shards[i]; ++j) {
+          slots_[i].g_shards.push_back(
+              std::make_unique<guard::GuardedInterface>(
+                  *health_, config[i].module(), spe++, spares));
+        }
+      }
+      for (int b = 0; b < plan_.detect_spes; ++b) {
+        g_cd_shards_.push_back(std::make_unique<guard::GuardedInterface>(
+            *health_, kernels::cd_module(), spe++, spares));
       }
     } else {
-      g_cd_ = std::make_unique<guard::GuardedInterface>(
-          *health_, kernels::cd_module(), 4, spares);
+      for (int i = 0; i < 4; ++i) {
+        slots_[i].g_extract = std::make_unique<guard::GuardedInterface>(
+            *health_, config[i].module(), i, spares);
+      }
+      if (scenario_ == Scenario::kMultiSPE2) {
+        for (int i = 0; i < 4; ++i) {
+          slots_[i].g_detect = std::make_unique<guard::GuardedInterface>(
+              *health_, kernels::cd_module(), 4 + i, spares);
+        }
+      } else {
+        g_cd_ = std::make_unique<guard::GuardedInterface>(
+            *health_, kernels::cd_module(), 4, spares);
+      }
+    }
+  } else if (scenario_ == Scenario::kSharded) {
+    int spe = 0;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < plan_.extract_shards[i]; ++j) {
+        slots_[i].shard_ifs.push_back(std::make_unique<port::SPEInterface>(
+            config[i].module(), spe++));
+      }
+    }
+    for (int b = 0; b < plan_.detect_spes; ++b) {
+      cd_shard_ifs_.push_back(
+          std::make_unique<port::SPEInterface>(kernels::cd_module(), spe++));
     }
   } else {
     ch_if_ = std::make_unique<port::SPEInterface>(kernels::ch_module(), 0);
@@ -118,6 +162,75 @@ CellEngine::CellEngine(sim::Machine& machine,
       slot.detect_if = i == 0 ? cd_if_.get() : cd_extra_[i - 1].get();
     }
   }
+  if (scenario_ == Scenario::kSharded) setup_sharding();
+}
+
+void CellEngine::setup_sharding() {
+  // Raw-partial bytes per shard: fixed for the counting kernels; TX is
+  // tile-count dependent and (re)sized per image in prepare_shards.
+  const std::size_t part_bytes[4] = {
+      kernels::kShardChWords * sizeof(std::uint32_t),
+      kernels::kShardCcWords * sizeof(std::uint32_t),
+      0,
+      kernels::kShardEhWords * sizeof(std::uint32_t),
+  };
+  for (int i = 0; i < 4; ++i) {
+    FeatureSlot& slot = slots_[i];
+    const auto n = static_cast<std::size_t>(plan_.extract_shards[i]);
+    slot.shard_msgs = std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
+    slot.shard_parts.resize(n);
+    if (part_bytes[i] > 0) {
+      for (auto& p : slot.shard_parts) {
+        p = cellport::AlignedBuffer<std::uint8_t>(part_bytes[i]);
+      }
+    }
+  }
+  // Detection staging: each block's kernel pads its score DMA to an even
+  // count, so blocks land in per-block buffers and the PPE concatenates
+  // the exact counts (writing into slot.scores directly would overlap at
+  // odd block boundaries).
+  std::size_t max_models = 0;
+  for (const auto& slot : slots_) {
+    max_models = std::max(max_models, slot.set->models.size());
+  }
+  const auto d = static_cast<std::size_t>(plan_.detect_spes);
+  cd_block_msgs_ = std::vector<port::WrappedMessage<kernels::DetectMsg>>(d);
+  cd_block_scores_.resize(d);
+  for (auto& s : cd_block_scores_) {
+    s = cellport::AlignedBuffer<double>(cellport::round_up(max_models, 2));
+  }
+}
+
+void CellEngine::prepare_shards(const img::RgbImage& pixels) {
+  const int h = pixels.height();
+  std::uint64_t stores = 0;
+  for (int i = 0; i < 4; ++i) {
+    FeatureSlot& slot = slots_[i];
+    const int n = plan_.extract_shards[i];
+    slot.shard_rows = i == shard::kSlotTx ? shard::split_tiles(h, n)
+                                          : shard::split_rows(h, n);
+    for (int j = 0; j < n; ++j) {
+      const shard::Range& r = slot.shard_rows[static_cast<std::size_t>(j)];
+      if (r.empty()) continue;
+      if (i == shard::kSlotTx) {
+        const auto bytes = static_cast<std::size_t>(
+                               shard::tx_partial_doubles(r)) *
+                           sizeof(double);
+        auto& part = slot.shard_parts[static_cast<std::size_t>(j)];
+        if (part.bytes() < bytes) {
+          part = cellport::AlignedBuffer<std::uint8_t>(bytes);
+        }
+      }
+      kernels::ImageMsg& m = *slot.shard_msgs[static_cast<std::size_t>(j)];
+      m = *slot.msg;
+      m.row_begin = r.begin;
+      m.row_end = r.end;
+      m.out_ea = reinterpret_cast<std::uint64_t>(
+          slot.shard_parts[static_cast<std::size_t>(j)].data());
+      stores += 4;
+    }
+  }
+  machine_.ppe().charge(sim::OpClass::kStore, stores);
 }
 
 void CellEngine::setup_detection(FeatureSlot& slot,
@@ -192,6 +305,7 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   }();
 
   for (auto& slot : slots_) fill_image_msg(slot, pixels);
+  if (scenario_ == Scenario::kSharded) prepare_shards(pixels);
 
   if (guard_.enabled) {
     degraded_current_.clear();
@@ -233,6 +347,10 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
                                slot.detect_msg.ea());
         }
         for (auto& slot : slots_) slot.detect_if->Wait();
+        break;
+      }
+      case Scenario::kSharded: {
+        analyze_sharded(pixels);
         break;
       }
     }
@@ -298,7 +416,189 @@ void CellEngine::analyze_guarded_schedule(const img::RgbImage& pixels) {
       for (auto& slot : slots_) finish_detect(slot, *slot.g_detect);
       break;
     }
+    case Scenario::kSharded: {
+      analyze_sharded(pixels);
+      break;
+    }
   }
+}
+
+// ---- cellshard: the kSharded per-image schedule ----
+//
+// All shards of all four kernels launch in parallel (the plan sizes the
+// counts so they finish together); the PPE then merges raw partials into
+// the exact unsharded outputs and fans each slot's detection out over
+// the detection interfaces as contiguous model blocks. The guarded
+// variant mirrors the unguarded one call-for-call; a shard whose retries
+// are exhausted is recomputed on the PPE via the shard mirrors — the
+// surviving shards' SPE work is kept.
+void CellEngine::analyze_sharded(const img::RgbImage& pixels) {
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+    send_shards();
+    wait_shards(pixels);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseShardReduce);
+    for (int i = 0; i < 4; ++i) reduce_slot(i);
+    shard_reduce_counter_->add(1);
+  }
+  port::Profiler::Scope probe(profiler_, kPhaseDetect);
+  for (auto& slot : slots_) sharded_detect(slot);
+}
+
+void CellEngine::send_shards() {
+  for (auto& slot : slots_) {
+    for (std::size_t j = 0; j < slot.shard_msgs.size(); ++j) {
+      if (slot.shard_rows[j].empty()) continue;
+      if (guard_.enabled) {
+        slot.g_shards[j]->Send(static_cast<int>(kernels::SPU_Run),
+                               slot.shard_msgs[j].ea());
+      } else {
+        slot.shard_ifs[j]->Send(static_cast<int>(kernels::SPU_Run),
+                                slot.shard_msgs[j].ea());
+      }
+    }
+  }
+}
+
+void CellEngine::wait_shards(const img::RgbImage& pixels) {
+  for (int i = 0; i < 4; ++i) {
+    FeatureSlot& slot = slots_[i];
+    for (std::size_t j = 0; j < slot.shard_msgs.size(); ++j) {
+      if (slot.shard_rows[j].empty()) continue;
+      if (guard_.enabled) {
+        finish_shard(i, static_cast<int>(j), pixels);
+      } else {
+        slot.shard_ifs[j]->Wait();
+      }
+    }
+  }
+}
+
+void CellEngine::finish_shard(int i, int j, const img::RgbImage& pixels) {
+  FeatureSlot& slot = slots_[i];
+  guard::GuardedInterface::Result r =
+      slot.g_shards[static_cast<std::size_t>(j)]->Finish();
+  if (r.ok) return;
+  // Recompute just this shard's raw partial on the PPE; the reduction
+  // then proceeds as if the SPE had delivered it.
+  const shard::Range& range = slot.shard_rows[static_cast<std::size_t>(j)];
+  void* part = slot.shard_parts[static_cast<std::size_t>(j)].data();
+  switch (i) {
+    case shard::kSlotCh:
+      shard::ppe_partial_ch(pixels, range,
+                            static_cast<std::uint32_t*>(part),
+                            &machine_.ppe());
+      break;
+    case shard::kSlotCc:
+      shard::ppe_partial_cc(pixels, range,
+                            static_cast<std::uint32_t*>(part),
+                            &machine_.ppe());
+      break;
+    case shard::kSlotTx:
+      shard::ppe_partial_tx(pixels, range, static_cast<double*>(part),
+                            &machine_.ppe());
+      break;
+    default:
+      shard::ppe_partial_eh(pixels, range,
+                            static_cast<std::uint32_t*>(part),
+                            &machine_.ppe());
+      break;
+  }
+  note_degraded("shard", slot);
+}
+
+void CellEngine::reduce_slot(int i) {
+  FeatureSlot& slot = slots_[i];
+  const int w = slot.msg->width;
+  const int h = slot.msg->height;
+  // Empty shards (image smaller than the shard count) contribute nothing
+  // and were never dispatched; reduce over the rest.
+  std::vector<const std::uint32_t*> counts;
+  std::vector<const double*> tiles;
+  std::vector<int> tile_doubles;
+  for (std::size_t j = 0; j < slot.shard_parts.size(); ++j) {
+    if (slot.shard_rows[j].empty()) continue;
+    if (i == shard::kSlotTx) {
+      tiles.push_back(
+          reinterpret_cast<const double*>(slot.shard_parts[j].data()));
+      tile_doubles.push_back(shard::tx_partial_doubles(slot.shard_rows[j]));
+    } else {
+      counts.push_back(reinterpret_cast<const std::uint32_t*>(
+          slot.shard_parts[j].data()));
+    }
+  }
+  sim::ScalarContext* ppe = &machine_.ppe();
+  switch (i) {
+    case shard::kSlotCh:
+      shard::reduce_ch(counts.data(), static_cast<int>(counts.size()), w,
+                       h, slot.out.data(), ppe);
+      break;
+    case shard::kSlotCc:
+      shard::reduce_cc(counts.data(), static_cast<int>(counts.size()),
+                       slot.out.data(), ppe);
+      break;
+    case shard::kSlotTx:
+      shard::reduce_tx(tiles.data(), tile_doubles.data(),
+                       static_cast<int>(tiles.size()), w, h,
+                       slot.out.data(), ppe);
+      break;
+    default:
+      shard::reduce_eh(counts.data(), static_cast<int>(counts.size()), w,
+                       h, slot.out.data(), ppe);
+      break;
+  }
+}
+
+void CellEngine::sharded_detect(FeatureSlot& slot) {
+  const auto num_models = static_cast<int>(slot.set->models.size());
+  const int d = plan_.detect_spes;
+  std::vector<shard::Range> blocks = shard::split_rows(num_models, d);
+  machine_.ppe().charge(sim::OpClass::kStore,
+                        6 * static_cast<std::uint64_t>(d));
+  for (int b = 0; b < d; ++b) {
+    if (blocks[static_cast<std::size_t>(b)].empty()) continue;
+    kernels::DetectMsg& m = *cd_block_msgs_[static_cast<std::size_t>(b)];
+    m = *slot.detect_msg;
+    m.model_begin = blocks[static_cast<std::size_t>(b)].begin;
+    m.num_models = blocks[static_cast<std::size_t>(b)].count();
+    m.scores_ea = reinterpret_cast<std::uint64_t>(
+        cd_block_scores_[static_cast<std::size_t>(b)].data());
+    if (guard_.enabled) {
+      g_cd_shards_[static_cast<std::size_t>(b)]->Send(
+          static_cast<int>(kernels::SPU_Run),
+          cd_block_msgs_[static_cast<std::size_t>(b)].ea());
+    } else {
+      cd_shard_ifs_[static_cast<std::size_t>(b)]->Send(
+          static_cast<int>(kernels::SPU_Run),
+          cd_block_msgs_[static_cast<std::size_t>(b)].ea());
+    }
+  }
+  std::vector<const double*> parts;
+  std::vector<int> counts;
+  for (int b = 0; b < d; ++b) {
+    const shard::Range& block = blocks[static_cast<std::size_t>(b)];
+    if (block.empty()) continue;
+    if (guard_.enabled) {
+      guard::GuardedInterface::Result r =
+          g_cd_shards_[static_cast<std::size_t>(b)]->Finish();
+      if (!r.ok) {
+        shard::ppe_detect_block(
+            slot.out.data(), slot.dim, *slot.set, block,
+            cd_block_scores_[static_cast<std::size_t>(b)].data(),
+            &machine_.ppe());
+        note_degraded("detect", slot);
+      }
+    } else {
+      cd_shard_ifs_[static_cast<std::size_t>(b)]->Wait();
+    }
+    parts.push_back(cd_block_scores_[static_cast<std::size_t>(b)].data());
+    counts.push_back(block.count());
+  }
+  shard::concat_scores(parts.data(), counts.data(),
+                       static_cast<int>(parts.size()), slot.scores.data(),
+                       &machine_.ppe());
 }
 
 void CellEngine::finish_extract(FeatureSlot& slot,
@@ -373,8 +673,8 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     const std::vector<img::SicEncoded>& images) {
   if (scenario_ == Scenario::kSingleSPE) {
     throw cellport::ConfigError(
-        "pipelined batches need a parallel scenario (kMultiSPE or "
-        "kMultiSPE2)");
+        "pipelined batches need a parallel scenario (kMultiSPE, "
+        "kMultiSPE2, or kSharded)");
   }
   std::vector<AnalysisResult> results;
   if (images.empty()) return results;
@@ -391,21 +691,31 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
   img::RgbImage current = decode(images[0]);
   for (std::size_t i = 0; i < images.size(); ++i) {
     for (auto& slot : slots_) fill_image_msg(slot, current);
+    if (scenario_ == Scenario::kSharded) prepare_shards(current);
     if (guard_.enabled) degraded_current_.clear();
-    for (auto& slot : slots_) {
-      if (guard_.enabled) {
-        slot.g_extract->Send(static_cast<int>(kernels::SPU_Run),
-                             slot.msg.ea());
-      } else {
-        slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
-                              slot.msg.ea());
+    if (scenario_ == Scenario::kSharded) {
+      send_shards();
+    } else {
+      for (auto& slot : slots_) {
+        if (guard_.enabled) {
+          slot.g_extract->Send(static_cast<int>(kernels::SPU_Run),
+                               slot.msg.ea());
+        } else {
+          slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
+                                slot.msg.ea());
+        }
       }
     }
     // PPE work overlaps the SPE kernels: decode the next image now.
     img::RgbImage next;
     if (i + 1 < images.size()) next = decode(images[i + 1]);
 
-    if (guard_.enabled) {
+    if (scenario_ == Scenario::kSharded) {
+      wait_shards(current);
+      for (int si = 0; si < 4; ++si) reduce_slot(si);
+      shard_reduce_counter_->add(1);
+      for (auto& slot : slots_) sharded_detect(slot);
+    } else if (guard_.enabled) {
       if (scenario_ == Scenario::kMultiSPE2) {
         for (auto& slot : slots_) {
           finish_extract(slot, current);

@@ -12,6 +12,11 @@
 //                 SPEs; concept detection runs serialized on a fifth.
 //   kMultiSPE2  — detection replicated on four more SPEs; each
 //                 extraction is followed immediately by its detection.
+//   kSharded    — cellshard: every kernel is data-parallel across shards
+//                 of ONE image (row slices / Haar tiles / model blocks),
+//                 spread over all SPEs by shard::plan_shards; the PPE
+//                 reduces raw partials into bit-exact results. Optimizes
+//                 per-image latency where kMultiSPE optimizes occupancy.
 #pragma once
 
 #include <memory>
@@ -28,12 +33,14 @@
 #include "marvel/result.h"
 #include "port/profiler.h"
 #include "port/spe_interface.h"
+#include "shard/partials.h"
+#include "shard/plan.h"
 #include "sim/machine.h"
 #include "support/aligned.h"
 
 namespace cellport::marvel {
 
-enum class Scenario { kSingleSPE, kMultiSPE, kMultiSPE2 };
+enum class Scenario { kSingleSPE, kMultiSPE, kMultiSPE2, kSharded };
 
 class StreamEngine;
 
@@ -66,6 +73,9 @@ struct StreamStats {
 /// so only aggregate phases are meaningful there).
 inline constexpr const char* kPhaseExtractPar = "Extract(parallel)";
 inline constexpr const char* kPhaseDetect = "Detect";
+/// cellshard: the PPE-side partial merge of a kSharded image (shows as
+/// its own span on the timeline).
+inline constexpr const char* kPhaseShardReduce = "ShardReduce";
 inline constexpr const char* kPhasePipelined = "Pipelined(batch)";
 inline constexpr const char* kPhaseStream = "Stream(ring)";
 
@@ -116,6 +126,9 @@ class CellEngine {
   bool guarded() const { return guard_.enabled; }
   /// The health board behind a guarded engine; null when unguarded.
   const guard::SpeHealth* health() const { return health_.get(); }
+  /// cellshard: the shard plan a kSharded engine executes (defaulted
+  /// {1,1,1,1}+1 otherwise).
+  const shard::ShardPlan& shard_plan() const { return plan_; }
 
  private:
   friend class StreamEngine;
@@ -138,6 +151,15 @@ class CellEngine {
                                            sim::ScalarContext*) = nullptr;
     std::unique_ptr<guard::GuardedInterface> g_extract;
     std::unique_ptr<guard::GuardedInterface> g_detect;  // kMultiSPE2 only
+    // cellshard (kSharded only): one interface + message + raw-partial
+    // buffer per shard of this kernel; `shard_rows` holds the current
+    // image's ranges (recomputed per image — shapes may vary).
+    std::vector<std::unique_ptr<port::SPEInterface>> shard_ifs;
+    std::vector<std::unique_ptr<guard::GuardedInterface>> g_shards;
+    std::vector<cellport::port::WrappedMessage<kernels::ImageMsg>>
+        shard_msgs;
+    std::vector<cellport::AlignedBuffer<std::uint8_t>> shard_parts;
+    std::vector<shard::Range> shard_rows;
   };
 
   void setup_detection(FeatureSlot& slot, const learn::ConceptModelSet& set);
@@ -163,6 +185,29 @@ class CellEngine {
   void note_degraded(const char* stage, const FeatureSlot& slot);
   int guarded_opcode(const FeatureSlot& slot) const;
 
+  // ---- cellshard paths (kSharded only) ----
+  /// Allocates per-shard messages/partial buffers and the detection
+  /// block staging (construction time).
+  void setup_sharding();
+  /// Computes the current image's shard ranges and fills every shard
+  /// message (after fill_image_msg).
+  void prepare_shards(const img::RgbImage& pixels);
+  /// The sharded per-image schedule: parallel shard extraction, PPE
+  /// reduction, block-parallel detection. Guarded variant retries a
+  /// faulted shard and falls back to the PPE mirror for just that slice.
+  void analyze_sharded(const img::RgbImage& pixels);
+  /// Dispatches every non-empty shard of every slot (guarded or not).
+  void send_shards();
+  /// Completion side of send_shards(); guarded shards that exhaust their
+  /// retries are recomputed from `pixels` via the PPE mirrors.
+  void wait_shards(const img::RgbImage& pixels);
+  /// Merges slot `i`'s raw partials into its normalized output buffer.
+  void reduce_slot(int i);
+  /// Finish() for one guarded shard; PPE mirror partial on failure.
+  void finish_shard(int i, int j, const img::RgbImage& pixels);
+  /// Block-split detection for one slot over the detection interfaces.
+  void sharded_detect(FeatureSlot& slot);
+
   sim::Machine& machine_;
   Scenario scenario_;
   kernels::BufferingDepth buffering_;
@@ -186,6 +231,15 @@ class CellEngine {
   std::unique_ptr<guard::GuardedInterface> g_cd_;  // single/multi detection
   trace::Counter* fallback_counter_ = nullptr;
   std::vector<std::string> degraded_current_;
+
+  // cellshard state (kSharded only).
+  shard::ShardPlan plan_;
+  std::vector<std::unique_ptr<port::SPEInterface>> cd_shard_ifs_;
+  std::vector<std::unique_ptr<guard::GuardedInterface>> g_cd_shards_;
+  std::vector<cellport::port::WrappedMessage<kernels::DetectMsg>>
+      cd_block_msgs_;
+  std::vector<cellport::AlignedBuffer<double>> cd_block_scores_;
+  trace::Counter* shard_reduce_counter_ = nullptr;
 
   FeatureSlot slots_[4];
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "shard/mirror.h"
+#include "shard/reducer.h"
 #include "support/error.h"
 
 namespace cellport::marvel {
@@ -25,6 +27,22 @@ StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
   if (engine_.guard_.enabled) {
     guard_deadline_ns_ = engine_.guard_.retry.deadline_ns;
   }
+  const bool sharded = engine_.scenario_ == Scenario::kSharded;
+  if (sharded) {
+    for (int s = 0; s < 4; ++s) {
+      cd_blocks_[s] = shard::split_rows(
+          static_cast<int>(engine_.slots_[s].set->models.size()),
+          engine_.plan_.detect_spes);
+    }
+  }
+  // Raw-partial bytes per shard (TX is tile-count dependent and (re)sized
+  // in prepare_window; see CellEngine::setup_sharding).
+  const std::size_t part_bytes[4] = {
+      kernels::kShardChWords * sizeof(std::uint32_t),
+      kernels::kShardCcWords * sizeof(std::uint32_t),
+      0,
+      kernels::kShardEhWords * sizeof(std::uint32_t),
+  };
   const auto B = static_cast<std::size_t>(opts_.batch);
   for (auto& parity : bufs_) {
     parity.reserve(B);
@@ -42,6 +60,35 @@ StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
         dm = *slot.detect_msg;
         dm.feature_ea = reinterpret_cast<std::uint64_t>(sb.out.data());
         dm.scores_ea = reinterpret_cast<std::uint64_t>(sb.scores.data());
+        if (!sharded) continue;
+        const auto n =
+            static_cast<std::size_t>(engine_.plan_.extract_shards[s]);
+        sb.shard_msgs =
+            std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
+        sb.shard_parts.resize(n);
+        if (part_bytes[s] > 0) {
+          for (auto& p : sb.shard_parts) {
+            p = cellport::AlignedBuffer<std::uint8_t>(part_bytes[s]);
+          }
+        }
+        // Detection block staging is static per buffer like detect_msg:
+        // the block split depends only on the model count.
+        const auto d = static_cast<std::size_t>(engine_.plan_.detect_spes);
+        sb.block_msgs =
+            std::vector<port::WrappedMessage<kernels::DetectMsg>>(d);
+        sb.block_scores.resize(d);
+        for (std::size_t b = 0; b < d; ++b) {
+          const shard::Range& block = cd_blocks_[s][b];
+          sb.block_scores[b] =
+              cellport::AlignedBuffer<double>(sb.scores.size());
+          if (block.empty()) continue;
+          kernels::DetectMsg& bm = *sb.block_msgs[b];
+          bm = dm;
+          bm.model_begin = block.begin;
+          bm.num_models = block.count();
+          bm.scores_ea =
+              reinterpret_cast<std::uint64_t>(sb.block_scores[b].data());
+        }
       }
       parity.push_back(std::move(pi));
     }
@@ -125,6 +172,37 @@ void StreamEngine::prepare_window(
       m.out_ea = reinterpret_cast<std::uint64_t>(pi.sb[s].out.data());
       m.out_count = engine_.slots_[s].dim;
     }
+    if (engine_.scenario_ != Scenario::kSharded) continue;
+    // cellshard: the shard plan is fixed, the ranges follow this image's
+    // shape. Each shard message is the slot message plus its row range,
+    // writing the raw partial instead of the feature vector.
+    for (int s = 0; s < 4; ++s) {
+      SlotBuf& sb = pi.sb[s];
+      const int n = engine_.plan_.extract_shards[s];
+      sb.shard_rows = s == shard::kSlotTx
+                          ? shard::split_tiles(pi.pixels.height(), n)
+                          : shard::split_rows(pi.pixels.height(), n);
+      for (int k = 0; k < n; ++k) {
+        const shard::Range& r = sb.shard_rows[static_cast<std::size_t>(k)];
+        if (r.empty()) continue;
+        if (s == shard::kSlotTx) {
+          const auto bytes = static_cast<std::size_t>(
+                                 shard::tx_partial_doubles(r)) *
+                             sizeof(double);
+          auto& part = sb.shard_parts[static_cast<std::size_t>(k)];
+          if (part.bytes() < bytes) {
+            part = cellport::AlignedBuffer<std::uint8_t>(bytes);
+          }
+        }
+        ppe.charge(sim::OpClass::kStore, 4);
+        kernels::ImageMsg& m = *sb.shard_msgs[static_cast<std::size_t>(k)];
+        m = *sb.msg;
+        m.row_begin = r.begin;
+        m.row_end = r.end;
+        m.out_ea = reinterpret_cast<std::uint64_t>(
+            sb.shard_parts[static_cast<std::size_t>(k)].data());
+      }
+    }
   }
 }
 
@@ -134,8 +212,255 @@ int StreamEngine::flush_ring(port::SPEInterface* iface) {
   return n;
 }
 
+port::SPEInterface* StreamEngine::shard_iface(int s, int k) {
+  CellEngine::FeatureSlot& slot = engine_.slots_[s];
+  if (engine_.guard_.enabled) {
+    return slot.g_shards[static_cast<std::size_t>(k)]->iface();
+  }
+  return slot.shard_ifs[static_cast<std::size_t>(k)].get();
+}
+
+void StreamEngine::flush_shard_slot(std::size_t w, std::size_t total,
+                                    int s) {
+  const std::size_t count = window_count(w, total);
+  const auto cap = static_cast<std::uint32_t>(opts_.batch) *
+                   (pipelined_ ? 2u : 1u);
+  const auto spu_run = static_cast<int>(kernels::SPU_Run);
+  for (int k = 0; k < engine_.plan_.extract_shards[s]; ++k) {
+    port::SPEInterface* iface = ensure_ring(shard_iface(s, k), cap);
+    if (iface == nullptr) continue;  // guarded + closed: wait resolves it
+    int enqueued = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      SlotBuf& sb = buf(w, j).sb[s];
+      if (sb.shard_rows[static_cast<std::size_t>(k)].empty()) continue;
+      iface->Enqueue(spu_run,
+                     sb.shard_msgs[static_cast<std::size_t>(k)].ea());
+      ++enqueued;
+    }
+    if (enqueued > 0) flush_ring(iface);
+  }
+}
+
+void StreamEngine::wait_shard_slot(std::size_t w, std::size_t total,
+                                   int s) {
+  const std::size_t count = window_count(w, total);
+  for (int k = 0; k < engine_.plan_.extract_shards[s]; ++k) {
+    // The requests this shard's ring actually carries for this window
+    // (empty ranges were never enqueued).
+    std::vector<std::size_t> live;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (!buf(w, j).sb[s].shard_rows[static_cast<std::size_t>(k)].empty()) {
+        live.push_back(j);
+      }
+    }
+    if (live.empty()) continue;
+    port::SPEInterface* iface = shard_iface(s, k);
+    guard::GuardedInterface* gi =
+        engine_.guard_.enabled
+            ? engine_.slots_[s].g_shards[static_cast<std::size_t>(k)].get()
+            : nullptr;
+    if (iface == nullptr) {
+      for (std::size_t j : live) rerun_shard(s, k, buf(w, j));
+      continue;
+    }
+    std::vector<int> res;
+    const sim::SimTime timeout =
+        guard_deadline_ns_ > 0
+            ? guard_deadline_ns_ * static_cast<sim::SimTime>(live.size())
+            : -1;
+    if (!iface->WaitBatch(&res, timeout)) {
+      ++stats_.batch_timeouts;
+      iface->reclaim();
+      for (std::size_t j : live) rerun_shard(s, k, buf(w, j));
+      continue;
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (res[i] != port::SPEInterface::kRingFault) continue;
+      if (gi != nullptr) {
+        rerun_shard(s, k, buf(w, live[i]));
+      } else {
+        throw_ring_fault("shard extract", iface);
+      }
+    }
+  }
+}
+
+void StreamEngine::reduce_window(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  for (std::size_t j = 0; j < count; ++j) {
+    PerImage& pi = buf(w, j);
+    const int iw = pi.pixels.width();
+    const int ih = pi.pixels.height();
+    for (int s = 0; s < 4; ++s) {
+      SlotBuf& sb = pi.sb[s];
+      std::vector<const std::uint32_t*> counts;
+      std::vector<const double*> tiles;
+      std::vector<int> tile_doubles;
+      for (std::size_t k = 0; k < sb.shard_parts.size(); ++k) {
+        if (sb.shard_rows[k].empty()) continue;
+        if (s == shard::kSlotTx) {
+          tiles.push_back(
+              reinterpret_cast<const double*>(sb.shard_parts[k].data()));
+          tile_doubles.push_back(
+              shard::tx_partial_doubles(sb.shard_rows[k]));
+        } else {
+          counts.push_back(reinterpret_cast<const std::uint32_t*>(
+              sb.shard_parts[k].data()));
+        }
+      }
+      switch (s) {
+        case shard::kSlotCh:
+          shard::reduce_ch(counts.data(), static_cast<int>(counts.size()),
+                           iw, ih, sb.out.data(), ppe);
+          break;
+        case shard::kSlotCc:
+          shard::reduce_cc(counts.data(), static_cast<int>(counts.size()),
+                           sb.out.data(), ppe);
+          break;
+        case shard::kSlotTx:
+          shard::reduce_tx(tiles.data(), tile_doubles.data(),
+                           static_cast<int>(tiles.size()), iw, ih,
+                           sb.out.data(), ppe);
+          break;
+        default:
+          shard::reduce_eh(counts.data(), static_cast<int>(counts.size()),
+                           iw, ih, sb.out.data(), ppe);
+          break;
+      }
+    }
+    engine_.shard_reduce_counter_->add(1);
+  }
+}
+
+void StreamEngine::run_detect_sharded(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  const auto spu_run = static_cast<int>(kernels::SPU_Run);
+  const auto cap = static_cast<std::uint32_t>(opts_.batch) * 4u;
+  // Detection interface b carries block b of EVERY slot's model set —
+  // 4 * count requests behind one doorbell.
+  for (int b = 0; b < engine_.plan_.detect_spes; ++b) {
+    std::vector<std::pair<std::size_t, int>> live;  // (image, slot)
+    for (std::size_t j = 0; j < count; ++j) {
+      for (int s = 0; s < 4; ++s) {
+        if (!cd_blocks_[s][static_cast<std::size_t>(b)].empty()) {
+          live.emplace_back(j, s);
+        }
+      }
+    }
+    if (live.empty()) continue;
+    guard::GuardedInterface* gi =
+        engine_.guard_.enabled
+            ? engine_.g_cd_shards_[static_cast<std::size_t>(b)].get()
+            : nullptr;
+    port::SPEInterface* iface =
+        gi != nullptr
+            ? gi->iface()
+            : engine_.cd_shard_ifs_[static_cast<std::size_t>(b)].get();
+    if (iface == nullptr) {
+      for (const auto& [j, s] : live) rerun_detect_block(s, b, buf(w, j));
+      continue;
+    }
+    ensure_ring(iface, cap);
+    for (const auto& [j, s] : live) {
+      iface->Enqueue(
+          spu_run,
+          buf(w, j).sb[s].block_msgs[static_cast<std::size_t>(b)].ea());
+    }
+    flush_ring(iface);
+    std::vector<int> res;
+    const sim::SimTime timeout =
+        guard_deadline_ns_ > 0
+            ? guard_deadline_ns_ * static_cast<sim::SimTime>(live.size())
+            : -1;
+    if (!iface->WaitBatch(&res, timeout)) {
+      ++stats_.batch_timeouts;
+      iface->reclaim();
+      for (const auto& [j, s] : live) rerun_detect_block(s, b, buf(w, j));
+      continue;
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (res[i] != port::SPEInterface::kRingFault) continue;
+      if (gi != nullptr) {
+        rerun_detect_block(live[i].second, b, buf(w, live[i].first));
+      } else {
+        throw_ring_fault("shard detect", iface);
+      }
+    }
+  }
+  // Concatenate the staged blocks into each image's score arrays.
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  for (std::size_t j = 0; j < count; ++j) {
+    for (int s = 0; s < 4; ++s) {
+      SlotBuf& sb = buf(w, j).sb[s];
+      std::vector<const double*> parts;
+      std::vector<int> counts;
+      for (std::size_t b = 0; b < sb.block_scores.size(); ++b) {
+        if (cd_blocks_[s][b].empty()) continue;
+        parts.push_back(sb.block_scores[b].data());
+        counts.push_back(cd_blocks_[s][b].count());
+      }
+      shard::concat_scores(parts.data(), counts.data(),
+                           static_cast<int>(parts.size()),
+                           sb.scores.data(), ppe);
+    }
+  }
+}
+
+void StreamEngine::rerun_shard(int s, int k, PerImage& pi) {
+  ++stats_.request_retries;
+  SlotBuf& sb = pi.sb[s];
+  guard::GuardedInterface::Result r =
+      engine_.slots_[s].g_shards[static_cast<std::size_t>(k)]->Call(
+          static_cast<int>(kernels::SPU_Run),
+          sb.shard_msgs[static_cast<std::size_t>(k)].ea());
+  if (r.ok) return;
+  const shard::Range& range = sb.shard_rows[static_cast<std::size_t>(k)];
+  void* part = sb.shard_parts[static_cast<std::size_t>(k)].data();
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  switch (s) {
+    case shard::kSlotCh:
+      shard::ppe_partial_ch(pi.pixels, range,
+                            static_cast<std::uint32_t*>(part), ppe);
+      break;
+    case shard::kSlotCc:
+      shard::ppe_partial_cc(pi.pixels, range,
+                            static_cast<std::uint32_t*>(part), ppe);
+      break;
+    case shard::kSlotTx:
+      shard::ppe_partial_tx(pi.pixels, range, static_cast<double*>(part),
+                            ppe);
+      break;
+    default:
+      shard::ppe_partial_eh(pi.pixels, range,
+                            static_cast<std::uint32_t*>(part), ppe);
+      break;
+  }
+  note_degraded("shard", s, pi);
+}
+
+void StreamEngine::rerun_detect_block(int s, int b, PerImage& pi) {
+  ++stats_.request_retries;
+  SlotBuf& sb = pi.sb[s];
+  guard::GuardedInterface::Result r =
+      engine_.g_cd_shards_[static_cast<std::size_t>(b)]->Call(
+          static_cast<int>(kernels::SPU_Run),
+          sb.block_msgs[static_cast<std::size_t>(b)].ea());
+  if (r.ok) return;
+  CellEngine::FeatureSlot& slot = engine_.slots_[s];
+  shard::ppe_detect_block(sb.out.data(), slot.dim, *slot.set,
+                          cd_blocks_[s][static_cast<std::size_t>(b)],
+                          sb.block_scores[static_cast<std::size_t>(b)].data(),
+                          &engine_.machine_.ppe());
+  note_degraded("detect", s, pi);
+}
+
 void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
                                       int s) {
+  if (engine_.scenario_ == Scenario::kSharded) {
+    flush_shard_slot(w, total, s);
+    return;
+  }
   const std::size_t count = window_count(w, total);
   const auto cap = static_cast<std::uint32_t>(opts_.batch) *
                    (pipelined_ ? 2u : 1u);
@@ -150,6 +475,10 @@ void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
 
 void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
                                      int s) {
+  if (engine_.scenario_ == Scenario::kSharded) {
+    wait_shard_slot(w, total, s);
+    return;
+  }
   const std::size_t count = window_count(w, total);
   port::SPEInterface* iface = extract_iface(s);
   guard::GuardedInterface* gi = extract_guard(s);
@@ -182,6 +511,12 @@ void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
 }
 
 void StreamEngine::run_detect(std::size_t w, std::size_t total) {
+  if (engine_.scenario_ == Scenario::kSharded) {
+    // Partials must merge before detection can read the feature vectors.
+    reduce_window(w, total);
+    run_detect_sharded(w, total);
+    return;
+  }
   const std::size_t count = window_count(w, total);
   const auto spu_run = static_cast<int>(kernels::SPU_Run);
 

@@ -43,6 +43,15 @@ class StreamEngine {
     cellport::AlignedBuffer<float> out;
     port::WrappedMessage<kernels::DetectMsg> detect_msg;
     cellport::AlignedBuffer<double> scores;
+    // cellshard (kSharded only): per-shard messages and raw-partial
+    // buffers, plus per-model-block detection staging — each in-flight
+    // image reduces its own partials, so nothing is shared between
+    // windows. `shard_rows` is recomputed per image in prepare_window.
+    std::vector<port::WrappedMessage<kernels::ImageMsg>> shard_msgs;
+    std::vector<cellport::AlignedBuffer<std::uint8_t>> shard_parts;
+    std::vector<shard::Range> shard_rows;
+    std::vector<port::WrappedMessage<kernels::DetectMsg>> block_msgs;
+    std::vector<cellport::AlignedBuffer<double>> block_scores;
   };
   struct PerImage {
     img::RgbImage pixels;
@@ -76,6 +85,23 @@ class StreamEngine {
   void wait_extract_slot(std::size_t w, std::size_t total, int s);
   /// Runs window `w`'s detection batch(es) and resolves faults.
   void run_detect(std::size_t w, std::size_t total);
+
+  // ---- cellshard flows (kSharded only) ----
+  port::SPEInterface* shard_iface(int s, int k);
+  /// Enqueues + doorbells window `w`'s requests on every shard ring of
+  /// slot `s` (one doorbell per shard).
+  void flush_shard_slot(std::size_t w, std::size_t total, int s);
+  /// Waits slot `s`'s shard rings for window `w`; a faulted request is
+  /// re-run alone, dropping to the PPE mirror partial when the guard
+  /// gives up.
+  void wait_shard_slot(std::size_t w, std::size_t total, int s);
+  /// Merges every image's raw partials into its feature buffers (between
+  /// the extract wait and detection).
+  void reduce_window(std::size_t w, std::size_t total);
+  /// Block-parallel detection over the shard detection rings.
+  void run_detect_sharded(std::size_t w, std::size_t total);
+  void rerun_shard(int s, int k, PerImage& pi);
+  void rerun_detect_block(int s, int b, PerImage& pi);
   void collect_window(std::size_t w, std::size_t total,
                       std::vector<AnalysisResult>* out);
 
@@ -99,6 +125,9 @@ class StreamEngine {
   bool pipelined_ = false;
   sim::SimTime guard_deadline_ns_ = 0;
   std::vector<std::unique_ptr<PerImage>> bufs_[2];
+  /// kSharded: slot s's detection model blocks (fixed per engine — they
+  /// depend only on the model count and the plan's detect_spes).
+  std::vector<shard::Range> cd_blocks_[4];
 };
 
 }  // namespace cellport::marvel

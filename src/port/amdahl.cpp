@@ -63,6 +63,39 @@ double estimate_grouped(std::span<const std::vector<KernelPoint>> groups) {
   return 1.0 / ((1.0 - covered) + accelerated);
 }
 
+double estimate_sharded(
+    std::span<const std::vector<ShardedKernelPoint>> groups) {
+  std::vector<KernelPoint> all;
+  for (const auto& g : groups) {
+    for (const auto& k : g) {
+      if (k.shards < 1) {
+        throw cellport::ConfigError("kernel '" + k.point.name +
+                                    "' needs >= 1 shard");
+      }
+      if (k.shard_overhead < 0.0) {
+        throw cellport::ConfigError("kernel '" + k.point.name +
+                                    "' shard overhead must be >= 0");
+      }
+      all.push_back(k.point);
+    }
+  }
+  validate(all);
+  double covered = 0.0;
+  double accelerated = 0.0;
+  for (const auto& g : groups) {
+    double group_max = 0.0;
+    for (const auto& k : g) {
+      covered += k.point.coverage;
+      const double n = static_cast<double>(k.shards);
+      const double term = (k.point.coverage / k.point.speedup) *
+                          (1.0 + k.shard_overhead * (n - 1.0)) / n;
+      group_max = std::max(group_max, term);
+    }
+    accelerated += group_max;
+  }
+  return 1.0 / ((1.0 - covered) + accelerated);
+}
+
 double optimization_gain(std::span<const KernelPoint> kernels,
                          std::size_t k, double new_speedup) {
   if (k >= kernels.size()) {

@@ -35,6 +35,21 @@ double estimate_sequential(std::span<const KernelPoint> kernels);
 double estimate_grouped(
     std::span<const std::vector<KernelPoint>> groups);
 
+/// cellshard extension of Equation (3): a kernel inside a parallel group
+/// may itself be data-parallel over `shards` SPEs, dividing its term by
+/// the shard count at the price of a per-extra-shard overhead fraction
+/// (halo refetch + dispatch + the PPE reduction):
+///   term_k = (Kfr_k / Kspeedup_k) * (1 + ovh_k*(n_k-1)) / n_k
+///   Sapp   = 1 / ((1 - sum Kfr_i) + sum_j max_{k in group j} term_k)
+/// With every shards == 1 this reduces exactly to estimate_grouped.
+struct ShardedKernelPoint {
+  KernelPoint point;
+  int shards = 1;
+  double shard_overhead = 0.0;  // fraction of the 1-SPE time per extra shard
+};
+double estimate_sharded(
+    std::span<const std::vector<ShardedKernelPoint>> groups);
+
 /// Validates a kernel set: coverages in [0,1], total <= 1 (plus epsilon),
 /// speedups > 0. Throws ConfigError on violation.
 void validate(std::span<const KernelPoint> kernels);

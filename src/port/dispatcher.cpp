@@ -127,6 +127,13 @@ int KernelModule::dispatch_main(std::uint64_t /*spe_id*/,
       // results. Retained so per-invocation LS resets keep it.
       std::uint64_t desc_ea = sim::spu_read_in_mbox();
       try {
+        // The last legacy invocation's scratch is still above the floor
+        // (nothing resets after a kernel returns); drop it before the
+        // staging allocations so retain() does not pin dead scratch for
+        // the rest of the SPE's life. Reachable when a guarded engine
+        // retries over the legacy path and then re-arms a ring on the
+        // recovered SPE.
+        sim::spu_ls_reset();
         auto* d = static_cast<ring::RingDescriptor*>(
             sim::spu_ls_alloc(sizeof(ring::RingDescriptor)));
         sim::mfc_get(d, desc_ea, sizeof(ring::RingDescriptor),

@@ -94,6 +94,10 @@ int TaskPool::worker_main(std::uint64_t /*spe_id*/, std::uint64_t argv) {
       // completion event, so retry/quarantine bookkeeping is unchanged.
       auto count = static_cast<std::uint32_t>(tag);
       if (staging == nullptr) {
+        // Drop any leftover scratch from tasks run over the legacy path
+        // before retaining the staging block, or the retain would pin
+        // that dead scratch below the floor permanently.
+        sim::spu_ls_reset();
         staging = sim::spu_ls_alloc_array<TaskCmd>(env->block.size());
         sim::spu_ls_retain();
       }

@@ -1,0 +1,42 @@
+// cellshard: shard-range arithmetic shared by the planner, the engine and
+// the tests.
+//
+// A shard is a contiguous slice of one kernel's iteration space: output
+// rows for CH/CC/EH, 16-input-row Haar tiles for TX (kernels/messages.h
+// explains why TX partials are per tile), and a contiguous model block
+// for concept detection. Splits are deterministic functions of the image
+// shape and the shard count, so the PPE reducer, the SPE kernels and the
+// PPE fault-fallback mirrors always agree on who owns what.
+#pragma once
+
+#include <vector>
+
+#include "kernels/messages.h"
+
+namespace cellport::shard {
+
+/// Half-open range a shard covers. Empty ranges (begin >= end) happen
+/// when the image is smaller than the shard count; the engine simply
+/// skips dispatching them (their partial contribution is zero).
+struct Range {
+  int begin = 0;
+  int end = 0;
+  bool empty() const { return begin >= end; }
+  int count() const { return end - begin; }
+};
+
+/// Splits [0, total) into `n` near-equal contiguous ranges (the first
+/// `total % n` ranges get one extra element). Used for CH/CC/EH output
+/// rows and for detection model blocks.
+std::vector<Range> split_rows(int total, int n);
+
+/// TX splits: tile-aligned INPUT-row ranges over the even-height region
+/// [0, 2*(h/2)). Every range starts on a kTxTileRows boundary and ends on
+/// one (or at the region end), as tx_run requires.
+std::vector<Range> split_tiles(int h, int n);
+
+/// Number of doubles a TX shard covering input rows [r.begin, r.end)
+/// emits (kTxTileDoubles per tile).
+int tx_partial_doubles(const Range& r);
+
+}  // namespace cellport::shard

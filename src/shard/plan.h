@@ -1,0 +1,63 @@
+// cellshard planner: pick per-kernel shard counts for a machine shape.
+//
+// The sharded scenario's critical path is
+//
+//   max_k( extract_k / n_k )  +  detect / n_d          (Eq. 3, sharded)
+//
+// plus a small per-shard overhead (halo rows, extra dispatch, the PPE
+// reduction). Shard counts are tiny (at most 8 SPEs), so the planner
+// searches the partition space exhaustively instead of trusting a greedy
+// heuristic — the optimum is exact and the search is ~a few hundred
+// candidates.
+#pragma once
+
+#include "support/error.h"
+
+namespace cellport::shard {
+
+/// Slot indices, matching marvel::CellEngine's feature-slot order.
+inline constexpr int kSlotCh = 0;
+inline constexpr int kSlotCc = 1;
+inline constexpr int kSlotTx = 2;
+inline constexpr int kSlotEh = 3;
+inline constexpr int kNumExtract = 4;
+
+/// Relative per-kernel costs: one full-image invocation on one SPE, in
+/// arbitrary consistent units. `shard_overhead` is the extra cost one
+/// additional shard adds to its kernel (halo recompute + dispatch +
+/// reduce), in the same units.
+struct KernelCosts {
+  double extract[kNumExtract] = {1.0, 1.0, 1.0, 1.0};
+  double detect = 1.0;
+  double shard_overhead = 0.0;
+};
+
+/// Defaults calibrated from the repo's own single-SPE kernel phase times
+/// on the synthetic corpus (CC dominates, as in the paper's Table 1).
+KernelCosts default_costs();
+
+/// How a kSharded engine spreads one image over the machine: shard count
+/// per extraction slot plus the number of detection SPEs. Every count is
+/// >= 1 and the total is <= num_spes.
+struct ShardPlan {
+  int extract_shards[kNumExtract] = {1, 1, 1, 1};
+  int detect_spes = 1;
+
+  int spes_used() const {
+    int used = detect_spes;
+    for (int n : extract_shards) used += n;
+    return used;
+  }
+
+  /// Predicted per-image critical path under `costs` (the quantity the
+  /// planner minimizes).
+  double critical_path(const KernelCosts& costs) const;
+};
+
+/// Exhaustive minimum-critical-path plan for `num_spes` SPEs (>= 5: one
+/// SPE per kernel is the floor, as in kMultiSPE). Ties break toward
+/// fewer total shards, then lexicographically smaller counts, so the
+/// plan is deterministic across platforms.
+ShardPlan plan_shards(int num_spes, const KernelCosts& costs = default_costs());
+
+}  // namespace cellport::shard

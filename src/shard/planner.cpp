@@ -1,0 +1,81 @@
+#include "shard/plan.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cellport::shard {
+
+KernelCosts default_costs() {
+  // Single-SPE optimized-kernel phase shares measured by bench_latency on
+  // the synthetic Marvel corpus (352x240): CC dominates at roughly 8.7x
+  // the CH kernel; detection (all four model sets serialized on one SPE)
+  // costs about two CH units. The overhead term folds in the halo
+  // refetch, the extra mailbox dispatch and the PPE-side reduction.
+  KernelCosts c;
+  c.extract[kSlotCh] = 1.2;
+  c.extract[kSlotCc] = 8.7;
+  c.extract[kSlotTx] = 0.9;
+  c.extract[kSlotEh] = 3.5;
+  c.detect = 2.0;
+  c.shard_overhead = 0.15;
+  return c;
+}
+
+double ShardPlan::critical_path(const KernelCosts& costs) const {
+  double extract = 0.0;
+  for (int k = 0; k < kNumExtract; ++k) {
+    const int n = extract_shards[k];
+    const double t =
+        costs.extract[k] / n + costs.shard_overhead * (n - 1);
+    extract = std::max(extract, t);
+  }
+  return extract + costs.detect / detect_spes +
+         costs.shard_overhead * (detect_spes - 1);
+}
+
+ShardPlan plan_shards(int num_spes, const KernelCosts& costs) {
+  if (num_spes < kNumExtract + 1) {
+    throw cellport::ConfigError(
+        "sharded scenario needs at least 5 SPEs (one per kernel)");
+  }
+  ShardPlan best;
+  double best_cost = best.critical_path(costs);
+  int best_used = best.spes_used();
+
+  const int spare = num_spes - (kNumExtract + 1);
+  std::array<int, kNumExtract + 1> counts{};
+  // counts[k] = extra SPEs granted to slot k (detect last).
+  for (counts[0] = 0; counts[0] <= spare; ++counts[0]) {
+    for (counts[1] = 0; counts[0] + counts[1] <= spare; ++counts[1]) {
+      for (counts[2] = 0; counts[0] + counts[1] + counts[2] <= spare;
+           ++counts[2]) {
+        for (counts[3] = 0;
+             counts[0] + counts[1] + counts[2] + counts[3] <= spare;
+             ++counts[3]) {
+          const int granted =
+              counts[0] + counts[1] + counts[2] + counts[3];
+          for (counts[4] = 0; granted + counts[4] <= spare; ++counts[4]) {
+            ShardPlan p;
+            for (int k = 0; k < kNumExtract; ++k) {
+              p.extract_shards[k] = 1 + counts[static_cast<std::size_t>(k)];
+            }
+            p.detect_spes = 1 + counts[kNumExtract];
+            const double cost = p.critical_path(costs);
+            const int used = p.spes_used();
+            const bool better =
+                cost < best_cost ||
+                (cost == best_cost && used < best_used);
+            if (better) {
+              best = p;
+              best_cost = cost;
+              best_used = used;
+            }
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace cellport::shard

@@ -1,0 +1,139 @@
+#include "shard/reducer.h"
+
+#include <cmath>
+
+#include "kernels/messages.h"
+
+namespace cellport::shard {
+
+namespace {
+
+using kernels::kShardCcWords;
+using kernels::kShardChWords;
+using kernels::kShardEhWords;
+using sim::OpClass;
+
+/// Integer bin-count merge: the only reduction work that scales with the
+/// shard count.
+void sum_counts(const std::uint32_t* const* parts, int n, int words,
+                std::uint32_t* total, sim::ScalarContext* ctx) {
+  for (int i = 0; i < words; ++i) total[i] = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < words; ++i) total[i] += parts[s][i];
+  }
+  if (ctx != nullptr) {
+    const auto ops = static_cast<std::uint64_t>(n) * words;
+    ctx->charge(OpClass::kLoad, ops);
+    ctx->charge(OpClass::kIntAlu, ops);
+    ctx->charge(OpClass::kStore, static_cast<std::uint64_t>(words));
+  }
+}
+
+}  // namespace
+
+void reduce_ch(const std::uint32_t* const* parts, int n, int w, int h,
+               float* out, sim::ScalarContext* ctx) {
+  std::uint32_t total[kShardChWords];
+  sum_counts(parts, n, kShardChWords, total, ctx);
+  // Same expression as ch_run's normalization (per-lane float mul).
+  float inv = 1.0f / (static_cast<float>(w) * static_cast<float>(h));
+  for (int i = 0; i < kShardChWords; ++i) {
+    out[i] = static_cast<float>(total[i]) * inv;
+  }
+  if (ctx != nullptr) {
+    ctx->charge(OpClass::kDiv, 1);
+    ctx->charge(OpClass::kMul, kShardChWords);
+    ctx->charge(OpClass::kStore, kShardChWords);
+  }
+}
+
+void reduce_cc(const std::uint32_t* const* parts, int n, float* out,
+               sim::ScalarContext* ctx) {
+  std::uint32_t total[kShardCcWords];
+  sum_counts(parts, n, kShardCcWords, total, ctx);
+  constexpr int kHist = kShardCcWords / 2;
+  const std::uint32_t* same = total;
+  const std::uint32_t* possible = total + kHist;
+  // cc_run's ratio loop, verbatim.
+  for (int i = 0; i < kHist; ++i) {
+    out[i] = possible[i] > 0
+                 ? static_cast<float>(static_cast<double>(same[i]) /
+                                      static_cast<double>(possible[i]))
+                 : 0.0f;
+  }
+  if (ctx != nullptr) {
+    ctx->charge(OpClass::kDiv, kHist);
+    ctx->charge(OpClass::kDoubleAlu, 2 * kHist);
+    ctx->charge(OpClass::kStore, kHist);
+  }
+}
+
+void reduce_eh(const std::uint32_t* const* parts, int n, int w, int h,
+               float* out, sim::ScalarContext* ctx) {
+  std::uint32_t total[kShardEhWords];
+  sum_counts(parts, n, kShardEhWords, total, ctx);
+  float inv = 1.0f / (static_cast<float>(w) * static_cast<float>(h));
+  for (int i = 0; i < kShardEhWords; ++i) {
+    out[i] = static_cast<float>(total[i]) * inv;
+  }
+  if (ctx != nullptr) {
+    ctx->charge(OpClass::kDiv, 1);
+    ctx->charge(OpClass::kMul, kShardEhWords);
+    ctx->charge(OpClass::kStore, kShardEhWords);
+  }
+}
+
+void reduce_tx(const double* const* parts, const int* doubles, int n,
+               int w, int h, float* out, sim::ScalarContext* ctx) {
+  using kernels::kTxTileDoubles;
+  double energy[kTxTileDoubles] = {};
+  std::uint64_t tiles = 0;
+  // Shards cover disjoint ascending tile ranges, so walking them in
+  // order replays tx_run's tile-ordered double accumulation exactly.
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t + kTxTileDoubles <= doubles[s];
+         t += kTxTileDoubles) {
+      for (int i = 0; i < kTxTileDoubles; ++i) {
+        energy[i] += parts[s][t + i];
+      }
+      ++tiles;
+    }
+  }
+  const int half_w = w / 2;
+  const int half_h = h / 2;
+  const int lvl_w[4] = {half_w, half_w / 2, half_w / 4, half_w / 8};
+  const int lvl_h[4] = {half_h, half_h / 2, half_h / 4, half_h / 8};
+  // tx_run's final normalize/log, verbatim.
+  int idx = 0;
+  for (int level = 0; level < 4; ++level) {
+    double denom = static_cast<double>(lvl_w[level]) * lvl_h[level];
+    for (int band = 0; band < 3; ++band) {
+      double e = energy[idx] / denom;
+      out[idx++] = static_cast<float>(std::log1p(e));
+    }
+  }
+  for (; idx < 16; ++idx) out[idx] = 0.0f;
+  if (ctx != nullptr) {
+    ctx->charge(OpClass::kDoubleAlu, tiles * kTxTileDoubles);
+    ctx->charge(OpClass::kLoad, tiles * kTxTileDoubles);
+    ctx->charge(OpClass::kDiv, kTxTileDoubles);
+    ctx->charge(OpClass::kDoubleAlu, 30 * kTxTileDoubles);  // log1p
+    ctx->charge(OpClass::kStore, 16);
+  }
+}
+
+void concat_scores(const double* const* parts, const int* counts, int n,
+                   double* out, sim::ScalarContext* ctx) {
+  std::uint64_t total = 0;
+  int at = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int i = 0; i < counts[s]; ++i) out[at++] = parts[s][i];
+    total += static_cast<std::uint64_t>(counts[s]);
+  }
+  if (ctx != nullptr) {
+    ctx->charge(OpClass::kLoad, total);
+    ctx->charge(OpClass::kStore, total);
+  }
+}
+
+}  // namespace cellport::shard

@@ -95,6 +95,7 @@ void SpeContext::inject_fault(const FaultInjection& f) {
   dma_waits_seen_ = 0;
   dma_cmds_seen_ = 0;
   hang_fired_ = false;
+  injection_fired_ = false;
 }
 
 void SpeContext::clear_fault_injection() { inject_fault(FaultInjection{}); }
@@ -115,6 +116,7 @@ SimTime SpeContext::completion_ts(SimTime base) {
   if (fault_.hang_sticky ? (hang_fired_ || n >= fault_.hang_after)
                          : n == fault_.hang_after) {
     hang_fired_ = true;
+    injection_fired_ = true;
     return kNeverNs;
   }
   return base;
@@ -122,12 +124,16 @@ SimTime SpeContext::completion_ts(SimTime base) {
 
 SimTime SpeContext::consume_dma_stall() {
   if (fault_.slow_after < 0) return 0;
-  return dma_waits_seen_++ == fault_.slow_after ? fault_.slow_ns : 0;
+  if (dma_waits_seen_++ != fault_.slow_after) return 0;
+  injection_fired_ = true;
+  return fault_.slow_ns;
 }
 
 bool SpeContext::consume_dma_error() {
   if (fault_.dma_error_after < 0) return false;
-  return dma_cmds_seen_++ == fault_.dma_error_after;
+  if (dma_cmds_seen_++ != fault_.dma_error_after) return false;
+  injection_fired_ = true;
+  return true;
 }
 
 void SpeContext::reset() {

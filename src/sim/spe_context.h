@@ -159,6 +159,14 @@ class SpeContext {
   SimTime consume_dma_stall();
   /// True when the current DMA command should fail (one-shot).
   bool consume_dma_error();
+  /// True once any part of the injected schedule has actually triggered
+  /// (a completion hung, a stall applied, a DMA command failed). Sticky
+  /// across fault_restart(); cleared by a new inject_fault(). Lets a
+  /// checker distinguish "the runtime recovered silently" from "the
+  /// schedule never fired" — e.g. a streamed run whose whole window
+  /// retires behind one doorbell can produce fewer completions than the
+  /// scheduled trigger index.
+  bool fault_injection_fired() const { return injection_fired_; }
 
   // ---- deferred kernel output (cellstream) ----
   /// When >= 0, kernels::emit_result() issues its output DMA on this tag
@@ -195,6 +203,7 @@ class SpeContext {
   int dma_waits_seen_ = 0;
   int dma_cmds_seen_ = 0;
   bool hang_fired_ = false;
+  bool injection_fired_ = false;
 };
 
 /// Thread-local "current SPE" used by the spu_mfcio / spu intrinsic

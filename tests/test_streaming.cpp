@@ -97,6 +97,66 @@ TEST_P(RowStreamerSweep, StreamsEveryRowOnceInOrder) {
   EXPECT_EQ(sum[0], expect);
 }
 
+// Sharded kernel calls stream odd sub-ranges with whatever block shape
+// the message carries, so RowStreamer itself must hold the local-store
+// line: an oversized rows_per_block is clamped to what the remaining LS
+// can actually hold, and a row too wide for even one buffer fails with
+// a loud ConfigError instead of blowing up the LS bump allocator.
+TEST(RowStreamerBudget, OversizedBlockRequestIsClampedToTheLocalStore) {
+  // 16 KiB rows: double-buffering 10'000 of them would need ~320 MB of
+  // local store. The streamer must clamp to the handful that fit and
+  // still deliver every row exactly once, in order.
+  const int rows = 20;
+  const int stride = 16 * 1024;
+  cellport::AlignedBuffer<std::uint8_t> data(
+      static_cast<std::size_t>(rows) * stride);
+  Rng rng(99);
+  std::uint64_t expect = 0;
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.next_below(256));
+    expect += b;
+  }
+  cellport::AlignedBuffer<std::uint64_t> sum(2);
+
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(stream_module());
+  port::WrappedMessage<StreamMsg> msg;
+  msg->base_ea = reinterpret_cast<std::uint64_t>(data.data());
+  msg->sum_ea = reinterpret_cast<std::uint64_t>(sum.data());
+  msg->rows = rows;
+  msg->stride = stride;
+  msg->rows_per_block = 10000;
+  msg->depth = 2;
+  EXPECT_EQ(iface.SendAndWait(1, msg.ea()), 0);
+  EXPECT_EQ(sum[0], expect);
+}
+
+TEST(RowStreamerBudget, RowWiderThanTheLocalStoreFailsLoudly) {
+  // A 300 KiB row cannot fit one buffer in the 256 KiB local store at
+  // any block shape; the constructor must refuse before allocating.
+  cellport::AlignedBuffer<std::uint8_t> data(300 * 1024);
+  cellport::AlignedBuffer<std::uint64_t> sum(2);
+
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(stream_module());
+  port::WrappedMessage<StreamMsg> msg;
+  msg->base_ea = reinterpret_cast<std::uint64_t>(data.data());
+  msg->sum_ea = reinterpret_cast<std::uint64_t>(sum.data());
+  msg->rows = 1;
+  msg->stride = 300 * 1024;
+  msg->rows_per_block = 1;
+  msg->depth = 1;
+  try {
+    iface.SendAndWait(1, msg.ea());
+    FAIL() << "oversized row was accepted";
+  } catch (const cellport::Error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "local store cannot hold even one row per buffer"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RowStreamerSweep,
     ::testing::Combine(::testing::Values(1, 7, 24, 240),  // rows
