@@ -1,4 +1,5 @@
-// cellshard: per-image latency of intra-kernel data-parallel sharding.
+// cellshard: per-image latency of intra-kernel data-parallel sharding,
+// with cellprobe attribution riding along.
 //
 // kMultiSPE assigns one SPE per kernel, so each extraction runs at
 // single-SPE speed and the parallel group's latency is the slowest
@@ -8,27 +9,42 @@
 // on the PPE. This bench measures what that buys per *image* (latency),
 // complementing bench_throughput's images/second view.
 //
+// The dataset mixes image sizes (256x176 .. 480x320 around the paper's
+// 352x240) so the per-image latency distribution has real spread; a
+// fixed-size set degenerates every percentile to the same value and a
+// p50/p95 gate silently becomes a single-sample gate.
+//
 // Two latencies are reported for each scenario, per image, as p50/p95
 // over the dataset:
 //   - end-to-end: analyze() wall time, including the PPE-serial JPEG
-//     decode that no SPE schedule can touch (it dominates at ~70% of
-//     the MultiSPE frame time, capping the end-to-end win well below
-//     the kernel-level gain — Amdahl, Eq. 1);
+//     decode that no SPE schedule can touch (Amdahl, Eq. 1);
 //   - kernel-path: end-to-end minus the Preprocess phase, i.e. the
 //     extract + detect + reduce schedule that sharding actually targets.
 //
+// Both scenarios run with a cellprobe Attribution sink attached; the
+// aggregated per-phase Amdahl table is written to BENCH_attribution.json
+// (rows "<scenario>.<phase>" with exclusive_ns/share) and an ASCII
+// report. Probes read the simulated clocks without advancing them, so a
+// probed run is bit-exact with an unprobed one — checked here by
+// re-running the sharded scenario unprobed and comparing elapsed time.
+//
 // Shape claims checked (and recorded in BENCH_latency.json, which CI
-// diffs against the committed baseline — latency is lower-is-better, so
-// a >5% *rise* on any row fails the gate):
-//   - sharded kernel-path p50 latency beats MultiSPE by >= 1.4x (the
-//     tentpole claim, matching the planner's critical-path estimate);
+// diffs against the committed baseline via bench_diff — latency is
+// lower-is-better, so a >5% *rise* on any row fails the gate):
+//   - sharded kernel-path p50 latency beats MultiSPE by >= 1.4x;
 //   - sharded end-to-end p50 improves by >= 1.1x despite the decode;
 //   - the tail follows the median: p95 improves wherever p50 does;
-//   - the PPE-side shard reduction costs < 5% of the latency it saves.
+//   - the PPE-side shard reduction costs < 5% of the latency it saves;
+//   - kernel percentiles are non-degenerate (p95 > p50);
+//   - attribution covers the run: phase shares + uncovered sum to the
+//     machine's elapsed PPE time within 1%;
+//   - probing is free: probed and unprobed elapsed agree within 1%.
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "harness.h"
+#include "probe/attribution.h"
 #include "shard/plan.h"
 #include "support/stats.h"
 
@@ -42,15 +58,23 @@ struct LatencyRun {
   std::vector<double> end_to_end_ns;
   std::vector<double> kernel_ns;  // end-to-end minus Preprocess
   double reduce_ns = 0.0;         // accumulated ShardReduce phase
+  double elapsed_ns = 0.0;        // whole-run PPE elapsed time
   CellRun run;
 };
 
 LatencyRun sample_latency(const marvel::Dataset& data,
-                          marvel::Scenario scenario) {
+                          marvel::Scenario scenario,
+                          probe::Attribution* attribution) {
   LatencyRun out;
   out.run.machine = std::make_unique<sim::Machine>();
   out.run.engine = std::make_unique<marvel::CellEngine>(
       *out.run.machine, library_path(), scenario);
+  if (attribution != nullptr) out.run.engine->set_probe(attribution);
+  const sim::SimTime run_t0 = out.run.machine->ppe().now_ns();
+  trace::Histogram& e2e =
+      out.run.machine->metrics().histogram("latency.end_to_end_ns");
+  trace::Histogram& kern =
+      out.run.machine->metrics().histogram("latency.kernel_ns");
   for (const auto& image : data.images) {
     double pre0 =
         phase_ns(out.run.engine->profiler(), marvel::kPhasePreprocess);
@@ -62,9 +86,15 @@ LatencyRun sample_latency(const marvel::Dataset& data,
         pre0;
     out.end_to_end_ns.push_back(total);
     out.kernel_ns.push_back(total - pre);
+    e2e.record(total);
+    kern.record(total - pre);
   }
   out.reduce_ns =
       phase_ns(out.run.engine->profiler(), marvel::kPhaseShardReduce);
+  out.elapsed_ns = out.run.machine->ppe().now_ns() - run_t0;
+  if (attribution != nullptr) {
+    attribution->set_total_elapsed_ns(out.elapsed_ns);
+  }
   return out;
 }
 
@@ -82,6 +112,18 @@ void report(BenchArtifact& artifact, Table& t, const char* name,
                           {"kernel_p95_ns", k95}});
 }
 
+/// Folds one scenario's attribution into the attribution artifact as
+/// rows "<scenario>.<phase>" = {exclusive_ns, share}. The key is named
+/// exclusive_ns so bench_diff gates it lower-is-better; share stays
+/// informational by name.
+void add_attribution_rows(BenchArtifact& artifact, const char* scenario,
+                          const probe::Attribution& attr) {
+  for (const auto& [phase, ns] : attr.rows()) {
+    artifact.add_row(std::string(scenario) + "." + phase,
+                     {{"exclusive_ns", ns}, {"share", attr.share(ns)}});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,10 +132,18 @@ int main(int argc, char** argv) {
 
   BenchArtifact artifact("latency");
   const int kImages = 16;
-  marvel::Dataset data = marvel::make_dataset(kImages);
+  marvel::Dataset data = marvel::make_mixed_size_dataset(kImages);
 
-  LatencyRun multi = sample_latency(data, marvel::Scenario::kMultiSPE);
-  LatencyRun sharded = sample_latency(data, marvel::Scenario::kSharded);
+  probe::Attribution multi_attr;
+  probe::Attribution sharded_attr;
+  LatencyRun multi =
+      sample_latency(data, marvel::Scenario::kMultiSPE, &multi_attr);
+  LatencyRun sharded =
+      sample_latency(data, marvel::Scenario::kSharded, &sharded_attr);
+  // Probes only read the simulated clocks, so a probed run must cost
+  // exactly nothing: re-run the sharded scenario unprobed and compare.
+  LatencyRun unprobed =
+      sample_latency(data, marvel::Scenario::kSharded, nullptr);
 
   const shard::ShardPlan& plan = sharded.run.engine->shard_plan();
   std::printf("shard plan on %d SPEs: ch=%d cc=%d tx=%d eh=%d detect=%d "
@@ -105,7 +155,7 @@ int main(int argc, char** argv) {
               plan.critical_path(shard::default_costs()));
 
   Table t("Per-image latency, " + std::to_string(kImages) +
-          " images at 352x240 (simulated ms)");
+          " mixed-size images 256x176..480x320 (simulated ms)");
   t.header({"Scenario", "p50", "p95", "kernel p50", "kernel p95"});
   report(artifact, t, "MultiSPE", multi);
   report(artifact, t, "Sharded", sharded);
@@ -139,6 +189,19 @@ int main(int argc, char** argv) {
   artifact.add_machine_metrics(sharded.run.machine->metrics(),
                                "sharded.");
 
+  // cellprobe: the aggregated Amdahl attribution of both scenarios.
+  std::printf("%s\n", sharded_attr.format_text().c_str());
+  BenchArtifact attribution("attribution");
+  add_attribution_rows(attribution, "MultiSPE", multi_attr);
+  add_attribution_rows(attribution, "Sharded", sharded_attr);
+  attribution.set_metric("multi.requests",
+                         static_cast<double>(multi_attr.requests()));
+  attribution.set_metric("sharded.requests",
+                         static_cast<double>(sharded_attr.requests()));
+  attribution.set_metric("sharded.covered_ns", sharded_attr.covered_ns());
+  attribution.set_metric("sharded.total_elapsed_ns",
+                         sharded_attr.total_elapsed_ns());
+
   bool ok = true;
   ok &= artifact.shape(k50_ratio >= 1.4,
                        "sharded kernel-path p50 latency beats MultiSPE "
@@ -151,7 +214,25 @@ int main(int argc, char** argv) {
   ok &= artifact.shape(reduce_per_image < 0.05 * saved_ns,
                        "the PPE shard reduction costs < 5% of the "
                        "kernel-path latency it saves");
+  ok &= artifact.shape(percentile(sharded.kernel_ns, 95) >
+                           percentile(sharded.kernel_ns, 50),
+                       "kernel percentiles are non-degenerate "
+                       "(mixed-size dataset: p95 > p50)");
+  auto covers = [](const probe::Attribution& a) {
+    const double sum = a.covered_ns() + a.uncovered_ns();
+    return std::abs(sum - a.total_elapsed_ns()) <=
+           0.01 * a.total_elapsed_ns();
+  };
+  ok &= attribution.shape(covers(multi_attr) && covers(sharded_attr),
+                          "phase shares + uncovered sum to the elapsed "
+                          "PPE time within 1%");
+  ok &= attribution.shape(
+      sharded.elapsed_ns <= 1.01 * unprobed.elapsed_ns &&
+          unprobed.elapsed_ns <= 1.01 * sharded.elapsed_ns,
+      "attribution overhead <= 1%: probed and unprobed sharded runs "
+      "agree on elapsed time");
   artifact.write();
+  attribution.write();
   obs.finish();
   return ok ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "check/runner.h"
 
+#include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "port/message.h"
 #include "port/spe_interface.h"
 #include "port/taskpool.h"
+#include "probe/attribution.h"
 #include "sim/invariants.h"
 #include "sim/machine.h"
 #include "support/aligned.h"
@@ -293,6 +295,13 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
   }
   marvel::ReferenceEngine ref(sim::cell_ppe(), cfg.library_path);
 
+  // cellprobe rides every engine scenario. The oracle comparisons below
+  // then run against *probed* output, so any probe that perturbed
+  // results or timing would fail the equivalence checks, not just the
+  // partition property.
+  probe::Attribution attr;
+  engine.set_probe(&attr);
+
   std::vector<marvel::AnalysisResult> cell;
   marvel::StreamStats stream_stats;
   double t0 = machine.ppe().now_ns();
@@ -308,6 +317,24 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
   if (!(machine.ppe().now_ns() > t0)) {
     return fail("timing.progress",
                 "engine run did not advance simulated time");
+  }
+
+  // Partition property: each request's exclusive per-phase spans
+  // telescope to its elapsed time, so the aggregate covered time equals
+  // the aggregate request time up to double rounding.
+  if (attr.requests() == 0) {
+    return fail("probe.coverage", "engine run emitted no request traces");
+  }
+  if (std::abs(attr.covered_ns() - attr.request_elapsed_ns()) >
+      1e-6 * std::max(1.0, attr.request_elapsed_ns())) {
+    return fail("probe.partition",
+                "attribution covers " + std::to_string(attr.covered_ns()) +
+                    " ns of " + std::to_string(attr.request_elapsed_ns()) +
+                    " ns of request time");
+  }
+  if (attr.request_elapsed_ns() > elapsed_ns * (1 + 1e-9)) {
+    return fail("probe.partition",
+                "request time exceeds the run's elapsed time");
   }
   if (cell.size() != in.encoded.size()) {
     return fail("oracle.engine",

@@ -298,14 +298,22 @@ void CellEngine::collect(FeatureSlot& slot, features::FeatureVector& fv,
 }
 
 AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  if (probe_ != nullptr) rt_.start("analyze", ppe.now_ns());
   img::RgbImage pixels = [&] {
     port::Profiler::Scope probe(profiler_, kPhasePreprocess);
+    probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe,
+                          "sic_decode");
     machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
     return img::sic_decode(image, &machine_.ppe());
   }();
 
-  for (auto& slot : slots_) fill_image_msg(slot, pixels);
-  if (scenario_ == Scenario::kSharded) prepare_shards(pixels);
+  {
+    probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
+                          "fill_msgs");
+    for (auto& slot : slots_) fill_image_msg(slot, pixels);
+    if (scenario_ == Scenario::kSharded) prepare_shards(pixels);
+  }
 
   if (guard_.enabled) {
     degraded_current_.clear();
@@ -315,38 +323,89 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
       case Scenario::kSingleSPE: {
         for (auto& slot : slots_) {
           port::Profiler::Scope probe(profiler_, slot.phase);
+          probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
+                                slot.name);
+          const sim::SimTime sent = ppe.now_ns();
           slot.extract_if->SendAndWait(guarded_opcode(slot),
                                        slot.msg.ea());
+          rt_.add_spe_span(probe::Phase::kExtract, slot.name, sent,
+                           ppe.now_ns());
         }
         port::Profiler::Scope probe(profiler_, kPhaseCd);
-        for (auto& slot : slots_) run_detection(slot, *cd_if_);
+        probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+        for (auto& slot : slots_) {
+          const sim::SimTime sent = ppe.now_ns();
+          run_detection(slot, *cd_if_);
+          rt_.add_spe_span(probe::Phase::kDetect,
+                           std::string("cd:") + slot.name, sent,
+                           ppe.now_ns());
+        }
         break;
       }
       case Scenario::kMultiSPE: {
         {
           port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-          for (auto& slot : slots_) {
-            slot.extract_if->Send(guarded_opcode(slot), slot.msg.ea());
+          sim::SimTime sent[4] = {0, 0, 0, 0};
+          {
+            probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                               "send_extract");
+            for (int i = 0; i < 4; ++i) {
+              sent[i] = ppe.now_ns();
+              slots_[i].extract_if->Send(guarded_opcode(slots_[i]),
+                                         slots_[i].msg.ea());
+            }
           }
-          for (auto& slot : slots_) slot.extract_if->Wait();
+          probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe);
+          for (int i = 0; i < 4; ++i) {
+            slots_[i].extract_if->Wait();
+            rt_.add_spe_span(probe::Phase::kExtract, slots_[i].name,
+                             sent[i], ppe.now_ns());
+          }
         }
         port::Profiler::Scope probe(profiler_, kPhaseDetect);
-        for (auto& slot : slots_) run_detection(slot, *cd_if_);
+        probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+        for (auto& slot : slots_) {
+          const sim::SimTime sent = ppe.now_ns();
+          run_detection(slot, *cd_if_);
+          rt_.add_spe_span(probe::Phase::kDetect,
+                           std::string("cd:") + slot.name, sent,
+                           ppe.now_ns());
+        }
         break;
       }
       case Scenario::kMultiSPE2: {
         port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-        for (auto& slot : slots_) {
-          slot.extract_if->Send(guarded_opcode(slot), slot.msg.ea());
+        sim::SimTime sent[4] = {0, 0, 0, 0};
+        sim::SimTime detect_sent[4] = {0, 0, 0, 0};
+        {
+          probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                             "send_extract");
+          for (int i = 0; i < 4; ++i) {
+            sent[i] = ppe.now_ns();
+            slots_[i].extract_if->Send(guarded_opcode(slots_[i]),
+                                       slots_[i].msg.ea());
+          }
         }
         // Each extraction is immediately followed by its own detection on
         // a dedicated detection SPE.
-        for (auto& slot : slots_) {
-          slot.extract_if->Wait();
-          slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
-                               slot.detect_msg.ea());
+        {
+          probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe);
+          for (int i = 0; i < 4; ++i) {
+            slots_[i].extract_if->Wait();
+            rt_.add_spe_span(probe::Phase::kExtract, slots_[i].name,
+                             sent[i], ppe.now_ns());
+            detect_sent[i] = ppe.now_ns();
+            slots_[i].detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                                      slots_[i].detect_msg.ea());
+          }
         }
-        for (auto& slot : slots_) slot.detect_if->Wait();
+        probe::ProbeSpan w(prt(), probe::Phase::kDetect, ppe);
+        for (int i = 0; i < 4; ++i) {
+          slots_[i].detect_if->Wait();
+          rt_.add_spe_span(probe::Phase::kDetect,
+                           std::string("cd:") + slots_[i].name,
+                           detect_sent[i], ppe.now_ns());
+        }
         break;
       }
       case Scenario::kSharded: {
@@ -357,16 +416,26 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   }
 
   AnalysisResult result;
-  collect(slots_[0], result.color_histogram, result.ch_detect,
-          "color_histogram");
-  collect(slots_[1], result.color_correlogram, result.cc_detect,
-          "color_correlogram");
-  collect(slots_[2], result.texture, result.tx_detect, "texture");
-  collect(slots_[3], result.edge_histogram, result.eh_detect,
-          "edge_histogram");
+  {
+    probe::ProbeSpan span(prt(), probe::Phase::kOutput, ppe, "collect");
+    collect(slots_[0], result.color_histogram, result.ch_detect,
+            "color_histogram");
+    collect(slots_[1], result.color_correlogram, result.cc_detect,
+            "color_correlogram");
+    collect(slots_[2], result.texture, result.tx_detect, "texture");
+    collect(slots_[3], result.edge_histogram, result.eh_detect,
+            "edge_histogram");
+  }
   if (guard_.enabled) result.degraded = std::move(degraded_current_);
   note_image_done();
+  finish_request();
   return result;
+}
+
+void CellEngine::finish_request() {
+  if (probe_ == nullptr || !rt_.active()) return;
+  rt_.finish(machine_.ppe().now_ns());
+  probe_->on_request(rt_);
 }
 
 int CellEngine::guarded_opcode(const FeatureSlot& slot) const {
@@ -380,40 +449,80 @@ void CellEngine::analyze_guarded_schedule(const img::RgbImage& pixels) {
   // guarded run charges identical simulated time; only the completion
   // side differs (Finish() runs the retry loop, and exhausted retries
   // drop to the PPE reference path instead of throwing).
+  sim::ScalarContext& ppe = machine_.ppe();
   switch (scenario_) {
     case Scenario::kSingleSPE: {
       for (auto& slot : slots_) {
         port::Profiler::Scope probe(profiler_, slot.phase);
+        probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
+                              slot.name);
+        const sim::SimTime sent = ppe.now_ns();
         slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
         finish_extract(slot, pixels);
+        rt_.add_spe_span(probe::Phase::kExtract, slot.name, sent,
+                         ppe.now_ns());
       }
       port::Profiler::Scope probe(profiler_, kPhaseCd);
+      probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
       for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
       break;
     }
     case Scenario::kMultiSPE: {
       {
         port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-        for (auto& slot : slots_) {
-          slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
+        sim::SimTime sent[4] = {0, 0, 0, 0};
+        {
+          probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                             "send_extract");
+          for (int i = 0; i < 4; ++i) {
+            sent[i] = ppe.now_ns();
+            slots_[i].g_extract->Send(guarded_opcode(slots_[i]),
+                                      slots_[i].msg.ea());
+          }
         }
-        for (auto& slot : slots_) finish_extract(slot, pixels);
+        probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe);
+        for (int i = 0; i < 4; ++i) {
+          finish_extract(slots_[i], pixels);
+          rt_.add_spe_span(probe::Phase::kExtract, slots_[i].name,
+                           sent[i], ppe.now_ns());
+        }
       }
       port::Profiler::Scope probe(profiler_, kPhaseDetect);
+      probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
       for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
       break;
     }
     case Scenario::kMultiSPE2: {
       port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-      for (auto& slot : slots_) {
-        slot.g_extract->Send(guarded_opcode(slot), slot.msg.ea());
+      sim::SimTime sent[4] = {0, 0, 0, 0};
+      sim::SimTime detect_sent[4] = {0, 0, 0, 0};
+      {
+        probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                           "send_extract");
+        for (int i = 0; i < 4; ++i) {
+          sent[i] = ppe.now_ns();
+          slots_[i].g_extract->Send(guarded_opcode(slots_[i]),
+                                    slots_[i].msg.ea());
+        }
       }
-      for (auto& slot : slots_) {
-        finish_extract(slot, pixels);
-        slot.g_detect->Send(static_cast<int>(kernels::SPU_Run),
-                            slot.detect_msg.ea());
+      {
+        probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe);
+        for (int i = 0; i < 4; ++i) {
+          finish_extract(slots_[i], pixels);
+          rt_.add_spe_span(probe::Phase::kExtract, slots_[i].name,
+                           sent[i], ppe.now_ns());
+          detect_sent[i] = ppe.now_ns();
+          slots_[i].g_detect->Send(static_cast<int>(kernels::SPU_Run),
+                                   slots_[i].detect_msg.ea());
+        }
       }
-      for (auto& slot : slots_) finish_detect(slot, *slot.g_detect);
+      probe::ProbeSpan w(prt(), probe::Phase::kDetect, ppe);
+      for (int i = 0; i < 4; ++i) {
+        finish_detect(slots_[i], *slots_[i].g_detect);
+        rt_.add_spe_span(probe::Phase::kDetect,
+                         std::string("cd:") + slots_[i].name,
+                         detect_sent[i], ppe.now_ns());
+      }
       break;
     }
     case Scenario::kSharded: {
@@ -433,21 +542,31 @@ void CellEngine::analyze_guarded_schedule(const img::RgbImage& pixels) {
 // are exhausted is recomputed on the PPE via the shard mirrors — the
 // surviving shards' SPE work is kept.
 void CellEngine::analyze_sharded(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
   {
     port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
-    send_shards();
+    {
+      probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                         "send_shards");
+      send_shards();
+    }
+    probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe, "shards");
     wait_shards(pixels);
   }
   {
     port::Profiler::Scope probe(profiler_, kPhaseShardReduce);
+    probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                          "shard_reduce");
     for (int i = 0; i < 4; ++i) reduce_slot(i);
     shard_reduce_counter_->add(1);
   }
   port::Profiler::Scope probe(profiler_, kPhaseDetect);
+  probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe, "blocks");
   for (auto& slot : slots_) sharded_detect(slot);
 }
 
 void CellEngine::send_shards() {
+  shard_send_ns_ = machine_.ppe().now_ns();
   for (auto& slot : slots_) {
     for (std::size_t j = 0; j < slot.shard_msgs.size(); ++j) {
       if (slot.shard_rows[j].empty()) continue;
@@ -463,6 +582,7 @@ void CellEngine::send_shards() {
 }
 
 void CellEngine::wait_shards(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
   for (int i = 0; i < 4; ++i) {
     FeatureSlot& slot = slots_[i];
     for (std::size_t j = 0; j < slot.shard_msgs.size(); ++j) {
@@ -472,15 +592,27 @@ void CellEngine::wait_shards(const img::RgbImage& pixels) {
       } else {
         slot.shard_ifs[j]->Wait();
       }
+      rt_.add_spe_span(probe::Phase::kExtract,
+                       std::string(slot.name) + "[" + std::to_string(j) +
+                           "]",
+                       shard_send_ns_, ppe.now_ns());
     }
   }
 }
 
 void CellEngine::finish_shard(int i, int j, const img::RgbImage& pixels) {
   FeatureSlot& slot = slots_[i];
+  const sim::SimTime finish_t0 = machine_.ppe().now_ns();
   guard::GuardedInterface::Result r =
       slot.g_shards[static_cast<std::size_t>(j)]->Finish();
+  if (r.attempts > 1) {
+    rt_.add_closed(probe::Phase::kGuardRetry,
+                   std::string(slot.name) + "[" + std::to_string(j) + "]",
+                   finish_t0, machine_.ppe().now_ns());
+  }
   if (r.ok) return;
+  probe::ProbeSpan span(prt(), probe::Phase::kFallback, machine_.ppe(),
+                        std::string("shard:") + slot.name);
   // Recompute just this shard's raw partial on the PPE; the reduction
   // then proceeds as if the SPE had delivered it.
   const shard::Range& range = slot.shard_rows[static_cast<std::size_t>(j)];
@@ -557,6 +689,7 @@ void CellEngine::sharded_detect(FeatureSlot& slot) {
   std::vector<shard::Range> blocks = shard::split_rows(num_models, d);
   machine_.ppe().charge(sim::OpClass::kStore,
                         6 * static_cast<std::uint64_t>(d));
+  const sim::SimTime blocks_sent = machine_.ppe().now_ns();
   for (int b = 0; b < d; ++b) {
     if (blocks[static_cast<std::size_t>(b)].empty()) continue;
     kernels::DetectMsg& m = *cd_block_msgs_[static_cast<std::size_t>(b)];
@@ -581,9 +714,19 @@ void CellEngine::sharded_detect(FeatureSlot& slot) {
     const shard::Range& block = blocks[static_cast<std::size_t>(b)];
     if (block.empty()) continue;
     if (guard_.enabled) {
+      const sim::SimTime finish_t0 = machine_.ppe().now_ns();
       guard::GuardedInterface::Result r =
           g_cd_shards_[static_cast<std::size_t>(b)]->Finish();
+      if (r.attempts > 1) {
+        rt_.add_closed(probe::Phase::kGuardRetry,
+                       std::string("cd[") + std::to_string(b) + "]:" +
+                           slot.name,
+                       finish_t0, machine_.ppe().now_ns());
+      }
       if (!r.ok) {
+        probe::ProbeSpan span(prt(), probe::Phase::kFallback,
+                              machine_.ppe(),
+                              std::string("detect:") + slot.name);
         shard::ppe_detect_block(
             slot.out.data(), slot.dim, *slot.set, block,
             cd_block_scores_[static_cast<std::size_t>(b)].data(),
@@ -593,6 +736,10 @@ void CellEngine::sharded_detect(FeatureSlot& slot) {
     } else {
       cd_shard_ifs_[static_cast<std::size_t>(b)]->Wait();
     }
+    rt_.add_spe_span(probe::Phase::kDetect,
+                     std::string("cd[") + std::to_string(b) + "]:" +
+                         slot.name,
+                     blocks_sent, machine_.ppe().now_ns());
     parts.push_back(cd_block_scores_[static_cast<std::size_t>(b)].data());
     counts.push_back(block.count());
   }
@@ -603,7 +750,12 @@ void CellEngine::sharded_detect(FeatureSlot& slot) {
 
 void CellEngine::finish_extract(FeatureSlot& slot,
                                 const img::RgbImage& pixels) {
+  const sim::SimTime finish_t0 = machine_.ppe().now_ns();
   guard::GuardedInterface::Result r = slot.g_extract->Finish();
+  if (r.attempts > 1) {
+    rt_.add_closed(probe::Phase::kGuardRetry, slot.name, finish_t0,
+                   machine_.ppe().now_ns());
+  }
   if (!r.ok) fallback_extract(slot, pixels);
 }
 
@@ -612,6 +764,8 @@ void CellEngine::fallback_extract(FeatureSlot& slot,
   // Recompute on the PPE scalar path and land the values in the slot's
   // output buffer, where the (possibly still SPE-hosted) detection and
   // collect() expect them.
+  probe::ProbeSpan span(prt(), probe::Phase::kFallback, machine_.ppe(),
+                        std::string("extract:") + slot.name);
   features::FeatureVector fv = slot.ref_extract(pixels, &machine_.ppe());
   machine_.ppe().charge(sim::OpClass::kStore,
                         static_cast<std::uint64_t>(slot.dim));
@@ -622,19 +776,31 @@ void CellEngine::fallback_extract(FeatureSlot& slot,
 
 void CellEngine::guarded_detect(FeatureSlot& slot,
                                 guard::GuardedInterface& gi) {
+  const sim::SimTime sent = machine_.ppe().now_ns();
   gi.Send(static_cast<int>(kernels::SPU_Run), slot.detect_msg.ea());
   finish_detect(slot, gi);
+  rt_.add_spe_span(probe::Phase::kDetect,
+                   std::string("cd:") + slot.name, sent,
+                   machine_.ppe().now_ns());
 }
 
 void CellEngine::finish_detect(FeatureSlot& slot,
                                guard::GuardedInterface& gi) {
+  const sim::SimTime finish_t0 = machine_.ppe().now_ns();
   guard::GuardedInterface::Result r = gi.Finish();
+  if (r.attempts > 1) {
+    rt_.add_closed(probe::Phase::kGuardRetry,
+                   std::string("cd:") + slot.name, finish_t0,
+                   machine_.ppe().now_ns());
+  }
   if (!r.ok) fallback_detect(slot);
 }
 
 void CellEngine::fallback_detect(FeatureSlot& slot) {
   // Score against the models on the PPE, reading whatever feature values
   // are in the slot buffer (SPE-extracted or themselves a fallback).
+  probe::ProbeSpan span(prt(), probe::Phase::kFallback, machine_.ppe(),
+                        std::string("detect:") + slot.name);
   features::FeatureVector fv;
   fv.name = slot.name;
   fv.values.assign(slot.out.data(), slot.out.data() + slot.dim);
@@ -681,28 +847,48 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
   results.reserve(images.size());
 
   port::Profiler::Scope probe(profiler_, kPhasePipelined);
+  sim::ScalarContext& ppe = machine_.ppe();
   auto decode = [&](const img::SicEncoded& image) {
+    probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe,
+                          "sic_decode");
     machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
     return img::sic_decode(image, &machine_.ppe());
   };
 
   // Two pixel buffers alternate: the SPEs read `current` while the PPE
-  // decodes into the other slot.
+  // decodes into the other slot. Probing treats each loop iteration as
+  // one request; the overlapped decode of image i+1 lands in request
+  // i's kDecode phase — that is where the PPE's time really went.
+  if (probe_ != nullptr) rt_.start("pipelined", ppe.now_ns());
   img::RgbImage current = decode(images[0]);
   for (std::size_t i = 0; i < images.size(); ++i) {
-    for (auto& slot : slots_) fill_image_msg(slot, current);
-    if (scenario_ == Scenario::kSharded) prepare_shards(current);
+    if (probe_ != nullptr && !rt_.active()) {
+      rt_.start("pipelined", ppe.now_ns());
+    }
+    {
+      probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
+                            "fill_msgs");
+      for (auto& slot : slots_) fill_image_msg(slot, current);
+      if (scenario_ == Scenario::kSharded) prepare_shards(current);
+    }
     if (guard_.enabled) degraded_current_.clear();
-    if (scenario_ == Scenario::kSharded) {
-      send_shards();
-    } else {
-      for (auto& slot : slots_) {
-        if (guard_.enabled) {
-          slot.g_extract->Send(static_cast<int>(kernels::SPU_Run),
-                               slot.msg.ea());
-        } else {
-          slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
-                                slot.msg.ea());
+    sim::SimTime sent[4] = {0, 0, 0, 0};
+    {
+      probe::ProbeSpan span(prt(), probe::Phase::kDispatch, ppe,
+                            "send_extract");
+      if (scenario_ == Scenario::kSharded) {
+        send_shards();
+      } else {
+        for (int s = 0; s < 4; ++s) {
+          FeatureSlot& slot = slots_[s];
+          sent[s] = ppe.now_ns();
+          if (guard_.enabled) {
+            slot.g_extract->Send(static_cast<int>(kernels::SPU_Run),
+                                 slot.msg.ea());
+          } else {
+            slot.extract_if->Send(static_cast<int>(kernels::SPU_Run),
+                                  slot.msg.ea());
+          }
         }
       }
     }
@@ -711,44 +897,102 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     if (i + 1 < images.size()) next = decode(images[i + 1]);
 
     if (scenario_ == Scenario::kSharded) {
-      wait_shards(current);
-      for (int si = 0; si < 4; ++si) reduce_slot(si);
-      shard_reduce_counter_->add(1);
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
+                              "shards");
+        wait_shards(current);
+      }
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                              "shard_reduce");
+        for (int si = 0; si < 4; ++si) reduce_slot(si);
+        shard_reduce_counter_->add(1);
+      }
+      probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe, "blocks");
       for (auto& slot : slots_) sharded_detect(slot);
     } else if (guard_.enabled) {
       if (scenario_ == Scenario::kMultiSPE2) {
-        for (auto& slot : slots_) {
-          finish_extract(slot, current);
-          slot.g_detect->Send(static_cast<int>(kernels::SPU_Run),
-                              slot.detect_msg.ea());
+        sim::SimTime detect_sent[4] = {0, 0, 0, 0};
+        {
+          probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe);
+          for (int s = 0; s < 4; ++s) {
+            FeatureSlot& slot = slots_[s];
+            finish_extract(slot, current);
+            detect_sent[s] = ppe.now_ns();
+            slot.g_detect->Send(static_cast<int>(kernels::SPU_Run),
+                                slot.detect_msg.ea());
+          }
         }
-        for (auto& slot : slots_) finish_detect(slot, *slot.g_detect);
+        probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+        for (int s = 0; s < 4; ++s) {
+          FeatureSlot& slot = slots_[s];
+          finish_detect(slot, *slot.g_detect);
+          rt_.add_spe_span(probe::Phase::kDetect,
+                           std::string("cd:") + slot.name,
+                           detect_sent[s], ppe.now_ns());
+        }
       } else {
-        for (auto& slot : slots_) finish_extract(slot, current);
+        {
+          probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe);
+          for (auto& slot : slots_) finish_extract(slot, current);
+        }
+        probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
         for (auto& slot : slots_) guarded_detect(slot, *g_cd_);
       }
     } else if (scenario_ == Scenario::kMultiSPE2) {
-      for (auto& slot : slots_) {
-        slot.extract_if->Wait();
-        slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
-                             slot.detect_msg.ea());
+      sim::SimTime detect_sent[4] = {0, 0, 0, 0};
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe);
+        for (int s = 0; s < 4; ++s) {
+          FeatureSlot& slot = slots_[s];
+          slot.extract_if->Wait();
+          rt_.add_spe_span(probe::Phase::kExtract, slot.name, sent[s],
+                           ppe.now_ns());
+          detect_sent[s] = ppe.now_ns();
+          slot.detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                               slot.detect_msg.ea());
+        }
       }
-      for (auto& slot : slots_) slot.detect_if->Wait();
+      probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+      for (int s = 0; s < 4; ++s) {
+        slots_[s].detect_if->Wait();
+        rt_.add_spe_span(probe::Phase::kDetect,
+                         std::string("cd:") + slots_[s].name,
+                         detect_sent[s], ppe.now_ns());
+      }
     } else {
-      for (auto& slot : slots_) slot.extract_if->Wait();
-      for (auto& slot : slots_) run_detection(slot, *cd_if_);
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe);
+        for (int s = 0; s < 4; ++s) {
+          slots_[s].extract_if->Wait();
+          rt_.add_spe_span(probe::Phase::kExtract, slots_[s].name,
+                           sent[s], ppe.now_ns());
+        }
+      }
+      probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+      for (auto& slot : slots_) {
+        const sim::SimTime d_sent = ppe.now_ns();
+        run_detection(slot, *cd_if_);
+        rt_.add_spe_span(probe::Phase::kDetect,
+                         std::string("cd:") + slot.name, d_sent,
+                         ppe.now_ns());
+      }
     }
 
     AnalysisResult result;
-    collect(slots_[0], result.color_histogram, result.ch_detect,
-            "color_histogram");
-    collect(slots_[1], result.color_correlogram, result.cc_detect,
-            "color_correlogram");
-    collect(slots_[2], result.texture, result.tx_detect, "texture");
-    collect(slots_[3], result.edge_histogram, result.eh_detect,
-            "edge_histogram");
+    {
+      probe::ProbeSpan span(prt(), probe::Phase::kOutput, ppe, "collect");
+      collect(slots_[0], result.color_histogram, result.ch_detect,
+              "color_histogram");
+      collect(slots_[1], result.color_correlogram, result.cc_detect,
+              "color_correlogram");
+      collect(slots_[2], result.texture, result.tx_detect, "texture");
+      collect(slots_[3], result.edge_histogram, result.eh_detect,
+              "edge_histogram");
+    }
     if (guard_.enabled) result.degraded = std::move(degraded_current_);
     note_image_done();
+    finish_request();
     results.push_back(std::move(result));
     if (i + 1 < images.size()) current = std::move(next);
   }

@@ -33,6 +33,7 @@
 #include "marvel/result.h"
 #include "port/profiler.h"
 #include "port/spe_interface.h"
+#include "probe/request_trace.h"
 #include "shard/partials.h"
 #include "shard/plan.h"
 #include "sim/machine.h"
@@ -130,6 +131,14 @@ class CellEngine {
   /// {1,1,1,1}+1 otherwise).
   const shard::ShardPlan& shard_plan() const { return plan_; }
 
+  /// cellprobe: installs a per-request attribution sink. Every
+  /// analyze() call (and every analyze_stream() run as one request)
+  /// delivers its finished RequestTrace to the sink. Probing only reads
+  /// simulated clocks — results and simulated time are bit-exact with
+  /// an unprobed run. Null detaches.
+  void set_probe(probe::ProbeSink* sink) { probe_ = sink; }
+  probe::ProbeSink* probe() const { return probe_; }
+
  private:
   friend class StreamEngine;
 
@@ -208,6 +217,15 @@ class CellEngine {
   /// Block-split detection for one slot over the detection interfaces.
   void sharded_detect(FeatureSlot& slot);
 
+  // ---- cellprobe ----
+  /// The live request trace, or null when no sink is installed (every
+  /// RequestTrace/ProbeSpan call site stays unconditional).
+  probe::RequestTrace* prt() {
+    return probe_ != nullptr ? &rt_ : nullptr;
+  }
+  /// Closes the request trace and delivers it to the sink.
+  void finish_request();
+
   sim::Machine& machine_;
   Scenario scenario_;
   kernels::BufferingDepth buffering_;
@@ -240,6 +258,14 @@ class CellEngine {
       cd_block_msgs_;
   std::vector<cellport::AlignedBuffer<double>> cd_block_scores_;
   trace::Counter* shard_reduce_counter_ = nullptr;
+
+  // cellprobe state: the sink (null = probing off) and the request
+  // trace reused across requests. `shard_send_ns_` remembers when the
+  // current image's shard dispatch began so wait_shards can record
+  // per-shard SPE child spans.
+  probe::ProbeSink* probe_ = nullptr;
+  probe::RequestTrace rt_;
+  sim::SimTime shard_send_ns_ = 0;
 
   FeatureSlot slots_[4];
 };

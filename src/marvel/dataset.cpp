@@ -14,4 +14,29 @@ Dataset make_dataset(int count, std::uint64_t seed, int quality) {
   return out;
 }
 
+Dataset make_mixed_size_dataset(int count, std::uint64_t seed,
+                                int quality) {
+  // Sizes bracket the paper's 352x240 (0.57x .. 1.82x its pixel count).
+  static constexpr struct {
+    int w, h;
+  } kSizes[] = {{352, 240}, {256, 176}, {480, 320}, {320, 208}};
+  static constexpr int kNumSizes = 4;
+  static constexpr img::SceneKind kKinds[] = {
+      img::SceneKind::kGradient, img::SceneKind::kCheckers,
+      img::SceneKind::kTexture, img::SceneKind::kShapes,
+      img::SceneKind::kStripes};
+  static constexpr int kNumKinds = 5;
+  Dataset out;
+  out.images.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto& size = kSizes[i % kNumSizes];
+    img::RgbImage image =
+        img::synth_image(kKinds[i % kNumKinds],
+                         seed + static_cast<std::uint64_t>(i), size.w,
+                         size.h);
+    out.images.push_back(img::sic_encode(image, quality));
+  }
+  return out;
+}
+
 }  // namespace cellport::marvel

@@ -20,4 +20,12 @@ struct Dataset {
 Dataset make_dataset(int count, std::uint64_t seed = 2007,
                      int quality = 70);
 
+/// Like make_dataset, but cycles image dimensions (256x176 .. 480x320
+/// around the paper's 352x240) so per-image latencies spread and
+/// percentile summaries are non-degenerate. A fixed-size set makes
+/// kernel p50 == p95 by construction, which turns a percentile gate
+/// into a single-sample gate.
+Dataset make_mixed_size_dataset(int count, std::uint64_t seed = 2007,
+                                int quality = 70);
+
 }  // namespace cellport::marvel

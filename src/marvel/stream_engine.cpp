@@ -410,11 +410,19 @@ void StreamEngine::run_detect_sharded(std::size_t w, std::size_t total) {
 void StreamEngine::rerun_shard(int s, int k, PerImage& pi) {
   ++stats_.request_retries;
   SlotBuf& sb = pi.sb[s];
+  const sim::SimTime retry_t0 = engine_.machine_.ppe().now_ns();
   guard::GuardedInterface::Result r =
       engine_.slots_[s].g_shards[static_cast<std::size_t>(k)]->Call(
           static_cast<int>(kernels::SPU_Run),
           sb.shard_msgs[static_cast<std::size_t>(k)].ea());
+  engine_.rt_.add_closed(probe::Phase::kGuardRetry,
+                         std::string(engine_.slots_[s].name) + "[" +
+                             std::to_string(k) + "]",
+                         retry_t0, engine_.machine_.ppe().now_ns());
   if (r.ok) return;
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        std::string("shard:") + engine_.slots_[s].name);
   const shard::Range& range = sb.shard_rows[static_cast<std::size_t>(k)];
   void* part = sb.shard_parts[static_cast<std::size_t>(k)].data();
   sim::ScalarContext* ppe = &engine_.machine_.ppe();
@@ -442,11 +450,19 @@ void StreamEngine::rerun_shard(int s, int k, PerImage& pi) {
 void StreamEngine::rerun_detect_block(int s, int b, PerImage& pi) {
   ++stats_.request_retries;
   SlotBuf& sb = pi.sb[s];
+  const sim::SimTime retry_t0 = engine_.machine_.ppe().now_ns();
   guard::GuardedInterface::Result r =
       engine_.g_cd_shards_[static_cast<std::size_t>(b)]->Call(
           static_cast<int>(kernels::SPU_Run),
           sb.block_msgs[static_cast<std::size_t>(b)].ea());
+  engine_.rt_.add_closed(probe::Phase::kGuardRetry,
+                         std::string("cd[") + std::to_string(b) + "]:" +
+                             engine_.slots_[s].name,
+                         retry_t0, engine_.machine_.ppe().now_ns());
   if (r.ok) return;
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        std::string("detect:") + engine_.slots_[s].name);
   CellEngine::FeatureSlot& slot = engine_.slots_[s];
   shard::ppe_detect_block(sb.out.data(), slot.dim, *slot.set,
                           cd_blocks_[s][static_cast<std::size_t>(b)],
@@ -511,12 +527,21 @@ void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
 }
 
 void StreamEngine::run_detect(std::size_t w, std::size_t total) {
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
   if (engine_.scenario_ == Scenario::kSharded) {
     // Partials must merge before detection can read the feature vectors.
-    reduce_window(w, total);
+    {
+      probe::ProbeSpan span(engine_.prt(), probe::Phase::kReduce, ppe,
+                            "reduce_window");
+      reduce_window(w, total);
+    }
+    probe::ProbeSpan span(engine_.prt(), probe::Phase::kDetect, ppe,
+                          "detect_blocks");
     run_detect_sharded(w, total);
     return;
   }
+  probe::ProbeSpan detect_span(engine_.prt(), probe::Phase::kDetect, ppe,
+                               "detect");
   const std::size_t count = window_count(w, total);
   const auto spu_run = static_cast<int>(kernels::SPU_Run);
 
@@ -634,19 +659,30 @@ void StreamEngine::collect_window(std::size_t w, std::size_t total,
 
 void StreamEngine::rerun_extract(int s, PerImage& pi) {
   ++stats_.request_retries;
+  const sim::SimTime retry_t0 = engine_.machine_.ppe().now_ns();
   guard::GuardedInterface::Result r = extract_guard(s)->Call(
       engine_.guarded_opcode(engine_.slots_[s]), pi.sb[s].msg.ea());
+  engine_.rt_.add_closed(probe::Phase::kGuardRetry,
+                         engine_.slots_[s].name, retry_t0,
+                         engine_.machine_.ppe().now_ns());
   if (!r.ok) fallback_extract(s, pi);
 }
 
 void StreamEngine::rerun_detect(int s, PerImage& pi) {
   ++stats_.request_retries;
+  const sim::SimTime retry_t0 = engine_.machine_.ppe().now_ns();
   guard::GuardedInterface::Result r = detect_guard(s)->Call(
       static_cast<int>(kernels::SPU_Run), pi.sb[s].detect_msg.ea());
+  engine_.rt_.add_closed(probe::Phase::kGuardRetry,
+                         std::string("cd:") + engine_.slots_[s].name,
+                         retry_t0, engine_.machine_.ppe().now_ns());
   if (!r.ok) fallback_detect(s, pi);
 }
 
 void StreamEngine::fallback_extract(int s, PerImage& pi) {
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        std::string("extract:") + engine_.slots_[s].name);
   CellEngine::FeatureSlot& slot = engine_.slots_[s];
   features::FeatureVector fv =
       slot.ref_extract(pi.pixels, &engine_.machine_.ppe());
@@ -658,6 +694,9 @@ void StreamEngine::fallback_extract(int s, PerImage& pi) {
 }
 
 void StreamEngine::fallback_detect(int s, PerImage& pi) {
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        std::string("detect:") + engine_.slots_[s].name);
   CellEngine::FeatureSlot& slot = engine_.slots_[s];
   features::FeatureVector fv;
   fv.name = slot.name;
@@ -705,42 +744,88 @@ std::vector<AnalysisResult> StreamEngine::run(
       (total + static_cast<std::size_t>(opts_.batch) - 1) /
       static_cast<std::size_t>(opts_.batch);
   port::Profiler::Scope probe(engine_.profiler_, kPhaseStream);
+  // One trace covers the whole streamed batch: windows overlap, so a
+  // per-image tree would mis-assign the shared PPE work.
+  if (engine_.probe_ != nullptr) engine_.rt_.start("stream", t0);
+  probe::RequestTrace* rt = engine_.prt();
+  std::vector<sim::SimTime> win_sent(W, 0);
+
+  auto wait_window = [&](std::size_t w) {
+    probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
+                          "wait_extract");
+    for (int s = 0; s < 4; ++s) {
+      wait_extract_slot(w, total, s);
+      engine_.rt_.add_spe_span(probe::Phase::kExtract,
+                               std::string(engine_.slots_[s].name) +
+                                   "[w" + std::to_string(w) + "]",
+                               win_sent[w], ppe.now_ns());
+    }
+  };
+  auto retire_window = [&](std::size_t w) {
+    run_detect(w, total);
+    probe::ProbeSpan span(rt, probe::Phase::kOutput, ppe,
+                          "collect_window");
+    collect_window(w, total, &results);
+  };
 
   if (pipelined_) {
     // Two windows in flight per extract ring: the PPE decodes and
     // doorbells window w while the SPEs still extract window w-1.
     for (std::size_t w = 0; w < W; ++w) {
-      prepare_window(w, images);
-      for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+      {
+        probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
+                              "prepare_window");
+        prepare_window(w, images);
+      }
+      {
+        probe::ProbeSpan span(rt, probe::Phase::kDispatch, ppe,
+                              "flush_extract");
+        win_sent[w] = ppe.now_ns();
+        for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+      }
       if (w > 0) {
-        for (int s = 0; s < 4; ++s) wait_extract_slot(w - 1, total, s);
-        run_detect(w - 1, total);
-        collect_window(w - 1, total, &results);
+        wait_window(w - 1);
+        retire_window(w - 1);
       }
     }
-    for (int s = 0; s < 4; ++s) wait_extract_slot(W - 1, total, s);
-    run_detect(W - 1, total);
-    collect_window(W - 1, total, &results);
+    wait_window(W - 1);
+    retire_window(W - 1);
   } else {
     // Guarded engines retire each window before the next doorbell so a
     // per-request retry can reuse the legacy call path; scenario 1 stays
     // sequential at window granularity (each kernel's batch retires
     // before the next kernel starts).
     for (std::size_t w = 0; w < W; ++w) {
-      prepare_window(w, images);
+      {
+        probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
+                              "prepare_window");
+        prepare_window(w, images);
+      }
       if (engine_.scenario_ == Scenario::kSingleSPE) {
+        probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
+                              "extract_seq");
+        win_sent[w] = ppe.now_ns();
         for (int s = 0; s < 4; ++s) {
           flush_extract_slot(w, total, s);
           wait_extract_slot(w, total, s);
+          engine_.rt_.add_spe_span(probe::Phase::kExtract,
+                                   std::string(engine_.slots_[s].name) +
+                                       "[w" + std::to_string(w) + "]",
+                                   win_sent[w], ppe.now_ns());
         }
       } else {
-        for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
-        for (int s = 0; s < 4; ++s) wait_extract_slot(w, total, s);
+        {
+          probe::ProbeSpan span(rt, probe::Phase::kDispatch, ppe,
+                                "flush_extract");
+          win_sent[w] = ppe.now_ns();
+          for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+        }
+        wait_window(w);
       }
-      run_detect(w, total);
-      collect_window(w, total, &results);
+      retire_window(w);
     }
   }
+  engine_.finish_request();
 
   stats_.images = total;
   stats_.elapsed_ns = ppe.now_ns() - t0;

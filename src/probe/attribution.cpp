@@ -1,0 +1,125 @@
+#include "probe/attribution.h"
+
+#include <sstream>
+
+#include "support/json.h"
+#include "support/table.h"
+
+namespace cellport::probe {
+
+void Attribution::on_request(const RequestTrace& rt) {
+  ++requests_;
+  request_elapsed_ns_ += rt.elapsed_ns();
+  for (const auto& [phase, ns] : rt.exclusive_ns()) phase_ns_[phase] += ns;
+  std::vector<RequestTrace::CritStep> path = rt.critical_path();
+  for (const auto& step : path) {
+    if (!step.crit_label.empty()) ++crit_counts_[step.crit_label];
+  }
+  if (rt.elapsed_ns() >= slowest_elapsed_ns_) {
+    slowest_elapsed_ns_ = rt.elapsed_ns();
+    slowest_label_ = rt.label();
+    slowest_path_ = std::move(path);
+  }
+}
+
+double Attribution::covered_ns() const {
+  double t = 0;
+  for (const auto& [phase, ns] : phase_ns_) t += ns;
+  return t;
+}
+
+double Attribution::uncovered_ns() const {
+  if (total_elapsed_ns_ <= 0) return 0;
+  double u = total_elapsed_ns_ - covered_ns();
+  return u > 0 ? u : 0;
+}
+
+std::vector<std::pair<std::string, double>> Attribution::rows() const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [phase, ns] : phase_ns_) {
+    out.emplace_back(phase_name(phase), ns);
+  }
+  if (total_elapsed_ns_ > 0) out.emplace_back("uncovered", uncovered_ns());
+  return out;
+}
+
+double Attribution::share(double ns) const {
+  double denom = total_elapsed_ns_ > 0 ? total_elapsed_ns_ : covered_ns();
+  return denom > 0 ? ns / denom : 0;
+}
+
+std::string Attribution::format_text() const {
+  std::ostringstream os;
+  Table t("Amdahl attribution (" + std::to_string(requests_) +
+          " requests, exclusive PPE time)");
+  t.header({"Phase", "Total[ms]", "Share[%]", "Per-request[us]"});
+  for (const auto& [name, ns] : rows()) {
+    t.row({name, Table::num(ns / 1e6, 3),
+           Table::num(100.0 * share(ns), 1),
+           Table::num(requests_ > 0
+                          ? ns / 1e3 / static_cast<double>(requests_)
+                          : 0.0,
+                      1)});
+  }
+  os << t.str();
+  if (!crit_counts_.empty()) {
+    Table c("Critical kernels (gated a wait)");
+    c.header({"Kernel", "Times critical"});
+    for (const auto& [name, n] : crit_counts_) {
+      c.row({name, std::to_string(n)});
+    }
+    os << c.str();
+  }
+  if (!slowest_path_.empty()) {
+    os << "  slowest request '" << slowest_label_ << "' ("
+       << Table::num(slowest_elapsed_ns_ / 1e6, 3)
+       << " ms) critical path:\n";
+    for (const auto& step : slowest_path_) {
+      os << "    " << phase_name(step.phase);
+      if (step.label != phase_name(step.phase) && !step.label.empty()) {
+        os << "(" << step.label << ")";
+      }
+      if (!step.crit_label.empty()) os << " gated by " << step.crit_label;
+      os << ": " << Table::num(step.ns / 1e6, 3) << " ms\n";
+    }
+  }
+  return os.str();
+}
+
+void Attribution::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("requests").value(static_cast<std::uint64_t>(requests_));
+  w.key("total_ns").value(total_elapsed_ns_);
+  w.key("covered_ns").value(covered_ns());
+  w.key("request_elapsed_ns").value(request_elapsed_ns_);
+  w.key("phases").begin_object();
+  for (const auto& [name, ns] : rows()) {
+    w.key(name).begin_object();
+    w.key("ns").value(ns);
+    w.key("share").value(share(ns));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("critical_kernels").begin_object();
+  for (const auto& [name, n] : crit_counts_) w.key(name).value(n);
+  w.end_object();
+  w.key("slowest").begin_object();
+  w.key("label").value(slowest_label_);
+  w.key("elapsed_ns").value(slowest_elapsed_ns_);
+  w.key("path").begin_array();
+  for (const auto& step : slowest_path_) {
+    w.begin_object();
+    w.key("phase").value(phase_name(step.phase));
+    w.key("label").value(step.label);
+    w.key("ns").value(step.ns);
+    if (!step.crit_label.empty()) {
+      w.key("gated_by").value(step.crit_label);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace cellport::probe

@@ -1,0 +1,74 @@
+// cellprobe: Amdahl attribution aggregated over request traces.
+//
+// Attribution is the ProbeSink behind BENCH_attribution.json and the
+// ASCII attribution report: it folds every finished RequestTrace's
+// exclusive per-phase partition into run totals, tracks which kernel
+// gated each wait (the critical-kernel census), and keeps the slowest
+// request's full critical path. Because each request's partition is
+// exact, the phase shares plus the uncovered remainder (engine startup,
+// inter-request gaps) always sum to the machine's elapsed PPE time —
+// the property the paper's Eq. (3) estimates need to be trustworthy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "probe/request_trace.h"
+
+namespace cellport {
+class JsonWriter;
+}
+
+namespace cellport::probe {
+
+class Attribution : public ProbeSink {
+ public:
+  void on_request(const RequestTrace& rt) override;
+
+  std::size_t requests() const { return requests_; }
+  /// Sum of per-phase exclusive time across requests.
+  double covered_ns() const;
+  /// Sum of request elapsed times; equals covered_ns() up to double
+  /// rounding (the partition is exact).
+  double request_elapsed_ns() const { return request_elapsed_ns_; }
+  const std::map<Phase, double>& phase_ns() const { return phase_ns_; }
+  /// How often each SPE kernel/shard was the one gating a wait.
+  const std::map<std::string, std::uint64_t>& critical_kernels() const {
+    return crit_counts_;
+  }
+
+  /// Whole-run PPE elapsed time; enables the "uncovered" row (startup +
+  /// time between requests) so shares total 100% of the machine's clock.
+  void set_total_elapsed_ns(double ns) { total_elapsed_ns_ = ns; }
+  double total_elapsed_ns() const { return total_elapsed_ns_; }
+  double uncovered_ns() const;
+
+  /// Attribution rows for artifacts: ("<phase>", ns) per observed phase
+  /// plus ("uncovered", ns) when a total was set.
+  std::vector<std::pair<std::string, double>> rows() const;
+  /// Share of a row's time in the total (or covered time when no total
+  /// was set), in [0,1].
+  double share(double ns) const;
+
+  /// The aligned ASCII report: attribution table, critical-kernel
+  /// census, and the slowest request's critical path.
+  std::string format_text() const;
+  /// {"requests":..., "total_ns":..., "covered_ns":..., "phases":{...},
+  ///  "critical_kernels":{...}, "slowest":{label, elapsed_ns, path:[..]}}
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::size_t requests_ = 0;
+  double request_elapsed_ns_ = 0;
+  double total_elapsed_ns_ = 0;
+  std::map<Phase, double> phase_ns_;
+  std::map<std::string, std::uint64_t> crit_counts_;
+  double slowest_elapsed_ns_ = 0;
+  std::string slowest_label_;
+  std::vector<RequestTrace::CritStep> slowest_path_;
+};
+
+}  // namespace cellport::probe

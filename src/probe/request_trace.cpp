@@ -1,0 +1,178 @@
+#include "probe/request_trace.h"
+
+#include <algorithm>
+
+#include "sim/scalar_context.h"
+#include "support/error.h"
+
+namespace cellport::probe {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kDecode: return "decode";
+    case Phase::kPrepare: return "prepare";
+    case Phase::kDispatch: return "dispatch";
+    case Phase::kExtract: return "extract_wait";
+    case Phase::kReduce: return "reduce";
+    case Phase::kDetect: return "detect_wait";
+    case Phase::kOutput: return "output";
+    case Phase::kGuardRetry: return "guard_retry";
+    case Phase::kFallback: return "ppe_fallback";
+    case Phase::kOther: return "other";
+  }
+  return "?";
+}
+
+void RequestTrace::start(std::string label, sim::SimTime ts) {
+  spans_.clear();
+  open_.clear();
+  label_ = std::move(label);
+  active_ = true;
+  finished_ = false;
+  Span root;
+  root.phase = Phase::kOther;
+  root.lane = Lane::kPpe;
+  root.parent = -1;
+  root.label = label_;
+  root.begin = ts;
+  spans_.push_back(std::move(root));
+  open_.push_back(0);
+}
+
+void RequestTrace::open(Phase phase, sim::SimTime ts, std::string label) {
+  if (!active_) return;
+  Span s;
+  s.phase = phase;
+  s.lane = Lane::kPpe;
+  s.parent = open_.back();
+  s.label = label.empty() ? phase_name(phase) : std::move(label);
+  s.begin = ts;
+  open_.push_back(static_cast<int>(spans_.size()));
+  spans_.push_back(std::move(s));
+}
+
+void RequestTrace::close(sim::SimTime ts) {
+  if (!active_) return;
+  if (open_.size() <= 1) {
+    throw cellport::Error("RequestTrace::close with no open span");
+  }
+  spans_[static_cast<std::size_t>(open_.back())].end = ts;
+  open_.pop_back();
+}
+
+void RequestTrace::add_closed(Phase phase, std::string label,
+                              sim::SimTime begin, sim::SimTime end) {
+  if (!active_) return;
+  Span s;
+  s.phase = phase;
+  s.lane = Lane::kPpe;
+  s.parent = open_.back();
+  s.label = std::move(label);
+  s.begin = begin;
+  s.end = end;
+  spans_.push_back(std::move(s));
+}
+
+void RequestTrace::add_spe_span(Phase phase, std::string label,
+                                sim::SimTime begin, sim::SimTime end) {
+  if (!active_) return;
+  Span s;
+  s.phase = phase;
+  s.lane = Lane::kSpe;
+  s.parent = open_.back();
+  s.label = std::move(label);
+  s.begin = begin;
+  s.end = end;
+  spans_.push_back(std::move(s));
+}
+
+void RequestTrace::finish(sim::SimTime ts) {
+  if (!active_) return;
+  while (open_.size() > 1) close(ts);  // defensive; call sites balance
+  spans_[0].end = ts;
+  open_.clear();
+  active_ = false;  // recording stops; the spans stay readable
+  finished_ = true;
+}
+
+sim::SimTime RequestTrace::elapsed_ns() const {
+  if (spans_.empty()) return 0;
+  return spans_[0].dur();
+}
+
+std::map<Phase, double> RequestTrace::exclusive_ns() const {
+  // exclusive(span) = dur - sum(PPE children dur); the sums telescope so
+  // the per-phase totals partition the root duration exactly.
+  std::vector<double> child_ns(spans_.size(), 0.0);
+  for (const Span& s : spans_) {
+    if (s.lane != Lane::kPpe || s.parent < 0) continue;
+    child_ns[static_cast<std::size_t>(s.parent)] += s.dur();
+  }
+  std::map<Phase, double> out;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (s.lane != Lane::kPpe) continue;
+    out[s.phase] += s.dur() - child_ns[i];
+  }
+  return out;
+}
+
+void RequestTrace::walk_path(int idx, std::vector<CritStep>* out) const {
+  const Span& span = spans_[static_cast<std::size_t>(idx)];
+  // This span's direct PPE children, in recording order (which is begin
+  // order: PPE spans never overlap their siblings), plus its gating SPE
+  // child (the one that finished last) if any.
+  std::vector<int> kids;
+  const Span* crit_spe = nullptr;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (s.parent != idx) continue;
+    if (s.lane == Lane::kPpe) {
+      kids.push_back(static_cast<int>(i));
+    } else if (crit_spe == nullptr || s.end > crit_spe->end) {
+      crit_spe = &s;
+    }
+  }
+  auto emit = [&](double ns) {
+    if (ns <= 0) return;
+    CritStep step;
+    step.phase = span.phase;
+    step.label = span.label;
+    step.ns = ns;
+    if (crit_spe != nullptr) step.crit_label = crit_spe->label;
+    if (!out->empty() && out->back().phase == step.phase &&
+        out->back().label == step.label &&
+        out->back().crit_label == step.crit_label) {
+      out->back().ns += ns;
+    } else {
+      out->push_back(std::move(step));
+    }
+  };
+  sim::SimTime cursor = span.begin;
+  for (int k : kids) {
+    const Span& child = spans_[static_cast<std::size_t>(k)];
+    emit(child.begin - cursor);
+    walk_path(k, out);
+    cursor = std::max(cursor, child.end);
+  }
+  emit(span.end - cursor);
+}
+
+std::vector<RequestTrace::CritStep> RequestTrace::critical_path() const {
+  std::vector<CritStep> out;
+  if (spans_.empty() || !finished_) return out;
+  walk_path(0, &out);
+  return out;
+}
+
+ProbeSpan::ProbeSpan(RequestTrace* rt, Phase phase,
+                     sim::ScalarContext& clock, std::string label)
+    : rt_(rt != nullptr && rt->active() ? rt : nullptr), clock_(&clock) {
+  if (rt_ != nullptr) rt_->open(phase, clock_->now_ns(), std::move(label));
+}
+
+ProbeSpan::~ProbeSpan() {
+  if (rt_ != nullptr) rt_->close(clock_->now_ns());
+}
+
+}  // namespace cellport::probe

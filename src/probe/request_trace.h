@@ -1,0 +1,140 @@
+// cellprobe: per-request span trees over simulated time.
+//
+// cellscope's TraceSession answers "what happened on each processing
+// element"; cellprobe answers the porting question the paper's Eq. (3)
+// estimates need: for ONE request (an analyze() call, or one streaming
+// run), where did the PPE's wall time go, and which kernel gated each
+// wait? A RequestTrace records a tree of spans on the PPE lane —
+// decode, message prep, ring dispatch, extract wait, shard reduce,
+// detect, output copy, guard retries, PPE fallbacks — plus overlapping
+// SPE-lane child spans for the kernels/shards a wait covered.
+//
+// Cost model: recording reads simulated clocks but never advances them,
+// so a probed run is bit-exact with an unprobed one (cellcheck verifies
+// this against the reference oracle). The PPE-lane spans partition the
+// request's elapsed time EXACTLY: for every span, exclusive time =
+// duration minus its PPE children, and the per-phase sums telescope to
+// the root span's duration — which is why the attribution table's
+// shares always add up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace cellport::sim {
+class ScalarContext;
+}
+
+namespace cellport::probe {
+
+/// Request phases — the stations of the analyze() pipeline. One request
+/// visits a subset, possibly repeatedly (streaming windows).
+enum class Phase : std::uint8_t {
+  kDecode,      // PPE-serial SIC decode (+ streaming window prepare)
+  kPrepare,     // message fill / shard-range computation
+  kDispatch,    // Send loops, ring enqueue + doorbell
+  kExtract,     // waiting on feature-extraction kernels/shards
+  kReduce,      // cellshard PPE partial merge
+  kDetect,      // waiting on concept-detection kernels/blocks
+  kOutput,      // result copy-back (collect)
+  kGuardRetry,  // cellguard retry loops inside a Finish()/re-run
+  kFallback,    // PPE recompute after the guard gave up
+  kOther,       // root span / uninstrumented PPE gaps
+};
+
+const char* phase_name(Phase p);
+
+/// Which clock a span lived on. Only PPE-lane spans enter the exclusive
+/// partition; SPE-lane spans are informational children of the wait that
+/// covered them (they name the critical kernel).
+enum class Lane : std::uint8_t { kPpe, kSpe };
+
+struct Span {
+  Phase phase = Phase::kOther;
+  Lane lane = Lane::kPpe;
+  int parent = -1;  // index into RequestTrace::spans(); -1 = root
+  std::string label;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  sim::SimTime dur() const { return end - begin; }
+};
+
+class RequestTrace {
+ public:
+  /// Opens the root span and clears any previous request. Every other
+  /// method is a no-op until start() ran (so call sites can stay
+  /// unconditional behind a null-check on the sink).
+  void start(std::string label, sim::SimTime ts);
+  /// Opens a PPE-lane child of the innermost open span.
+  void open(Phase phase, sim::SimTime ts, std::string label = {});
+  /// Closes the innermost open (non-root) span.
+  void close(sim::SimTime ts);
+  /// Records an already-closed PPE-lane child of the innermost open span
+  /// (guard retry intervals measured around a Finish()).
+  void add_closed(Phase phase, std::string label, sim::SimTime begin,
+                  sim::SimTime end);
+  /// Records an SPE-lane child (kernel/shard work a wait covered).
+  void add_spe_span(Phase phase, std::string label, sim::SimTime begin,
+                    sim::SimTime end);
+  /// Closes everything including the root; the trace is then readable.
+  void finish(sim::SimTime ts);
+
+  bool active() const { return active_; }
+  const std::string& label() const { return label_; }
+  const std::vector<Span>& spans() const { return spans_; }
+  sim::SimTime elapsed_ns() const;
+
+  /// Exclusive PPE-lane time per phase. Sums exactly to elapsed_ns().
+  std::map<Phase, double> exclusive_ns() const;
+
+  /// One stop on the request's critical path: a maximal run of
+  /// exclusive PPE time with one phase. A wait step that covered
+  /// SPE-lane children carries the gating (latest-finishing) kernel in
+  /// `crit_label`.
+  struct CritStep {
+    Phase phase = Phase::kOther;
+    std::string label;
+    double ns = 0;
+    std::string crit_label;  // empty when no SPE child gated this step
+  };
+  /// The ordered critical path of the request (covers elapsed_ns()).
+  std::vector<CritStep> critical_path() const;
+
+ private:
+  void walk_path(int idx, std::vector<CritStep>* out) const;
+
+  std::vector<Span> spans_;
+  std::vector<int> open_;  // stack of open span indices
+  std::string label_;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+/// RAII PPE-lane span reading the given context's simulated clock at
+/// open and close. Inert when `rt` is null (probing disabled).
+class ProbeSpan {
+ public:
+  ProbeSpan(RequestTrace* rt, Phase phase, sim::ScalarContext& clock,
+            std::string label = {});
+  ~ProbeSpan();
+  ProbeSpan(const ProbeSpan&) = delete;
+  ProbeSpan& operator=(const ProbeSpan&) = delete;
+
+ private:
+  RequestTrace* rt_ = nullptr;
+  sim::ScalarContext* clock_ = nullptr;
+};
+
+/// Receives each finished request trace. Implementations must not touch
+/// simulated clocks (Attribution only aggregates host-side).
+class ProbeSink {
+ public:
+  virtual ~ProbeSink() = default;
+  virtual void on_request(const RequestTrace& rt) = 0;
+};
+
+}  // namespace cellport::probe

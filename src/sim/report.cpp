@@ -71,6 +71,8 @@ MachineReport snapshot(Machine& machine) {
         static_cast<std::uint64_t>(m.gauge(p + ".dma.transfers").value());
     s.dma_bytes =
         static_cast<std::uint64_t>(m.gauge(p + ".dma.bytes").value());
+    r.dma_list_elements += static_cast<std::uint64_t>(
+        m.gauge(p + ".dma.list_elements").value());
     s.dma_stall_ns = m.gauge(p + ".dma.stall_ns").value();
     s.ls_peak_bytes =
         static_cast<std::size_t>(m.gauge(p + ".ls.peak_bytes").value());
@@ -110,6 +112,13 @@ std::string format_report(const MachineReport& report) {
          " MB in " + std::to_string(report.eib_transfers) +
          " transfers (" + Table::num(100 * report.eib_utilization, 2) +
          "% of peak)\n";
+  if (report.dma_list_elements == 0) {
+    out += "  DMA lists unused: every transfer was a single-element "
+           "get/put (no mfc_getl/putl batching)\n";
+  } else {
+    out += "  DMA lists: " + std::to_string(report.dma_list_elements) +
+           " list elements across the SPEs\n";
+  }
   if (report.guard.active()) {
     out += "  Guard: " + std::to_string(report.guard.timeouts) +
            " timeouts, " + std::to_string(report.guard.retries) +

@@ -50,6 +50,10 @@ struct MachineReport {
   std::uint64_t eib_transfers = 0;
   /// EIB utilization over the PPE's elapsed time, vs the 204.8 GB/s peak.
   double eib_utilization = 0;
+  /// Sum of spe<i>.dma.list_elements. Zero on a run whose kernels only
+  /// issued single-element transfers — called out explicitly in the
+  /// formatted report so "no DMA lists" reads as a fact, not a gap.
+  std::uint64_t dma_list_elements = 0;
   GuardReport guard;
 };
 

@@ -1,41 +1,90 @@
 #include "trace/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "support/json.h"
-#include "support/stats.h"
 #include "support/table.h"
 
 namespace cellport::trace {
 
+int Histogram::bucket_index(double v) {
+  // Non-positive samples (idle occupancies, zero durations) share one
+  // sentinel bucket below every finite-value bucket.
+  if (v <= 0) return std::numeric_limits<int>::min();
+  int e = 0;
+  double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // m == 1 - epsilon edge
+  return e * kSubBuckets + sub;
+}
+
+double Histogram::bucket_mid(int idx) {
+  if (idx == std::numeric_limits<int>::min()) return 0;
+  // Floor division so negative exponents (sub-1.0 samples) map back.
+  int e = idx >= 0 ? idx / kSubBuckets : -((-idx + kSubBuckets - 1) / kSubBuckets);
+  int sub = idx - e * kSubBuckets;
+  double lo = std::ldexp(0.5 + static_cast<double>(sub) / (2 * kSubBuckets), e);
+  double hi =
+      std::ldexp(0.5 + static_cast<double>(sub + 1) / (2 * kSubBuckets), e);
+  return (lo + hi) / 2;
+}
+
 void Histogram::record(double v) {
-  samples_.push_back(v);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++buckets_[bucket_index(v)];
+  ++count_;
   sum_ += v;
 }
 
-double Histogram::min() const {
-  if (samples_.empty()) return 0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double Histogram::max() const {
-  if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
 double Histogram::mean() const {
-  if (samples_.empty()) return 0;
-  return sum_ / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double Histogram::percentile(double p) const {
-  return cellport::percentile(samples_, p);
+  if (count_ == 0) return 0;
+  if (p <= 0) return min();
+  if (p >= 100) return max();
+  // Order-statistic rank, then walk the (sorted) bucket map.
+  double target = p / 100.0 * static_cast<double>(count_ - 1);
+  auto rank = static_cast<std::uint64_t>(target);
+  std::uint64_t cum = 0;
+  for (const auto& [idx, n] : buckets_) {
+    cum += n;
+    if (cum > rank) return std::clamp(bucket_mid(idx), min(), max());
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+  count_ += other.count_;
+  sum_ += other.sum_;
 }
 
 void Histogram::reset() {
-  samples_.clear();
+  buckets_.clear();
+  count_ = 0;
   sum_ = 0;
+  min_ = 0;
+  max_ = 0;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -48,25 +48,49 @@ class Gauge {
   double value_ = 0;
 };
 
-/// Sample distribution (simulated durations, occupancies). Keeps the raw
-/// samples; quantiles are computed on demand via support/stats.
+/// Sample distribution (simulated durations, occupancies) kept as an
+/// HDR-style log-bucketed histogram: each power-of-two octave is split
+/// into kSubBuckets linear sub-buckets, so storage is O(occupied
+/// buckets) no matter how many samples arrive and per-thread histograms
+/// merge exactly (bucket counts add; merge order never changes the
+/// result). Quantiles come from the bucket midpoints, clamped to the
+/// exact [min, max], giving a relative error of at most
+/// 1/(2*kSubBuckets) ~ 1.6% — plenty for p50/p95/p99 over simulated
+/// durations. count/sum/min/max stay exact.
 class Histogram {
  public:
+  /// Linear sub-buckets per power-of-two octave. 32 bounds the relative
+  /// quantile error at ~1.6% while keeping bucket maps tiny.
+  static constexpr int kSubBuckets = 32;
+
   void record(double v);
 
-  std::size_t count() const { return samples_.size(); }
+  std::size_t count() const { return static_cast<std::size_t>(count_); }
   double sum() const { return sum_; }
-  double min() const;
-  double max() const;
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
   double mean() const;
-  /// p in [0, 100]; linear interpolation between order statistics.
+  /// p in [0, 100]. p<=0 returns the exact min, p>=100 the exact max;
+  /// interior quantiles are bucket midpoints (<=1.6% relative error),
+  /// monotone in p and always within [min, max].
   double percentile(double p) const;
-  const std::vector<double>& samples() const { return samples_; }
+  /// Adds `other`'s samples to this histogram. Exact: merging N
+  /// per-thread histograms equals recording all samples into one.
+  void merge(const Histogram& other);
   void reset();
 
+  /// Occupied (bucket index -> sample count); exposed for tests.
+  const std::map<int, std::uint64_t>& buckets() const { return buckets_; }
+
  private:
-  std::vector<double> samples_;
+  static int bucket_index(double v);
+  static double bucket_mid(int idx);
+
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
   double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 class MetricsRegistry {

@@ -3,6 +3,7 @@
 // across runs regardless of host thread scheduling.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -57,17 +58,126 @@ TEST(Json, WriterEnforcesKeyDiscipline) {
 
 // ---- metrics ----
 
-TEST(Metrics, HistogramPercentiles) {
+// The HDR histogram quotes interior quantiles from log-linear bucket
+// midpoints: with kSubBuckets sub-buckets per octave the relative error
+// is bounded by 1/(2*kSubBuckets). count/sum/min/max (and hence p0/p100)
+// stay exact.
+TEST(Metrics, HistogramPercentileErrorBound) {
+  const double rel = 1.0 / (2.0 * Histogram::kSubBuckets);
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.record(i);
   EXPECT_EQ(h.count(), 100u);
   EXPECT_EQ(h.min(), 1.0);
   EXPECT_EQ(h.max(), 100.0);
   EXPECT_NEAR(h.mean(), 50.5, 1e-9);
-  EXPECT_NEAR(h.percentile(50), 50.5, 1e-6);
-  EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);
-  EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);
-  EXPECT_GT(h.percentile(99), h.percentile(95));
+  EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);    // exact min
+  EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);  // exact max
+  // Interior quantiles of 1..100: the exact rank-r statistic is r+1 at
+  // p = 100*r/99; check the bucketed answer lands within the bound.
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    double exact = 1.0 + p / 100.0 * 99.0;
+    EXPECT_NEAR(h.percentile(p), exact, rel * exact + 1.0)
+        << "p=" << p;
+  }
+  EXPECT_GT(h.percentile(99), h.percentile(90));
+  // Monotone in p.
+  double prev = h.percentile(0);
+  for (int p = 5; p <= 100; p += 5) {
+    EXPECT_GE(h.percentile(p), prev);
+    prev = h.percentile(p);
+  }
+}
+
+TEST(Metrics, HistogramWideRangeStaysWithinBound) {
+  const double rel = 1.0 / (2.0 * Histogram::kSubBuckets);
+  Histogram h;
+  // Nine decades: log-bucketing must hold the bound across octaves.
+  std::vector<double> vals;
+  double v = 1.0;
+  for (int i = 0; i < 9 * 7; ++i) {
+    vals.push_back(v);
+    h.record(v);
+    v *= 1.39;
+  }
+  for (double p : {50.0, 95.0, 99.0}) {
+    // Same order statistic the histogram targets: sample index
+    // floor(p/100 * (n-1)).
+    double rank = p / 100.0 * (static_cast<double>(vals.size()) - 1);
+    double exact = vals[static_cast<std::size_t>(rank)];
+    EXPECT_LE(std::abs(h.percentile(p) - exact) / exact, rel + 1e-9)
+        << "p=" << p;
+  }
+}
+
+TEST(Metrics, HistogramEmptyAndSingleSample) {
+  Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.min(), 0.0);
+  EXPECT_EQ(empty.max(), 0.0);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+
+  Histogram one;
+  one.record(42.5);
+  EXPECT_EQ(one.count(), 1u);
+  // A single sample answers every quantile exactly (clamped to min/max).
+  EXPECT_EQ(one.percentile(0), 42.5);
+  EXPECT_EQ(one.percentile(50), 42.5);
+  EXPECT_EQ(one.percentile(100), 42.5);
+  EXPECT_EQ(one.mean(), 42.5);
+}
+
+TEST(Metrics, HistogramMergeEqualsSingleRecording) {
+  // Merging per-thread histograms must equal recording every sample into
+  // one histogram — bucket counts just add.
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 1; i <= 50; ++i) {
+    a.record(i * 3.7);
+    all.record(i * 3.7);
+  }
+  for (int i = 1; i <= 80; ++i) {
+    b.record(i * 11.1);
+    all.record(i * 11.1);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  ASSERT_EQ(a.buckets().size(), all.buckets().size());
+  for (const auto& [idx, n] : all.buckets()) {
+    auto it = a.buckets().find(idx);
+    ASSERT_NE(it, a.buckets().end());
+    EXPECT_EQ(it->second, n);
+  }
+  for (int p = 0; p <= 100; p += 10) {
+    EXPECT_EQ(a.percentile(p), all.percentile(p)) << "p=" << p;
+  }
+
+  // Merging into (or from) an empty histogram is the identity.
+  Histogram from_empty;
+  from_empty.merge(all);
+  EXPECT_EQ(from_empty.count(), all.count());
+  EXPECT_EQ(from_empty.percentile(95), all.percentile(95));
+  Histogram untouched = all;
+  untouched.merge(Histogram{});
+  EXPECT_EQ(untouched.count(), all.count());
+}
+
+TEST(Metrics, HistogramNonPositiveSamplesLandInSentinel) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(10.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.max(), 10.0);
+  EXPECT_NEAR(h.sum(), 5.0, 1e-12);
+  // Quantiles stay clamped to the exact extremes.
+  EXPECT_EQ(h.percentile(0), -5.0);
+  EXPECT_EQ(h.percentile(100), 10.0);
 }
 
 TEST(Metrics, RegistryJsonRoundTrip) {
