@@ -1,5 +1,5 @@
-// cellshard: per-image latency of intra-kernel data-parallel sharding,
-// with cellprobe attribution riding along.
+// cellshard + cellfeed: per-image latency of intra-kernel data-parallel
+// sharding with SPE-resident ingest, cellprobe attribution riding along.
 //
 // kMultiSPE assigns one SPE per kernel, so each extraction runs at
 // single-SPE speed and the parallel group's latency is the slowest
@@ -8,6 +8,14 @@
 // — the correlogram alone gets 3 SPEs — and reduces the partial results
 // on the PPE. This bench measures what that buys per *image* (latency),
 // complementing bench_throughput's images/second view.
+//
+// Since cellfeed, the corpus travels as P6 PPM carriers and both
+// scenarios ingest through the SPE feed kernels (DMA-list gather of
+// packed pixel rows, triple-buffered LS unpack) instead of the PPE byte
+// loop — the serial-decode Amdahl term PR 5/6 pinned at ~60ms of a
+// 135ms sharded run. A third row re-runs the sharded scenario with the
+// feed knob off (PPE ingest of the exact same carrier bytes) so the
+// artifact records what SPE ingest buys.
 //
 // The dataset mixes image sizes (256x176 .. 480x320 around the paper's
 // 352x240) so the per-image latency distribution has real spread; a
@@ -36,6 +44,12 @@
 //   - the tail follows the median: p95 improves wherever p50 does;
 //   - the PPE-side shard reduction costs < 5% of the latency it saves;
 //   - kernel percentiles are non-degenerate (p95 > p50);
+//   - sharded end-to-end p50 is under 3 ms with SPE-resident ingest;
+//   - the PPE's ppe.io_ns share of the sharded run is < 15% (ingest
+//     really moved off the host);
+//   - dma.list_elements > 0 (the DMA-list path is actually exercised)
+//     and no feed lane fell back to PPE rows;
+//   - SPE ingest beats PPE ingest of the same carrier bytes at p50;
 //   - attribution covers the run: phase shares + uncovered sum to the
 //     machine's elapsed PPE time within 1%;
 //   - probing is free: probed and unprobed elapsed agree within 1%.
@@ -46,6 +60,8 @@
 #include "harness.h"
 #include "probe/attribution.h"
 #include "shard/plan.h"
+#include "sim/mfc.h"
+#include "sim/spe_context.h"
 #include "support/stats.h"
 
 using namespace cellport;
@@ -59,18 +75,23 @@ struct LatencyRun {
   std::vector<double> kernel_ns;  // end-to-end minus Preprocess
   double reduce_ns = 0.0;         // accumulated ShardReduce phase
   double elapsed_ns = 0.0;        // whole-run PPE elapsed time
+  double io_ns = 0.0;             // PPE io time accrued DURING the run
+                                  // (excludes the one-time library load)
   CellRun run;
 };
 
 LatencyRun sample_latency(const marvel::Dataset& data,
                           marvel::Scenario scenario,
-                          probe::Attribution* attribution) {
+                          probe::Attribution* attribution,
+                          bool feed = true) {
   LatencyRun out;
   out.run.machine = std::make_unique<sim::Machine>();
   out.run.engine = std::make_unique<marvel::CellEngine>(
       *out.run.machine, library_path(), scenario);
+  out.run.engine->set_feed(feed);
   if (attribution != nullptr) out.run.engine->set_probe(attribution);
   const sim::SimTime run_t0 = out.run.machine->ppe().now_ns();
+  const sim::SimTime io_t0 = out.run.machine->ppe().io_ns();
   trace::Histogram& e2e =
       out.run.machine->metrics().histogram("latency.end_to_end_ns");
   trace::Histogram& kern =
@@ -92,6 +113,7 @@ LatencyRun sample_latency(const marvel::Dataset& data,
   out.reduce_ns =
       phase_ns(out.run.engine->profiler(), marvel::kPhaseShardReduce);
   out.elapsed_ns = out.run.machine->ppe().now_ns() - run_t0;
+  out.io_ns = out.run.machine->ppe().io_ns() - io_t0;
   if (attribution != nullptr) {
     attribution->set_total_elapsed_ns(out.elapsed_ns);
   }
@@ -132,7 +154,7 @@ int main(int argc, char** argv) {
 
   BenchArtifact artifact("latency");
   const int kImages = 16;
-  marvel::Dataset data = marvel::make_mixed_size_dataset(kImages);
+  marvel::Dataset data = marvel::make_mixed_size_ppm_dataset(kImages);
 
   probe::Attribution multi_attr;
   probe::Attribution sharded_attr;
@@ -144,6 +166,10 @@ int main(int argc, char** argv) {
   // exactly nothing: re-run the sharded scenario unprobed and compare.
   LatencyRun unprobed =
       sample_latency(data, marvel::Scenario::kSharded, nullptr);
+  // The same carrier bytes through the PPE byte loop (feed knob off):
+  // the row the feed shapes are measured against.
+  LatencyRun ppe_ingest = sample_latency(data, marvel::Scenario::kSharded,
+                                         nullptr, /*feed=*/false);
 
   const shard::ShardPlan& plan = sharded.run.engine->shard_plan();
   std::printf("shard plan on %d SPEs: ch=%d cc=%d tx=%d eh=%d detect=%d "
@@ -155,10 +181,11 @@ int main(int argc, char** argv) {
               plan.critical_path(shard::default_costs()));
 
   Table t("Per-image latency, " + std::to_string(kImages) +
-          " mixed-size images 256x176..480x320 (simulated ms)");
+          " mixed-size PPM carriers 256x176..480x320 (simulated ms)");
   t.header({"Scenario", "p50", "p95", "kernel p50", "kernel p95"});
   report(artifact, t, "MultiSPE", multi);
   report(artifact, t, "Sharded", sharded);
+  report(artifact, t, "Sharded-ppe-ingest", ppe_ingest);
   std::printf("%s\n", t.str().c_str());
 
   double p50_ratio = percentile(multi.end_to_end_ns, 50) /
@@ -189,6 +216,30 @@ int main(int argc, char** argv) {
   artifact.add_machine_metrics(sharded.run.machine->metrics(),
                                "sharded.");
 
+  // cellfeed telemetry of the sharded run: how much ingest moved off
+  // the PPE and whether the DMA-list path actually carried it. io_ns is
+  // the time accrued during the analyze loop — with SPE ingest only the
+  // P6 header parses charge it; the one-time model-library load (which
+  // no ingest strategy touches) happened before the clock started.
+  double io_share = sharded.io_ns / sharded.elapsed_ns;
+  double list_elements = 0;
+  for (int i = 0; i < sharded.run.machine->num_spes(); ++i) {
+    list_elements += static_cast<double>(
+        sharded.run.machine->spe(i).mfc().stats().list_elements);
+  }
+  double feed_fallbacks = static_cast<double>(
+      sharded.run.machine->metrics().counter("feed.ppe_fallbacks").value());
+  double feed_p50_gain = percentile(ppe_ingest.end_to_end_ns, 50) /
+                         percentile(sharded.end_to_end_ns, 50);
+  std::printf("cellfeed: ppe.io share %.1f%% of the sharded run, %.0f "
+              "DMA-list elements, SPE vs PPE ingest p50 %.2fx\n\n",
+              100.0 * io_share, list_elements, feed_p50_gain);
+  artifact.set_metric("feed.io_share", io_share);
+  artifact.set_metric("feed.ppe_ingest_io_share",
+                      ppe_ingest.io_ns / ppe_ingest.elapsed_ns);
+  artifact.set_metric("feed.list_elements", list_elements);
+  artifact.set_metric("feed.speedup_vs_ppe_ingest_p50", feed_p50_gain);
+
   // cellprobe: the aggregated Amdahl attribution of both scenarios.
   std::printf("%s\n", sharded_attr.format_text().c_str());
   BenchArtifact attribution("attribution");
@@ -208,7 +259,7 @@ int main(int argc, char** argv) {
                        "by >= 1.4x");
   ok &= artifact.shape(p50_ratio >= 1.1,
                        "sharded end-to-end p50 improves >= 1.1x despite "
-                       "the PPE-serial decode");
+                       "the serial request front end");
   ok &= artifact.shape(p95_ratio >= 1.0 && k95_ratio >= 1.0,
                        "the p95 tail improves wherever the median does");
   ok &= artifact.shape(reduce_per_image < 0.05 * saved_ns,
@@ -218,6 +269,19 @@ int main(int argc, char** argv) {
                            percentile(sharded.kernel_ns, 50),
                        "kernel percentiles are non-degenerate "
                        "(mixed-size dataset: p95 > p50)");
+  ok &= artifact.shape(percentile(sharded.end_to_end_ns, 50) < 3e6,
+                       "sharded end-to-end p50 is under 3 ms with "
+                       "SPE-resident ingest");
+  ok &= artifact.shape(io_share < 0.15,
+                       "ppe.io_ns is < 15% of the sharded run's elapsed "
+                       "time (ingest moved off the host)");
+  ok &= artifact.shape(list_elements > 0 && feed_fallbacks == 0,
+                       "the DMA-list path carried the ingest: "
+                       "dma.list_elements > 0 and no feed lane fell "
+                       "back to PPE rows");
+  ok &= artifact.shape(feed_p50_gain > 1.0,
+                       "SPE ingest beats PPE ingest of the same carrier "
+                       "bytes at p50");
   auto covers = [](const probe::Attribution& a) {
     const double sum = a.covered_ns() + a.uncovered_ns();
     return std::abs(sum - a.total_elapsed_ns()) <=

@@ -27,6 +27,10 @@
 //   - every batch size that admits >= 2 windows beats per-call in the
 //     parallel scenarios (the pipelining effect);
 //   - doorbells collapse by the batch factor (the amortization effect);
+//   - cellfeed: streaming the queue as PPM carriers through the SPE
+//     feed kernels beats PPE ingest of the same bytes, every carrier
+//     rides the DMA-list path (feed.images == queue, zero fallbacks,
+//     dma.list_elements > 0);
 //   - at the protocol level a batch-of-one ring request costs within 1%
 //     of a legacy per-call request (the ring's two staging DMAs are noise
 //     against one saved mailbox word).
@@ -34,6 +38,8 @@
 
 #include "harness.h"
 #include "img/color.h"
+#include "sim/mfc.h"
+#include "sim/spe_context.h"
 #include "img/synth.h"
 #include "kernels/ch_kernel.h"
 #include "kernels/messages.h"
@@ -98,6 +104,7 @@ int main(int argc, char** argv) {
   };
   const int kBatches[] = {1, 4, 16, 64};
 
+  bool ok = true;
   bool pipeline_wins = true;
   double multi_percall_ips = 0, multi_ring16_ips = 0;
   double multi_ring1_doorbells = 0, multi_ring64_doorbells = 0;
@@ -163,6 +170,62 @@ int main(int argc, char** argv) {
     std::printf("%s\n", t.str().c_str());
   }
 
+  // cellfeed through the ring: the same queue as PPM carriers, ingested
+  // by the SPE feed kernels (DMA-list gather + triple-buffered unpack)
+  // vs the PPE byte loop on identical bytes. Streaming magnifies what
+  // ingest placement is worth: the prepare stage of window w+1 overlaps
+  // the SPE extraction of window w either way, but SPE ingest makes the
+  // prepare stage itself nearly free on the PPE.
+  {
+    marvel::Dataset carriers =
+        marvel::make_mixed_size_ppm_dataset(kImages);
+    Table t("MultiSPE ring(16) ingest placement (" +
+            std::to_string(kImages) + " PPM carriers)");
+    t.header({"Ingest", "img/s", "total ms"});
+    double feed_ips = 0, ppe_ips = 0;
+    double feed_images = 0, feed_fallbacks = 0, feed_list_elements = 0;
+    for (bool feed : {false, true}) {
+      sim::Machine machine;
+      marvel::CellEngine engine(machine, library_path(),
+                                marvel::Scenario::kMultiSPE);
+      engine.set_feed(feed);
+      marvel::StreamStats stats;
+      engine.analyze_stream(carriers.images, {16}, &stats);
+      t.row({feed ? "SPE feed" : "PPE decode",
+             Table::num(stats.images_per_sec, 1),
+             Table::num(stats.elapsed_ns / 1e6, 2)});
+      artifact.add_row(
+          std::string("MultiSPE.ring16.") + (feed ? "feed" : "ppe_ingest"),
+          {{"images_per_sec", stats.images_per_sec},
+           {"elapsed_ns", static_cast<double>(stats.elapsed_ns)}});
+      if (feed) {
+        feed_ips = stats.images_per_sec;
+        sim::collect_metrics(machine, machine.metrics());
+        artifact.add_machine_metrics(machine.metrics(), "feed_ring16.");
+        feed_images = static_cast<double>(
+            machine.metrics().counter("feed.images").value());
+        feed_fallbacks = static_cast<double>(
+            machine.metrics().counter("feed.ppe_fallbacks").value());
+        for (int i = 0; i < machine.num_spes(); ++i) {
+          feed_list_elements += static_cast<double>(
+              machine.spe(i).mfc().stats().list_elements);
+        }
+      } else {
+        ppe_ips = stats.images_per_sec;
+      }
+    }
+    std::printf("%s\n", t.str().c_str());
+    artifact.set_metric("feed.list_elements", feed_list_elements);
+    ok &= artifact.shape(feed_ips > ppe_ips,
+                         "SPE-feed streaming beats PPE ingest of the "
+                         "same PPM carriers through the same ring");
+    ok &= artifact.shape(
+        feed_images == static_cast<double>(kImages) &&
+            feed_fallbacks == 0 && feed_list_elements > 0,
+        "every carrier fed through the DMA-list path (feed.images == "
+        "queue, no PPE fallbacks, dma.list_elements > 0)");
+  }
+
   double legacy_ns = protocol_ns(false, 8);
   double ring1_ns = protocol_ns(true, 8);
   std::printf("protocol cost, 8 CH calls at 352x240: per-call %.0f ns, "
@@ -171,7 +234,6 @@ int main(int argc, char** argv) {
   artifact.set_metric("protocol.percall_ns", legacy_ns);
   artifact.set_metric("protocol.ring1_ns", ring1_ns);
 
-  bool ok = true;
   ok &= artifact.shape(
       multi_ring16_ips > multi_percall_ips,
       "MultiSPE ring dispatch at batch 16 beats per-call analyze()");

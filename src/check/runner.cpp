@@ -59,7 +59,12 @@ Inputs make_inputs(const ScenarioSpec& spec, bool through_codec) {
     img::RgbImage img = img::synth_image(static_cast<img::SceneKind>(s.kind),
                                          s.seed, s.width, s.height);
     if (through_codec) {
-      in.encoded.push_back(img::sic_encode(img, s.quality));
+      // The feed rider swaps the lossy SIC streams for lossless P6 PPM
+      // carriers: the engine's SPE ingest and the oracle's PPE decode
+      // then consume the exact same bytes, so the comparison stays
+      // bit-for-bit.
+      in.encoded.push_back(spec.feed ? img::ppm_encode(img)
+                                     : img::sic_encode(img, s.quality));
     } else {
       in.pixels.push_back(std::move(img));
     }
@@ -285,6 +290,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
       machine, cfg.library_path, scen,
       static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive,
       policy);
+  engine.set_feed(spec.feed);
   // The scheduled fault arms after engine construction so it fires
   // during analysis, not during the module-open handshakes.
   bool injected = false;
@@ -439,6 +445,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
           m2, cfg.library_path, scen,
           static_cast<kernels::BufferingDepth>(spec.buffering),
           spec.use_naive);
+      plain.set_feed(spec.feed);
       std::vector<marvel::AnalysisResult> cell2;
       double u0 = m2.ppe().now_ns();
       if (spec.stream_batch > 0) {
@@ -480,6 +487,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
                            static_cast<kernels::BufferingDepth>(
                                spec.buffering),
                            spec.use_naive);
+      e.set_feed(spec.feed);
       double probe_t0 = m.ppe().now_ns();
       e.analyze(in.encoded[0]);
       return m.ppe().now_ns() - probe_t0;

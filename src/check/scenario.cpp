@@ -231,6 +231,16 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
       rng.next_below(100) < 30) {
     spec.sharded = true;
   }
+
+  // cellfeed rider (also appended last): ~30% of engine scenarios carry
+  // the corpus as PPM streams ingested by the SPE feed kernels instead
+  // of the PPE byte loop. Feed rows ride the interfaces the scenario
+  // already scheduled (no extra SPEs), so it composes with every other
+  // rider — guard faults, streaming, sharding, the spare-SPE fault
+  // probe — and the differential oracle is unchanged.
+  if (engine_mode && rng.next_below(100) < 30) {
+    spec.feed = true;
+  }
   return spec;
 }
 
@@ -276,6 +286,13 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
   if (rng.next_below(100) < 30) {
     spec.sharded = true;
   }
+  // Feed fault matrix (appended last): scheduled faults land on lanes
+  // that also carry ingest rows, and the run must still match the
+  // oracle bit-for-bit — retried rows via the guard, exhausted lanes as
+  // "feed:ingest" PPE fallbacks.
+  if (rng.next_below(100) < 30) {
+    spec.feed = true;
+  }
   return spec;
 }
 
@@ -298,6 +315,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("replay_twice").value(spec.replay_twice);
   w.key("scaling_probe").value(spec.scaling_probe);
   w.key("sharded").value(spec.sharded);
+  w.key("feed").value(spec.feed);
   w.key("guarded").value(spec.guarded);
   w.key("sched_fault").value(spec.sched_fault);
   w.key("sched_spe").value(spec.sched_spe);
@@ -399,6 +417,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.scaling_probe = require_bool(doc, "scaling_probe");
   spec.stream_batch = optional_number(doc, "stream_batch", 0);
   spec.sharded = optional_bool(doc, "sharded", false);
+  spec.feed = optional_bool(doc, "feed", false);
   spec.guarded = optional_bool(doc, "guarded", false);
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);

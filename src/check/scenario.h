@@ -91,6 +91,15 @@ struct ScenarioSpec {
   /// faults, where a faulted shard retries or falls back alone and the
   /// reduction still reproduces the unsharded output.
   bool sharded = false;
+  /// Engine modes: carry the corpus as P6 PPM streams (img::ppm_encode)
+  /// and ingest them through the cellfeed SPE kernels — DMA-list gather
+  /// of packed pixel rows, triple-buffered LS unpack, DMA-list scatter —
+  /// instead of the PPE byte loop. The feed property: results stay
+  /// bit-exact with the reference oracle (which decodes the same carrier
+  /// bytes on the PPE), including under scheduled faults, where a failed
+  /// feed lane retries behind the guard or degrades to a PPE row-range
+  /// fallback reported as "feed:ingest".
+  bool feed = false;
   /// Re-run the whole scenario and require byte-identical results and
   /// traces (static modes only; TaskPool timing is host-order dependent).
   bool replay_twice = false;

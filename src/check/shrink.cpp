@@ -67,6 +67,14 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.sharded = false;
     push(next);
   }
+  if (spec.feed) {
+    // Collapsing SPE ingest back to the PPE byte loop (the corpus
+    // reverts to SIC streams with it) localizes a failure to the
+    // cellfeed DMA-list path.
+    ScenarioSpec next = spec;
+    next.feed = false;
+    push(next);
+  }
   if (spec.fault_kind >= 0) {
     ScenarioSpec next = spec;
     next.fault_kind = -1;

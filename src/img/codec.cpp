@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "img/huffman.h"
+#include "img/ppm.h"
 #include "support/error.h"
 
 namespace cellport::img {
@@ -223,7 +224,52 @@ SicEncoded sic_encode(const RgbImage& src, int quality) {
   return enc;
 }
 
+SicEncoded ppm_encode(const RgbImage& src) {
+  SicEncoded enc;
+  enc.width = src.width();
+  enc.height = src.height();
+  // cellfeed's DMA-list gather anchors each row's window on the enclosing
+  // 16-byte boundary, so the carrier keeps >= 15 readable bytes on both
+  // sides of the pixel payload: the comment line pads the header (and
+  // exercises the strict parser's comment handling on every decode path),
+  // and 15 zero tail bytes pad the end (trailing bytes after the payload
+  // are legal PPM).
+  const std::string hdr = "P6\n# raw feed carrier\n" +
+                          std::to_string(src.width()) + " " +
+                          std::to_string(src.height()) + "\n255\n";
+  const std::size_t row_bytes = static_cast<std::size_t>(src.width()) * 3;
+  enc.bytes.reserve(hdr.size() +
+                    row_bytes * static_cast<std::size_t>(src.height()) + 15);
+  enc.bytes.insert(enc.bytes.end(), hdr.begin(), hdr.end());
+  for (int y = 0; y < src.height(); ++y) {
+    const std::uint8_t* row = src.row(y);
+    enc.bytes.insert(enc.bytes.end(), row, row + row_bytes);
+  }
+  enc.bytes.insert(enc.bytes.end(), 15, std::uint8_t{0});
+  return enc;
+}
+
+bool is_ppm(const SicEncoded& enc) {
+  return enc.bytes.size() >= 2 && enc.bytes[0] == 'P' &&
+         enc.bytes[1] == '6';
+}
+
 RgbImage sic_decode(const SicEncoded& enc, sim::ScalarContext* ctx) {
+  if (is_ppm(enc)) {
+    // PPM carrier: the strict shared parser (identical to the SPE feed
+    // path's header handling), then a per-row unpack whose touch cost is
+    // charged per 16-byte chunk — this is the PPE-resident ingest that
+    // cellfeed exists to displace.
+    RgbImage img = decode_p6(enc.bytes.data(), enc.bytes.size());
+    std::uint64_t chunks =
+        (static_cast<std::uint64_t>(img.width()) * 3 * img.height() + 15) /
+        16;
+    chg(ctx, sim::OpClass::kLoad, chunks);
+    chg(ctx, sim::OpClass::kStore, chunks);
+    chg(ctx, sim::OpClass::kIntAlu,
+        static_cast<std::uint64_t>(img.height()) * 2);
+    return img;
+  }
   std::size_t hdr = 0;
   if (enc.bytes.size() < 4 || enc.bytes[0] != 'S' ||
       enc.bytes[1] != 'I' || enc.bytes[2] != 'C' || enc.bytes[3] != '2') {

@@ -27,9 +27,22 @@ struct SicEncoded {
 /// Encodes an RGB image. `quality` in [1, 100]; higher keeps more detail.
 SicEncoded sic_encode(const RgbImage& src, int quality = 85);
 
+/// Wraps an image as an uncompressed binary P6 PPM stream in the same
+/// carrier. This is cellfeed's ingest format: raw packed rows the SPEs
+/// gather straight out of main memory with DMA lists. sic_decode accepts
+/// both layouts (dispatch on magic), so every PPE path — including the
+/// differential oracle — decodes PPM carriers without special cases.
+SicEncoded ppm_encode(const RgbImage& src);
+
+/// True when the carrier holds a binary P6 PPM stream (by magic) rather
+/// than a SIC2 stream.
+bool is_ppm(const SicEncoded& enc);
+
 /// Decodes a SIC stream. Throws IoError on malformed input. Charges the
 /// decode op mix (entropy decode + dequant + IDCT per block) when
 /// ctx != null — this is MARVEL's "image reading and decompressing" cost.
+/// P6 PPM carriers (see ppm_encode) decode through the strict shared
+/// parser with a per-row copy cost instead.
 RgbImage sic_decode(const SicEncoded& enc,
                     sim::ScalarContext* ctx = nullptr);
 

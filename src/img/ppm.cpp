@@ -1,7 +1,8 @@
 #include "img/ppm.h"
 
+#include <cctype>
+#include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "support/error.h"
 
@@ -9,75 +10,152 @@ namespace cellport::img {
 
 namespace {
 
-// Reads one whitespace/comment-delimited token from a PNM header.
-std::string next_token(std::istream& in) {
+// Reads one whitespace/comment-delimited token from an in-memory PNM
+// header. A '#' starts a comment running to end-of-line and terminates
+// the current token — digits on either side of a comment are separate
+// tokens, never merged.
+std::string next_token(const std::uint8_t* bytes, std::size_t size,
+                       std::size_t& pos) {
   std::string tok;
-  for (;;) {
-    int c = in.get();
-    if (c == EOF) throw cellport::IoError("truncated PNM header");
+  while (pos < size) {
+    int c = bytes[pos++];
     if (c == '#') {
-      while (c != '\n' && c != EOF) c = in.get();
+      while (pos < size && bytes[pos] != '\n') ++pos;
+      if (pos < size) ++pos;  // consume the newline
+      if (!tok.empty()) return tok;
       continue;
     }
-    if (std::isspace(c)) {
+    if (std::isspace(c) != 0) {
       if (!tok.empty()) return tok;
       continue;
     }
     tok.push_back(static_cast<char>(c));
   }
+  if (!tok.empty()) return tok;
+  throw cellport::IoError("truncated PNM header");
 }
 
-void read_header(std::istream& in, const char* magic, int& w, int& h) {
-  std::string m = next_token(in);
+// Strict decimal parse for header fields: digit runs only (no sign, no
+// locale, <= 7 digits). Malformed numbers are an IoError — the header
+// contract — never a std::invalid_argument escaping from std::stoi.
+int parse_number(const std::string& tok, const char* what) {
+  if (tok.empty() || tok.size() > 7) {
+    throw cellport::IoError(std::string("bad PNM ") + what + " '" + tok +
+                            "'");
+  }
+  int v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      throw cellport::IoError(std::string("bad PNM ") + what + " '" + tok +
+                              "'");
+    }
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+// Shared strict header parse for P6/P5 in-memory streams. Returns the
+// offset of the first pixel byte (one whitespace after maxval consumed).
+PpmHeader parse_pnm_header(const std::uint8_t* bytes, std::size_t size,
+                           const char* magic) {
+  std::size_t pos = 0;
+  std::string m = next_token(bytes, size, pos);
   if (m != magic) {
     throw cellport::IoError("bad magic '" + m + "', expected " + magic);
   }
-  w = std::stoi(next_token(in));
-  h = std::stoi(next_token(in));
-  int maxval = std::stoi(next_token(in));
-  if (w <= 0 || h <= 0) throw cellport::IoError("bad PNM dimensions");
+  PpmHeader hdr;
+  hdr.width = parse_number(next_token(bytes, size, pos), "width");
+  hdr.height = parse_number(next_token(bytes, size, pos), "height");
+  int maxval = parse_number(next_token(bytes, size, pos), "maxval");
+  if (hdr.width <= 0 || hdr.height <= 0) {
+    throw cellport::IoError("bad PNM dimensions");
+  }
   if (maxval != 255) throw cellport::IoError("only maxval 255 supported");
+  hdr.pixel_offset = pos;
+  return hdr;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw cellport::IoError("cannot open " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return bytes;
 }
 
 }  // namespace
 
-RgbImage read_ppm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw cellport::IoError("cannot open " + path);
-  int w = 0;
-  int h = 0;
-  read_header(in, "P6", w, h);
-  RgbImage img(w, h);
-  for (int y = 0; y < h; ++y) {
-    in.read(reinterpret_cast<char*>(img.row(y)),
-            static_cast<std::streamsize>(w) * 3);
-    if (!in) throw cellport::IoError("truncated pixel data in " + path);
+PpmHeader parse_p6_header(const std::uint8_t* bytes, std::size_t size) {
+  return parse_pnm_header(bytes, size, "P6");
+}
+
+RgbImage decode_p6(const std::uint8_t* bytes, std::size_t size) {
+  PpmHeader hdr = parse_p6_header(bytes, size);
+  std::size_t row_bytes = static_cast<std::size_t>(hdr.width) * 3;
+  if (hdr.pixel_offset + row_bytes * static_cast<std::size_t>(hdr.height) >
+      size) {
+    throw cellport::IoError("truncated P6 pixel data");
+  }
+  RgbImage img(hdr.width, hdr.height);
+  const std::uint8_t* src = bytes + hdr.pixel_offset;
+  for (int y = 0; y < hdr.height; ++y) {
+    std::memcpy(img.row(y), src + static_cast<std::size_t>(y) * row_bytes,
+                row_bytes);
   }
   return img;
+}
+
+std::vector<std::uint8_t> encode_p6(const RgbImage& image) {
+  std::string hdr = "P6\n" + std::to_string(image.width()) + " " +
+                    std::to_string(image.height()) + "\n255\n";
+  std::size_t row_bytes = static_cast<std::size_t>(image.width()) * 3;
+  std::vector<std::uint8_t> out;
+  out.reserve(hdr.size() +
+              row_bytes * static_cast<std::size_t>(image.height()));
+  out.insert(out.end(), hdr.begin(), hdr.end());
+  for (int y = 0; y < image.height(); ++y) {
+    const std::uint8_t* row = image.row(y);
+    out.insert(out.end(), row, row + row_bytes);
+  }
+  return out;
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::vector<std::uint8_t> bytes = read_file(path);
+  try {
+    return decode_p6(bytes.data(), bytes.size());
+  } catch (const cellport::IoError& e) {
+    throw cellport::IoError(std::string(e.what()) + " in " + path);
+  }
 }
 
 void write_ppm(const RgbImage& image, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw cellport::IoError("cannot create " + path);
-  out << "P6\n" << image.width() << " " << image.height() << "\n255\n";
-  for (int y = 0; y < image.height(); ++y) {
-    out.write(reinterpret_cast<const char*>(image.row(y)),
-              static_cast<std::streamsize>(image.width()) * 3);
-  }
+  std::vector<std::uint8_t> bytes = encode_p6(image);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
   if (!out) throw cellport::IoError("write failed for " + path);
 }
 
 GrayImage read_pgm(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw cellport::IoError("cannot open " + path);
-  int w = 0;
-  int h = 0;
-  read_header(in, "P5", w, h);
-  GrayImage img(w, h);
-  for (int y = 0; y < h; ++y) {
-    in.read(reinterpret_cast<char*>(img.row(y)),
-            static_cast<std::streamsize>(w));
-    if (!in) throw cellport::IoError("truncated pixel data in " + path);
+  std::vector<std::uint8_t> bytes = read_file(path);
+  PpmHeader hdr;
+  try {
+    hdr = parse_pnm_header(bytes.data(), bytes.size(), "P5");
+  } catch (const cellport::IoError& e) {
+    throw cellport::IoError(std::string(e.what()) + " in " + path);
+  }
+  std::size_t row_bytes = static_cast<std::size_t>(hdr.width);
+  if (hdr.pixel_offset + row_bytes * static_cast<std::size_t>(hdr.height) >
+      bytes.size()) {
+    throw cellport::IoError("truncated pixel data in " + path);
+  }
+  GrayImage img(hdr.width, hdr.height);
+  const std::uint8_t* src = bytes.data() + hdr.pixel_offset;
+  for (int y = 0; y < hdr.height; ++y) {
+    std::memcpy(img.row(y), src + static_cast<std::size_t>(y) * row_bytes,
+                row_bytes);
   }
   return img;
 }

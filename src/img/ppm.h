@@ -1,11 +1,47 @@
 // Binary PPM (P6) / PGM (P5) image I/O.
+//
+// Besides the file-based readers, this header exposes the in-memory P6
+// codec used by cellfeed: the PPE header parse and the SPE ingest kernel
+// must accept/reject exactly the same byte streams, so there is ONE
+// strict parser (parse_p6_header) shared by both paths. Strictness
+// contract (regression-tested in tests/test_img.cpp):
+//   - '#' starts a comment running to end-of-line and TERMINATES the
+//     current header token ("12#c\n34" is the two tokens 12 and 34, not
+//     1234);
+//   - header numbers must be plain decimal digit runs (<= 7 digits); a
+//     non-numeric token raises IoError, never std::invalid_argument;
+//   - maxval other than 255 is rejected with IoError on every path.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "img/image.h"
 
 namespace cellport::img {
+
+/// Parsed P6 header: image geometry plus the byte offset of the first
+/// pixel (the single whitespace byte after the maxval token has been
+/// consumed).
+struct PpmHeader {
+  int width = 0;
+  int height = 0;
+  std::size_t pixel_offset = 0;
+};
+
+/// Strictly parses a binary P6 header from an in-memory stream. Throws
+/// IoError on bad magic, malformed numbers, maxval != 255, or truncation.
+PpmHeader parse_p6_header(const std::uint8_t* bytes, std::size_t size);
+
+/// Decodes an in-memory binary P6 stream (header + packed w*3-byte rows)
+/// into an RgbImage. Throws IoError on malformed input.
+RgbImage decode_p6(const std::uint8_t* bytes, std::size_t size);
+
+/// Encodes an RgbImage as an in-memory binary P6 stream (canonical
+/// header: "P6\n<w> <h>\n255\n").
+std::vector<std::uint8_t> encode_p6(const RgbImage& image);
 
 /// Reads a binary P6 PPM file. Throws IoError on malformed input.
 RgbImage read_ppm(const std::string& path);

@@ -8,6 +8,7 @@
 #include "img/color.h"
 #include "img/slice.h"
 #include "kernels/common.h"
+#include "kernels/feed_kernel.h"
 #include "kernels/hsv_simd.h"
 #include "kernels/messages.h"
 #include "spu/spu.h"
@@ -395,6 +396,7 @@ port::KernelModule& cc_module() {
   static bool registered =
       (module.add_function(SPU_Run, &cc_run)
            .add_function(SPU_Run_Naive, &cc_run_naive),
+       register_feed(module),
        true);
   (void)registered;
   return module;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "kernels/common.h"
+#include "kernels/feed_kernel.h"
 #include "kernels/messages.h"
 #include "learn/svm.h"
 #include "spu/spu.h"
@@ -256,6 +257,7 @@ port::KernelModule& cd_module() {
   static port::KernelModule module("ConceptDet", 20 * 1024);
   static bool registered = (module.add_function(SPU_Run, &cd_run)
                                 .add_function(kKnnOpcode, &knn_run),
+                            register_feed(module),
                             true);
   (void)registered;
   return module;

@@ -4,6 +4,7 @@
 
 #include "img/color.h"
 #include "kernels/common.h"
+#include "kernels/feed_kernel.h"
 #include "kernels/hsv_simd.h"
 #include "kernels/messages.h"
 #include "spu/spu.h"
@@ -269,7 +270,7 @@ port::KernelModule& ch_module() {
       (module.add_function(SPU_Run, &ch_run)
            .add_function(SPU_Run_Naive, &ch_run_naive)
            .add_function(SPU_Run_Lut, &ch_run_lut),
-       true);
+       register_feed(module), true);
   (void)registered;
   return module;
 }

@@ -7,6 +7,7 @@
 #include "features/edge_histogram.h"
 #include "img/slice.h"
 #include "kernels/common.h"
+#include "kernels/feed_kernel.h"
 #include "kernels/messages.h"
 #include "spu/spu.h"
 #include "support/aligned.h"
@@ -493,6 +494,7 @@ port::KernelModule& eh_module() {
   static bool registered =
       (module.add_function(SPU_Run, &eh_run)
            .add_function(SPU_Run_Naive, &eh_run_naive),
+       register_feed(module),
        true);
   (void)registered;
   return module;

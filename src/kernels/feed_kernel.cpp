@@ -1,0 +1,216 @@
+#include "kernels/feed_kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "kernels/common.h"
+#include "kernels/messages.h"
+#include "spu/spu.h"
+#include "support/aligned.h"
+#include "support/error.h"
+
+namespace cellport::kernels {
+
+namespace {
+
+using namespace cellport::sim;
+using namespace cellport::spu;
+
+std::vector<FeedTileTrace>* g_feed_sink = nullptr;
+
+inline double feed_now() {
+  SpeContext* ctx = current_spe();
+  return ctx != nullptr ? ctx->now_ns() : 0.0;
+}
+
+/// Per-slot DMA tags: gets on 1..3, puts on 4..6 (tag 0 is the message
+/// fetch). Distinct groups let one wait cover "gather of this tile done
+/// AND the scatter that last used this slot's out-buffer drained".
+inline unsigned get_tag(int slot) { return static_cast<unsigned>(1 + slot); }
+inline unsigned put_tag(int slot) { return static_cast<unsigned>(4 + slot); }
+
+struct FeedPlan {
+  int depth = 0;      // buffers actually allocated (may degrade 3->2->1)
+  int tile_rows = 0;  // rows per DMA-list tile after the LS clamp
+};
+
+/// Clamps the requested tile shape to the local-store budget, degrading
+/// the buffering depth before giving up: a narrow LS still streams
+/// single-buffered rather than falling back to the PPE.
+FeedPlan plan_tiles(int want_depth, int want_rows, int total_rows,
+                    std::size_t in_row_cap, std::size_t out_stride) {
+  const std::size_t budget = spu_ls_free();
+  // Each tile row costs one gathered window, one unpacked row, and two
+  // list elements, times the buffering depth; 64 bytes of alignment
+  // slack are reserved per slot.
+  const std::size_t per_row =
+      in_row_cap + out_stride + 2 * sizeof(MfcListElement);
+  for (int depth = want_depth; depth >= 1; --depth) {
+    const std::size_t overhead = static_cast<std::size_t>(depth) * 64;
+    if (budget <= overhead) continue;
+    const std::size_t max_rows =
+        (budget - overhead) / (static_cast<std::size_t>(depth) * per_row);
+    if (max_rows < 1) continue;
+    FeedPlan plan;
+    plan.depth = depth;
+    plan.tile_rows = static_cast<int>(
+        std::min<std::size_t>({static_cast<std::size_t>(want_rows),
+                               max_rows,
+                               static_cast<std::size_t>(total_rows)}));
+    return plan;
+  }
+  throw cellport::ConfigError(
+      "feed: local store cannot hold even one single-buffered row");
+}
+
+int feed_run(std::uint64_t ea) {
+  auto* msg = static_cast<FeedMsg*>(spu_ls_alloc(sizeof(FeedMsg)));
+  fetch_msg(msg, ea);
+
+  const int w = msg->width;
+  const int r0 = msg->row_begin;
+  const int r1 = msg->row_end > 0 ? msg->row_end : msg->height;
+  const auto row_bytes = static_cast<std::uint32_t>(w) * 3;
+  const auto stride = static_cast<std::uint32_t>(msg->dst_stride);
+  if (w <= 0 || r1 <= r0 || r1 > msg->height || stride % 16 != 0 ||
+      stride < row_bytes) {
+    throw cellport::ConfigError("feed: malformed FeedMsg geometry");
+  }
+  // Worst-case gathered window per source row: the packed row plus up to
+  // 15 leading bytes to the enclosing quadword boundary.
+  const std::uint32_t in_row_cap =
+      static_cast<std::uint32_t>(cellport::round_up(row_bytes + 15, 16));
+  if (in_row_cap > Mfc::kMaxTransfer || stride > Mfc::kMaxTransfer) {
+    // One row no longer fits one list element; the engine answers this
+    // with its PPE-decode fallback.
+    throw cellport::ConfigError("feed: row exceeds the 16KiB MFC maximum");
+  }
+
+  const int total_rows = r1 - r0;
+  FeedPlan plan = plan_tiles(
+      std::clamp<int>(msg->buffering, 1, 3),
+      msg->rows_per_tile > 0 ? msg->rows_per_tile : 16, total_rows,
+      in_row_cap, stride);
+  const int depth = plan.depth;
+  const int tile_rows = plan.tile_rows;
+  const int ntiles = (total_rows + tile_rows - 1) / tile_rows;
+
+  std::uint8_t* in_buf[3] = {};
+  std::uint8_t* out_buf[3] = {};
+  MfcListElement* in_el[3] = {};
+  MfcListElement* out_el[3] = {};
+  for (int d = 0; d < depth; ++d) {
+    in_buf[d] = static_cast<std::uint8_t*>(
+        spu_ls_alloc(static_cast<std::size_t>(tile_rows) * in_row_cap));
+    out_buf[d] = static_cast<std::uint8_t*>(
+        spu_ls_alloc(static_cast<std::size_t>(tile_rows) * stride));
+    in_el[d] = spu_ls_alloc_array<MfcListElement>(
+        static_cast<std::size_t>(tile_rows));
+    out_el[d] = spu_ls_alloc_array<MfcListElement>(
+        static_cast<std::size_t>(tile_rows));
+  }
+
+  auto tile_range = [&](int tile, int& first, int& rows) {
+    first = r0 + tile * tile_rows;
+    rows = std::min(tile_rows, r1 - first);
+  };
+
+  // Issues the gather list for one tile: one element per packed source
+  // row, widened to its enclosing aligned window.
+  auto issue_get = [&](int slot, int tile) {
+    int first = 0;
+    int rows = 0;
+    tile_range(tile, first, rows);
+    if (g_feed_sink != nullptr) {
+      g_feed_sink->push_back(FeedTileTrace{tile, feed_now(), 0, 0, 0});
+    }
+    for (int i = 0; i < rows; ++i) {
+      std::uint64_t rea =
+          msg->src_ea + static_cast<std::uint64_t>(first + i) * row_bytes;
+      std::uint64_t base = rea & ~std::uint64_t{15};
+      in_el[slot][i].ea = base;
+      in_el[slot][i].size = static_cast<std::uint32_t>(cellport::round_up(
+          static_cast<std::size_t>(rea - base) + row_bytes, 16));
+      sop(4);  // element build: address split + size round-up
+      spu_loop(1);
+    }
+    mfc_getl(in_buf[slot], std::span(in_el[slot], rows), get_tag(slot));
+  };
+
+  // Unpacks one gathered tile to the aligned stride and issues its
+  // scatter list (whole destination rows — legal transfers by the
+  // RgbImage layout contract: rows are 16-byte aligned, stride a 16-byte
+  // multiple).
+  auto unpack_and_put = [&](int slot, int tile) {
+    int first = 0;
+    int rows = 0;
+    tile_range(tile, first, rows);
+    const std::uint8_t* src = in_buf[slot];
+    const std::uint64_t quads = (row_bytes + 15) / 16;
+    for (int i = 0; i < rows; ++i) {
+      std::uint64_t rea =
+          msg->src_ea + static_cast<std::uint64_t>(first + i) * row_bytes;
+      auto off = static_cast<std::size_t>(rea & 15);
+      std::uint8_t* dst = out_buf[slot] + static_cast<std::size_t>(i) * stride;
+      std::memcpy(dst, src + off, row_bytes);
+      std::memset(dst + row_bytes, 0, stride - row_bytes);
+      src += cellport::round_up(off + row_bytes, 16);
+      // The shift-unpack is quadword traffic: load + store per quad on
+      // the odd pipe, one shuffle per quad on the even pipe.
+      charge_odd(static_cast<double>(2 * quads));
+      sop(static_cast<double>(quads));
+      spu_loop(1);
+      out_el[slot][i].ea =
+          msg->dst_ea + static_cast<std::uint64_t>(first + i) * stride;
+      out_el[slot][i].size = stride;
+    }
+    mfc_putl(out_buf[slot], std::span(out_el[slot], rows), put_tag(slot));
+  };
+
+  // Prime: gather the first `depth` tiles back to back.
+  for (int d = 0; d < depth && d < ntiles; ++d) issue_get(d, d);
+
+  for (int t = 0; t < ntiles; ++t) {
+    const int slot = t % depth;
+    // One wait covers this tile's gather AND the scatter that last used
+    // this slot's out-buffer (tile t-depth) — the put must drain before
+    // the unpack overwrites its source bytes.
+    std::uint32_t mask = 1u << get_tag(slot);
+    if (t >= depth) mask |= 1u << put_tag(slot);
+    mfc_write_tag_mask(mask);
+    mfc_read_tag_status_all();
+    FeedTileTrace* trace = nullptr;
+    if (g_feed_sink != nullptr) {
+      for (auto& rec : *g_feed_sink) {
+        if (rec.tile == t) trace = &rec;
+      }
+    }
+    if (trace != nullptr) trace->unpack_begin_ns = feed_now();
+    unpack_and_put(slot, t);
+    if (trace != nullptr) {
+      trace->unpack_end_ns = trace->put_issue_ns = feed_now();
+    }
+    // Re-arm the slot with the gather of tile t+depth: it overlaps the
+    // unpack of t+1 and the scatter of t still in flight.
+    if (t + depth < ntiles) issue_get(slot, t + depth);
+  }
+
+  // Drain the outstanding scatters before reporting completion.
+  std::uint32_t mask = 0;
+  for (int d = 0; d < depth && d < ntiles; ++d) mask |= 1u << put_tag(d);
+  mfc_write_tag_mask(mask);
+  mfc_read_tag_status_all();
+  return 0;
+}
+
+}  // namespace
+
+void register_feed(port::KernelModule& module) {
+  module.add_function(SPU_Run_Feed, &feed_run);
+}
+
+void set_feed_trace_sink(std::vector<FeedTileTrace>* sink) {
+  g_feed_sink = sink;
+}
+
+}  // namespace cellport::kernels

@@ -1,0 +1,35 @@
+// cellfeed on the SPE: DMA-list ingest of packed P6 pixel rows.
+//
+// The feed kernel is the data-touching half of PPM decode moved off the
+// PPE (the paper's core porting strategy applied to ingest): a DMA list
+// gathers the byte-packed source rows, the SPU shifts/unpacks them to the
+// destination image's 16-byte row stride, and a second DMA list scatters
+// whole finished rows — multi-buffered so the gather of tile w+2, the
+// unpack of tile w+1, and the scatter of tile w overlap in time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+/// Registers the feed ingest entry point under SPU_Run_Feed, so ingest
+/// row ranges ride whichever extract SPEs the scenario already scheduled.
+void register_feed(port::KernelModule& module);
+
+/// Test-only pipeline telemetry: per-tile simulated-time stamps proving
+/// that get(w+2) / unpack(w+1) / put(w) really overlap. The sink must
+/// outlive the kernel calls; pass nullptr to disable. Not synchronized —
+/// single-threaded test use only.
+struct FeedTileTrace {
+  int tile = 0;
+  double get_issue_ns = 0;     // gather list issued
+  double unpack_begin_ns = 0;  // gather complete, unpack starts
+  double unpack_end_ns = 0;
+  double put_issue_ns = 0;     // scatter list issued (not yet waited)
+};
+void set_feed_trace_sink(std::vector<FeedTileTrace>* sink);
+
+}  // namespace cellport::kernels

@@ -22,6 +22,12 @@ inline constexpr std::uint32_t SPU_Run_Naive = 2;  // pre-optimization port
 /// LS replaces the per-pixel HSV arithmetic entirely, at the cost of
 /// quantization fidelity. bench_ablation measures both sides.
 inline constexpr std::uint32_t SPU_Run_Lut = 3;
+/// cellfeed ingest (registered in every extract module so feed rows ride
+/// whatever SPEs the scenario already scheduled): DMA-list gather of
+/// packed P6 pixel rows, LS unpack to the aligned row stride, DMA-list
+/// scatter of finished rows — triple-buffered per tile. (Opcode 4 is
+/// taken by ConceptDet's kNN entry point.)
+inline constexpr std::uint32_t SPU_Run_Feed = 5;
 
 /// DMA buffering depth for the optimized kernels (ablation knob; the
 /// paper quotes "double and triple buffering of DMA transfers").
@@ -51,6 +57,30 @@ struct alignas(16) ImageMsg {
   /// reduces partials and applies the shared normalization.
   std::int32_t row_begin = 0;
   std::int32_t row_end = 0;
+};
+
+/// cellfeed ingest message (SPU_Run_Feed): the kernel gathers the packed
+/// w*3-byte pixel rows of a binary P6 stream straight out of main memory
+/// with one DMA-list element per row (source rows are byte-packed, so
+/// each element covers the enclosing 16-byte-aligned window and the
+/// kernel shifts by the in-quadword offset), unpacks them to the
+/// destination image's 16-byte row stride in the LS, and scatters whole
+/// finished rows back with a second DMA list. Tiles of rows are
+/// multi-buffered: get tile w+2 / unpack tile w+1 / put tile w.
+struct alignas(16) FeedMsg {
+  std::uint64_t src_ea = 0;     // first pixel byte of the P6 stream
+  std::uint64_t dst_ea = 0;     // row 0 of the destination RgbImage
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::int32_t dst_stride = 0;  // bytes between dest rows (16B multiple)
+  std::int32_t buffering = kTripleBuffer;
+  /// Row range [row_begin, row_end) this invocation ingests (cellshard
+  /// splits an image's rows across the scenario's SPEs).
+  std::int32_t row_begin = 0;
+  std::int32_t row_end = 0;
+  /// Rows per DMA-list tile; 0 picks the kernel default (LS-clamped).
+  std::int32_t rows_per_tile = 0;
+  std::int32_t pad_ = 0;
 };
 
 /// Concept-detection message: one feature vector against one model set.

@@ -5,6 +5,7 @@
 
 #include "features/texture.h"
 #include "kernels/common.h"
+#include "kernels/feed_kernel.h"
 #include "kernels/messages.h"
 #include "spu/spu.h"
 #include "support/aligned.h"
@@ -342,7 +343,8 @@ int tx_run(std::uint64_t ea) {
 port::KernelModule& tx_module() {
   // ~26 KiB code image.
   static port::KernelModule module("TXExtract", 26 * 1024);
-  static bool registered = (module.add_function(SPU_Run, &tx_run), true);
+  static bool registered =
+      (module.add_function(SPU_Run, &tx_run), register_feed(module), true);
   (void)registered;
   return module;
 }

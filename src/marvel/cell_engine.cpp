@@ -38,6 +38,10 @@ CellEngine::CellEngine(sim::Machine& machine,
       profiler_(machine.ppe()),
       guard_(guard) {
   images_counter_ = &machine_.metrics().counter("marvel.images_analyzed");
+  feed_images_counter_ = &machine_.metrics().counter("feed.images");
+  feed_rows_counter_ = &machine_.metrics().counter("feed.rows");
+  feed_fallback_counter_ =
+      &machine_.metrics().counter("feed.ppe_fallbacks");
   {
     // One-time overhead: the model library load, on the PPE.
     port::Profiler::Scope probe(profiler_, kPhaseStartup);
@@ -297,15 +301,189 @@ void CellEngine::collect(FeatureSlot& slot, features::FeatureVector& fv,
                        slot.scores.data() + slot.set->models.size());
 }
 
+// ---- cellfeed: SPE-resident ingest of PPM carriers ----
+//
+// The paper's strategy applied to the last PPE-serial stage: the bytes
+// of a raw frame never cross the PPE. The header is parsed there (it is
+// a handful of bytes and decides the geometry); the packed pixel rows
+// are gathered by DMA lists, shifted/unpacked, and scattered as whole
+// destination rows by the feed kernel, with the image's rows split
+// across the scenario's detect-side SPEs — which are idle during every
+// schedule's decode phase, including the decode-ahead overlap of the
+// pipelined batch and streaming modes.
+
+std::vector<CellEngine::FeedLane> CellEngine::feed_lanes() {
+  std::vector<FeedLane> lanes;
+  if (scenario_ == Scenario::kSharded) {
+    if (guard_.enabled) {
+      for (auto& g : g_cd_shards_) lanes.push_back({nullptr, g.get()});
+    } else {
+      for (auto& f : cd_shard_ifs_) lanes.push_back({f.get(), nullptr});
+    }
+  } else if (scenario_ == Scenario::kMultiSPE2) {
+    for (auto& slot : slots_) {
+      if (guard_.enabled) {
+        lanes.push_back({nullptr, slot.g_detect.get()});
+      } else {
+        lanes.push_back({slot.detect_if, nullptr});
+      }
+    }
+  } else if (guard_.enabled) {
+    lanes.push_back({nullptr, g_cd_.get()});
+  } else {
+    lanes.push_back({cd_if_.get(), nullptr});
+  }
+  return lanes;
+}
+
+img::RgbImage CellEngine::ingest(const img::SicEncoded& image) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  if (feed_ && img::is_ppm(image)) {
+    // The strict shared parser: a malformed header throws the exact
+    // IoError the PPE decode path throws (accept/reject is identical).
+    img::PpmHeader hdr =
+        img::parse_p6_header(image.bytes.data(), image.bytes.size());
+    const std::size_t row_bytes = static_cast<std::size_t>(hdr.width) * 3;
+    const std::size_t payload =
+        row_bytes * static_cast<std::size_t>(hdr.height);
+    if (hdr.pixel_offset + payload > image.bytes.size()) {
+      throw cellport::IoError("truncated P6 pixel data");
+    }
+    const std::size_t stride = cellport::round_up(row_bytes, 16);
+    // Feed eligibility: one list element per row (the MFC 16KiB cap
+    // bounds both the widened gather window and the scatter stride), and
+    // the carrier must keep >= 15 readable bytes on both sides of the
+    // payload because gather windows anchor on enclosing 16-byte
+    // boundaries (img::ppm_encode guarantees the slack; hand-built
+    // carriers without it decode on the PPE).
+    const bool fits_list =
+        cellport::round_up(row_bytes + 15, 16) <= sim::Mfc::kMaxTransfer &&
+        stride <= sim::Mfc::kMaxTransfer;
+    const bool slack =
+        hdr.pixel_offset >= 15 &&
+        image.bytes.size() >= hdr.pixel_offset + payload + 15;
+    if (fits_list && slack) {
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe,
+                              "feed_header");
+        // Raw frames are memory-resident producer buffers: no file
+        // open, and only the header bytes ever touch the PPE.
+        ppe.charge_io(hdr.pixel_offset, /*open_file=*/false);
+        ppe.charge(sim::OpClass::kIntAlu, 32);  // token scan
+      }
+      img::RgbImage dst(hdr.width, hdr.height);
+      feed_image(image, hdr, dst);
+      return dst;
+    }
+  }
+  probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe, "sic_decode");
+  ppe.charge_io(image.bytes.size(), /*open_file=*/true);
+  return img::sic_decode(image, &ppe);
+}
+
+void CellEngine::feed_image(const img::SicEncoded& image,
+                            const img::PpmHeader& hdr, img::RgbImage& dst) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  probe::ProbeSpan span(prt(), probe::Phase::kFeedDma, ppe, "feed_dma");
+  std::vector<FeedLane> lanes = feed_lanes();
+  if (feed_msgs_.size() < lanes.size()) {
+    feed_msgs_ =
+        std::vector<port::WrappedMessage<kernels::FeedMsg>>(lanes.size());
+  }
+  const std::vector<shard::Range> rows =
+      shard::split_rows(hdr.height, static_cast<int>(lanes.size()));
+  const auto src_ea = reinterpret_cast<std::uint64_t>(image.bytes.data() +
+                                                      hdr.pixel_offset);
+  const auto feed_op = static_cast<int>(kernels::SPU_Run_Feed);
+  const sim::SimTime sent = ppe.now_ns();
+  for (std::size_t j = 0; j < lanes.size(); ++j) {
+    if (rows[j].empty()) continue;
+    ppe.charge(sim::OpClass::kStore, 10);
+    kernels::FeedMsg& m = *feed_msgs_[j];
+    m.src_ea = src_ea;
+    m.dst_ea = reinterpret_cast<std::uint64_t>(dst.data());
+    m.width = hdr.width;
+    m.height = hdr.height;
+    m.dst_stride = dst.stride();
+    m.buffering = kernels::kTripleBuffer;
+    m.row_begin = rows[j].begin;
+    m.row_end = rows[j].end;
+    m.rows_per_tile = 0;
+    if (lanes[j].gi != nullptr) {
+      lanes[j].gi->Send(feed_op, feed_msgs_[j].ea());
+    } else {
+      lanes[j].iface->Send(feed_op, feed_msgs_[j].ea());
+    }
+  }
+  for (std::size_t j = 0; j < lanes.size(); ++j) {
+    if (rows[j].empty()) continue;
+    bool ok = true;
+    if (lanes[j].gi != nullptr) {
+      const sim::SimTime finish_t0 = ppe.now_ns();
+      guard::GuardedInterface::Result r = lanes[j].gi->Finish();
+      if (r.attempts > 1) {
+        rt_.add_closed(probe::Phase::kGuardRetry,
+                       "feed[" + std::to_string(j) + "]", finish_t0,
+                       ppe.now_ns());
+      }
+      ok = r.ok;
+    } else {
+      try {
+        lanes[j].iface->Wait();
+      } catch (const cellport::Error&) {
+        ok = false;  // kernel fault: this lane's rows fall to the PPE
+      }
+    }
+    rt_.add_spe_span(probe::Phase::kFeedDma,
+                     "feed[" + std::to_string(j) + "]", sent, ppe.now_ns());
+    if (ok) {
+      feed_rows_counter_->add(static_cast<std::uint64_t>(rows[j].count()));
+    } else {
+      feed_fallback_rows(image, hdr, rows[j], dst);
+    }
+  }
+  feed_images_counter_->add(1);
+}
+
+void CellEngine::feed_fallback_rows(const img::SicEncoded& image,
+                                    const img::PpmHeader& hdr,
+                                    const shard::Range& rows,
+                                    img::RgbImage& dst) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  probe::ProbeSpan span(prt(), probe::Phase::kFallback, ppe, "feed:ingest");
+  const std::size_t row_bytes = static_cast<std::size_t>(hdr.width) * 3;
+  const std::uint8_t* src = image.bytes.data() + hdr.pixel_offset;
+  for (int y = rows.begin; y < rows.end; ++y) {
+    std::memcpy(dst.row(y), src + static_cast<std::size_t>(y) * row_bytes,
+                row_bytes);
+  }
+  // The same per-chunk touch cost the PPE decode path charges for these
+  // rows (the destination pads are already zero: AlignedBuffer
+  // value-initializes, matching the kernel's explicit pad memset).
+  const auto chunks = static_cast<std::uint64_t>(
+      (row_bytes * static_cast<std::size_t>(rows.count()) + 15) / 16);
+  ppe.charge(sim::OpClass::kLoad, chunks);
+  ppe.charge(sim::OpClass::kStore, chunks);
+  ppe.charge(sim::OpClass::kIntAlu,
+             static_cast<std::uint64_t>(rows.count()) * 2);
+  feed_fallback_counter_->add(1);
+  if (guard_.enabled) {
+    feed_pending_degraded_.push_back("feed:ingest");
+    fallback_counter_->add(1);
+    if (ppe.trace_on()) {
+      ppe.trace_track()->instant(trace::Category::kRuntime,
+                                 "ppe_fallback:feed:ingest", ppe.now_ns(),
+                                 "count", fallback_counter_->value());
+    }
+  }
+}
+
 AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   sim::ScalarContext& ppe = machine_.ppe();
   if (probe_ != nullptr) rt_.start("analyze", ppe.now_ns());
   img::RgbImage pixels = [&] {
     port::Profiler::Scope probe(profiler_, kPhasePreprocess);
-    probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe,
-                          "sic_decode");
-    machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
-    return img::sic_decode(image, &machine_.ppe());
+    return ingest(image);
   }();
 
   {
@@ -316,7 +494,9 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   }
 
   if (guard_.enabled) {
-    degraded_current_.clear();
+    // Feed fallbacks for this image were staged during ingest().
+    degraded_current_ = std::move(feed_pending_degraded_);
+    feed_pending_degraded_.clear();
     analyze_guarded_schedule(pixels);
   } else {
     switch (scenario_) {
@@ -848,12 +1028,7 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
 
   port::Profiler::Scope probe(profiler_, kPhasePipelined);
   sim::ScalarContext& ppe = machine_.ppe();
-  auto decode = [&](const img::SicEncoded& image) {
-    probe::ProbeSpan span(prt(), probe::Phase::kDecode, ppe,
-                          "sic_decode");
-    machine_.ppe().charge_io(image.bytes.size(), /*open_file=*/true);
-    return img::sic_decode(image, &machine_.ppe());
-  };
+  auto decode = [&](const img::SicEncoded& image) { return ingest(image); };
 
   // Two pixel buffers alternate: the SPEs read `current` while the PPE
   // decodes into the other slot. Probing treats each loop iteration as
@@ -871,7 +1046,12 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
       for (auto& slot : slots_) fill_image_msg(slot, current);
       if (scenario_ == Scenario::kSharded) prepare_shards(current);
     }
-    if (guard_.enabled) degraded_current_.clear();
+    if (guard_.enabled) {
+      // Feed fallbacks for `current` were staged when it was decoded
+      // (one iteration ago, overlapping the previous image's kernels).
+      degraded_current_ = std::move(feed_pending_degraded_);
+      feed_pending_degraded_.clear();
+    }
     sim::SimTime sent[4] = {0, 0, 0, 0};
     {
       probe::ProbeSpan span(prt(), probe::Phase::kDispatch, ppe,

@@ -26,6 +26,7 @@
 #include "guard/guarded_interface.h"
 #include "guard/policy.h"
 #include "img/codec.h"
+#include "img/ppm.h"
 #include "kernels/messages.h"
 #include "port/message.h"
 #include "learn/model_store.h"
@@ -139,6 +140,20 @@ class CellEngine {
   void set_probe(probe::ProbeSink* sink) { probe_ = sink; }
   probe::ProbeSink* probe() const { return probe_; }
 
+  /// cellfeed: with the knob on, PPM-carrier images (img::ppm_encode)
+  /// are ingested by the SPE feed kernels — the PPE parses only the
+  /// header, and the packed pixel rows stream main memory -> LS -> image
+  /// planes through DMA lists riding the scenario's detect-side SPEs
+  /// (the ones idle during every schedule's decode phase, including the
+  /// pipelined/streaming decode-ahead overlap). SIC2 carriers, carriers
+  /// without the encoder's alignment slack, and rows too wide for one
+  /// list element keep the legacy PPE decode. A guarded engine turns a
+  /// failed feed lane into a PPE row-range fallback recorded as degraded
+  /// "feed:ingest". Off (the default) leaves every legacy path — and its
+  /// simulated time — untouched.
+  void set_feed(bool on) { feed_ = on; }
+  bool feed() const { return feed_; }
+
  private:
   friend class StreamEngine;
 
@@ -178,6 +193,32 @@ class CellEngine {
                DetectionScores& scores, const char* name);
   /// Bumps the images-analyzed counter and drops a timeline marker.
   void note_image_done();
+
+  // ---- cellfeed paths (no-ops unless set_feed(true)) ----
+  /// One ingest lane: the detect-side interface feed rows ride, guarded
+  /// or plain depending on the engine.
+  struct FeedLane {
+    port::SPEInterface* iface = nullptr;
+    guard::GuardedInterface* gi = nullptr;
+  };
+  /// The scenario's detect-side lanes (kSharded: the detection block
+  /// interfaces; kMultiSPE2: the four detection SPEs; otherwise the
+  /// single CD interface).
+  std::vector<FeedLane> feed_lanes();
+  /// Decode-or-feed front end shared by analyze(), the pipelined batch
+  /// loop, and StreamEngine::prepare_window. With feed off (or an
+  /// ineligible carrier) it charges exactly what the legacy decode path
+  /// charged.
+  img::RgbImage ingest(const img::SicEncoded& image);
+  /// The SPE half of ingest(): splits `hdr`'s rows across feed_lanes(),
+  /// sends SPU_Run_Feed, and waits under the FeedDMA probe phase.
+  void feed_image(const img::SicEncoded& image, const img::PpmHeader& hdr,
+                  img::RgbImage& dst);
+  /// PPE mirror for one lane's row range (guard gave up or the kernel
+  /// faulted): bit-identical bytes to the SPE unpack.
+  void feed_fallback_rows(const img::SicEncoded& image,
+                          const img::PpmHeader& hdr,
+                          const shard::Range& rows, img::RgbImage& dst);
 
   // ---- cellguard paths (no-ops unless guard_.enabled) ----
   /// The per-image kernel schedule behind guarded interfaces; fills the
@@ -249,6 +290,18 @@ class CellEngine {
   std::unique_ptr<guard::GuardedInterface> g_cd_;  // single/multi detection
   trace::Counter* fallback_counter_ = nullptr;
   std::vector<std::string> degraded_current_;
+
+  // cellfeed state.
+  bool feed_ = false;
+  std::vector<port::WrappedMessage<kernels::FeedMsg>> feed_msgs_;
+  trace::Counter* feed_images_counter_ = nullptr;
+  trace::Counter* feed_rows_counter_ = nullptr;
+  trace::Counter* feed_fallback_counter_ = nullptr;
+  /// Degraded records from guarded feed fallbacks. The pipelined loop
+  /// decodes image i+1 while image i is still the current request, so
+  /// feed degradation is staged here and spliced into the degraded list
+  /// of the image it belongs to.
+  std::vector<std::string> feed_pending_degraded_;
 
   // cellshard state (kSharded only).
   shard::ShardPlan plan_;

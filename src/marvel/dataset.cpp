@@ -14,8 +14,12 @@ Dataset make_dataset(int count, std::uint64_t seed, int quality) {
   return out;
 }
 
-Dataset make_mixed_size_dataset(int count, std::uint64_t seed,
-                                int quality) {
+namespace {
+
+/// Shared mixed-size scene walk; `encode` turns each rendered frame
+/// into its carrier stream (SIC or PPM).
+template <typename Encode>
+Dataset mixed_size_walk(int count, std::uint64_t seed, Encode encode) {
   // Sizes bracket the paper's 352x240 (0.57x .. 1.82x its pixel count).
   static constexpr struct {
     int w, h;
@@ -34,9 +38,24 @@ Dataset make_mixed_size_dataset(int count, std::uint64_t seed,
         img::synth_image(kKinds[i % kNumKinds],
                          seed + static_cast<std::uint64_t>(i), size.w,
                          size.h);
-    out.images.push_back(img::sic_encode(image, quality));
+    out.images.push_back(encode(image));
   }
   return out;
+}
+
+}  // namespace
+
+Dataset make_mixed_size_dataset(int count, std::uint64_t seed,
+                                int quality) {
+  return mixed_size_walk(count, seed, [quality](const img::RgbImage& im) {
+    return img::sic_encode(im, quality);
+  });
+}
+
+Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed) {
+  return mixed_size_walk(
+      count, seed,
+      [](const img::RgbImage& im) { return img::ppm_encode(im); });
 }
 
 }  // namespace cellport::marvel

@@ -28,4 +28,10 @@ Dataset make_dataset(int count, std::uint64_t seed = 2007,
 Dataset make_mixed_size_dataset(int count, std::uint64_t seed = 2007,
                                 int quality = 70);
 
+/// Like make_mixed_size_dataset, but carries the same synthetic scenes
+/// as lossless binary P6 PPM streams (img::ppm_encode) — the cellfeed
+/// carrier format the SPE ingest kernels gather with DMA lists. There is
+/// no quality knob: PPM is raw bytes.
+Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed = 2007);
+
 }  // namespace cellport::marvel

@@ -156,9 +156,11 @@ void StreamEngine::prepare_window(
   for (std::size_t j = 0; j < count; ++j) {
     PerImage& pi = buf(w, j);
     const img::SicEncoded& image = images[base + j];
-    ppe.charge_io(image.bytes.size(), /*open_file=*/true);
-    pi.pixels = img::sic_decode(image, &ppe);
-    pi.degraded.clear();
+    pi.pixels = engine_.ingest(image);
+    // cellfeed fallbacks staged during ingest() belong to this image.
+    pi.degraded = std::move(engine_.feed_pending_degraded_);
+    engine_.feed_pending_degraded_.clear();
+    stats_.fallbacks += pi.degraded.size();
     for (int s = 0; s < 4; ++s) {
       // Listing 4's FILL_MSG_FROM_COLORIMAGE, against this window slot's
       // private message.

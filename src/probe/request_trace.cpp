@@ -10,6 +10,7 @@ namespace cellport::probe {
 const char* phase_name(Phase p) {
   switch (p) {
     case Phase::kDecode: return "decode";
+    case Phase::kFeedDma: return "feed_dma";
     case Phase::kPrepare: return "prepare";
     case Phase::kDispatch: return "dispatch";
     case Phase::kExtract: return "extract_wait";

@@ -35,6 +35,7 @@ namespace cellport::probe {
 /// visits a subset, possibly repeatedly (streaming windows).
 enum class Phase : std::uint8_t {
   kDecode,      // PPE-serial SIC decode (+ streaming window prepare)
+  kFeedDma,     // cellfeed: waiting on SPE DMA-list ingest of raw rows
   kPrepare,     // message fill / shard-range computation
   kDispatch,    // Send loops, ring enqueue + doorbell
   kExtract,     // waiting on feature-extraction kernels/shards

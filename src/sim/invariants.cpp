@@ -107,6 +107,19 @@ std::vector<InvariantViolation> check_machine_invariants(Machine& machine) {
       add(out, "ls.capacity.peak", where, os.str());
     }
 
+    // DMA-list accounting: Stats.list_elements must equal the elements
+    // recounted at get_list/put_list issue time. A divergence means a
+    // transfer was tallied as a list element without going through a
+    // list command (or vice versa).
+    if (spe.mfc().stats().list_elements !=
+        spe.mfc().issued_list_elements()) {
+      std::ostringstream os;
+      os << "stats.list_elements " << spe.mfc().stats().list_elements
+         << " != elements issued through DMA lists "
+         << spe.mfc().issued_list_elements();
+      add(out, "mfc.list.accounting", where, os.str());
+    }
+
     // MFC: the command queue is bounded by hardware depth.
     if (spe.mfc().outstanding() > Mfc::kQueueDepth) {
       add(out, "mfc.queue.depth", where,

@@ -122,20 +122,69 @@ void Mfc::put(const void* ls, std::uint64_t ea, std::uint32_t size,
         /*list_element=*/false);
 }
 
+void Mfc::begin_list(const void* ls, std::span<const MfcListElement> list,
+                     unsigned tag, bool is_get) {
+  if (list.empty()) return;
+  const std::string where = "spe" + std::to_string(owner_.id());
+  // The list's whole LS footprint (each element lands on the next
+  // 16-byte boundary) must fit the local store *before* any element
+  // issues — a partial gather into out-of-bounds memory must never have
+  // functional side effects.
+  std::size_t footprint = 0;
+  for (const auto& el : list) footprint += cellport::round_up(el.size, 16);
+  if (!owner_.ls().contains(ls, footprint)) {
+    std::ostringstream os;
+    os << "DMA-list footprint of " << footprint << " bytes ("
+       << list.size() << " elements) at ls=" << ls
+       << " exceeds the local store";
+    report_invariant("mfc.list.bounds", where, os.str());
+    throw cellport::DmaError(os.str());
+  }
+  // No LS overlap between in-flight list buffers where either side is a
+  // get: a get writes LS that a concurrent get/put is using, so the
+  // functional copy (done at issue time) silently diverges from what the
+  // hardware would transfer. Disjoint triple-buffer slots pass; an
+  // aliased window is a race.
+  auto begin = reinterpret_cast<std::uintptr_t>(ls);
+  std::uintptr_t end = begin + footprint;
+  for (const ListWindow& w : inflight_lists_) {
+    if (begin < w.end && w.begin < end && (is_get || w.is_get)) {
+      std::ostringstream os;
+      os << "DMA-list " << (is_get ? "get" : "put") << " window [" << begin
+         << ", " << end << ") on tag " << tag << " overlaps in-flight "
+         << (w.is_get ? "get" : "put") << " window [" << w.begin << ", "
+         << w.end << ") on tag " << w.tag;
+      report_invariant("mfc.list.overlap", where, os.str());
+      throw cellport::DmaError(os.str());
+    }
+  }
+  inflight_lists_.push_back(ListWindow{begin, end, tag, is_get});
+}
+
+void Mfc::retire_list_windows(std::uint32_t tag_bits) {
+  std::erase_if(inflight_lists_, [tag_bits](const ListWindow& w) {
+    return (tag_bits & (1u << w.tag)) != 0;
+  });
+}
+
 void Mfc::get_list(void* ls, std::span<const MfcListElement> list,
                    unsigned tag) {
+  begin_list(ls, list, tag, /*is_get=*/true);
   auto* dst = static_cast<std::uint8_t*>(ls);
   for (const auto& el : list) {
     issue(dst, el.ea, el.size, tag, /*is_get=*/true, /*list_element=*/true);
+    ++issued_list_elements_;
     dst += cellport::round_up(el.size, 16);
   }
 }
 
 void Mfc::put_list(const void* ls, std::span<const MfcListElement> list,
                    unsigned tag) {
+  begin_list(ls, list, tag, /*is_get=*/false);
   auto* src = const_cast<std::uint8_t*>(static_cast<const std::uint8_t*>(ls));
   for (const auto& el : list) {
     issue(src, el.ea, el.size, tag, /*is_get=*/false, /*list_element=*/true);
+    ++issued_list_elements_;
     src += cellport::round_up(el.size, 16);
   }
 }
@@ -155,6 +204,7 @@ std::uint32_t Mfc::read_tag_status_all() {
   stats_.stall_ns += stall;
   record_wait(before, stall);
   outstanding_ = 0;
+  retire_list_windows(tag_mask_);
   return tag_mask_;
 }
 
@@ -179,6 +229,7 @@ std::uint32_t Mfc::read_tag_status_any() {
   for (unsigned t = 0; t < kNumTags; ++t) {
     if ((tag_mask_ & (1u << t)) && tag_complete_[t] <= now) done |= 1u << t;
   }
+  retire_list_windows(done);
   return done;
 }
 
@@ -198,6 +249,8 @@ void Mfc::reset() {
   engine_busy_until_ = 0;
   outstanding_ = 0;
   stats_ = Stats{};
+  inflight_lists_.clear();
+  issued_list_elements_ = 0;
 }
 
 }  // namespace cellport::sim

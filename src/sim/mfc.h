@@ -72,13 +72,39 @@ class Mfc {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Independent recount of elements issued through get_list/put_list;
+  /// check_machine_invariants cross-checks it against Stats.list_elements
+  /// (rule mfc.list.accounting).
+  std::uint64_t issued_list_elements() const {
+    return issued_list_elements_;
+  }
+
+  /// Test hook: skews the independent recount so the accounting
+  /// invariant can be exercised without corrupting a real transfer.
+  void debug_skew_list_accounting() { ++issued_list_elements_; }
+
   void reset();
 
  private:
+  /// The gathered/scattered LS footprint of one in-flight DMA list.
+  struct ListWindow {
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    unsigned tag = 0;
+    bool is_get = false;
+  };
+
   void issue(void* ls, std::uint64_t ea, std::uint32_t size, unsigned tag,
              bool is_get, bool list_element);
   void validate(const void* ls, std::uint64_t ea, std::uint32_t size,
                 unsigned tag) const;
+  /// Validates a whole DMA list up-front (LS footprint in bounds, no LS
+  /// overlap with in-flight lists involving a get) and registers its
+  /// in-flight window. Throws DmaError after reporting on violation.
+  void begin_list(const void* ls, std::span<const MfcListElement> list,
+                  unsigned tag, bool is_get);
+  /// Drops in-flight list windows whose tag group has completed.
+  void retire_list_windows(std::uint32_t tag_bits);
   /// Trace hook for tag-status waits: stall histogram + dma_wait span.
   void record_wait(SimTime before, SimTime stall);
 
@@ -91,6 +117,8 @@ class Mfc {
   SimTime engine_busy_until_ = 0;
   unsigned outstanding_ = 0;
   Stats stats_;
+  std::vector<ListWindow> inflight_lists_;
+  std::uint64_t issued_list_elements_ = 0;
 };
 
 }  // namespace cellport::sim

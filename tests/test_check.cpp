@@ -162,6 +162,36 @@ TEST_F(CheckRunner, FaultScenarioPasses) {
   EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
 }
 
+TEST_F(CheckRunner, FeedScenarioPasses) {
+  // Hand-built cellfeed rider: the corpus travels as PPM carriers and
+  // the SPE feed kernels ingest it; the oracle comparison is bit-exact.
+  ScenarioSpec spec;
+  spec.mode = Mode::kEngineMulti;
+  spec.num_spes = 5;
+  spec.feed = true;
+  spec.images.push_back({/*kind=*/2, /*seed=*/21, 96, 64, 85});
+  spec.images.push_back({/*kind=*/0, /*seed=*/22, 97, 33, 85});
+  RunOutcome out = run_scenario(spec, config());
+  EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
+}
+
+TEST_F(CheckRunner, GuardedFeedFaultScenarioPasses) {
+  // A scheduled DMA error on the detect SPE — the lane feed rows ride —
+  // must leave the guarded run bit-exact (retry or "feed:ingest"
+  // fallback) with the degradation accounting intact.
+  ScenarioSpec spec;
+  spec.mode = Mode::kEngineSingle;
+  spec.num_spes = 5;
+  spec.feed = true;
+  spec.guarded = true;
+  spec.sched_fault = kSchedDmaError;
+  spec.sched_spe = 4;
+  spec.sched_at = 0;
+  spec.images.push_back({/*kind=*/3, /*seed=*/23, 64, 48, 85});
+  RunOutcome out = run_scenario(spec, config());
+  EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
+}
+
 TEST_F(CheckRunner, ReplayTwiceScenarioIsDeterministic) {
   ScenarioSpec spec;
   spec.mode = Mode::kEngineSingle;

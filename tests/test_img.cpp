@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <tuple>
 
 #include "img/codec.h"
@@ -158,6 +159,125 @@ TEST(Ppm, PgmRoundTripAndErrors) {
   EXPECT_THROW(read_ppm(path), IoError);  // wrong magic
   EXPECT_THROW(read_ppm("/nonexistent/file.ppm"), IoError);
   std::remove(path.c_str());
+}
+
+// ---- strict in-memory P6 parsing (shared by PPE decode and cellfeed) ----
+
+// Helper: a P6 stream with the given header text and exactly the pixel
+// bytes the header's geometry implies (all zero).
+std::vector<std::uint8_t> p6_stream(const std::string& header, int w,
+                                    int h) {
+  std::vector<std::uint8_t> bytes(header.begin(), header.end());
+  bytes.resize(bytes.size() + static_cast<std::size_t>(w) * 3 * h, 0);
+  return bytes;
+}
+
+TEST(PpmStrict, CommentTerminatesTheCurrentToken) {
+  // "12#c\n34" is the two tokens 12 and 34 — a parser that glues them
+  // into 1234 decodes a wildly wrong geometry.
+  auto bytes = p6_stream("P6\n12#c\n34\n255\n", 12, 34);
+  PpmHeader hdr = parse_p6_header(bytes.data(), bytes.size());
+  EXPECT_EQ(hdr.width, 12);
+  EXPECT_EQ(hdr.height, 34);
+  RgbImage image = decode_p6(bytes.data(), bytes.size());
+  EXPECT_EQ(image.width(), 12);
+  EXPECT_EQ(image.height(), 34);
+}
+
+TEST(PpmStrict, CommentsAnywhereInTheHeaderParse) {
+  auto bytes =
+      p6_stream("P6\n# a\n# b\n4 # cols\n2\n# almost\n255\n", 4, 2);
+  PpmHeader hdr = parse_p6_header(bytes.data(), bytes.size());
+  EXPECT_EQ(hdr.width, 4);
+  EXPECT_EQ(hdr.height, 2);
+}
+
+TEST(PpmStrict, RejectsNonNumericTokensAsIoError) {
+  // The contract: malformed numbers raise IoError — never a
+  // std::invalid_argument escaping from std::stoi.
+  for (const char* header :
+       {"P6\nab 2\n255\n", "P6\n4 -2\n255\n", "P6\n4 2\n0xff\n",
+        "P6\n12345678 2\n255\n", "P6\n 2\n255\n\n"}) {
+    auto bytes = p6_stream(header, 4, 2);
+    EXPECT_THROW(parse_p6_header(bytes.data(), bytes.size()),
+                 cellport::IoError)
+        << header;
+    EXPECT_THROW(decode_p6(bytes.data(), bytes.size()), cellport::IoError)
+        << header;
+  }
+}
+
+TEST(PpmStrict, RejectsMaxvalOtherThan255) {
+  for (const char* header : {"P6\n4 2\n65535\n", "P6\n4 2\n254\n",
+                             "P6\n4 2\n1\n", "P6\n4 2\n0\n"}) {
+    auto bytes = p6_stream(header, 4, 2);
+    EXPECT_THROW(parse_p6_header(bytes.data(), bytes.size()),
+                 cellport::IoError)
+        << header;
+    EXPECT_THROW(decode_p6(bytes.data(), bytes.size()), cellport::IoError)
+        << header;
+  }
+}
+
+TEST(PpmStrict, RejectsTruncatedPixelData) {
+  auto bytes = p6_stream("P6\n4 2\n255\n", 4, 2);
+  bytes.pop_back();
+  EXPECT_THROW(decode_p6(bytes.data(), bytes.size()), cellport::IoError);
+  // Trailing bytes beyond the payload are legal (the feed carrier's
+  // 15-byte DMA slack depends on it).
+  auto padded = p6_stream("P6\n4 2\n255\n", 4, 2);
+  padded.resize(padded.size() + 15, 0);
+  EXPECT_NO_THROW(decode_p6(padded.data(), padded.size()));
+}
+
+TEST(PpmStrict, HeaderAcceptRejectMatchesFullDecode) {
+  // ONE strict parser serves the PPE decoder and the feed header parse:
+  // for any header, the two paths must agree on accept vs reject.
+  for (const char* header :
+       {"P6\n4 2\n255\n", "P6\n12#c\n34\n255\n", "P6\n#x\n4 2\n255\n",
+        "P6\nab 2\n255\n", "P6\n4 2\n254\n", "P5\n4 2\n255\n",
+        "P6\n0 2\n255\n", "P6\n4\n2 255\n"}) {
+    auto bytes = p6_stream(header, 16, 34);  // oversized payload: legal
+    bool header_ok = true;
+    bool decode_ok = true;
+    try {
+      parse_p6_header(bytes.data(), bytes.size());
+    } catch (const cellport::IoError&) {
+      header_ok = false;
+    }
+    try {
+      decode_p6(bytes.data(), bytes.size());
+    } catch (const cellport::IoError&) {
+      decode_ok = false;
+    }
+    EXPECT_EQ(header_ok, decode_ok) << header;
+  }
+}
+
+TEST(PpmStrict, FeedCarrierGuaranteesDmaSlack) {
+  // ppm_encode's carrier contract: >= 15 readable bytes before the
+  // pixels (the comment-padded header) and 15 zero tail bytes, so
+  // cellfeed's quadword-anchored gather windows never leave the
+  // allocation.
+  RgbImage image = synth_image(SceneKind::kGradient, 5, 7, 3);
+  SicEncoded enc = ppm_encode(image);
+  ASSERT_TRUE(is_ppm(enc));
+  PpmHeader hdr = parse_p6_header(enc.bytes.data(), enc.bytes.size());
+  EXPECT_GE(hdr.pixel_offset, 15u);
+  const std::size_t payload = static_cast<std::size_t>(hdr.width) * 3 *
+                              static_cast<std::size_t>(hdr.height);
+  ASSERT_GE(enc.bytes.size(), hdr.pixel_offset + payload + 15);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(enc.bytes[hdr.pixel_offset + payload + i], 0u);
+  }
+  // And the carrier still decodes bit-exactly.
+  RgbImage back = sic_decode(enc);
+  ASSERT_TRUE(back.same_dims(image));
+  for (int y = 0; y < image.height(); ++y) {
+    EXPECT_EQ(std::memcmp(back.row(y), image.row(y),
+                          static_cast<std::size_t>(image.width()) * 3),
+              0);
+  }
 }
 
 // ---- codec ----
