@@ -1,0 +1,281 @@
+// cellserve: the multi-tenant broker under calibrated offered load.
+//
+// The broker's contract is graceful degradation: under overload it
+// degrades service (concept clamp, then minimal detect) before it sheds,
+// sheds strictly lowest-priority-first, and rejects only a tenant that
+// overflows its own bounded queue. This bench measures what that ladder
+// looks like from the outside — per-class p99 latency, throughput, and
+// shed/miss fractions — at 1x, 2x, and 4x the engine's measured service
+// capacity, plus the broker's bookkeeping overhead against a direct
+// analyze_stream of the same work.
+//
+// Calibration first: the 36-request corpus (mixed-size PPM carriers,
+// SPE-resident ingest, kSharded schedule) runs through analyze_stream
+// with the broker's window size, giving the pipelined per-image service
+// time S. "1x load" then means one arrival every S — the fastest rate
+// the engine can serve steady-state — and 2x/4x shrink the interval
+// accordingly. Requests alternate across two equal-weight tenants and
+// cycle through the three priority classes, so each (load, class) cell
+// has 12 samples; deadlines sit at 40 S from arrival.
+//
+// The overhead row replays the same 36 images as a single burst through
+// a broker provisioned to stay at ladder level 0 (budget > 2x the
+// burst, cycle windows covering it), so the only difference from the
+// direct analyze_stream run is the broker's admission, scheduling, and
+// accounting work. ISSUE: that bookkeeping must cost <= 2%.
+//
+// Shape claims checked (and recorded in BENCH_serve.json, which CI
+// diffs against the committed baseline via bench_diff — p99_ns rows are
+// lower-is-better, served_per_sec higher-is-better):
+//   - broker overhead on the 1x burst is <= 2% of direct analyze_stream;
+//   - the burst is served entirely at full fidelity (all ok, level 0);
+//   - at 1x offered load nothing sheds, misses, or is rejected;
+//   - at 2x the ladder engages (degraded > 0) BEFORE anything is
+//     rejected (rejected == 0), the top class sheds nothing, and its
+//     p99 latency stays within the deadline;
+//   - at 4x overload really sheds (shed > 0) yet still never touches
+//     the top class, and top-class p99 stays within the deadline;
+//   - shedding is monotone in load for the bottom class (4x >= 2x);
+//   - every request terminates: per-load accounting sums to the offer.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "serve/broker.h"
+#include "serve/request.h"
+#include "support/stats.h"
+
+using namespace cellport;
+using namespace cellport::bench;
+
+namespace {
+
+constexpr int kRequests = 36;
+constexpr int kBatch = 4;
+
+const char* class_name(int c) {
+  return serve::priority_name(static_cast<serve::Priority>(c));
+}
+
+/// One broker run at a fixed offered load over the standard corpus.
+struct LoadRun {
+  std::vector<serve::ServeResponse> responses;
+  serve::ServeStats stats;
+  double elapsed_ns = 0.0;
+  CellRun run;
+};
+
+serve::ServeConfig load_config(double service_ns) {
+  serve::ServeConfig cfg;
+  cfg.tenants.push_back({"alpha", 1, 64});
+  cfg.tenants.push_back({"beta", 1, 64});
+  cfg.batch = kBatch;
+  cfg.cycle_windows = 1;
+  cfg.global_budget = 16;
+  cfg.default_deadline_ns = static_cast<sim::SimTime>(40 * service_ns);
+  return cfg;
+}
+
+LoadRun run_load(const marvel::Dataset& data, double service_ns,
+                 double load_factor, serve::ServeConfig cfg) {
+  LoadRun out;
+  out.run.machine = std::make_unique<sim::Machine>();
+  out.run.engine = std::make_unique<marvel::CellEngine>(
+      *out.run.machine, library_path(), marvel::Scenario::kSharded);
+  out.run.engine->set_feed(true);
+
+  // Arrivals are absolute simulated times, offset from the clock AFTER
+  // engine construction (the model-library load already advanced it).
+  const double interval = service_ns / load_factor;
+  const double base = out.run.machine->ppe().now_ns();
+  std::vector<serve::ServeRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::ServeRequest r;
+    r.tenant = i % 2;
+    r.priority = static_cast<serve::Priority>(i % 3);
+    r.image = data.images[static_cast<std::size_t>(i) % data.images.size()];
+    r.arrival_ns = static_cast<sim::SimTime>(base + i * interval);
+    requests.push_back(r);
+  }
+
+  serve::ServeBroker broker(*out.run.engine, std::move(cfg));
+  const double t0 = out.run.machine->ppe().now_ns();
+  out.responses = broker.run(std::move(requests));
+  out.elapsed_ns = out.run.machine->ppe().now_ns() - t0;
+  out.stats = broker.stats();
+  return out;
+}
+
+/// Per-class tallies of one load run.
+struct ClassAgg {
+  int offered = 0;
+  int served = 0;
+  int shed = 0;
+  int missed = 0;
+  int rejected = 0;
+  std::vector<double> latency_ns;  // served requests only
+};
+
+std::vector<ClassAgg> aggregate(const LoadRun& r) {
+  std::vector<ClassAgg> by_class(serve::kNumClasses);
+  for (const auto& resp : r.responses) {
+    ClassAgg& agg = by_class[static_cast<std::size_t>(resp.priority)];
+    ++agg.offered;
+    switch (resp.status) {
+      case serve::ServeStatus::kOk:
+      case serve::ServeStatus::kDegraded:
+        ++agg.served;
+        agg.latency_ns.push_back(static_cast<double>(resp.latency_ns()));
+        break;
+      case serve::ServeStatus::kShed: ++agg.shed; break;
+      case serve::ServeStatus::kDeadlineMissed: ++agg.missed; break;
+      case serve::ServeStatus::kRejected: ++agg.rejected; break;
+      case serve::ServeStatus::kQueued: break;  // run() never returns one
+    }
+  }
+  return by_class;
+}
+
+void report_load(BenchArtifact& artifact, Table& t, const std::string& label,
+                 const LoadRun& r, const std::vector<ClassAgg>& agg) {
+  for (int c = 0; c < serve::kNumClasses; ++c) {
+    const ClassAgg& a = agg[static_cast<std::size_t>(c)];
+    double p99 = a.latency_ns.empty() ? 0.0 : percentile(a.latency_ns, 99);
+    double per_sec = a.served / (r.elapsed_ns / 1e9);
+    double shed_share = static_cast<double>(a.shed) / a.offered;
+    double miss_share = static_cast<double>(a.missed) / a.offered;
+    t.row({label + " " + class_name(c), Table::num(p99 / 1e6, 3),
+           Table::num(per_sec, 1), Table::num(100 * shed_share, 1),
+           Table::num(100 * miss_share, 1),
+           std::to_string(a.rejected)});
+    artifact.add_row(label + "." + class_name(c),
+                     {{"p99_ns", p99},
+                      {"served_per_sec", per_sec},
+                      {"shed_share", shed_share},
+                      {"miss_share", miss_share},
+                      {"offered_count", static_cast<double>(a.offered)}});
+  }
+  artifact.set_metric(label + ".max_degrade_level",
+                      static_cast<double>(r.stats.max_degrade_level));
+  artifact.set_metric(label + ".degraded_count",
+                      static_cast<double>(r.stats.degraded));
+  artifact.set_metric(label + ".rejected_count",
+                      static_cast<double>(r.stats.rejected));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Observability obs(parse_options(argc, argv));
+  std::printf("== cellserve: broker under 1x/2x/4x offered load ==\n\n");
+
+  BenchArtifact artifact("serve");
+  marvel::Dataset data = marvel::make_mixed_size_ppm_dataset(12);
+
+  // Calibration + overhead baseline: the same 36 images straight through
+  // analyze_stream with the broker's window size on a fresh machine.
+  std::vector<img::SicEncoded> corpus;
+  for (int i = 0; i < kRequests; ++i) {
+    corpus.push_back(
+        data.images[static_cast<std::size_t>(i) % data.images.size()]);
+  }
+  CellRun direct;
+  direct.machine = std::make_unique<sim::Machine>();
+  direct.engine = std::make_unique<marvel::CellEngine>(
+      *direct.machine, library_path(), marvel::Scenario::kSharded);
+  direct.engine->set_feed(true);
+  double direct_t0 = direct.machine->ppe().now_ns();
+  direct.engine->analyze_stream(corpus, {kBatch});
+  double direct_ns = direct.machine->ppe().now_ns() - direct_t0;
+  double service_ns = direct_ns / kRequests;
+  std::printf("calibration: %.3f ms/image pipelined (batch %d, sharded, "
+              "SPE ingest) -> 1x = one arrival per %.3f ms\n\n",
+              service_ns / 1e6, kBatch, service_ns / 1e6);
+  artifact.set_metric("service_ns_per_image", service_ns);
+
+  // Broker overhead on the identical burst: provisioned to stay at
+  // ladder level 0 (pressure < 0.5) and to drain the whole burst as one
+  // pipelined dispatch, so the delta vs direct is pure bookkeeping.
+  serve::ServeConfig burst_cfg = load_config(service_ns);
+  burst_cfg.global_budget = 2 * kRequests + 8;
+  burst_cfg.cycle_windows = kRequests / kBatch;
+  LoadRun burst = run_load(data, service_ns, 1e9, std::move(burst_cfg));
+  double overhead = burst.elapsed_ns / direct_ns - 1.0;
+  std::printf("broker burst: %.3f ms vs direct %.3f ms -> overhead "
+              "%.2f%%\n\n",
+              burst.elapsed_ns / 1e6, direct_ns / 1e6, 100 * overhead);
+  artifact.set_metric("direct_ns", direct_ns);
+  artifact.set_metric("burst_ns", burst.elapsed_ns);
+  artifact.set_metric("burst_overhead_share", overhead);
+
+  Table t("Per-class service at calibrated load, " +
+          std::to_string(kRequests) + " requests, 2 tenants (simulated)");
+  t.header({"Load/class", "p99 ms", "served/s", "shed %", "miss %",
+            "rejected"});
+  LoadRun load1 = run_load(data, service_ns, 1.0, load_config(service_ns));
+  LoadRun load2 = run_load(data, service_ns, 2.0, load_config(service_ns));
+  LoadRun load4 = run_load(data, service_ns, 4.0, load_config(service_ns));
+  std::vector<ClassAgg> agg1 = aggregate(load1);
+  std::vector<ClassAgg> agg2 = aggregate(load2);
+  std::vector<ClassAgg> agg4 = aggregate(load4);
+  report_load(artifact, t, "1x", load1, agg1);
+  report_load(artifact, t, "2x", load2, agg2);
+  report_load(artifact, t, "4x", load4, agg4);
+  std::printf("%s\n", t.str().c_str());
+  std::printf("ladder: max degrade level %d at 1x, %d at 2x, %d at 4x; "
+              "shed %llu/%llu/%llu\n\n",
+              load1.stats.max_degrade_level, load2.stats.max_degrade_level,
+              load4.stats.max_degrade_level,
+              static_cast<unsigned long long>(load1.stats.shed),
+              static_cast<unsigned long long>(load2.stats.shed),
+              static_cast<unsigned long long>(load4.stats.shed));
+
+  const ClassAgg& high2 = agg2[0];
+  const ClassAgg& high4 = agg4[0];
+  const double deadline_ns = 40 * service_ns;
+  bool ok = true;
+  ok &= artifact.shape(overhead <= 0.02,
+                       "broker bookkeeping on the 1x burst costs <= 2% of "
+                       "direct analyze_stream");
+  ok &= artifact.shape(burst.stats.ok == kRequests &&
+                           burst.stats.max_degrade_level == 0,
+                       "the provisioned burst is served entirely at full "
+                       "fidelity (all ok, ladder level 0)");
+  ok &= artifact.shape(load1.stats.shed == 0 &&
+                           load1.stats.deadline_missed == 0 &&
+                           load1.stats.rejected == 0,
+                       "at 1x offered load nothing sheds, misses, or is "
+                       "rejected");
+  ok &= artifact.shape(load2.stats.degraded > 0 &&
+                           load2.stats.rejected == 0,
+                       "at 2x the degrade ladder engages before anything "
+                       "is rejected");
+  ok &= artifact.shape(high2.shed == 0 &&
+                           (high2.latency_ns.empty() ||
+                            percentile(high2.latency_ns, 99) <= deadline_ns),
+                       "at 2x the top class sheds nothing and its p99 "
+                       "stays within the deadline");
+  ok &= artifact.shape(load4.stats.shed > 0 && high4.shed == 0,
+                       "at 4x overload really sheds, and still never the "
+                       "top class");
+  ok &= artifact.shape(!high4.latency_ns.empty() &&
+                           percentile(high4.latency_ns, 99) <= deadline_ns,
+                       "at 4x top-class p99 still lands within the "
+                       "deadline");
+  ok &= artifact.shape(agg4[2].shed >= agg2[2].shed,
+                       "bottom-class shedding is monotone in offered "
+                       "load (4x >= 2x)");
+  auto accounted = [](const LoadRun& r) {
+    return r.stats.admitted + r.stats.rejected == kRequests &&
+           r.stats.admitted == r.stats.ok + r.stats.degraded +
+                                   r.stats.shed + r.stats.deadline_missed;
+  };
+  ok &= artifact.shape(accounted(load1) && accounted(load2) &&
+                           accounted(load4),
+                       "every request terminates: per-load accounting "
+                       "sums to the 36-request offer");
+  artifact.write();
+  obs.finish();
+  return ok ? 0 : 1;
+}

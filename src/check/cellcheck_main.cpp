@@ -46,6 +46,7 @@ struct Options {
   bool verbose = false;
   bool fail_fast = true;
   bool guard_matrix = false;
+  bool serve_matrix = false;
   int jobs = 0;  // scenario threads; 0 = hardware_concurrency
 };
 
@@ -71,6 +72,8 @@ int usage(const char* argv0) {
       "/tmp)\n"
       "  --guard-matrix     generate guarded engine scenarios with\n"
       "                     scheduled SPE faults (hang/slow/dma-error)\n"
+      "  --serve-matrix     generate multi-tenant broker scenarios\n"
+      "                     (admission, deadlines, degrade/shed ladder)\n"
       "  --jobs N           scenario threads (default: all host cores);\n"
       "                     results and logs are independent of N\n"
       "  --no-shrink        keep the original failing scenario\n"
@@ -117,11 +120,18 @@ std::string describe(const ScenarioSpec& spec) {
          cellport::check::fault_kind_name(spec.fault_kind);
   }
   if (spec.sharded) s += " sharded";
+  if (spec.feed) s += " feed";
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";
   if (spec.stream_batch > 0) {
     s += " stream=" + std::to_string(spec.stream_batch);
+  }
+  if (spec.serve) {
+    s += " serve tenants=" + std::to_string(spec.serve_tenants) +
+         " budget=" + std::to_string(spec.serve_budget) +
+         " sbatch=" + std::to_string(spec.serve_batch);
+    if (spec.serve_tight) s += " tight";
   }
   if (spec.guarded) {
     s += " guarded";
@@ -179,30 +189,33 @@ int run(const Options& opts) {
                                   /*extra_concepts_per_feature=*/2);
   }
 
+  auto generate = [&opts](std::uint64_t s) {
+    if (opts.serve_matrix) return cellport::check::generate_serve_scenario(s);
+    if (opts.guard_matrix) return cellport::check::generate_guard_scenario(s);
+    return cellport::check::generate_scenario(s);
+  };
+  const char* matrix = opts.serve_matrix   ? "serve-matrix "
+                       : opts.guard_matrix ? "guard-matrix "
+                                           : "";
   std::vector<ScenarioSpec> specs;
   if (!opts.replay_file.empty()) {
     specs.push_back(
         cellport::check::spec_from_json(read_file(opts.replay_file)));
     std::printf("[cellcheck] replaying %s\n", opts.replay_file.c_str());
   } else if (opts.have_replay_seed) {
-    specs.push_back(opts.guard_matrix
-                        ? cellport::check::generate_guard_scenario(
-                              opts.replay_seed)
-                        : cellport::check::generate_scenario(
-                              opts.replay_seed));
+    specs.push_back(generate(opts.replay_seed));
     std::printf("[cellcheck] replaying seed %llu%s\n",
                 static_cast<unsigned long long>(opts.replay_seed),
-                opts.guard_matrix ? " (guard matrix)" : "");
+                opts.serve_matrix   ? " (serve matrix)"
+                : opts.guard_matrix ? " (guard matrix)"
+                                    : "");
   } else {
     std::printf("[cellcheck] %d %sscenarios, base seed %llu\n",
-                opts.scenarios, opts.guard_matrix ? "guard-matrix " : "",
+                opts.scenarios, matrix,
                 static_cast<unsigned long long>(opts.seed));
     for (int i = 0; i < opts.scenarios; ++i) {
-      std::uint64_t s =
-          scenario_seed(opts.seed, static_cast<std::uint64_t>(i));
-      specs.push_back(opts.guard_matrix
-                          ? cellport::check::generate_guard_scenario(s)
-                          : cellport::check::generate_scenario(s));
+      specs.push_back(
+          generate(scenario_seed(opts.seed, static_cast<std::uint64_t>(i))));
     }
   }
 
@@ -308,6 +321,8 @@ int main(int argc, char** argv) {
       if (opts.jobs <= 0) return usage(argv[0]);
     } else if (std::strcmp(arg, "--guard-matrix") == 0) {
       opts.guard_matrix = true;
+    } else if (std::strcmp(arg, "--serve-matrix") == 0) {
+      opts.serve_matrix = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       opts.shrink_budget = 0;
     } else if (std::strcmp(arg, "--keep-going") == 0) {

@@ -26,11 +26,14 @@
 #include "port/spe_interface.h"
 #include "port/taskpool.h"
 #include "probe/attribution.h"
+#include "serve/broker.h"
+#include "serve/request.h"
 #include "sim/invariants.h"
 #include "sim/machine.h"
 #include "support/aligned.h"
 #include "support/error.h"
 #include "support/json.h"
+#include "support/rng.h"
 #include "trace/chrome_export.h"
 #include "trace/trace.h"
 
@@ -513,6 +516,212 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
   return RunOutcome{};
 }
 
+// ---- cellserve mode ----
+
+/// Far deadline for the serve matrix: above any legitimate service time
+/// including guard recovery (a `slow` fault stalls 4x the 500 ms guard
+/// deadline), so a miss under it is a real scheduling bug. The tight
+/// deadline sits below any service time, so misses are expected and the
+/// property set checks their accounting instead of their absence.
+constexpr sim::SimTime kServeFarDeadlineNs = 20'000'000'000;  // 20 s
+constexpr sim::SimTime kServeTightDeadlineNs = 2'000'000;     // 2 ms
+
+RunOutcome run_serve(const ScenarioSpec& spec, const RunConfig& cfg) {
+  Inputs in = make_inputs(spec, /*through_codec=*/true);
+  marvel::Scenario scen = spec.sharded ? marvel::Scenario::kSharded
+                                       : engine_scenario(spec.mode);
+  guard::GuardPolicy policy;
+  if (spec.guarded) {
+    policy.enabled = true;
+    policy.retry.deadline_ns = kGuardDeadlineNs;
+  }
+  sim::Machine machine(sim::Machine::Config{spec.num_spes});
+  marvel::CellEngine engine(
+      machine, cfg.library_path, scen,
+      static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive,
+      policy);
+  engine.set_feed(spec.feed);
+  if (spec.guarded && spec.sched_fault >= 0 &&
+      spec.sched_spe < spec.num_spes) {
+    machine.spe(spec.sched_spe).inject_fault(sched_injection(spec));
+  }
+  marvel::ReferenceEngine ref(sim::cell_ppe(), cfg.library_path);
+
+  serve::ServeConfig scfg;
+  for (int t = 0; t < spec.serve_tenants; ++t) {
+    serve::TenantConfig tc;
+    tc.name = "t" + std::to_string(t);
+    tc.weight = 1 + t % 2;
+    tc.queue_cap = 4;  // small enough that a lopsided burst can reject
+    scfg.tenants.push_back(tc);
+  }
+  scfg.batch = spec.serve_batch;
+  scfg.cycle_windows = 1;
+  scfg.global_budget = static_cast<std::size_t>(spec.serve_budget);
+  scfg.default_deadline_ns =
+      spec.serve_tight ? kServeTightDeadlineNs : kServeFarDeadlineNs;
+
+  // One request per image, all arriving as a single burst (maximum
+  // contention for the budget). Tenant and priority come from a
+  // decorrelated sub-stream drawn per index, so shrinking the corpus
+  // keeps the surviving requests' assignments.
+  Rng rng(spec.seed ^ 0x5e57e11aull);
+  std::vector<serve::ServeRequest> requests;
+  for (const auto& enc : in.encoded) {
+    serve::ServeRequest r;
+    r.tenant = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(spec.serve_tenants)));
+    r.priority = static_cast<serve::Priority>(rng.next_below(3));
+    r.image = enc;
+    requests.push_back(r);
+  }
+
+  serve::ServeBroker broker(engine, scfg);
+  std::vector<serve::ServeResponse> rs = broker.run(requests);
+  if (rs.size() != requests.size()) {
+    return fail("serve.responses",
+                "broker returned " + std::to_string(rs.size()) +
+                    " responses for " + std::to_string(requests.size()) +
+                    " requests");
+  }
+
+  // Property (c): every request terminates in exactly one terminal
+  // status and the serve.* accounting agrees — stats vs responses vs
+  // metric counters, globally and per tenant.
+  const serve::ServeStats& st = broker.stats();
+  std::uint64_t ok = 0, degraded = 0, shed = 0, missed = 0, rejected = 0;
+  for (const auto& r : rs) {
+    switch (r.status) {
+      case serve::ServeStatus::kOk: ++ok; break;
+      case serve::ServeStatus::kDegraded: ++degraded; break;
+      case serve::ServeStatus::kShed: ++shed; break;
+      case serve::ServeStatus::kDeadlineMissed: ++missed; break;
+      case serve::ServeStatus::kRejected: ++rejected; break;
+      case serve::ServeStatus::kQueued:
+        return fail("serve.terminal",
+                    "a response is still kQueued after run()");
+    }
+  }
+  auto counter_of = [&](const std::string& name) {
+    const auto& counters = machine.metrics().counters();
+    auto it = counters.find(name);
+    return it == counters.end() ? std::uint64_t{0} : it->second->value();
+  };
+  if (st.admitted != st.ok + st.degraded + st.shed + st.deadline_missed ||
+      st.admitted + st.rejected != rs.size()) {
+    return fail("serve.accounting",
+                "admitted " + std::to_string(st.admitted) + " != ok " +
+                    std::to_string(st.ok) + " + degraded " +
+                    std::to_string(st.degraded) + " + shed " +
+                    std::to_string(st.shed) + " + missed " +
+                    std::to_string(st.deadline_missed) + " (rejected " +
+                    std::to_string(st.rejected) + ", requests " +
+                    std::to_string(rs.size()) + ")");
+  }
+  if (st.ok != ok || st.degraded != degraded || st.shed != shed ||
+      st.deadline_missed != missed || st.rejected != rejected) {
+    return fail("serve.accounting",
+                "stats disagree with the response statuses");
+  }
+  if (counter_of("serve.admitted") != st.admitted ||
+      counter_of("serve.ok") != st.ok ||
+      counter_of("serve.degraded") != st.degraded ||
+      counter_of("serve.shed") != st.shed ||
+      counter_of("serve.deadline_missed") != st.deadline_missed ||
+      counter_of("serve.rejected") != st.rejected) {
+    return fail("serve.accounting",
+                "serve.* counters disagree with broker stats");
+  }
+  std::uint64_t tenant_admitted = 0;
+  for (std::size_t t = 0; t < st.tenants.size(); ++t) {
+    const serve::TenantStats& ts = st.tenants[t];
+    if (ts.admitted != ts.ok + ts.degraded + ts.shed + ts.deadline_missed) {
+      return fail("serve.accounting",
+                  "tenant " + std::to_string(t) +
+                      " admitted != sum of terminal statuses");
+    }
+    const std::string p = "serve.t" + std::to_string(t) + ".";
+    if (counter_of(p + "admitted") != ts.admitted ||
+        counter_of(p + "rejected") != ts.rejected ||
+        counter_of(p + "shed") != ts.shed) {
+      return fail("serve.accounting",
+                  "serve.t" + std::to_string(t) +
+                      ".* counters disagree with tenant stats");
+    }
+    tenant_admitted += ts.admitted;
+  }
+  if (tenant_admitted != st.admitted) {
+    return fail("serve.accounting",
+                "per-tenant admitted do not sum to the global count");
+  }
+
+  // Property (a): with far deadlines nothing may starve — every
+  // admitted-and-not-shed request is served, and shedding is always
+  // explicit (a shed response never carries a result).
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    if (r.status == serve::ServeStatus::kShed && r.served) {
+      return fail("serve.no-starvation",
+                  "request " + std::to_string(i) +
+                      " is both shed and served");
+    }
+    if (!spec.serve_tight) {
+      if (r.status == serve::ServeStatus::kDeadlineMissed) {
+        return fail("serve.no-starvation",
+                    "request " + std::to_string(i) +
+                        " missed a far (20 s) deadline");
+      }
+      if ((r.status == serve::ServeStatus::kOk ||
+           r.status == serve::ServeStatus::kDegraded) &&
+          !r.served) {
+        return fail("serve.no-starvation",
+                    "request " + std::to_string(i) +
+                        " reports success without service");
+      }
+    }
+  }
+
+  // Property (b): tenant isolation — every served result is the
+  // bit-exact (within the oracle's tolerances) prefix of the reference
+  // result at its degrade level, no matter what faults or neighbours
+  // the run carried.
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    if (!r.served) continue;
+    marvel::AnalysisResult expected = ref.analyze(in.encoded[i]);
+    const int clamp = broker.level_max_models(r.degrade_level);
+    auto clip = [&](std::vector<double>* v) {
+      if (clamp > 0 && v->size() > static_cast<std::size_t>(clamp)) {
+        v->resize(static_cast<std::size_t>(clamp));
+      }
+    };
+    clip(&expected.ch_detect.values);
+    clip(&expected.cc_detect.values);
+    clip(&expected.tx_detect.values);
+    clip(&expected.eh_detect.values);
+    std::string err = compare_results(r.result, expected);
+    if (!err.empty()) {
+      return fail("serve.isolation",
+                  err + " (request " + std::to_string(i) + ", tenant " +
+                      std::to_string(r.tenant) + ", level " +
+                      std::to_string(r.degrade_level) + ")");
+    }
+    if (!spec.guarded) {
+      // Unguarded runs may only carry the broker's own degrade records.
+      for (const std::string& rec : r.result.degraded) {
+        if (rec.rfind("serve:", 0) != 0) {
+          return fail("serve.isolation",
+                      "unguarded request " + std::to_string(i) +
+                          " carries non-serve degrade record '" + rec +
+                          "'");
+        }
+      }
+    }
+  }
+  sim::InvariantChannel::instance().drain();  // reference engine's dust
+  return check_clean(machine);
+}
+
 // ---- TaskPool mode ----
 
 RunOutcome run_taskpool(const ScenarioSpec& spec, const RunConfig& cfg) {
@@ -738,7 +947,8 @@ RunOutcome run_once(const ScenarioSpec& spec, const RunConfig& cfg,
     case Mode::kEngineSingle:
     case Mode::kEngineMulti:
     case Mode::kEngineMulti2:
-      return run_engine(spec, cfg, canonical);
+      return spec.serve ? run_serve(spec, cfg)
+                        : run_engine(spec, cfg, canonical);
     case Mode::kTaskPool:
       return run_taskpool(spec, cfg);
   }

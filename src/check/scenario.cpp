@@ -296,6 +296,59 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
   return spec;
 }
 
+ScenarioSpec generate_serve_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  switch (rng.next_below(3)) {
+    case 0: spec.mode = Mode::kEngineSingle; break;
+    case 1: spec.mode = Mode::kEngineMulti; break;
+    default: spec.mode = Mode::kEngineMulti2; break;
+  }
+  spec.buffering = 1 + static_cast<int>(rng.next_below(3));
+  spec.num_spes = spec.mode == Mode::kEngineMulti2
+                      ? 8
+                      : 5 + static_cast<int>(rng.next_below(4));
+  spec.use_naive = rng.next_below(100) < 10;
+  // One request per image: enough corpus for multi-tenant contention
+  // without blowing per-scenario runtime.
+  int num_images = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < num_images; ++i) {
+    spec.images.push_back(pick_image(rng, /*allow_degenerate=*/false));
+  }
+  spec.serve = true;
+  spec.serve_tenants = 1 + static_cast<int>(rng.next_below(3));
+  // Budgets from "everything queues" down to "most of the burst sheds",
+  // so the degrade ladder and the shed path both see coverage.
+  spec.serve_budget = 2 + static_cast<int>(rng.next_below(8));
+  spec.serve_batch = 1 + static_cast<int>(rng.next_below(3));
+  spec.serve_tight = rng.next_below(100) < 25;
+  // cellguard rider: half the matrix serves behind the guard, usually
+  // with a scheduled fault — tenant isolation under faults is the
+  // property this matrix exists for.
+  if (rng.next_below(100) < 50) {
+    spec.guarded = true;
+    if (rng.next_below(100) < 60) {
+      spec.sched_fault = static_cast<int>(rng.next_below(kNumSchedFaults));
+      int pinned = spec.mode == Mode::kEngineMulti2 ? 8 : 5;
+      spec.sched_spe = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(pinned)));
+      spec.sched_at =
+          static_cast<int>(rng.next_below(spec.images.size()));
+    }
+  }
+  // cellshard / cellfeed riders compose with the broker the same way
+  // they compose with analyze_stream (the broker serves through
+  // StreamEngine windows).
+  if (rng.next_below(100) < 25) {
+    spec.sharded = true;
+  }
+  if (rng.next_below(100) < 25) {
+    spec.feed = true;
+  }
+  return spec;
+}
+
 std::string spec_to_json(const ScenarioSpec& spec) {
   JsonWriter w;
   w.begin_object();
@@ -320,6 +373,11 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("sched_fault").value(spec.sched_fault);
   w.key("sched_spe").value(spec.sched_spe);
   w.key("sched_at").value(spec.sched_at);
+  w.key("serve").value(spec.serve);
+  w.key("serve_tenants").value(spec.serve_tenants);
+  w.key("serve_budget").value(spec.serve_budget);
+  w.key("serve_batch").value(spec.serve_batch);
+  w.key("serve_tight").value(spec.serve_tight);
   w.key("images").begin_array();
   for (const ImageSpec& img : spec.images) {
     w.begin_object();
@@ -422,6 +480,11 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);
   spec.sched_at = optional_number(doc, "sched_at", 0);
+  spec.serve = optional_bool(doc, "serve", false);
+  spec.serve_tenants = optional_number(doc, "serve_tenants", 1);
+  spec.serve_budget = optional_number(doc, "serve_budget", 8);
+  spec.serve_batch = optional_number(doc, "serve_batch", 2);
+  spec.serve_tight = optional_bool(doc, "serve_tight", false);
   const JsonValue* images = doc.find("images");
   if (images == nullptr || !images->is_array()) {
     throw cellport::ConfigError("scenario JSON: missing 'images'");

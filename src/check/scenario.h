@@ -100,6 +100,23 @@ struct ScenarioSpec {
   /// feed lane retries behind the guard or degrades to a PPE row-range
   /// fallback reported as "feed:ingest".
   bool feed = false;
+  /// Engine modes: drive the corpus through the cellserve ServeBroker
+  /// (one request per image, tenants/priorities derived from the seed)
+  /// instead of per-call analyze(). The serve properties: every admitted
+  /// request terminates in exactly one of {ok, degraded, shed,
+  /// deadline_missed} with matching serve.* accounting; no tenant
+  /// starves (with far deadlines, every admitted-and-not-shed request is
+  /// served); and every served result is the bit-exact prefix of the
+  /// reference oracle at its degrade level — including under scheduled
+  /// guard faults, whose recovery stays scoped to the owning request.
+  bool serve = false;
+  int serve_tenants = 1;  // 1..3 tenants sharing the broker
+  int serve_budget = 8;   // ServeConfig::global_budget
+  int serve_batch = 2;    // ServeConfig::batch (cycle_windows stays 1)
+  /// Tight per-request deadlines (2 ms): deadline misses are expected
+  /// and the property set drops no-starvation, keeping accounting and
+  /// result-prefix checks.
+  bool serve_tight = false;
   /// Re-run the whole scenario and require byte-identical results and
   /// traces (static modes only; TaskPool timing is host-order dependent).
   bool replay_twice = false;
@@ -117,6 +134,13 @@ ScenarioSpec generate_scenario(std::uint64_t seed);
 /// generator): always an engine mode behind cellguard, usually with a
 /// scheduled fault on a pinned SPE. Pure function of the seed.
 ScenarioSpec generate_guard_scenario(std::uint64_t seed);
+
+/// Derives a multi-tenant broker scenario for `seed` (the
+/// `--serve-matrix` generator): always an engine mode behind the
+/// cellserve broker, with seed-derived tenant counts, budgets, and
+/// deadline pressure, often composed with the guard/shard/feed riders.
+/// Pure function of the seed.
+ScenarioSpec generate_serve_scenario(std::uint64_t seed);
 
 /// Serializes a spec as a JSON object (deterministic byte output).
 std::string spec_to_json(const ScenarioSpec& spec);

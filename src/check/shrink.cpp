@@ -75,6 +75,39 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.feed = false;
     push(next);
   }
+  if (spec.serve) {
+    // Dropping the broker entirely (back to a plain engine run)
+    // localizes a failure to the serve layer; failing that, relax its
+    // knobs one at a time toward the calmest broker: far deadlines, one
+    // tenant, serial windows, an uncontended budget.
+    ScenarioSpec next = spec;
+    next.serve = false;
+    next.serve_tenants = 1;
+    next.serve_budget = 8;
+    next.serve_batch = 2;
+    next.serve_tight = false;
+    push(next);
+    if (spec.serve_tight) {
+      next = spec;
+      next.serve_tight = false;
+      push(next);
+    }
+    if (spec.serve_tenants > 1) {
+      next = spec;
+      next.serve_tenants = 1;
+      push(next);
+    }
+    if (spec.serve_batch > 1) {
+      next = spec;
+      next.serve_batch = 1;
+      push(next);
+    }
+    if (spec.serve_budget < 8) {
+      next = spec;
+      next.serve_budget = 8;
+      push(next);
+    }
+  }
   if (spec.fault_kind >= 0) {
     ScenarioSpec next = spec;
     next.fault_kind = -1;

@@ -58,6 +58,12 @@ struct StreamOptions {
   /// yields the schedule a guarded run charges, for apples-to-apples
   /// comparisons.
   bool sequential = false;
+  /// cellserve degrade ladder: score at most this many concept models
+  /// per feature (0 = all of them). The detect kernels run shorter
+  /// batches and each DetectionScores carries only the evaluated prefix
+  /// of the model set — bit-exact with the full run's prefix. 0 leaves
+  /// every legacy path and its simulated time untouched.
+  int max_models = 0;
 };
 
 /// cellstream: what a streaming run measured (all simulated time).
@@ -69,6 +75,7 @@ struct StreamStats {
   std::size_t request_retries = 0;  // guarded per-request re-runs
   std::size_t batch_timeouts = 0;   // whole-batch deadline misses
   std::size_t fallbacks = 0;        // PPE fallbacks (guarded)
+  std::size_t cancelled = 0;        // submitted but unserviced at close()
 };
 
 /// Extra PPE-side phase names (multi-SPE scenarios overlap the kernels,
@@ -127,7 +134,11 @@ class CellEngine {
   const learn::MarvelModels& models() const { return models_; }
   bool guarded() const { return guard_.enabled; }
   /// The health board behind a guarded engine; null when unguarded.
+  /// The mutable overload lets an operator (or a test) mark SPEs out
+  /// of service directly — cellserve reads the quarantine count to
+  /// shrink its admission budget.
   const guard::SpeHealth* health() const { return health_.get(); }
+  guard::SpeHealth* health() { return health_.get(); }
   /// cellshard: the shard plan a kSharded engine executes (defaulted
   /// {1,1,1,1}+1 otherwise).
   const shard::ShardPlan& shard_plan() const { return plan_; }

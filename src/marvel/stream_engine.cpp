@@ -28,11 +28,17 @@ StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
     guard_deadline_ns_ = engine_.guard_.retry.deadline_ns;
   }
   const bool sharded = engine_.scenario_ == Scenario::kSharded;
-  if (sharded) {
-    for (int s = 0; s < 4; ++s) {
-      cd_blocks_[s] = shard::split_rows(
-          static_cast<int>(engine_.slots_[s].set->models.size()),
-          engine_.plan_.detect_spes);
+  for (int s = 0; s < 4; ++s) {
+    // cellserve degrade ladder: score only a prefix of each slot's model
+    // set. The clamp lands once, here, and every path below (detect
+    // messages, shard blocks, fallbacks, collect) reads scored_models_.
+    const auto full =
+        static_cast<int>(engine_.slots_[s].set->models.size());
+    scored_models_[s] =
+        opts_.max_models > 0 ? std::min(full, opts_.max_models) : full;
+    if (sharded) {
+      cd_blocks_[s] =
+          shard::split_rows(scored_models_[s], engine_.plan_.detect_spes);
     }
   }
   // Raw-partial bytes per shard (TX is tile-count dependent and (re)sized
@@ -58,6 +64,7 @@ StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
         // model descriptors stay shared, read-only, with the engine.
         kernels::DetectMsg& dm = *sb.detect_msg;
         dm = *slot.detect_msg;
+        dm.num_models = scored_models_[s];
         dm.feature_ea = reinterpret_cast<std::uint64_t>(sb.out.data());
         dm.scores_ea = reinterpret_cast<std::uint64_t>(sb.scores.data());
         if (!sharded) continue;
@@ -149,13 +156,13 @@ StreamEngine::PerImage& StreamEngine::buf(std::size_t w, std::size_t j) {
 }
 
 void StreamEngine::prepare_window(
-    std::size_t w, const std::vector<img::SicEncoded>& images) {
+    std::size_t w, const std::vector<const img::SicEncoded*>& images) {
   const std::size_t base = window_begin(w);
   const std::size_t count = window_count(w, images.size());
   sim::ScalarContext& ppe = engine_.machine_.ppe();
   for (std::size_t j = 0; j < count; ++j) {
     PerImage& pi = buf(w, j);
-    const img::SicEncoded& image = images[base + j];
+    const img::SicEncoded& image = *images[base + j];
     pi.pixels = engine_.ingest(image);
     // cellfeed fallbacks staged during ingest() belong to this image.
     pi.degraded = std::move(engine_.feed_pending_degraded_);
@@ -651,10 +658,11 @@ void StreamEngine::collect_window(std::size_t w, std::size_t total,
       fvs[s]->name = slot.name;
       fvs[s]->values.assign(sb.out.data(), sb.out.data() + slot.dim);
       ds[s]->values.assign(sb.scores.data(),
-                           sb.scores.data() + slot.set->models.size());
+                           sb.scores.data() + scored_models_[s]);
     }
     if (engine_.guard_.enabled) result.degraded = std::move(pi.degraded);
     engine_.note_image_done();
+    completions_.push_back(ppe.now_ns());
     out->push_back(std::move(result));
   }
 }
@@ -707,8 +715,13 @@ void StreamEngine::fallback_detect(int s, PerImage& pi) {
       reference_detect(fv, *slot.set, &engine_.machine_.ppe());
   engine_.machine_.ppe().charge(sim::OpClass::kStore,
                                 scores.values.size());
+  // Under a serve concept clamp only the scored prefix lands in the
+  // buffer; the reference charge stays the full set (the PPE fallback
+  // has no short-batch kernel to lean on).
+  const auto copy = std::min(scores.values.size(),
+                             static_cast<std::size_t>(scored_models_[s]));
   std::memcpy(pi.sb[s].scores.data(), scores.values.data(),
-              scores.values.size() * sizeof(double));
+              copy * sizeof(double));
   note_degraded("detect", s, pi);
 }
 
@@ -735,7 +748,61 @@ void StreamEngine::throw_ring_fault(const char* stage,
 
 std::vector<AnalysisResult> StreamEngine::run(
     const std::vector<img::SicEncoded>& images) {
+  std::vector<const img::SicEncoded*> ptrs;
+  ptrs.reserve(images.size());
+  for (const auto& image : images) ptrs.push_back(&image);
+  return run_queue(ptrs);
+}
+
+std::size_t StreamEngine::submit(const img::SicEncoded& image) {
+  if (closed_) {
+    throw cellport::Error("StreamEngine::submit after close()");
+  }
+  pending_.push_back(&image);
+  ends_.push_back(RequestEnd::kPending);
+  return ends_.size() - 1;
+}
+
+std::vector<AnalysisResult> StreamEngine::drain() {
+  if (closed_) {
+    throw cellport::Error("StreamEngine::drain after close()");
+  }
+  std::vector<const img::SicEncoded*> queue;
+  queue.swap(pending_);
+  std::vector<AnalysisResult> results = run_queue(queue);
+  // Everything run_queue returned is terminal: the queue's requests are
+  // the last queue.size() submits still pending.
+  for (std::size_t i = ends_.size() - queue.size(); i < ends_.size(); ++i) {
+    ends_[i] = RequestEnd::kCompleted;
+  }
+  return results;
+}
+
+std::vector<StreamEngine::RequestEnd> StreamEngine::close() {
+  if (!closed_) {
+    closed_ = true;
+    const std::size_t dropped = pending_.size();
+    pending_.clear();
+    if (dropped > 0) {
+      // Early shutdown with requests still queued: every one of them
+      // gets an explicit kCancelled terminal state (and shows up in
+      // stats/metrics) instead of vanishing.
+      for (std::size_t i = ends_.size() - dropped; i < ends_.size(); ++i) {
+        ends_[i] = RequestEnd::kCancelled;
+      }
+      stats_.cancelled += dropped;
+      engine_.machine_.metrics().counter("stream.cancelled").add(dropped);
+    }
+  }
+  return ends_;
+}
+
+std::vector<AnalysisResult> StreamEngine::run_queue(
+    const std::vector<const img::SicEncoded*>& images) {
+  const std::size_t was_cancelled = stats_.cancelled;
   stats_ = StreamStats{};
+  stats_.cancelled = was_cancelled;
+  completions_.clear();
   std::vector<AnalysisResult> results;
   if (images.empty()) return results;
   results.reserve(images.size());

@@ -13,6 +13,7 @@
 // per-call run. Results are bit-exact with per-call analyze().
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,7 +32,34 @@ class StreamEngine {
   /// in order, bit-exact with per-call analyze().
   std::vector<AnalysisResult> run(const std::vector<img::SicEncoded>& images);
 
+  /// Terminal state of one submitted request. A request is kPending from
+  /// submit() until the drain() that services it (kCompleted) or the
+  /// close() that cancels it (kCancelled) — close() never discards a
+  /// queued-but-unstarted request silently.
+  enum class RequestEnd : std::uint8_t { kPending, kCompleted, kCancelled };
+
+  /// cellserve: incremental admission. Queues one encoded image for the
+  /// next drain() and returns its request index. The caller keeps the
+  /// image alive until that drain. Throws after close().
+  std::size_t submit(const img::SicEncoded& image);
+  /// Services every queued request in submit order (same schedule run()
+  /// would charge for the same queue) and marks them kCompleted.
+  std::vector<AnalysisResult> drain();
+  /// Early shutdown: marks every queued-but-unstarted request
+  /// kCancelled (counted in stats().cancelled and the stream.cancelled
+  /// metric) and returns the terminal state of EVERY submitted request,
+  /// in submit order. Idempotent; submit() after close() throws.
+  std::vector<RequestEnd> close();
+
   const StreamStats& stats() const { return stats_; }
+  /// Per-request terminal states so far (index = submit order).
+  const std::vector<RequestEnd>& request_ends() const { return ends_; }
+  /// Simulated completion time of each request of the last run()/drain()
+  /// (the collect time of its window — windows retire in order, so
+  /// these are non-decreasing). Index-aligned with the returned results.
+  const std::vector<sim::SimTime>& completion_ns() const {
+    return completions_;
+  }
 
  private:
   /// Per-image working set: the kernels of different in-flight images
@@ -72,10 +100,13 @@ class StreamEngine {
   std::size_t window_count(std::size_t w, std::size_t total) const;
   PerImage& buf(std::size_t w, std::size_t j);
 
+  /// The shared streaming loop behind run() and drain().
+  std::vector<AnalysisResult> run_queue(
+      const std::vector<const img::SicEncoded*>& images);
   /// Decodes window `w`'s images and fills their messages (the PPE-side
   /// work that overlaps in-flight extraction in the pipelined flow).
   void prepare_window(std::size_t w,
-                      const std::vector<img::SicEncoded>& images);
+                      const std::vector<const img::SicEncoded*>& images);
   int flush_ring(port::SPEInterface* iface);
   /// Enqueues + doorbells window `w`'s requests for slot `s`'s extract
   /// ring (one doorbell).
@@ -128,6 +159,14 @@ class StreamEngine {
   /// kSharded: slot s's detection model blocks (fixed per engine — they
   /// depend only on the model count and the plan's detect_spes).
   std::vector<shard::Range> cd_blocks_[4];
+  /// Models actually scored per slot (opts_.max_models clamp; the full
+  /// set when the knob is 0).
+  int scored_models_[4] = {0, 0, 0, 0};
+  /// Incremental-admission state (submit/drain/close).
+  std::vector<const img::SicEncoded*> pending_;
+  std::vector<RequestEnd> ends_;
+  std::vector<sim::SimTime> completions_;
+  bool closed_ = false;
 };
 
 }  // namespace cellport::marvel

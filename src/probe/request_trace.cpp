@@ -19,6 +19,7 @@ const char* phase_name(Phase p) {
     case Phase::kOutput: return "output";
     case Phase::kGuardRetry: return "guard_retry";
     case Phase::kFallback: return "ppe_fallback";
+    case Phase::kServeQueue: return "serve_queue";
     case Phase::kOther: return "other";
   }
   return "?";

@@ -44,6 +44,8 @@ enum class Phase : std::uint8_t {
   kOutput,      // result copy-back (collect)
   kGuardRetry,  // cellguard retry loops inside a Finish()/re-run
   kFallback,    // PPE recompute after the guard gave up
+  kServeQueue,  // cellserve: admission + scheduling + time queued for
+                // the ring (broker-side wait, disjoint from service)
   kOther,       // root span / uninstrumented PPE gaps
 };
 

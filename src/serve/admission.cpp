@@ -1,0 +1,44 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace cellport::serve {
+
+std::size_t AdmissionController::effective_budget(int total_spes,
+                                                  int quarantined) const {
+  if (total_spes <= 0 || quarantined <= 0) return cfg_.global_budget;
+  const int healthy = std::max(0, total_spes - quarantined);
+  const auto scaled =
+      (cfg_.global_budget * static_cast<std::size_t>(healthy)) /
+      static_cast<std::size_t>(total_spes);
+  return std::max<std::size_t>(1, scaled);
+}
+
+AdmissionController::Verdict AdmissionController::decide(
+    const ServeRequest& r, sim::SimTime deadline_ns,
+    const DeadlineScheduler& sched, std::size_t budget,
+    QueuedRequest* victim) const {
+  const auto& tenant = cfg_.tenants[static_cast<std::size_t>(r.tenant)];
+  if (sched.depth(r.tenant) >= tenant.queue_cap) {
+    return Verdict::kRejectTenantFull;
+  }
+  if (sched.total_depth() < budget) return Verdict::kAdmit;
+  // Budget exhausted: shed, don't reject. The newcomer displaces a
+  // queued victim with strictly less claim to the machine — a lower
+  // priority class, or the same class with a later deadline. Otherwise
+  // the newcomer itself is the least-entitled request and takes the
+  // explicit Shed status.
+  QueuedRequest cand;
+  if (sched.peek_shed_victim(&cand)) {
+    const bool newcomer_wins =
+        static_cast<int>(r.priority) < static_cast<int>(cand.priority) ||
+        (r.priority == cand.priority && deadline_ns < cand.deadline_ns);
+    if (newcomer_wins) {
+      *victim = cand;
+      return Verdict::kEvictThenAdmit;
+    }
+  }
+  return Verdict::kShedIncoming;
+}
+
+}  // namespace cellport::serve

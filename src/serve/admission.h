@@ -1,0 +1,49 @@
+// cellserve: admission control at the queue boundary.
+//
+// Two limits guard the broker. The per-tenant queue cap bounds how much
+// backlog one tenant can pile up — overflow rejects that tenant's own
+// request and nobody else pays. The global budget bounds the total
+// queued work the machine has capacity to retire; quarantined SPEs
+// shrink it proportionally (a machine serving on PPE fallbacks has no
+// business accepting a full queue). When the budget is exhausted the
+// broker sheds lowest-priority work instead of rejecting outright: an
+// incoming request either evicts a queued victim with less claim to the
+// machine (lower class, or same class with a later deadline) or is
+// itself shed with an explicit terminal status.
+#pragma once
+
+#include <cstddef>
+
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace cellport::serve {
+
+class AdmissionController {
+ public:
+  enum class Verdict {
+    kAdmit,            // queue it
+    kRejectTenantFull, // the tenant's own bounded queue is full
+    kEvictThenAdmit,   // budget full: shed `victim`, then queue it
+    kShedIncoming,     // budget full and nothing queued has less claim
+  };
+
+  explicit AdmissionController(const ServeConfig& cfg) : cfg_(cfg) {}
+
+  /// The global budget after quarantine shrink: scaled by the healthy
+  /// SPE fraction, floored at one slot (a fully-quarantined machine
+  /// still serves on PPE fallbacks, one request at a time).
+  std::size_t effective_budget(int total_spes, int quarantined) const;
+
+  /// Admission verdict for `r` against the current queue state. On
+  /// kEvictThenAdmit, `victim` names the queued request to shed; the
+  /// scheduler still owns it (the broker pops it).
+  Verdict decide(const ServeRequest& r, sim::SimTime deadline_ns,
+                 const DeadlineScheduler& sched, std::size_t budget,
+                 QueuedRequest* victim) const;
+
+ private:
+  const ServeConfig& cfg_;
+};
+
+}  // namespace cellport::serve

@@ -1,0 +1,119 @@
+// cellserve: the multi-tenant request broker in front of
+// CellEngine/StreamEngine.
+//
+// The broker turns the ring dispatcher into a scheduled, shed-capable
+// resource: tenants get bounded queues with priority classes, an
+// admission controller bounds total backlog against a global budget
+// (shrunk when cellguard quarantines SPEs), and a deadline-aware
+// scheduler batches requests onto the ring — earliest deadline first
+// within a priority class, weighted round-robin across tenants. Under
+// overload the broker degrades before it sheds and sheds before it
+// rejects:
+//
+//   level 1  score half the concept models per feature (the
+//            StreamOptions.max_models clamp — results stay the
+//            bit-exact prefix of full service);
+//   level 2  minimal detect: one model per feature;
+//   shed     lowest-priority queued work is evicted with an explicit
+//            Shed status when the budget itself runs out;
+//   reject   only a tenant overflowing its OWN bounded queue.
+//
+// Everything lands per-request in AnalysisResult::degraded and in
+// serve.* metrics (admitted/shed/degraded/deadline_missed per tenant,
+// queue-depth gauges, per-class HDR latency histograms). Faults stay
+// tenant-isolated: cellguard retries/fallbacks are already scoped to
+// the owning request inside StreamEngine, and the quarantine board
+// feeds back only through the shared budget.
+//
+// The broker runs on simulated time: it reads the PPE clock for
+// arrivals/deadlines, idles the clock forward to the next arrival when
+// the queues drain, and charges its own (small) admission/scheduling
+// work to the PPE — broker overhead at 1x load is bounded at 2% of a
+// direct analyze_stream of the same queue (bench_serve gates it).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "marvel/cell_engine.h"
+#include "marvel/stream_engine.h"
+#include "probe/request_trace.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+#include "trace/metrics.h"
+
+namespace cellport::serve {
+
+class ServeBroker {
+ public:
+  /// Borrows `engine` (and its machine/metrics/probe sink). The config
+  /// must name at least one tenant.
+  ServeBroker(marvel::CellEngine& engine, ServeConfig cfg);
+
+  /// Serves the whole offered load to terminal statuses, idling
+  /// simulated time forward to the next arrival whenever the queues
+  /// drain. Returns one response per request, in input order; every
+  /// response is terminal when this returns.
+  std::vector<ServeResponse> run(std::vector<ServeRequest> requests);
+
+  const ServeStats& stats() const { return stats_; }
+  const ServeConfig& config() const { return cfg_; }
+  /// The StreamOptions.max_models value ladder level maps to (0 = all).
+  int level_max_models(int level) const;
+
+ private:
+  trace::MetricsRegistry& metrics();
+  sim::ScalarContext& ppe();
+  std::size_t current_budget() const;
+  sim::SimTime resolved_deadline(const ServeRequest& r) const;
+  /// Admits (or rejects/sheds) every request whose arrival is due.
+  void admit_due(sim::SimTime now);
+  /// One service cycle: expire -> shrink/shed -> ladder -> pick ->
+  /// dispatch -> per-request statuses.
+  void cycle();
+  /// Lands a terminal status: response fields, stats_, serve.* counters.
+  void terminate(std::size_t idx, ServeStatus st, sim::SimTime now);
+  /// The service engine for a ladder level, constructed lazily (each
+  /// holds its own window buffers and concept clamp).
+  marvel::StreamEngine& stream(int level);
+  void set_queue_gauges();
+
+  marvel::CellEngine& engine_;
+  ServeConfig cfg_;
+  AdmissionController admission_;
+  DeadlineScheduler sched_;
+  ServeStats stats_;
+  probe::RequestTrace rt_;
+
+  std::vector<ServeRequest> requests_;
+  std::vector<ServeResponse> responses_;
+  std::vector<sim::SimTime> deadlines_;
+  std::vector<std::size_t> order_;  // indices by (arrival, input order)
+  std::size_t next_ = 0;            // cursor into order_
+  int level_ = 0;                   // current degrade-ladder level
+  int half_models_ = 1;             // level-1 max_models
+
+  std::array<std::unique_ptr<marvel::StreamEngine>, 3> streams_;
+
+  // Cached metric handles (find-or-create at construction).
+  struct ClassMetrics {
+    trace::Histogram* latency = nullptr;
+    trace::Histogram* queue_wait = nullptr;
+  };
+  struct TenantMetrics {
+    trace::Counter* admitted = nullptr;
+    trace::Counter* rejected = nullptr;
+    trace::Counter* ok = nullptr;
+    trace::Counter* degraded = nullptr;
+    trace::Counter* shed = nullptr;
+    trace::Counter* deadline_missed = nullptr;
+    trace::Gauge* queue_depth = nullptr;
+  };
+  std::array<ClassMetrics, kNumClasses> class_metrics_;
+  std::vector<TenantMetrics> tenant_metrics_;
+};
+
+}  // namespace cellport::serve

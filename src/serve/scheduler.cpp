@@ -1,0 +1,149 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cellport::serve {
+
+DeadlineScheduler::DeadlineScheduler(
+    const std::vector<TenantConfig>& tenants) {
+  if (tenants.empty()) {
+    throw cellport::ConfigError("serve: at least one tenant required");
+  }
+  for (const auto& t : tenants) {
+    if (t.weight < 1) {
+      throw cellport::ConfigError("serve: tenant weight must be >= 1");
+    }
+    weights_.push_back(t.weight);
+  }
+  tenant_depth_.assign(tenants.size(), 0);
+  queues_.assign(static_cast<std::size_t>(kNumClasses),
+                 std::vector<std::vector<QueuedRequest>>(tenants.size()));
+}
+
+void DeadlineScheduler::push(const QueuedRequest& r) {
+  auto& q = queues_[static_cast<std::size_t>(r.priority)]
+                   [static_cast<std::size_t>(r.tenant)];
+  auto pos = std::upper_bound(
+      q.begin(), q.end(), r, [](const QueuedRequest& a,
+                                const QueuedRequest& b) {
+        return a.deadline_ns != b.deadline_ns
+                   ? a.deadline_ns < b.deadline_ns
+                   : a.index < b.index;
+      });
+  q.insert(pos, r);
+  ++tenant_depth_[static_cast<std::size_t>(r.tenant)];
+  ++total_;
+}
+
+std::size_t DeadlineScheduler::depth(int tenant) const {
+  return tenant_depth_[static_cast<std::size_t>(tenant)];
+}
+
+std::vector<QueuedRequest> DeadlineScheduler::expire_due(sim::SimTime now) {
+  std::vector<QueuedRequest> out;
+  for (auto& per_class : queues_) {
+    for (std::size_t t = 0; t < per_class.size(); ++t) {
+      auto& q = per_class[t];
+      // EDF order: expired entries are a prefix.
+      std::size_t n = 0;
+      while (n < q.size() && q[n].deadline_ns < now) ++n;
+      if (n == 0) continue;
+      out.insert(out.end(), q.begin(),
+                 q.begin() + static_cast<std::ptrdiff_t>(n));
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(n));
+      tenant_depth_[t] -= n;
+      total_ -= n;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueuedRequest& a, const QueuedRequest& b) {
+              return a.deadline_ns != b.deadline_ns
+                         ? a.deadline_ns < b.deadline_ns
+                         : a.index < b.index;
+            });
+  return out;
+}
+
+std::vector<QueuedRequest> DeadlineScheduler::pick_batch(std::size_t max) {
+  std::vector<QueuedRequest> out;
+  const auto T = static_cast<int>(weights_.size());
+  for (int c = 0; c < kNumClasses && out.size() < max; ++c) {
+    auto& per_tenant = queues_[static_cast<std::size_t>(c)];
+    bool any = true;
+    while (any && out.size() < max) {
+      any = false;
+      // One weighted rotation starting at the class's persisted pointer:
+      // tenant t contributes up to weight[t] of its earliest deadlines
+      // before the rotation moves on.
+      for (int step = 0; step < T && out.size() < max; ++step) {
+        const int t = (rr_[c] + step) % T;
+        auto& q = per_tenant[static_cast<std::size_t>(t)];
+        const auto take =
+            std::min({static_cast<std::size_t>(weights_[
+                          static_cast<std::size_t>(t)]),
+                      q.size(), max - out.size()});
+        for (std::size_t i = 0; i < take; ++i) {
+          out.push_back(q[i]);
+        }
+        if (take > 0) {
+          q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(take));
+          tenant_depth_[static_cast<std::size_t>(t)] -= take;
+          total_ -= take;
+          any = true;
+        }
+      }
+      rr_[c] = (rr_[c] + 1) % T;
+    }
+  }
+  return out;
+}
+
+bool DeadlineScheduler::find_shed_victim(std::size_t* c,
+                                         std::size_t* t) const {
+  for (int ci = kNumClasses - 1; ci >= 1; --ci) {
+    const auto& per_tenant = queues_[static_cast<std::size_t>(ci)];
+    bool found = false;
+    std::size_t best_t = 0;
+    sim::SimTime best_deadline = 0;
+    std::size_t best_index = 0;
+    for (std::size_t ti = 0; ti < per_tenant.size(); ++ti) {
+      const auto& q = per_tenant[ti];
+      if (q.empty()) continue;
+      const QueuedRequest& cand = q.back();  // latest deadline in EDF order
+      if (!found || cand.deadline_ns > best_deadline ||
+          (cand.deadline_ns == best_deadline && cand.index > best_index)) {
+        found = true;
+        best_t = ti;
+        best_deadline = cand.deadline_ns;
+        best_index = cand.index;
+      }
+    }
+    if (!found) continue;
+    *c = static_cast<std::size_t>(ci);
+    *t = best_t;
+    return true;
+  }
+  return false;
+}
+
+bool DeadlineScheduler::peek_shed_victim(QueuedRequest* out) const {
+  std::size_t c = 0, t = 0;
+  if (!find_shed_victim(&c, &t)) return false;
+  *out = queues_[c][t].back();
+  return true;
+}
+
+bool DeadlineScheduler::pop_shed_victim(QueuedRequest* out) {
+  std::size_t c = 0, t = 0;
+  if (!find_shed_victim(&c, &t)) return false;
+  auto& q = queues_[c][t];
+  *out = q.back();
+  q.pop_back();
+  --tenant_depth_[t];
+  --total_;
+  return true;
+}
+
+}  // namespace cellport::serve

@@ -1,0 +1,72 @@
+// cellserve: deadline-aware scheduling queues.
+//
+// One bounded queue per (priority class, tenant), kept in earliest-
+// deadline-first order. A service cycle picks strict-priority across
+// classes and weighted-round-robin across tenants inside a class, so a
+// light tenant is never starved by a heavy one at the same priority;
+// overload shedding walks the classes from the bottom up and inside a
+// class evicts the latest-deadline request (the one with the most slack
+// to be retried elsewhere) — kHigh is never a shed victim.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace cellport::serve {
+
+/// One queued request: an index into the broker's request array plus
+/// the fields scheduling decisions read.
+struct QueuedRequest {
+  std::size_t index = 0;
+  int tenant = 0;
+  Priority priority = Priority::kNormal;
+  sim::SimTime deadline_ns = 0;
+};
+
+class DeadlineScheduler {
+ public:
+  explicit DeadlineScheduler(const std::vector<TenantConfig>& tenants);
+
+  /// EDF insert into the request's (class, tenant) queue.
+  void push(const QueuedRequest& r);
+
+  std::size_t depth(int tenant) const;
+  std::size_t total_depth() const { return total_; }
+
+  /// Removes and returns every queued request whose deadline already
+  /// passed, ordered by (deadline, index) — they terminate
+  /// deadline_missed without ever reaching the ring.
+  std::vector<QueuedRequest> expire_due(sim::SimTime now);
+
+  /// The next service cycle's batch, at most `max` requests: classes in
+  /// strict priority order; inside a class, tenants rotate weighted
+  /// round-robin (a persisted pointer per class keeps rotations fair
+  /// across cycles); inside a tenant's class queue, earliest deadline
+  /// first.
+  std::vector<QueuedRequest> pick_batch(std::size_t max);
+
+  /// The overload shed victim: the latest-deadline request of the
+  /// lowest-priority non-empty class, searched kLow then kNormal —
+  /// kHigh work is never shed from the queue. False when only kHigh
+  /// work (or nothing) is queued.
+  bool pop_shed_victim(QueuedRequest* out);
+  /// pop_shed_victim without removing it (admission peeks before the
+  /// broker commits the eviction).
+  bool peek_shed_victim(QueuedRequest* out) const;
+
+ private:
+  /// Shared victim search; returns the (class, tenant) owning the
+  /// victim, or false.
+  bool find_shed_victim(std::size_t* c, std::size_t* t) const;
+
+  // queues_[class][tenant], each sorted by (deadline, index) ascending.
+  std::vector<std::vector<std::vector<QueuedRequest>>> queues_;
+  std::vector<int> weights_;
+  std::vector<std::size_t> tenant_depth_;
+  int rr_[kNumClasses] = {0, 0, 0};
+  std::size_t total_ = 0;
+};
+
+}  // namespace cellport::serve

@@ -171,10 +171,19 @@ void Mfc::get_list(void* ls, std::span<const MfcListElement> list,
                    unsigned tag) {
   begin_list(ls, list, tag, /*is_get=*/true);
   auto* dst = static_cast<std::uint8_t*>(ls);
-  for (const auto& el : list) {
-    issue(dst, el.ea, el.size, tag, /*is_get=*/true, /*list_element=*/true);
-    ++issued_list_elements_;
-    dst += cellport::round_up(el.size, 16);
+  try {
+    for (const auto& el : list) {
+      issue(dst, el.ea, el.size, tag, /*is_get=*/true,
+            /*list_element=*/true);
+      ++issued_list_elements_;
+      dst += cellport::round_up(el.size, 16);
+    }
+  } catch (...) {
+    // A faulted element aborts the list command: its window is no
+    // longer in flight, so a recovery retry of the same LS buffer is
+    // legal, not an overlap.
+    inflight_lists_.pop_back();
+    throw;
   }
 }
 
@@ -182,10 +191,16 @@ void Mfc::put_list(const void* ls, std::span<const MfcListElement> list,
                    unsigned tag) {
   begin_list(ls, list, tag, /*is_get=*/false);
   auto* src = const_cast<std::uint8_t*>(static_cast<const std::uint8_t*>(ls));
-  for (const auto& el : list) {
-    issue(src, el.ea, el.size, tag, /*is_get=*/false, /*list_element=*/true);
-    ++issued_list_elements_;
-    src += cellport::round_up(el.size, 16);
+  try {
+    for (const auto& el : list) {
+      issue(src, el.ea, el.size, tag, /*is_get=*/false,
+            /*list_element=*/true);
+      ++issued_list_elements_;
+      src += cellport::round_up(el.size, 16);
+    }
+  } catch (...) {
+    inflight_lists_.pop_back();
+    throw;
   }
 }
 

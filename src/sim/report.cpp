@@ -87,6 +87,28 @@ MachineReport snapshot(Machine& machine) {
   r.guard.restarts = counter_or_zero(m, "guard.restarts");
   r.guard.quarantined_spes = counter_or_zero(m, "guard.quarantined_spes");
   r.guard.ppe_fallbacks = counter_or_zero(m, "guard.ppe_fallbacks");
+  r.serve.admitted = counter_or_zero(m, "serve.admitted");
+  r.serve.rejected = counter_or_zero(m, "serve.rejected");
+  r.serve.ok = counter_or_zero(m, "serve.ok");
+  r.serve.degraded = counter_or_zero(m, "serve.degraded");
+  r.serve.shed = counter_or_zero(m, "serve.shed");
+  r.serve.deadline_missed = counter_or_zero(m, "serve.deadline_missed");
+  // Tenants are discovered from the counter namespace: the broker
+  // registers serve.t<i>.* for every configured tenant, contiguously
+  // from 0.
+  for (int t = 0;; ++t) {
+    const std::string p = "serve.t" + std::to_string(t) + ".";
+    if (m.counters().find(p + "admitted") == m.counters().end()) break;
+    ServeReport::Tenant tenant;
+    tenant.id = t;
+    tenant.admitted = counter_or_zero(m, p + "admitted");
+    tenant.rejected = counter_or_zero(m, p + "rejected");
+    tenant.ok = counter_or_zero(m, p + "ok");
+    tenant.degraded = counter_or_zero(m, p + "degraded");
+    tenant.shed = counter_or_zero(m, p + "shed");
+    tenant.deadline_missed = counter_or_zero(m, p + "deadline_missed");
+    r.serve.tenants.push_back(tenant);
+  }
   return r;
 }
 
@@ -126,6 +148,23 @@ std::string format_report(const MachineReport& report) {
            " restarts, " + std::to_string(report.guard.quarantined_spes) +
            " quarantined, " + std::to_string(report.guard.ppe_fallbacks) +
            " PPE fallbacks\n";
+  }
+  if (report.serve.active()) {
+    out += "  Serve: " + std::to_string(report.serve.admitted) +
+           " admitted (" + std::to_string(report.serve.ok) + " ok, " +
+           std::to_string(report.serve.degraded) + " degraded, " +
+           std::to_string(report.serve.shed) + " shed, " +
+           std::to_string(report.serve.deadline_missed) +
+           " deadline missed), " + std::to_string(report.serve.rejected) +
+           " rejected\n";
+    for (const auto& t : report.serve.tenants) {
+      out += "    tenant " + std::to_string(t.id) + ": " +
+             std::to_string(t.admitted) + " admitted, " +
+             std::to_string(t.ok) + " ok, " + std::to_string(t.degraded) +
+             " degraded, " + std::to_string(t.shed) + " shed, " +
+             std::to_string(t.deadline_missed) + " deadline missed, " +
+             std::to_string(t.rejected) + " rejected\n";
+    }
   }
   return out;
 }

@@ -43,6 +43,31 @@ struct GuardReport {
   }
 };
 
+/// Rollup of the cellserve broker counters ("serve.*" and per-tenant
+/// "serve.t<i>.*"). All zero — and absent from the formatted report —
+/// when no broker ran on the machine.
+struct ServeReport {
+  struct Tenant {
+    int id = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t deadline_missed = 0;
+  };
+  std::vector<Tenant> tenants;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_missed = 0;
+  bool active() const {
+    return (admitted | rejected) != 0 || !tenants.empty();
+  }
+};
+
 struct MachineReport {
   SimTime ppe_ns = 0;
   std::vector<SpeReport> spes;
@@ -55,6 +80,7 @@ struct MachineReport {
   /// formatted report so "no DMA lists" reads as a fact, not a gap.
   std::uint64_t dma_list_elements = 0;
   GuardReport guard;
+  ServeReport serve;
 };
 
 /// Fills `metrics` with the machine's counter series under stable names:

@@ -14,6 +14,7 @@
 #include "kernels/messages.h"
 #include "marvel/cell_engine.h"
 #include "marvel/dataset.h"
+#include "marvel/stream_engine.h"
 #include "port/message.h"
 #include "port/spe_interface.h"
 #include "port/taskpool.h"
@@ -358,6 +359,54 @@ TEST_F(Stream, GuardFaultMidBatchRetriesOnlyTheAffectedRequest) {
   }
   EXPECT_EQ(stats.request_retries, 1u);
   EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST_F(Stream, CloseReportsATerminalStatusForEveryRequest) {
+  std::vector<AnalysisResult> want =
+      per_call_reference(marvel::Scenario::kMultiSPE);
+  sim::Machine machine;
+  marvel::CellEngine engine(machine, library_path(),
+                            marvel::Scenario::kMultiSPE);
+  marvel::StreamEngine se(engine, {/*batch=*/2});
+  // Three drained requests complete; two queued-but-unstarted ones must
+  // surface as cancelled rather than silently vanish on close().
+  for (int i = 0; i < 3; ++i) se.submit(dataset_->images[std::size_t(i)]);
+  std::vector<AnalysisResult> got = se.drain();
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_identical(got[i], want[i]);
+  }
+  se.submit(dataset_->images[3]);
+  se.submit(dataset_->images[4]);
+
+  std::vector<marvel::StreamEngine::RequestEnd> ends = se.close();
+  ASSERT_EQ(ends.size(), 5u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ends[i], marvel::StreamEngine::RequestEnd::kCompleted);
+  }
+  for (std::size_t i = 3; i < 5; ++i) {
+    EXPECT_EQ(ends[i], marvel::StreamEngine::RequestEnd::kCancelled);
+  }
+  EXPECT_EQ(se.stats().cancelled, 2u);
+  EXPECT_EQ(machine.metrics().counter("stream.cancelled").value(), 2u);
+
+  // close() is idempotent and submit-after-close is a hard error.
+  EXPECT_EQ(se.close(), ends);
+  EXPECT_EQ(se.stats().cancelled, 2u);
+  EXPECT_THROW(se.submit(dataset_->images[0]), cellport::Error);
+}
+
+TEST_F(Stream, CloseWithNothingPendingCancelsNothing) {
+  sim::Machine machine;
+  marvel::CellEngine engine(machine, library_path(),
+                            marvel::Scenario::kMultiSPE);
+  marvel::StreamEngine se(engine, {/*batch=*/2});
+  se.submit(dataset_->images[0]);
+  (void)se.drain();
+  std::vector<marvel::StreamEngine::RequestEnd> ends = se.close();
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], marvel::StreamEngine::RequestEnd::kCompleted);
+  EXPECT_EQ(se.stats().cancelled, 0u);
 }
 
 // ---- TaskPool batched dispatch ----
