@@ -50,6 +50,9 @@
 //   - dma.list_elements > 0 (the DMA-list path is actually exercised)
 //     and no feed lane fell back to PPE rows;
 //   - SPE ingest beats PPE ingest of the same carrier bytes at p50;
+//   - the fused single-pass schedule (CellEngine::set_fused over the
+//     same machine) cuts the busiest SPE's pipe slack by >= 40% vs the
+//     per-feature sharded schedule and doesn't regress kernel-path p50;
 //   - attribution covers the run: phase shares + uncovered sum to the
 //     machine's elapsed PPE time within 1%;
 //   - probing is free: probed and unprobed elapsed agree within 1%.
@@ -83,12 +86,13 @@ struct LatencyRun {
 LatencyRun sample_latency(const marvel::Dataset& data,
                           marvel::Scenario scenario,
                           probe::Attribution* attribution,
-                          bool feed = true) {
+                          bool feed = true, bool fused = false) {
   LatencyRun out;
   out.run.machine = std::make_unique<sim::Machine>();
   out.run.engine = std::make_unique<marvel::CellEngine>(
       *out.run.machine, library_path(), scenario);
   out.run.engine->set_feed(feed);
+  out.run.engine->set_fused(fused);
   if (attribution != nullptr) out.run.engine->set_probe(attribution);
   const sim::SimTime run_t0 = out.run.machine->ppe().now_ns();
   const sim::SimTime io_t0 = out.run.machine->ppe().io_ns();
@@ -170,6 +174,13 @@ int main(int argc, char** argv) {
   // the row the feed shapes are measured against.
   LatencyRun ppe_ingest = sample_latency(data, marvel::Scenario::kSharded,
                                          nullptr, /*feed=*/false);
+  // cellfuse: the same machine and carrier bytes, but every extraction
+  // lane runs the single-pass fused kernel instead of the per-feature
+  // shard schedule.
+  probe::Attribution fused_attr;
+  LatencyRun fused = sample_latency(data, marvel::Scenario::kSharded,
+                                    &fused_attr, /*feed=*/true,
+                                    /*fused=*/true);
 
   const shard::ShardPlan& plan = sharded.run.engine->shard_plan();
   std::printf("shard plan on %d SPEs: ch=%d cc=%d tx=%d eh=%d detect=%d "
@@ -179,6 +190,11 @@ int main(int argc, char** argv) {
               plan.extract_shards[shard::kSlotTx],
               plan.extract_shards[shard::kSlotEh], plan.detect_spes,
               plan.critical_path(shard::default_costs()));
+  const shard::FusedPlan& fplan = fused.run.engine->fused_plan();
+  std::printf("fused plan on %d SPEs: lanes=%d detect=%d (critical path "
+              "%.2f cost units)\n\n",
+              fplan.spes_used(), fplan.lanes, fplan.detect_spes,
+              fplan.critical_path(shard::default_costs()));
 
   Table t("Per-image latency, " + std::to_string(kImages) +
           " mixed-size PPM carriers 256x176..480x320 (simulated ms)");
@@ -186,6 +202,7 @@ int main(int argc, char** argv) {
   report(artifact, t, "MultiSPE", multi);
   report(artifact, t, "Sharded", sharded);
   report(artifact, t, "Sharded-ppe-ingest", ppe_ingest);
+  report(artifact, t, "Fused", fused);
   std::printf("%s\n", t.str().c_str());
 
   double p50_ratio = percentile(multi.end_to_end_ns, 50) /
@@ -240,11 +257,44 @@ int main(int argc, char** argv) {
   artifact.set_metric("feed.list_elements", list_elements);
   artifact.set_metric("feed.speedup_vs_ppe_ingest_p50", feed_p50_gain);
 
-  // cellprobe: the aggregated Amdahl attribution of both scenarios.
+  // cellfuse telemetry: the fused single-pass schedule against the
+  // per-feature sharded schedule on the same machine. The headline is
+  // the dual-issue slack burn-down — the fused kernel interleaves the
+  // four features' even-pipe arithmetic with the odd-pipe loads/shuffles
+  // they used to wait on, so the busiest SPE's pipe.slack_cycles must
+  // drop by >= 40%.
+  sim::collect_metrics(*fused.run.machine, fused.run.machine->metrics());
+  artifact.add_machine_metrics(fused.run.machine->metrics(), "fused.");
+  auto busiest_slack = [](sim::Machine& m) {
+    double worst = 0.0;
+    for (int i = 0; i < m.num_spes(); ++i) {
+      worst = std::max(
+          worst, static_cast<double>(m.spe(i).pipe_stats().slack_cycles));
+    }
+    return worst;
+  };
+  double sharded_slack = busiest_slack(*sharded.run.machine);
+  double fused_slack = busiest_slack(*fused.run.machine);
+  double fused_k50_gain = percentile(sharded.kernel_ns, 50) /
+                          percentile(fused.kernel_ns, 50);
+  std::printf("cellfuse: busiest-SPE pipe slack %.1f Mcyc fused vs %.1f "
+              "Mcyc sharded (%.0f%% cut), kernel-path p50 %.2fx vs "
+              "sharded\n\n",
+              fused_slack / 1e6, sharded_slack / 1e6,
+              100.0 * (1.0 - fused_slack / sharded_slack),
+              fused_k50_gain);
+  artifact.set_metric("fused.busiest_slack_cycles", fused_slack);
+  artifact.set_metric("fused.sharded_busiest_slack_cycles", sharded_slack);
+  artifact.set_metric("fused.kernel_p50_gain_vs_sharded", fused_k50_gain);
+
+  // cellprobe: the aggregated Amdahl attribution of the scenarios (the
+  // fused lanes land in Extract(parallel), so the fused rows show the
+  // single-pass schedule shrinking that phase's exclusive share).
   std::printf("%s\n", sharded_attr.format_text().c_str());
   BenchArtifact attribution("attribution");
   add_attribution_rows(attribution, "MultiSPE", multi_attr);
   add_attribution_rows(attribution, "Sharded", sharded_attr);
+  add_attribution_rows(attribution, "Fused", fused_attr);
   attribution.set_metric("multi.requests",
                          static_cast<double>(multi_attr.requests()));
   attribution.set_metric("sharded.requests",
@@ -282,6 +332,12 @@ int main(int argc, char** argv) {
   ok &= artifact.shape(feed_p50_gain > 1.0,
                        "SPE ingest beats PPE ingest of the same carrier "
                        "bytes at p50");
+  ok &= artifact.shape(fused_slack <= 0.6 * sharded_slack,
+                       "fused lanes cut the busiest SPE's pipe slack by "
+                       ">= 40% vs the per-feature sharded schedule");
+  ok &= artifact.shape(fused_k50_gain >= 1.0,
+                       "fused kernel-path p50 latency is no worse than "
+                       "the per-feature sharded schedule");
   auto covers = [](const probe::Attribution& a) {
     const double sum = a.covered_ns() + a.uncovered_ns();
     return std::abs(sum - a.total_elapsed_ns()) <=

@@ -129,6 +129,41 @@ void BM_SpeColorHistogramKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_SpeColorHistogramKernel)->Unit(benchmark::kMillisecond);
 
+// The cellfuse question in isolation: one SPU_Run_Fused pass emits all
+// four raw-partial layouts, so its simulated cost should sit well under
+// the sum of the four standalone kernels (the planner's fused=4.4 cost
+// unit vs ch+cc+tx+eh ~= 5.4). `sim_ns_per_image` carries the
+// deterministic simulated kernel time per full-frame invocation.
+void BM_FusedTile(benchmark::State& state) {
+  img::RgbImage image = img::synth_image(img::SceneKind::kShapes, 1);
+  sim::Machine machine(sim::Machine::Config{1});
+  port::SPEInterface iface(kernels::ch_module());
+  const std::size_t bytes = kernels::fused_partial_bytes(
+      image.width(), image.height(), 0, image.height());
+  cellport::AlignedBuffer<std::uint8_t> out(cellport::round_up(
+      bytes, std::size_t{16}));
+  port::WrappedMessage<kernels::ImageMsg> msg;
+  msg->pixels_ea = reinterpret_cast<std::uint64_t>(image.data());
+  msg->width = image.width();
+  msg->height = image.height();
+  msg->stride = image.stride();
+  msg->buffering = kernels::kTripleBuffer;
+  msg->out_ea = reinterpret_cast<std::uint64_t>(out.data());
+  msg->row_begin = 0;
+  msg->row_end = 0;  // whole image: one lane, all four features
+  sim::SimTime busy0 = iface.spe().busy_ns();
+  std::int64_t images = 0;
+  for (auto _ : state) {
+    iface.SendAndWait(kernels::SPU_Run_Fused, msg.ea());
+    ++images;
+  }
+  state.counters["sim_ns_per_image"] =
+      images > 0 ? (iface.spe().busy_ns() - busy0) /
+                       static_cast<double>(images)
+                 : 0;
+}
+BENCHMARK(BM_FusedTile)->Unit(benchmark::kMillisecond);
+
 // The cellshard reduction question in isolation: what does merging n
 // shard partials cost the PPE per image? These drive the planner's
 // shard_overhead calibration and back the latency bench's claim that

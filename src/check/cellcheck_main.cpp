@@ -121,6 +121,7 @@ std::string describe(const ScenarioSpec& spec) {
   }
   if (spec.sharded) s += " sharded";
   if (spec.feed) s += " feed";
+  if (spec.fused) s += " fused";
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";

@@ -294,6 +294,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
       static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive,
       policy);
   engine.set_feed(spec.feed);
+  engine.set_fused(spec.fused);
   // The scheduled fault arms after engine construction so it fires
   // during analysis, not during the module-open handshakes.
   bool injected = false;
@@ -449,6 +450,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
           static_cast<kernels::BufferingDepth>(spec.buffering),
           spec.use_naive);
       plain.set_feed(spec.feed);
+      plain.set_fused(spec.fused);
       std::vector<marvel::AnalysisResult> cell2;
       double u0 = m2.ppe().now_ns();
       if (spec.stream_batch > 0) {
@@ -491,6 +493,7 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
                                spec.buffering),
                            spec.use_naive);
       e.set_feed(spec.feed);
+      e.set_fused(spec.fused);
       double probe_t0 = m.ppe().now_ns();
       e.analyze(in.encoded[0]);
       return m.ppe().now_ns() - probe_t0;
@@ -541,6 +544,7 @@ RunOutcome run_serve(const ScenarioSpec& spec, const RunConfig& cfg) {
       static_cast<kernels::BufferingDepth>(spec.buffering), spec.use_naive,
       policy);
   engine.set_feed(spec.feed);
+  engine.set_fused(spec.fused);
   if (spec.guarded && spec.sched_fault >= 0 &&
       spec.sched_spe < spec.num_spes) {
     machine.spe(spec.sched_spe).inject_fault(sched_injection(spec));

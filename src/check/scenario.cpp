@@ -69,6 +69,16 @@ ImageSpec pick_image(Rng& rng, bool allow_degenerate) {
   return img;
 }
 
+/// Whether the corpus can take the cellfuse rider: fused extraction
+/// always carries the 4-level wavelet texture, so every image must be at
+/// least one Haar tile in both dimensions.
+bool fits_fused(const ScenarioSpec& spec) {
+  for (const auto& img : spec.images) {
+    if (img.width < 16 || img.height < 16) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* mode_name(Mode m) {
@@ -241,6 +251,17 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   if (engine_mode && rng.next_below(100) < 30) {
     spec.feed = true;
   }
+
+  // cellfuse rider (also appended last): ~30% of engine scenarios swap
+  // the per-feature extraction for the single-pass fused lanes. Fused
+  // lanes ride the interfaces the scenario already scheduled, so it
+  // composes with every other rider; the differential oracle is
+  // unchanged (fused results are bit-exact). Skipped when any corpus
+  // image is below the 16x16 wavelet floor — fused extraction always
+  // carries the texture, so the engine rejects smaller frames.
+  if (engine_mode && fits_fused(spec) && rng.next_below(100) < 30) {
+    spec.fused = true;
+  }
   return spec;
 }
 
@@ -292,6 +313,13 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
   // "feed:ingest" PPE fallbacks.
   if (rng.next_below(100) < 30) {
     spec.feed = true;
+  }
+  // Fused fault matrix (appended last): a scheduled fault on a fused
+  // lane takes all four features' partials with it, and the run must
+  // still match the oracle bit-for-bit — retried lanes via the guard,
+  // exhausted lanes as four "fuse:<feature>" PPE fallbacks.
+  if (fits_fused(spec) && rng.next_below(100) < 30) {
+    spec.fused = true;
   }
   return spec;
 }
@@ -346,6 +374,9 @@ ScenarioSpec generate_serve_scenario(std::uint64_t seed) {
   if (rng.next_below(100) < 25) {
     spec.feed = true;
   }
+  if (fits_fused(spec) && rng.next_below(100) < 25) {
+    spec.fused = true;
+  }
   return spec;
 }
 
@@ -369,6 +400,7 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("scaling_probe").value(spec.scaling_probe);
   w.key("sharded").value(spec.sharded);
   w.key("feed").value(spec.feed);
+  w.key("fused").value(spec.fused);
   w.key("guarded").value(spec.guarded);
   w.key("sched_fault").value(spec.sched_fault);
   w.key("sched_spe").value(spec.sched_spe);
@@ -476,6 +508,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.stream_batch = optional_number(doc, "stream_batch", 0);
   spec.sharded = optional_bool(doc, "sharded", false);
   spec.feed = optional_bool(doc, "feed", false);
+  spec.fused = optional_bool(doc, "fused", false);
   spec.guarded = optional_bool(doc, "guarded", false);
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);

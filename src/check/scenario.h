@@ -100,6 +100,16 @@ struct ScenarioSpec {
   /// feed lane retries behind the guard or degrades to a PPE row-range
   /// fallback reported as "feed:ingest".
   bool feed = false;
+  /// Engine modes: replace the per-feature extraction schedule with the
+  /// cellfuse single-pass fused lanes (CellEngine::set_fused) — one
+  /// SPU_Run_Fused invocation per lane emits all four raw-partial
+  /// layouts, reduced on the PPE with the cellshard merges. The fused
+  /// property: results stay bit-exact with the reference oracle,
+  /// including under scheduled faults, where an exhausted lane degrades
+  /// to the PPE mirror partials reported as "fuse:<feature>" (all four
+  /// features of that lane). Skipped when any corpus image is below the
+  /// 16x16 wavelet floor — fused extraction always carries the texture.
+  bool fused = false;
   /// Engine modes: drive the corpus through the cellserve ServeBroker
   /// (one request per image, tenants/priorities derived from the seed)
   /// instead of per-call analyze(). The serve properties: every admitted

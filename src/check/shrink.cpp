@@ -75,6 +75,13 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.feed = false;
     push(next);
   }
+  if (spec.fused) {
+    // Restoring the per-feature extraction schedule localizes a failure
+    // to the cellfuse single-pass kernel / fused reduction layer.
+    ScenarioSpec next = spec;
+    next.fused = false;
+    push(next);
+  }
   if (spec.serve) {
     // Dropping the broker entirely (back to a plain engine run)
     // localizes a failure to the serve layer; failing that, relax its

@@ -7,10 +7,13 @@
 #include "features/color_correlogram.h"
 #include "img/color.h"
 #include "img/slice.h"
+#include "kernels/cc_window.h"
 #include "kernels/common.h"
 #include "kernels/feed_kernel.h"
+#include "kernels/fused_kernel.h"
 #include "kernels/hsv_simd.h"
 #include "kernels/messages.h"
+#include "kernels/row_convert.h"
 #include "spu/spu.h"
 #include "support/aligned.h"
 
@@ -21,175 +24,13 @@ namespace {
 using namespace cellport::sim;
 using namespace cellport::spu;
 
-constexpr int kR = features::kCorrWindowRadius;  // 8
-constexpr int kBlockRows = 12;
-constexpr int kRingRows = 2 * kR + 1 + kBlockRows;  // window + one block
-/// First real pixel column inside a ring row (16-byte aligned; columns
-/// 8..15 hold the left sentinel band).
-constexpr int kRowOrigin = 16;
-constexpr std::uint8_t kSentinel = 0xFF;
-
-vec_uchar16 channel_pattern(unsigned c) {
-  vec_uchar16 p;
-  for (unsigned lane = 0; lane < 4; ++lane) {
-    p.v[4 * lane] = static_cast<std::uint8_t>(c + 3 * lane);
-    p.v[4 * lane + 1] = 16;
-    p.v[4 * lane + 2] = 16;
-    p.v[4 * lane + 3] = 16;
-  }
-  return p;
-}
-
-/// Packs the low bytes of four int4s into 16 bytes (3 shuffles).
-vec_uchar16 pack_bins(const vec_int4& a, const vec_int4& b,
-                      const vec_int4& c, const vec_int4& d) {
-  vec_uchar16 word_low;
-  for (unsigned k = 0; k < 4; ++k) {
-    word_low.v[k] = static_cast<std::uint8_t>(4 * k);            // from a
-    word_low.v[4 + k] = static_cast<std::uint8_t>(16 + 4 * k);   // from b
-    word_low.v[8 + k] = static_cast<std::uint8_t>(4 * k);        // from c
-    word_low.v[12 + k] = static_cast<std::uint8_t>(16 + 4 * k);  // from d
-  }
-  vec_uchar16 ab = spu_shuffle(vec_cast<vec_uchar16>(a),
-                               vec_cast<vec_uchar16>(b), word_low);
-  vec_uchar16 cd = spu_shuffle(vec_cast<vec_uchar16>(c),
-                               vec_cast<vec_uchar16>(d), word_low);
-  vec_uchar16 combine;
-  for (unsigned k = 0; k < 8; ++k) {
-    combine.v[k] = static_cast<std::uint8_t>(k);
-    combine.v[8 + k] = static_cast<std::uint8_t>(16 + 8 + k);
-  }
-  return spu_shuffle(ab, cd, combine);
-}
-
-/// Quantizes one RGB row into ring-row bins (SIMD body + scalar tail).
-void quantize_row_simd(const std::uint8_t* rgb, int w, std::uint8_t* dst,
-                       const HsvConstants& hsv_c) {
-  static const vec_uchar16 pat_r = channel_pattern(0);
-  static const vec_uchar16 pat_g = channel_pattern(1);
-  static const vec_uchar16 pat_b = channel_pattern(2);
-  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
-
-  int x = 0;
-  for (; x + 16 <= w; x += 16) {
-    vec_int4 bins[4];
-    for (int q = 0; q < 4; ++q) {
-      vec_uchar16 raw = vld_unaligned(rgb + (x + 4 * q) * 3);
-      vec_int4 ri = vec_cast<vec_int4>(spu_shuffle(raw, zero, pat_r));
-      vec_int4 gi = vec_cast<vec_int4>(spu_shuffle(raw, zero, pat_g));
-      vec_int4 bi = vec_cast<vec_int4>(spu_shuffle(raw, zero, pat_b));
-      bins[q] = hsv_bins_4(spu_convtf(ri), spu_convtf(gi), spu_convtf(bi),
-                           hsv_c);
-    }
-    vst(dst + x, pack_bins(bins[0], bins[1], bins[2], bins[3]));
-    spu_loop(1);
-  }
-  for (; x < w; ++x) {
-    sop(20);
-    charge_odd(3);
-    dst[x] = static_cast<std::uint8_t>(
-        img::rgb_to_bin(rgb[x * 3], rgb[x * 3 + 1], rgb[x * 3 + 2]));
-  }
-}
-
-/// Widens the low/high byte halves of a byte vector into halfwords and
-/// accumulates (2 shuffles + 2 adds).
-void widen_accumulate(const vec_uchar16& bytes, vec_ushort8& lo,
-                      vec_ushort8& hi) {
-  static const vec_uchar16 pat_lo = [] {
-    vec_uchar16 p;
-    for (unsigned k = 0; k < 8; ++k) {
-      p.v[2 * k] = static_cast<std::uint8_t>(k);  // low byte (LE)
-      p.v[2 * k + 1] = 16;                        // zero
-    }
-    return p;
-  }();
-  static const vec_uchar16 pat_hi = [] {
-    vec_uchar16 p;
-    for (unsigned k = 0; k < 8; ++k) {
-      p.v[2 * k] = static_cast<std::uint8_t>(8 + k);
-      p.v[2 * k + 1] = 16;
-    }
-    return p;
-  }();
-  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
-  lo = spu_add(lo, vec_cast<vec_ushort8>(spu_shuffle(bytes, zero, pat_lo)));
-  hi = spu_add(hi, vec_cast<vec_ushort8>(spu_shuffle(bytes, zero, pat_hi)));
-}
-
-struct CcState {
-  std::uint8_t* ring[kRingRows];
-  int row_bytes = 0;
-  std::uint32_t* same;
-  std::uint32_t* possible;
-  std::uint16_t* cols_clamped;  // per-x clamped window width
-};
-
-/// Shuffle patterns extracting the 16 bytes at offset dx in [-kR, kR]
-/// from a pair of adjacent quadwords.
-const vec_uchar16& shift_pattern(int dx) {
-  static const auto patterns = [] {
-    std::array<vec_uchar16, 2 * kR + 1> out{};
-    for (int d = -kR; d <= kR; ++d) {
-      unsigned start = static_cast<unsigned>(d < 0 ? 16 + d : d);
-      for (unsigned i = 0; i < 16; ++i) {
-        out[static_cast<std::size_t>(d + kR)].v[i] =
-            static_cast<std::uint8_t>(start + i);
-      }
-    }
-    return out;
-  }();
-  return patterns[static_cast<std::size_t>(dx + kR)];
-}
-
-/// Produces one output row y from the ring buffer.
-void produce_row(const CcState& st, int y, int w, int h) {
-  const int y0 = std::max(0, y - kR);
-  const int y1 = std::min(h - 1, y + kR);
-  const std::uint8_t* center_row = st.ring[y % kRingRows] + kRowOrigin;
-
-  for (int x0 = 0; x0 < w; x0 += 16) {
-    vec_uchar16 centers =
-        vld<vec_uchar16>(center_row + x0);  // kRowOrigin keeps this aligned
-    vec_ushort8 acc_lo = spu_splats<vec_ushort8>(0);
-    vec_ushort8 acc_hi = spu_splats<vec_ushort8>(0);
-    for (int yy = y0; yy <= y1; ++yy) {
-      const std::uint8_t* nrow = st.ring[yy % kRingRows] + kRowOrigin;
-      // Three aligned quadwords cover the whole [x0-kR, x0+15+kR] span;
-      // each window offset is one shuffle instead of an unaligned load.
-      vec_uchar16 qm1 = vld<vec_uchar16>(nrow + x0 - 16);
-      vec_uchar16 q0 = vld<vec_uchar16>(nrow + x0);
-      vec_uchar16 q1 = vld<vec_uchar16>(nrow + x0 + 16);
-      vec_uchar16 row_acc = spu_splats<vec_uchar16>(0);
-      for (int dx = -kR; dx <= kR; ++dx) {
-        vec_uchar16 neigh =
-            dx < 0 ? spu_shuffle(qm1, q0, shift_pattern(dx))
-                   : spu_shuffle(q0, q1, shift_pattern(dx));
-        // Compare masks are 0xFF (= -1) per matching byte: subtracting
-        // the mask adds 1 per match — no separate AND needed.
-        row_acc = spu_sub(row_acc, spu_cmpeq(neigh, centers));
-      }
-      widen_accumulate(row_acc, acc_lo, acc_hi);
-      spu_loop(1);
-    }
-    // Scalar finish per center: histogram scatter.
-    const int rows_clamped = y1 - y0 + 1;
-    const int lanes = std::min(16, w - x0);
-    for (int lane = 0; lane < lanes; ++lane) {
-      std::uint32_t cnt =
-          lane < 8 ? spu_extract(acc_lo, static_cast<std::size_t>(lane))
-                   : spu_extract(acc_hi, static_cast<std::size_t>(lane - 8));
-      std::uint8_t bin = sload(&center_row[x0 + lane]);
-      std::uint32_t area =
-          static_cast<std::uint32_t>(rows_clamped) *
-          sload(&st.cols_clamped[x0 + lane]);
-      sop(2);
-      sstore(&st.same[bin], sload(&st.same[bin]) + cnt - 1);
-      sstore(&st.possible[bin], sload(&st.possible[bin]) + area - 1);
-    }
-    spu_loop(1);
-  }
-}
+// The window machinery (CcState, shift patterns, cc_produce_row) and the
+// row quantizer live in cc_window.h / row_convert.h, shared verbatim with
+// the cellfuse single-pass kernel.
+constexpr int kR = kCcRadius;  // 8
+constexpr int kBlockRows = kCcBlockRows;
+constexpr int kRowOrigin = kRingOrigin;
+constexpr std::uint8_t kSentinel = kCcSentinel;
 
 int cc_run(std::uint64_t ea) {
   auto* msg = static_cast<ImageMsg*>(spu_ls_alloc(sizeof(ImageMsg)));
@@ -247,17 +88,17 @@ int cc_run(std::uint64_t ea) {
       int row_idx = blk.first_row + r;
       quantize_row_simd(
           blk.data + static_cast<std::size_t>(r) * msg->stride, w,
-          st.ring[row_idx % kRingRows] + kRowOrigin, hsv_c);
+          st.ring[row_idx % kCcRingRows] + kRowOrigin, hsv_c);
       ++computed_to;
     }
     while (produced < out_end &&
            (produced + kR < computed_to || computed_to == fetch_end)) {
-      produce_row(st, produced, w, h);
+      cc_produce_row(st, produced, w, h);
       ++produced;
     }
   }
   while (produced < out_end) {
-    produce_row(st, produced, w, h);
+    cc_produce_row(st, produced, w, h);
     ++produced;
   }
 
@@ -391,12 +232,13 @@ int cc_run_naive(std::uint64_t ea) {
 }  // namespace
 
 port::KernelModule& cc_module() {
-  // ~30 KiB code image: dispatcher + SIMD quantizer + two versions.
-  static port::KernelModule module("CCExtract", 30 * 1024);
+  // ~30 KiB code image (dispatcher + SIMD quantizer + two versions) plus
+  // ~8 KiB for the fused body.
+  static port::KernelModule module("CCExtract", 38 * 1024);
   static bool registered =
       (module.add_function(SPU_Run, &cc_run)
            .add_function(SPU_Run_Naive, &cc_run_naive),
-       register_feed(module),
+       register_feed(module), register_fused(module),
        true);
   (void)registered;
   return module;

@@ -1,0 +1,129 @@
+// Shared correlogram window machinery (hoisted out of cc_kernel.cpp for
+// cellfuse): the ring-buffer state, the per-offset shuffle patterns, and
+// the SIMD window accumulation that produces one output row. The fused
+// kernel and the standalone CC kernel run the exact same produce_row, so
+// their same/possible counts are bit-identical by construction.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "features/color_correlogram.h"
+#include "kernels/row_convert.h"
+#include "spu/spu.h"
+
+namespace cellport::kernels {
+
+inline constexpr int kCcRadius = features::kCorrWindowRadius;  // 8
+inline constexpr int kCcBlockRows = 12;
+/// Window + one block of quantized rows resident in the LS.
+inline constexpr int kCcRingRows = 2 * kCcRadius + 1 + kCcBlockRows;
+/// 0xFF can never equal a real bin (bins are 0..165), so border windows
+/// simply fail to match — no branches in the SIMD loop.
+inline constexpr std::uint8_t kCcSentinel = 0xFF;
+
+/// Widens the low/high byte halves of a byte vector into halfwords and
+/// accumulates (2 shuffles + 2 adds).
+inline void widen_accumulate(const cellport::spu::vec_uchar16& bytes,
+                             cellport::spu::vec_ushort8& lo,
+                             cellport::spu::vec_ushort8& hi) {
+  using namespace cellport::spu;
+  static const vec_uchar16 pat_lo = [] {
+    vec_uchar16 p;
+    for (unsigned k = 0; k < 8; ++k) {
+      p.v[2 * k] = static_cast<std::uint8_t>(k);  // low byte (LE)
+      p.v[2 * k + 1] = 16;                        // zero
+    }
+    return p;
+  }();
+  static const vec_uchar16 pat_hi = [] {
+    vec_uchar16 p;
+    for (unsigned k = 0; k < 8; ++k) {
+      p.v[2 * k] = static_cast<std::uint8_t>(8 + k);
+      p.v[2 * k + 1] = 16;
+    }
+    return p;
+  }();
+  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
+  lo = spu_add(lo, vec_cast<vec_ushort8>(spu_shuffle(bytes, zero, pat_lo)));
+  hi = spu_add(hi, vec_cast<vec_ushort8>(spu_shuffle(bytes, zero, pat_hi)));
+}
+
+struct CcState {
+  std::uint8_t* ring[kCcRingRows];
+  int row_bytes = 0;
+  std::uint32_t* same;
+  std::uint32_t* possible;
+  std::uint16_t* cols_clamped;  // per-x clamped window width
+};
+
+/// Shuffle patterns extracting the 16 bytes at offset dx in
+/// [-kCcRadius, kCcRadius] from a pair of adjacent quadwords.
+inline const cellport::spu::vec_uchar16& shift_pattern(int dx) {
+  using namespace cellport::spu;
+  static const auto patterns = [] {
+    std::array<vec_uchar16, 2 * kCcRadius + 1> out{};
+    for (int d = -kCcRadius; d <= kCcRadius; ++d) {
+      unsigned start = static_cast<unsigned>(d < 0 ? 16 + d : d);
+      for (unsigned i = 0; i < 16; ++i) {
+        out[static_cast<std::size_t>(d + kCcRadius)].v[i] =
+            static_cast<std::uint8_t>(start + i);
+      }
+    }
+    return out;
+  }();
+  return patterns[static_cast<std::size_t>(dx + kCcRadius)];
+}
+
+/// Produces one output row y from the ring buffer.
+inline void cc_produce_row(const CcState& st, int y, int w, int h) {
+  using namespace cellport::spu;
+  const int y0 = std::max(0, y - kCcRadius);
+  const int y1 = std::min(h - 1, y + kCcRadius);
+  const std::uint8_t* center_row = st.ring[y % kCcRingRows] + kRingOrigin;
+
+  for (int x0 = 0; x0 < w; x0 += 16) {
+    vec_uchar16 centers =
+        vld<vec_uchar16>(center_row + x0);  // kRingOrigin keeps this aligned
+    vec_ushort8 acc_lo = spu_splats<vec_ushort8>(0);
+    vec_ushort8 acc_hi = spu_splats<vec_ushort8>(0);
+    for (int yy = y0; yy <= y1; ++yy) {
+      const std::uint8_t* nrow = st.ring[yy % kCcRingRows] + kRingOrigin;
+      // Three aligned quadwords cover the whole [x0-kR, x0+15+kR] span;
+      // each window offset is one shuffle instead of an unaligned load.
+      vec_uchar16 qm1 = vld<vec_uchar16>(nrow + x0 - 16);
+      vec_uchar16 q0 = vld<vec_uchar16>(nrow + x0);
+      vec_uchar16 q1 = vld<vec_uchar16>(nrow + x0 + 16);
+      vec_uchar16 row_acc = spu_splats<vec_uchar16>(0);
+      for (int dx = -kCcRadius; dx <= kCcRadius; ++dx) {
+        vec_uchar16 neigh =
+            dx < 0 ? spu_shuffle(qm1, q0, shift_pattern(dx))
+                   : spu_shuffle(q0, q1, shift_pattern(dx));
+        // Compare masks are 0xFF (= -1) per matching byte: subtracting
+        // the mask adds 1 per match — no separate AND needed.
+        row_acc = spu_sub(row_acc, spu_cmpeq(neigh, centers));
+      }
+      widen_accumulate(row_acc, acc_lo, acc_hi);
+      spu_loop(1);
+    }
+    // Scalar finish per center: histogram scatter.
+    const int rows_clamped = y1 - y0 + 1;
+    const int lanes = std::min(16, w - x0);
+    for (int lane = 0; lane < lanes; ++lane) {
+      std::uint32_t cnt =
+          lane < 8 ? spu_extract(acc_lo, static_cast<std::size_t>(lane))
+                   : spu_extract(acc_hi, static_cast<std::size_t>(lane - 8));
+      std::uint8_t bin = sload(&center_row[x0 + lane]);
+      std::uint32_t area =
+          static_cast<std::uint32_t>(rows_clamped) *
+          sload(&st.cols_clamped[x0 + lane]);
+      sop(2);
+      sstore(&st.same[bin], sload(&st.same[bin]) + cnt - 1);
+      sstore(&st.possible[bin], sload(&st.possible[bin]) + area - 1);
+    }
+    spu_loop(1);
+  }
+}
+
+}  // namespace cellport::kernels

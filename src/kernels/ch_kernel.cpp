@@ -5,8 +5,10 @@
 #include "img/color.h"
 #include "kernels/common.h"
 #include "kernels/feed_kernel.h"
+#include "kernels/fused_kernel.h"
 #include "kernels/hsv_simd.h"
 #include "kernels/messages.h"
+#include "kernels/row_convert.h"
 #include "spu/spu.h"
 #include "support/aligned.h"
 
@@ -17,19 +19,8 @@ namespace {
 using namespace cellport::sim;
 using namespace cellport::spu;
 
-/// Shuffle patterns building one 32-bit lane per pixel from channel bytes
-/// at interleaved offsets c, c+3, c+6, c+9 (little-endian low byte;
-/// indices >= 16 select from the zero vector).
-vec_uchar16 channel_pattern(unsigned c) {
-  vec_uchar16 p;
-  for (unsigned lane = 0; lane < 4; ++lane) {
-    p.v[4 * lane] = static_cast<std::uint8_t>(c + 3 * lane);
-    p.v[4 * lane + 1] = 16;
-    p.v[4 * lane + 2] = 16;
-    p.v[4 * lane + 3] = 16;
-  }
-  return p;
-}
+// channel_pattern (the per-channel gather shuffles) lives in
+// row_convert.h, shared with CC and the cellfuse single-pass kernel.
 
 int ch_run(std::uint64_t ea) {
   auto* msg = static_cast<ImageMsg*>(spu_ls_alloc(sizeof(ImageMsg)));
@@ -264,13 +255,13 @@ int ch_run_lut(std::uint64_t ea) {
 
 port::KernelModule& ch_module() {
   // ~24 KiB of code (dispatcher + three kernel versions) plus the 32 KiB
-  // static bin table of the LUT variant.
-  static port::KernelModule module("CHExtract", 56 * 1024);
+  // static bin table of the LUT variant, plus ~8 KiB for the fused body.
+  static port::KernelModule module("CHExtract", 64 * 1024);
   static bool registered =
       (module.add_function(SPU_Run, &ch_run)
            .add_function(SPU_Run_Naive, &ch_run_naive)
            .add_function(SPU_Run_Lut, &ch_run_lut),
-       register_feed(module), true);
+       register_feed(module), register_fused(module), true);
   (void)registered;
   return module;
 }

@@ -1,0 +1,230 @@
+// Shared edge-histogram machinery (hoisted out of eh_kernel.cpp for
+// cellfuse): gray ring state, the scalar border path, and the branch-free
+// SIMD Sobel + octant/magnitude binning that produces one gradient row.
+// The fused kernel and the standalone EH kernel run the exact same
+// production functions, so their bin counts are bit-identical by
+// construction.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "features/edge_histogram.h"
+#include "kernels/row_convert.h"
+#include "spu/spu.h"
+
+namespace cellport::kernels {
+
+inline constexpr int kEhBlockRows = 16;
+inline constexpr int kEhRingRows = kEhBlockRows + 3;
+inline constexpr float kEhTwoPi = 6.2831853071795864769f;
+inline constexpr float kEhTanLo = 0.41421356237f;  // tan(22.5 deg)
+inline constexpr float kEhTanHi = 2.41421356237f;  // tan(67.5 deg)
+
+struct EhState {
+  std::uint8_t* ring[kEhRingRows];
+  std::uint32_t* counts;  // 64 bins
+  int w = 0;
+  int h = 0;
+};
+
+inline int eh_clamped(const EhState& st, int x, int y) {
+  x = std::clamp(x, 0, st.w - 1);
+  y = std::clamp(y, 0, st.h - 1);
+  return st.ring[y % kEhRingRows][kRingOrigin + x];
+}
+
+/// Scalar pixel using the reference's exact float sqrt/atan2 path (used
+/// for the image border, where clamping breaks the vector pattern).
+inline void eh_scalar_pixel(const EhState& st, int x, int y) {
+  using namespace cellport::spu;
+  sop(30);
+  charge_odd(20);
+  int gx = -eh_clamped(st, x - 1, y - 1) + eh_clamped(st, x + 1, y - 1) -
+           2 * eh_clamped(st, x - 1, y) + 2 * eh_clamped(st, x + 1, y) -
+           eh_clamped(st, x - 1, y + 1) + eh_clamped(st, x + 1, y + 1);
+  int gy = -eh_clamped(st, x - 1, y - 1) - 2 * eh_clamped(st, x, y - 1) -
+           eh_clamped(st, x + 1, y - 1) + eh_clamped(st, x - 1, y + 1) +
+           2 * eh_clamped(st, x, y + 1) + eh_clamped(st, x + 1, y + 1);
+  float mag =
+      std::sqrt(static_cast<float>(gx) * static_cast<float>(gx) +
+                static_cast<float>(gy) * static_cast<float>(gy));
+  if (mag < features::kEdgeMagThreshold) return;
+  sop(40);
+  float angle =
+      std::atan2(static_cast<float>(gy), static_cast<float>(gx));
+  if (angle < 0.0f) angle += kEhTwoPi;
+  int abin = static_cast<int>((angle + kEhTwoPi / 16.0f) *
+                              (features::kEdgeAngleBins / kEhTwoPi));
+  if (abin >= features::kEdgeAngleBins) abin = 0;
+  int mbin = static_cast<int>(
+      mag * (features::kEdgeMagBins / features::kEdgeMagMax));
+  if (mbin >= features::kEdgeMagBins) mbin = features::kEdgeMagBins - 1;
+  auto bin = static_cast<std::uint32_t>(abin * features::kEdgeMagBins +
+                                        mbin);
+  sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
+}
+
+/// Unpacks bytes [shift, shift+8) of a raw 16-byte load into halfwords.
+inline cellport::spu::vec_short8 bytes_to_short8(
+    const cellport::spu::vec_uchar16& raw, unsigned shift) {
+  using namespace cellport::spu;
+  vec_uchar16 p;
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    p.v[2 * lane] = static_cast<std::uint8_t>(shift + lane);
+    p.v[2 * lane + 1] = 16;
+  }
+  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
+  return vec_cast<vec_short8>(spu_shuffle(raw, zero, p));
+}
+
+/// Constant registers of the edge binning, loaded once per invocation.
+struct EhConstants {
+  cellport::spu::vec_float4 sign_clear;
+  cellport::spu::vec_float4 tan_lo;
+  cellport::spu::vec_float4 tan_hi;
+  cellport::spu::vec_float4 mag_b2[features::kEdgeMagBins - 1];
+  cellport::spu::vec_int4 zero_i;
+  cellport::spu::vec_int4 i0, i1, i2, i3, i4, i5, i6, i7;
+  cellport::spu::vec_int4 thresh63;
+  cellport::spu::vec_short8 one_h;
+
+  static EhConstants load() {
+    using namespace cellport::spu;
+    EhConstants c;
+    c.sign_clear = vec_cast<vec_float4>(spu_splats<vec_uint4>(0x7FFFFFFFu));
+    c.tan_lo = spu_splats<vec_float4>(kEhTanLo);
+    c.tan_hi = spu_splats<vec_float4>(kEhTanHi);
+    for (int k = 1; k < features::kEdgeMagBins; ++k) {
+      float boundary = static_cast<float>(k) * features::kEdgeMagMax /
+                       features::kEdgeMagBins;
+      c.mag_b2[k - 1] = spu_splats<vec_float4>(boundary * boundary);
+    }
+    c.zero_i = spu_splats<vec_int4>(0);
+    c.i0 = spu_splats<vec_int4>(0);
+    c.i1 = spu_splats<vec_int4>(1);
+    c.i2 = spu_splats<vec_int4>(2);
+    c.i3 = spu_splats<vec_int4>(3);
+    c.i4 = spu_splats<vec_int4>(4);
+    c.i5 = spu_splats<vec_int4>(5);
+    c.i6 = spu_splats<vec_int4>(6);
+    c.i7 = spu_splats<vec_int4>(7);
+    c.thresh63 = spu_splats<vec_int4>(63);
+    c.one_h = spu_splats<vec_short8>(1);
+    return c;
+  }
+};
+
+/// Direction bin (octant) of 4 gradients, branch-free, matching the
+/// reference's compass-centered atan2 binning for all integer gradients.
+inline cellport::spu::vec_int4 octant_bin_4(
+    const cellport::spu::vec_int4& gx, const cellport::spu::vec_int4& gy,
+    const EhConstants& c) {
+  using namespace cellport::spu;
+  vec_float4 fx = spu_convtf(gx);
+  vec_float4 fy = spu_convtf(gy);
+  vec_float4 ax = spu_and(fx, c.sign_clear);
+  vec_float4 ay = spu_and(fy, c.sign_clear);
+
+  vec_float4 diag_m = spu_cmpgt(ay, spu_mul(ax, c.tan_lo));
+  // vert: ay >= tanHi*ax  <=>  !(tanHi*ax > ay); selects last, so the
+  // complement select order below implements the >= without an xor.
+  vec_float4 not_vert_m = spu_cmpgt(spu_mul(ax, c.tan_hi), ay);
+  vec_int4 gx_pos = vec_cast<vec_int4>(spu_cmpgt(gx, c.zero_i));
+  vec_int4 gy_pos = vec_cast<vec_int4>(spu_cmpgt(gy, c.zero_i));
+
+  vec_int4 bin_h = spu_sel(c.i4, c.i0, gx_pos);
+  vec_int4 bin_v = spu_sel(c.i6, c.i2, gy_pos);
+  vec_int4 bin_d = spu_sel(spu_sel(c.i5, c.i3, gy_pos),
+                           spu_sel(c.i7, c.i1, gy_pos), gx_pos);
+
+  // diagonal-or-vertical sub-pick first, then the horizontal default.
+  vec_int4 dv = spu_sel(bin_v, bin_d, vec_cast<vec_int4>(not_vert_m));
+  return spu_sel(bin_h, dv, vec_cast<vec_int4>(diag_m));
+}
+
+/// Magnitude bin of 4 squared gradients via 7 compare-accumulates against
+/// precomputed squared boundaries (replaces the reference's sqrt):
+/// bin = 7 - #{k : b2_k > mag2}.
+inline cellport::spu::vec_int4 mag_bin_4(const cellport::spu::vec_int4& mag2,
+                                         const EhConstants& c) {
+  using namespace cellport::spu;
+  vec_float4 mf = spu_convtf(mag2);  // exact: mag2 <= ~2.1M < 2^24
+  vec_int4 gt_count = c.zero_i;
+  for (int k = 1; k < features::kEdgeMagBins; ++k) {
+    gt_count = spu_sub(
+        gt_count, vec_cast<vec_int4>(spu_cmpgt(c.mag_b2[k - 1], mf)));
+  }
+  return spu_sub(c.i7, gt_count);
+}
+
+inline void eh_produce_row_simd(const EhState& st, int y,
+                                const EhConstants& ec) {
+  using namespace cellport::spu;
+  const int w = st.w;
+  // Border columns via the scalar float path. A one-column image has a
+  // single border pixel, not two — without the early return it would be
+  // binned twice (column 0 and column w-1 are the same pixel).
+  eh_scalar_pixel(st, 0, y);
+  if (w == 1) return;
+  const std::uint8_t* rows[3] = {
+      st.ring[(y - 1) % kEhRingRows] + kRingOrigin,
+      st.ring[y % kEhRingRows] + kRingOrigin,
+      st.ring[(y + 1) % kEhRingRows] + kRingOrigin};
+
+  int x = 1;
+  for (; x + 8 <= w - 1; x += 8) {
+    vec_short8 l[3];
+    vec_short8 c[3];
+    vec_short8 r[3];
+    for (int k = 0; k < 3; ++k) {
+      vec_uchar16 raw = vld_unaligned(rows[k] + x - 1);
+      l[k] = bytes_to_short8(raw, 0);
+      c[k] = bytes_to_short8(raw, 1);
+      r[k] = bytes_to_short8(raw, 2);
+    }
+    vec_short8 gx = spu_add(
+        spu_add(spu_sub(r[0], l[0]), spu_sub(r[2], l[2])),
+        spu_sl(spu_sub(r[1], l[1]), 1));
+    vec_short8 gy = spu_sub(
+        spu_add(spu_add(l[2], r[2]), spu_sl(c[2], 1)),
+        spu_add(spu_add(l[0], r[0]), spu_sl(c[0], 1)));
+
+    // Widen even/odd halfword lanes into int words (mule/mulo by 1) and
+    // square via mule/mulo.
+    vec_int4 gx_e = spu_mule(gx, ec.one_h);
+    vec_int4 gx_o = spu_mulo(gx, ec.one_h);
+    vec_int4 gy_e = spu_mule(gy, ec.one_h);
+    vec_int4 gy_o = spu_mulo(gy, ec.one_h);
+    vec_int4 mag2_e = spu_add(spu_mule(gx, gx), spu_mule(gy, gy));
+    vec_int4 mag2_o = spu_add(spu_mulo(gx, gx), spu_mulo(gy, gy));
+
+    // Edge mask: mag2 >= 64  <=>  mag >= 8 (exact).
+    vec_int4 edge_e = vec_cast<vec_int4>(spu_cmpgt(mag2_e, ec.thresh63));
+    vec_int4 edge_o = vec_cast<vec_int4>(spu_cmpgt(mag2_o, ec.thresh63));
+
+    vec_int4 bin_e = spu_add(spu_sl(octant_bin_4(gx_e, gy_e, ec), 3),
+                             mag_bin_4(mag2_e, ec));
+    vec_int4 bin_o = spu_add(spu_sl(octant_bin_4(gx_o, gy_o, ec), 3),
+                             mag_bin_4(mag2_o, ec));
+
+    // Histogram scatter (scalar). Even int lanes are centers x+0,2,4,6;
+    // odd lanes x+1,3,5,7.
+    for (std::size_t lane = 0; lane < 4; ++lane) {
+      if (spu_branch(spu_extract(edge_e, lane) != 0)) {
+        auto bin = static_cast<std::uint32_t>(spu_extract(bin_e, lane));
+        sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
+      }
+      if (spu_branch(spu_extract(edge_o, lane) != 0)) {
+        auto bin = static_cast<std::uint32_t>(spu_extract(bin_o, lane));
+        sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
+      }
+    }
+    spu_loop(1);
+  }
+  for (; x < w - 1; ++x) eh_scalar_pixel(st, x, y);
+  eh_scalar_pixel(st, w - 1, y);
+}
+
+}  // namespace cellport::kernels

@@ -7,8 +7,11 @@
 #include "features/edge_histogram.h"
 #include "img/slice.h"
 #include "kernels/common.h"
+#include "kernels/eh_edge.h"
 #include "kernels/feed_kernel.h"
+#include "kernels/fused_kernel.h"
 #include "kernels/messages.h"
+#include "kernels/row_convert.h"
 #include "spu/spu.h"
 #include "support/aligned.h"
 
@@ -19,278 +22,13 @@ namespace {
 using namespace cellport::sim;
 using namespace cellport::spu;
 
-constexpr int kBlockRows = 16;
-constexpr int kRingRows = kBlockRows + 3;
-constexpr int kRowOrigin = 16;
-constexpr float kTwoPi = 6.2831853071795864769f;
-constexpr float kTanLo = 0.41421356237f;  // tan(22.5 deg)
-constexpr float kTanHi = 2.41421356237f;  // tan(67.5 deg)
-
-/// gray = (77 r + 150 g + 29 b) >> 8, 8 pixels at a time in halfwords
-/// (the products fit 16 bits), matching the integer reference exactly.
-void gray_row_simd(const std::uint8_t* rgb, int w, std::uint8_t* dst) {
-  // Gathering a channel of 8 interleaved pixels spans 24 bytes, so each
-  // unpack shuffles across a pair of quadword loads (channel bytes into
-  // the low 8 byte positions), then widens against the zero vector.
-  static const auto make_gather = [](unsigned c) {
-    vec_uchar16 p;
-    for (unsigned lane = 0; lane < 8; ++lane) {
-      p.v[lane] = static_cast<std::uint8_t>(c + 3 * lane);  // 0..23
-    }
-    for (unsigned i = 8; i < 16; ++i) p.v[i] = 0;
-    return p;
-  };
-  static const vec_uchar16 gather_r = make_gather(0);
-  static const vec_uchar16 gather_g = make_gather(1);
-  static const vec_uchar16 gather_b = make_gather(2);
-  static const vec_uchar16 widen = [] {
-    vec_uchar16 p;
-    for (unsigned lane = 0; lane < 8; ++lane) {
-      p.v[2 * lane] = static_cast<std::uint8_t>(lane);
-      p.v[2 * lane + 1] = 16;  // zero byte
-    }
-    return p;
-  }();
-  static const vec_uchar16 pack = [] {
-    vec_uchar16 p;
-    for (unsigned k = 0; k < 8; ++k) {
-      p.v[k] = static_cast<std::uint8_t>(2 * k);       // low byte of lane k
-      p.v[8 + k] = static_cast<std::uint8_t>(16 + 2 * k);
-    }
-    return p;
-  }();
-  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
-  const vec_ushort8 wr = spu_splats<vec_ushort8>(77);
-  const vec_ushort8 wg = spu_splats<vec_ushort8>(150);
-  const vec_ushort8 wb = spu_splats<vec_ushort8>(29);
-
-  auto unpack = [&](const vec_uchar16& lo, const vec_uchar16& hi,
-                    const vec_uchar16& gather) {
-    vec_uchar16 bytes = spu_shuffle(lo, hi, gather);
-    return vec_cast<vec_ushort8>(spu_shuffle(bytes, zero, widen));
-  };
-
-  int x = 0;
-  for (; x + 16 <= w; x += 16) {
-    vec_uchar16 halves[2];
-    for (int half = 0; half < 2; ++half) {
-      const std::uint8_t* p = rgb + (x + 8 * half) * 3;
-      vec_uchar16 lo = vld_unaligned(p);
-      vec_uchar16 hi = vld_unaligned(p + 16);
-      vec_ushort8 r = unpack(lo, hi, gather_r);
-      vec_ushort8 g = unpack(lo, hi, gather_g);
-      vec_ushort8 b = unpack(lo, hi, gather_b);
-      vec_ushort8 acc = spu_add(spu_add(spu_mulhw(r, wr), spu_mulhw(g, wg)),
-                                spu_mulhw(b, wb));
-      acc = spu_sr(acc, 8);
-      halves[half] = vec_cast<vec_uchar16>(acc);
-    }
-    vst(dst + x, spu_shuffle(halves[0], halves[1], pack));
-    spu_loop(1);
-  }
-  for (; x < w; ++x) {
-    sop(8);
-    charge_odd(4);
-    unsigned luma = 77u * rgb[x * 3] + 150u * rgb[x * 3 + 1] +
-                    29u * rgb[x * 3 + 2];
-    dst[x] = static_cast<std::uint8_t>(luma >> 8);
-  }
-}
-
-struct EhState {
-  std::uint8_t* ring[kRingRows];
-  std::uint32_t* counts;  // 64 bins
-  int w = 0;
-  int h = 0;
-};
-
-int clamped(const EhState& st, int x, int y) {
-  x = std::clamp(x, 0, st.w - 1);
-  y = std::clamp(y, 0, st.h - 1);
-  return st.ring[y % kRingRows][kRowOrigin + x];
-}
-
-/// Scalar pixel using the reference's exact float sqrt/atan2 path (used
-/// for the image border, where clamping breaks the vector pattern).
-void scalar_pixel(const EhState& st, int x, int y) {
-  sop(30);
-  charge_odd(20);
-  int gx = -clamped(st, x - 1, y - 1) + clamped(st, x + 1, y - 1) -
-           2 * clamped(st, x - 1, y) + 2 * clamped(st, x + 1, y) -
-           clamped(st, x - 1, y + 1) + clamped(st, x + 1, y + 1);
-  int gy = -clamped(st, x - 1, y - 1) - 2 * clamped(st, x, y - 1) -
-           clamped(st, x + 1, y - 1) + clamped(st, x - 1, y + 1) +
-           2 * clamped(st, x, y + 1) + clamped(st, x + 1, y + 1);
-  float mag =
-      std::sqrt(static_cast<float>(gx) * static_cast<float>(gx) +
-                static_cast<float>(gy) * static_cast<float>(gy));
-  if (mag < features::kEdgeMagThreshold) return;
-  sop(40);
-  float angle =
-      std::atan2(static_cast<float>(gy), static_cast<float>(gx));
-  if (angle < 0.0f) angle += kTwoPi;
-  int abin = static_cast<int>((angle + kTwoPi / 16.0f) *
-                              (features::kEdgeAngleBins / kTwoPi));
-  if (abin >= features::kEdgeAngleBins) abin = 0;
-  int mbin = static_cast<int>(
-      mag * (features::kEdgeMagBins / features::kEdgeMagMax));
-  if (mbin >= features::kEdgeMagBins) mbin = features::kEdgeMagBins - 1;
-  auto bin = static_cast<std::uint32_t>(abin * features::kEdgeMagBins +
-                                        mbin);
-  sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
-}
-
-/// Unpacks bytes [shift, shift+8) of a raw 16-byte load into halfwords.
-vec_short8 bytes_to_short8(const vec_uchar16& raw, unsigned shift) {
-  vec_uchar16 p;
-  for (unsigned lane = 0; lane < 8; ++lane) {
-    p.v[2 * lane] = static_cast<std::uint8_t>(shift + lane);
-    p.v[2 * lane + 1] = 16;
-  }
-  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
-  return vec_cast<vec_short8>(spu_shuffle(raw, zero, p));
-}
-
-/// Constant registers of the edge binning, loaded once per invocation.
-struct EhConstants {
-  vec_float4 sign_clear;
-  vec_float4 tan_lo;
-  vec_float4 tan_hi;
-  vec_float4 mag_b2[features::kEdgeMagBins - 1];
-  vec_int4 zero_i;
-  vec_int4 i0, i1, i2, i3, i4, i5, i6, i7;
-  vec_int4 thresh63;
-  vec_short8 one_h;
-
-  static EhConstants load() {
-    EhConstants c;
-    c.sign_clear = vec_cast<vec_float4>(spu_splats<vec_uint4>(0x7FFFFFFFu));
-    c.tan_lo = spu_splats<vec_float4>(kTanLo);
-    c.tan_hi = spu_splats<vec_float4>(kTanHi);
-    for (int k = 1; k < features::kEdgeMagBins; ++k) {
-      float boundary = static_cast<float>(k) * features::kEdgeMagMax /
-                       features::kEdgeMagBins;
-      c.mag_b2[k - 1] = spu_splats<vec_float4>(boundary * boundary);
-    }
-    c.zero_i = spu_splats<vec_int4>(0);
-    c.i0 = spu_splats<vec_int4>(0);
-    c.i1 = spu_splats<vec_int4>(1);
-    c.i2 = spu_splats<vec_int4>(2);
-    c.i3 = spu_splats<vec_int4>(3);
-    c.i4 = spu_splats<vec_int4>(4);
-    c.i5 = spu_splats<vec_int4>(5);
-    c.i6 = spu_splats<vec_int4>(6);
-    c.i7 = spu_splats<vec_int4>(7);
-    c.thresh63 = spu_splats<vec_int4>(63);
-    c.one_h = spu_splats<vec_short8>(1);
-    return c;
-  }
-};
-
-/// Direction bin (octant) of 4 gradients, branch-free, matching the
-/// reference's compass-centered atan2 binning for all integer gradients.
-vec_int4 octant_bin_4(const vec_int4& gx, const vec_int4& gy,
-                      const EhConstants& c) {
-  vec_float4 fx = spu_convtf(gx);
-  vec_float4 fy = spu_convtf(gy);
-  vec_float4 ax = spu_and(fx, c.sign_clear);
-  vec_float4 ay = spu_and(fy, c.sign_clear);
-
-  vec_float4 diag_m = spu_cmpgt(ay, spu_mul(ax, c.tan_lo));
-  // vert: ay >= tanHi*ax  <=>  !(tanHi*ax > ay); selects last, so the
-  // complement select order below implements the >= without an xor.
-  vec_float4 not_vert_m = spu_cmpgt(spu_mul(ax, c.tan_hi), ay);
-  vec_int4 gx_pos = vec_cast<vec_int4>(spu_cmpgt(gx, c.zero_i));
-  vec_int4 gy_pos = vec_cast<vec_int4>(spu_cmpgt(gy, c.zero_i));
-
-  vec_int4 bin_h = spu_sel(c.i4, c.i0, gx_pos);
-  vec_int4 bin_v = spu_sel(c.i6, c.i2, gy_pos);
-  vec_int4 bin_d = spu_sel(spu_sel(c.i5, c.i3, gy_pos),
-                           spu_sel(c.i7, c.i1, gy_pos), gx_pos);
-
-  // diagonal-or-vertical sub-pick first, then the horizontal default.
-  vec_int4 dv = spu_sel(bin_v, bin_d, vec_cast<vec_int4>(not_vert_m));
-  return spu_sel(bin_h, dv, vec_cast<vec_int4>(diag_m));
-}
-
-/// Magnitude bin of 4 squared gradients via 7 compare-accumulates against
-/// precomputed squared boundaries (replaces the reference's sqrt):
-/// bin = 7 - #{k : b2_k > mag2}.
-vec_int4 mag_bin_4(const vec_int4& mag2, const EhConstants& c) {
-  vec_float4 mf = spu_convtf(mag2);  // exact: mag2 <= ~2.1M < 2^24
-  vec_int4 gt_count = c.zero_i;
-  for (int k = 1; k < features::kEdgeMagBins; ++k) {
-    gt_count = spu_sub(
-        gt_count, vec_cast<vec_int4>(spu_cmpgt(c.mag_b2[k - 1], mf)));
-  }
-  return spu_sub(c.i7, gt_count);
-}
-
-void produce_row_simd(const EhState& st, int y, const EhConstants& ec) {
-  const int w = st.w;
-  // Border columns via the scalar float path. A one-column image has a
-  // single border pixel, not two — without the early return it would be
-  // binned twice (column 0 and column w-1 are the same pixel).
-  scalar_pixel(st, 0, y);
-  if (w == 1) return;
-  const std::uint8_t* rows[3] = {
-      st.ring[(y - 1) % kRingRows] + kRowOrigin,
-      st.ring[y % kRingRows] + kRowOrigin,
-      st.ring[(y + 1) % kRingRows] + kRowOrigin};
-
-  int x = 1;
-  for (; x + 8 <= w - 1; x += 8) {
-    vec_short8 l[3];
-    vec_short8 c[3];
-    vec_short8 r[3];
-    for (int k = 0; k < 3; ++k) {
-      vec_uchar16 raw = vld_unaligned(rows[k] + x - 1);
-      l[k] = bytes_to_short8(raw, 0);
-      c[k] = bytes_to_short8(raw, 1);
-      r[k] = bytes_to_short8(raw, 2);
-    }
-    vec_short8 gx = spu_add(
-        spu_add(spu_sub(r[0], l[0]), spu_sub(r[2], l[2])),
-        spu_sl(spu_sub(r[1], l[1]), 1));
-    vec_short8 gy = spu_sub(
-        spu_add(spu_add(l[2], r[2]), spu_sl(c[2], 1)),
-        spu_add(spu_add(l[0], r[0]), spu_sl(c[0], 1)));
-
-    // Widen even/odd halfword lanes into int words (mule/mulo by 1) and
-    // square via mule/mulo.
-    vec_int4 gx_e = spu_mule(gx, ec.one_h);
-    vec_int4 gx_o = spu_mulo(gx, ec.one_h);
-    vec_int4 gy_e = spu_mule(gy, ec.one_h);
-    vec_int4 gy_o = spu_mulo(gy, ec.one_h);
-    vec_int4 mag2_e = spu_add(spu_mule(gx, gx), spu_mule(gy, gy));
-    vec_int4 mag2_o = spu_add(spu_mulo(gx, gx), spu_mulo(gy, gy));
-
-    // Edge mask: mag2 >= 64  <=>  mag >= 8 (exact).
-    vec_int4 edge_e = vec_cast<vec_int4>(spu_cmpgt(mag2_e, ec.thresh63));
-    vec_int4 edge_o = vec_cast<vec_int4>(spu_cmpgt(mag2_o, ec.thresh63));
-
-    vec_int4 bin_e = spu_add(spu_sl(octant_bin_4(gx_e, gy_e, ec), 3),
-                             mag_bin_4(mag2_e, ec));
-    vec_int4 bin_o = spu_add(spu_sl(octant_bin_4(gx_o, gy_o, ec), 3),
-                             mag_bin_4(mag2_o, ec));
-
-    // Histogram scatter (scalar). Even int lanes are centers x+0,2,4,6;
-    // odd lanes x+1,3,5,7.
-    for (std::size_t lane = 0; lane < 4; ++lane) {
-      if (spu_branch(spu_extract(edge_e, lane) != 0)) {
-        auto bin = static_cast<std::uint32_t>(spu_extract(bin_e, lane));
-        sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
-      }
-      if (spu_branch(spu_extract(edge_o, lane) != 0)) {
-        auto bin = static_cast<std::uint32_t>(spu_extract(bin_o, lane));
-        sstore(&st.counts[bin], sload(&st.counts[bin]) + 1);
-      }
-    }
-    spu_loop(1);
-  }
-  for (; x < w - 1; ++x) scalar_pixel(st, x, y);
-  scalar_pixel(st, w - 1, y);
-}
+// The gray converter, ring state, and the Sobel/binning production
+// (eh_scalar_pixel, eh_produce_row_simd) live in eh_edge.h /
+// row_convert.h, shared verbatim with the cellfuse single-pass kernel.
+constexpr int kBlockRows = kEhBlockRows;
+constexpr int kRingRows = kEhRingRows;
+constexpr int kRowOrigin = kRingOrigin;
+constexpr float kTwoPi = kEhTwoPi;
 
 int eh_run(std::uint64_t ea) {
   auto* msg = static_cast<ImageMsg*>(spu_ls_alloc(sizeof(ImageMsg)));
@@ -338,18 +76,18 @@ int eh_run(std::uint64_t ea) {
     while (produced < out_end &&
            (produced + 1 < computed_to || computed_to == fetch_end)) {
       if (produced == 0 || produced == st.h - 1) {
-        for (int x = 0; x < st.w; ++x) scalar_pixel(st, x, produced);
+        for (int x = 0; x < st.w; ++x) eh_scalar_pixel(st, x, produced);
       } else {
-        produce_row_simd(st, produced, eh_c);
+        eh_produce_row_simd(st, produced, eh_c);
       }
       ++produced;
     }
   }
   while (produced < out_end) {
     if (produced == 0 || produced == st.h - 1) {
-      for (int x = 0; x < st.w; ++x) scalar_pixel(st, x, produced);
+      for (int x = 0; x < st.w; ++x) eh_scalar_pixel(st, x, produced);
     } else {
-      produce_row_simd(st, produced, eh_c);
+      eh_produce_row_simd(st, produced, eh_c);
     }
     ++produced;
   }
@@ -489,12 +227,12 @@ int eh_run_naive(std::uint64_t ea) {
 }  // namespace
 
 port::KernelModule& eh_module() {
-  // ~28 KiB code image.
-  static port::KernelModule module("EHExtract", 28 * 1024);
+  // ~28 KiB code image plus ~8 KiB for the fused body.
+  static port::KernelModule module("EHExtract", 36 * 1024);
   static bool registered =
       (module.add_function(SPU_Run, &eh_run)
            .add_function(SPU_Run_Naive, &eh_run_naive),
-       register_feed(module),
+       register_feed(module), register_fused(module),
        true);
   (void)registered;
   return module;

@@ -1,0 +1,24 @@
+// cellfuse: single-pass fused extraction (SPU_Run_Fused).
+//
+// One triple-buffered pass over a row range computes ALL FOUR features'
+// raw partials in a single kernel invocation: the RGB rows are fetched
+// once, quantized to HSV bins once (feeding the color histogram and the
+// correlogram window), and converted to gray once (feeding the Sobel edge
+// binning and the Haar texture pyramid). The per-feature production
+// functions are the EXACT ones the standalone kernels run (row_convert.h,
+// cc_window.h, eh_edge.h, tx_haar.h), so the fused partial is bit-exact
+// with four standalone shard partials by construction.
+//
+// Output layout: the kFused* block of messages.h — CH/CC/EH count words,
+// then the per-16-row-tile TX moment doubles — emitted with ONE DMA.
+#pragma once
+
+#include "port/dispatcher.h"
+
+namespace cellport::kernels {
+
+/// Registers the fused extraction entry point under SPU_Run_Fused, so
+/// fused lanes ride whichever extract SPEs the scenario already scheduled.
+void register_fused(port::KernelModule& module);
+
+}  // namespace cellport::kernels

@@ -28,6 +28,15 @@ inline constexpr std::uint32_t SPU_Run_Lut = 3;
 /// scatter of finished rows — triple-buffered per tile. (Opcode 4 is
 /// taken by ConceptDet's kNN entry point.)
 inline constexpr std::uint32_t SPU_Run_Feed = 5;
+/// cellfuse single-pass extraction (registered in every extract module so
+/// fused lanes ride whatever SPEs the scenario already scheduled): one
+/// triple-buffered pass over the row range, one RGB->HSV and one RGB->gray
+/// conversion per pixel, emitting ALL FOUR raw-partial layouts (CH/CC/EH
+/// count words then per-tile TX moment doubles — see the kFused* layout
+/// below) in a single invocation. The PPE reduces fused partials with the
+/// same fixed-order merges as cellshard, so fused runs stay bit-exact
+/// with the per-feature kernels.
+inline constexpr std::uint32_t SPU_Run_Fused = 6;
 
 /// DMA buffering depth for the optimized kernels (ablation knob; the
 /// paper quotes "double and triple buffering of DMA transfers").
@@ -140,6 +149,44 @@ inline constexpr std::int32_t kTxTileDoubles = 12;
 /// Haar level consumes.
 inline constexpr std::int32_t tx_num_tiles(std::int32_t h) {
   return (2 * (h / 2) + kTxTileRows - 1) / kTxTileRows;
+}
+
+// ---- cellfuse: fused raw-partial layout (SPU_Run_Fused). One invocation
+// emits every feature's partial for its row range as a single contiguous
+// block so the PPE reduces a fused lane exactly like four shard lanes. ----
+
+/// Word offsets of the count-typed sections inside the fused partial
+/// (uint32 words): CH bins, then CC same/possible, then EH bins.
+inline constexpr std::int32_t kFusedChWords = kShardChWords;              // 0..167
+inline constexpr std::int32_t kFusedCcOffset = kShardChWords;             // 168
+inline constexpr std::int32_t kFusedEhOffset = kShardChWords + kShardCcWords;  // 504
+inline constexpr std::int32_t kFusedCountWords =
+    kShardChWords + kShardCcWords + kShardEhWords;  // 568
+/// Bytes of the count block. 568 words * 4 = 2272 bytes, a 16-byte
+/// multiple, so the TX tile doubles that follow stay 16-byte aligned.
+inline constexpr std::int32_t kFusedCountBytes = kFusedCountWords * 4;
+
+/// TX tile doubles follow the count block at byte offset kFusedCountBytes
+/// (kTxTileDoubles per covered tile, same layout as a TX shard partial).
+/// Images narrower or shorter than one Haar tile (w < 16 or h < 16) carry
+/// no texture output — the fused partial is then just the count block.
+inline constexpr std::int32_t fused_tx_doubles(std::int32_t w, std::int32_t h,
+                                               std::int32_t row_begin,
+                                               std::int32_t row_end) {
+  if (w < kTxTileRows || h < kTxTileRows) return 0;
+  const std::int32_t heff = 2 * (h / 2);
+  const std::int32_t in_end = row_end < heff ? row_end : heff;
+  if (in_end <= row_begin) return 0;
+  const std::int32_t t0 = row_begin / kTxTileRows;
+  const std::int32_t t1 = (in_end + kTxTileRows - 1) / kTxTileRows;
+  return (t1 - t0) * kTxTileDoubles;
+}
+
+/// Total fused-partial bytes for a lane covering [row_begin, row_end).
+inline constexpr std::int32_t fused_partial_bytes(std::int32_t w, std::int32_t h,
+                                                  std::int32_t row_begin,
+                                                  std::int32_t row_end) {
+  return kFusedCountBytes + fused_tx_doubles(w, h, row_begin, row_end) * 8;
 }
 
 /// Per-model descriptor the detection kernel walks (built by the PPE stub

@@ -1,0 +1,153 @@
+// Shared Haar-wavelet texture machinery (hoisted out of tx_kernel.cpp for
+// cellfuse): gray de-interleave loaders, the SIMD Haar row step, and the
+// float4 energy accumulators. TX's double accumulation is order-sensitive,
+// so the fused kernel replicating bit-exact energies depends on running
+// THESE functions in the same tile order — not a lookalike.
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/common.h"
+#include "spu/spu.h"
+
+namespace cellport::kernels {
+
+/// Integer BT.601 luma for one pixel (matches img::rgb_to_gray).
+inline int tx_luma(const std::uint8_t* px) {
+  return static_cast<int>((77u * px[0] + 150u * px[1] + 29u * px[2]) >> 8);
+}
+
+/// De-interleaves 8 consecutive gray floats (from bytes) into even and
+/// odd column float4s.
+inline void load_even_odd(const std::uint8_t* gray8,
+                          cellport::spu::vec_float4& even,
+                          cellport::spu::vec_float4& odd) {
+  using namespace cellport::spu;
+  // 8 bytes -> two int4s via shuffles against zero.
+  vec_uchar16 raw = vld_unaligned(gray8);
+  static const vec_uchar16 pat_even = [] {
+    vec_uchar16 p;
+    for (unsigned k = 0; k < 4; ++k) {
+      p.v[4 * k] = static_cast<std::uint8_t>(2 * k);
+      p.v[4 * k + 1] = 16;
+      p.v[4 * k + 2] = 16;
+      p.v[4 * k + 3] = 16;
+    }
+    return p;
+  }();
+  static const vec_uchar16 pat_odd = [] {
+    vec_uchar16 p;
+    for (unsigned k = 0; k < 4; ++k) {
+      p.v[4 * k] = static_cast<std::uint8_t>(2 * k + 1);
+      p.v[4 * k + 1] = 16;
+      p.v[4 * k + 2] = 16;
+      p.v[4 * k + 3] = 16;
+    }
+    return p;
+  }();
+  const vec_uchar16 zero = spu_splats<vec_uchar16>(0);
+  even = spu_convtf(vec_cast<vec_int4>(spu_shuffle(raw, zero, pat_even)));
+  odd = spu_convtf(vec_cast<vec_int4>(spu_shuffle(raw, zero, pat_odd)));
+}
+
+/// De-interleaves 8 consecutive floats into even and odd lane float4s
+/// (2 quadword loads + 2 shuffles).
+inline void deinterleave_floats(const float* p, cellport::spu::vec_float4& e,
+                                cellport::spu::vec_float4& o) {
+  using namespace cellport::spu;
+  auto raw = reinterpret_cast<const std::uint8_t*>(p);
+  vec_float4 lo = vec_cast<vec_float4>(vld_unaligned(raw));
+  vec_float4 hi = vec_cast<vec_float4>(vld_unaligned(raw + 16));
+  static const vec_uchar16 pat_e = [] {
+    vec_uchar16 pe;
+    const std::uint8_t lane_src[4] = {0, 8, 16, 24};  // lo0 lo2 hi0 hi2
+    for (unsigned k = 0; k < 4; ++k)
+      for (unsigned byte = 0; byte < 4; ++byte)
+        pe.v[4 * k + byte] = static_cast<std::uint8_t>(lane_src[k] + byte);
+    return pe;
+  }();
+  static const vec_uchar16 pat_o = [] {
+    vec_uchar16 po;
+    const std::uint8_t lane_src[4] = {4, 12, 20, 28};  // lo1 lo3 hi1 hi3
+    for (unsigned k = 0; k < 4; ++k)
+      for (unsigned byte = 0; byte < 4; ++byte)
+        po.v[4 * k + byte] = static_cast<std::uint8_t>(lane_src[k] + byte);
+    return po;
+  }();
+  e = spu_shuffle(lo, hi, pat_e);
+  o = spu_shuffle(lo, hi, pat_o);
+}
+
+/// Horizontal reduction of a float4 into a double (for the energy sums).
+inline double reduce4(const cellport::spu::vec_float4& v) {
+  cellport::spu::charge_odd(3);
+  cellport::spu::charge_double_op(3);
+  return static_cast<double>(v.v[0]) + v.v[1] + v.v[2] + v.v[3];
+}
+
+struct Energies {
+  cellport::spu::vec_float4 lh = cellport::spu::spu_splats<
+      cellport::spu::vec_float4>(0.0f);
+  cellport::spu::vec_float4 hl = cellport::spu::spu_splats<
+      cellport::spu::vec_float4>(0.0f);
+  cellport::spu::vec_float4 hh = cellport::spu::spu_splats<
+      cellport::spu::vec_float4>(0.0f);
+};
+
+/// One Haar step over a row pair, producing one LL row and accumulating
+/// detail energies. `fetch0`/`fetch1` deliver float4s of even/odd columns
+/// for the upper/lower input row.
+template <typename RowFetch0, typename RowFetch1>
+inline void haar_rows(int half_w, RowFetch0 fetch0, RowFetch1 fetch1,
+                      float* ll_out, Energies& acc) {
+  using namespace cellport::spu;
+  const vec_float4 quarter = spu_splats<vec_float4>(0.25f);
+  int x = 0;
+  for (; x + 4 <= half_w; x += 4) {
+    vec_float4 a;
+    vec_float4 b;
+    vec_float4 c;
+    vec_float4 d;
+    fetch0(x, a, b);
+    fetch1(x, c, d);
+    vec_float4 ab_p = spu_add(a, b);
+    vec_float4 ab_m = spu_sub(a, b);
+    vec_float4 cd_p = spu_add(c, d);
+    vec_float4 cd_m = spu_sub(c, d);
+    vec_float4 ll = spu_mul(quarter, spu_add(ab_p, cd_p));
+    vec_float4 lh = spu_mul(quarter, spu_add(ab_m, cd_m));
+    vec_float4 hl = spu_mul(quarter, spu_sub(ab_p, cd_p));
+    vec_float4 hh = spu_mul(quarter, spu_sub(ab_m, cd_m));
+    vst(ll_out + x, ll);
+    acc.lh = spu_madd(lh, lh, acc.lh);
+    acc.hl = spu_madd(hl, hl, acc.hl);
+    acc.hh = spu_madd(hh, hh, acc.hh);
+    spu_loop(1);
+  }
+  // Scalar tail for half-widths not divisible by 4.
+  for (; x < half_w; ++x) {
+    vec_float4 a;
+    vec_float4 b;
+    vec_float4 c;
+    vec_float4 d;
+    int base = x & ~3;
+    fetch0(base, a, b);
+    fetch1(base, c, d);
+    std::size_t lane = static_cast<std::size_t>(x - base);
+    sop(16);
+    charge_odd(6);
+    float ab_p = a.v[lane] + b.v[lane];
+    float ab_m = a.v[lane] - b.v[lane];
+    float cd_p = c.v[lane] + d.v[lane];
+    float cd_m = c.v[lane] - d.v[lane];
+    ll_out[x] = 0.25f * (ab_p + cd_p);
+    float lh = 0.25f * (ab_m + cd_m);
+    float hl = 0.25f * (ab_p - cd_p);
+    float hh = 0.25f * (ab_m - cd_m);
+    acc.lh.v[0] += lh * lh;
+    acc.hl.v[0] += hl * hl;
+    acc.hh.v[0] += hh * hh;
+  }
+}
+
+}  // namespace cellport::kernels

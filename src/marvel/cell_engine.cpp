@@ -1,5 +1,6 @@
 #include "marvel/cell_engine.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "features/color_correlogram.h"
@@ -42,6 +43,7 @@ CellEngine::CellEngine(sim::Machine& machine,
   feed_rows_counter_ = &machine_.metrics().counter("feed.rows");
   feed_fallback_counter_ =
       &machine_.metrics().counter("feed.ppe_fallbacks");
+  fuse_images_counter_ = &machine_.metrics().counter("fuse.images");
   {
     // One-time overhead: the model library load, on the PPE.
     port::Profiler::Scope probe(profiler_, kPhaseStartup);
@@ -83,6 +85,12 @@ CellEngine::CellEngine(sim::Machine& machine,
     metrics.gauge("shard.plan.eh").set(plan_.extract_shards[shard::kSlotEh]);
     metrics.gauge("shard.plan.cd").set(plan_.detect_spes);
     shard_reduce_counter_ = &metrics.counter("shard.reduces");
+    // cellfuse: the fused lane/detect split for the same machine shape
+    // (consulted only when set_fused(true); lanes ride the extract-shard
+    // SPEs pinned below, capped at this count).
+    fused_plan_ = shard::plan_fused(machine_.num_spes());
+    metrics.gauge("shard.plan.fused_lanes").set(fused_plan_.lanes);
+    metrics.gauge("shard.plan.fused_cd").set(fused_plan_.detect_spes);
   }
 
   // Static schedule: one resident kernel per SPE (Section 3.3). A guarded
@@ -490,13 +498,21 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
     probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
                           "fill_msgs");
     for (auto& slot : slots_) fill_image_msg(slot, pixels);
-    if (scenario_ == Scenario::kSharded) prepare_shards(pixels);
+    if (fused_) {
+      prepare_fused(pixels);
+    } else if (scenario_ == Scenario::kSharded) {
+      prepare_shards(pixels);
+    }
   }
 
   if (guard_.enabled) {
     // Feed fallbacks for this image were staged during ingest().
     degraded_current_ = std::move(feed_pending_degraded_);
     feed_pending_degraded_.clear();
+  }
+  if (fused_) {
+    analyze_fused(pixels);
+  } else if (guard_.enabled) {
     analyze_guarded_schedule(pixels);
   } else {
     switch (scenario_) {
@@ -928,6 +944,271 @@ void CellEngine::sharded_detect(FeatureSlot& slot) {
                        &machine_.ppe());
 }
 
+// ---- cellfuse: the fused per-image schedule ----
+//
+// One single-pass kernel invocation per lane replaces the four
+// per-feature invocations: each lane streams its tile-aligned row range
+// once — one HSV quantization, one gray conversion — and emits all four
+// raw-partial layouts in one blob (kernels/messages.h). The PPE merges
+// the blobs' sections with the same cellshard reducers the sharded
+// scenario uses, so fused results are bit-exact with the per-feature
+// kernels; detection then runs the scenario's normal schedule.
+
+std::vector<CellEngine::FusedLane> CellEngine::fused_lanes() {
+  std::vector<FusedLane> lanes;
+  if (scenario_ == Scenario::kSharded) {
+    // Slot-major over the extract-shard SPEs (every extract module
+    // carries the fused body), capped at the planned lane count — past
+    // that, the marginal lane costs more in per-lane overhead than it
+    // saves in span (shard::plan_fused).
+    for (auto& slot : slots_) {
+      if (guard_.enabled) {
+        for (auto& g : slot.g_shards) lanes.push_back({nullptr, g.get()});
+      } else {
+        for (auto& f : slot.shard_ifs) lanes.push_back({f.get(), nullptr});
+      }
+    }
+    const auto cap = static_cast<std::size_t>(fused_plan_.lanes);
+    if (lanes.size() > cap) lanes.resize(cap);
+  } else if (scenario_ == Scenario::kSingleSPE) {
+    if (guard_.enabled) {
+      lanes.push_back({nullptr, slots_[0].g_extract.get()});
+    } else {
+      lanes.push_back({slots_[0].extract_if, nullptr});
+    }
+  } else {
+    for (auto& slot : slots_) {
+      if (guard_.enabled) {
+        lanes.push_back({nullptr, slot.g_extract.get()});
+      } else {
+        lanes.push_back({slot.extract_if, nullptr});
+      }
+    }
+  }
+  return lanes;
+}
+
+void CellEngine::prepare_fused(const img::RgbImage& pixels) {
+  const int h = pixels.height();
+  // Same precondition as the TX kernel: every wavelet level must split
+  // (a fused lane always computes the texture alongside the row-granular
+  // features).
+  if (pixels.width() < (1 << features::kTextureLevels) ||
+      h < (1 << features::kTextureLevels)) {
+    throw cellport::ConfigError(
+        "image too small for the 4-level wavelet texture");
+  }
+  const auto n = fused_lanes().size();
+  if (fused_msgs_.size() < n) {
+    fused_msgs_ =
+        std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
+  }
+  if (fused_parts_.size() < n) fused_parts_.resize(n);
+  fused_rows_ = shard::split_fused(h, static_cast<int>(n));
+  std::uint64_t stores = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const shard::Range& r = fused_rows_[j];
+    if (r.empty()) continue;
+    const std::size_t bytes =
+        kernels::fused_partial_bytes(pixels.width(), h, r.begin, r.end);
+    if (fused_parts_[j].bytes() < bytes) {
+      fused_parts_[j] = cellport::AlignedBuffer<std::uint8_t>(bytes);
+    }
+    kernels::ImageMsg& m = *fused_msgs_[j];
+    m = *slots_[0].msg;
+    m.row_begin = r.begin;
+    m.row_end = r.end;
+    m.out_ea = reinterpret_cast<std::uint64_t>(fused_parts_[j].data());
+    stores += 4;
+  }
+  machine_.ppe().charge(sim::OpClass::kStore, stores);
+}
+
+void CellEngine::analyze_fused(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+    {
+      probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                         "send_fused");
+      send_fused();
+    }
+    probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe, "fused_lanes");
+    wait_fused(pixels);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseShardReduce);
+    probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                          "fuse_reduce");
+    for (int i = 0; i < 4; ++i) reduce_fused_slot(i);
+    fuse_images_counter_->add(1);
+  }
+  port::Profiler::Scope probe(profiler_, kPhaseDetect);
+  fused_detect();
+}
+
+void CellEngine::send_fused() {
+  fused_send_ns_ = machine_.ppe().now_ns();
+  std::vector<FusedLane> lanes = fused_lanes();
+  const auto op = static_cast<int>(kernels::SPU_Run_Fused);
+  for (std::size_t j = 0; j < lanes.size(); ++j) {
+    if (fused_rows_[j].empty()) continue;
+    if (lanes[j].gi != nullptr) {
+      lanes[j].gi->Send(op, fused_msgs_[j].ea());
+    } else {
+      lanes[j].iface->Send(op, fused_msgs_[j].ea());
+    }
+  }
+}
+
+void CellEngine::wait_fused(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  std::vector<FusedLane> lanes = fused_lanes();
+  for (std::size_t j = 0; j < lanes.size(); ++j) {
+    if (fused_rows_[j].empty()) continue;
+    if (lanes[j].gi != nullptr) {
+      const sim::SimTime finish_t0 = ppe.now_ns();
+      guard::GuardedInterface::Result r = lanes[j].gi->Finish();
+      if (r.attempts > 1) {
+        rt_.add_closed(probe::Phase::kGuardRetry,
+                       "fused[" + std::to_string(j) + "]", finish_t0,
+                       ppe.now_ns());
+      }
+      if (!r.ok) fused_fallback_lane(j, pixels);
+    } else {
+      lanes[j].iface->Wait();
+    }
+    rt_.add_spe_span(probe::Phase::kExtract,
+                     "fused[" + std::to_string(j) + "]", fused_send_ns_,
+                     ppe.now_ns());
+  }
+}
+
+void CellEngine::fused_fallback_lane(std::size_t j,
+                                     const img::RgbImage& pixels) {
+  probe::ProbeSpan span(prt(), probe::Phase::kFallback, machine_.ppe(),
+                        "fuse[" + std::to_string(j) + "]");
+  // Per-feature PPE partials for just this lane's range, written into
+  // the lane blob's four sections — the reduction can't tell them from
+  // SPE-delivered bytes (the mirrors are bit-exact and zero their
+  // sections first).
+  const shard::Range& range = fused_rows_[j];
+  auto* words = reinterpret_cast<std::uint32_t*>(fused_parts_[j].data());
+  sim::ScalarContext* ppe = &machine_.ppe();
+  shard::ppe_partial_ch(pixels, range, words, ppe);
+  shard::ppe_partial_cc(pixels, range, words + kernels::kFusedCcOffset,
+                        ppe);
+  shard::ppe_partial_eh(pixels, range, words + kernels::kFusedEhOffset,
+                        ppe);
+  const int heff = 2 * (pixels.height() / 2);
+  const shard::Range tx_rows{range.begin, std::min(range.end, heff)};
+  if (!tx_rows.empty()) {
+    shard::ppe_partial_tx(
+        pixels, tx_rows,
+        reinterpret_cast<double*>(fused_parts_[j].data() +
+                                  kernels::kFusedCountBytes),
+        ppe);
+  }
+  for (auto& slot : slots_) note_degraded("fuse", slot);
+}
+
+void CellEngine::reduce_fused_slot(int i) {
+  FeatureSlot& slot = slots_[i];
+  const int w = slots_[0].msg->width;
+  const int h = slots_[0].msg->height;
+  std::vector<const std::uint32_t*> counts;
+  std::vector<const double*> tiles;
+  std::vector<int> tile_doubles;
+  for (std::size_t j = 0; j < fused_rows_.size(); ++j) {
+    const shard::Range& r = fused_rows_[j];
+    if (r.empty()) continue;
+    const auto* words =
+        reinterpret_cast<const std::uint32_t*>(fused_parts_[j].data());
+    switch (i) {
+      case shard::kSlotCh:
+        counts.push_back(words);
+        break;
+      case shard::kSlotCc:
+        counts.push_back(words + kernels::kFusedCcOffset);
+        break;
+      case shard::kSlotTx:
+        tiles.push_back(reinterpret_cast<const double*>(
+            fused_parts_[j].data() + kernels::kFusedCountBytes));
+        tile_doubles.push_back(
+            kernels::fused_tx_doubles(w, h, r.begin, r.end));
+        break;
+      default:
+        counts.push_back(words + kernels::kFusedEhOffset);
+        break;
+    }
+  }
+  sim::ScalarContext* ppe = &machine_.ppe();
+  switch (i) {
+    case shard::kSlotCh:
+      shard::reduce_ch(counts.data(), static_cast<int>(counts.size()), w,
+                       h, slot.out.data(), ppe);
+      break;
+    case shard::kSlotCc:
+      shard::reduce_cc(counts.data(), static_cast<int>(counts.size()),
+                       slot.out.data(), ppe);
+      break;
+    case shard::kSlotTx:
+      shard::reduce_tx(tiles.data(), tile_doubles.data(),
+                       static_cast<int>(tiles.size()), w, h,
+                       slot.out.data(), ppe);
+      break;
+    default:
+      shard::reduce_eh(counts.data(), static_cast<int>(counts.size()), w,
+                       h, slot.out.data(), ppe);
+      break;
+  }
+}
+
+void CellEngine::fused_detect() {
+  sim::ScalarContext& ppe = machine_.ppe();
+  if (scenario_ == Scenario::kSharded) {
+    probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe, "blocks");
+    for (auto& slot : slots_) sharded_detect(slot);
+    return;
+  }
+  probe::ProbeSpan span(prt(), probe::Phase::kDetect, ppe);
+  if (scenario_ == Scenario::kMultiSPE2) {
+    sim::SimTime detect_sent[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      detect_sent[i] = ppe.now_ns();
+      if (guard_.enabled) {
+        slots_[i].g_detect->Send(static_cast<int>(kernels::SPU_Run),
+                                 slots_[i].detect_msg.ea());
+      } else {
+        slots_[i].detect_if->Send(static_cast<int>(kernels::SPU_Run),
+                                  slots_[i].detect_msg.ea());
+      }
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (guard_.enabled) {
+        finish_detect(slots_[i], *slots_[i].g_detect);
+      } else {
+        slots_[i].detect_if->Wait();
+      }
+      rt_.add_spe_span(probe::Phase::kDetect,
+                       std::string("cd:") + slots_[i].name,
+                       detect_sent[i], ppe.now_ns());
+    }
+    return;
+  }
+  for (auto& slot : slots_) {
+    if (guard_.enabled) {
+      guarded_detect(slot, *g_cd_);
+    } else {
+      const sim::SimTime sent = ppe.now_ns();
+      run_detection(slot, *cd_if_);
+      rt_.add_spe_span(probe::Phase::kDetect,
+                       std::string("cd:") + slot.name, sent,
+                       ppe.now_ns());
+    }
+  }
+}
+
 void CellEngine::finish_extract(FeatureSlot& slot,
                                 const img::RgbImage& pixels) {
   const sim::SimTime finish_t0 = machine_.ppe().now_ns();
@@ -1044,7 +1325,11 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
       probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
                             "fill_msgs");
       for (auto& slot : slots_) fill_image_msg(slot, current);
-      if (scenario_ == Scenario::kSharded) prepare_shards(current);
+      if (fused_) {
+        prepare_fused(current);
+      } else if (scenario_ == Scenario::kSharded) {
+        prepare_shards(current);
+      }
     }
     if (guard_.enabled) {
       // Feed fallbacks for `current` were staged when it was decoded
@@ -1056,7 +1341,9 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     {
       probe::ProbeSpan span(prt(), probe::Phase::kDispatch, ppe,
                             "send_extract");
-      if (scenario_ == Scenario::kSharded) {
+      if (fused_) {
+        send_fused();
+      } else if (scenario_ == Scenario::kSharded) {
         send_shards();
       } else {
         for (int s = 0; s < 4; ++s) {
@@ -1076,7 +1363,20 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     img::RgbImage next;
     if (i + 1 < images.size()) next = decode(images[i + 1]);
 
-    if (scenario_ == Scenario::kSharded) {
+    if (fused_) {
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
+                              "fused_lanes");
+        wait_fused(current);
+      }
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                              "fuse_reduce");
+        for (int si = 0; si < 4; ++si) reduce_fused_slot(si);
+        fuse_images_counter_->add(1);
+      }
+      fused_detect();
+    } else if (scenario_ == Scenario::kSharded) {
       {
         probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
                               "shards");

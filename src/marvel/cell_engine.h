@@ -165,6 +165,25 @@ class CellEngine {
   void set_feed(bool on) { feed_ = on; }
   bool feed() const { return feed_; }
 
+  /// cellfuse: with the knob on, the four feature extractions of every
+  /// image run as ONE single-pass fused kernel (SPU_Run_Fused) per lane —
+  /// one pixel fetch, one HSV quantization, one gray conversion — each
+  /// lane emitting all four raw-partial layouts for its tile-aligned row
+  /// range (shard::split_fused), merged on the PPE by the cellshard
+  /// reducers. Results are bit-exact with the per-feature kernels. Lanes
+  /// ride the SPEs the scenario already scheduled for extraction
+  /// (kSingleSPE: one lane; kMultiSPE/kMultiSPE2: the four extract SPEs;
+  /// kSharded: the extract-shard SPEs, capped at shard::plan_fused's lane
+  /// count). A guarded engine recomputes a failed lane's range on the PPE
+  /// via the shard mirrors — per-feature partials for just that slice —
+  /// recorded as degraded "fuse:<feature>". Off (the default) leaves
+  /// every legacy path and its simulated time untouched.
+  void set_fused(bool on) { fused_ = on; }
+  bool fused() const { return fused_; }
+  /// The fused lane/detect split a kSharded engine consults (defaulted
+  /// 1+1 otherwise).
+  const shard::FusedPlan& fused_plan() const { return fused_plan_; }
+
  private:
   friend class StreamEngine;
 
@@ -269,6 +288,41 @@ class CellEngine {
   /// Block-split detection for one slot over the detection interfaces.
   void sharded_detect(FeatureSlot& slot);
 
+  // ---- cellfuse paths (no-ops unless set_fused(true)) ----
+  /// One fused extraction lane: an SPE already scheduled for extraction,
+  /// guarded or plain depending on the engine.
+  struct FusedLane {
+    port::SPEInterface* iface = nullptr;
+    guard::GuardedInterface* gi = nullptr;
+  };
+  /// The scenario's fused lanes (kSingleSPE: slot 0's interface;
+  /// kMultiSPE/kMultiSPE2: the four extract interfaces; kSharded: the
+  /// extract-shard interfaces slot-major, capped at fused_plan_.lanes).
+  std::vector<FusedLane> fused_lanes();
+  /// Computes the current image's lane ranges, (re)sizes the per-lane
+  /// partial blobs and fills the lane messages (after fill_image_msg).
+  /// Throws ConfigError for images below 16x16, exactly like the TX
+  /// kernel (a fused lane always computes the wavelet texture).
+  void prepare_fused(const img::RgbImage& pixels);
+  /// The fused per-image schedule: parallel single-pass lanes, PPE
+  /// reduction of all four features, then the scenario's normal
+  /// detection schedule.
+  void analyze_fused(const img::RgbImage& pixels);
+  /// Dispatches every non-empty lane (guarded or not).
+  void send_fused();
+  /// Completion side of send_fused(); a guarded lane that exhausts its
+  /// retries is recomputed from `pixels` via the PPE shard mirrors.
+  void wait_fused(const img::RgbImage& pixels);
+  /// PPE mirror for one lane's row range: per-feature partials written
+  /// into the lane blob's four sections, bit-exact with the kernel.
+  void fused_fallback_lane(std::size_t j, const img::RgbImage& pixels);
+  /// Merges every lane's blob section for slot `i` into its normalized
+  /// output buffer (the cellshard reducers, fed section pointers).
+  void reduce_fused_slot(int i);
+  /// The scenario's detection schedule, shared by analyze_fused and the
+  /// pipelined loop (identical to the per-feature paths' detection).
+  void fused_detect();
+
   // ---- cellprobe ----
   /// The live request trace, or null when no sink is installed (every
   /// RequestTrace/ProbeSpan call site stays unconditional).
@@ -313,6 +367,15 @@ class CellEngine {
   /// feed degradation is staged here and spliced into the degraded list
   /// of the image it belongs to.
   std::vector<std::string> feed_pending_degraded_;
+
+  // cellfuse state.
+  bool fused_ = false;
+  shard::FusedPlan fused_plan_;
+  std::vector<port::WrappedMessage<kernels::ImageMsg>> fused_msgs_;
+  std::vector<cellport::AlignedBuffer<std::uint8_t>> fused_parts_;
+  std::vector<shard::Range> fused_rows_;
+  trace::Counter* fuse_images_counter_ = nullptr;
+  sim::SimTime fused_send_ns_ = 0;
 
   // cellshard state (kSharded only).
   shard::ShardPlan plan_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "features/texture.h"
 #include "shard/mirror.h"
 #include "shard/reducer.h"
 #include "support/error.h"
@@ -180,6 +181,41 @@ void StreamEngine::prepare_window(
       m.buffering = engine_.buffering_;
       m.out_ea = reinterpret_cast<std::uint64_t>(pi.sb[s].out.data());
       m.out_count = engine_.slots_[s].dim;
+    }
+    if (engine_.fused_) {
+      // cellfuse: extraction rides fused lanes instead of the feature
+      // slots. Same small-image precondition as CellEngine::prepare_fused
+      // (a fused lane always computes the wavelet texture).
+      const int ih = pi.pixels.height();
+      if (pi.pixels.width() < (1 << features::kTextureLevels) ||
+          ih < (1 << features::kTextureLevels)) {
+        throw cellport::ConfigError(
+            "image too small for the 4-level wavelet texture");
+      }
+      const auto n = engine_.fused_lanes().size();
+      if (pi.fused_msgs.size() < n) {
+        pi.fused_msgs =
+            std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
+      }
+      if (pi.fused_parts.size() < n) pi.fused_parts.resize(n);
+      pi.fused_rows = shard::split_fused(ih, static_cast<int>(n));
+      for (std::size_t k = 0; k < n; ++k) {
+        const shard::Range& r = pi.fused_rows[k];
+        if (r.empty()) continue;
+        const std::size_t bytes = kernels::fused_partial_bytes(
+            pi.pixels.width(), ih, r.begin, r.end);
+        if (pi.fused_parts[k].bytes() < bytes) {
+          pi.fused_parts[k] =
+              cellport::AlignedBuffer<std::uint8_t>(bytes);
+        }
+        ppe.charge(sim::OpClass::kStore, 4);
+        kernels::ImageMsg& m = *pi.fused_msgs[k];
+        m = *pi.sb[0].msg;
+        m.row_begin = r.begin;
+        m.row_end = r.end;
+        m.out_ea = reinterpret_cast<std::uint64_t>(pi.fused_parts[k].data());
+      }
+      continue;
     }
     if (engine_.scenario_ != Scenario::kSharded) continue;
     // cellshard: the shard plan is fixed, the ranges follow this image's
@@ -480,8 +516,171 @@ void StreamEngine::rerun_detect_block(int s, int b, PerImage& pi) {
   note_degraded("detect", s, pi);
 }
 
+// ---- cellfuse flows ----
+//
+// The call sites still iterate the four feature slots; with the fused
+// knob on, slot 0 carries the whole window over the lane rings and the
+// other slots are no-ops (their extraction happened in the fused pass).
+
+void StreamEngine::flush_fused_window(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  const auto cap = static_cast<std::uint32_t>(opts_.batch) *
+                   (pipelined_ ? 2u : 1u);
+  const auto op = static_cast<int>(kernels::SPU_Run_Fused);
+  std::vector<CellEngine::FusedLane> lanes = engine_.fused_lanes();
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    port::SPEInterface* raw =
+        lanes[k].gi != nullptr ? lanes[k].gi->iface() : lanes[k].iface;
+    port::SPEInterface* iface = ensure_ring(raw, cap);
+    if (iface == nullptr) continue;  // guarded + closed: wait resolves it
+    int enqueued = 0;
+    for (std::size_t j = 0; j < count; ++j) {
+      PerImage& pi = buf(w, j);
+      if (pi.fused_rows[k].empty()) continue;
+      iface->Enqueue(op, pi.fused_msgs[k].ea());
+      ++enqueued;
+    }
+    if (enqueued > 0) flush_ring(iface);
+  }
+}
+
+void StreamEngine::wait_fused_window(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  std::vector<CellEngine::FusedLane> lanes = engine_.fused_lanes();
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    std::vector<std::size_t> live;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (!buf(w, j).fused_rows[k].empty()) live.push_back(j);
+    }
+    if (live.empty()) continue;
+    port::SPEInterface* iface =
+        lanes[k].gi != nullptr ? lanes[k].gi->iface() : lanes[k].iface;
+    if (iface == nullptr) {
+      for (std::size_t j : live) rerun_fused_lane(k, buf(w, j));
+      continue;
+    }
+    std::vector<int> res;
+    const sim::SimTime timeout =
+        guard_deadline_ns_ > 0
+            ? guard_deadline_ns_ * static_cast<sim::SimTime>(live.size())
+            : -1;
+    if (!iface->WaitBatch(&res, timeout)) {
+      ++stats_.batch_timeouts;
+      iface->reclaim();
+      for (std::size_t j : live) rerun_fused_lane(k, buf(w, j));
+      continue;
+    }
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (res[i] != port::SPEInterface::kRingFault) continue;
+      if (lanes[k].gi != nullptr) {
+        rerun_fused_lane(k, buf(w, live[i]));
+      } else {
+        throw_ring_fault("fused extract", iface);
+      }
+    }
+  }
+}
+
+void StreamEngine::rerun_fused_lane(std::size_t k, PerImage& pi) {
+  ++stats_.request_retries;
+  std::vector<CellEngine::FusedLane> lanes = engine_.fused_lanes();
+  const sim::SimTime retry_t0 = engine_.machine_.ppe().now_ns();
+  guard::GuardedInterface::Result r = lanes[k].gi->Call(
+      static_cast<int>(kernels::SPU_Run_Fused), pi.fused_msgs[k].ea());
+  engine_.rt_.add_closed(probe::Phase::kGuardRetry,
+                         "fused[" + std::to_string(k) + "]", retry_t0,
+                         engine_.machine_.ppe().now_ns());
+  if (r.ok) return;
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        "fuse[" + std::to_string(k) + "]");
+  // Per-feature PPE partials for just this lane's range, into the lane
+  // blob's four sections (see CellEngine::fused_fallback_lane).
+  const shard::Range& range = pi.fused_rows[k];
+  auto* words = reinterpret_cast<std::uint32_t*>(pi.fused_parts[k].data());
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  shard::ppe_partial_ch(pi.pixels, range, words, ppe);
+  shard::ppe_partial_cc(pi.pixels, range,
+                        words + kernels::kFusedCcOffset, ppe);
+  shard::ppe_partial_eh(pi.pixels, range,
+                        words + kernels::kFusedEhOffset, ppe);
+  const int heff = 2 * (pi.pixels.height() / 2);
+  const shard::Range tx_rows{range.begin, std::min(range.end, heff)};
+  if (!tx_rows.empty()) {
+    shard::ppe_partial_tx(
+        pi.pixels, tx_rows,
+        reinterpret_cast<double*>(pi.fused_parts[k].data() +
+                                  kernels::kFusedCountBytes),
+        ppe);
+  }
+  for (int s = 0; s < 4; ++s) note_degraded("fuse", s, pi);
+}
+
+void StreamEngine::reduce_fused_window(std::size_t w, std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  for (std::size_t j = 0; j < count; ++j) {
+    PerImage& pi = buf(w, j);
+    const int iw = pi.pixels.width();
+    const int ih = pi.pixels.height();
+    for (int s = 0; s < 4; ++s) {
+      std::vector<const std::uint32_t*> counts;
+      std::vector<const double*> tiles;
+      std::vector<int> tile_doubles;
+      for (std::size_t k = 0; k < pi.fused_rows.size(); ++k) {
+        const shard::Range& r = pi.fused_rows[k];
+        if (r.empty()) continue;
+        const auto* words = reinterpret_cast<const std::uint32_t*>(
+            pi.fused_parts[k].data());
+        switch (s) {
+          case shard::kSlotCh:
+            counts.push_back(words);
+            break;
+          case shard::kSlotCc:
+            counts.push_back(words + kernels::kFusedCcOffset);
+            break;
+          case shard::kSlotTx:
+            tiles.push_back(reinterpret_cast<const double*>(
+                pi.fused_parts[k].data() + kernels::kFusedCountBytes));
+            tile_doubles.push_back(
+                kernels::fused_tx_doubles(iw, ih, r.begin, r.end));
+            break;
+          default:
+            counts.push_back(words + kernels::kFusedEhOffset);
+            break;
+        }
+      }
+      SlotBuf& sb = pi.sb[s];
+      switch (s) {
+        case shard::kSlotCh:
+          shard::reduce_ch(counts.data(), static_cast<int>(counts.size()),
+                           iw, ih, sb.out.data(), ppe);
+          break;
+        case shard::kSlotCc:
+          shard::reduce_cc(counts.data(), static_cast<int>(counts.size()),
+                           sb.out.data(), ppe);
+          break;
+        case shard::kSlotTx:
+          shard::reduce_tx(tiles.data(), tile_doubles.data(),
+                           static_cast<int>(tiles.size()), iw, ih,
+                           sb.out.data(), ppe);
+          break;
+        default:
+          shard::reduce_eh(counts.data(), static_cast<int>(counts.size()),
+                           iw, ih, sb.out.data(), ppe);
+          break;
+      }
+    }
+    engine_.fuse_images_counter_->add(1);
+  }
+}
+
 void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
                                       int s) {
+  if (engine_.fused_) {
+    if (s == 0) flush_fused_window(w, total);
+    return;
+  }
   if (engine_.scenario_ == Scenario::kSharded) {
     flush_shard_slot(w, total, s);
     return;
@@ -500,6 +699,10 @@ void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
 
 void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
                                      int s) {
+  if (engine_.fused_) {
+    if (s == 0) wait_fused_window(w, total);
+    return;
+  }
   if (engine_.scenario_ == Scenario::kSharded) {
     wait_shard_slot(w, total, s);
     return;
@@ -537,9 +740,16 @@ void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
 
 void StreamEngine::run_detect(std::size_t w, std::size_t total) {
   sim::ScalarContext& ppe = engine_.machine_.ppe();
+  if (engine_.fused_) {
+    // Lane blobs must merge before detection can read the feature
+    // vectors, whatever the scenario.
+    probe::ProbeSpan span(engine_.prt(), probe::Phase::kReduce, ppe,
+                          "fuse_reduce");
+    reduce_fused_window(w, total);
+  }
   if (engine_.scenario_ == Scenario::kSharded) {
     // Partials must merge before detection can read the feature vectors.
-    {
+    if (!engine_.fused_) {
       probe::ProbeSpan span(engine_.prt(), probe::Phase::kReduce, ppe,
                             "reduce_window");
       reduce_window(w, total);

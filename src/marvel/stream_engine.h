@@ -85,6 +85,12 @@ class StreamEngine {
     img::RgbImage pixels;
     std::vector<std::string> degraded;
     SlotBuf sb[4];
+    // cellfuse (engine_.fused()): per-lane single-pass messages, partial
+    // blobs, and row ranges — each in-flight image reduces its own lane
+    // blobs, like the shard partials above.
+    std::vector<port::WrappedMessage<kernels::ImageMsg>> fused_msgs;
+    std::vector<cellport::AlignedBuffer<std::uint8_t>> fused_parts;
+    std::vector<shard::Range> fused_rows;
   };
 
   port::SPEInterface* extract_iface(int s);
@@ -133,6 +139,20 @@ class StreamEngine {
   void run_detect_sharded(std::size_t w, std::size_t total);
   void rerun_shard(int s, int k, PerImage& pi);
   void rerun_detect_block(int s, int b, PerImage& pi);
+
+  // ---- cellfuse flows (engine_.fused() only) ----
+  /// Enqueues + doorbells window `w`'s requests on every fused lane ring
+  /// (one doorbell per lane); extraction rides the lanes instead of the
+  /// per-feature slots.
+  void flush_fused_window(std::size_t w, std::size_t total);
+  /// Waits every lane ring for window `w`; a faulted request is re-run
+  /// alone, dropping to the PPE mirror partials (all four sections of
+  /// that lane's blob) when the guard gives up.
+  void wait_fused_window(std::size_t w, std::size_t total);
+  /// Merges every image's lane-blob sections into its four feature
+  /// buffers (between the extract wait and detection).
+  void reduce_fused_window(std::size_t w, std::size_t total);
+  void rerun_fused_lane(std::size_t j, PerImage& pi);
   void collect_window(std::size_t w, std::size_t total,
                       std::vector<AnalysisResult>* out);
 

@@ -35,6 +35,22 @@ std::vector<Range> split_tiles(int h, int n) {
   return out;
 }
 
+std::vector<Range> split_fused(int h, int n) {
+  if (h < kernels::kTxTileRows) {
+    // No Haar tile fits: no tile-boundary constraint either, so fall back
+    // to the plain row split (the fused kernel skips TX for such images).
+    return split_rows(h, n);
+  }
+  std::vector<Range> out = split_tiles(h, n);
+  for (std::size_t i = out.size(); i-- > 0;) {
+    if (!out[i].empty()) {
+      out[i].end = h;
+      break;
+    }
+  }
+  return out;
+}
+
 int tx_partial_doubles(const Range& r) {
   if (r.empty()) return 0;
   const int t0 = r.begin / kernels::kTxTileRows;

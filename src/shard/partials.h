@@ -39,4 +39,12 @@ std::vector<Range> split_tiles(int h, int n);
 /// emits (kTxTileDoubles per tile).
 int tx_partial_doubles(const Range& r);
 
+/// cellfuse splits: one row range per fused lane, covering ALL image rows
+/// with every range tile-aligned at its start (a fused lane computes TX
+/// tiles alongside the row-granular features, so it inherits tx_run's
+/// boundary rule). The ranges are split_tiles' with the last non-empty
+/// range extended to `h`, so the odd bottom row (and everything past the
+/// even-height region) lands on the final lane.
+std::vector<Range> split_fused(int h, int n);
+
 }  // namespace cellport::shard

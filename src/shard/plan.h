@@ -28,12 +28,16 @@ inline constexpr int kNumExtract = 4;
 /// reduce), in the same units.
 struct KernelCosts {
   double extract[kNumExtract] = {1.0, 1.0, 1.0, 1.0};
+  /// cellfuse: one full-image fused invocation (all four features in one
+  /// pass) on one SPE, same units.
+  double fused = 1.0;
   double detect = 1.0;
   double shard_overhead = 0.0;
 };
 
-/// Defaults calibrated from the repo's own single-SPE kernel phase times
-/// on the synthetic corpus (CC dominates, as in the paper's Table 1).
+/// Defaults calibrated from the repo's own single-SPE kernel busy times
+/// on the synthetic corpus (tests/test_fuse.cpp re-measures the ratios
+/// in-process and pins these against drift).
 KernelCosts default_costs();
 
 /// How a kSharded engine spreads one image over the machine: shard count
@@ -59,5 +63,23 @@ struct ShardPlan {
 /// fewer total shards, then lexicographically smaller counts, so the
 /// plan is deterministic across platforms.
 ShardPlan plan_shards(int num_spes, const KernelCosts& costs = default_costs());
+
+/// cellfuse: how a fused engine spreads one image — `lanes` SPEs each run
+/// the single-pass fused kernel over a tile-aligned row range
+/// (split_fused), the rest score concepts.
+struct FusedPlan {
+  int lanes = 1;
+  int detect_spes = 1;
+
+  int spes_used() const { return lanes + detect_spes; }
+
+  /// Predicted per-image critical path under `costs`.
+  double critical_path(const KernelCosts& costs) const;
+};
+
+/// Exhaustive minimum-critical-path fused plan for `num_spes` SPEs
+/// (>= 2: one fused lane plus one detection SPE is the floor). Ties break
+/// toward fewer SPEs used, then fewer lanes, so the plan is deterministic.
+FusedPlan plan_fused(int num_spes, const KernelCosts& costs = default_costs());
 
 }  // namespace cellport::shard

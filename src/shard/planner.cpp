@@ -6,18 +6,30 @@
 namespace cellport::shard {
 
 KernelCosts default_costs() {
-  // Single-SPE optimized-kernel phase shares measured by bench_latency on
-  // the synthetic Marvel corpus (352x240): CC dominates at roughly 8.7x
-  // the CH kernel; detection (all four model sets serialized on one SPE)
-  // costs about two CH units. The overhead term folds in the halo
-  // refetch, the extra mailbox dispatch and the PPE-side reduction.
+  // Single-SPE optimized-kernel busy times on the calibration shape
+  // (352x240 synthetic scene), in CH units. Recalibrated for cellfuse:
+  // the old table (cc=8.7, eh=3.5, tx=0.9 over ch=1.2) predated the
+  // SIMD window/Sobel/Haar rewrites and overweighted CC ~2x, EH ~3x and
+  // TX ~6x against today's kernels. The fused entry is one single-pass
+  // invocation covering all four features — cheaper than the four
+  // kernels summed (one fetch, one HSV quantization, one gray
+  // conversion), which is why plan_fused beats plan_shards on the same
+  // machine. The overhead term folds in the per-extra-SPE costs: one
+  // more dispatch, the halo refetch, one more partial to reduce.
+  // tests/test_fuse.cpp re-measures every ratio in-process and fails if
+  // these drift by more than the pinning tolerance.
   KernelCosts c;
-  c.extract[kSlotCh] = 1.2;
-  c.extract[kSlotCc] = 8.7;
-  c.extract[kSlotTx] = 0.9;
-  c.extract[kSlotEh] = 3.5;
-  c.detect = 2.0;
-  c.shard_overhead = 0.15;
+  c.extract[kSlotCh] = 1.0;
+  c.extract[kSlotCc] = 3.4;
+  c.extract[kSlotTx] = 0.13;
+  c.extract[kSlotEh] = 0.90;
+  c.fused = 4.4;
+  // Detection scores only the ACTIVE models (inactive library fillers
+  // are skipped at load), so its unit is small and independent of the
+  // library size — the old detect=2.0 dated from before the SIMD dot
+  // kernels and folded the one-time model load in.
+  c.detect = 0.12;
+  c.shard_overhead = 0.05;
   return c;
 }
 
@@ -31,6 +43,41 @@ double ShardPlan::critical_path(const KernelCosts& costs) const {
   }
   return extract + costs.detect / detect_spes +
          costs.shard_overhead * (detect_spes - 1);
+}
+
+double FusedPlan::critical_path(const KernelCosts& costs) const {
+  return costs.fused / lanes + costs.shard_overhead * (lanes - 1) +
+         costs.detect / detect_spes +
+         costs.shard_overhead * (detect_spes - 1);
+}
+
+FusedPlan plan_fused(int num_spes, const KernelCosts& costs) {
+  if (num_spes < 2) {
+    throw cellport::ConfigError(
+        "fused scenario needs at least 2 SPEs (one lane + one detector)");
+  }
+  FusedPlan best;
+  double best_cost = best.critical_path(costs);
+  int best_used = best.spes_used();
+  for (int lanes = 1; lanes <= num_spes - 1; ++lanes) {
+    for (int d = 1; lanes + d <= num_spes; ++d) {
+      FusedPlan p;
+      p.lanes = lanes;
+      p.detect_spes = d;
+      const double cost = p.critical_path(costs);
+      const int used = p.spes_used();
+      const bool better =
+          cost < best_cost ||
+          (cost == best_cost &&
+           (used < best_used || (used == best_used && p.lanes < best.lanes)));
+      if (better) {
+        best = p;
+        best_cost = cost;
+        best_used = used;
+      }
+    }
+  }
+  return best;
 }
 
 ShardPlan plan_shards(int num_spes, const KernelCosts& costs) {

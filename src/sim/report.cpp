@@ -31,6 +31,14 @@ void collect_metrics(Machine& machine, trace::MetricsRegistry& metrics) {
     metrics.gauge(p + ".pipe.odd_cycles").set(spe.pipe_stats().odd_cycles);
     metrics.gauge(p + ".pipe.slack_cycles")
         .set(spe.pipe_stats().slack_cycles);
+    // cellfuse: dual-issue balance as a share — the fraction of the
+    // busier pipe's cycles the shorter pipe sat idle. The fused kernel's
+    // even/odd rebalancing is judged by this gauge (bench_latency pins
+    // it against the per-feature baseline).
+    const double issued = std::max(spe.pipe_stats().even_cycles,
+                                   spe.pipe_stats().odd_cycles);
+    metrics.gauge(p + ".pipe.slack_share")
+        .set(issued > 0 ? spe.pipe_stats().slack_cycles / issued : 0.0);
     metrics.gauge(p + ".dma.transfers")
         .set(static_cast<double>(spe.mfc().stats().transfers));
     metrics.gauge(p + ".dma.bytes")
@@ -134,6 +142,27 @@ std::string format_report(const MachineReport& report) {
          " MB in " + std::to_string(report.eib_transfers) +
          " transfers (" + Table::num(100 * report.eib_utilization, 2) +
          "% of peak)\n";
+  // Dual-issue slack summary: where the SIMD schedule leaves the most
+  // cycles on the table (the busiest-SPE share is the number cellfuse's
+  // pipe balancing drives down).
+  double total_slack = 0.0;
+  double worst_share = 0.0;
+  int worst_spe = 0;
+  for (const auto& s : report.spes) {
+    total_slack += s.slack_cycles;
+    const double issued = std::max(s.even_cycles, s.odd_cycles);
+    const double share = issued > 0 ? s.slack_cycles / issued : 0.0;
+    if (share > worst_share) {
+      worst_share = share;
+      worst_spe = s.id;
+    }
+  }
+  if (!report.spes.empty()) {
+    out += "  Pipe slack: " + Table::num(total_slack / 1e6, 2) +
+           " Mcyc idle in the shorter pipes; worst spe" +
+           std::to_string(worst_spe) + " at " +
+           Table::num(100.0 * worst_share, 1) + "%\n";
+  }
   if (report.dma_list_elements == 0) {
     out += "  DMA lists unused: every transfer was a single-element "
            "get/put (no mfc_getl/putl batching)\n";

@@ -192,6 +192,36 @@ TEST_F(CheckRunner, GuardedFeedFaultScenarioPasses) {
   EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
 }
 
+TEST_F(CheckRunner, FusedScenarioPasses) {
+  // Hand-built cellfuse rider: the single-pass fused lanes replace the
+  // per-feature extraction; the oracle comparison is bit-exact.
+  ScenarioSpec spec;
+  spec.mode = Mode::kEngineMulti;
+  spec.num_spes = 5;
+  spec.fused = true;
+  spec.images.push_back({/*kind=*/2, /*seed=*/31, 96, 64, 85});
+  spec.images.push_back({/*kind=*/0, /*seed=*/32, 97, 33, 85});
+  RunOutcome out = run_scenario(spec, config());
+  EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
+}
+
+TEST_F(CheckRunner, GuardedFusedFaultScenarioPasses) {
+  // A scheduled DMA error on a fused lane must leave the guarded run
+  // bit-exact (retry, or all four features degraded as "fuse:*" PPE
+  // fallbacks) with the degradation accounting intact.
+  ScenarioSpec spec;
+  spec.mode = Mode::kEngineMulti;
+  spec.num_spes = 6;
+  spec.fused = true;
+  spec.guarded = true;
+  spec.sched_fault = kSchedDmaError;
+  spec.sched_spe = 0;
+  spec.sched_at = 0;
+  spec.images.push_back({/*kind=*/3, /*seed=*/33, 64, 48, 85});
+  RunOutcome out = run_scenario(spec, config());
+  EXPECT_TRUE(out.ok) << out.property << ": " << out.message;
+}
+
 TEST_F(CheckRunner, ReplayTwiceScenarioIsDeterministic) {
   ScenarioSpec spec;
   spec.mode = Mode::kEngineSingle;

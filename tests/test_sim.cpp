@@ -361,6 +361,8 @@ TEST(MachineReport, SnapshotAndFormat) {
   std::string text = format_report(r);
   EXPECT_NE(text.find("Machine report"), std::string::npos);
   EXPECT_NE(text.find("EIB"), std::string::npos);
+  // cellfuse: the dual-issue slack summary line is always present.
+  EXPECT_NE(text.find("Pipe slack:"), std::string::npos);
 }
 
 TEST(MachineReport, AgreesWithMetricsRegistrySeries) {
@@ -381,6 +383,9 @@ TEST(MachineReport, AgreesWithMetricsRegistrySeries) {
     EXPECT_EQ(s.even_cycles, reg.value(p + ".pipe.even_cycles"));
     EXPECT_EQ(s.odd_cycles, reg.value(p + ".pipe.odd_cycles"));
     EXPECT_EQ(s.slack_cycles, reg.value(p + ".pipe.slack_cycles"));
+    const double issued = std::max(s.even_cycles, s.odd_cycles);
+    EXPECT_EQ(reg.value(p + ".pipe.slack_share"),
+              issued > 0 ? s.slack_cycles / issued : 0.0);
     EXPECT_EQ(static_cast<double>(s.dma_transfers),
               reg.value(p + ".dma.transfers"));
     EXPECT_EQ(static_cast<double>(s.dma_bytes),
