@@ -1,0 +1,14 @@
+#include "balance/digest.h"
+
+namespace cellport::balance {
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace cellport::balance

@@ -1,0 +1,19 @@
+// cellbalance: content addressing for the feature cache.
+//
+// The cache key is a digest of the ENCODED image bytes — computed before
+// any decode, so a hit skips ingest and extraction entirely. FNV-1a is
+// enough here: the cache is an optimization layered over a deterministic
+// engine, and a (vanishingly unlikely) collision would surface instantly
+// in the bit-exactness property tests that compare every cached result
+// against the oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cellport::balance {
+
+/// 64-bit FNV-1a over `n` bytes.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+}  // namespace cellport::balance

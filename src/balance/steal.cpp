@@ -1,0 +1,62 @@
+#include "balance/steal.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace cellport::balance {
+
+int task_count(int h, int lanes, int grain) {
+  const int tiles = std::max(1, kernels::tx_num_tiles(h));
+  return std::max(1, std::min(tiles, std::max(1, lanes * grain)));
+}
+
+std::vector<shard::Range> split_tasks(int h, int lanes, int grain) {
+  return shard::split_fused(h, task_count(h, lanes, grain));
+}
+
+TaskQueue::TaskQueue(std::size_t tasks, std::size_t lanes)
+    : tasks_(tasks),
+      running_(lanes, kNone),
+      armed_(lanes, false) {
+  if (lanes == 0) {
+    throw cellport::ConfigError("TaskQueue needs at least one lane");
+  }
+}
+
+std::size_t TaskQueue::issue(std::size_t lane) {
+  if (busy(lane)) {
+    throw cellport::ConfigError(
+        "TaskQueue::issue to a lane with a task in flight");
+  }
+  if (next_ == tasks_) return kNone;
+  if (armed_[lane]) {
+    ++steals_;
+  } else {
+    armed_[lane] = true;
+    ++arms_;
+  }
+  running_[lane] = next_++;
+  ++in_flight_;
+  return running_[lane];
+}
+
+void TaskQueue::complete(std::size_t lane) {
+  if (!busy(lane)) {
+    throw cellport::ConfigError("TaskQueue::complete on an idle lane");
+  }
+  running_[lane] = kNone;
+  --in_flight_;
+}
+
+std::size_t pick_earliest(const std::vector<sim::SimTime>& peek_ns,
+                          const TaskQueue& q) {
+  std::size_t best = TaskQueue::kNone;
+  for (std::size_t k = 0; k < q.lanes(); ++k) {
+    if (!q.busy(k)) continue;
+    if (best == TaskQueue::kNone || peek_ns[k] < peek_ns[best]) best = k;
+  }
+  return best;
+}
+
+}  // namespace cellport::balance

@@ -47,6 +47,7 @@ struct Options {
   bool fail_fast = true;
   bool guard_matrix = false;
   bool serve_matrix = false;
+  bool balance_matrix = false;
   int jobs = 0;  // scenario threads; 0 = hardware_concurrency
 };
 
@@ -74,6 +75,9 @@ int usage(const char* argv0) {
       "                     scheduled SPE faults (hang/slow/dma-error)\n"
       "  --serve-matrix     generate multi-tenant broker scenarios\n"
       "                     (admission, deadlines, degrade/shed ladder)\n"
+      "  --balance-matrix   generate steal-scheduled scenarios with the\n"
+      "                     content cache armed (duplicate-heavy corpora,\n"
+      "                     guard faults, streamed windows)\n"
       "  --jobs N           scenario threads (default: all host cores);\n"
       "                     results and logs are independent of N\n"
       "  --no-shrink        keep the original failing scenario\n"
@@ -122,6 +126,8 @@ std::string describe(const ScenarioSpec& spec) {
   if (spec.sharded) s += " sharded";
   if (spec.feed) s += " feed";
   if (spec.fused) s += " fused";
+  if (spec.balanced) s += " balanced";
+  if (spec.cache_kb > 0) s += " cache=" + std::to_string(spec.cache_kb) + "k";
   if (spec.replay_twice) s += " replay2";
   if (spec.scaling_probe) s += " scaling";
   if (spec.pipelined_batch) s += " pipelined";
@@ -191,11 +197,15 @@ int run(const Options& opts) {
   }
 
   auto generate = [&opts](std::uint64_t s) {
+    if (opts.balance_matrix) {
+      return cellport::check::generate_balance_scenario(s);
+    }
     if (opts.serve_matrix) return cellport::check::generate_serve_scenario(s);
     if (opts.guard_matrix) return cellport::check::generate_guard_scenario(s);
     return cellport::check::generate_scenario(s);
   };
-  const char* matrix = opts.serve_matrix   ? "serve-matrix "
+  const char* matrix = opts.balance_matrix ? "balance-matrix "
+                       : opts.serve_matrix ? "serve-matrix "
                        : opts.guard_matrix ? "guard-matrix "
                                            : "";
   std::vector<ScenarioSpec> specs;
@@ -207,7 +217,8 @@ int run(const Options& opts) {
     specs.push_back(generate(opts.replay_seed));
     std::printf("[cellcheck] replaying seed %llu%s\n",
                 static_cast<unsigned long long>(opts.replay_seed),
-                opts.serve_matrix   ? " (serve matrix)"
+                opts.balance_matrix ? " (balance matrix)"
+                : opts.serve_matrix ? " (serve matrix)"
                 : opts.guard_matrix ? " (guard matrix)"
                                     : "");
   } else {
@@ -324,6 +335,8 @@ int main(int argc, char** argv) {
       opts.guard_matrix = true;
     } else if (std::strcmp(arg, "--serve-matrix") == 0) {
       opts.serve_matrix = true;
+    } else if (std::strcmp(arg, "--balance-matrix") == 0) {
+      opts.balance_matrix = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       opts.shrink_budget = 0;
     } else if (std::strcmp(arg, "--keep-going") == 0) {

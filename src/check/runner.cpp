@@ -295,6 +295,10 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
       policy);
   engine.set_feed(spec.feed);
   engine.set_fused(spec.fused);
+  engine.set_balanced(spec.balanced);
+  if (spec.cache_kb > 0) {
+    engine.set_cache(static_cast<std::size_t>(spec.cache_kb) * 1024);
+  }
   // The scheduled fault arms after engine construction so it fires
   // during analysis, not during the module-open handshakes.
   bool injected = false;
@@ -451,6 +455,10 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
           spec.use_naive);
       plain.set_feed(spec.feed);
       plain.set_fused(spec.fused);
+      plain.set_balanced(spec.balanced);
+      if (spec.cache_kb > 0) {
+        plain.set_cache(static_cast<std::size_t>(spec.cache_kb) * 1024);
+      }
       std::vector<marvel::AnalysisResult> cell2;
       double u0 = m2.ppe().now_ns();
       if (spec.stream_batch > 0) {
@@ -494,6 +502,10 @@ RunOutcome run_engine(const ScenarioSpec& spec, const RunConfig& cfg,
                            spec.use_naive);
       e.set_feed(spec.feed);
       e.set_fused(spec.fused);
+      e.set_balanced(spec.balanced);
+      if (spec.cache_kb > 0) {
+        e.set_cache(static_cast<std::size_t>(spec.cache_kb) * 1024);
+      }
       double probe_t0 = m.ppe().now_ns();
       e.analyze(in.encoded[0]);
       return m.ppe().now_ns() - probe_t0;
@@ -545,6 +557,10 @@ RunOutcome run_serve(const ScenarioSpec& spec, const RunConfig& cfg) {
       policy);
   engine.set_feed(spec.feed);
   engine.set_fused(spec.fused);
+  engine.set_balanced(spec.balanced);
+  if (spec.cache_kb > 0) {
+    engine.set_cache(static_cast<std::size_t>(spec.cache_kb) * 1024);
+  }
   if (spec.guarded && spec.sched_fault >= 0 &&
       spec.sched_spe < spec.num_spes) {
     machine.spe(spec.sched_spe).inject_fault(sched_injection(spec));

@@ -262,6 +262,19 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
   if (engine_mode && fits_fused(spec) && rng.next_below(100) < 30) {
     spec.fused = true;
   }
+
+  // cellbalance riders (also appended last): ~25% of engine scenarios
+  // swap the fused lanes' static row split for the steal-driven task
+  // queue (same 16x16 floor — balanced dispatch rides the fused
+  // kernel), and ~25% independently arm the content cache with a small
+  // budget so both the hit and the eviction paths see coverage.
+  if (engine_mode && fits_fused(spec) && rng.next_below(100) < 25) {
+    spec.balanced = true;
+  }
+  if (engine_mode && rng.next_below(100) < 25) {
+    constexpr int kBudgetsKb[] = {2, 16, 64};
+    spec.cache_kb = kBudgetsKb[rng.next_below(3)];
+  }
   return spec;
 }
 
@@ -321,6 +334,18 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed) {
   if (fits_fused(spec) && rng.next_below(100) < 30) {
     spec.fused = true;
   }
+  // Balanced fault matrix (appended last): a scheduled fault lands
+  // while lanes are stealing tasks, and the run must still match the
+  // oracle bit-for-bit — the faulted lane's queue slot retries behind
+  // the guard or degrades to the PPE mirror while the other lanes drain
+  // the remaining descriptors.
+  if (fits_fused(spec) && rng.next_below(100) < 25) {
+    spec.balanced = true;
+  }
+  if (rng.next_below(100) < 20) {
+    constexpr int kBudgetsKb[] = {2, 16, 64};
+    spec.cache_kb = kBudgetsKb[rng.next_below(3)];
+  }
   return spec;
 }
 
@@ -377,6 +402,85 @@ ScenarioSpec generate_serve_scenario(std::uint64_t seed) {
   if (fits_fused(spec) && rng.next_below(100) < 25) {
     spec.fused = true;
   }
+  // cellbalance riders (appended last): broker traffic over balanced
+  // lanes, and the content cache the level-0 stream consults.
+  if (fits_fused(spec) && rng.next_below(100) < 25) {
+    spec.balanced = true;
+  }
+  if (rng.next_below(100) < 25) {
+    constexpr int kBudgetsKb[] = {2, 16, 64};
+    spec.cache_kb = kBudgetsKb[rng.next_below(3)];
+  }
+  return spec;
+}
+
+ScenarioSpec generate_balance_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  switch (rng.next_below(3)) {
+    case 0: spec.mode = Mode::kEngineSingle; break;
+    case 1: spec.mode = Mode::kEngineMulti; break;
+    default: spec.mode = Mode::kEngineMulti2; break;
+  }
+  spec.buffering = 1 + static_cast<int>(rng.next_below(3));
+  spec.num_spes = spec.mode == Mode::kEngineMulti2
+                      ? 8
+                      : 5 + static_cast<int>(rng.next_below(4));
+  spec.use_naive = rng.next_below(100) < 10;
+  // Mixed sizes stress the steal queue (a lane that drew a small image
+  // finishes early and must steal); duplicated images stress the cache.
+  int num_images = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < num_images; ++i) {
+    spec.images.push_back(pick_image(rng, /*allow_degenerate=*/false));
+  }
+  if (rng.next_below(100) < 40 && num_images >= 2) {
+    // Duplicate one position onto an earlier one — the cache-hit path
+    // must be bit-identical to the cold path the oracle models.
+    const auto dst = 1 + rng.next_below(spec.images.size() - 1);
+    const auto src = rng.next_below(dst);
+    spec.images[dst] = spec.images[src];
+  }
+  spec.balanced = true;
+  if (rng.next_below(100) < 60) {
+    constexpr int kBudgetsKb[] = {2, 16, 64};
+    spec.cache_kb = kBudgetsKb[rng.next_below(3)];
+  }
+  if (spec.mode != Mode::kEngineSingle) {
+    spec.pipelined_batch = rng.next_below(100) < 40;
+  }
+  // cellguard rider: half the matrix steals around faults — the
+  // quarantined-lane property is what this matrix exists for.
+  if (rng.next_below(100) < 50) {
+    spec.guarded = true;
+    if (rng.next_below(100) < 60) {
+      spec.sched_fault = static_cast<int>(rng.next_below(kNumSchedFaults));
+      int pinned = spec.mode == Mode::kEngineMulti2 ? 8 : 5;
+      spec.sched_spe = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(pinned)));
+      spec.sched_at =
+          static_cast<int>(rng.next_below(spec.images.size()));
+    }
+  }
+  // Streamed balanced windows (cross-image stealing) and the other
+  // riders compose the same way they do in the base matrix.
+  if (rng.next_below(100) < 40) {
+    spec.stream_batch = 1 + static_cast<int>(rng.next_below(4));
+  }
+  if (rng.next_below(100) < 25) {
+    spec.sharded = true;
+  }
+  if (rng.next_below(100) < 25) {
+    spec.feed = true;
+  }
+  if (rng.next_below(100) < 20) {
+    spec.serve = true;
+    spec.serve_tenants = 1 + static_cast<int>(rng.next_below(3));
+    spec.serve_budget = 2 + static_cast<int>(rng.next_below(8));
+    spec.serve_batch = 1 + static_cast<int>(rng.next_below(3));
+    spec.serve_tight = rng.next_below(100) < 25;
+  }
+  spec.replay_twice = rng.next_below(4) == 0;
   return spec;
 }
 
@@ -401,6 +505,8 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   w.key("sharded").value(spec.sharded);
   w.key("feed").value(spec.feed);
   w.key("fused").value(spec.fused);
+  w.key("balanced").value(spec.balanced);
+  w.key("cache_kb").value(spec.cache_kb);
   w.key("guarded").value(spec.guarded);
   w.key("sched_fault").value(spec.sched_fault);
   w.key("sched_spe").value(spec.sched_spe);
@@ -509,6 +615,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
   spec.sharded = optional_bool(doc, "sharded", false);
   spec.feed = optional_bool(doc, "feed", false);
   spec.fused = optional_bool(doc, "fused", false);
+  spec.balanced = optional_bool(doc, "balanced", false);
+  spec.cache_kb = optional_number(doc, "cache_kb", 0);
   spec.guarded = optional_bool(doc, "guarded", false);
   spec.sched_fault = optional_number(doc, "sched_fault", -1);
   spec.sched_spe = optional_number(doc, "sched_spe", 0);

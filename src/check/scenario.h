@@ -110,6 +110,22 @@ struct ScenarioSpec {
   /// features of that lane). Skipped when any corpus image is below the
   /// 16x16 wavelet floor — fused extraction always carries the texture.
   bool fused = false;
+  /// Engine modes: swap the fused lanes' static row split for the
+  /// cellbalance steal-driven task queue (CellEngine::set_balanced) —
+  /// tile-aligned descriptors pulled by whichever lane finishes first.
+  /// The balanced property: results stay bit-exact with the reference
+  /// oracle whatever the steal order, including under scheduled faults
+  /// (a quarantined lane's tasks migrate to live lanes; an exhausted
+  /// task degrades to the PPE mirror like a fused lane would). Same
+  /// 16x16 floor as the fused rider — balanced dispatch rides the fused
+  /// kernel.
+  bool balanced = false;
+  /// Engine modes: arm the engine's content-addressed feature cache
+  /// with this byte budget in KiB (CellEngine::set_cache; 0 = off). The
+  /// cache property: a hit is bit-identical to the cold run the oracle
+  /// models, so repeated corpus images change nothing the differential
+  /// check can see.
+  int cache_kb = 0;
   /// Engine modes: drive the corpus through the cellserve ServeBroker
   /// (one request per image, tenants/priorities derived from the seed)
   /// instead of per-call analyze(). The serve properties: every admitted
@@ -151,6 +167,13 @@ ScenarioSpec generate_guard_scenario(std::uint64_t seed);
 /// deadline pressure, often composed with the guard/shard/feed riders.
 /// Pure function of the seed.
 ScenarioSpec generate_serve_scenario(std::uint64_t seed);
+
+/// Derives a cellbalance scenario for `seed` (the `--balance-matrix`
+/// generator): always an engine mode with steal-driven balanced
+/// dispatch, usually with a content cache armed and a duplicate-heavy
+/// corpus, often composed with the guard/stream/shard/feed/serve
+/// riders. Pure function of the seed.
+ScenarioSpec generate_balance_scenario(std::uint64_t seed);
 
 /// Serializes a spec as a JSON object (deterministic byte output).
 std::string spec_to_json(const ScenarioSpec& spec);

@@ -82,6 +82,20 @@ std::vector<ScenarioSpec> candidates(const ScenarioSpec& spec) {
     next.fused = false;
     push(next);
   }
+  if (spec.balanced) {
+    // Restoring the static fused split localizes a failure to the
+    // cellbalance steal queue / cross-image task pool.
+    ScenarioSpec next = spec;
+    next.balanced = false;
+    push(next);
+  }
+  if (spec.cache_kb > 0) {
+    // Disarming the content cache localizes a failure to the digest /
+    // hit-serve / eviction layer.
+    ScenarioSpec next = spec;
+    next.cache_kb = 0;
+    push(next);
+  }
   if (spec.serve) {
     // Dropping the broker entirely (back to a plain engine run)
     // localizes a failure to the serve layer; failing that, relax its

@@ -90,6 +90,17 @@ GuardedInterface::Result GuardedInterface::Finish() {
   }
 }
 
+sim::SimTime GuardedInterface::peek_ns() {
+  if (!pending_) {
+    throw cellport::ConfigError(
+        "GuardedInterface::peek_ns without a pending Send");
+  }
+  // A send that found no healthy SPE has no completion to peek: it
+  // surfaces as a failed Finish(), so schedule it like a hung lane.
+  if (iface_ == nullptr) return sim::kNeverNs;
+  return iface_->peek_completion_ns();
+}
+
 bool GuardedInterface::recover() {
   const int failed_spe = spe_;
   SpeHealth::Action action = health_.record_fault(failed_spe);

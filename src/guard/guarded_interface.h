@@ -60,6 +60,13 @@ class GuardedInterface {
   /// quarantined or busy).
   int spe() const { return spe_; }
 
+  /// cellbalance: the delivery timestamp of the pending call's completion
+  /// (sim::kNeverNs when the send found no healthy SPE — such a lane can
+  /// never deliver and must lose every steal argmin). Non-consuming and
+  /// clock-safe like SPEInterface::peek_completion_ns; Finish() later
+  /// resolves the call, including the retry/fallback verdict.
+  sim::SimTime peek_ns();
+
   /// Statistics passthrough for the engine (pipe counters, DMA traffic).
   /// Null when the interface is currently closed.
   port::SPEInterface* iface() { return iface_.get(); }

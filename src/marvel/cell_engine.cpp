@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "balance/digest.h"
+#include "balance/steal.h"
 #include "features/color_correlogram.h"
 #include "features/color_histogram.h"
 #include "features/edge_histogram.h"
@@ -489,6 +491,19 @@ void CellEngine::feed_fallback_rows(const img::SicEncoded& image,
 AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
   sim::ScalarContext& ppe = machine_.ppe();
   if (probe_ != nullptr) rt_.start("analyze", ppe.now_ns());
+  // cellbalance: content-cache front end. A hit skips decode, extraction
+  // and detection entirely — digest + copy-out, bit-identical values.
+  std::uint64_t cache_key = 0;
+  bool cache_fill = false;
+  if (cache_on()) {
+    AnalysisResult hit;
+    if (cache_try_serve(image, &hit, &cache_key)) {
+      note_image_done();
+      finish_request();
+      return hit;
+    }
+    cache_fill = true;
+  }
   img::RgbImage pixels = [&] {
     port::Profiler::Scope probe(profiler_, kPhasePreprocess);
     return ingest(image);
@@ -498,7 +513,9 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
     probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
                           "fill_msgs");
     for (auto& slot : slots_) fill_image_msg(slot, pixels);
-    if (fused_) {
+    if (balanced_) {
+      prepare_balanced(pixels);
+    } else if (fused_) {
       prepare_fused(pixels);
     } else if (scenario_ == Scenario::kSharded) {
       prepare_shards(pixels);
@@ -510,7 +527,9 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
     degraded_current_ = std::move(feed_pending_degraded_);
     feed_pending_degraded_.clear();
   }
-  if (fused_) {
+  if (balanced_) {
+    analyze_balanced(pixels);
+  } else if (fused_) {
     analyze_fused(pixels);
   } else if (guard_.enabled) {
     analyze_guarded_schedule(pixels);
@@ -623,6 +642,9 @@ AnalysisResult CellEngine::analyze(const img::SicEncoded& image) {
             "edge_histogram");
   }
   if (guard_.enabled) result.degraded = std::move(degraded_current_);
+  if (cache_fill && result.degraded.empty()) {
+    cache_store(cache_key, result);
+  }
   note_image_done();
   finish_request();
   return result;
@@ -1209,6 +1231,240 @@ void CellEngine::fused_detect() {
   }
 }
 
+// ---- cellbalance: steal-driven fused dispatch + the content cache ----
+//
+// The balanced schedule is the fused schedule with MORE, smaller tasks
+// than lanes: the fused_* members hold one entry per TASK instead of one
+// per lane, so the reducers and the PPE mirror work verbatim — reduction
+// still walks fused_rows_ in ascending row order, which is exactly the
+// order a static plan reduces, keeping stolen-work results bit-identical.
+
+void CellEngine::set_balanced(bool on) {
+  balanced_ = on;
+  if (on && steal_tasks_counter_ == nullptr) {
+    auto& m = machine_.metrics();
+    steal_tasks_counter_ = &m.counter("steal.tasks");
+    steal_arms_counter_ = &m.counter("steal.arms");
+    steal_steals_counter_ = &m.counter("steal.steals");
+  }
+}
+
+void CellEngine::prepare_balanced(const img::RgbImage& pixels) {
+  const int h = pixels.height();
+  // Same precondition as prepare_fused: every wavelet level must split.
+  if (pixels.width() < (1 << features::kTextureLevels) ||
+      h < (1 << features::kTextureLevels)) {
+    throw cellport::ConfigError(
+        "image too small for the 4-level wavelet texture");
+  }
+  const auto lanes = static_cast<int>(fused_lanes().size());
+  fused_rows_ = balance::split_tasks(h, lanes);
+  const std::size_t n = fused_rows_.size();
+  if (fused_msgs_.size() < n) {
+    fused_msgs_ = std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
+  }
+  if (fused_parts_.size() < n) fused_parts_.resize(n);
+  sim::ScalarContext& ppe = machine_.ppe();
+  std::uint64_t stores = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const shard::Range& r = fused_rows_[t];
+    const std::size_t bytes =
+        kernels::fused_partial_bytes(pixels.width(), h, r.begin, r.end);
+    if (fused_parts_[t].bytes() < bytes) {
+      fused_parts_[t] = cellport::AlignedBuffer<std::uint8_t>(bytes);
+    }
+    kernels::ImageMsg& m = *fused_msgs_[t];
+    m = *slots_[0].msg;
+    m.row_begin = r.begin;
+    m.row_end = r.end;
+    m.out_ea = reinterpret_cast<std::uint64_t>(fused_parts_[t].data());
+    stores += 4;
+  }
+  ppe.charge(sim::OpClass::kStore, stores);
+}
+
+void CellEngine::analyze_balanced(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseExtractPar);
+    {
+      probe::ProbeSpan d(prt(), probe::Phase::kDispatch, ppe,
+                         "arm_lanes");
+      arm_balanced();
+    }
+    drain_balanced(pixels);
+  }
+  {
+    port::Profiler::Scope probe(profiler_, kPhaseShardReduce);
+    probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                          "fuse_reduce");
+    for (int i = 0; i < 4; ++i) reduce_fused_slot(i);
+    fuse_images_counter_->add(1);
+  }
+  port::Profiler::Scope probe(profiler_, kPhaseDetect);
+  fused_detect();
+}
+
+void CellEngine::balanced_issue(const std::vector<FusedLane>& lanes,
+                                std::size_t k) {
+  const std::size_t t = bal_q_->issue(k);
+  if (t == balance::TaskQueue::kNone) return;
+  bal_sent_[t] = machine_.ppe().now_ns();
+  const auto op = static_cast<int>(kernels::SPU_Run_Fused);
+  if (lanes[k].gi != nullptr) {
+    lanes[k].gi->Send(op, fused_msgs_[t].ea());
+  } else {
+    lanes[k].iface->Send(op, fused_msgs_[t].ea());
+  }
+}
+
+void CellEngine::arm_balanced() {
+  std::vector<FusedLane> lanes = fused_lanes();
+  bal_q_ = std::make_unique<balance::TaskQueue>(fused_rows_.size(),
+                                                lanes.size());
+  bal_sent_.assign(fused_rows_.size(), 0);
+  fused_send_ns_ = machine_.ppe().now_ns();
+  for (std::size_t k = 0; k < lanes.size(); ++k) balanced_issue(lanes, k);
+}
+
+void CellEngine::drain_balanced(const img::RgbImage& pixels) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  std::vector<FusedLane> lanes = fused_lanes();
+  balance::TaskQueue& q = *bal_q_;
+  probe::ProbeSpan w(prt(), probe::Phase::kExtract, ppe, "steal_lanes");
+  std::vector<sim::SimTime> peeks(lanes.size(), sim::kNeverNs);
+  while (!q.done()) {
+    {
+      // Peek every in-flight completion timestamp without consuming it
+      // (one MMIO charge per busy lane, in lane order — deterministic)
+      // and pick the earliest finisher. A hung or quarantined lane peeks
+      // sim::kNeverNs and never wins while live lanes are in flight, so
+      // the remaining descriptors flow around it.
+      probe::ProbeSpan p(prt(), probe::Phase::kSteal, ppe, "pick");
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        peeks[k] = q.busy(k)
+                       ? (lanes[k].gi != nullptr
+                              ? lanes[k].gi->peek_ns()
+                              : lanes[k].iface->peek_completion_ns())
+                       : sim::kNeverNs;
+      }
+    }
+    const std::size_t k = balance::pick_earliest(peeks, q);
+    const std::size_t t = q.task_of(k);
+    if (lanes[k].gi != nullptr) {
+      const sim::SimTime finish_t0 = ppe.now_ns();
+      guard::GuardedInterface::Result r = lanes[k].gi->Finish();
+      if (r.attempts > 1) {
+        rt_.add_closed(probe::Phase::kGuardRetry,
+                       "task[" + std::to_string(t) + "]", finish_t0,
+                       ppe.now_ns());
+      }
+      if (!r.ok) fused_fallback_lane(t, pixels);
+    } else {
+      lanes[k].iface->Wait();
+    }
+    rt_.add_spe_span(probe::Phase::kExtract,
+                     "task[" + std::to_string(t) + "]", bal_sent_[t],
+                     ppe.now_ns());
+    q.complete(k);
+    balanced_issue(lanes, k);
+  }
+  steal_tasks_counter_->add(q.tasks());
+  steal_arms_counter_->add(q.arms());
+  steal_steals_counter_->add(q.steals());
+  bal_q_.reset();
+}
+
+namespace {
+
+/// Bytes an AnalysisResult occupies in the cache arena (the payload
+/// vectors; the fixed struct overhead is noise next to them).
+std::size_t result_bytes(const AnalysisResult& r) {
+  std::size_t n = 0;
+  for (const features::FeatureVector* fv :
+       {&r.color_histogram, &r.color_correlogram, &r.texture,
+        &r.edge_histogram}) {
+    n += fv->values.size() * sizeof(float) + fv->name.size();
+  }
+  for (const DetectionScores* ds :
+       {&r.ch_detect, &r.cc_detect, &r.tx_detect, &r.eh_detect}) {
+    n += ds->values.size() * sizeof(double);
+  }
+  return n;
+}
+
+/// Result elements a cache hit copies out (charged like collect()).
+std::uint64_t result_elems(const AnalysisResult& r) {
+  return static_cast<std::uint64_t>(
+      r.color_histogram.values.size() + r.color_correlogram.values.size() +
+      r.texture.values.size() + r.edge_histogram.values.size() +
+      r.ch_detect.values.size() + r.cc_detect.values.size() +
+      r.tx_detect.values.size() + r.eh_detect.values.size());
+}
+
+}  // namespace
+
+void CellEngine::set_cache(std::size_t byte_budget) {
+  if (byte_budget == 0) {
+    cache_.reset();
+    return;
+  }
+  cache_ = std::make_unique<balance::ContentCache<AnalysisResult>>(
+      byte_budget);
+  cache_evictions_seen_ = 0;
+  auto& m = machine_.metrics();
+  if (cache_hits_counter_ == nullptr) {
+    cache_hits_counter_ = &m.counter("cache.hits");
+    cache_miss_counter_ = &m.counter("cache.misses");
+    cache_evict_counter_ = &m.counter("cache.evictions");
+  }
+  m.gauge("cache.bytes").set(0);
+  m.gauge("cache.entries").set(0);
+}
+
+std::uint64_t CellEngine::cache_digest(const img::SicEncoded& image) {
+  // The FNV-1a pass is byte-serial on the PPE, over the ENCODED carrier
+  // (no decode needed to recognize a duplicate).
+  machine_.ppe().charge(sim::OpClass::kIntAlu, image.bytes.size());
+  return balance::fnv1a64(image.bytes.data(), image.bytes.size());
+}
+
+bool CellEngine::cache_try_serve(const img::SicEncoded& image,
+                                 AnalysisResult* out, std::uint64_t* key) {
+  sim::ScalarContext& ppe = machine_.ppe();
+  probe::ProbeSpan span(prt(), probe::Phase::kCache, ppe, "cache_lookup");
+  *key = cache_digest(image);
+  const AnalysisResult* hit = cache_->find(*key);
+  if (hit == nullptr) {
+    cache_miss_counter_->add(1);
+    return false;
+  }
+  cache_hits_counter_->add(1);
+  // Copy-out mirrors collect(): one load + one store per result element.
+  const std::uint64_t elems = result_elems(*hit);
+  ppe.charge(sim::OpClass::kLoad, elems);
+  ppe.charge(sim::OpClass::kStore, elems);
+  *out = *hit;
+  return true;
+}
+
+void CellEngine::cache_store(std::uint64_t key,
+                             const AnalysisResult& result) {
+  const std::size_t cost = result_bytes(result);
+  // Write-back into the cache arena: one store per 16-byte chunk.
+  machine_.ppe().charge(sim::OpClass::kStore,
+                        static_cast<std::uint64_t>((cost + 15) / 16));
+  cache_->insert(key, result, cost);
+  const std::uint64_t ev = cache_->stats().evictions;
+  if (ev > cache_evictions_seen_) {
+    cache_evict_counter_->add(ev - cache_evictions_seen_);
+    cache_evictions_seen_ = ev;
+  }
+  auto& m = machine_.metrics();
+  m.gauge("cache.bytes").set(static_cast<double>(cache_->bytes()));
+  m.gauge("cache.entries").set(static_cast<double>(cache_->entries()));
+}
+
 void CellEngine::finish_extract(FeatureSlot& slot,
                                 const img::RgbImage& pixels) {
   const sim::SimTime finish_t0 = machine_.ppe().now_ns();
@@ -1303,6 +1559,47 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
         "pipelined batches need a parallel scenario (kMultiSPE, "
         "kMultiSPE2, or kSharded)");
   }
+  if (!cache_on()) {
+    std::vector<const img::SicEncoded*> ptrs;
+    ptrs.reserve(images.size());
+    for (const auto& image : images) ptrs.push_back(&image);
+    return pipelined_cold(ptrs);
+  }
+  // cellbalance: serve cache hits up front (each one its own request),
+  // run the pipelined loop over the misses only, then reassemble the
+  // results in input order — values bit-identical to an uncached batch.
+  sim::ScalarContext& ppe = machine_.ppe();
+  std::vector<AnalysisResult> merged(images.size());
+  std::vector<const img::SicEncoded*> cold;
+  std::vector<std::size_t> cold_idx;
+  std::vector<std::uint64_t> cold_keys;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    if (probe_ != nullptr) rt_.start("pipelined", ppe.now_ns());
+    std::uint64_t key = 0;
+    if (cache_try_serve(images[i], &merged[i], &key)) {
+      note_image_done();
+      finish_request();
+      continue;
+    }
+    // The miss's lookup time belongs to its request, which the cold
+    // loop below serves; roll this trace into that one.
+    if (probe_ != nullptr && rt_.active()) rt_.finish(ppe.now_ns());
+    cold.push_back(&images[i]);
+    cold_idx.push_back(i);
+    cold_keys.push_back(key);
+  }
+  std::vector<AnalysisResult> cold_results = pipelined_cold(cold);
+  for (std::size_t c = 0; c < cold_results.size(); ++c) {
+    if (cold_results[c].degraded.empty()) {
+      cache_store(cold_keys[c], cold_results[c]);
+    }
+    merged[cold_idx[c]] = std::move(cold_results[c]);
+  }
+  return merged;
+}
+
+std::vector<AnalysisResult> CellEngine::pipelined_cold(
+    const std::vector<const img::SicEncoded*>& images) {
   std::vector<AnalysisResult> results;
   if (images.empty()) return results;
   results.reserve(images.size());
@@ -1316,7 +1613,7 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
   // one request; the overlapped decode of image i+1 lands in request
   // i's kDecode phase — that is where the PPE's time really went.
   if (probe_ != nullptr) rt_.start("pipelined", ppe.now_ns());
-  img::RgbImage current = decode(images[0]);
+  img::RgbImage current = decode(*images[0]);
   for (std::size_t i = 0; i < images.size(); ++i) {
     if (probe_ != nullptr && !rt_.active()) {
       rt_.start("pipelined", ppe.now_ns());
@@ -1325,7 +1622,9 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
       probe::ProbeSpan span(prt(), probe::Phase::kPrepare, ppe,
                             "fill_msgs");
       for (auto& slot : slots_) fill_image_msg(slot, current);
-      if (fused_) {
+      if (balanced_) {
+        prepare_balanced(current);
+      } else if (fused_) {
         prepare_fused(current);
       } else if (scenario_ == Scenario::kSharded) {
         prepare_shards(current);
@@ -1341,7 +1640,9 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     {
       probe::ProbeSpan span(prt(), probe::Phase::kDispatch, ppe,
                             "send_extract");
-      if (fused_) {
+      if (balanced_) {
+        arm_balanced();
+      } else if (fused_) {
         send_fused();
       } else if (scenario_ == Scenario::kSharded) {
         send_shards();
@@ -1361,9 +1662,18 @@ std::vector<AnalysisResult> CellEngine::analyze_batch_pipelined(
     }
     // PPE work overlaps the SPE kernels: decode the next image now.
     img::RgbImage next;
-    if (i + 1 < images.size()) next = decode(images[i + 1]);
+    if (i + 1 < images.size()) next = decode(*images[i + 1]);
 
-    if (fused_) {
+    if (balanced_) {
+      drain_balanced(current);
+      {
+        probe::ProbeSpan span(prt(), probe::Phase::kReduce, ppe,
+                              "fuse_reduce");
+        for (int si = 0; si < 4; ++si) reduce_fused_slot(si);
+        fuse_images_counter_->add(1);
+      }
+      fused_detect();
+    } else if (fused_) {
       {
         probe::ProbeSpan span(prt(), probe::Phase::kExtract, ppe,
                               "fused_lanes");

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "balance/content_cache.h"
+#include "balance/steal.h"
 #include "guard/guarded_interface.h"
 #include "guard/policy.h"
 #include "img/codec.h"
@@ -184,6 +186,39 @@ class CellEngine {
   /// 1+1 otherwise).
   const shard::FusedPlan& fused_plan() const { return fused_plan_; }
 
+  /// cellbalance: with the knob on, the fused single-pass extraction is
+  /// driven by a work-stealing dispatcher instead of one static range
+  /// per lane. The image splits into MORE, smaller tile-aligned tasks
+  /// (balance::split_tasks), every fused lane is armed with one, and
+  /// each lane steals the next descriptor the moment its current task
+  /// completes — chosen by a non-consuming peek of every in-flight
+  /// completion timestamp, so a slow or quarantined SPE never gates the
+  /// batch. Reduction stays in fixed task order through the cellshard
+  /// reducers, so balanced results are bit-identical to the static
+  /// fused plan (and to the per-feature kernels). Implies the fused
+  /// kernel (no set_fused needed); off (the default) leaves every
+  /// legacy path and its simulated time untouched.
+  void set_balanced(bool on);
+  bool balanced() const { return balanced_; }
+
+  /// cellbalance: content-addressed feature cache. A non-zero byte
+  /// budget caches each undegraded AnalysisResult under the FNV-1a
+  /// digest of the ENCODED image bytes; repeated/duplicated uploads in
+  /// analyze(), the pipelined batch loop, analyze_stream() and the
+  /// cellserve broker are served from the cache (digest + copy-out
+  /// only), bit-identical to the cold path. Eviction is strict LRU
+  /// under the budget (cache.{hits,misses,evictions,bytes,entries}
+  /// metrics). Degraded results are never cached (guard accounting
+  /// stays exact) and concept-clamped serve levels bypass the cache
+  /// (their results are a prefix, not the full value). A budget of 0
+  /// (the default) disables caching and leaves every legacy path and
+  /// its simulated time untouched.
+  void set_cache(std::size_t byte_budget);
+  /// Non-null after set_cache() with a non-zero budget.
+  const balance::ContentCache<AnalysisResult>* cache() const {
+    return cache_.get();
+  }
+
  private:
   friend class StreamEngine;
 
@@ -323,6 +358,47 @@ class CellEngine {
   /// pipelined loop (identical to the per-feature paths' detection).
   void fused_detect();
 
+  // ---- cellbalance paths (no-ops unless set_balanced(true)) ----
+  /// Computes the balanced task partition (balance::split_tasks) and
+  /// (re)sizes the per-TASK messages/blobs — the same fused_* members
+  /// the fused path uses, at task granularity, so reduce_fused_slot and
+  /// fused_fallback_lane work verbatim on task indices.
+  void prepare_balanced(const img::RgbImage& pixels);
+  /// The balanced per-image schedule: steal-driven fused lanes, PPE
+  /// reduction of all four features, the scenario's normal detection.
+  void analyze_balanced(const img::RgbImage& pixels);
+  /// Hands lane `k` the next unissued task descriptor (Send); no-op when
+  /// the queue is exhausted.
+  void balanced_issue(const std::vector<FusedLane>& lanes, std::size_t k);
+  /// Arms every lane with its first task (the doorbell wave). Split from
+  /// drain_balanced so the pipelined loop can decode the next image
+  /// between the arm and the steal loop, like send_fused/wait_fused.
+  void arm_balanced();
+  /// The steal loop: peeks every in-flight completion timestamp,
+  /// finishes the earliest lane, hands it the next task, until the
+  /// queue drains. Guarded lanes that exhaust their retries drop to the
+  /// PPE mirror for just that task's range.
+  void drain_balanced(const img::RgbImage& pixels);
+
+  // ---- cellbalance cache (no-ops unless set_cache(>0)) ----
+  bool cache_on() const { return cache_ != nullptr && cache_->enabled(); }
+  /// FNV-1a64 over the encoded carrier bytes, charged to the PPE.
+  std::uint64_t cache_digest(const img::SicEncoded& image);
+  /// Lookup front end shared by every cached path: digests `image`,
+  /// probes the cache under a kCache span and bumps the hit/miss
+  /// counters. On a hit, copies the value into `*out` (charged like
+  /// collect()) and returns true; on a miss, stores the digest in
+  /// `*key` for the post-analysis insert and returns false.
+  bool cache_try_serve(const img::SicEncoded& image, AnalysisResult* out,
+                       std::uint64_t* key);
+  /// Inserts an undegraded cold result under its digest, charging the
+  /// write-back and refreshing the cache gauges/eviction counter.
+  void cache_store(std::uint64_t key, const AnalysisResult& result);
+  /// The pipelined batch loop proper, over the cache misses only (the
+  /// public wrapper serves hits and reassembles input order).
+  std::vector<AnalysisResult> pipelined_cold(
+      const std::vector<const img::SicEncoded*>& images);
+
   // ---- cellprobe ----
   /// The live request trace, or null when no sink is installed (every
   /// RequestTrace/ProbeSpan call site stays unconditional).
@@ -367,6 +443,20 @@ class CellEngine {
   /// feed degradation is staged here and spliced into the degraded list
   /// of the image it belongs to.
   std::vector<std::string> feed_pending_degraded_;
+
+  // cellbalance state. `bal_q_` lives only between arm_balanced and the
+  // end of drain_balanced (one image's steal-driven dispatch).
+  bool balanced_ = false;
+  std::unique_ptr<balance::TaskQueue> bal_q_;
+  std::vector<sim::SimTime> bal_sent_;
+  std::unique_ptr<balance::ContentCache<AnalysisResult>> cache_;
+  trace::Counter* steal_tasks_counter_ = nullptr;
+  trace::Counter* steal_arms_counter_ = nullptr;
+  trace::Counter* steal_steals_counter_ = nullptr;
+  trace::Counter* cache_hits_counter_ = nullptr;
+  trace::Counter* cache_miss_counter_ = nullptr;
+  trace::Counter* cache_evict_counter_ = nullptr;
+  std::uint64_t cache_evictions_seen_ = 0;
 
   // cellfuse state.
   bool fused_ = false;

@@ -16,10 +16,20 @@ Dataset make_dataset(int count, std::uint64_t seed, int quality) {
 
 namespace {
 
+/// SplitMix64 finalizer — the duplicate-position decisions must be a
+/// pure function of (seed, position), independent of render order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// Shared mixed-size scene walk; `encode` turns each rendered frame
 /// into its carrier stream (SIC or PPM).
 template <typename Encode>
-Dataset mixed_size_walk(int count, std::uint64_t seed, Encode encode) {
+Dataset mixed_size_walk(int count, std::uint64_t seed,
+                        double dup_fraction, Encode encode) {
   // Sizes bracket the paper's 352x240 (0.57x .. 1.82x its pixel count).
   static constexpr struct {
     int w, h;
@@ -33,6 +43,17 @@ Dataset mixed_size_walk(int count, std::uint64_t seed, Encode encode) {
   Dataset out;
   out.images.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
+    if (i > 0 && dup_fraction > 0) {
+      const std::uint64_t r =
+          mix64(seed ^ (static_cast<std::uint64_t>(i) << 20) ^ 0xD0Dull);
+      if (static_cast<double>(r % 1024) < dup_fraction * 1024.0) {
+        // Duplicate: reuse an earlier ENCODED stream verbatim so the
+        // content digest matches byte-for-byte.
+        out.images.push_back(
+            out.images[mix64(r) % static_cast<std::uint64_t>(i)]);
+        continue;
+      }
+    }
     const auto& size = kSizes[i % kNumSizes];
     img::RgbImage image =
         img::synth_image(kKinds[i % kNumKinds],
@@ -46,15 +67,17 @@ Dataset mixed_size_walk(int count, std::uint64_t seed, Encode encode) {
 }  // namespace
 
 Dataset make_mixed_size_dataset(int count, std::uint64_t seed,
-                                int quality) {
-  return mixed_size_walk(count, seed, [quality](const img::RgbImage& im) {
-    return img::sic_encode(im, quality);
-  });
+                                int quality, double dup_fraction) {
+  return mixed_size_walk(count, seed, dup_fraction,
+                         [quality](const img::RgbImage& im) {
+                           return img::sic_encode(im, quality);
+                         });
 }
 
-Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed) {
+Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed,
+                                    double dup_fraction) {
   return mixed_size_walk(
-      count, seed,
+      count, seed, dup_fraction,
       [](const img::RgbImage& im) { return img::ppm_encode(im); });
 }
 

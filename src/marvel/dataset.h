@@ -25,13 +25,23 @@ Dataset make_dataset(int count, std::uint64_t seed = 2007,
 /// percentile summaries are non-degenerate. A fixed-size set makes
 /// kernel p50 == p95 by construction, which turns a percentile gate
 /// into a single-sample gate.
+///
+/// `dup_fraction` (0..1, cellbalance) replaces roughly that fraction of
+/// positions with byte-identical copies of an earlier image in the set —
+/// the repeated-traffic shape a content-addressed cache is judged on.
+/// The set is a pure function of (count, seed, dup_fraction): which
+/// positions duplicate, and which earlier image each one copies, come
+/// from a hash of the seed and position, and a duplicate reuses the
+/// earlier ENCODED stream so its digest matches exactly.
 Dataset make_mixed_size_dataset(int count, std::uint64_t seed = 2007,
-                                int quality = 70);
+                                int quality = 70,
+                                double dup_fraction = 0.0);
 
 /// Like make_mixed_size_dataset, but carries the same synthetic scenes
 /// as lossless binary P6 PPM streams (img::ppm_encode) — the cellfeed
 /// carrier format the SPE ingest kernels gather with DMA lists. There is
 /// no quality knob: PPM is raw bytes.
-Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed = 2007);
+Dataset make_mixed_size_ppm_dataset(int count, std::uint64_t seed = 2007,
+                                    double dup_fraction = 0.0);
 
 }  // namespace cellport::marvel

@@ -23,8 +23,12 @@ StreamEngine::StreamEngine(CellEngine& engine, const StreamOptions& opts)
   if (opts_.batch < 1 || opts_.batch > 128) {
     throw cellport::ConfigError("stream batch must be 1..128");
   }
+  // cellbalance also forces the sequential window loop: the steal flow
+  // issues tasks with Send/Wait (one in flight per lane), so a second
+  // window's arm wave cannot overlap the first's drain.
   pipelined_ = !opts_.sequential && !engine_.guard_.enabled &&
-               engine_.scenario_ != Scenario::kSingleSPE;
+               engine_.scenario_ != Scenario::kSingleSPE &&
+               !engine_.balanced_;
   if (engine_.guard_.enabled) {
     guard_deadline_ns_ = engine_.guard_.retry.deadline_ns;
   }
@@ -182,23 +186,29 @@ void StreamEngine::prepare_window(
       m.out_ea = reinterpret_cast<std::uint64_t>(pi.sb[s].out.data());
       m.out_count = engine_.slots_[s].dim;
     }
-    if (engine_.fused_) {
+    if (engine_.fused_ || engine_.balanced_) {
       // cellfuse: extraction rides fused lanes instead of the feature
       // slots. Same small-image precondition as CellEngine::prepare_fused
-      // (a fused lane always computes the wavelet texture).
+      // (a fused lane always computes the wavelet texture). cellbalance
+      // reuses the lane machinery at TASK granularity: the descriptor
+      // split is tile-aligned and finer than the lane count, so lanes
+      // can steal across it (and across images) in the wait phase.
       const int ih = pi.pixels.height();
       if (pi.pixels.width() < (1 << features::kTextureLevels) ||
           ih < (1 << features::kTextureLevels)) {
         throw cellport::ConfigError(
             "image too small for the 4-level wavelet texture");
       }
-      const auto n = engine_.fused_lanes().size();
+      const auto lanes_n = static_cast<int>(engine_.fused_lanes().size());
+      pi.fused_rows = engine_.balanced_
+                          ? balance::split_tasks(ih, lanes_n)
+                          : shard::split_fused(ih, lanes_n);
+      const std::size_t n = pi.fused_rows.size();
       if (pi.fused_msgs.size() < n) {
         pi.fused_msgs =
             std::vector<port::WrappedMessage<kernels::ImageMsg>>(n);
       }
       if (pi.fused_parts.size() < n) pi.fused_parts.resize(n);
-      pi.fused_rows = shard::split_fused(ih, static_cast<int>(n));
       for (std::size_t k = 0; k < n; ++k) {
         const shard::Range& r = pi.fused_rows[k];
         if (r.empty()) continue;
@@ -675,8 +685,138 @@ void StreamEngine::reduce_fused_window(std::size_t w, std::size_t total) {
   }
 }
 
+// ---- cellbalance flows ----
+//
+// With the balanced knob on, extraction rides the fused lanes at TASK
+// granularity: the whole window contributes one pool of tile-aligned
+// descriptors (image-major), each lane is armed with one descriptor,
+// and the wait phase hands whichever lane finishes first the next one —
+// so a lane that drew a small image steals into its neighbours' work
+// instead of idling, and a quarantined lane never gates the window.
+// Reduction (reduce_fused_window) still walks every image's descriptors
+// in ascending row order, so results are bit-identical to the static
+// fused split.
+
+void StreamEngine::flush_balanced_window(std::size_t w,
+                                         std::size_t total) {
+  const std::size_t count = window_count(w, total);
+  std::vector<CellEngine::FusedLane> lanes = engine_.fused_lanes();
+  bal_pool_.clear();
+  for (std::size_t j = 0; j < count; ++j) {
+    PerImage& pi = buf(w, j);
+    for (std::size_t t = 0; t < pi.fused_rows.size(); ++t) {
+      if (!pi.fused_rows[t].empty()) bal_pool_.emplace_back(j, t);
+    }
+  }
+  bal_q_ = std::make_unique<balance::TaskQueue>(bal_pool_.size(),
+                                                lanes.size());
+  bal_sent_.assign(bal_pool_.size(), 0);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    balanced_issue(w, lanes, k);
+  }
+}
+
+void StreamEngine::balanced_issue(
+    std::size_t w, const std::vector<CellEngine::FusedLane>& lanes,
+    std::size_t k) {
+  const std::size_t i = bal_q_->issue(k);
+  if (i == balance::TaskQueue::kNone) return;
+  bal_sent_[i] = engine_.machine_.ppe().now_ns();
+  PerImage& pi = buf(w, bal_pool_[i].first);
+  const auto op = static_cast<int>(kernels::SPU_Run_Fused);
+  const std::uint64_t ea = pi.fused_msgs[bal_pool_[i].second].ea();
+  if (lanes[k].gi != nullptr) {
+    lanes[k].gi->Send(op, ea);
+  } else {
+    lanes[k].iface->Send(op, ea);
+  }
+}
+
+void StreamEngine::wait_balanced_window(std::size_t w,
+                                        std::size_t total) {
+  (void)total;
+  sim::ScalarContext& ppe = engine_.machine_.ppe();
+  std::vector<CellEngine::FusedLane> lanes = engine_.fused_lanes();
+  balance::TaskQueue& q = *bal_q_;
+  std::vector<sim::SimTime> peeks(lanes.size(), sim::kNeverNs);
+  while (!q.done()) {
+    {
+      // Non-destructive completion peeks (fixed lane order, so the MMIO
+      // charges are deterministic); a hung or quarantined lane reports
+      // kNeverNs and never wins while a live lane is busy.
+      probe::ProbeSpan p(engine_.prt(), probe::Phase::kSteal, ppe,
+                         "pick");
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        peeks[k] = !q.busy(k) ? sim::kNeverNs
+                   : lanes[k].gi != nullptr
+                       ? lanes[k].gi->peek_ns()
+                       : lanes[k].iface->peek_completion_ns();
+      }
+    }
+    const std::size_t k = balance::pick_earliest(peeks, q);
+    const std::size_t i = q.task_of(k);
+    const std::size_t j = bal_pool_[i].first;
+    const std::size_t t = bal_pool_[i].second;
+    PerImage& pi = buf(w, j);
+    const std::string tag =
+        "task[" + std::to_string(j) + "." + std::to_string(t) + "]";
+    if (lanes[k].gi != nullptr) {
+      const sim::SimTime finish_t0 = ppe.now_ns();
+      guard::GuardedInterface::Result r = lanes[k].gi->Finish();
+      if (r.attempts > 1) {
+        stats_.request_retries +=
+            static_cast<std::size_t>(r.attempts - 1);
+        engine_.rt_.add_closed(probe::Phase::kGuardRetry, tag, finish_t0,
+                               ppe.now_ns());
+      }
+      if (!r.ok) fallback_balanced_task(pi, t);
+    } else {
+      lanes[k].iface->Wait();
+    }
+    engine_.rt_.add_spe_span(probe::Phase::kExtract, tag, bal_sent_[i],
+                             ppe.now_ns());
+    q.complete(k);
+    balanced_issue(w, lanes, k);
+  }
+  engine_.steal_tasks_counter_->add(q.tasks());
+  engine_.steal_arms_counter_->add(q.arms());
+  engine_.steal_steals_counter_->add(q.steals());
+  bal_q_.reset();
+}
+
+void StreamEngine::fallback_balanced_task(PerImage& pi, std::size_t t) {
+  probe::ProbeSpan span(engine_.prt(), probe::Phase::kFallback,
+                        engine_.machine_.ppe(),
+                        "fuse[task" + std::to_string(t) + "]");
+  // Per-feature PPE partials for just this task's range, into the task
+  // blob's four sections (the per-task analogue of rerun_fused_lane's
+  // fallback half — Finish() already ran the guard's retry loop).
+  const shard::Range& range = pi.fused_rows[t];
+  auto* words = reinterpret_cast<std::uint32_t*>(pi.fused_parts[t].data());
+  sim::ScalarContext* ppe = &engine_.machine_.ppe();
+  shard::ppe_partial_ch(pi.pixels, range, words, ppe);
+  shard::ppe_partial_cc(pi.pixels, range,
+                        words + kernels::kFusedCcOffset, ppe);
+  shard::ppe_partial_eh(pi.pixels, range,
+                        words + kernels::kFusedEhOffset, ppe);
+  const int heff = 2 * (pi.pixels.height() / 2);
+  const shard::Range tx_rows{range.begin, std::min(range.end, heff)};
+  if (!tx_rows.empty()) {
+    shard::ppe_partial_tx(
+        pi.pixels, tx_rows,
+        reinterpret_cast<double*>(pi.fused_parts[t].data() +
+                                  kernels::kFusedCountBytes),
+        ppe);
+  }
+  for (int s = 0; s < 4; ++s) note_degraded("fuse", s, pi);
+}
+
 void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
                                       int s) {
+  if (engine_.balanced_) {
+    if (s == 0) flush_balanced_window(w, total);
+    return;
+  }
   if (engine_.fused_) {
     if (s == 0) flush_fused_window(w, total);
     return;
@@ -699,6 +839,10 @@ void StreamEngine::flush_extract_slot(std::size_t w, std::size_t total,
 
 void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
                                      int s) {
+  if (engine_.balanced_) {
+    if (s == 0) wait_balanced_window(w, total);
+    return;
+  }
   if (engine_.fused_) {
     if (s == 0) wait_fused_window(w, total);
     return;
@@ -740,16 +884,16 @@ void StreamEngine::wait_extract_slot(std::size_t w, std::size_t total,
 
 void StreamEngine::run_detect(std::size_t w, std::size_t total) {
   sim::ScalarContext& ppe = engine_.machine_.ppe();
-  if (engine_.fused_) {
-    // Lane blobs must merge before detection can read the feature
-    // vectors, whatever the scenario.
+  if (engine_.fused_ || engine_.balanced_) {
+    // Lane (or task) blobs must merge before detection can read the
+    // feature vectors, whatever the scenario.
     probe::ProbeSpan span(engine_.prt(), probe::Phase::kReduce, ppe,
                           "fuse_reduce");
     reduce_fused_window(w, total);
   }
   if (engine_.scenario_ == Scenario::kSharded) {
     // Partials must merge before detection can read the feature vectors.
-    if (!engine_.fused_) {
+    if (!engine_.fused_ && !engine_.balanced_) {
       probe::ProbeSpan span(engine_.prt(), probe::Phase::kReduce, ppe,
                             "reduce_window");
       reduce_window(w, total);
@@ -1015,102 +1159,162 @@ std::vector<AnalysisResult> StreamEngine::run_queue(
   completions_.clear();
   std::vector<AnalysisResult> results;
   if (images.empty()) return results;
-  results.reserve(images.size());
   sim::ScalarContext& ppe = engine_.machine_.ppe();
   const sim::SimTime t0 = ppe.now_ns();
-  const std::size_t total = images.size();
-  const std::size_t W =
-      (total + static_cast<std::size_t>(opts_.batch) - 1) /
-      static_cast<std::size_t>(opts_.batch);
+  const std::size_t total_in = images.size();
   port::Profiler::Scope probe(engine_.profiler_, kPhaseStream);
   // One trace covers the whole streamed batch: windows overlap, so a
   // per-image tree would mis-assign the shared PPE work.
   if (engine_.probe_ != nullptr) engine_.rt_.start("stream", t0);
   probe::RequestTrace* rt = engine_.prt();
-  std::vector<sim::SimTime> win_sent(W, 0);
 
-  auto wait_window = [&](std::size_t w) {
-    probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
-                          "wait_extract");
-    for (int s = 0; s < 4; ++s) {
-      wait_extract_slot(w, total, s);
-      engine_.rt_.add_spe_span(probe::Phase::kExtract,
-                               std::string(engine_.slots_[s].name) +
-                                   "[w" + std::to_string(w) + "]",
-                               win_sent[w], ppe.now_ns());
-    }
-  };
-  auto retire_window = [&](std::size_t w) {
-    run_detect(w, total);
-    probe::ProbeSpan span(rt, probe::Phase::kOutput, ppe,
-                          "collect_window");
-    collect_window(w, total, &results);
-  };
-
-  if (pipelined_) {
-    // Two windows in flight per extract ring: the PPE decodes and
-    // doorbells window w while the SPEs still extract window w-1.
-    for (std::size_t w = 0; w < W; ++w) {
-      {
-        probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
-                              "prepare_window");
-        prepare_window(w, images);
-      }
-      {
-        probe::ProbeSpan span(rt, probe::Phase::kDispatch, ppe,
-                              "flush_extract");
-        win_sent[w] = ppe.now_ns();
-        for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
-      }
-      if (w > 0) {
-        wait_window(w - 1);
-        retire_window(w - 1);
-      }
-    }
-    wait_window(W - 1);
-    retire_window(W - 1);
-  } else {
-    // Guarded engines retire each window before the next doorbell so a
-    // per-request retry can reuse the legacy call path; scenario 1 stays
-    // sequential at window granularity (each kernel's batch retires
-    // before the next kernel starts).
-    for (std::size_t w = 0; w < W; ++w) {
-      {
-        probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
-                              "prepare_window");
-        prepare_window(w, images);
-      }
-      if (engine_.scenario_ == Scenario::kSingleSPE) {
-        probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
-                              "extract_seq");
-        win_sent[w] = ppe.now_ns();
-        for (int s = 0; s < 4; ++s) {
-          flush_extract_slot(w, total, s);
-          wait_extract_slot(w, total, s);
-          engine_.rt_.add_spe_span(probe::Phase::kExtract,
-                                   std::string(engine_.slots_[s].name) +
-                                       "[w" + std::to_string(w) + "]",
-                                   win_sent[w], ppe.now_ns());
-        }
+  // cellbalance: content-cache front end. Every queued image is
+  // digested up front (inside the stream trace, as kCache spans); hits
+  // are served at lookup time and only the misses run the window loop.
+  // A serve concept clamp (opts_.max_models != 0) scores a prefix of
+  // each model set, so clamped streams bypass the cache entirely rather
+  // than serve or poison full-set entries.
+  const bool caching = engine_.cache_on() && opts_.max_models == 0;
+  std::vector<AnalysisResult> hit_results(caching ? total_in : 0);
+  std::vector<sim::SimTime> hit_done(caching ? total_in : 0, 0);
+  std::vector<char> is_hit(caching ? total_in : 0, 0);
+  std::vector<const img::SicEncoded*> cold;
+  std::vector<std::uint64_t> cold_keys;
+  if (caching) {
+    for (std::size_t i = 0; i < total_in; ++i) {
+      std::uint64_t key = 0;
+      if (engine_.cache_try_serve(*images[i], &hit_results[i], &key)) {
+        is_hit[i] = 1;
+        engine_.note_image_done();
+        hit_done[i] = ppe.now_ns();
       } else {
+        cold.push_back(images[i]);
+        cold_keys.push_back(key);
+      }
+    }
+  } else {
+    cold = images;
+  }
+
+  const std::size_t total = cold.size();
+  results.reserve(total);
+  if (total > 0) {
+    const std::size_t W =
+        (total + static_cast<std::size_t>(opts_.batch) - 1) /
+        static_cast<std::size_t>(opts_.batch);
+    std::vector<sim::SimTime> win_sent(W, 0);
+
+    auto wait_window = [&](std::size_t w) {
+      probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
+                            "wait_extract");
+      for (int s = 0; s < 4; ++s) {
+        wait_extract_slot(w, total, s);
+        engine_.rt_.add_spe_span(probe::Phase::kExtract,
+                                 std::string(engine_.slots_[s].name) +
+                                     "[w" + std::to_string(w) + "]",
+                                 win_sent[w], ppe.now_ns());
+      }
+    };
+    auto retire_window = [&](std::size_t w) {
+      run_detect(w, total);
+      probe::ProbeSpan span(rt, probe::Phase::kOutput, ppe,
+                            "collect_window");
+      collect_window(w, total, &results);
+    };
+
+    if (pipelined_) {
+      // Two windows in flight per extract ring: the PPE decodes and
+      // doorbells window w while the SPEs still extract window w-1.
+      for (std::size_t w = 0; w < W; ++w) {
+        {
+          probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
+                                "prepare_window");
+          prepare_window(w, cold);
+        }
         {
           probe::ProbeSpan span(rt, probe::Phase::kDispatch, ppe,
                                 "flush_extract");
           win_sent[w] = ppe.now_ns();
           for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
         }
-        wait_window(w);
+        if (w > 0) {
+          wait_window(w - 1);
+          retire_window(w - 1);
+        }
       }
-      retire_window(w);
+      wait_window(W - 1);
+      retire_window(W - 1);
+    } else {
+      // Guarded engines retire each window before the next doorbell so a
+      // per-request retry can reuse the legacy call path; scenario 1
+      // stays sequential at window granularity (each kernel's batch
+      // retires before the next kernel starts).
+      for (std::size_t w = 0; w < W; ++w) {
+        {
+          probe::ProbeSpan span(rt, probe::Phase::kDecode, ppe,
+                                "prepare_window");
+          prepare_window(w, cold);
+        }
+        if (engine_.scenario_ == Scenario::kSingleSPE) {
+          probe::ProbeSpan span(rt, probe::Phase::kExtract, ppe,
+                                "extract_seq");
+          win_sent[w] = ppe.now_ns();
+          for (int s = 0; s < 4; ++s) {
+            flush_extract_slot(w, total, s);
+            wait_extract_slot(w, total, s);
+            engine_.rt_.add_spe_span(probe::Phase::kExtract,
+                                     std::string(engine_.slots_[s].name) +
+                                         "[w" + std::to_string(w) + "]",
+                                     win_sent[w], ppe.now_ns());
+          }
+        } else {
+          {
+            probe::ProbeSpan span(rt, probe::Phase::kDispatch, ppe,
+                                  "flush_extract");
+            win_sent[w] = ppe.now_ns();
+            for (int s = 0; s < 4; ++s) flush_extract_slot(w, total, s);
+          }
+          wait_window(w);
+        }
+        retire_window(w);
+      }
     }
   }
   engine_.finish_request();
 
-  stats_.images = total;
+  if (caching) {
+    // Fill the cache with the cold results (degraded ones never enter —
+    // a later identical image must see the same guard accounting cold
+    // would give it), then reassemble results and completion stamps in
+    // input order. Hits completed at lookup time, so completion_ns() is
+    // no longer non-decreasing when hits and misses interleave.
+    for (std::size_t c = 0; c < results.size(); ++c) {
+      if (results[c].degraded.empty()) {
+        engine_.cache_store(cold_keys[c], results[c]);
+      }
+    }
+    std::vector<AnalysisResult> merged(total_in);
+    std::vector<sim::SimTime> done(total_in, 0);
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < total_in; ++i) {
+      if (is_hit[i] != 0) {
+        merged[i] = std::move(hit_results[i]);
+        done[i] = hit_done[i];
+      } else {
+        merged[i] = std::move(results[c]);
+        done[i] = completions_[c];
+        ++c;
+      }
+    }
+    results = std::move(merged);
+    completions_ = std::move(done);
+  }
+
+  stats_.images = total_in;
   stats_.elapsed_ns = ppe.now_ns() - t0;
   stats_.images_per_sec =
       stats_.elapsed_ns > 0
-          ? static_cast<double>(total) / (stats_.elapsed_ns * 1e-9)
+          ? static_cast<double>(total_in) / (stats_.elapsed_ns * 1e-9)
           : 0.0;
   engine_.machine_.metrics()
       .gauge("stream.images_per_sec")

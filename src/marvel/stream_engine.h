@@ -55,8 +55,11 @@ class StreamEngine {
   /// Per-request terminal states so far (index = submit order).
   const std::vector<RequestEnd>& request_ends() const { return ends_; }
   /// Simulated completion time of each request of the last run()/drain()
-  /// (the collect time of its window — windows retire in order, so
-  /// these are non-decreasing). Index-aligned with the returned results.
+  /// (the collect time of its window; windows retire in order). With the
+  /// engine's content cache enabled, a hit completes at its up-front
+  /// lookup instead, so the stamps are NOT necessarily non-decreasing
+  /// when hits and misses interleave. Index-aligned with the returned
+  /// results.
   const std::vector<sim::SimTime>& completion_ns() const {
     return completions_;
   }
@@ -156,6 +159,25 @@ class StreamEngine {
   void collect_window(std::size_t w, std::size_t total,
                       std::vector<AnalysisResult>* out);
 
+  // ---- cellbalance flows (engine_.balanced() only) ----
+  /// Builds the window-wide task pool — every image's tile-aligned task
+  /// descriptors, image-major — and arms each lane with one descriptor.
+  /// Lanes finishing a small image's tasks steal into the next image's,
+  /// so one window-wide queue balances mixed-size traffic.
+  void flush_balanced_window(std::size_t w, std::size_t total);
+  /// The steal loop over the window pool: peek every in-flight
+  /// completion, finish the earliest lane, hand it the next descriptor.
+  void wait_balanced_window(std::size_t w, std::size_t total);
+  /// Sends the next unissued pool descriptor to lane `k` (no-op when the
+  /// pool is exhausted).
+  void balanced_issue(std::size_t w,
+                      const std::vector<CellEngine::FusedLane>& lanes,
+                      std::size_t k);
+  /// PPE mirror for one task's row range after the guard gave up (the
+  /// per-task analogue of rerun_fused_lane's fallback half; Finish()
+  /// already ran the retry loop).
+  void fallback_balanced_task(PerImage& pi, std::size_t t);
+
   // Per-request recovery (guarded engine): re-run just the affected
   // request through the guard's retry loop, dropping to the PPE
   // reference path when it gives up.
@@ -182,6 +204,12 @@ class StreamEngine {
   /// Models actually scored per slot (opts_.max_models clamp; the full
   /// set when the knob is 0).
   int scored_models_[4] = {0, 0, 0, 0};
+  /// cellbalance: the current window's task pool — (image slot, task)
+  /// pairs image-major — and its steal bookkeeping. Live only between
+  /// flush_balanced_window and the end of wait_balanced_window.
+  std::vector<std::pair<std::size_t, std::size_t>> bal_pool_;
+  std::unique_ptr<balance::TaskQueue> bal_q_;
+  std::vector<sim::SimTime> bal_sent_;
   /// Incremental-admission state (submit/drain/close).
   std::vector<const img::SicEncoded*> pending_;
   std::vector<RequestEnd> ends_;

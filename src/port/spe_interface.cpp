@@ -133,6 +133,15 @@ bool SPEInterface::WaitFor(sim::SimTime timeout_ns, int* result) {
   return true;
 }
 
+sim::SimTime SPEInterface::peek_completion_ns() {
+  if (!pending_) {
+    throw cellport::ConfigError(
+        "SPEInterface::peek_completion_ns without a pending Send");
+  }
+  return sim::spe_peek_out_mbox_ns(
+      spuid_, module_->mode() == CompletionMode::kInterrupt);
+}
+
 void SPEInterface::reclaim() {
   if (!stale_ || spuid_ == nullptr) return;
   sim::spe_discard_out_mbox(spuid_,

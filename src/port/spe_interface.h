@@ -81,6 +81,14 @@ class SPEInterface {
   /// True while a Send() has not been Wait()ed for.
   bool busy() const { return pending_; }
 
+  /// cellbalance: the delivery timestamp of the pending call's completion
+  /// word, WITHOUT consuming it (one MMIO charge, no clock sync — a hung
+  /// kernel's kNeverNs completion is safe to observe). The steal
+  /// scheduler argmins this across lanes; the eventual Wait()/WaitFor()
+  /// consumes the exact entry that was peeked. Throws without a pending
+  /// Send.
+  sim::SimTime peek_completion_ns();
+
   // ---- cellstream: batched command-ring dispatch ----
 
   /// Result entry WaitBatch stores for a request whose kernel faulted.

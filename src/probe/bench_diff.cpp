@@ -43,6 +43,16 @@ const JsonValue* require(const JsonValue& doc, const char* key,
 }  // namespace
 
 Direction metric_direction(const std::string& name) {
+  // Explicit cases first — they would otherwise fall into the
+  // informational catch-alls below ("steal.task_count", "cache.hits"
+  // contains no keyword, "pipe.slack_share" matches "share").
+  if (contains(name, "steal.") || contains(name, "cache.hits")) {
+    return Direction::kHigherIsBetter;
+  }
+  if (contains(name, "cache.evictions") ||
+      contains(name, "pipe.slack_share")) {
+    return Direction::kLowerIsBetter;
+  }
   // Shares/counts/plans describe shape, not cost; never gate them.
   if (contains(name, "share") || contains(name, "count") ||
       contains(name, "plan") || contains(name, "uncovered")) {

@@ -20,6 +20,8 @@ const char* phase_name(Phase p) {
     case Phase::kGuardRetry: return "guard_retry";
     case Phase::kFallback: return "ppe_fallback";
     case Phase::kServeQueue: return "serve_queue";
+    case Phase::kSteal: return "steal";
+    case Phase::kCache: return "cache";
     case Phase::kOther: return "other";
   }
   return "?";

@@ -46,6 +46,8 @@ enum class Phase : std::uint8_t {
   kFallback,    // PPE recompute after the guard gave up
   kServeQueue,  // cellserve: admission + scheduling + time queued for
                 // the ring (broker-side wait, disjoint from service)
+  kSteal,       // cellbalance: steal-scheduler peeks + completion picks
+  kCache,       // cellbalance: digest + feature-cache hit service
   kOther,       // root span / uninstrumented PPE gaps
 };
 

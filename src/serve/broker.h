@@ -25,6 +25,16 @@
 // the owning request inside StreamEngine, and the quarantine board
 // feeds back only through the shared budget.
 //
+// cellbalance: when the engine carries a content cache
+// (CellEngine::set_cache), broker traffic consults it through the
+// level-0 stream's lookup front end — repeated images are served from
+// the PPE-side cache (bit-identical to a cold run) without touching the
+// rings, and cache.{hits,misses,evictions,bytes} land in the same
+// metrics registry as serve.*. Degrade-ladder levels 1 and 2 clamp the
+// scored model prefix, so those streams bypass the cache by
+// construction (a clamped result must never be served to, or poison, a
+// full-set request).
+//
 // The broker runs on simulated time: it reads the PPE clock for
 // arrivals/deadlines, idles the clock forward to the next arrival when
 // the queues drain, and charges its own (small) admission/scheduling

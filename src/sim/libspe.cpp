@@ -134,6 +134,14 @@ std::uint64_t spe_discard_out_mbox(speid_t spe, bool interrupt) {
   return box.read().value;
 }
 
+SimTime spe_peek_out_mbox_ns(speid_t spe, bool interrupt) {
+  ScalarContext& ppe = spe->machine().ppe();
+  ppe.advance_ns(calib::kPpeMmioCostNs);
+  Mailbox& box =
+      interrupt ? spe->ctx().out_intr_mbox() : spe->ctx().out_mbox();
+  return box.peek_ts();
+}
+
 void spe_write_signal(speid_t spe, int which, std::uint32_t bits) {
   ScalarContext& ppe = spe->machine().ppe();
   ppe.advance_ns(calib::kPpeMmioCostNs);

@@ -62,6 +62,15 @@ bool spe_out_intr_mbox_read_before(speid_t spe, SimTime deadline,
 /// kNeverNs for a hung SPE.
 std::uint64_t spe_discard_out_mbox(speid_t spe, bool interrupt = false);
 
+/// cellbalance: peeks the delivery timestamp of the SPE's pending
+/// outbound completion WITHOUT consuming it. Charges the PPE one MMIO
+/// read (the cost of inspecting the mailbox status) but never syncs the
+/// PPE clock to the entry — a hung SPE's kNeverNs completion can be
+/// observed and scheduled around without jumping simulated time. The
+/// steal scheduler compares these timestamps across lanes to consume the
+/// earliest completion first.
+SimTime spe_peek_out_mbox_ns(speid_t spe, bool interrupt = false);
+
 /// Writes an SPE signal-notification register (1 or 2). In OR mode many
 /// senders can each contribute a bit; in overwrite mode the last write
 /// wins (configure via spe->ctx().signalN().set_mode()).

@@ -33,8 +33,10 @@ void Mailbox::write_or_throw(std::uint64_t value, SimTime delivery_ts) {
 Mailbox::Entry Mailbox::read() {
   std::unique_lock lock(mu_);
   cv_read_.wait(lock, [&] { return !q_.empty(); });
+  check_peek_consistency();
   Entry e = q_.front();
   q_.pop_front();
+  peeked_ts_ = -1;
   stats_.reads += 1;
   cv_write_.notify_one();
   return e;
@@ -43,12 +45,31 @@ Mailbox::Entry Mailbox::read() {
 bool Mailbox::read_before(SimTime deadline, Entry* out) {
   std::unique_lock lock(mu_);
   cv_read_.wait(lock, [&] { return !q_.empty(); });
+  check_peek_consistency();
   if (q_.front().ts > deadline) return false;
   *out = q_.front();
   q_.pop_front();
+  peeked_ts_ = -1;
   stats_.reads += 1;
   cv_write_.notify_one();
   return true;
+}
+
+SimTime Mailbox::peek_ts() {
+  std::unique_lock lock(mu_);
+  cv_read_.wait(lock, [&] { return !q_.empty(); });
+  check_peek_consistency();
+  peeked_ts_ = q_.front().ts;
+  return peeked_ts_;
+}
+
+void Mailbox::check_peek_consistency() const {
+  if (peeked_ts_ < 0 || q_.front().ts == peeked_ts_) return;
+  report_invariant("mailbox.peek", "mailbox " + name_,
+                   "head entry ts " + std::to_string(q_.front().ts) +
+                       " differs from the peeked ts " +
+                       std::to_string(peeked_ts_) +
+                       " (a peeked completion was displaced)");
 }
 
 Mailbox::Stats Mailbox::stats() const {
@@ -65,6 +86,7 @@ void Mailbox::clear() {
   std::lock_guard lock(mu_);
   q_.clear();
   stats_ = Stats{};
+  peeked_ts_ = -1;
   cv_write_.notify_all();
 }
 

@@ -55,6 +55,14 @@ class Mailbox {
   /// scheduling.
   bool read_before(SimTime deadline, Entry* out);
 
+  /// Non-consuming peek (cellbalance). Blocks host-side until an entry is
+  /// functionally present, then returns the head entry's delivery
+  /// timestamp WITHOUT consuming it and without counting a read. The
+  /// steal scheduler compares these timestamps across lanes to pick the
+  /// earliest completion; a later read()/read_before() must consume the
+  /// very entry that was peeked (enforced as the mailbox.peek invariant).
+  SimTime peek_ts();
+
   /// Number of entries currently queued (spe_stat_* equivalent).
   std::size_t count() const;
 
@@ -77,9 +85,18 @@ class Mailbox {
   void clear();
 
  private:
+  /// With mu_ held and q_ non-empty: the head's timestamp must match what
+  /// the last peek saw (mailbox.peek invariant).
+  void check_peek_consistency() const;
+
   std::string name_;
   std::size_t capacity_;
   Stats stats_;
+  /// Delivery timestamp the last peek_ts() observed, while the peeked
+  /// entry is still queued. < 0 means "nothing peeked". The next consume
+  /// checks the head still carries this timestamp — FIFO order means a
+  /// peeked completion can never be displaced, only consumed.
+  SimTime peeked_ts_ = -1;
   mutable std::mutex mu_;
   std::condition_variable cv_read_;
   std::condition_variable cv_write_;

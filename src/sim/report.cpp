@@ -101,6 +101,21 @@ MachineReport snapshot(Machine& machine) {
   r.serve.degraded = counter_or_zero(m, "serve.degraded");
   r.serve.shed = counter_or_zero(m, "serve.shed");
   r.serve.deadline_missed = counter_or_zero(m, "serve.deadline_missed");
+  r.cache_hits = counter_or_zero(m, "cache.hits");
+  r.feed_images = counter_or_zero(m, "feed.images");
+  // Per-class latency tails from the broker's histograms (absent on a
+  // machine that never ran a broker).
+  for (const auto& [name, h] : m.histograms()) {
+    const std::string prefix = "serve.latency_ns.";
+    if (name.rfind(prefix, 0) != 0 || h->count() == 0) continue;
+    ServeReport::ClassLatency cl;
+    cl.name = name.substr(prefix.size());
+    cl.count = h->count();
+    cl.p50_ns = h->percentile(50);
+    cl.p99_ns = h->percentile(99);
+    cl.p99_9_ns = h->percentile(99.9);
+    r.serve.classes.push_back(std::move(cl));
+  }
   // Tenants are discovered from the counter namespace: the broker
   // registers serve.t<i>.* for every configured tenant, contiguously
   // from 0.
@@ -163,10 +178,11 @@ std::string format_report(const MachineReport& report) {
            std::to_string(worst_spe) + " at " +
            Table::num(100.0 * worst_share, 1) + "%\n";
   }
-  if (report.dma_list_elements == 0) {
+  if (report.dma_list_elements == 0 &&
+      !(report.cache_hits > 0 && report.feed_images == 0)) {
     out += "  DMA lists unused: every transfer was a single-element "
            "get/put (no mfc_getl/putl batching)\n";
-  } else {
+  } else if (report.dma_list_elements != 0) {
     out += "  DMA lists: " + std::to_string(report.dma_list_elements) +
            " list elements across the SPEs\n";
   }
@@ -186,6 +202,12 @@ std::string format_report(const MachineReport& report) {
            std::to_string(report.serve.deadline_missed) +
            " deadline missed), " + std::to_string(report.serve.rejected) +
            " rejected\n";
+    for (const auto& c : report.serve.classes) {
+      out += "    class " + c.name + ": " + std::to_string(c.count) +
+             " served, latency p50 " + Table::num(ns_to_ms(c.p50_ns), 2) +
+             " ms, p99 " + Table::num(ns_to_ms(c.p99_ns), 2) +
+             " ms, p99.9 " + Table::num(ns_to_ms(c.p99_9_ns), 2) + " ms\n";
+    }
     for (const auto& t : report.serve.tenants) {
       out += "    tenant " + std::to_string(t.id) + ": " +
              std::to_string(t.admitted) + " admitted, " +

@@ -56,6 +56,18 @@ struct ServeReport {
     std::uint64_t shed = 0;
     std::uint64_t deadline_missed = 0;
   };
+  /// Per-priority-class latency summary from the broker's
+  /// "serve.latency_ns.<class>" histograms. The p99.9 column is the
+  /// tail the deadline scheduler is judged on — a class can look fine
+  /// at p99 and still blow its deadline budget three nines out.
+  struct ClassLatency {
+    std::string name;
+    std::uint64_t count = 0;
+    double p50_ns = 0;
+    double p99_ns = 0;
+    double p99_9_ns = 0;
+  };
+  std::vector<ClassLatency> classes;
   std::vector<Tenant> tenants;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
@@ -79,6 +91,13 @@ struct MachineReport {
   /// issued single-element transfers — called out explicitly in the
   /// formatted report so "no DMA lists" reads as a fact, not a gap.
   std::uint64_t dma_list_elements = 0;
+  /// cellbalance: content-cache hits ("cache.hits") and cellfeed
+  /// SPE-ingested images ("feed.images"). A cache-served run never
+  /// touches the MFC, so the "DMA lists unused" hint is suppressed when
+  /// every image came from the cache (cache_hits > 0, feed_images == 0)
+  /// — that run has no transfers to batch, not a batching gap.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t feed_images = 0;
   GuardReport guard;
   ServeReport serve;
 };

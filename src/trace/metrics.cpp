@@ -149,12 +149,15 @@ std::string MetricsRegistry::format_text() const {
   os << scalars.str();
   if (!histograms_.empty()) {
     Table hist("Histograms");
-    hist.header({"Series", "Count", "Mean", "p50", "p95", "p99", "Max"});
+    hist.header({"Series", "Count", "Mean", "p50", "p95", "p99", "p99.9",
+                 "Max"});
     for (const auto& [name, h] : histograms_) {
       hist.row({name, std::to_string(h->count()), Table::num(h->mean(), 1),
                 Table::num(h->percentile(50), 1),
                 Table::num(h->percentile(95), 1),
-                Table::num(h->percentile(99), 1), Table::num(h->max(), 1)});
+                Table::num(h->percentile(99), 1),
+                Table::num(h->percentile(99.9), 1),
+                Table::num(h->max(), 1)});
     }
     os << hist.str();
   }
@@ -180,6 +183,7 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.key("p50").value(h->percentile(50));
     w.key("p95").value(h->percentile(95));
     w.key("p99").value(h->percentile(99));
+    w.key("p99_9").value(h->percentile(99.9));
     w.end_object();
   }
   w.end_object();

@@ -124,12 +124,13 @@ class MetricsRegistry {
   void reset();
 
   /// Aligned text rendering: counters and gauges, then histograms with
-  /// count/mean/p50/p95/p99.
+  /// count/mean/p50/p95/p99/p99.9.
   std::string format_text() const;
 
   /// Emits one JSON object:
   ///   {"counters": {...}, "gauges": {...},
-  ///    "histograms": {name: {count, sum, min, max, mean, p50, p95, p99}}}
+  ///    "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
+  ///                          p99_9}}}
   void write_json(JsonWriter& w) const;
   /// write_json() to a standalone document string.
   std::string to_json() const;
